@@ -1,0 +1,112 @@
+// Transfer-method ablation (paper §4.2 discussion).
+//
+// "Cricket implements multiple methods for transferring device memory...:
+// RPC arguments, parallel sockets, InfiniBand and shared memory." The
+// unikernels can only use RPC arguments; this bench quantifies what that
+// costs by comparing the three software methods on the native path:
+//   * rpc-args       — payload inline in the RPC (single TCP, one thread)
+//   * parallel-8     — striped over 8 side connections / threads
+//   * shared-memory  — local GPU, no buffer, no wire (the GPUdirect-class
+//                      upper bound)
+//
+// Flags: --mib=N (default 256)
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+#include "workloads/bandwidth_test.hpp"
+
+namespace {
+
+using namespace cricket;
+
+struct Row {
+  std::string method;
+  double h2d_mibps = 0;
+  double d2h_mibps = 0;
+  bool verified = true;
+};
+
+Row run_method(core::TransferMethod method, std::uint64_t bytes) {
+  const auto environment = env::make_environment(env::EnvKind::kNativeRust);
+  auto node = cuda::GpuNode::make_a100();
+  workloads::register_sample_kernels(node->registry());
+  core::CricketServer server(*node);
+
+  auto conn = env::connect(environment, node->clock());
+  core::TransferLanes client_lanes, server_lanes;
+  if (method == core::TransferMethod::kParallelSockets) {
+    auto pair = core::make_lane_pairs(8);
+    client_lanes = std::move(pair.first);
+    server_lanes = std::move(pair.second);
+  }
+  auto thread =
+      server.serve_async(std::move(conn.server), std::move(server_lanes));
+
+  Row row;
+  switch (method) {
+    case core::TransferMethod::kRpcArgs: row.method = "rpc-args"; break;
+    case core::TransferMethod::kParallelSockets:
+      row.method = "parallel-8";
+      break;
+    case core::TransferMethod::kSharedMemory:
+      row.method = "shared-memory";
+      break;
+  }
+  {
+    core::ClientConfig cfg{.flavor = environment.flavor,
+                           .profile = environment.profile,
+                           .transfer = method,
+                           .local_node = method ==
+                                             core::TransferMethod::kSharedMemory
+                                         ? node.get()
+                                         : nullptr};
+    core::RemoteCudaApi api(std::move(conn.guest), node->clock(), cfg,
+                            std::move(client_lanes));
+    for (const auto dir : {workloads::CopyDirection::kHostToDevice,
+                           workloads::CopyDirection::kDeviceToHost}) {
+      workloads::BandwidthConfig bcfg;
+      bcfg.bytes = bytes;
+      bcfg.runs = 2;
+      bcfg.direction = dir;
+      node->clock().reset();
+      const auto report = workloads::run_bandwidth_test(
+          api, node->clock(), environment.flavor, bcfg);
+      row.verified = row.verified && report.base.verified;
+      (dir == workloads::CopyDirection::kHostToDevice ? row.h2d_mibps
+                                                      : row.d2h_mibps) =
+          report.mib_per_s;
+    }
+  }
+  thread.join();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(
+          std::atoll(bench::arg_value(argc, argv, "mib", "256").c_str()))
+      << 20;
+
+  std::printf("Transfer-method ablation (%llu MiB per direction, native "
+              "client)\n",
+              static_cast<unsigned long long>(bytes >> 20));
+  std::printf("paper section 4.2: rpc-args is single-core bound; parallel "
+              "sockets raise bandwidth but still buffer; shared memory "
+              "eliminates the buffer entirely\n\n");
+  std::printf("%-14s %14s %14s %10s\n", "method", "H2D MiB/s", "D2H MiB/s",
+              "verified");
+  for (const auto method :
+       {core::TransferMethod::kRpcArgs, core::TransferMethod::kParallelSockets,
+        core::TransferMethod::kSharedMemory}) {
+    const Row row = run_method(method, bytes);
+    std::printf("%-14s %14.1f %14.1f %10s\n", row.method.c_str(),
+                row.h2d_mibps, row.d2h_mibps, row.verified ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared harness plumbing for the reproduction benches.
+//
+// Each figure bench builds a "rig" per Table 1 row: a simulated GPU node
+// running a Cricket server, connected to a client through that row's
+// network path (virtio-net for virtualized rows), with the row's client
+// flavour. All numbers reported are *virtual time* from the shared SimClock
+// (see DESIGN.md §2 on the simulation substitution).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cricket/client.hpp"
+#include "cricket/server.hpp"
+#include "cudart/local_api.hpp"
+#include "env/environment.hpp"
+#include "workloads/kernels.hpp"
+
+namespace cricket::bench {
+
+/// A complete client<->server stack for one environment.
+class Rig {
+ public:
+  explicit Rig(env::Environment environment,
+               core::ServerOptions server_options = {})
+      : environment_(std::move(environment)),
+        node_(cuda::GpuNode::make_a100()) {
+    workloads::register_sample_kernels(node_->registry());
+    server_ = std::make_unique<core::CricketServer>(*node_, server_options);
+    auto conn = env::connect(environment_, node_->clock());
+    server_thread_ = server_->serve_async(std::move(conn.server));
+    api_ = std::make_unique<core::RemoteCudaApi>(
+        std::move(conn.guest), node_->clock(),
+        core::ClientConfig{.flavor = environment_.flavor,
+                           .profile = environment_.profile});
+  }
+
+  ~Rig() {
+    api_.reset();  // closes the connection; the server session ends
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  [[nodiscard]] core::RemoteCudaApi& api() { return *api_; }
+  [[nodiscard]] cuda::GpuNode& node() { return *node_; }
+  [[nodiscard]] sim::SimClock& clock() { return node_->clock(); }
+  [[nodiscard]] const env::Environment& environment() const {
+    return environment_;
+  }
+  /// Timing-only mode on the device: kernels charge cost but skip math —
+  /// used for the paper-scale iteration counts after a verified warmup.
+  void set_timing_only(bool value) { node_->device(0).set_timing_only(value); }
+
+ private:
+  env::Environment environment_;
+  std::unique_ptr<cuda::GpuNode> node_;
+  std::unique_ptr<core::CricketServer> server_;
+  std::thread server_thread_;
+  std::unique_ptr<core::RemoteCudaApi> api_;
+};
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper: %s\n", paper_note);
+  std::printf("%-10s %14s %14s %10s\n", "config", "total", "per-unit",
+              "vs native");
+}
+
+/// Simple "--flag=value" argument lookup.
+inline std::string arg_value(int argc, char** argv, const std::string& name,
+                             const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+}  // namespace cricket::bench

@@ -1,0 +1,39 @@
+// Checkpoint/restart of Cricket server device state (paper §1/§5).
+//
+// "our approach allows ... runtime reorganization of tasks through
+// checkpoint/restart": the server serializes the complete device state —
+// allocations with contents, modules, handle tables, stream/event
+// timelines — to a file, and a (possibly different) server restores it so
+// that every device pointer and handle a client holds remains valid.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace cricket::core {
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes a snapshot to the on-disk checkpoint format (magic "CKPT",
+/// version, XDR-encoded body).
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
+    const gpusim::DeviceSnapshot& snap);
+
+/// Parses a checkpoint; throws CheckpointError on malformed input.
+[[nodiscard]] gpusim::DeviceSnapshot decode_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+/// Convenience: snapshot `device` and write it to `path`.
+void checkpoint_to_file(gpusim::Device& device, const std::string& path);
+
+/// Convenience: read `path` and restore into (pristine) `device`.
+void restore_from_file(gpusim::Device& device, const std::string& path);
+
+}  // namespace cricket::core

@@ -1,0 +1,67 @@
+#include "cricket/scheduler.hpp"
+
+#include <algorithm>
+
+namespace cricket::core {
+
+void KernelScheduler::session_open(std::uint64_t session) {
+  std::lock_guard lock(mu_);
+  auto& s = sessions_[session];
+  // A newcomer starts level with the least-served existing session so it
+  // cannot monopolize the device by arriving late with zero usage history.
+  sim::Nanos min_used = 0;
+  bool first = true;
+  for (const auto& [id, other] : sessions_) {
+    if (id == session) continue;
+    min_used = first ? other.used_ns : std::min(min_used, other.used_ns);
+    first = false;
+  }
+  if (!first) s.used_ns = min_used;
+}
+
+void KernelScheduler::session_close(std::uint64_t session) {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  archived_[session] = it->second.stats;
+  sessions_.erase(it);
+}
+
+sim::Nanos KernelScheduler::admit(std::uint64_t session) {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) it = sessions_.emplace(session, Session{}).first;
+  ++it->second.stats.launches;
+  if (policy_ == SchedulerPolicy::kFifo || sessions_.size() < 2) return 0;
+
+  sim::Nanos min_used = it->second.used_ns;
+  for (const auto& [id, s] : sessions_) min_used = std::min(min_used, s.used_ns);
+  const sim::Nanos lead = it->second.used_ns - min_used;
+  if (lead <= quantum_) return 0;
+
+  // Fair share: wait for the laggards to catch up — modelled as a virtual
+  // delay proportional to the excess lead, capped at a few quanta so the
+  // scheduler stays work-conserving when the laggards have nothing queued.
+  const sim::Nanos wait = std::min(lead - quantum_, 4 * quantum_);
+  clock_->advance(wait);
+  it->second.stats.total_wait_ns += wait;
+  return wait;
+}
+
+void KernelScheduler::record_usage(std::uint64_t session,
+                                   sim::Nanos device_ns) {
+  std::lock_guard lock(mu_);
+  auto& s = sessions_[session];
+  s.used_ns += device_ns;
+  s.stats.device_time_ns += device_ns;
+}
+
+SchedulerStats KernelScheduler::stats(std::uint64_t session) const {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end()) return it->second.stats;
+  const auto archived = archived_.find(session);
+  return archived == archived_.end() ? SchedulerStats{} : archived->second;
+}
+
+}  // namespace cricket::core

@@ -1,0 +1,66 @@
+// Kernel-launch scheduling across Cricket sessions.
+//
+// The paper's closing argument (§5): because unikernels are deployed in
+// large numbers, Cricket must share GPUs across many of them, "managing the
+// shared access through configurable schedulers". This scheduler arbitrates
+// kernel launches between sessions sharing one device:
+//   * FIFO        — launches pass straight through (the default; what the
+//                   evaluation used with one client).
+//   * Fair share  — per-session device-time accounting; a session that has
+//                   consumed more than its fair share waits (virtual time)
+//                   until the others catch up or the lead is within one
+//                   quantum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "sim/sim_clock.hpp"
+
+namespace cricket::core {
+
+enum class SchedulerPolicy { kFifo, kFairShare };
+
+struct SchedulerStats {
+  std::uint64_t launches = 0;
+  sim::Nanos total_wait_ns = 0;
+  sim::Nanos device_time_ns = 0;
+};
+
+class KernelScheduler {
+ public:
+  explicit KernelScheduler(SchedulerPolicy policy, sim::SimClock& clock,
+                           sim::Nanos quantum = sim::kMillisecond)
+      : policy_(policy), clock_(&clock), quantum_(quantum) {}
+
+  void session_open(std::uint64_t session);
+  /// Removes the session from fair-share accounting; its stats remain
+  /// queryable (archived) for post-mortem analysis.
+  void session_close(std::uint64_t session);
+
+  /// Called before executing a session's launch; charges any scheduling
+  /// delay to the virtual clock and returns it.
+  sim::Nanos admit(std::uint64_t session);
+
+  /// Called after a launch with the device time it consumed.
+  void record_usage(std::uint64_t session, sim::Nanos device_ns);
+
+  [[nodiscard]] SchedulerStats stats(std::uint64_t session) const;
+  [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
+
+ private:
+  struct Session {
+    sim::Nanos used_ns = 0;
+    SchedulerStats stats;
+  };
+
+  SchedulerPolicy policy_;
+  sim::SimClock* clock_;
+  sim::Nanos quantum_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::map<std::uint64_t, SchedulerStats> archived_;
+};
+
+}  // namespace cricket::core

@@ -1,0 +1,396 @@
+#include "cricket/server.hpp"
+
+#include <set>
+
+#include "cricket/checkpoint.hpp"
+#include "cricket_proto.hpp"
+#include "rpc/server.hpp"
+
+namespace cricket::core {
+namespace {
+
+using cuda::Error;
+
+std::int32_t to_wire(Error e) { return static_cast<std::int32_t>(e); }
+
+/// One client connection: implements the generated service skeleton by
+/// dispatching into the node's LocalCudaApi, tracks every resource the
+/// client creates so a vanished unikernel cannot leak device memory, and
+/// routes kernel launches through the shared scheduler.
+class CricketSession final : public proto::CRICKETVERSService {
+ public:
+  CricketSession(CricketServer& server, std::uint64_t id, TransferLanes lanes)
+      : server_(&server),
+        id_(id),
+        lanes_(std::move(lanes)),
+        api_(server.node()) {
+    server_->scheduler().session_open(id_);
+  }
+
+  ~CricketSession() override {
+    // Release whatever the client leaked, in dependency-safe order.
+    for (const auto e : events_) (void)api_.event_destroy(e);
+    for (const auto s : streams_) (void)api_.stream_destroy(s);
+    for (const auto m : modules_) (void)api_.module_unload(m);
+    for (const auto p : allocations_) (void)api_.free(p);
+    server_->scheduler().session_close(id_);
+  }
+
+  // ---------------------------- device mgmt ------------------------------
+  proto::int_result rpc_get_device_count() override {
+    count();
+    int n = 0;
+    const Error err = api_.get_device_count(n);
+    return {to_wire(err), n};
+  }
+
+  std::int32_t rpc_set_device(std::int32_t device) override {
+    count();
+    return to_wire(api_.set_device(device));
+  }
+
+  proto::int_result rpc_get_device() override {
+    count();
+    int d = 0;
+    const Error err = api_.get_device(d);
+    return {to_wire(err), d};
+  }
+
+  proto::dev_props_result rpc_get_device_properties(
+      std::int32_t device) override {
+    count();
+    cuda::DeviceInfo info;
+    const Error err = api_.get_device_properties(info, device);
+    proto::dev_props_result res;
+    res.err = to_wire(err);
+    if (err == Error::kSuccess) {
+      res.name = info.name;
+      res.total_mem = info.total_mem;
+      res.sm_arch = info.sm_arch;
+      res.sm_count = info.sm_count;
+      res.clock_mhz = info.clock_mhz;
+    }
+    return res;
+  }
+
+  // ------------------------------- memory --------------------------------
+  proto::u64_result rpc_malloc(std::uint64_t size) override {
+    count();
+    cuda::DevPtr ptr = 0;
+    const Error err = api_.malloc(ptr, size);
+    if (err == Error::kSuccess) allocations_.insert(ptr);
+    return {to_wire(err), ptr};
+  }
+
+  std::int32_t rpc_free(proto::ptr_t ptr) override {
+    count();
+    const Error err = api_.free(ptr);
+    if (err == Error::kSuccess) allocations_.erase(ptr);
+    return to_wire(err);
+  }
+
+  std::int32_t rpc_memset(proto::ptr_t ptr, std::int32_t value,
+                          std::uint64_t size) override {
+    count();
+    return to_wire(api_.memset(ptr, value, size));
+  }
+
+  std::int32_t rpc_memcpy_h2d(proto::ptr_t dst,
+                              std::vector<std::uint8_t> data) override {
+    count();
+    return to_wire(api_.memcpy_h2d(dst, data));
+  }
+
+  proto::data_result rpc_memcpy_d2h(proto::ptr_t src,
+                                    std::uint64_t len) override {
+    count();
+    proto::data_result res;
+    res.data.resize(len);
+    res.err = to_wire(api_.memcpy_d2h(res.data, src));
+    if (res.err != 0) res.data.clear();
+    return res;
+  }
+
+  std::int32_t rpc_memcpy_d2d(proto::ptr_t dst, proto::ptr_t src,
+                              std::uint64_t len) override {
+    count();
+    return to_wire(api_.memcpy_d2d(dst, src, len));
+  }
+
+  std::int32_t rpc_memcpy_h2d_async(proto::ptr_t dst,
+                                    std::vector<std::uint8_t> data,
+                                    proto::ptr_t stream) override {
+    count();
+    return to_wire(api_.memcpy_h2d_async(dst, data, stream));
+  }
+
+  proto::data_result rpc_memcpy_d2h_async(proto::ptr_t src, std::uint64_t len,
+                                          proto::ptr_t stream) override {
+    count();
+    proto::data_result res;
+    res.data.resize(len);
+    res.err = to_wire(api_.memcpy_d2h_async(res.data, src, stream));
+    if (res.err != 0) res.data.clear();
+    return res;
+  }
+
+  std::int32_t rpc_transfer_begin_h2d(proto::ptr_t dst, std::uint64_t len,
+                                      std::uint32_t lane_count) override {
+    count();
+    if (lane_count != lanes_.count() || lane_count == 0)
+      return to_wire(Error::kInvalidValue);
+    std::vector<std::uint8_t> buf(len);
+    gather_striped(lanes_, buf);
+    return to_wire(api_.memcpy_h2d(dst, buf));
+  }
+
+  std::int32_t rpc_transfer_begin_d2h(proto::ptr_t src, std::uint64_t len,
+                                      std::uint32_t lane_count) override {
+    count();
+    if (lane_count != lanes_.count() || lane_count == 0)
+      return to_wire(Error::kInvalidValue);
+    std::vector<std::uint8_t> buf(len);
+    const Error err = api_.memcpy_d2h(buf, src);
+    if (err != Error::kSuccess) return to_wire(err);
+    scatter_striped(lanes_, buf);
+    return to_wire(Error::kSuccess);
+  }
+
+  // --------------------------- streams & events --------------------------
+  proto::u64_result rpc_stream_create() override {
+    count();
+    cuda::StreamId s = 0;
+    const Error err = api_.stream_create(s);
+    if (err == Error::kSuccess) streams_.insert(s);
+    return {to_wire(err), s};
+  }
+
+  std::int32_t rpc_stream_destroy(proto::ptr_t stream) override {
+    count();
+    const Error err = api_.stream_destroy(stream);
+    if (err == Error::kSuccess) streams_.erase(stream);
+    return to_wire(err);
+  }
+
+  std::int32_t rpc_stream_synchronize(proto::ptr_t stream) override {
+    count();
+    return to_wire(api_.stream_synchronize(stream));
+  }
+
+  std::int32_t rpc_device_synchronize() override {
+    count();
+    return to_wire(api_.device_synchronize());
+  }
+
+  proto::u64_result rpc_event_create() override {
+    count();
+    cuda::EventId e = 0;
+    const Error err = api_.event_create(e);
+    if (err == Error::kSuccess) events_.insert(e);
+    return {to_wire(err), e};
+  }
+
+  std::int32_t rpc_event_destroy(proto::ptr_t event) override {
+    count();
+    const Error err = api_.event_destroy(event);
+    if (err == Error::kSuccess) events_.erase(event);
+    return to_wire(err);
+  }
+
+  std::int32_t rpc_event_record(proto::ptr_t event,
+                                proto::ptr_t stream) override {
+    count();
+    return to_wire(api_.event_record(event, stream));
+  }
+
+  std::int32_t rpc_event_synchronize(proto::ptr_t event) override {
+    count();
+    return to_wire(api_.event_synchronize(event));
+  }
+
+  proto::float_result rpc_event_elapsed(proto::ptr_t start,
+                                        proto::ptr_t stop) override {
+    count();
+    float ms = 0;
+    const Error err = api_.event_elapsed_ms(ms, start, stop);
+    return {to_wire(err), ms};
+  }
+
+  std::int32_t rpc_stream_wait_event(proto::ptr_t stream,
+                                     proto::ptr_t event) override {
+    count();
+    return to_wire(api_.stream_wait_event(stream, event));
+  }
+
+  // --------------------------- modules & launch --------------------------
+  proto::u64_result rpc_module_load(std::vector<std::uint8_t> image) override {
+    count();
+    cuda::ModuleId mod = 0;
+    const Error err = api_.module_load(mod, image);
+    if (err == Error::kSuccess) modules_.insert(mod);
+    return {to_wire(err), mod};
+  }
+
+  std::int32_t rpc_module_unload(proto::ptr_t module) override {
+    count();
+    const Error err = api_.module_unload(module);
+    if (err == Error::kSuccess) modules_.erase(module);
+    return to_wire(err);
+  }
+
+  proto::u64_result rpc_module_get_function(proto::ptr_t module,
+                                            std::string name) override {
+    count();
+    cuda::FuncId fn = 0;
+    const Error err = api_.module_get_function(fn, module, name);
+    return {to_wire(err), fn};
+  }
+
+  proto::u64_result rpc_module_get_global(proto::ptr_t module,
+                                          std::string name) override {
+    count();
+    cuda::DevPtr ptr = 0;
+    const Error err = api_.module_get_global(ptr, module, name);
+    return {to_wire(err), ptr};
+  }
+
+  std::int32_t rpc_launch_kernel(proto::ptr_t func, proto::rpc_dim3 grid,
+                                 proto::rpc_dim3 block, std::uint32_t shared,
+                                 proto::ptr_t stream,
+                                 std::vector<std::uint8_t> params) override {
+    count();
+    server_->scheduler().admit(id_);
+    sim::Nanos exec_ns = 0;
+    const Error err = api_.launch_kernel_timed(
+        func, {grid.x, grid.y, grid.z}, {block.x, block.y, block.z}, shared,
+        stream, params, exec_ns);
+    if (err == Error::kSuccess)
+      server_->scheduler().record_usage(id_, exec_ns);
+    return to_wire(err);
+  }
+
+  // ------------------------------- culibs --------------------------------
+  std::int32_t rpc_blas_sgemm(std::int32_t m, std::int32_t n, std::int32_t k,
+                              float alpha, proto::ptr_t a, std::int32_t lda,
+                              proto::ptr_t b, std::int32_t ldb, float beta,
+                              proto::ptr_t c, std::int32_t ldc) override {
+    count();
+    return to_wire(api_.blas_sgemm(m, n, k, alpha, a, lda, b, ldb, beta, c,
+                                   ldc));
+  }
+
+  std::int32_t rpc_solver_sgetrf(std::int32_t n, proto::ptr_t a,
+                                 std::int32_t lda, proto::ptr_t ipiv,
+                                 proto::ptr_t info) override {
+    count();
+    return to_wire(api_.solver_sgetrf(n, a, lda, ipiv, info));
+  }
+
+  std::int32_t rpc_solver_sgetrs(std::int32_t n, std::int32_t nrhs,
+                                 proto::ptr_t a, std::int32_t lda,
+                                 proto::ptr_t ipiv, proto::ptr_t b,
+                                 std::int32_t ldb, proto::ptr_t info) override {
+    count();
+    return to_wire(api_.solver_sgetrs(n, nrhs, a, lda, ipiv, b, ldb, info));
+  }
+
+  std::int32_t rpc_blas_sgemv(std::int32_t m, std::int32_t n, float alpha,
+                              proto::ptr_t a, std::int32_t lda,
+                              proto::ptr_t x, float beta,
+                              proto::ptr_t y) override {
+    count();
+    return to_wire(api_.blas_sgemv(m, n, alpha, a, lda, x, beta, y));
+  }
+
+  std::int32_t rpc_blas_saxpy(std::int32_t n, float alpha, proto::ptr_t x,
+                              proto::ptr_t y) override {
+    count();
+    return to_wire(api_.blas_saxpy(n, alpha, x, y));
+  }
+
+  std::int32_t rpc_blas_snrm2(std::int32_t n, proto::ptr_t x,
+                              proto::ptr_t result) override {
+    count();
+    return to_wire(api_.blas_snrm2(n, x, result));
+  }
+
+  std::int32_t rpc_solver_spotrf(std::int32_t n, proto::ptr_t a,
+                                 std::int32_t lda,
+                                 proto::ptr_t info) override {
+    count();
+    return to_wire(api_.solver_spotrf(n, a, lda, info));
+  }
+
+  std::int32_t rpc_solver_spotrs(std::int32_t n, std::int32_t nrhs,
+                                 proto::ptr_t a, std::int32_t lda,
+                                 proto::ptr_t b, std::int32_t ldb,
+                                 proto::ptr_t info) override {
+    count();
+    return to_wire(api_.solver_spotrs(n, nrhs, a, lda, b, ldb, info));
+  }
+
+  // -------------------------- checkpoint/restart -------------------------
+  std::int32_t rpc_checkpoint(std::string path) override {
+    count();
+    if (path.empty() || path.find("..") != std::string::npos)
+      return to_wire(Error::kInvalidValue);
+    try {
+      checkpoint_to_file(api_.current(),
+                         server_->options().checkpoint_dir + "/" + path);
+      return to_wire(Error::kSuccess);
+    } catch (const std::exception&) {
+      return to_wire(Error::kFileNotFound);
+    }
+  }
+
+  std::int32_t rpc_restore(std::string path) override {
+    count();
+    if (path.empty() || path.find("..") != std::string::npos)
+      return to_wire(Error::kInvalidValue);
+    try {
+      restore_from_file(api_.current(),
+                        server_->options().checkpoint_dir + "/" + path);
+      return to_wire(Error::kSuccess);
+    } catch (const std::exception&) {
+      return to_wire(Error::kFileNotFound);
+    }
+  }
+
+ private:
+  void count() noexcept { server_->count_rpc(); }
+
+  CricketServer* server_;
+  std::uint64_t id_;
+  TransferLanes lanes_;
+  cuda::LocalCudaApi api_;
+  std::set<cuda::DevPtr> allocations_;
+  std::set<cuda::ModuleId> modules_;
+  std::set<cuda::StreamId> streams_;
+  std::set<cuda::EventId> events_;
+};
+
+}  // namespace
+
+CricketServer::CricketServer(cuda::GpuNode& node, ServerOptions options)
+    : node_(&node),
+      options_(std::move(options)),
+      scheduler_(options_.scheduler, node.clock()) {}
+
+void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
+  const std::uint64_t id = next_session_.fetch_add(1);
+  stats_.sessions.fetch_add(1);
+  CricketSession session(*this, id, std::move(lanes));
+  rpc::ServiceRegistry registry;
+  session.register_into(registry);
+  rpc::serve_transport(registry, transport);
+}
+
+std::thread CricketServer::serve_async(
+    std::unique_ptr<rpc::Transport> transport, TransferLanes lanes) {
+  return std::thread(
+      [this, t = std::move(transport), l = std::move(lanes)]() mutable {
+        serve(*t, std::move(l));
+      });
+}
+
+}  // namespace cricket::core

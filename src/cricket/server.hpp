@@ -1,0 +1,67 @@
+// The Cricket server: executes forwarded CUDA API calls on the GPU node.
+//
+// "The Cricket server executes the CUDA APIs and forwards the results back
+// to the application" (§3.3). One server owns a GpuNode; each client
+// connection becomes a session with its own CUDA context (current device,
+// resource tracking for cleanup on disconnect) and all sessions share the
+// devices through a configurable kernel scheduler (§5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cricket/scheduler.hpp"
+#include "cricket/transfer.hpp"
+#include "cudart/local_api.hpp"
+#include "rpc/transport.hpp"
+
+namespace cricket::core {
+
+struct ServerOptions {
+  SchedulerPolicy scheduler = SchedulerPolicy::kFifo;
+  /// Directory prefix applied to checkpoint paths received via RPC (keeps
+  /// clients from writing anywhere on the server host).
+  std::string checkpoint_dir = ".";
+};
+
+struct ServerStats {
+  std::atomic<std::uint64_t> sessions{0};
+  std::atomic<std::uint64_t> rpcs{0};
+};
+
+class CricketServer {
+ public:
+  explicit CricketServer(cuda::GpuNode& node, ServerOptions options = {});
+
+  CricketServer(const CricketServer&) = delete;
+  CricketServer& operator=(const CricketServer&) = delete;
+
+  /// Serves one client connection until end-of-stream (blocking). `lanes`
+  /// are optional parallel-socket side channels for bulk transfers.
+  void serve(rpc::Transport& transport, TransferLanes lanes = {});
+
+  /// Spawns a thread running serve(); the thread owns the transport.
+  [[nodiscard]] std::thread serve_async(
+      std::unique_ptr<rpc::Transport> transport, TransferLanes lanes = {});
+
+  [[nodiscard]] cuda::GpuNode& node() noexcept { return *node_; }
+  [[nodiscard]] KernelScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  void count_rpc() noexcept { stats_.rpcs.fetch_add(1); }
+
+ private:
+  cuda::GpuNode* node_;
+  ServerOptions options_;
+  KernelScheduler scheduler_;
+  ServerStats stats_;
+  std::atomic<std::uint64_t> next_session_{1};
+};
+
+}  // namespace cricket::core

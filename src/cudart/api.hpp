@@ -1,0 +1,130 @@
+// CudaApi — the virtualization boundary.
+//
+// This interface is the exact surface Cricket forwards (paper Fig. 1/3):
+// applications program against it, and either a LocalCudaApi executes calls
+// on an in-process simulated GPU (the "Cricket server side" / native
+// baseline) or a RemoteCudaApi (src/cricket/client) serializes each call as
+// an ONC RPC. Besides the CUDA runtime + driver API subset the paper's
+// workloads need, it includes the cuBLAS/cuSOLVER entry points, which
+// Cricket forwards as single RPCs (that is why the paper's
+// cuSolverDn_LinearSolver issues only ~20k API calls for 1000 LU
+// iterations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "cudart/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace cricket::cuda {
+
+using gpusim::DevPtr;
+using gpusim::Dim3;
+using gpusim::EventId;
+using gpusim::FuncId;
+using gpusim::ModuleId;
+using gpusim::StreamId;
+
+/// What cudaGetDeviceProperties reports across the RPC boundary.
+struct DeviceInfo {
+  std::string name;
+  std::uint64_t total_mem = 0;
+  std::uint32_t sm_arch = 0;
+  std::uint32_t sm_count = 0;
+  std::uint32_t clock_mhz = 0;
+
+  bool operator==(const DeviceInfo&) const = default;
+};
+
+/// Abstract CUDA API. All methods return Error like the C API; out-params
+/// come first, mirroring cudaMalloc(&ptr, size). Implementations must be
+/// usable from one thread at a time per instance (the paper's RPC client is
+/// single-threaded, §4.2).
+class CudaApi {
+ public:
+  virtual ~CudaApi() = default;
+
+  // ------------------------------ device ---------------------------------
+  virtual Error get_device_count(int& count) = 0;
+  virtual Error set_device(int device) = 0;
+  virtual Error get_device(int& device) = 0;
+  virtual Error get_device_properties(DeviceInfo& info, int device) = 0;
+
+  // ------------------------------ memory ---------------------------------
+  virtual Error malloc(DevPtr& ptr, std::uint64_t size) = 0;
+  virtual Error free(DevPtr ptr) = 0;
+  virtual Error memset(DevPtr ptr, int value, std::uint64_t size) = 0;
+  virtual Error memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) = 0;
+  virtual Error memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) = 0;
+  virtual Error memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t size) = 0;
+  /// Async variants: the copy is charged to `stream`'s device timeline
+  /// instead of blocking the host until the device drains.
+  virtual Error memcpy_h2d_async(DevPtr dst,
+                                 std::span<const std::uint8_t> src,
+                                 StreamId stream) = 0;
+  virtual Error memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
+                                 StreamId stream) = 0;
+
+  // --------------------------- streams/events ----------------------------
+  virtual Error stream_create(StreamId& stream) = 0;
+  virtual Error stream_destroy(StreamId stream) = 0;
+  virtual Error stream_synchronize(StreamId stream) = 0;
+  virtual Error device_synchronize() = 0;
+  /// cudaStreamWaitEvent: orders `stream`'s future work after `event`.
+  virtual Error stream_wait_event(StreamId stream, EventId event) = 0;
+  virtual Error event_create(EventId& event) = 0;
+  virtual Error event_destroy(EventId event) = 0;
+  virtual Error event_record(EventId event, StreamId stream) = 0;
+  virtual Error event_synchronize(EventId event) = 0;
+  virtual Error event_elapsed_ms(float& ms, EventId start, EventId stop) = 0;
+
+  // --------------------- modules & kernels (driver API) ------------------
+  /// cuModuleLoadData: `image` is a cubin or fatbin, possibly compressed —
+  /// the path the paper added to Cricket for Rust applications (§3.3).
+  virtual Error module_load(ModuleId& module,
+                            std::span<const std::uint8_t> image) = 0;
+  virtual Error module_unload(ModuleId module) = 0;
+  virtual Error module_get_function(FuncId& func, ModuleId module,
+                                    const std::string& name) = 0;
+  virtual Error module_get_global(DevPtr& ptr, ModuleId module,
+                                  const std::string& name) = 0;
+  /// cuLaunchKernel with an explicit parameter buffer (laid out per the
+  /// kernel's cubin metadata).
+  virtual Error launch_kernel(FuncId func, Dim3 grid, Dim3 block,
+                              std::uint32_t shared_bytes, StreamId stream,
+                              std::span<const std::uint8_t> params) = 0;
+
+  // ------------------------ cuBLAS-style (forwarded) ---------------------
+  /// C = alpha * A(m x k) * B(k x n) + beta * C(m x n), column-major,
+  /// no transposes (the subset matrixMul-style workloads need).
+  virtual Error blas_sgemm(int m, int n, int k, float alpha, DevPtr a, int lda,
+                           DevPtr b, int ldb, float beta, DevPtr c,
+                           int ldc) = 0;
+  /// y = alpha * A(m x n) * x + beta * y (no transpose).
+  virtual Error blas_sgemv(int m, int n, float alpha, DevPtr a, int lda,
+                           DevPtr x, float beta, DevPtr y) = 0;
+  /// y += alpha * x over n elements.
+  virtual Error blas_saxpy(int n, float alpha, DevPtr x, DevPtr y) = 0;
+  /// Euclidean norm of x into a device float.
+  virtual Error blas_snrm2(int n, DevPtr x, DevPtr result) = 0;
+
+  // ----------------------- cuSOLVER-style (forwarded) --------------------
+  /// LU factorization with partial pivoting, in place on A (n x n,
+  /// column-major). ipiv: device array of n int32 pivots; info: device
+  /// int32 (0 = ok, i = zero pivot at step i, matching LAPACK).
+  virtual Error solver_sgetrf(int n, DevPtr a, int lda, DevPtr ipiv,
+                              DevPtr info) = 0;
+  /// Solves A x = b using the factorization from solver_sgetrf; b (n x nrhs)
+  /// is overwritten with the solution.
+  virtual Error solver_sgetrs(int n, int nrhs, DevPtr a, int lda, DevPtr ipiv,
+                              DevPtr b, int ldb, DevPtr info) = 0;
+  /// In-place Cholesky factorization (lower) of an SPD matrix.
+  virtual Error solver_spotrf(int n, DevPtr a, int lda, DevPtr info) = 0;
+  /// Solves A x = b from an spotrf factorization; b overwritten.
+  virtual Error solver_spotrs(int n, int nrhs, DevPtr a, int lda, DevPtr b,
+                              int ldb, DevPtr info) = 0;
+};
+
+}  // namespace cricket::cuda

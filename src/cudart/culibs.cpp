@@ -1,0 +1,385 @@
+#include "cudart/culibs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace cricket::cuda::culibs {
+namespace {
+
+using gpusim::DevPtr;
+using gpusim::Device;
+using gpusim::MemoryError;
+using gpusim::ThreadPool;
+
+/// Resolves an m x n column-major matrix with leading dimension ld.
+std::span<float> matrix(Device& dev, DevPtr ptr, int rows, int cols, int ld) {
+  const std::uint64_t floats =
+      static_cast<std::uint64_t>(ld) * static_cast<std::uint64_t>(cols - 1) +
+      static_cast<std::uint64_t>(rows);
+  auto raw = dev.memory().resolve(ptr, floats * sizeof(float));
+  return {reinterpret_cast<float*>(raw.data()), floats};
+}
+
+}  // namespace
+
+Error sgemm(Device& dev, ThreadPool& pool, int m, int n, int k, float alpha,
+            DevPtr a, int lda, DevPtr b, int ldb, float beta, DevPtr c,
+            int ldc) {
+  if (m < 0 || n < 0 || k < 0 || lda < std::max(1, m) ||
+      ldb < std::max(1, k) || ldc < std::max(1, m))
+    return Error::kInvalidValue;
+  if (m == 0 || n == 0) return Error::kSuccess;
+
+  try {
+    const auto A = matrix(dev, a, m, k, lda);
+    const auto B = matrix(dev, b, k, n, ldb);
+    const auto C = matrix(dev, c, m, n, ldc);
+
+    if (!dev.timing_only()) {
+      const auto ulda = static_cast<std::size_t>(lda);
+      const auto uldb = static_cast<std::size_t>(ldb);
+      const auto uldc = static_cast<std::size_t>(ldc);
+      pool.parallel_for_chunks(
+          static_cast<std::size_t>(n), [&](std::size_t j0, std::size_t j1) {
+            for (std::size_t j = j0; j < j1; ++j) {
+              float* cj = C.data() + j * uldc;
+              for (int i = 0; i < m; ++i)
+                cj[static_cast<std::size_t>(i)] *= beta;
+              for (int l = 0; l < k; ++l) {
+                const float blj =
+                    alpha * B[j * uldb + static_cast<std::size_t>(l)];
+                if (blj == 0.0f) continue;
+                const float* al = A.data() + static_cast<std::size_t>(l) * ulda;
+                for (int i = 0; i < m; ++i)
+                  cj[static_cast<std::size_t>(i)] +=
+                      blj * al[static_cast<std::size_t>(i)];
+              }
+            }
+          });
+    }
+
+    const double flops = 2.0 * m * n * k;
+    const double bytes =
+        sizeof(float) * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                         2.0 * m * n);
+    dev.charge_internal_kernel(gpusim::kDefaultStream, flops, bytes);
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error sgetrf(Device& dev, ThreadPool& pool, int n, DevPtr a, int lda,
+             DevPtr ipiv, DevPtr info) {
+  if (n < 0 || lda < std::max(1, n)) return Error::kInvalidValue;
+  try {
+    auto info_span = dev.memory().resolve(info, sizeof(std::int32_t));
+    std::int32_t info_val = 0;
+    if (n > 0) {
+      const auto A = matrix(dev, a, n, n, lda);
+      auto ipiv_raw =
+          dev.memory().resolve(ipiv, static_cast<std::uint64_t>(n) * 4);
+      auto* piv = reinterpret_cast<std::int32_t*>(ipiv_raw.data());
+      const auto ul = static_cast<std::size_t>(lda);
+
+      if (!dev.timing_only()) {
+        for (int j = 0; j < n; ++j) {
+          const std::size_t uj = static_cast<std::size_t>(j);
+          // Partial pivot: largest |A(i,j)| for i >= j.
+          int p = j;
+          float best = std::fabs(A[uj * ul + uj]);
+          for (int i = j + 1; i < n; ++i) {
+            const float v = std::fabs(A[uj * ul + static_cast<std::size_t>(i)]);
+            if (v > best) {
+              best = v;
+              p = i;
+            }
+          }
+          piv[uj] = p + 1;  // LAPACK 1-based
+          if (best == 0.0f) {
+            if (info_val == 0) info_val = j + 1;
+            continue;
+          }
+          if (p != j) {  // swap rows j and p across all columns
+            for (int col = 0; col < n; ++col) {
+              const std::size_t uc = static_cast<std::size_t>(col);
+              std::swap(A[uc * ul + uj], A[uc * ul + static_cast<std::size_t>(p)]);
+            }
+          }
+          const float pivot = A[uj * ul + uj];
+          for (int i = j + 1; i < n; ++i)
+            A[uj * ul + static_cast<std::size_t>(i)] /= pivot;
+          // Trailing update, parallel over columns.
+          pool.parallel_for_chunks(
+              static_cast<std::size_t>(n - j - 1),
+              [&](std::size_t c0, std::size_t c1) {
+                for (std::size_t cc = c0; cc < c1; ++cc) {
+                  const std::size_t col = uj + 1 + cc;
+                  const float ajc = A[col * ul + uj];
+                  if (ajc == 0.0f) continue;
+                  float* acol = A.data() + col * ul;
+                  const float* lcol = A.data() + uj * ul;
+                  for (int i = j + 1; i < n; ++i)
+                    acol[static_cast<std::size_t>(i)] -=
+                        lcol[static_cast<std::size_t>(i)] * ajc;
+                }
+              });
+        }
+      } else {
+        for (int j = 0; j < n; ++j) piv[static_cast<std::size_t>(j)] = j + 1;
+      }
+    }
+    std::memcpy(info_span.data(), &info_val, sizeof info_val);
+    // 2/3 n^3 flops; the factorization sweeps the matrix ~n/3 times but a
+    // blocked implementation is compute-bound, so charge flops-dominated.
+    const double flops = 2.0 / 3.0 * std::pow(static_cast<double>(n), 3);
+    const double bytes = 8.0 * static_cast<double>(n) * n * sizeof(float);
+    // cusolverDnSgetrf issues ~3 kernels (pivot search, swap, panel/trail
+    // update) per 16-column panel; at sub-2048 sizes these launch gaps, not
+    // flops, dominate the wall time — the reason small-matrix LU on an A100
+    // takes milliseconds, not microseconds.
+    const auto launches =
+        static_cast<std::uint64_t>(std::max(1, 3 * n / 16));
+    dev.charge_internal_kernel(gpusim::kDefaultStream, flops, bytes, launches);
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error sgetrs(Device& dev, int n, int nrhs, DevPtr a, int lda, DevPtr ipiv,
+             DevPtr b, int ldb, DevPtr info) {
+  if (n < 0 || nrhs < 0 || lda < std::max(1, n) || ldb < std::max(1, n))
+    return Error::kInvalidValue;
+  try {
+    auto info_span = dev.memory().resolve(info, sizeof(std::int32_t));
+    const std::int32_t zero = 0;
+    std::memcpy(info_span.data(), &zero, sizeof zero);
+    if (n == 0 || nrhs == 0) return Error::kSuccess;
+
+    const auto A = matrix(dev, a, n, n, lda);
+    const auto B = matrix(dev, b, n, nrhs, ldb);
+    auto ipiv_raw =
+        dev.memory().resolve(ipiv, static_cast<std::uint64_t>(n) * 4);
+    const auto* piv = reinterpret_cast<const std::int32_t*>(ipiv_raw.data());
+    const auto ula = static_cast<std::size_t>(lda);
+    const auto ulb = static_cast<std::size_t>(ldb);
+
+    if (!dev.timing_only()) {
+      for (int r = 0; r < nrhs; ++r) {
+        float* x = B.data() + static_cast<std::size_t>(r) * ulb;
+        // Apply row swaps.
+        for (int i = 0; i < n; ++i) {
+          const int p = piv[static_cast<std::size_t>(i)] - 1;
+          if (p != i) std::swap(x[static_cast<std::size_t>(i)],
+                                x[static_cast<std::size_t>(p)]);
+        }
+        // Forward substitution (L has unit diagonal).
+        for (int i = 1; i < n; ++i) {
+          float sum = x[static_cast<std::size_t>(i)];
+          for (int jj = 0; jj < i; ++jj)
+            sum -= A[static_cast<std::size_t>(jj) * ula +
+                     static_cast<std::size_t>(i)] *
+                   x[static_cast<std::size_t>(jj)];
+          x[static_cast<std::size_t>(i)] = sum;
+        }
+        // Back substitution with U.
+        for (int i = n - 1; i >= 0; --i) {
+          float sum = x[static_cast<std::size_t>(i)];
+          for (int jj = i + 1; jj < n; ++jj)
+            sum -= A[static_cast<std::size_t>(jj) * ula +
+                     static_cast<std::size_t>(i)] *
+                   x[static_cast<std::size_t>(jj)];
+          x[static_cast<std::size_t>(i)] =
+              sum / A[static_cast<std::size_t>(i) * ula +
+                      static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    const double flops = 2.0 * static_cast<double>(n) * n * nrhs;
+    const double bytes =
+        sizeof(float) * (static_cast<double>(n) * n +
+                         2.0 * static_cast<double>(n) * nrhs);
+    dev.charge_internal_kernel(gpusim::kDefaultStream, flops, bytes, 2);
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error sgemv(Device& dev, int m, int n, float alpha, DevPtr a, int lda,
+            DevPtr x, float beta, DevPtr y) {
+  if (m < 0 || n < 0 || lda < std::max(1, m)) return Error::kInvalidValue;
+  if (m == 0) return Error::kSuccess;
+  try {
+    const auto A = matrix(dev, a, m, n, lda);
+    auto X = dev.memory().resolve(x, static_cast<std::uint64_t>(n) * 4);
+    auto Y = dev.memory().resolve(y, static_cast<std::uint64_t>(m) * 4);
+    auto* xs = reinterpret_cast<const float*>(X.data());
+    auto* ys = reinterpret_cast<float*>(Y.data());
+    if (!dev.timing_only()) {
+      const auto ul = static_cast<std::size_t>(lda);
+      for (int i = 0; i < m; ++i) ys[i] *= beta;
+      for (int j = 0; j < n; ++j) {
+        const float ax = alpha * xs[j];
+        if (ax == 0.0f) continue;
+        const float* col = A.data() + static_cast<std::size_t>(j) * ul;
+        for (int i = 0; i < m; ++i)
+          ys[i] += col[static_cast<std::size_t>(i)] * ax;
+      }
+    }
+    dev.charge_internal_kernel(
+        gpusim::kDefaultStream, 2.0 * m * n,
+        sizeof(float) * (static_cast<double>(m) * n + n + 2.0 * m));
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error saxpy(Device& dev, int n, float alpha, DevPtr x, DevPtr y) {
+  if (n < 0) return Error::kInvalidValue;
+  if (n == 0) return Error::kSuccess;
+  try {
+    auto X = dev.memory().resolve(x, static_cast<std::uint64_t>(n) * 4);
+    auto Y = dev.memory().resolve(y, static_cast<std::uint64_t>(n) * 4);
+    if (!dev.timing_only()) {
+      auto* xs = reinterpret_cast<const float*>(X.data());
+      auto* ys = reinterpret_cast<float*>(Y.data());
+      for (int i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+    }
+    dev.charge_internal_kernel(gpusim::kDefaultStream, 2.0 * n,
+                               sizeof(float) * 3.0 * n);
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error snrm2(Device& dev, int n, DevPtr x, DevPtr result) {
+  if (n < 0) return Error::kInvalidValue;
+  try {
+    auto R = dev.memory().resolve(result, 4);
+    float norm = 0.0f;
+    if (n > 0) {
+      auto X = dev.memory().resolve(x, static_cast<std::uint64_t>(n) * 4);
+      if (!dev.timing_only()) {
+        const auto* xs = reinterpret_cast<const float*>(X.data());
+        double acc = 0;
+        for (int i = 0; i < n; ++i)
+          acc += static_cast<double>(xs[i]) * xs[i];
+        norm = static_cast<float>(std::sqrt(acc));
+      }
+    }
+    std::memcpy(R.data(), &norm, 4);
+    dev.charge_internal_kernel(gpusim::kDefaultStream, 2.0 * n,
+                               sizeof(float) * static_cast<double>(n));
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error spotrf(Device& dev, int n, DevPtr a, int lda, DevPtr info) {
+  if (n < 0 || lda < std::max(1, n)) return Error::kInvalidValue;
+  try {
+    auto info_span = dev.memory().resolve(info, sizeof(std::int32_t));
+    std::int32_t info_val = 0;
+    if (n > 0) {
+      const auto A = matrix(dev, a, n, n, lda);
+      const auto ul = static_cast<std::size_t>(lda);
+      if (!dev.timing_only()) {
+        // Lower-triangular Cholesky: A = L * L^T, columns left to right.
+        for (int j = 0; j < n && info_val == 0; ++j) {
+          const std::size_t uj = static_cast<std::size_t>(j);
+          double diag = A[uj * ul + uj];
+          for (int k = 0; k < j; ++k) {
+            const float ljk = A[static_cast<std::size_t>(k) * ul + uj];
+            diag -= static_cast<double>(ljk) * ljk;
+          }
+          if (diag <= 0.0) {
+            info_val = j + 1;
+            break;
+          }
+          const float ljj = static_cast<float>(std::sqrt(diag));
+          A[uj * ul + uj] = ljj;
+          for (int i = j + 1; i < n; ++i) {
+            const std::size_t ui = static_cast<std::size_t>(i);
+            float sum = A[uj * ul + ui];
+            for (int k = 0; k < j; ++k) {
+              const std::size_t uk = static_cast<std::size_t>(k);
+              sum -= A[uk * ul + ui] * A[uk * ul + uj];
+            }
+            A[uj * ul + ui] = sum / ljj;
+          }
+        }
+      }
+    }
+    std::memcpy(info_span.data(), &info_val, sizeof info_val);
+    const double flops = std::pow(static_cast<double>(n), 3) / 3.0;
+    const double bytes = 4.0 * static_cast<double>(n) * n * sizeof(float);
+    const auto launches =
+        static_cast<std::uint64_t>(std::max(1, 2 * n / 16));
+    dev.charge_internal_kernel(gpusim::kDefaultStream, flops, bytes, launches);
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+Error spotrs(Device& dev, int n, int nrhs, DevPtr a, int lda, DevPtr b,
+             int ldb, DevPtr info) {
+  if (n < 0 || nrhs < 0 || lda < std::max(1, n) || ldb < std::max(1, n))
+    return Error::kInvalidValue;
+  try {
+    auto info_span = dev.memory().resolve(info, sizeof(std::int32_t));
+    const std::int32_t zero = 0;
+    std::memcpy(info_span.data(), &zero, sizeof zero);
+    if (n == 0 || nrhs == 0) return Error::kSuccess;
+
+    const auto A = matrix(dev, a, n, n, lda);
+    const auto B = matrix(dev, b, n, nrhs, ldb);
+    const auto ula = static_cast<std::size_t>(lda);
+    const auto ulb = static_cast<std::size_t>(ldb);
+    if (!dev.timing_only()) {
+      for (int r = 0; r < nrhs; ++r) {
+        float* x = B.data() + static_cast<std::size_t>(r) * ulb;
+        // Forward: L z = b.
+        for (int i = 0; i < n; ++i) {
+          float sum = x[static_cast<std::size_t>(i)];
+          for (int k = 0; k < i; ++k)
+            sum -= A[static_cast<std::size_t>(k) * ula +
+                     static_cast<std::size_t>(i)] *
+                   x[static_cast<std::size_t>(k)];
+          x[static_cast<std::size_t>(i)] =
+              sum / A[static_cast<std::size_t>(i) * ula +
+                      static_cast<std::size_t>(i)];
+        }
+        // Backward: L^T x = z.
+        for (int i = n - 1; i >= 0; --i) {
+          float sum = x[static_cast<std::size_t>(i)];
+          for (int k = i + 1; k < n; ++k)
+            sum -= A[static_cast<std::size_t>(i) * ula +
+                     static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(k)];
+          x[static_cast<std::size_t>(i)] =
+              sum / A[static_cast<std::size_t>(i) * ula +
+                      static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    const double flops = 2.0 * static_cast<double>(n) * n * nrhs;
+    dev.charge_internal_kernel(
+        gpusim::kDefaultStream, flops,
+        sizeof(float) * (static_cast<double>(n) * n +
+                         2.0 * static_cast<double>(n) * nrhs),
+        2);
+    return Error::kSuccess;
+  } catch (const MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  }
+}
+
+}  // namespace cricket::cuda::culibs

@@ -1,0 +1,62 @@
+// culibs: simulated cuBLAS / cuSOLVER dense routines.
+//
+// These run *device-side*: the Cricket server (or the native baseline)
+// executes them against a gpusim::Device, doing the real arithmetic on the
+// device's backing memory and charging roofline cost to the device timeline,
+// like the single fused library call they stand in for. The client sees them
+// only through the CudaApi entry points, each of which forwards as one RPC —
+// matching the paper's observation that cuSolverDn_LinearSolver makes ~20
+// API calls per LU iteration rather than thousands.
+#pragma once
+
+#include <cstdint>
+
+#include "cudart/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace cricket::cuda::culibs {
+
+/// C = alpha*A*B + beta*C, column-major, m x k * k x n. Parallelized over
+/// result columns on the node's thread pool. Returns kInvalidValue on bad
+/// dims/leading dimensions, kInvalidDevicePointer on bad pointers.
+Error sgemm(gpusim::Device& dev, gpusim::ThreadPool& pool, int m, int n,
+            int k, float alpha, gpusim::DevPtr a, int lda, gpusim::DevPtr b,
+            int ldb, float beta, gpusim::DevPtr c, int ldc);
+
+/// In-place LU with partial pivoting (LAPACK sgetrf semantics, column-major).
+/// ipiv: n int32 (1-based pivot rows); info: one int32.
+Error sgetrf(gpusim::Device& dev, gpusim::ThreadPool& pool, int n,
+             gpusim::DevPtr a, int lda, gpusim::DevPtr ipiv,
+             gpusim::DevPtr info);
+
+/// Solve A x = b from an sgetrf factorization; b (n x nrhs) overwritten.
+Error sgetrs(gpusim::Device& dev, int n, int nrhs, gpusim::DevPtr a, int lda,
+             gpusim::DevPtr ipiv, gpusim::DevPtr b, int ldb,
+             gpusim::DevPtr info);
+
+/// y = alpha * A(m x n) * x + beta * y, column-major (cublasSgemv, no
+/// transpose).
+Error sgemv(gpusim::Device& dev, int m, int n, float alpha, gpusim::DevPtr a,
+            int lda, gpusim::DevPtr x, float beta, gpusim::DevPtr y);
+
+/// y = alpha * x + y over n elements (cublasSaxpy).
+Error saxpy(gpusim::Device& dev, int n, float alpha, gpusim::DevPtr x,
+            gpusim::DevPtr y);
+
+/// Euclidean norm of x (n elements); the float result is written to
+/// `result` in device memory (cublasSnrm2 with device result pointer).
+Error snrm2(gpusim::Device& dev, int n, gpusim::DevPtr x,
+            gpusim::DevPtr result);
+
+/// In-place Cholesky factorization of a symmetric positive-definite matrix
+/// (cusolverDnSpotrf, lower triangular). info: one int32 (0 = ok, i = the
+/// leading minor of order i is not positive definite).
+Error spotrf(gpusim::Device& dev, int n, gpusim::DevPtr a, int lda,
+             gpusim::DevPtr info);
+
+/// Solve A x = b from an spotrf factorization; b (n x nrhs) overwritten
+/// (cusolverDnSpotrs, lower).
+Error spotrs(gpusim::Device& dev, int n, int nrhs, gpusim::DevPtr a, int lda,
+             gpusim::DevPtr b, int ldb, gpusim::DevPtr info);
+
+}  // namespace cricket::cuda::culibs

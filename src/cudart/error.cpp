@@ -1,0 +1,41 @@
+#include "cudart/error.hpp"
+
+namespace cricket::cuda {
+
+const char* error_name(Error e) noexcept {
+  switch (e) {
+    case Error::kSuccess: return "cudaSuccess";
+    case Error::kInvalidValue: return "cudaErrorInvalidValue";
+    case Error::kMemoryAllocation: return "cudaErrorMemoryAllocation";
+    case Error::kInitializationError: return "cudaErrorInitializationError";
+    case Error::kInvalidDevicePointer: return "cudaErrorInvalidDevicePointer";
+    case Error::kInvalidResourceHandle: return "cudaErrorInvalidResourceHandle";
+    case Error::kNotFound: return "cudaErrorSymbolNotFound";
+    case Error::kLaunchFailure: return "cudaErrorLaunchFailure";
+    case Error::kInvalidDevice: return "cudaErrorInvalidDevice";
+    case Error::kFileNotFound: return "cudaErrorFileNotFound";
+    case Error::kInvalidKernelImage: return "cudaErrorInvalidKernelImage";
+    case Error::kRpcFailure: return "cricketErrorRpcFailure";
+  }
+  return "cudaErrorUnknown";
+}
+
+const char* error_string(Error e) noexcept {
+  switch (e) {
+    case Error::kSuccess: return "no error";
+    case Error::kInvalidValue: return "invalid argument";
+    case Error::kMemoryAllocation: return "out of memory";
+    case Error::kInitializationError: return "initialization error";
+    case Error::kInvalidDevicePointer: return "invalid device pointer";
+    case Error::kInvalidResourceHandle: return "invalid resource handle";
+    case Error::kNotFound: return "named symbol not found";
+    case Error::kLaunchFailure: return "unspecified launch failure";
+    case Error::kInvalidDevice: return "invalid device ordinal";
+    case Error::kFileNotFound: return "file not found";
+    case Error::kInvalidKernelImage: return "device kernel image is invalid";
+    case Error::kRpcFailure: return "RPC transport failure";
+  }
+  return "unknown error";
+}
+
+}  // namespace cricket::cuda

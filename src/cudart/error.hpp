@@ -1,0 +1,58 @@
+// CUDA-style error model.
+//
+// The forwarded API mirrors the C CUDA runtime: every call returns an error
+// code rather than throwing, because that is the contract the RPC layer
+// serializes (the Cricket server executes the real cudaError_t-returning
+// functions and ships the code back). A thin `check()` helper converts codes
+// to exceptions for C++ callers that prefer RAII flow.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cricket::cuda {
+
+/// Subset of cudaError_t covering everything the paper's workloads hit,
+/// plus kRpcFailure for transport-level failures of the forwarding layer.
+enum class Error : std::int32_t {
+  kSuccess = 0,
+  kInvalidValue = 1,
+  kMemoryAllocation = 2,
+  kInitializationError = 3,
+  kInvalidDevicePointer = 17,
+  kInvalidResourceHandle = 400,
+  kNotFound = 500,
+  kLaunchFailure = 719,
+  kInvalidDevice = 101,
+  kFileNotFound = 301,
+  kInvalidKernelImage = 200,
+  kRpcFailure = 999,
+};
+
+/// Short identifier, e.g. "cudaErrorMemoryAllocation".
+[[nodiscard]] const char* error_name(Error e) noexcept;
+/// Human-readable description, e.g. "out of memory".
+[[nodiscard]] const char* error_string(Error e) noexcept;
+
+class CudaException : public std::runtime_error {
+ public:
+  explicit CudaException(Error code, const std::string& context = {})
+      : std::runtime_error(context.empty()
+                               ? std::string(error_string(code))
+                               : context + ": " + error_string(code)),
+        code_(code) {}
+
+  [[nodiscard]] Error code() const noexcept { return code_; }
+
+ private:
+  Error code_;
+};
+
+/// Throws CudaException unless `e` is kSuccess. Returns nothing on purpose:
+/// use it to wrap calls whose failure is a program error.
+inline void check(Error e, const std::string& context = {}) {
+  if (e != Error::kSuccess) throw CudaException(e, context);
+}
+
+}  // namespace cricket::cuda

@@ -1,0 +1,242 @@
+#include "cudart/local_api.hpp"
+
+#include "cudart/culibs.hpp"
+#include "fatbin/cubin.hpp"
+
+namespace cricket::cuda {
+namespace {
+
+/// Maps simulator exceptions onto CUDA error codes at the API boundary.
+template <typename Fn>
+Error guarded(Fn&& fn) {
+  try {
+    fn();
+    return Error::kSuccess;
+  } catch (const gpusim::OutOfMemory&) {
+    return Error::kMemoryAllocation;
+  } catch (const gpusim::MemoryError&) {
+    return Error::kInvalidDevicePointer;
+  } catch (const gpusim::LaunchError&) {
+    return Error::kLaunchFailure;
+  } catch (const fatbin::CubinError&) {
+    return Error::kInvalidKernelImage;
+  } catch (const fatbin::LzError&) {
+    return Error::kInvalidKernelImage;
+  } catch (const gpusim::DeviceError&) {
+    return Error::kInvalidResourceHandle;
+  } catch (const std::exception&) {
+    return Error::kInvalidValue;
+  }
+}
+
+}  // namespace
+
+GpuNode::GpuNode(std::vector<gpusim::DeviceProps> gpus,
+                 std::size_t pool_threads)
+    : pool_(pool_threads) {
+  devices_.reserve(gpus.size());
+  for (auto& props : gpus)
+    devices_.push_back(std::make_unique<gpusim::Device>(std::move(props),
+                                                        clock_, registry_,
+                                                        pool_));
+}
+
+std::unique_ptr<GpuNode> GpuNode::make_paper_testbed() {
+  return std::make_unique<GpuNode>(std::vector<gpusim::DeviceProps>{
+      gpusim::a100_props(), gpusim::t4_props(), gpusim::t4_props(),
+      gpusim::p40_props()});
+}
+
+std::unique_ptr<GpuNode> GpuNode::make_a100() {
+  return std::make_unique<GpuNode>(
+      std::vector<gpusim::DeviceProps>{gpusim::a100_props()});
+}
+
+Error LocalCudaApi::get_device_count(int& count) {
+  count = node_->device_count();
+  node_->clock().advance(current().props().api_latency_ns);
+  return Error::kSuccess;
+}
+
+Error LocalCudaApi::set_device(int device) {
+  if (device < 0 || device >= node_->device_count())
+    return Error::kInvalidDevice;
+  current_device_ = device;
+  node_->clock().advance(current().props().api_latency_ns);
+  return Error::kSuccess;
+}
+
+Error LocalCudaApi::get_device(int& device) {
+  device = current_device_;
+  node_->clock().advance(current().props().api_latency_ns);
+  return Error::kSuccess;
+}
+
+Error LocalCudaApi::get_device_properties(DeviceInfo& info, int device) {
+  if (device < 0 || device >= node_->device_count())
+    return Error::kInvalidDevice;
+  const auto& p = node_->device(device).props();
+  info = DeviceInfo{.name = p.name,
+                    .total_mem = p.mem_bytes,
+                    .sm_arch = p.sm_arch,
+                    .sm_count = p.sm_count,
+                    .clock_mhz = p.clock_mhz};
+  node_->clock().advance(p.api_latency_ns);
+  return Error::kSuccess;
+}
+
+Error LocalCudaApi::malloc(DevPtr& ptr, std::uint64_t size) {
+  if (size == 0) return Error::kInvalidValue;
+  return guarded([&] { ptr = current().malloc(size); });
+}
+
+Error LocalCudaApi::free(DevPtr ptr) {
+  return guarded([&] { current().free(ptr); });
+}
+
+Error LocalCudaApi::memset(DevPtr ptr, int value, std::uint64_t size) {
+  return guarded([&] { current().memset(ptr, value, size); });
+}
+
+Error LocalCudaApi::memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) {
+  return guarded([&] { current().memcpy_h2d(dst, src); });
+}
+
+Error LocalCudaApi::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
+  return guarded([&] { current().memcpy_d2h(dst, src); });
+}
+
+Error LocalCudaApi::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t size) {
+  return guarded([&] { current().memcpy_d2d(dst, src, size); });
+}
+
+Error LocalCudaApi::memcpy_h2d_async(DevPtr dst,
+                                     std::span<const std::uint8_t> src,
+                                     StreamId stream) {
+  return guarded([&] { current().memcpy_h2d_async(dst, src, stream); });
+}
+
+Error LocalCudaApi::memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
+                                     StreamId stream) {
+  return guarded([&] { current().memcpy_d2h_async(dst, src, stream); });
+}
+
+Error LocalCudaApi::stream_wait_event(StreamId stream, EventId event) {
+  return guarded([&] { current().stream_wait_event(stream, event); });
+}
+
+Error LocalCudaApi::stream_create(StreamId& stream) {
+  return guarded([&] { stream = current().stream_create(); });
+}
+
+Error LocalCudaApi::stream_destroy(StreamId stream) {
+  return guarded([&] { current().stream_destroy(stream); });
+}
+
+Error LocalCudaApi::stream_synchronize(StreamId stream) {
+  return guarded([&] { current().stream_synchronize(stream); });
+}
+
+Error LocalCudaApi::device_synchronize() {
+  return guarded([&] { current().device_synchronize(); });
+}
+
+Error LocalCudaApi::event_create(EventId& event) {
+  return guarded([&] { event = current().event_create(); });
+}
+
+Error LocalCudaApi::event_destroy(EventId event) {
+  return guarded([&] { current().event_destroy(event); });
+}
+
+Error LocalCudaApi::event_record(EventId event, StreamId stream) {
+  return guarded([&] { current().event_record(event, stream); });
+}
+
+Error LocalCudaApi::event_synchronize(EventId event) {
+  return guarded([&] { current().event_synchronize(event); });
+}
+
+Error LocalCudaApi::event_elapsed_ms(float& ms, EventId start, EventId stop) {
+  return guarded([&] { ms = current().event_elapsed_ms(start, stop); });
+}
+
+Error LocalCudaApi::module_load(ModuleId& module,
+                                std::span<const std::uint8_t> image) {
+  return guarded([&] { module = current().load_module(image); });
+}
+
+Error LocalCudaApi::module_unload(ModuleId module) {
+  return guarded([&] { current().unload_module(module); });
+}
+
+Error LocalCudaApi::module_get_function(FuncId& func, ModuleId module,
+                                        const std::string& name) {
+  return guarded([&] { func = current().get_function(module, name); });
+}
+
+Error LocalCudaApi::module_get_global(DevPtr& ptr, ModuleId module,
+                                      const std::string& name) {
+  return guarded([&] { ptr = current().get_global(module, name); });
+}
+
+Error LocalCudaApi::launch_kernel(FuncId func, Dim3 grid, Dim3 block,
+                                  std::uint32_t shared_bytes, StreamId stream,
+                                  std::span<const std::uint8_t> params) {
+  return guarded([&] {
+    (void)current().launch(func, grid, block, shared_bytes, stream, params);
+  });
+}
+
+Error LocalCudaApi::launch_kernel_timed(FuncId func, Dim3 grid, Dim3 block,
+                                        std::uint32_t shared_bytes,
+                                        StreamId stream,
+                                        std::span<const std::uint8_t> params,
+                                        sim::Nanos& exec_ns) {
+  return guarded([&] {
+    exec_ns = current().launch(func, grid, block, shared_bytes, stream,
+                               params);
+  });
+}
+
+Error LocalCudaApi::blas_sgemm(int m, int n, int k, float alpha, DevPtr a,
+                               int lda, DevPtr b, int ldb, float beta,
+                               DevPtr c, int ldc) {
+  return culibs::sgemm(current(), node_->pool(), m, n, k, alpha, a, lda, b,
+                       ldb, beta, c, ldc);
+}
+
+Error LocalCudaApi::blas_sgemv(int m, int n, float alpha, DevPtr a, int lda,
+                               DevPtr x, float beta, DevPtr y) {
+  return culibs::sgemv(current(), m, n, alpha, a, lda, x, beta, y);
+}
+
+Error LocalCudaApi::blas_saxpy(int n, float alpha, DevPtr x, DevPtr y) {
+  return culibs::saxpy(current(), n, alpha, x, y);
+}
+
+Error LocalCudaApi::blas_snrm2(int n, DevPtr x, DevPtr result) {
+  return culibs::snrm2(current(), n, x, result);
+}
+
+Error LocalCudaApi::solver_spotrf(int n, DevPtr a, int lda, DevPtr info) {
+  return culibs::spotrf(current(), n, a, lda, info);
+}
+
+Error LocalCudaApi::solver_spotrs(int n, int nrhs, DevPtr a, int lda,
+                                  DevPtr b, int ldb, DevPtr info) {
+  return culibs::spotrs(current(), n, nrhs, a, lda, b, ldb, info);
+}
+
+Error LocalCudaApi::solver_sgetrf(int n, DevPtr a, int lda, DevPtr ipiv,
+                                  DevPtr info) {
+  return culibs::sgetrf(current(), node_->pool(), n, a, lda, ipiv, info);
+}
+
+Error LocalCudaApi::solver_sgetrs(int n, int nrhs, DevPtr a, int lda,
+                                  DevPtr ipiv, DevPtr b, int ldb,
+                                  DevPtr info) {
+  return culibs::sgetrs(current(), n, nrhs, a, lda, ipiv, b, ldb, info);
+}
+
+}  // namespace cricket::cuda

@@ -1,0 +1,124 @@
+// LocalCudaApi: executes the CudaApi surface on in-process simulated GPUs.
+//
+// Two roles, exactly as in the paper:
+//   * the "native execution" baseline (application and CUDA driver in one
+//     process, no forwarding), and
+//   * the execution backend of the Cricket server, which dispatches each
+//     received RPC into this class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cudart/api.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_props.hpp"
+
+namespace cricket::cuda {
+
+/// A simulated GPU node: shared virtual clock, kernel registry, host thread
+/// pool, and one Device per installed GPU. Mirrors the paper's GPU node
+/// (2x EPYC 7313, A100 + 2x T4 + P40).
+class GpuNode {
+ public:
+  explicit GpuNode(std::vector<gpusim::DeviceProps> gpus,
+                   std::size_t pool_threads = 0);
+
+  [[nodiscard]] int device_count() const noexcept {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] gpusim::Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] sim::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] gpusim::KernelRegistry& registry() noexcept {
+    return registry_;
+  }
+  [[nodiscard]] gpusim::ThreadPool& pool() noexcept { return pool_; }
+
+  /// Paper testbed: one A100, two T4s, one P40 (§4). Registers the culibs
+  /// kernels; workload kernels are registered separately.
+  [[nodiscard]] static std::unique_ptr<GpuNode> make_paper_testbed();
+  /// Single A100 — what the evaluation actually uses.
+  [[nodiscard]] static std::unique_ptr<GpuNode> make_a100();
+
+ private:
+  sim::SimClock clock_;
+  gpusim::KernelRegistry registry_;
+  gpusim::ThreadPool pool_;
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+};
+
+/// CudaApi implementation bound to a GpuNode. Maintains the per-context
+/// "current device" exactly like the CUDA runtime.
+class LocalCudaApi final : public CudaApi {
+ public:
+  explicit LocalCudaApi(GpuNode& node) : node_(&node) {}
+
+  Error get_device_count(int& count) override;
+  Error set_device(int device) override;
+  Error get_device(int& device) override;
+  Error get_device_properties(DeviceInfo& info, int device) override;
+
+  Error malloc(DevPtr& ptr, std::uint64_t size) override;
+  Error free(DevPtr ptr) override;
+  Error memset(DevPtr ptr, int value, std::uint64_t size) override;
+  Error memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) override;
+  Error memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) override;
+  Error memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t size) override;
+  Error memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
+                         StreamId stream) override;
+  Error memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
+                         StreamId stream) override;
+
+  Error stream_create(StreamId& stream) override;
+  Error stream_wait_event(StreamId stream, EventId event) override;
+  Error stream_destroy(StreamId stream) override;
+  Error stream_synchronize(StreamId stream) override;
+  Error device_synchronize() override;
+  Error event_create(EventId& event) override;
+  Error event_destroy(EventId event) override;
+  Error event_record(EventId event, StreamId stream) override;
+  Error event_synchronize(EventId event) override;
+  Error event_elapsed_ms(float& ms, EventId start, EventId stop) override;
+
+  Error module_load(ModuleId& module,
+                    std::span<const std::uint8_t> image) override;
+  Error module_unload(ModuleId module) override;
+  Error module_get_function(FuncId& func, ModuleId module,
+                            const std::string& name) override;
+  Error module_get_global(DevPtr& ptr, ModuleId module,
+                          const std::string& name) override;
+  Error launch_kernel(FuncId func, Dim3 grid, Dim3 block,
+                      std::uint32_t shared_bytes, StreamId stream,
+                      std::span<const std::uint8_t> params) override;
+
+  /// Like launch_kernel but also reports the device execution time charged —
+  /// the Cricket server's scheduler needs race-free per-launch accounting.
+  Error launch_kernel_timed(FuncId func, Dim3 grid, Dim3 block,
+                            std::uint32_t shared_bytes, StreamId stream,
+                            std::span<const std::uint8_t> params,
+                            sim::Nanos& exec_ns);
+
+  Error blas_sgemm(int m, int n, int k, float alpha, DevPtr a, int lda,
+                   DevPtr b, int ldb, float beta, DevPtr c, int ldc) override;
+  Error blas_sgemv(int m, int n, float alpha, DevPtr a, int lda, DevPtr x,
+                   float beta, DevPtr y) override;
+  Error blas_saxpy(int n, float alpha, DevPtr x, DevPtr y) override;
+  Error blas_snrm2(int n, DevPtr x, DevPtr result) override;
+  Error solver_sgetrf(int n, DevPtr a, int lda, DevPtr ipiv,
+                      DevPtr info) override;
+  Error solver_sgetrs(int n, int nrhs, DevPtr a, int lda, DevPtr ipiv,
+                      DevPtr b, int ldb, DevPtr info) override;
+  Error solver_spotrf(int n, DevPtr a, int lda, DevPtr info) override;
+  Error solver_spotrs(int n, int nrhs, DevPtr a, int lda, DevPtr b, int ldb,
+                      DevPtr info) override;
+
+  [[nodiscard]] gpusim::Device& current() {
+    return node_->device(current_device_);
+  }
+
+ private:
+  GpuNode* node_;
+  int current_device_ = 0;
+};
+
+}  // namespace cricket::cuda

@@ -1,0 +1,190 @@
+// RAII wrappers over the CudaApi surface.
+//
+// The paper's RPC-Lib "wrap[s] the cudaMalloc and cudaFree APIs, making GPU
+// allocations work like local heap allocations. This way, we can guarantee
+// the absence of use-after-free and double-free errors for the CUDA
+// allocation API" (§3.4). These types are the C++ equivalent: unique
+// ownership, move-only, release on scope exit, no way to double-free.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cudart/api.hpp"
+
+namespace cricket::cuda {
+
+/// Owning device allocation. Move-only; frees on destruction.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(CudaApi& api, std::uint64_t size) : api_(&api), size_(size) {
+    check(api.malloc(ptr_, size), "cudaMalloc");
+  }
+  ~DeviceBuffer() { reset(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      api_ = std::exchange(other.api_, nullptr);
+      ptr_ = std::exchange(other.ptr_, 0);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] DevPtr get() const noexcept { return ptr_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return ptr_ != 0; }
+
+  /// Uploads host bytes (must fit).
+  void upload(std::span<const std::uint8_t> src) {
+    check(api_->memcpy_h2d(ptr_, src), "cudaMemcpy H2D");
+  }
+  /// Downloads into host bytes (must fit).
+  void download(std::span<std::uint8_t> dst) const {
+    check(api_->memcpy_d2h(dst, ptr_), "cudaMemcpy D2H");
+  }
+
+  template <typename T>
+  void upload_values(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    upload({reinterpret_cast<const std::uint8_t*>(values.data()),
+            values.size_bytes()});
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> download_values(std::size_t count) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> out(count);
+    download({reinterpret_cast<std::uint8_t*>(out.data()),
+              count * sizeof(T)});
+    return out;
+  }
+
+  void reset() noexcept {
+    if (api_ && ptr_ != 0)
+      (void)api_->free(ptr_);  // destructor must not throw
+    api_ = nullptr;
+    ptr_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  CudaApi* api_ = nullptr;
+  DevPtr ptr_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// Owning stream handle.
+class Stream {
+ public:
+  explicit Stream(CudaApi& api) : api_(&api) {
+    check(api.stream_create(id_), "cudaStreamCreate");
+  }
+  ~Stream() {
+    if (api_) (void)api_->stream_destroy(id_);
+  }
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+  Stream(Stream&& other) noexcept
+      : api_(std::exchange(other.api_, nullptr)), id_(other.id_) {}
+
+  [[nodiscard]] StreamId id() const noexcept { return id_; }
+  void synchronize() { check(api_->stream_synchronize(id_)); }
+
+ private:
+  CudaApi* api_;
+  StreamId id_ = 0;
+};
+
+/// Owning event handle.
+class Event {
+ public:
+  explicit Event(CudaApi& api) : api_(&api) {
+    check(api.event_create(id_), "cudaEventCreate");
+  }
+  ~Event() {
+    if (api_) (void)api_->event_destroy(id_);
+  }
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  Event(Event&& other) noexcept
+      : api_(std::exchange(other.api_, nullptr)), id_(other.id_) {}
+
+  [[nodiscard]] EventId id() const noexcept { return id_; }
+  void record(StreamId stream = gpusim::kDefaultStream) {
+    check(api_->event_record(id_, stream));
+  }
+  void synchronize() { check(api_->event_synchronize(id_)); }
+  [[nodiscard]] float elapsed_ms_since(const Event& start) const {
+    float ms = 0;
+    check(api_->event_elapsed_ms(ms, start.id(), id_));
+    return ms;
+  }
+
+ private:
+  CudaApi* api_;
+  EventId id_ = 0;
+};
+
+/// Owning module handle (cuModuleLoadData / cuModuleUnload).
+class Module {
+ public:
+  Module(CudaApi& api, std::span<const std::uint8_t> image) : api_(&api) {
+    check(api.module_load(id_, image), "cuModuleLoadData");
+  }
+  ~Module() {
+    if (api_) (void)api_->module_unload(id_);
+  }
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&& other) noexcept
+      : api_(std::exchange(other.api_, nullptr)), id_(other.id_) {}
+
+  [[nodiscard]] ModuleId id() const noexcept { return id_; }
+  [[nodiscard]] FuncId function(const std::string& name) const {
+    FuncId fn = 0;
+    check(api_->module_get_function(fn, id_, name), "cuModuleGetFunction");
+    return fn;
+  }
+  [[nodiscard]] DevPtr global(const std::string& name) const {
+    DevPtr ptr = 0;
+    check(api_->module_get_global(ptr, id_, name), "cuModuleGetGlobal");
+    return ptr;
+  }
+
+ private:
+  CudaApi* api_;
+  ModuleId id_ = 0;
+};
+
+/// Builds a launch parameter buffer with the alignment rules the cubin
+/// metadata prescribes (8-byte pointers, 4-byte scalars, ...).
+class ParamPacker {
+ public:
+  template <typename T>
+  ParamPacker& add(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t align = alignof(T);
+    while (buf_.size() % align != 0) buf_.push_back(0);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+    return *this;
+  }
+  ParamPacker& add_ptr(DevPtr ptr) { return add(ptr); }
+  ParamPacker& add_ptr(const DeviceBuffer& buf) { return add(buf.get()); }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace cricket::cuda

@@ -1,0 +1,180 @@
+#include "env/environment.hpp"
+
+#include "vnet/virtio_net.hpp"
+
+namespace cricket::env {
+namespace {
+
+using vnet::GuestCosts;
+using vnet::NetworkProfile;
+using vnet::OffloadFeatures;
+
+/// Rocky Linux host stack on ConnectX-5: every hardware offload available,
+/// no hypervisor in the path.
+NetworkProfile native_profile() {
+  NetworkProfile p;
+  p.virtualized = false;
+  p.offloads = OffloadFeatures{.tx_checksum = true,
+                               .rx_checksum = true,
+                               .tso = true,
+                               .mrg_rxbuf = true,
+                               .rx_coalesce = true,
+                               .scatter_gather = true};
+  p.guest = GuestCosts{.syscall_ns = 800,
+                       .per_packet_ns = 600,
+                       .checksum_ns_per_byte = 0.25,  // unused: offloaded
+                       .copy_ns_per_byte = 0.03,
+                       .tx_copies = 2,  // XDR buffer + socket copy
+                       .rx_copies = 1,
+                       .vm_exit_ns = 0,
+                       .kick_batch = 1,
+                       .rx_per_buffer_ns = 0};
+  return p;
+}
+
+/// Fedora guest under QEMU/KVM with a virtio TAP device: all virtio offloads
+/// negotiated, notifications batched, but guest kernel entry and VM exits in
+/// the path.
+NetworkProfile linux_vm_profile() {
+  NetworkProfile p;
+  p.virtualized = true;
+  p.offloads = OffloadFeatures{.tx_checksum = true,
+                               .rx_checksum = true,
+                               .tso = true,
+                               .mrg_rxbuf = true,
+                               .rx_coalesce = true,
+                               .scatter_gather = true};
+  p.guest = GuestCosts{.syscall_ns = 12'000,  // guest kernel entry + context switch
+                       .per_packet_ns = 2'000,
+                       .checksum_ns_per_byte = 0.25,
+                       .copy_ns_per_byte = 0.03,
+                       .tx_copies = 2,
+                       .rx_copies = 1,
+                       .vm_exit_ns = 8'000,
+                       .kick_batch = 32,  // event-idx notification batching
+                       .rx_per_buffer_ns = 0};
+  return p;
+}
+
+/// RustyHermit: single address space (no syscall transition), smoltcp with
+/// the paper's additions — VIRTIO_NET_F_CSUM, GUEST_CSUM and MRG_RXBUF
+/// (§3.1) — but no TCP segmentation offload and unbatched kicks.
+NetworkProfile hermit_profile() {
+  NetworkProfile p;
+  p.virtualized = true;
+  p.offloads = OffloadFeatures{.tx_checksum = true,   // added by the paper
+                               .rx_checksum = true,   // added by the paper
+                               .tso = false,          // "ongoing efforts"
+                               .mrg_rxbuf = true,     // added by the paper
+                               .rx_coalesce = false,  // no GRO in smoltcp
+                               .scatter_gather = false};
+  p.guest = GuestCosts{.syscall_ns = 0,  // unikernel: plain function call
+                       .per_packet_ns = 4'000,  // smoltcp per-segment work
+                       .checksum_ns_per_byte = 0.25,
+                       .copy_ns_per_byte = 0.04,  // fewer copies since §3.1
+                       .tx_copies = 1,
+                       .rx_copies = 1,
+                       .vm_exit_ns = 12'000,
+                       .kick_batch = 1,
+                       .rx_per_buffer_ns = 0};
+  return p;
+}
+
+/// Unikraft: lwIP via the musl compatibility layer; no checksum offload yet
+/// (the lib-lwip PR is referenced but unmerged, §4.2), no TSO, no MRG_RXBUF.
+NetworkProfile unikraft_profile() {
+  NetworkProfile p;
+  p.virtualized = true;
+  p.offloads = OffloadFeatures{.tx_checksum = false,
+                               .rx_checksum = false,
+                               .tso = false,
+                               .mrg_rxbuf = false,
+                               .rx_coalesce = false,
+                               .scatter_gather = false};
+  p.guest = GuestCosts{.syscall_ns = 0,
+                       .per_packet_ns = 4'500,  // lwIP + compat layer
+                       .checksum_ns_per_byte = 0.25,  // paid in software
+                       .copy_ns_per_byte = 0.05,
+                       .tx_copies = 2,
+                       .rx_copies = 1,
+                       .vm_exit_ns = 12'000,
+                       .kick_batch = 1,
+                       .rx_per_buffer_ns = 1'500};
+  return p;
+}
+
+ClientFlavor tirpc_flavor() {
+  return ClientFlavor{.name = "libtirpc (C)",
+                      .per_call_ns = 900,
+                      .launch_extra_ns = 2'600,  // <<<...>>> compat logic
+                      .fast_rng = false};
+}
+
+ClientFlavor rpclib_flavor() {
+  return ClientFlavor{.name = "RPC-Lib (Rust)",
+                      .per_call_ns = 800,
+                      .launch_extra_ns = 0,
+                      .fast_rng = true};
+}
+
+}  // namespace
+
+vnet::NetworkProfile server_profile() { return native_profile(); }
+
+Environment make_environment(EnvKind kind) {
+  switch (kind) {
+    case EnvKind::kNativeC:
+      return Environment{kind,          "C",    "C",
+                         "Rocky Linux", "-",    "native",
+                         native_profile(), tirpc_flavor()};
+    case EnvKind::kNativeRust:
+      return Environment{kind,          "Rust", "Rust",
+                         "Rocky Linux", "-",    "native",
+                         native_profile(), rpclib_flavor()};
+    case EnvKind::kLinuxVm:
+      return Environment{kind,        "Linux VM", "Rust",
+                         "Fedora VM", "QEMU",     "virtio",
+                         linux_vm_profile(), rpclib_flavor()};
+    case EnvKind::kUnikraft:
+      return Environment{kind,       "Unikraft", "Rust",
+                         "Unikraft", "QEMU",     "virtio",
+                         unikraft_profile(), rpclib_flavor()};
+    case EnvKind::kRustyHermit:
+      return Environment{kind,     "Hermit", "Rust",
+                         "Hermit", "QEMU",   "virtio",
+                         hermit_profile(), rpclib_flavor()};
+  }
+  throw std::invalid_argument("unknown environment kind");
+}
+
+std::vector<Environment> all_environments() {
+  return {make_environment(EnvKind::kNativeC),
+          make_environment(EnvKind::kNativeRust),
+          make_environment(EnvKind::kLinuxVm),
+          make_environment(EnvKind::kUnikraft),
+          make_environment(EnvKind::kRustyHermit)};
+}
+
+Connection connect(const Environment& environment, sim::SimClock& clock) {
+  // The "wire": reliable ordered byte pipes standing in for the switched
+  // 100 GbE fabric; wire time is charged by the endpoints' cost profiles.
+  auto guest_to_server = std::make_shared<rpc::ByteQueue>(1 << 22);
+  auto server_to_guest = std::make_shared<rpc::ByteQueue>(1 << 22);
+
+  Connection conn;
+  if (environment.profile.virtualized) {
+    conn.guest = std::make_unique<vnet::VirtioNetTransport>(
+        environment.profile, clock, guest_to_server, server_to_guest);
+  } else {
+    conn.guest = std::make_unique<vnet::ShapedTransport>(
+        environment.profile, clock,
+        std::make_unique<rpc::PipeTransport>(guest_to_server,
+                                             server_to_guest));
+  }
+  conn.server = std::make_unique<vnet::ShapedTransport>(
+      server_profile(), clock,
+      std::make_unique<rpc::PipeTransport>(server_to_guest, guest_to_server));
+  return conn;
+}
+
+}  // namespace cricket::env

@@ -1,0 +1,81 @@
+// Execution-environment presets: Table 1 of the paper as code.
+//
+//   | Name     | app  | OS          | Hypervisor | Network |
+//   |----------|------|-------------|------------|---------|
+//   | C        | C    | Rocky Linux | -          | native  |
+//   | Rust     | Rust | Rocky Linux | -          | native  |
+//   | Linux VM | Rust | Fedora VM   | QEMU       | virtio  |
+//   | Unikraft | Rust | Unikraft    | QEMU       | virtio  |
+//   | Hermit   | Rust | Hermit      | QEMU       | virtio  |
+//
+// Each preset binds a NetworkProfile (offload feature set + CPU cost
+// parameters, see src/vnet/cost_model.hpp) and a client flavour (the
+// libtirpc C client vs the RPC-Lib Rust client). `connect()` builds the
+// full data path: guest transport (virtio-net for virtualized rows, shaped
+// host networking otherwise) wired to a server-side transport that models
+// the GPU node's native Linux stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/transport.hpp"
+#include "sim/sim_clock.hpp"
+#include "vnet/cost_model.hpp"
+
+namespace cricket::env {
+
+enum class EnvKind {
+  kNativeC,
+  kNativeRust,
+  kLinuxVm,
+  kUnikraft,
+  kRustyHermit,
+};
+
+/// Client implementation flavour: libtirpc (C) vs RPC-Lib (Rust).
+struct ClientFlavor {
+  std::string name;
+  /// Fixed client-library overhead per forwarded API call (marshalling,
+  /// dispatch).
+  sim::Nanos per_call_ns = 0;
+  /// Extra client work per kernel launch. The C path keeps compatibility
+  /// logic for the <<<...>>> launch operator that the Rust path omits —
+  /// the paper measured the Rust launches ~6.3 % faster (§4.2).
+  sim::Nanos launch_extra_ns = 0;
+  /// Rust applications use a fast RNG for input initialization; the C CUDA
+  /// samples use a slower one (§4.1, histogram discussion).
+  bool fast_rng = true;
+};
+
+struct Environment {
+  EnvKind kind = EnvKind::kNativeRust;
+  std::string name;        // Table 1 "Name"
+  std::string app_lang;    // Table 1 "app."
+  std::string os;          // Table 1 "OS"
+  std::string hypervisor;  // Table 1 "Hypervisor" ("-" if none)
+  std::string network;     // Table 1 "Network"
+  vnet::NetworkProfile profile;
+  ClientFlavor flavor;
+};
+
+[[nodiscard]] Environment make_environment(EnvKind kind);
+
+/// All five Table 1 rows, in the paper's order.
+[[nodiscard]] std::vector<Environment> all_environments();
+
+/// The GPU node's side of the connection: native Linux, ConnectX-5, all
+/// offloads — identical for every client environment.
+[[nodiscard]] vnet::NetworkProfile server_profile();
+
+/// A connected guest<->server transport pair for the given environment.
+struct Connection {
+  std::unique_ptr<rpc::Transport> guest;   // client/application side
+  std::unique_ptr<rpc::Transport> server;  // Cricket-server side
+};
+
+[[nodiscard]] Connection connect(const Environment& environment,
+                                 sim::SimClock& clock);
+
+}  // namespace cricket::env

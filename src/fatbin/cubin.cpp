@@ -1,0 +1,237 @@
+#include "fatbin/cubin.hpp"
+
+#include <cstring>
+
+#include "sim/rng.hpp"
+
+namespace cricket::fatbin {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'C', 'B', 'N', '1'};
+constexpr std::uint32_t kMaxCount = 1u << 20;
+constexpr std::uint32_t kMaxName = 4096;
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t{data_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (std::uint64_t{u32()} << 32);
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxName) throw CubinError("cubin name too long");
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes(std::uint32_t max = UINT32_MAX) {
+    const std::uint32_t n = u32();
+    if (n > max) throw CubinError("cubin blob too long");
+    need(n);
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw CubinError("truncated cubin");
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t align_up(std::uint32_t off, std::uint32_t align) noexcept {
+  return align <= 1 ? off : (off + align - 1) / align * align;
+}
+
+}  // namespace
+
+std::uint32_t KernelDescriptor::param_offset(std::size_t i) const noexcept {
+  std::uint32_t off = 0;
+  for (std::size_t k = 0; k <= i && k < params.size(); ++k) {
+    off = align_up(off, params[k].align);
+    if (k == i) return off;
+    off += params[k].size;
+  }
+  return off;
+}
+
+std::uint32_t KernelDescriptor::param_buffer_size() const noexcept {
+  if (params.empty()) return 0;
+  const std::size_t last = params.size() - 1;
+  return param_offset(last) + params[last].size;
+}
+
+const KernelDescriptor* CubinImage::find_kernel(
+    std::string_view name) const noexcept {
+  for (const auto& k : kernels)
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+const GlobalSymbol* CubinImage::find_global(
+    std::string_view name) const noexcept {
+  for (const auto& g : globals)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+std::vector<std::uint8_t> cubin_serialize(const CubinImage& img) {
+  Writer w;
+  w.raw(kMagic);
+  w.u32(img.sm_arch);
+  w.u32(0);  // flags, reserved
+  w.u32(static_cast<std::uint32_t>(img.kernels.size()));
+  for (const auto& k : img.kernels) {
+    w.str(k.name);
+    w.u32(static_cast<std::uint32_t>(k.params.size()));
+    for (const auto& p : k.params) {
+      w.u32(p.size);
+      w.u32(p.align);
+      w.u32(p.is_pointer ? 1 : 0);
+    }
+    w.u32(k.max_threads_per_block);
+    w.u32(k.static_shared_bytes);
+    w.u32(k.num_regs);
+  }
+  w.u32(static_cast<std::uint32_t>(img.globals.size()));
+  for (const auto& g : img.globals) {
+    w.str(g.name);
+    w.u64(g.size);
+    w.bytes(g.init);
+  }
+  w.bytes(img.code);
+  return w.take();
+}
+
+bool cubin_probe(std::span<const std::uint8_t> bytes) noexcept {
+  return bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0;
+}
+
+CubinImage cubin_parse(std::span<const std::uint8_t> bytes) {
+  if (!cubin_probe(bytes)) throw CubinError("bad cubin magic");
+  Reader r(bytes.subspan(4));
+  CubinImage img;
+  img.sm_arch = r.u32();
+  const std::uint32_t flags = r.u32();
+  if (flags != 0) throw CubinError("unknown cubin flags");
+  const std::uint32_t nk = r.u32();
+  if (nk > kMaxCount) throw CubinError("kernel count implausible");
+  img.kernels.reserve(nk);
+  for (std::uint32_t i = 0; i < nk; ++i) {
+    KernelDescriptor k;
+    k.name = r.str();
+    const std::uint32_t np = r.u32();
+    if (np > kMaxCount) throw CubinError("param count implausible");
+    k.params.reserve(np);
+    for (std::uint32_t j = 0; j < np; ++j) {
+      KernelParam p;
+      p.size = r.u32();
+      p.align = r.u32();
+      const std::uint32_t isp = r.u32();
+      if (isp > 1) throw CubinError("invalid is_pointer flag");
+      p.is_pointer = isp == 1;
+      if (p.align == 0 || (p.align & (p.align - 1)) != 0)
+        throw CubinError("parameter alignment must be a power of two");
+      k.params.push_back(p);
+    }
+    k.max_threads_per_block = r.u32();
+    k.static_shared_bytes = r.u32();
+    k.num_regs = r.u32();
+    img.kernels.push_back(std::move(k));
+  }
+  const std::uint32_t ng = r.u32();
+  if (ng > kMaxCount) throw CubinError("global count implausible");
+  img.globals.reserve(ng);
+  for (std::uint32_t i = 0; i < ng; ++i) {
+    GlobalSymbol g;
+    g.name = r.str();
+    g.size = r.u64();
+    g.init = r.bytes();
+    if (!g.init.empty() && g.init.size() != g.size)
+      throw CubinError("global initializer size mismatch");
+    img.globals.push_back(std::move(g));
+  }
+  img.code = r.bytes();
+  if (!r.exhausted()) throw CubinError("trailing bytes after cubin");
+  return img;
+}
+
+std::vector<std::uint8_t> make_pseudo_isa(std::size_t n_instrs,
+                                          std::uint64_t seed) {
+  // Real machine code is block-structured: unrolled loops and inlined
+  // helpers repeat instruction sequences. Emit from a small library of
+  // random "basic blocks" so LZ achieves a realistic (~2-3x) ratio rather
+  // than the near-1x of uniformly random bytes.
+  sim::Xoshiro256ss rng(seed);
+  static constexpr std::uint8_t kOpcodes[] = {0x10, 0x11, 0x22, 0x25,
+                                              0x36, 0x47, 0x58, 0x69};
+  constexpr std::size_t kNumBlocks = 24;
+  std::vector<std::vector<std::uint8_t>> blocks(kNumBlocks);
+  for (auto& block : blocks) {
+    const std::size_t len = 4 + rng.next() % 28;  // 4..31 instructions
+    block.reserve(len * 8);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint64_t r = rng.next();
+      block.push_back(kOpcodes[r % std::size(kOpcodes)]);
+      block.push_back(static_cast<std::uint8_t>(r >> 8 & 0x1F));   // reg a
+      block.push_back(static_cast<std::uint8_t>(r >> 16 & 0x1F));  // reg b
+      block.push_back(static_cast<std::uint8_t>(r >> 24 & 0x1F));  // reg c
+      block.push_back(0x00);
+      block.push_back(0x00);  // immediates usually zero in real code
+      block.push_back(static_cast<std::uint8_t>(r >> 32 & 0x03));
+      block.push_back(0xE0);  // scheduling/control byte, near-constant
+    }
+  }
+  std::vector<std::uint8_t> code;
+  code.reserve(n_instrs * 8);
+  while (code.size() < n_instrs * 8) {
+    const auto& block = blocks[rng.next() % kNumBlocks];
+    code.insert(code.end(), block.begin(), block.end());
+  }
+  code.resize(n_instrs * 8);
+  return code;
+}
+
+}  // namespace cricket::fatbin

@@ -1,0 +1,98 @@
+// CUBIN: the per-architecture GPU binary container.
+//
+// NVCC compiles device code into an ELF "cubin" holding kernel entry points,
+// their parameter layouts, and global variables; Cricket extracts exactly
+// that metadata server-side after upload (paper §3.3). Our simulator defines
+// an equivalent self-describing container:
+//
+//   [magic "CBN1"] [u32 sm_arch] [u32 flags]
+//   [u32 nkernels] kernel descriptors...
+//   [u32 nglobals] global symbols...
+//   [u32 code_len] code bytes...
+//
+// All integers little-endian. "Code" is an opaque blob; the GPU simulator
+// binds kernel names to registered host callables, so the blob only needs to
+// exist and round-trip (we fill it with a deterministic pseudo-ISA stream so
+// compression has something realistic to chew on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cricket::fatbin {
+
+class CubinError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One kernel parameter: size and alignment in the launch parameter buffer,
+/// plus whether it is a device pointer (needed for handle translation when a
+/// client's device addresses must be remapped, e.g. after restore).
+struct KernelParam {
+  std::uint32_t size = 0;
+  std::uint32_t align = 1;
+  bool is_pointer = false;
+
+  bool operator==(const KernelParam&) const = default;
+};
+
+/// Kernel metadata as extracted by the Cricket server from an uploaded cubin.
+struct KernelDescriptor {
+  std::string name;
+  std::vector<KernelParam> params;
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t static_shared_bytes = 0;
+  std::uint32_t num_regs = 32;
+
+  bool operator==(const KernelDescriptor&) const = default;
+
+  /// Total parameter-buffer size honouring each parameter's alignment.
+  [[nodiscard]] std::uint32_t param_buffer_size() const noexcept;
+  /// Byte offset of parameter `i` in the launch parameter buffer.
+  [[nodiscard]] std::uint32_t param_offset(std::size_t i) const noexcept;
+};
+
+/// A __device__ global variable: name, size, optional initializer.
+struct GlobalSymbol {
+  std::string name;
+  std::uint64_t size = 0;
+  std::vector<std::uint8_t> init;  // empty or exactly `size` bytes
+
+  bool operator==(const GlobalSymbol&) const = default;
+};
+
+/// A parsed (decompressed) cubin image.
+struct CubinImage {
+  std::uint32_t sm_arch = 80;  // e.g. 80 = A100, 75 = T4, 61 = P40
+  std::vector<KernelDescriptor> kernels;
+  std::vector<GlobalSymbol> globals;
+  std::vector<std::uint8_t> code;
+
+  bool operator==(const CubinImage&) const = default;
+
+  [[nodiscard]] const KernelDescriptor* find_kernel(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const GlobalSymbol* find_global(
+      std::string_view name) const noexcept;
+};
+
+/// Serializes an image to the on-disk/on-wire cubin format.
+[[nodiscard]] std::vector<std::uint8_t> cubin_serialize(const CubinImage& img);
+
+/// Parses a cubin; throws CubinError on malformed input.
+[[nodiscard]] CubinImage cubin_parse(std::span<const std::uint8_t> bytes);
+
+/// True if `bytes` starts with the cubin magic.
+[[nodiscard]] bool cubin_probe(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Generates a deterministic pseudo-ISA code blob (for tests and workload
+/// cubins); compressible like real machine code.
+[[nodiscard]] std::vector<std::uint8_t> make_pseudo_isa(std::size_t n_instrs,
+                                                        std::uint64_t seed);
+
+}  // namespace cricket::fatbin

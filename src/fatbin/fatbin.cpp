@@ -1,0 +1,132 @@
+#include "fatbin/fatbin.hpp"
+
+#include <cstring>
+
+namespace cricket::fatbin {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'A', 'T', 'B'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagCompressed = 1u << 0;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& pos) {
+  if (pos + 4 > in.size()) throw CubinError("truncated fatbin");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t{in[pos + static_cast<std::size_t>(i)]} << (8 * i);
+  pos += 4;
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t& pos) {
+  const std::uint64_t lo = get_u32(in, pos);
+  return lo | (std::uint64_t{get_u32(in, pos)} << 32);
+}
+
+}  // namespace
+
+void Fatbin::add_image(const CubinImage& img, bool compress) {
+  add_raw(img.sm_arch, cubin_serialize(img), compress);
+}
+
+void Fatbin::add_raw(std::uint32_t sm_arch,
+                     std::vector<std::uint8_t> cubin_bytes, bool compress) {
+  FatbinEntry e;
+  e.sm_arch = sm_arch;
+  e.uncompressed_len = cubin_bytes.size();
+  if (compress) {
+    e.compressed = true;
+    e.payload = lz_compress(cubin_bytes);
+  } else {
+    e.payload = std::move(cubin_bytes);
+  }
+  entries_.push_back(std::move(e));
+}
+
+const FatbinEntry* Fatbin::select(std::uint32_t sm_arch) const noexcept {
+  const FatbinEntry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (e.sm_arch > sm_arch) continue;
+    if (!best || e.sm_arch > best->sm_arch) best = &e;
+  }
+  return best;
+}
+
+CubinImage Fatbin::load(std::uint32_t sm_arch) const {
+  const FatbinEntry* e = select(sm_arch);
+  if (!e) throw CubinError("no compatible cubin image in fatbin");
+  if (e->compressed) {
+    const auto raw = lz_decompress(e->payload, e->uncompressed_len);
+    if (raw.size() != e->uncompressed_len)
+      throw CubinError("decompressed size mismatch");
+    return cubin_parse(raw);
+  }
+  return cubin_parse(e->payload);
+}
+
+std::vector<std::uint8_t> Fatbin::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    put_u32(out, e.sm_arch);
+    put_u32(out, e.compressed ? kFlagCompressed : 0);
+    put_u64(out, e.uncompressed_len);
+    put_u32(out, static_cast<std::uint32_t>(e.payload.size()));
+    out.insert(out.end(), e.payload.begin(), e.payload.end());
+  }
+  return out;
+}
+
+bool Fatbin::probe(std::span<const std::uint8_t> bytes) noexcept {
+  return bytes.size() >= 4 && std::memcmp(bytes.data(), kMagic, 4) == 0;
+}
+
+Fatbin Fatbin::parse(std::span<const std::uint8_t> bytes) {
+  if (!probe(bytes)) throw CubinError("bad fatbin magic");
+  std::size_t pos = 4;
+  if (get_u32(bytes, pos) != kVersion)
+    throw CubinError("unsupported fatbin version");
+  const std::uint32_t n = get_u32(bytes, pos);
+  if (n > 1024) throw CubinError("fatbin entry count implausible");
+  Fatbin fb;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FatbinEntry e;
+    e.sm_arch = get_u32(bytes, pos);
+    const std::uint32_t flags = get_u32(bytes, pos);
+    if ((flags & ~kFlagCompressed) != 0)
+      throw CubinError("unknown fatbin entry flags");
+    e.compressed = (flags & kFlagCompressed) != 0;
+    e.uncompressed_len = get_u64(bytes, pos);
+    const std::uint32_t plen = get_u32(bytes, pos);
+    if (pos + plen > bytes.size()) throw CubinError("truncated fatbin entry");
+    e.payload.assign(bytes.data() + pos, bytes.data() + pos + plen);
+    pos += plen;
+    fb.entries_.push_back(std::move(e));
+  }
+  if (pos != bytes.size()) throw CubinError("trailing bytes after fatbin");
+  return fb;
+}
+
+CubinImage extract_metadata(std::span<const std::uint8_t> bytes,
+                            std::uint32_t sm_arch) {
+  if (Fatbin::probe(bytes)) return Fatbin::parse(bytes).load(sm_arch);
+  if (cubin_probe(bytes)) return cubin_parse(bytes);
+  // Maybe a bare compressed cubin (Cricket's decompression path).
+  const auto raw = lz_decompress(bytes);
+  if (cubin_probe(raw)) return cubin_parse(raw);
+  throw CubinError("not a cubin or fatbin");
+}
+
+}  // namespace cricket::fatbin

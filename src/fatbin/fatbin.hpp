@@ -1,0 +1,69 @@
+// FATBIN: the multi-architecture wrapper around cubin images.
+//
+// NVCC either embeds a fat binary into the host executable or writes .cubin
+// files; a fat binary carries one (optionally compressed) image per target
+// SM architecture. The Cricket extension reproduced here (paper §3.3) reads
+// images client-side, ships them via RPC, and the server selects and — if
+// needed — decompresses the best image before extracting metadata.
+//
+// Wire format:
+//   [magic "FATB"] [u32 version=1] [u32 nentries]
+//   per entry: [u32 sm_arch] [u32 flags] [u64 uncompressed_len]
+//              [u32 payload_len] payload...
+//   flags bit 0: payload is LZ-compressed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fatbin/cubin.hpp"
+#include "fatbin/lz.hpp"
+
+namespace cricket::fatbin {
+
+struct FatbinEntry {
+  std::uint32_t sm_arch = 0;
+  bool compressed = false;
+  std::uint64_t uncompressed_len = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class Fatbin {
+ public:
+  /// Adds a cubin image, optionally compressing its serialized form.
+  void add_image(const CubinImage& img, bool compress);
+
+  /// Adds a pre-serialized (already cubin-format) payload.
+  void add_raw(std::uint32_t sm_arch, std::vector<std::uint8_t> cubin_bytes,
+               bool compress);
+
+  [[nodiscard]] const std::vector<FatbinEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Best image for `sm_arch`: the highest entry arch that does not exceed
+  /// it (a cubin compiled for sm_75 runs on sm_80 in spirit; the reverse
+  /// does not). Returns nullptr when no entry is compatible.
+  [[nodiscard]] const FatbinEntry* select(std::uint32_t sm_arch) const noexcept;
+
+  /// Decompresses (if needed) and parses the selected entry.
+  [[nodiscard]] CubinImage load(std::uint32_t sm_arch) const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Fatbin parse(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] static bool probe(std::span<const std::uint8_t> bytes) noexcept;
+
+ private:
+  std::vector<FatbinEntry> entries_;
+};
+
+/// Extracts kernel/global metadata from raw bytes that may be a cubin or a
+/// fatbin, compressed or not — the exact server-side entry point Cricket
+/// needs when a client uploads a module (paper §3.3: "Cricket extracts
+/// metadata from the cubin... even for compressed kernels").
+[[nodiscard]] CubinImage extract_metadata(std::span<const std::uint8_t> bytes,
+                                          std::uint32_t sm_arch);
+
+}  // namespace cricket::fatbin

@@ -1,0 +1,113 @@
+#include "fatbin/lz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace cricket::fatbin {
+namespace {
+
+// 4-byte rolling hash for match-candidate chaining.
+std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit table index
+}
+
+constexpr std::size_t kHashSize = 1u << 13;
+
+void flush_literals(std::vector<std::uint8_t>& out,
+                    std::span<const std::uint8_t> input, std::size_t lit_start,
+                    std::size_t lit_end) {
+  while (lit_start < lit_end) {
+    const std::size_t run = std::min<std::size_t>(128, lit_end - lit_start);
+    out.push_back(static_cast<std::uint8_t>(run - 1));
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               input.begin() + static_cast<std::ptrdiff_t>(lit_start + run));
+    lit_start += run;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+
+  std::array<std::size_t, kHashSize> table;
+  table.fill(SIZE_MAX);
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  while (pos + kMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(input.data() + pos);
+    const std::size_t cand = table[h];
+    table[h] = pos;
+
+    std::size_t match_len = 0;
+    if (cand != SIZE_MAX && pos - cand <= kWindow &&
+        std::memcmp(input.data() + cand, input.data() + pos, kMinMatch) == 0) {
+      const std::size_t limit =
+          std::min(kMaxMatch, input.size() - pos);
+      match_len = kMinMatch;
+      while (match_len < limit &&
+             input[cand + match_len] == input[pos + match_len])
+        ++match_len;
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(out, input, lit_start, pos);
+      const std::size_t dist = pos - cand;
+      out.push_back(static_cast<std::uint8_t>(
+          0x80u | (match_len - kMinMatch)));
+      out.push_back(static_cast<std::uint8_t>(dist & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(dist >> 8));
+      // Seed the hash table inside the match so later data can refer back.
+      const std::size_t end = pos + match_len;
+      for (std::size_t p = pos + 1; p + kMinMatch <= input.size() && p < end;
+           ++p)
+        table[hash4(input.data() + p)] = p;
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(out, input, lit_start, input.size());
+  return out;
+}
+
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> input,
+                                        std::size_t max_output) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint8_t c = input[pos++];
+    if (c < 0x80) {
+      const std::size_t run = std::size_t{c} + 1;
+      if (pos + run > input.size())
+        throw LzError("truncated literal run");
+      if (out.size() + run > max_output)
+        throw LzError("decompressed output exceeds limit");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + run));
+      pos += run;
+    } else {
+      if (pos + 2 > input.size()) throw LzError("truncated match token");
+      const std::size_t len = std::size_t{c & 0x7Fu} + kMinMatch;
+      const std::size_t dist =
+          std::size_t{input[pos]} | (std::size_t{input[pos + 1]} << 8);
+      pos += 2;
+      if (dist == 0 || dist > out.size())
+        throw LzError("match distance outside produced output");
+      if (out.size() + len > max_output)
+        throw LzError("decompressed output exceeds limit");
+      // Byte-by-byte: overlapping matches (dist < len) are legal and common.
+      std::size_t src = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cricket::fatbin

@@ -1,0 +1,45 @@
+// LZ77-style compression for cubin images.
+//
+// NVIDIA compresses the per-arch images inside fat binaries with an
+// LZ-family scheme; Cricket had to implement a decompressor to reach kernel
+// metadata in compressed cubins (paper §3.3, ref [2]). Our container uses an
+// equivalent scheme: greedy LZ77 over a 64 KiB window with a byte-oriented
+// token format, so the "decompress before metadata extraction" server path
+// is exercised for real.
+//
+// Token format (repeated until end of stream):
+//   control byte C
+//     C < 0x80 : literal run of C+1 bytes follows (1..128)
+//     C >= 0x80: match; length = (C & 0x7F) + kMinMatch, followed by a
+//                2-byte little-endian distance (1..65535) back into the
+//                already-decompressed output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cricket::fatbin {
+
+class LzError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 0x7F + kMinMatch;
+constexpr std::size_t kWindow = 65535;
+
+/// Compresses `input`; always succeeds (worst case ~1/128 expansion).
+[[nodiscard]] std::vector<std::uint8_t> lz_compress(
+    std::span<const std::uint8_t> input);
+
+/// Decompresses a token stream. `max_output` bounds hostile inputs.
+/// Throws LzError on malformed streams (truncated tokens, distance past the
+/// start of output, output beyond `max_output`).
+[[nodiscard]] std::vector<std::uint8_t> lz_decompress(
+    std::span<const std::uint8_t> input,
+    std::size_t max_output = std::size_t{1} << 31);
+
+}  // namespace cricket::fatbin

@@ -1,0 +1,401 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+namespace cricket::gpusim {
+
+Device::Device(DeviceProps props, sim::SimClock& clock,
+               KernelRegistry& registry, ThreadPool& pool)
+    : props_(std::move(props)),
+      clock_(&clock),
+      registry_(&registry),
+      pool_(&pool),
+      memory_(props_.mem_bytes) {
+  streams_.emplace(kDefaultStream, 0);
+}
+
+// --------------------------------- memory ----------------------------------
+
+DevPtr Device::malloc(std::uint64_t size) {
+  clock_->advance(props_.alloc_latency_ns);
+  return memory_.allocate(size);
+}
+
+void Device::free(DevPtr ptr) {
+  clock_->advance(props_.alloc_latency_ns);
+  memory_.free(ptr);
+}
+
+void Device::memset(DevPtr ptr, int value, std::uint64_t len) {
+  memory_.memset(ptr, value, len);
+  clock_->advance(static_cast<sim::Nanos>(
+      static_cast<double>(len) / (props_.mem_bandwidth_gbps * 1e9) * 1e9));
+}
+
+sim::Nanos Device::copy_time(std::uint64_t bytes) const noexcept {
+  // PCIe latency + bandwidth term.
+  constexpr sim::Nanos kPcieLatency = 1'200;
+  return kPcieLatency +
+         static_cast<sim::Nanos>(static_cast<double>(bytes) /
+                                 (props_.pcie_bandwidth_gbps * 1e9) * 1e9);
+}
+
+void Device::memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) {
+  device_synchronize();
+  const auto span = memory_.resolve(dst, src.size());
+  std::copy(src.begin(), src.end(), span.begin());
+  clock_->advance(copy_time(src.size()));
+  stats_.bytes_h2d += src.size();
+}
+
+void Device::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
+  device_synchronize();
+  const auto span = memory_.resolve(src, dst.size());
+  std::copy(span.begin(), span.end(), dst.begin());
+  clock_->advance(copy_time(dst.size()));
+  stats_.bytes_d2h += dst.size();
+}
+
+void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
+  device_synchronize();
+  // Resolve source first so overlapping-copy errors surface before writes.
+  const auto s = memory_.resolve(src, len);
+  const auto d = memory_.resolve(dst, len);
+  std::copy(s.begin(), s.end(), d.begin());
+  // On-device copy moves at memory bandwidth (read + write).
+  clock_->advance(static_cast<sim::Nanos>(
+      2.0 * static_cast<double>(len) / (props_.mem_bandwidth_gbps * 1e9) *
+      1e9));
+  stats_.bytes_d2d += len;
+}
+
+void Device::memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
+                              StreamId stream) {
+  const auto span = memory_.resolve(dst, src.size());
+  std::copy(src.begin(), src.end(), span.begin());
+  std::lock_guard lock(mu_);
+  auto& finish = stream_finish(stream);
+  finish = std::max(finish, clock_->now()) + copy_time(src.size());
+  stats_.bytes_h2d += src.size();
+}
+
+void Device::memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
+                              StreamId stream) {
+  const auto span = memory_.resolve(src, dst.size());
+  std::copy(span.begin(), span.end(), dst.begin());
+  std::lock_guard lock(mu_);
+  auto& finish = stream_finish(stream);
+  finish = std::max(finish, clock_->now()) + copy_time(dst.size());
+  stats_.bytes_d2h += dst.size();
+}
+
+// --------------------------------- modules ---------------------------------
+
+ModuleId Device::load_module(std::span<const std::uint8_t> image) {
+  Module mod;
+  mod.image = fatbin::extract_metadata(image, props_.sm_arch);
+
+  // Allocate and initialize module globals in device memory.
+  for (const auto& g : mod.image.globals) {
+    if (g.size == 0) continue;
+    const DevPtr addr = memory_.allocate(g.size);
+    if (!g.init.empty()) {
+      const auto span = memory_.resolve(addr, g.size);
+      std::copy(g.init.begin(), g.init.end(), span.begin());
+    }
+    mod.globals.emplace(g.name, addr);
+  }
+
+  // Charge load time: metadata parse + code upload over PCIe.
+  clock_->advance(50 * sim::kMicrosecond + copy_time(image.size()));
+
+  std::lock_guard lock(mu_);
+  const ModuleId id = next_id_++;
+  modules_.emplace(id, std::move(mod));
+  ++stats_.modules_loaded;
+  return id;
+}
+
+void Device::unload_module(ModuleId mod) {
+  std::lock_guard lock(mu_);
+  const auto it = modules_.find(mod);
+  if (it == modules_.end()) throw DeviceError("unload of unknown module");
+  for (const auto& [name, addr] : it->second.globals) memory_.free(addr);
+  // Invalidate functions resolved from this module.
+  for (auto fit = functions_.begin(); fit != functions_.end();) {
+    if (fit->second.module == mod)
+      fit = functions_.erase(fit);
+    else
+      ++fit;
+  }
+  modules_.erase(it);
+}
+
+FuncId Device::get_function(ModuleId mod, const std::string& name) {
+  std::lock_guard lock(mu_);
+  const auto it = modules_.find(mod);
+  if (it == modules_.end()) throw DeviceError("unknown module handle");
+  const auto* desc = it->second.image.find_kernel(name);
+  if (!desc) throw DeviceError("kernel '" + name + "' not found in module");
+  const FuncId id = next_id_++;
+  functions_.emplace(id, Function{mod, desc});
+  return id;
+}
+
+DevPtr Device::get_global(ModuleId mod, const std::string& name) {
+  std::lock_guard lock(mu_);
+  const auto it = modules_.find(mod);
+  if (it == modules_.end()) throw DeviceError("unknown module handle");
+  const auto git = it->second.globals.find(name);
+  if (git == it->second.globals.end())
+    throw DeviceError("global '" + name + "' not found in module");
+  return git->second;
+}
+
+const fatbin::KernelDescriptor& Device::function_desc(FuncId fn) const {
+  std::lock_guard lock(mu_);
+  const auto it = functions_.find(fn);
+  if (it == functions_.end()) throw DeviceError("unknown function handle");
+  return *it->second.desc;
+}
+
+// --------------------------------- launch ----------------------------------
+
+sim::Nanos Device::exec_time(const LaunchContext& ctx) const noexcept {
+  // Roofline: compute-bound or memory-bound, whichever dominates, plus a
+  // minimum per-launch device-side latency.
+  const double t_flops =
+      ctx.charged_flops() / (props_.peak_fp32_tflops * 1e12);
+  const double t_mem =
+      ctx.charged_dram_bytes() / (props_.mem_bandwidth_gbps * 1e9);
+  const double t = std::max(t_flops, t_mem);
+  return std::max<sim::Nanos>(2 * sim::kMicrosecond,
+                              static_cast<sim::Nanos>(t * 1e9));
+}
+
+sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
+                          std::uint32_t shared_bytes, StreamId stream,
+                          std::span<const std::uint8_t> params) {
+  const fatbin::KernelDescriptor* desc;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = functions_.find(fn);
+    if (it == functions_.end()) throw DeviceError("unknown function handle");
+    desc = it->second.desc;
+    if (!streams_.contains(stream)) throw DeviceError("unknown stream");
+  }
+
+  if (grid.count() == 0 || block.count() == 0)
+    throw LaunchError("launch geometry must be non-zero");
+  if (block.count() > desc->max_threads_per_block)
+    throw LaunchError("block exceeds kernel's max threads per block");
+  if (shared_bytes > 164 * 1024)  // A100 max dynamic shared memory
+    throw LaunchError("dynamic shared memory request too large");
+  if (params.size() != desc->param_buffer_size())
+    throw LaunchError("parameter buffer size mismatch for '" + desc->name +
+                      "': got " + std::to_string(params.size()) + ", want " +
+                      std::to_string(desc->param_buffer_size()));
+
+  const KernelFunc impl = registry_->find(desc->name);
+  LaunchContext ctx(*desc, grid, block, shared_bytes, params, memory_, *pool_,
+                    timing_only_);
+  impl(ctx);  // real computation happens here (unless timing-only)
+
+  // Host pays the submission latency; the device timeline absorbs execution.
+  clock_->advance(props_.launch_latency_ns);
+  const sim::Nanos exec = exec_time(ctx);
+  std::lock_guard lock(mu_);
+  auto& finish = stream_finish(stream);
+  finish = std::max(finish, clock_->now()) + exec;
+  ++stats_.kernels_launched;
+  return exec;
+}
+
+void Device::charge_internal_kernel(StreamId stream, double flops,
+                                    double dram_bytes,
+                                    std::uint64_t launches) {
+  if (launches == 0) return;
+  clock_->advance(props_.launch_latency_ns *
+                  static_cast<sim::Nanos>(launches));
+  const double t_flops = flops / (props_.peak_fp32_tflops * 1e12);
+  const double t_mem = dram_bytes / (props_.mem_bandwidth_gbps * 1e9);
+  // Library routines issue many small back-to-back kernels (cusolver panel
+  // factorization); kernel-to-kernel gaps dominate, ~8us per launch.
+  const auto exec =
+      std::max<sim::Nanos>(static_cast<sim::Nanos>(launches) * 8 *
+                               sim::kMicrosecond,
+                           static_cast<sim::Nanos>(std::max(t_flops, t_mem) *
+                                                   1e9));
+  std::lock_guard lock(mu_);
+  auto& finish = stream_finish(stream);
+  finish = std::max(finish, clock_->now()) + exec;
+  stats_.kernels_launched += launches;
+}
+
+// ------------------------- checkpoint / restart -----------------------------
+
+DeviceSnapshot Device::snapshot() const {
+  std::lock_guard lock(mu_);
+  DeviceSnapshot snap;
+  snap.next_id = next_id_;
+  for (const auto& [addr, size] : memory_.live()) {
+    DeviceSnapshot::AllocationRecord rec;
+    rec.addr = addr;
+    rec.size = size;
+    const auto span = memory_.resolve(addr, size);
+    rec.bytes.assign(span.begin(), span.end());
+    snap.allocations.push_back(std::move(rec));
+  }
+  for (const auto& [id, mod] : modules_) {
+    DeviceSnapshot::ModuleRecord rec;
+    rec.id = id;
+    rec.image = fatbin::cubin_serialize(mod.image);
+    for (const auto& [name, addr] : mod.globals)
+      rec.globals.emplace_back(name, addr);
+    snap.modules.push_back(std::move(rec));
+  }
+  for (const auto& [id, fn] : functions_)
+    snap.functions.push_back(
+        DeviceSnapshot::FunctionRecord{id, fn.module, fn.desc->name});
+  for (const auto& [id, finish] : streams_) snap.streams.emplace_back(id, finish);
+  for (const auto& [id, ts] : events_) snap.events.emplace_back(id, ts);
+  return snap;
+}
+
+void Device::restore(const DeviceSnapshot& snap) {
+  std::lock_guard lock(mu_);
+  if (memory_.allocation_count() != 0 || !modules_.empty() ||
+      !events_.empty() || streams_.size() != 1)
+    throw DeviceError("restore requires a pristine device");
+
+  // Device memory first: every client-held pointer must resolve afterwards
+  // (module globals are live allocations and are included here).
+  for (const auto& rec : snap.allocations) {
+    memory_.allocate_at(rec.addr, rec.size);
+    const auto span = memory_.resolve(rec.addr, rec.size);
+    std::copy(rec.bytes.begin(), rec.bytes.end(), span.begin());
+  }
+  // Modules: re-parse images and re-bind their global address maps without
+  // allocating (the backing allocations were restored above).
+  for (const auto& rec : snap.modules) {
+    Module mod;
+    mod.image = fatbin::cubin_parse(rec.image);
+    for (const auto& [name, addr] : rec.globals) mod.globals.emplace(name, addr);
+    modules_.emplace(rec.id, std::move(mod));
+  }
+  for (const auto& rec : snap.functions) {
+    const auto it = modules_.find(rec.module);
+    if (it == modules_.end())
+      throw DeviceError("snapshot function references missing module");
+    const auto* desc = it->second.image.find_kernel(rec.kernel_name);
+    if (!desc) throw DeviceError("snapshot function kernel not in module");
+    functions_.emplace(rec.id, Function{rec.module, desc});
+  }
+  streams_.clear();
+  streams_.emplace(kDefaultStream, 0);
+  for (const auto& [id, finish] : snap.streams) streams_[id] = finish;
+  for (const auto& [id, ts] : snap.events) events_[id] = ts;
+  next_id_ = snap.next_id;
+}
+
+// ----------------------------- streams & events ----------------------------
+
+std::int64_t& Device::stream_finish(StreamId stream) {
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) throw DeviceError("unknown stream");
+  return it->second;
+}
+
+StreamId Device::stream_create() {
+  std::lock_guard lock(mu_);
+  const StreamId id = next_id_++;
+  streams_.emplace(id, 0);
+  return id;
+}
+
+void Device::stream_destroy(StreamId stream) {
+  if (stream == kDefaultStream)
+    throw DeviceError("cannot destroy the default stream");
+  std::lock_guard lock(mu_);
+  if (streams_.erase(stream) == 0) throw DeviceError("unknown stream");
+}
+
+void Device::stream_synchronize(StreamId stream) {
+  std::int64_t finish;
+  {
+    std::lock_guard lock(mu_);
+    finish = stream_finish(stream);
+  }
+  const auto now = clock_->now();
+  if (finish > now) clock_->advance(finish - now);
+}
+
+void Device::device_synchronize() {
+  std::int64_t finish = 0;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, f] : streams_) finish = std::max(finish, f);
+  }
+  const auto now = clock_->now();
+  if (finish > now) clock_->advance(finish - now);
+}
+
+std::int64_t Device::stream_completion_time(StreamId stream) const {
+  std::lock_guard lock(mu_);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) throw DeviceError("unknown stream");
+  return it->second;
+}
+
+void Device::stream_wait_event(StreamId stream, EventId event) {
+  std::lock_guard lock(mu_);
+  const auto it = events_.find(event);
+  if (it == events_.end()) throw DeviceError("unknown event");
+  auto& finish = stream_finish(stream);
+  if (it->second > finish) finish = it->second;  // unrecorded (-1) is a no-op
+}
+
+EventId Device::event_create() {
+  std::lock_guard lock(mu_);
+  const EventId id = next_id_++;
+  events_.emplace(id, -1);
+  return id;
+}
+
+void Device::event_destroy(EventId event) {
+  std::lock_guard lock(mu_);
+  if (events_.erase(event) == 0) throw DeviceError("unknown event");
+}
+
+void Device::event_record(EventId event, StreamId stream) {
+  std::lock_guard lock(mu_);
+  const auto it = events_.find(event);
+  if (it == events_.end()) throw DeviceError("unknown event");
+  it->second = std::max(stream_finish(stream), clock_->now());
+}
+
+void Device::event_synchronize(EventId event) {
+  std::int64_t ts;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = events_.find(event);
+    if (it == events_.end()) throw DeviceError("unknown event");
+    if (it->second < 0) return;  // never recorded: CUDA treats as complete
+    ts = it->second;
+  }
+  const auto now = clock_->now();
+  if (ts > now) clock_->advance(ts - now);
+}
+
+float Device::event_elapsed_ms(EventId start, EventId stop) const {
+  std::lock_guard lock(mu_);
+  const auto a = events_.find(start);
+  const auto b = events_.find(stop);
+  if (a == events_.end() || b == events_.end())
+    throw DeviceError("unknown event");
+  if (a->second < 0 || b->second < 0)
+    throw DeviceError("event not recorded");
+  return static_cast<float>(b->second - a->second) / 1e6f;
+}
+
+}  // namespace cricket::gpusim

@@ -1,0 +1,198 @@
+// The simulated GPU device: memory, modules, streams, events, launches.
+//
+// Execution semantics follow CUDA: kernel launches and async memcpys are
+// enqueued on streams and complete in virtual time; synchronization calls
+// advance the virtual clock to the relevant completion timestamp. The actual
+// computation of a kernel runs immediately (on host threads) so results are
+// available synchronously — only the *timing* is deferred, which is exactly
+// what the paper's measurements are about.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fatbin/fatbin.hpp"
+#include "gpusim/device_props.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/thread_pool.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace cricket::gpusim {
+
+using ModuleId = std::uint64_t;
+using FuncId = std::uint64_t;
+using StreamId = std::uint64_t;
+using EventId = std::uint64_t;
+
+/// The default stream (stream 0), always valid.
+constexpr StreamId kDefaultStream = 0;
+
+struct DeviceStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_d2d = 0;
+  std::uint64_t modules_loaded = 0;
+};
+
+class DeviceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializable full-device state (see Device::snapshot / Device::restore).
+struct DeviceSnapshot {
+  struct AllocationRecord {
+    DevPtr addr = 0;
+    std::uint64_t size = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  struct ModuleRecord {
+    ModuleId id = 0;
+    std::vector<std::uint8_t> image;  // re-serialized cubin
+    std::vector<std::pair<std::string, DevPtr>> globals;
+  };
+  struct FunctionRecord {
+    FuncId id = 0;
+    ModuleId module = 0;
+    std::string kernel_name;
+  };
+
+  std::uint64_t next_id = 1;
+  std::vector<AllocationRecord> allocations;  // excludes module globals
+  std::vector<ModuleRecord> modules;
+  std::vector<FunctionRecord> functions;
+  std::vector<std::pair<StreamId, std::int64_t>> streams;
+  std::vector<std::pair<EventId, std::int64_t>> events;
+};
+
+class Device {
+ public:
+  /// `clock`, `registry` and `pool` are owned by the caller and must outlive
+  /// the device (a GPU node bundles them; see cricket::server).
+  Device(DeviceProps props, sim::SimClock& clock, KernelRegistry& registry,
+         ThreadPool& pool);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // ------------------------------- memory --------------------------------
+  [[nodiscard]] DevPtr malloc(std::uint64_t size);
+  void free(DevPtr ptr);
+  void memset(DevPtr ptr, int value, std::uint64_t len);
+  /// Synchronous copies: wait for the device, move bytes, charge PCIe time.
+  void memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src);
+  void memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src);
+  void memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len);
+  /// Async copies: charged to the stream timeline instead of blocking.
+  void memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
+                        StreamId stream);
+  void memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
+                        StreamId stream);
+
+  [[nodiscard]] MemoryManager& memory() noexcept { return memory_; }
+
+  // ------------------------------- modules -------------------------------
+  /// Loads a cubin/fatbin image (possibly compressed); allocates + initializes
+  /// module globals in device memory.
+  [[nodiscard]] ModuleId load_module(std::span<const std::uint8_t> image);
+  void unload_module(ModuleId mod);
+  [[nodiscard]] FuncId get_function(ModuleId mod, const std::string& name);
+  /// Device address of a module __device__ global.
+  [[nodiscard]] DevPtr get_global(ModuleId mod, const std::string& name);
+  [[nodiscard]] const fatbin::KernelDescriptor& function_desc(FuncId fn) const;
+
+  // ------------------------------- launch --------------------------------
+  /// Validates geometry and parameters against the kernel descriptor, runs
+  /// the registered implementation, and charges its modelled execution time
+  /// to `stream`'s timeline. Returns the device execution time charged
+  /// (used by the Cricket scheduler for per-session accounting).
+  sim::Nanos launch(FuncId fn, Dim3 grid, Dim3 block,
+                    std::uint32_t shared_bytes, StreamId stream,
+                    std::span<const std::uint8_t> params);
+
+  /// Charges the timeline for work executed by an internal library routine
+  /// (culibs GEMM/LU run device-side as fused kernels): `launches` kernel
+  /// submissions plus roofline execution for the given flops/bytes.
+  void charge_internal_kernel(StreamId stream, double flops,
+                              double dram_bytes, std::uint64_t launches = 1);
+
+  // --------------------------- streams & events --------------------------
+  [[nodiscard]] StreamId stream_create();
+  void stream_destroy(StreamId stream);
+  /// Blocks (virtually) until the stream's queued work completes.
+  void stream_synchronize(StreamId stream);
+  void device_synchronize();
+  /// cudaStreamWaitEvent: subsequent work on `stream` starts no earlier
+  /// than the event's recorded timestamp (cross-stream dependency).
+  void stream_wait_event(StreamId stream, EventId event);
+
+  /// Virtual timestamp at which `stream`'s queued work completes (used by
+  /// the Cricket scheduler to attribute device time to sessions).
+  [[nodiscard]] std::int64_t stream_completion_time(StreamId stream) const;
+
+  [[nodiscard]] EventId event_create();
+  void event_destroy(EventId event);
+  /// Captures the stream's completion timestamp at record time.
+  void event_record(EventId event, StreamId stream);
+  void event_synchronize(EventId event);
+  /// Milliseconds of virtual device time between two recorded events.
+  [[nodiscard]] float event_elapsed_ms(EventId start, EventId stop) const;
+
+  [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
+  [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::SimClock& clock() noexcept { return *clock_; }
+
+  /// Timing-only launches: kernels skip arithmetic but charge modelled cost.
+  /// See LaunchContext::timing_only.
+  void set_timing_only(bool value) noexcept { timing_only_ = value; }
+  [[nodiscard]] bool timing_only() const noexcept { return timing_only_; }
+
+  // ---------------------- checkpoint / restart support --------------------
+  /// Captures the complete device state: live allocations with contents,
+  /// loaded modules, resolved functions, streams, events, and the handle
+  /// counter — everything needed for Cricket checkpoint/restart (the paper's
+  /// §1/§5 capability).
+  [[nodiscard]] struct DeviceSnapshot snapshot() const;
+  /// Restores a snapshot into this device. The device must be pristine (no
+  /// allocations, modules, or non-default streams); handles and device
+  /// pointers held by clients stay valid afterwards.
+  void restore(const struct DeviceSnapshot& snap);
+
+ private:
+  struct Module {
+    fatbin::CubinImage image;
+    std::map<std::string, DevPtr> globals;
+  };
+  struct Function {
+    ModuleId module;
+    const fatbin::KernelDescriptor* desc;  // points into Module::image
+  };
+
+  [[nodiscard]] sim::Nanos copy_time(std::uint64_t bytes) const noexcept;
+  [[nodiscard]] sim::Nanos exec_time(const LaunchContext& ctx) const noexcept;
+  std::int64_t& stream_finish(StreamId stream);
+
+  DeviceProps props_;
+  sim::SimClock* clock_;
+  KernelRegistry* registry_;
+  ThreadPool* pool_;
+  MemoryManager memory_;
+
+  mutable std::mutex mu_;
+  std::map<ModuleId, Module> modules_;
+  std::map<FuncId, Function> functions_;
+  std::map<StreamId, std::int64_t> streams_;  // stream -> finish timestamp
+  std::map<EventId, std::int64_t> events_;    // event -> recorded timestamp
+  std::uint64_t next_id_ = 1;
+  DeviceStats stats_;
+  bool timing_only_ = false;
+};
+
+}  // namespace cricket::gpusim

@@ -1,0 +1,44 @@
+#include "gpusim/device_props.hpp"
+
+namespace cricket::gpusim {
+
+DeviceProps a100_props() {
+  DeviceProps p;
+  p.name = "NVIDIA A100-SXM4-40GB";
+  p.sm_arch = 80;
+  p.sm_count = 108;
+  p.clock_mhz = 1410;
+  p.mem_bytes = 40ull << 30;
+  p.mem_bandwidth_gbps = 1555.0;
+  p.pcie_bandwidth_gbps = 24.0;  // PCIe 4.0 x16 effective
+  p.peak_fp32_tflops = 19.5;
+  return p;
+}
+
+DeviceProps t4_props() {
+  DeviceProps p;
+  p.name = "NVIDIA T4";
+  p.sm_arch = 75;
+  p.sm_count = 40;
+  p.clock_mhz = 1590;
+  p.mem_bytes = 16ull << 30;
+  p.mem_bandwidth_gbps = 320.0;
+  p.pcie_bandwidth_gbps = 12.0;  // PCIe 3.0 x16 effective
+  p.peak_fp32_tflops = 8.1;
+  return p;
+}
+
+DeviceProps p40_props() {
+  DeviceProps p;
+  p.name = "NVIDIA P40";
+  p.sm_arch = 61;
+  p.sm_count = 30;
+  p.clock_mhz = 1531;
+  p.mem_bytes = 24ull << 30;
+  p.mem_bandwidth_gbps = 346.0;
+  p.pcie_bandwidth_gbps = 12.0;
+  p.peak_fp32_tflops = 11.8;
+  return p;
+}
+
+}  // namespace cricket::gpusim

@@ -1,0 +1,37 @@
+// Device property sheets for the GPUs in the paper's testbed (§4: one A100,
+// two T4s, one P40 in the GPU node). The analytic timing model derives kernel
+// execution and copy times from these numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cricket::gpusim {
+
+struct DeviceProps {
+  std::string name;
+  std::uint32_t sm_arch = 80;         // compute capability * 10
+  std::uint32_t sm_count = 108;
+  std::uint32_t clock_mhz = 1410;
+  std::uint64_t mem_bytes = 0;
+  double mem_bandwidth_gbps = 0;      // device memory, GB/s
+  double pcie_bandwidth_gbps = 0;     // host<->device, GB/s (effective)
+  double peak_fp32_tflops = 0;
+  /// Fixed driver-side kernel launch latency (what a local, non-virtualized
+  /// cudaLaunchKernel costs) — the baseline the RPC forwarding adds to.
+  std::int64_t launch_latency_ns = 4'000;
+  /// Fixed per-call driver overhead for trivial APIs (cudaGetDeviceCount).
+  std::int64_t api_latency_ns = 600;
+  /// cudaMalloc/cudaFree bookkeeping cost.
+  std::int64_t alloc_latency_ns = 2'500;
+};
+
+/// NVIDIA A100-SXM4-40GB (Ampere, sm_80) — the GPU used in every evaluation
+/// figure of the paper.
+[[nodiscard]] DeviceProps a100_props();
+/// NVIDIA T4 (Turing, sm_75).
+[[nodiscard]] DeviceProps t4_props();
+/// NVIDIA P40 (Pascal, sm_61).
+[[nodiscard]] DeviceProps p40_props();
+
+}  // namespace cricket::gpusim

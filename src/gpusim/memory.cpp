@@ -1,0 +1,128 @@
+#include "gpusim/memory.hpp"
+
+#include <cstring>
+
+namespace cricket::gpusim {
+
+MemoryManager::MemoryManager(std::uint64_t capacity, DevPtr base)
+    : capacity_(capacity), base_(base) {
+  free_.emplace(base_, capacity_);
+}
+
+DevPtr MemoryManager::allocate(std::uint64_t size) {
+  if (size == 0) throw MemoryError("zero-byte device allocation");
+  const std::uint64_t padded =
+      (size + kGranularity - 1) / kGranularity * kGranularity;
+  std::lock_guard lock(mu_);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < padded) continue;
+    const DevPtr addr = it->first;
+    const std::uint64_t hole = it->second;
+    free_.erase(it);
+    if (hole > padded) free_.emplace(addr + padded, hole - padded);
+    Allocation a;
+    a.size = size;
+    a.padded_size = padded;
+    a.storage.assign(size, 0);
+    allocs_.emplace(addr, std::move(a));
+    in_use_ += padded;
+    return addr;
+  }
+  throw OutOfMemory("device out of memory");
+}
+
+void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
+  if (size == 0) throw MemoryError("zero-byte device allocation");
+  const std::uint64_t padded =
+      (size + kGranularity - 1) / kGranularity * kGranularity;
+  std::lock_guard lock(mu_);
+  // Find the free hole containing [ptr, ptr + padded).
+  auto it = free_.upper_bound(ptr);
+  if (it == free_.begin()) throw MemoryError("address not in a free hole");
+  --it;
+  const DevPtr hole_start = it->first;
+  const std::uint64_t hole_len = it->second;
+  if (ptr < hole_start || ptr + padded > hole_start + hole_len)
+    throw MemoryError("address range not entirely free");
+  free_.erase(it);
+  if (ptr > hole_start) free_.emplace(hole_start, ptr - hole_start);
+  const std::uint64_t tail = hole_start + hole_len - (ptr + padded);
+  if (tail > 0) free_.emplace(ptr + padded, tail);
+  Allocation a;
+  a.size = size;
+  a.padded_size = padded;
+  a.storage.assign(size, 0);
+  allocs_.emplace(ptr, std::move(a));
+  in_use_ += padded;
+}
+
+void MemoryManager::free(DevPtr ptr) {
+  std::lock_guard lock(mu_);
+  const auto it = allocs_.find(ptr);
+  if (it == allocs_.end())
+    throw MemoryError("free of invalid or already-freed device pointer");
+  std::uint64_t start = ptr;
+  std::uint64_t len = it->second.padded_size;
+  in_use_ -= len;
+  allocs_.erase(it);
+
+  // Coalesce with successor hole.
+  const auto next = free_.lower_bound(start);
+  if (next != free_.end() && next->first == start + len) {
+    len += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor hole.
+  const auto succ = free_.lower_bound(start);
+  if (succ != free_.begin()) {
+    const auto prev = std::prev(succ);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_.emplace(start, len);
+}
+
+std::span<std::uint8_t> MemoryManager::resolve(DevPtr ptr, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  auto it = allocs_.upper_bound(ptr);
+  if (it == allocs_.begin())
+    throw MemoryError("device pointer outside any allocation");
+  --it;
+  const std::uint64_t off = ptr - it->first;
+  if (off + len > it->second.size)
+    throw MemoryError("device access beyond allocation bounds");
+  return {it->second.storage.data() + off, len};
+}
+
+std::span<const std::uint8_t> MemoryManager::resolve(DevPtr ptr,
+                                                     std::uint64_t len) const {
+  return const_cast<MemoryManager*>(this)->resolve(ptr, len);
+}
+
+void MemoryManager::memset(DevPtr ptr, int value, std::uint64_t len) {
+  const auto span = resolve(ptr, len);
+  std::memset(span.data(), value, span.size());
+}
+
+std::uint64_t MemoryManager::bytes_in_use() const noexcept {
+  std::lock_guard lock(mu_);
+  return in_use_;
+}
+
+std::size_t MemoryManager::allocation_count() const noexcept {
+  std::lock_guard lock(mu_);
+  return allocs_.size();
+}
+
+std::vector<std::pair<DevPtr, std::uint64_t>> MemoryManager::live() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<DevPtr, std::uint64_t>> out;
+  out.reserve(allocs_.size());
+  for (const auto& [addr, a] : allocs_) out.emplace_back(addr, a.size);
+  return out;
+}
+
+}  // namespace cricket::gpusim

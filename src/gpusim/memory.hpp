@@ -1,0 +1,87 @@
+// Simulated device memory manager.
+//
+// Allocations get addresses in a synthetic device VA range; the backing
+// storage is host memory. The manager enforces the properties the paper's
+// RPC-Lib client guarantees through Rust lifetimes (§3.4: "we can guarantee
+// the absence of use-after-free and double-free errors for the CUDA
+// allocation API") — here they are runtime-checked: freeing twice, or
+// touching memory outside a live allocation, throws.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cricket::gpusim {
+
+/// Device pointer: an address in the simulated device VA space. 0 is null.
+using DevPtr = std::uint64_t;
+
+class MemoryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class OutOfMemory : public MemoryError {
+ public:
+  using MemoryError::MemoryError;
+};
+
+/// Thread-safe simulated device heap with a coalescing first-fit free list.
+class MemoryManager {
+ public:
+  /// `capacity` is the device memory size; addresses start at `base`.
+  explicit MemoryManager(std::uint64_t capacity,
+                         DevPtr base = 0x0007'0000'0000'0000ULL);
+
+  /// Allocates `size` bytes (rounded up to 256-byte granularity, like the
+  /// CUDA allocator). Throws OutOfMemory when it does not fit.
+  [[nodiscard]] DevPtr allocate(std::uint64_t size);
+
+  /// Places an allocation at an exact device address (checkpoint restore:
+  /// client-held pointers must stay valid). Throws MemoryError if the range
+  /// is not entirely inside one free hole.
+  void allocate_at(DevPtr ptr, std::uint64_t size);
+
+  /// Frees an allocation; `ptr` must be the exact value returned by
+  /// allocate. Double-free or a bogus pointer throws MemoryError.
+  void free(DevPtr ptr);
+
+  /// Resolves [ptr, ptr+len) to backing storage; the range must lie inside
+  /// one live allocation (CUDA forbids cross-allocation arithmetic too).
+  [[nodiscard]] std::span<std::uint8_t> resolve(DevPtr ptr, std::uint64_t len);
+  [[nodiscard]] std::span<const std::uint8_t> resolve(DevPtr ptr,
+                                                      std::uint64_t len) const;
+
+  void memset(DevPtr ptr, int value, std::uint64_t len);
+
+  [[nodiscard]] std::uint64_t bytes_in_use() const noexcept;
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t allocation_count() const noexcept;
+
+  /// Enumerates live allocations (pointer, size) — used by checkpoint.
+  [[nodiscard]] std::vector<std::pair<DevPtr, std::uint64_t>> live() const;
+
+  static constexpr std::uint64_t kGranularity = 256;
+
+ private:
+  struct Allocation {
+    std::uint64_t size;          // requested size
+    std::uint64_t padded_size;   // rounded to granularity
+    std::vector<std::uint8_t> storage;
+  };
+
+  // Both maps are keyed by device address. free_ maps start -> length of a
+  // free hole; coalescing happens on free().
+  mutable std::mutex mu_;
+  std::map<DevPtr, Allocation> allocs_;
+  std::map<DevPtr, std::uint64_t> free_;
+  std::uint64_t capacity_;
+  std::uint64_t in_use_ = 0;
+  DevPtr base_;
+};
+
+}  // namespace cricket::gpusim

@@ -1,0 +1,93 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace cricket::gpusim {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0)
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::size_t launched = 0;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    ++launched;
+    remaining.fetch_add(1, std::memory_order_relaxed);
+    enqueue([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  (void)launched;
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace cricket::gpusim

@@ -1,0 +1,46 @@
+// Fixed-size thread pool with a blocking parallel_for, used by the kernel
+// execution engine to spread grid work across host cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cricket::gpusim {
+
+class ThreadPool {
+ public:
+  /// `n_threads == 0` selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), chunked across the pool; blocks until all
+  /// iterations finish. Exceptions from `fn` propagate (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(begin, end) once per chunk — cheaper when the body is tiny.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cricket::gpusim

@@ -1,0 +1,76 @@
+#include "rpc/client.hpp"
+
+namespace cricket::rpc {
+
+RpcClient::RpcClient(std::unique_ptr<Transport> transport, std::uint32_t prog,
+                     std::uint32_t vers, ClientOptions options)
+    : transport_(std::move(transport)),
+      writer_(*transport_, options.max_fragment),
+      reader_(*transport_),
+      prog_(prog),
+      vers_(vers),
+      next_xid_(options.initial_xid) {}
+
+RpcClient::~RpcClient() {
+  try {
+    transport_->shutdown();
+  } catch (...) {  // destructor must not throw
+  }
+}
+
+std::vector<std::uint8_t> RpcClient::call_raw(
+    std::uint32_t proc, std::span<const std::uint8_t> args) {
+  CallMsg call;
+  call.xid = next_xid_++;
+  call.prog = prog_;
+  call.vers = vers_;
+  call.proc = proc;
+  call.cred = cred_;
+  call.args.assign(args.begin(), args.end());
+
+  const auto record = encode_call(call);
+  writer_.write_record(record);
+  stats_.bytes_sent += record.size();
+  ++stats_.calls;
+
+  std::vector<std::uint8_t> reply_record;
+  // Replies arrive in order on this synchronous channel, but tolerate stale
+  // xids (e.g. a reply to a timed-out predecessor) by skipping them.
+  for (;;) {
+    if (!reader_.read_record(reply_record))
+      throw TransportError("connection closed while awaiting reply");
+    stats_.bytes_received += reply_record.size();
+    const ReplyMsg reply = decode_reply(reply_record);
+    if (reply.xid != call.xid) continue;
+
+    if (reply.stat == ReplyStat::kDenied) {
+      throw RpcError(RpcError::Kind::kDenied,
+                     reply.reject_stat == RejectStat::kRpcMismatch
+                         ? "call denied: RPC version mismatch"
+                         : "call denied: authentication error");
+    }
+    switch (reply.accept_stat) {
+      case AcceptStat::kSuccess:
+        return reply.results;
+      case AcceptStat::kProgUnavail:
+        throw RpcError(RpcError::Kind::kProgUnavail, "program unavailable");
+      case AcceptStat::kProgMismatch: {
+        const auto mi = reply.mismatch.value_or(MismatchInfo{});
+        throw RpcError(RpcError::Kind::kProgMismatch,
+                       "program version mismatch (supported " +
+                           std::to_string(mi.low) + ".." +
+                           std::to_string(mi.high) + ")");
+      }
+      case AcceptStat::kProcUnavail:
+        throw RpcError(RpcError::Kind::kProcUnavail, "procedure unavailable");
+      case AcceptStat::kGarbageArgs:
+        throw RpcError(RpcError::Kind::kGarbageArgs,
+                       "server could not decode arguments");
+      case AcceptStat::kSystemErr:
+        throw RpcError(RpcError::Kind::kSystemErr, "server system error");
+    }
+    throw RpcError(RpcError::Kind::kBadReply, "invalid accept_stat");
+  }
+}
+
+}  // namespace cricket::rpc

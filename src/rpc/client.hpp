@@ -1,0 +1,117 @@
+// ONC RPC client runtime: transaction management over a record-marked stream.
+//
+// This is the C++ analogue of the paper's RPC-Lib client core: it depends
+// only on the Transport interface (as RPC-Lib depends only on Rust's std),
+// so the identical client runs over a plain pipe, a real TCP socket, or the
+// vnet-simulated unikernel network paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rpc/record.hpp"
+#include "rpc/rpc_msg.hpp"
+#include "rpc/transport.hpp"
+#include "xdr/xdr.hpp"
+
+namespace cricket::rpc {
+
+/// RPC-level failure (the transport worked but the server refused the call).
+class RpcError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kProgUnavail,
+    kProgMismatch,
+    kProcUnavail,
+    kGarbageArgs,
+    kSystemErr,
+    kDenied,
+    kBadReply,
+  };
+
+  RpcError(Kind kind, std::string what)
+      : std::runtime_error(std::move(what)), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+struct ClientOptions {
+  std::uint32_t max_fragment = RecordWriter::kDefaultMaxFragment;
+  /// Initial transaction id; subsequent calls increment.
+  std::uint32_t initial_xid = 0x10000000;
+};
+
+/// Client statistics (useful for the paper's API-call accounting, §4.1).
+struct ClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Synchronous RPC client bound to one (program, version) on one transport.
+/// Not thread-safe: one outstanding call at a time, matching the paper's
+/// single-threaded RPC usage ("the RPC library is single-threaded", §4.2).
+class RpcClient {
+ public:
+  RpcClient(std::unique_ptr<Transport> transport, std::uint32_t prog,
+            std::uint32_t vers, ClientOptions options = {});
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Sets the credential sent with subsequent calls (default AUTH_NONE).
+  void set_credential(OpaqueAuth cred) { cred_ = std::move(cred); }
+
+  /// Issues `proc` with pre-encoded arguments; returns raw encoded results.
+  /// Throws RpcError / TransportError on failure.
+  std::vector<std::uint8_t> call_raw(std::uint32_t proc,
+                                     std::span<const std::uint8_t> args);
+
+  /// Typed convenience: XDR-encodes `args...` in order, decodes one `Res`.
+  template <typename Res, typename... Args>
+  Res call(std::uint32_t proc, const Args&... args) {
+    xdr::Encoder enc;
+    (xdr_encode(enc, args), ...);
+    const auto results = call_raw(proc, enc.bytes());
+    xdr::Decoder dec(results);
+    Res res{};
+    xdr_decode(dec, res);
+    dec.expect_exhausted();
+    return res;
+  }
+
+  /// Typed call with void result.
+  template <typename... Args>
+  void call_void(std::uint32_t proc, const Args&... args) {
+    xdr::Encoder enc;
+    (xdr_encode(enc, args), ...);
+    const auto results = call_raw(proc, enc.bytes());
+    if (!results.empty())
+      throw RpcError(RpcError::Kind::kBadReply, "expected void result");
+  }
+
+  /// RFC 5531 null procedure — liveness ping.
+  void ping() { call_void(0); }
+
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  RecordWriter writer_;
+  RecordReader reader_;
+  std::uint32_t prog_;
+  std::uint32_t vers_;
+  std::uint32_t next_xid_;
+  OpaqueAuth cred_;
+  ClientStats stats_;
+};
+
+}  // namespace cricket::rpc

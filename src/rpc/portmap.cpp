@@ -1,0 +1,94 @@
+#include "rpc/portmap.hpp"
+
+#include <algorithm>
+
+namespace cricket::rpc {
+
+void xdr_encode(xdr::Encoder& enc, const PmapMapping& m) {
+  enc.put_u32(m.prog);
+  enc.put_u32(m.vers);
+  enc.put_u32(m.prot);
+  enc.put_u32(m.port);
+}
+
+void xdr_decode(xdr::Decoder& dec, PmapMapping& m) {
+  m.prog = dec.get_u32();
+  m.vers = dec.get_u32();
+  m.prot = dec.get_u32();
+  m.port = dec.get_u32();
+}
+
+bool Portmapper::set(const PmapMapping& mapping) {
+  std::lock_guard lock(mu_);
+  // RFC 1833: SET fails if a mapping for (prog, vers, prot) already exists.
+  for (const auto& m : mappings_)
+    if (m.prog == mapping.prog && m.vers == mapping.vers &&
+        m.prot == mapping.prot)
+      return false;
+  mappings_.push_back(mapping);
+  return true;
+}
+
+bool Portmapper::unset(std::uint32_t prog, std::uint32_t vers) {
+  std::lock_guard lock(mu_);
+  const auto old_size = mappings_.size();
+  std::erase_if(mappings_, [&](const PmapMapping& m) {
+    return m.prog == prog && m.vers == vers;
+  });
+  return mappings_.size() != old_size;
+}
+
+std::uint32_t Portmapper::getport(std::uint32_t prog, std::uint32_t vers,
+                                  std::uint32_t prot) const {
+  std::lock_guard lock(mu_);
+  for (const auto& m : mappings_)
+    if (m.prog == prog && m.vers == vers && m.prot == prot) return m.port;
+  return 0;
+}
+
+std::vector<PmapMapping> Portmapper::dump() const {
+  std::lock_guard lock(mu_);
+  return mappings_;
+}
+
+void Portmapper::register_into(ServiceRegistry& registry) {
+  registry.register_typed<bool, PmapMapping>(
+      kPmapProg, kPmapVers, kPmapProcSet,
+      [this](PmapMapping m) { return set(m); });
+  registry.register_typed<bool, PmapMapping>(
+      kPmapProg, kPmapVers, kPmapProcUnset,
+      [this](PmapMapping m) { return unset(m.prog, m.vers); });
+  registry.register_typed<std::uint32_t, PmapMapping>(
+      kPmapProg, kPmapVers, kPmapProcGetport,
+      [this](PmapMapping m) { return getport(m.prog, m.vers, m.prot); });
+  // DUMP: void -> list of mappings. RFC 1833 uses a linked list on the
+  // wire; a counted array is the XDR-equivalent encoding used here.
+  registry.register_typed<std::vector<PmapMapping>>(
+      kPmapProg, kPmapVers, kPmapProcDump, [this]() { return dump(); });
+}
+
+bool PortmapClient::set(const PmapMapping& mapping) {
+  return client_.call<bool>(kPmapProcSet, mapping);
+}
+
+bool PortmapClient::unset(std::uint32_t prog, std::uint32_t vers) {
+  PmapMapping m;
+  m.prog = prog;
+  m.vers = vers;
+  return client_.call<bool>(kPmapProcUnset, m);
+}
+
+std::uint32_t PortmapClient::getport(std::uint32_t prog, std::uint32_t vers,
+                                     std::uint32_t prot) {
+  PmapMapping m;
+  m.prog = prog;
+  m.vers = vers;
+  m.prot = prot;
+  return client_.call<std::uint32_t>(kPmapProcGetport, m);
+}
+
+std::vector<PmapMapping> PortmapClient::dump() {
+  return client_.call<std::vector<PmapMapping>>(kPmapProcDump);
+}
+
+}  // namespace cricket::rpc

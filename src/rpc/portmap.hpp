@@ -1,0 +1,80 @@
+// Portmapper (RFC 1833 "Binding Protocols for ONC RPC", version 2).
+//
+// The classic rpcbind/portmap service: RPC programs register the port they
+// listen on under the well-known program number 100000, and clients query
+// it before connecting. Cricket deployments use it the same way any ONC RPC
+// service does — the Cricket server SETs (CRICKET_PROG, vers, tcp, port) on
+// its GPU node and clients GETPORT before dialling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+
+namespace cricket::rpc {
+
+constexpr std::uint32_t kPmapProg = 100000;
+constexpr std::uint32_t kPmapVers = 2;
+
+constexpr std::uint32_t kPmapProcSet = 1;
+constexpr std::uint32_t kPmapProcUnset = 2;
+constexpr std::uint32_t kPmapProcGetport = 3;
+constexpr std::uint32_t kPmapProcDump = 4;
+
+constexpr std::uint32_t kIpProtoTcp = 6;
+constexpr std::uint32_t kIpProtoUdp = 17;
+
+/// One registration entry (RFC 1833 struct mapping).
+struct PmapMapping {
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t prot = kIpProtoTcp;
+  std::uint32_t port = 0;
+
+  bool operator==(const PmapMapping&) const = default;
+};
+
+void xdr_encode(xdr::Encoder& enc, const PmapMapping& m);
+void xdr_decode(xdr::Decoder& dec, PmapMapping& m);
+
+/// The portmapper service state. Register it into a ServiceRegistry served
+/// on the well-known endpoint; thread-safe.
+class Portmapper {
+ public:
+  /// Binds PMAPPROC_{SET,UNSET,GETPORT,DUMP} into `registry`.
+  void register_into(ServiceRegistry& registry);
+
+  // Direct (in-process) access, used by servers co-located with the mapper.
+  bool set(const PmapMapping& mapping);
+  bool unset(std::uint32_t prog, std::uint32_t vers);
+  [[nodiscard]] std::uint32_t getport(std::uint32_t prog, std::uint32_t vers,
+                                      std::uint32_t prot) const;
+  [[nodiscard]] std::vector<PmapMapping> dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PmapMapping> mappings_;
+};
+
+/// Client-side helpers speaking the wire protocol against a remote mapper.
+class PortmapClient {
+ public:
+  explicit PortmapClient(std::unique_ptr<Transport> transport)
+      : client_(std::move(transport), kPmapProg, kPmapVers) {}
+
+  bool set(const PmapMapping& mapping);
+  bool unset(std::uint32_t prog, std::uint32_t vers);
+  /// 0 means "not registered" (RFC 1833 semantics).
+  [[nodiscard]] std::uint32_t getport(std::uint32_t prog, std::uint32_t vers,
+                                      std::uint32_t prot = kIpProtoTcp);
+  [[nodiscard]] std::vector<PmapMapping> dump();
+
+ private:
+  RpcClient client_;
+};
+
+}  // namespace cricket::rpc

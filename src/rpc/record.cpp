@@ -1,0 +1,64 @@
+#include "rpc/record.hpp"
+
+#include <algorithm>
+
+namespace cricket::rpc {
+namespace {
+
+constexpr std::uint32_t kLastFragmentBit = 0x80000000u;
+
+void put_header(std::uint8_t out[4], std::uint32_t len, bool last) {
+  const std::uint32_t h = len | (last ? kLastFragmentBit : 0u);
+  out[0] = static_cast<std::uint8_t>(h >> 24);
+  out[1] = static_cast<std::uint8_t>(h >> 16);
+  out[2] = static_cast<std::uint8_t>(h >> 8);
+  out[3] = static_cast<std::uint8_t>(h);
+}
+
+}  // namespace
+
+void RecordWriter::write_record(std::span<const std::uint8_t> record) {
+  // A zero-length record is legal: one empty last fragment.
+  std::size_t off = 0;
+  do {
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::size_t>(max_fragment_, record.size() - off));
+    const bool last = off + n == record.size();
+    std::uint8_t hdr[4];
+    put_header(hdr, n, last);
+    transport_->send(hdr);
+    if (n > 0) transport_->send(record.subspan(off, n));
+    off += n;
+  } while (off < record.size());
+}
+
+bool RecordReader::read_record(std::vector<std::uint8_t>& out) {
+  out.clear();
+  bool first = true;
+  for (;;) {
+    std::uint8_t hdr[4];
+    if (first) {
+      // Distinguish clean EOF (no record) from truncation.
+      const std::size_t n = transport_->recv(std::span(hdr, 4));
+      if (n == 0) return false;
+      if (n < 4) transport_->recv_exact(std::span(hdr + n, 4 - n));
+    } else {
+      transport_->recv_exact(hdr);
+    }
+    first = false;
+    const std::uint32_t h = (std::uint32_t{hdr[0]} << 24) |
+                            (std::uint32_t{hdr[1]} << 16) |
+                            (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
+    const bool last = (h & kLastFragmentBit) != 0;
+    const std::uint32_t len = h & ~kLastFragmentBit;
+    if (out.size() + len > max_record_)
+      throw TransportError("RPC record exceeds maximum size");
+    const std::size_t old = out.size();
+    out.resize(old + len);
+    if (len > 0)
+      transport_->recv_exact(std::span(out.data() + old, len));
+    if (last) return true;
+  }
+}
+
+}  // namespace cricket::rpc

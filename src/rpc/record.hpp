@@ -1,0 +1,55 @@
+// RFC 5531 §11 record marking.
+//
+// ONC RPC over a byte stream delimits messages as a sequence of fragments,
+// each preceded by a 4-byte header: MSB = "last fragment" flag, low 31 bits =
+// fragment length. The paper explicitly rejects the existing Rust `onc_rpc`
+// crate for *lacking fragmented-message support*, since Cricket ships
+// GPU-memory payloads as RPC arguments; this implementation supports
+// arbitrary-size records split across fragments in both directions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rpc/transport.hpp"
+
+namespace cricket::rpc {
+
+/// Writes one record (possibly as several fragments) per call.
+/// `max_fragment` bounds each fragment's payload; libtirpc uses large
+/// fragments, but tests shrink this to force multi-fragment paths.
+class RecordWriter {
+ public:
+  explicit RecordWriter(Transport& transport,
+                        std::uint32_t max_fragment = kDefaultMaxFragment)
+      : transport_(&transport), max_fragment_(max_fragment) {}
+
+  void write_record(std::span<const std::uint8_t> record);
+
+  static constexpr std::uint32_t kDefaultMaxFragment = 1u << 20;  // 1 MiB
+
+ private:
+  Transport* transport_;
+  std::uint32_t max_fragment_;
+};
+
+/// Reads one complete record (reassembling fragments) per call.
+class RecordReader {
+ public:
+  explicit RecordReader(Transport& transport,
+                        std::size_t max_record = kDefaultMaxRecord)
+      : transport_(&transport), max_record_(max_record) {}
+
+  /// Returns false on clean end-of-stream before any fragment; throws
+  /// TransportError on mid-record EOF or an over-size record.
+  [[nodiscard]] bool read_record(std::vector<std::uint8_t>& out);
+
+  static constexpr std::size_t kDefaultMaxRecord = std::size_t{1} << 31;
+
+ private:
+  Transport* transport_;
+  std::size_t max_record_;
+};
+
+}  // namespace cricket::rpc

@@ -1,0 +1,163 @@
+#include "rpc/rpc_msg.hpp"
+
+namespace cricket::rpc {
+
+using xdr::Decoder;
+using xdr::Encoder;
+
+void xdr_encode(Encoder& enc, const OpaqueAuth& auth) {
+  enc.put_enum(auth.flavor);
+  enc.put_opaque(auth.body);
+}
+
+void xdr_decode(Decoder& dec, OpaqueAuth& auth) {
+  auth.flavor = dec.get_enum<AuthFlavor>();
+  auth.body = dec.get_opaque(OpaqueAuth::kMaxBody);
+}
+
+OpaqueAuth AuthSysParms::to_opaque() const {
+  Encoder enc;
+  enc.put_u32(stamp);
+  enc.put_string(machinename);
+  enc.put_u32(uid);
+  enc.put_u32(gid);
+  enc.put_u32(static_cast<std::uint32_t>(gids.size()));
+  for (const auto g : gids) enc.put_u32(g);
+  OpaqueAuth auth;
+  auth.flavor = AuthFlavor::kSys;
+  auth.body = enc.take();
+  return auth;
+}
+
+AuthSysParms AuthSysParms::from_opaque(const OpaqueAuth& auth) {
+  if (auth.flavor != AuthFlavor::kSys)
+    throw RpcFormatError("not an AUTH_SYS credential");
+  Decoder dec(auth.body);
+  AuthSysParms p;
+  p.stamp = dec.get_u32();
+  p.machinename = dec.get_string(255);
+  p.uid = dec.get_u32();
+  p.gid = dec.get_u32();
+  const std::uint32_t n = dec.get_u32();
+  if (n > 16) throw RpcFormatError("AUTH_SYS gids list too long");
+  p.gids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.gids.push_back(dec.get_u32());
+  dec.expect_exhausted();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_call(const CallMsg& call) {
+  Encoder enc(64 + call.args.size());
+  enc.put_u32(call.xid);
+  enc.put_enum(MsgType::kCall);
+  enc.put_u32(kRpcVersion);
+  enc.put_u32(call.prog);
+  enc.put_u32(call.vers);
+  enc.put_u32(call.proc);
+  xdr_encode(enc, call.cred);
+  xdr_encode(enc, call.verf);
+  auto out = enc.take();
+  out.insert(out.end(), call.args.begin(), call.args.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const ReplyMsg& reply) {
+  Encoder enc(64 + reply.results.size());
+  enc.put_u32(reply.xid);
+  enc.put_enum(MsgType::kReply);
+  enc.put_enum(reply.stat);
+  if (reply.stat == ReplyStat::kAccepted) {
+    xdr_encode(enc, reply.verf);
+    enc.put_enum(reply.accept_stat);
+    switch (reply.accept_stat) {
+      case AcceptStat::kSuccess:
+        break;  // results appended below
+      case AcceptStat::kProgMismatch: {
+        const MismatchInfo mi = reply.mismatch.value_or(MismatchInfo{});
+        enc.put_u32(mi.low);
+        enc.put_u32(mi.high);
+        break;
+      }
+      default:
+        break;  // void
+    }
+  } else {
+    enc.put_enum(reply.reject_stat);
+    if (reply.reject_stat == RejectStat::kRpcMismatch) {
+      const MismatchInfo mi = reply.mismatch.value_or(
+          MismatchInfo{kRpcVersion, kRpcVersion});
+      enc.put_u32(mi.low);
+      enc.put_u32(mi.high);
+    } else {
+      enc.put_enum(reply.auth_stat);
+    }
+  }
+  auto out = enc.take();
+  if (reply.stat == ReplyStat::kAccepted &&
+      reply.accept_stat == AcceptStat::kSuccess) {
+    out.insert(out.end(), reply.results.begin(), reply.results.end());
+  }
+  return out;
+}
+
+CallMsg decode_call(std::span<const std::uint8_t> record) {
+  Decoder dec(record);
+  CallMsg call;
+  call.xid = dec.get_u32();
+  const auto mtype = dec.get_enum<MsgType>();
+  if (mtype != MsgType::kCall) throw RpcFormatError("expected CALL message");
+  const std::uint32_t rpcvers = dec.get_u32();
+  if (rpcvers != kRpcVersion) throw RpcFormatError("unsupported RPC version");
+  call.prog = dec.get_u32();
+  call.vers = dec.get_u32();
+  call.proc = dec.get_u32();
+  xdr_decode(dec, call.cred);
+  xdr_decode(dec, call.verf);
+  call.args.assign(record.begin() + static_cast<std::ptrdiff_t>(dec.position()),
+                   record.end());
+  return call;
+}
+
+ReplyMsg decode_reply(std::span<const std::uint8_t> record) {
+  Decoder dec(record);
+  ReplyMsg reply;
+  reply.xid = dec.get_u32();
+  const auto mtype = dec.get_enum<MsgType>();
+  if (mtype != MsgType::kReply) throw RpcFormatError("expected REPLY message");
+  reply.stat = dec.get_enum<ReplyStat>();
+  if (reply.stat == ReplyStat::kAccepted) {
+    xdr_decode(dec, reply.verf);
+    reply.accept_stat = dec.get_enum<AcceptStat>();
+    switch (reply.accept_stat) {
+      case AcceptStat::kSuccess:
+        reply.results.assign(
+            record.begin() + static_cast<std::ptrdiff_t>(dec.position()),
+            record.end());
+        break;
+      case AcceptStat::kProgMismatch: {
+        MismatchInfo mi;
+        mi.low = dec.get_u32();
+        mi.high = dec.get_u32();
+        reply.mismatch = mi;
+        break;
+      }
+      default:
+        break;
+    }
+  } else if (reply.stat == ReplyStat::kDenied) {
+    reply.reject_stat = dec.get_enum<RejectStat>();
+    if (reply.reject_stat == RejectStat::kRpcMismatch) {
+      MismatchInfo mi;
+      mi.low = dec.get_u32();
+      mi.high = dec.get_u32();
+      reply.mismatch = mi;
+    } else {
+      reply.auth_stat = dec.get_enum<AuthStat>();
+    }
+  } else {
+    throw RpcFormatError("invalid reply_stat");
+  }
+  return reply;
+}
+
+}  // namespace cricket::rpc

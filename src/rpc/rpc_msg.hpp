@@ -1,0 +1,110 @@
+// RFC 5531 message model: call and reply bodies, authentication, status
+// codes, and their XDR wire representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "xdr/xdr.hpp"
+
+namespace cricket::rpc {
+
+constexpr std::uint32_t kRpcVersion = 2;
+
+enum class MsgType : std::int32_t { kCall = 0, kReply = 1 };
+enum class ReplyStat : std::int32_t { kAccepted = 0, kDenied = 1 };
+enum class AcceptStat : std::int32_t {
+  kSuccess = 0,
+  kProgUnavail = 1,
+  kProgMismatch = 2,
+  kProcUnavail = 3,
+  kGarbageArgs = 4,
+  kSystemErr = 5,
+};
+enum class RejectStat : std::int32_t { kRpcMismatch = 0, kAuthError = 1 };
+enum class AuthStat : std::int32_t {
+  kOk = 0,
+  kBadCred = 1,
+  kRejectedCred = 2,
+  kBadVerf = 3,
+  kRejectedVerf = 4,
+  kTooWeak = 5,
+  kInvalidResp = 6,
+  kFailed = 7,
+};
+enum class AuthFlavor : std::int32_t { kNone = 0, kSys = 1, kShort = 2 };
+
+/// Opaque authenticator: flavor + up to 400 bytes of body.
+struct OpaqueAuth {
+  AuthFlavor flavor = AuthFlavor::kNone;
+  std::vector<std::uint8_t> body;
+
+  static constexpr std::uint32_t kMaxBody = 400;
+};
+
+/// AUTH_SYS credentials (RFC 5531 appendix A).
+struct AuthSysParms {
+  std::uint32_t stamp = 0;
+  std::string machinename;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::vector<std::uint32_t> gids;  // max 16
+
+  [[nodiscard]] OpaqueAuth to_opaque() const;
+  [[nodiscard]] static AuthSysParms from_opaque(const OpaqueAuth& auth);
+};
+
+/// An RPC call as parsed off the wire (args still undecoded).
+struct CallMsg {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  OpaqueAuth cred;
+  OpaqueAuth verf;
+  std::vector<std::uint8_t> args;  // XDR-encoded procedure arguments
+};
+
+/// Mismatch bounds reported with kProgMismatch / kRpcMismatch.
+struct MismatchInfo {
+  std::uint32_t low = 0;
+  std::uint32_t high = 0;
+};
+
+/// An RPC reply as parsed off the wire (results still undecoded).
+struct ReplyMsg {
+  std::uint32_t xid = 0;
+  ReplyStat stat = ReplyStat::kAccepted;
+  // accepted:
+  OpaqueAuth verf;
+  AcceptStat accept_stat = AcceptStat::kSuccess;
+  std::optional<MismatchInfo> mismatch;  // prog/rpc mismatch bounds
+  std::vector<std::uint8_t> results;     // XDR-encoded results on success
+  // denied:
+  RejectStat reject_stat = RejectStat::kRpcMismatch;
+  AuthStat auth_stat = AuthStat::kOk;
+};
+
+/// Serializes a call message (header + pre-encoded args).
+[[nodiscard]] std::vector<std::uint8_t> encode_call(const CallMsg& call);
+/// Serializes a reply message (header + pre-encoded results).
+[[nodiscard]] std::vector<std::uint8_t> encode_reply(const ReplyMsg& reply);
+
+/// Parses a record as a call; throws XdrError/RpcFormatError on garbage.
+[[nodiscard]] CallMsg decode_call(std::span<const std::uint8_t> record);
+/// Parses a record as a reply.
+[[nodiscard]] ReplyMsg decode_reply(std::span<const std::uint8_t> record);
+
+/// Thrown when a record is not a structurally valid RPC message.
+class RpcFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void xdr_encode(xdr::Encoder& enc, const OpaqueAuth& auth);
+void xdr_decode(xdr::Decoder& dec, OpaqueAuth& auth);
+
+}  // namespace cricket::rpc

@@ -1,0 +1,114 @@
+#include "rpc/server.hpp"
+
+namespace cricket::rpc {
+
+void ServiceRegistry::register_proc(std::uint32_t prog, std::uint32_t vers,
+                                    std::uint32_t proc, ProcHandler handler) {
+  handlers_[Key{prog, vers, proc}] = std::move(handler);
+}
+
+ReplyMsg ServiceRegistry::dispatch(const CallMsg& call) const {
+  ReplyMsg reply;
+  reply.xid = call.xid;
+  reply.stat = ReplyStat::kAccepted;
+
+  // Null procedure: always answered, per RFC 5531 convention, as long as the
+  // program exists at all.
+  const auto it = handlers_.find(Key{call.prog, call.vers, call.proc});
+  if (it != handlers_.end()) {
+    try {
+      reply.results = it->second(call.args);
+      reply.accept_stat = AcceptStat::kSuccess;
+    } catch (const GarbageArgsError&) {
+      reply.accept_stat = AcceptStat::kGarbageArgs;
+    } catch (const std::exception&) {
+      reply.accept_stat = AcceptStat::kSystemErr;
+    }
+    return reply;
+  }
+
+  // Classify the miss: unknown program / known program wrong version /
+  // unknown procedure / implicit null procedure.
+  std::uint32_t lo = UINT32_MAX, hi = 0;
+  bool prog_known = false, vers_known = false;
+  for (const auto& [key, _] : handlers_) {
+    if (key.prog != call.prog) continue;
+    prog_known = true;
+    lo = std::min(lo, key.vers);
+    hi = std::max(hi, key.vers);
+    if (key.vers == call.vers) vers_known = true;
+  }
+  if (!prog_known) {
+    reply.accept_stat = AcceptStat::kProgUnavail;
+  } else if (!vers_known) {
+    reply.accept_stat = AcceptStat::kProgMismatch;
+    reply.mismatch = MismatchInfo{lo, hi};
+  } else if (call.proc == 0) {
+    reply.accept_stat = AcceptStat::kSuccess;  // null proc, void result
+  } else {
+    reply.accept_stat = AcceptStat::kProcUnavail;
+  }
+  return reply;
+}
+
+void serve_transport(const ServiceRegistry& registry, Transport& transport,
+                     std::uint32_t max_fragment) {
+  RecordReader reader(transport);
+  RecordWriter writer(transport, max_fragment);
+  std::vector<std::uint8_t> record;
+  for (;;) {
+    try {
+      if (!reader.read_record(record)) return;  // clean EOF
+    } catch (const TransportError&) {
+      return;  // peer vanished mid-record; nothing to reply to
+    }
+    ReplyMsg reply;
+    try {
+      const CallMsg call = decode_call(record);
+      reply = registry.dispatch(call);
+    } catch (const std::exception&) {
+      // Not parseable as a call: drop it (a real server also cannot reply
+      // without an xid it trusts).
+      continue;
+    }
+    try {
+      writer.write_record(encode_reply(reply));
+    } catch (const TransportError&) {
+      return;
+    }
+  }
+}
+
+TcpRpcServer::TcpRpcServer(const ServiceRegistry& registry,
+                           std::unique_ptr<TcpListener> listener)
+    : registry_(&registry), listener_(std::move(listener)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpRpcServer::~TcpRpcServer() { stop(); }
+
+std::uint16_t TcpRpcServer::port() const noexcept { return listener_->port(); }
+
+void TcpRpcServer::accept_loop() {
+  for (;;) {
+    auto conn = listener_->accept();
+    if (!conn || stopping_.load()) return;
+    std::lock_guard lock(mu_);
+    workers_.emplace_back(
+        [this, c = std::shared_ptr<TcpTransport>(std::move(conn))] {
+          serve_transport(*registry_, *c);
+        });
+  }
+}
+
+void TcpRpcServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(mu_);
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+}  // namespace cricket::rpc

@@ -1,0 +1,115 @@
+// ONC RPC server runtime: service registry + dispatch + connection serving.
+//
+// Mirrors the server side of the paper's setup, where `rpcgen`-generated C
+// dispatch code routes each procedure number to a CUDA-executing handler.
+// Here the cricket module registers its handlers into a ServiceRegistry and
+// either serves a single in-process transport (simulated environments) or a
+// real TCP listener with one thread per connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rpc/record.hpp"
+#include "rpc/rpc_msg.hpp"
+#include "rpc/transport.hpp"
+#include "xdr/xdr.hpp"
+
+namespace cricket::rpc {
+
+/// Thrown by handlers that could not decode their arguments; mapped to
+/// GARBAGE_ARGS. Any other handler exception maps to SYSTEM_ERR.
+class GarbageArgsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A procedure handler: takes XDR-encoded args, returns XDR-encoded results.
+using ProcHandler =
+    std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+/// Maps (program, version, procedure) to handlers; computes RFC 5531 error
+/// statuses for unknown programs/versions/procedures. Thread-safe after
+/// registration completes (registration itself is not concurrent with
+/// dispatch).
+class ServiceRegistry {
+ public:
+  void register_proc(std::uint32_t prog, std::uint32_t vers,
+                     std::uint32_t proc, ProcHandler handler);
+
+  /// Convenience: typed handler taking decoded arguments.
+  /// `fn` is invoked as `Res fn(Args...)` with args decoded in order.
+  template <typename Res, typename... Args, typename Fn>
+  void register_typed(std::uint32_t prog, std::uint32_t vers,
+                      std::uint32_t proc, Fn fn) {
+    register_proc(prog, vers, proc,
+                  [fn = std::move(fn)](std::span<const std::uint8_t> in) {
+                    xdr::Decoder dec(in);
+                    std::tuple<std::decay_t<Args>...> args;
+                    try {
+                      std::apply([&](auto&... a) { (xdr_decode(dec, a), ...); },
+                                 args);
+                      dec.expect_exhausted();
+                    } catch (const xdr::XdrError& e) {
+                      throw GarbageArgsError(e.what());
+                    }
+                    xdr::Encoder enc;
+                    if constexpr (std::is_void_v<Res>) {
+                      std::apply(fn, args);
+                    } else {
+                      xdr_encode(enc, std::apply(fn, args));
+                    }
+                    return enc.take();
+                  });
+  }
+
+  /// Executes one parsed call, producing the reply (never throws for
+  /// call-level errors; they become reply statuses).
+  [[nodiscard]] ReplyMsg dispatch(const CallMsg& call) const;
+
+ private:
+  struct Key {
+    std::uint32_t prog, vers, proc;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, ProcHandler> handlers_;
+};
+
+/// Serves RPC records on one transport until end-of-stream. Runs inline on
+/// the calling thread; spawn your own thread for background service.
+void serve_transport(const ServiceRegistry& registry, Transport& transport,
+                     std::uint32_t max_fragment = RecordWriter::kDefaultMaxFragment);
+
+/// Threaded TCP server: accept loop plus one detached-joinable thread per
+/// connection. Owns the listener.
+class TcpRpcServer {
+ public:
+  TcpRpcServer(const ServiceRegistry& registry,
+               std::unique_ptr<TcpListener> listener);
+  ~TcpRpcServer();
+
+  TcpRpcServer(const TcpRpcServer&) = delete;
+  TcpRpcServer& operator=(const TcpRpcServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  void stop();
+
+ private:
+  void accept_loop();
+
+  const ServiceRegistry* registry_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace cricket::rpc

@@ -1,0 +1,151 @@
+#include "rpc/transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace cricket::rpc {
+
+void Transport::recv_exact(std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::size_t n = recv(out.subspan(got));
+    if (n == 0) throw TransportError("connection closed mid-message");
+    got += n;
+  }
+}
+
+// -------------------------------- ByteQueue --------------------------------
+
+void ByteQueue::push(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || fifo_.size() < capacity_; });
+    if (closed_) throw TransportError("pipe closed");
+    const std::size_t room = capacity_ - fifo_.size();
+    const std::size_t n = std::min(room, data.size() - off);
+    fifo_.insert(fifo_.end(), data.begin() + static_cast<std::ptrdiff_t>(off),
+                 data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    cv_.notify_all();
+  }
+}
+
+std::size_t ByteQueue::pop(std::span<std::uint8_t> out) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !fifo_.empty(); });
+  if (fifo_.empty()) return 0;  // closed and drained
+  const std::size_t n = std::min(out.size(), fifo_.size());
+  std::copy_n(fifo_.begin(), n, out.begin());
+  fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<std::ptrdiff_t>(n));
+  cv_.notify_all();
+  return n;
+}
+
+void ByteQueue::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_pipe_pair(std::size_t capacity_bytes) {
+  auto a_to_b = std::make_shared<ByteQueue>(capacity_bytes);
+  auto b_to_a = std::make_shared<ByteQueue>(capacity_bytes);
+  return {std::make_unique<PipeTransport>(a_to_b, b_to_a),
+          std::make_unique<PipeTransport>(b_to_a, a_to_b)};
+}
+
+// ------------------------------- TcpTransport ------------------------------
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpTransport::send(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t TcpTransport::recv(std::span<std::uint8_t> out) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw TransportError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+void TcpTransport::shutdown() { ::shutdown(fd_, SHUT_WR); }
+
+std::unique_ptr<TcpTransport> TcpTransport::connect_loopback(
+    std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw TransportError(std::string("connect: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpTransport>(fd);
+}
+
+// ------------------------------- TcpListener -------------------------------
+
+TcpListener::TcpListener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw TransportError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    throw TransportError(std::string("bind/listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<TcpTransport> TcpListener::accept() {
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return nullptr;  // listener closed
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpTransport>(cfd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cricket::rpc

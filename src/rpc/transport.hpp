@@ -1,0 +1,133 @@
+// Byte-stream transports beneath the ONC RPC record layer.
+//
+// The RPC runtime only needs a reliable, ordered byte stream — exactly what
+// the paper's stack gets from TCP (smoltcp in RustyHermit, lwIP in Unikraft,
+// the Linux kernel elsewhere). Implementations here:
+//   * PipeTransport   — in-process bounded duplex pipe (deterministic tests,
+//                       and the carrier the vnet cost models wrap).
+//   * TcpTransport    — real loopback sockets for integration tests.
+// The vnet module layers virtio/TCP simulation and virtual-time charging on
+// top of this interface.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cricket::rpc {
+
+/// Thrown on transport-level failures (peer closed, socket error).
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reliable ordered byte stream. Implementations must be safe for one
+/// concurrent sender plus one concurrent receiver (full duplex), but not for
+/// multiple concurrent senders.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks until all of `data` is accepted. Throws TransportError if the
+  /// peer is gone.
+  virtual void send(std::span<const std::uint8_t> data) = 0;
+
+  /// Blocks until at least one byte is available; returns the number of bytes
+  /// read into `out`, or 0 on orderly end-of-stream.
+  virtual std::size_t recv(std::span<std::uint8_t> out) = 0;
+
+  /// Reads exactly `out.size()` bytes or throws TransportError on EOF.
+  void recv_exact(std::span<std::uint8_t> out);
+
+  /// Half-closes the write side; the peer's recv() will drain then return 0.
+  virtual void shutdown() = 0;
+};
+
+/// One direction of an in-process pipe: a bounded byte FIFO.
+/// Thread-safe.
+class ByteQueue {
+ public:
+  explicit ByteQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full. Throws TransportError if closed.
+  void push(std::span<const std::uint8_t> data);
+  /// Blocks while empty and open; returns bytes read (0 = closed and drained).
+  std::size_t pop(std::span<std::uint8_t> out);
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint8_t> fifo_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// In-process duplex transport; create pairs with `make_pipe_pair`.
+class PipeTransport final : public Transport {
+ public:
+  PipeTransport(std::shared_ptr<ByteQueue> tx, std::shared_ptr<ByteQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+  ~PipeTransport() override { PipeTransport::shutdown(); }
+
+  void send(std::span<const std::uint8_t> data) override { tx_->push(data); }
+  std::size_t recv(std::span<std::uint8_t> out) override {
+    return rx_->pop(out);
+  }
+  void shutdown() override { tx_->close(); }
+
+ private:
+  std::shared_ptr<ByteQueue> tx_;
+  std::shared_ptr<ByteQueue> rx_;
+};
+
+/// Creates a connected pair of in-process transports (client end, server end).
+[[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_pipe_pair(std::size_t capacity_bytes = 1 << 20);
+
+/// Real TCP socket transport (used for loopback integration tests).
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) noexcept : fd_(fd) {}
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void send(std::span<const std::uint8_t> data) override;
+  std::size_t recv(std::span<std::uint8_t> out) override;
+  void shutdown() override;
+
+  /// Connects to 127.0.0.1:`port`.
+  [[nodiscard]] static std::unique_ptr<TcpTransport> connect_loopback(
+      std::uint16_t port);
+
+ private:
+  int fd_;
+};
+
+/// Listening TCP socket bound to a loopback ephemeral port.
+class TcpListener {
+ public:
+  TcpListener();  // binds 127.0.0.1:0
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Blocks for one inbound connection; returns nullptr once closed.
+  [[nodiscard]] std::unique_ptr<TcpTransport> accept();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace cricket::rpc

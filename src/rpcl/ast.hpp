@@ -1,0 +1,128 @@
+// Abstract syntax tree for the RPC Language (RFC 5531 §12 / RFC 4506 §6).
+//
+// RPCL is the interface-definition language of ONC RPC: Cricket publishes
+// its CUDA API surface as an RPCL specification, rpcgen generates the C
+// server from it, and the paper's RPC-Lib generates the Rust client from the
+// same file via procedural macros (§3.4-3.5: "Functions listed in the RPCL
+// file are immediately available for applications"). This module models the
+// language; codegen.hpp emits the C++ equivalent of both sides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cricket::rpcl {
+
+/// Builtin XDR scalar types.
+enum class Builtin {
+  kInt,       // int -> std::int32_t
+  kUInt,      // unsigned int -> std::uint32_t
+  kHyper,     // hyper -> std::int64_t
+  kUHyper,    // unsigned hyper -> std::uint64_t
+  kFloat,
+  kDouble,
+  kBool,
+  kVoid,
+  kString,    // string<N>
+  kOpaque,    // opaque<N> / opaque[N]
+};
+
+/// A type reference: a builtin or a named (user-defined) type, with an
+/// optional array/pointer decoration.
+struct TypeRef {
+  enum class Decoration {
+    kNone,
+    kFixedArray,     // T name[N]
+    kVariableArray,  // T name<N> (or T name<>)
+    kOptional,       // *T (XDR "pointer")
+  };
+
+  std::variant<Builtin, std::string> base = Builtin::kVoid;
+  Decoration decoration = Decoration::kNone;
+  std::optional<std::uint32_t> bound;  // array bound if given
+
+  [[nodiscard]] bool is_void() const noexcept {
+    return std::holds_alternative<Builtin>(base) &&
+           std::get<Builtin>(base) == Builtin::kVoid &&
+           decoration == Decoration::kNone;
+  }
+};
+
+struct Field {
+  TypeRef type;
+  std::string name;
+};
+
+struct ConstDef {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::pair<std::string, std::int32_t>> values;
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<Field> fields;
+};
+
+/// XDR discriminated union: switch (disc_type disc_name) { case ...: field }.
+struct UnionArm {
+  std::vector<std::int64_t> cases;  // values of the discriminant
+  std::optional<Field> field;       // nullopt = void arm
+  bool is_default = false;
+};
+
+struct UnionDef {
+  std::string name;
+  TypeRef discriminant_type;
+  std::string discriminant_name;
+  std::vector<UnionArm> arms;
+};
+
+struct TypedefDef {
+  TypeRef type;
+  std::string name;
+};
+
+struct ProcDef {
+  TypeRef result;
+  std::string name;
+  std::vector<TypeRef> args;
+  std::uint32_t number = 0;
+};
+
+struct VersionDef {
+  std::string name;
+  std::uint32_t number = 0;
+  std::vector<ProcDef> procs;
+};
+
+struct ProgramDef {
+  std::string name;
+  std::uint32_t number = 0;
+  std::vector<VersionDef> versions;
+};
+
+/// A whole .x file.
+struct SpecFile {
+  std::vector<ConstDef> consts;
+  std::vector<EnumDef> enums;
+  std::vector<StructDef> structs;
+  std::vector<UnionDef> unions;
+  std::vector<TypedefDef> typedefs;
+  std::vector<ProgramDef> programs;
+
+  [[nodiscard]] const StructDef* find_struct(const std::string& name) const;
+  [[nodiscard]] const EnumDef* find_enum(const std::string& name) const;
+  [[nodiscard]] const TypedefDef* find_typedef(const std::string& name) const;
+  [[nodiscard]] const UnionDef* find_union(const std::string& name) const;
+};
+
+}  // namespace cricket::rpcl

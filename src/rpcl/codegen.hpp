@@ -1,0 +1,30 @@
+// C++ code generator for RPCL specifications.
+//
+// Plays both roles from the paper's pipeline (Fig. 4): what `rpcgen` does
+// for the Cricket server in C, and what RPC-Lib's procedural macros do for
+// the Rust client. From one .x file it emits a single header containing the
+// XDR-serializable data types, the program/version/procedure constants, a
+// typed client stub class per version, and an abstract service skeleton the
+// server implements — so adding a procedure to the .x file makes it callable
+// with no hand-written marshalling on either side.
+#pragma once
+
+#include <string>
+
+#include "rpcl/ast.hpp"
+
+namespace cricket::rpcl {
+
+struct CodegenOptions {
+  /// Namespace the generated code lives in (e.g. "cricket::proto").
+  std::string ns = "cricket::proto";
+  /// Name recorded in the header's provenance comment.
+  std::string source_name = "<spec>";
+};
+
+/// Generates the full header text. Throws ParseError on constructs the
+/// generator cannot express (none for valid specs).
+[[nodiscard]] std::string generate_header(const SpecFile& spec,
+                                          const CodegenOptions& options);
+
+}  // namespace cricket::rpcl

@@ -1,0 +1,115 @@
+#include "rpcl/lexer.hpp"
+
+#include <cctype>
+
+namespace cricket::rpcl {
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+
+  const auto peek = [&](std::size_t k = 0) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      i += 2;
+      for (;;) {
+        if (i >= src.size())
+          throw ParseError("unterminated block comment", start_line);
+        if (src[i] == '\n') ++line;
+        if (src[i] == '*' && peek(1) == '/') {
+          i += 2;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    // rpcgen passthrough lines ("%...") are ignored.
+    if (c == '%' && (tokens.empty() || tokens.back().line != line)) {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    switch (c) {
+      case '{': tok.kind = TokKind::kLBrace; ++i; break;
+      case '}': tok.kind = TokKind::kRBrace; ++i; break;
+      case '(': tok.kind = TokKind::kLParen; ++i; break;
+      case ')': tok.kind = TokKind::kRParen; ++i; break;
+      case '[': tok.kind = TokKind::kLBracket; ++i; break;
+      case ']': tok.kind = TokKind::kRBracket; ++i; break;
+      case '<': tok.kind = TokKind::kLAngle; ++i; break;
+      case '>': tok.kind = TokKind::kRAngle; ++i; break;
+      case ';': tok.kind = TokKind::kSemicolon; ++i; break;
+      case ':': tok.kind = TokKind::kColon; ++i; break;
+      case ',': tok.kind = TokKind::kComma; ++i; break;
+      case '=': tok.kind = TokKind::kEquals; ++i; break;
+      case '*': tok.kind = TokKind::kStar; ++i; break;
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+          std::size_t start = i;
+          if (c == '-') ++i;
+          int base = 10;
+          if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            base = 16;
+            i += 2;
+          } else if (peek() == '0' &&
+                     std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            base = 8;
+            ++i;
+          }
+          while (i < src.size() &&
+                 std::isalnum(static_cast<unsigned char>(src[i])))
+            ++i;
+          tok.kind = TokKind::kNumber;
+          tok.text = std::string(src.substr(start, i - start));
+          try {
+            tok.number = std::stoll(tok.text, nullptr, base == 10 ? 10 : 0);
+          } catch (const std::exception&) {
+            throw ParseError("bad numeric literal '" + tok.text + "'", line);
+          }
+        } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          std::size_t start = i;
+          while (i < src.size() &&
+                 (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                  src[i] == '_'))
+            ++i;
+          tok.kind = TokKind::kIdentifier;
+          tok.text = std::string(src.substr(start, i - start));
+        } else {
+          throw ParseError(std::string("unexpected character '") + c + "'",
+                           line);
+        }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace cricket::rpcl

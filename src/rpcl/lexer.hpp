@@ -1,0 +1,54 @@
+// Tokenizer for the RPC Language.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cricket::rpcl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLAngle,     // <
+  kRAngle,     // >
+  kSemicolon,  // ;
+  kColon,      // :
+  kComma,      // ,
+  kEquals,     // =
+  kStar,       // *
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;        // identifier text / raw number
+  std::int64_t number = 0; // value when kind == kNumber
+  int line = 1;
+};
+
+/// Tokenizes RPCL source; strips /* */ and // and % passthrough lines.
+/// Throws ParseError on malformed input (unterminated comments, bad chars).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace cricket::rpcl

@@ -1,0 +1,354 @@
+#include "rpcl/parser.hpp"
+
+#include <map>
+#include <set>
+
+namespace cricket::rpcl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SpecFile parse() {
+    while (!at(TokKind::kEof)) parse_definition();
+    validate();
+    return std::move(spec_);
+  }
+
+ private:
+  // ------------------------------ helpers --------------------------------
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
+  [[nodiscard]] bool at_ident(std::string_view s) const {
+    return at(TokKind::kIdentifier) && cur().text == s;
+  }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  const Token& expect(TokKind k, const char* what) {
+    if (!at(k)) throw ParseError(std::string("expected ") + what, cur().line);
+    return advance();
+  }
+
+  std::string expect_ident() {
+    return expect(TokKind::kIdentifier, "identifier").text;
+  }
+
+  std::int64_t expect_value() {
+    if (at(TokKind::kNumber)) return advance().number;
+    if (at(TokKind::kIdentifier)) {
+      const std::string name = advance().text;
+      const auto it = const_values_.find(name);
+      if (it == const_values_.end())
+        throw ParseError("unknown constant '" + name + "'",
+                         tokens_[pos_ - 1].line);
+      return it->second;
+    }
+    throw ParseError("expected number or constant", cur().line);
+  }
+
+  // ----------------------------- definitions ------------------------------
+  void parse_definition() {
+    if (at_ident("const")) return parse_const();
+    if (at_ident("enum")) return parse_enum();
+    if (at_ident("struct")) return parse_struct();
+    if (at_ident("union")) return parse_union();
+    if (at_ident("typedef")) return parse_typedef();
+    if (at_ident("program")) return parse_program();
+    throw ParseError("expected top-level definition, got '" + cur().text + "'",
+                     cur().line);
+  }
+
+  void parse_const() {
+    advance();  // const
+    ConstDef def;
+    def.name = expect_ident();
+    expect(TokKind::kEquals, "'='");
+    def.value = expect_value();
+    expect(TokKind::kSemicolon, "';'");
+    const_values_[def.name] = def.value;
+    spec_.consts.push_back(std::move(def));
+  }
+
+  void parse_enum() {
+    advance();  // enum
+    EnumDef def;
+    def.name = expect_ident();
+    expect(TokKind::kLBrace, "'{'");
+    std::int32_t next = 0;
+    for (;;) {
+      const std::string name = expect_ident();
+      std::int32_t value = next;
+      if (at(TokKind::kEquals)) {
+        advance();
+        value = static_cast<std::int32_t>(expect_value());
+      }
+      def.values.emplace_back(name, value);
+      const_values_[name] = value;  // enum values usable as constants
+      next = value + 1;
+      if (at(TokKind::kComma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokKind::kRBrace, "'}'");
+    expect(TokKind::kSemicolon, "';'");
+    defined_types_.insert(def.name);
+    spec_.enums.push_back(std::move(def));
+  }
+
+  /// Parses "type-specifier" plus optional leading '*'.
+  TypeRef parse_type() {
+    TypeRef t;
+    if (at(TokKind::kStar)) {
+      advance();
+      t.decoration = TypeRef::Decoration::kOptional;
+    }
+    const int line = cur().line;
+    std::string name = expect_ident();
+    if (name == "unsigned") {
+      // "unsigned int" | "unsigned hyper" | bare "unsigned".
+      if (at_ident("int")) {
+        advance();
+        t.base = Builtin::kUInt;
+      } else if (at_ident("hyper")) {
+        advance();
+        t.base = Builtin::kUHyper;
+      } else {
+        t.base = Builtin::kUInt;
+      }
+    } else if (name == "int") {
+      t.base = Builtin::kInt;
+    } else if (name == "hyper") {
+      t.base = Builtin::kHyper;
+    } else if (name == "float") {
+      t.base = Builtin::kFloat;
+    } else if (name == "double") {
+      t.base = Builtin::kDouble;
+    } else if (name == "bool") {
+      t.base = Builtin::kBool;
+    } else if (name == "void") {
+      t.base = Builtin::kVoid;
+    } else if (name == "string") {
+      t.base = Builtin::kString;
+    } else if (name == "opaque") {
+      t.base = Builtin::kOpaque;
+    } else {
+      t.base = name;
+      used_types_.emplace(name, line);
+    }
+    return t;
+  }
+
+  /// Parses the declarator suffix after a field name: [N], <N>, <>.
+  void parse_array_suffix(TypeRef& t) {
+    if (at(TokKind::kLBracket)) {
+      advance();
+      t.decoration = TypeRef::Decoration::kFixedArray;
+      t.bound = static_cast<std::uint32_t>(expect_value());
+      expect(TokKind::kRBracket, "']'");
+    } else if (at(TokKind::kLAngle)) {
+      advance();
+      t.decoration = TypeRef::Decoration::kVariableArray;
+      if (!at(TokKind::kRAngle))
+        t.bound = static_cast<std::uint32_t>(expect_value());
+      expect(TokKind::kRAngle, "'>'");
+    }
+    // string/opaque without explicit <> still mean variable-length.
+    if (std::holds_alternative<Builtin>(t.base)) {
+      const Builtin b = std::get<Builtin>(t.base);
+      if ((b == Builtin::kString || b == Builtin::kOpaque) &&
+          t.decoration == TypeRef::Decoration::kNone)
+        t.decoration = TypeRef::Decoration::kVariableArray;
+    }
+  }
+
+  Field parse_field() {
+    Field f;
+    f.type = parse_type();
+    if (f.type.is_void()) return f;  // void field (union arms)
+    f.name = expect_ident();
+    parse_array_suffix(f.type);
+    return f;
+  }
+
+  void parse_struct() {
+    advance();  // struct
+    StructDef def;
+    def.name = expect_ident();
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      Field f = parse_field();
+      if (f.type.is_void())
+        throw ParseError("void field in struct", cur().line);
+      expect(TokKind::kSemicolon, "';'");
+      def.fields.push_back(std::move(f));
+    }
+    expect(TokKind::kRBrace, "'}'");
+    expect(TokKind::kSemicolon, "';'");
+    defined_types_.insert(def.name);
+    spec_.structs.push_back(std::move(def));
+  }
+
+  void parse_union() {
+    advance();  // union
+    UnionDef def;
+    def.name = expect_ident();
+    if (!at_ident("switch")) throw ParseError("expected 'switch'", cur().line);
+    advance();
+    expect(TokKind::kLParen, "'('");
+    def.discriminant_type = parse_type();
+    def.discriminant_name = expect_ident();
+    expect(TokKind::kRParen, "')'");
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      UnionArm arm;
+      if (at_ident("default")) {
+        advance();
+        arm.is_default = true;
+        expect(TokKind::kColon, "':'");
+      } else {
+        while (at_ident("case")) {
+          advance();
+          arm.cases.push_back(expect_value());
+          expect(TokKind::kColon, "':'");
+        }
+        if (arm.cases.empty())
+          throw ParseError("expected 'case' or 'default'", cur().line);
+      }
+      Field f = parse_field();
+      if (!f.type.is_void()) arm.field = std::move(f);
+      expect(TokKind::kSemicolon, "';'");
+      def.arms.push_back(std::move(arm));
+    }
+    expect(TokKind::kRBrace, "'}'");
+    expect(TokKind::kSemicolon, "';'");
+    defined_types_.insert(def.name);
+    spec_.unions.push_back(std::move(def));
+  }
+
+  void parse_typedef() {
+    advance();  // typedef
+    TypedefDef def;
+    def.type = parse_type();
+    def.name = expect_ident();
+    parse_array_suffix(def.type);
+    expect(TokKind::kSemicolon, "';'");
+    defined_types_.insert(def.name);
+    spec_.typedefs.push_back(std::move(def));
+  }
+
+  void parse_program() {
+    advance();  // program
+    ProgramDef prog;
+    prog.name = expect_ident();
+    expect(TokKind::kLBrace, "'{'");
+    while (at_ident("version")) {
+      advance();
+      VersionDef ver;
+      ver.name = expect_ident();
+      expect(TokKind::kLBrace, "'{'");
+      std::set<std::uint32_t> proc_numbers;
+      while (!at(TokKind::kRBrace)) {
+        ProcDef proc;
+        proc.result = parse_type();
+        parse_array_suffix(proc.result);  // applies string/opaque defaults
+        proc.name = expect_ident();
+        expect(TokKind::kLParen, "'('");
+        if (!at(TokKind::kRParen)) {
+          for (;;) {
+            TypeRef arg = parse_type();
+            if (arg.is_void()) break;  // "(void)"
+            parse_array_suffix(arg);   // e.g. string<N> / opaque<> args
+            proc.args.push_back(std::move(arg));
+            if (at(TokKind::kComma)) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        expect(TokKind::kRParen, "')'");
+        expect(TokKind::kEquals, "'='");
+        proc.number = static_cast<std::uint32_t>(expect_value());
+        expect(TokKind::kSemicolon, "';'");
+        if (!proc_numbers.insert(proc.number).second)
+          throw ParseError("duplicate procedure number " +
+                               std::to_string(proc.number),
+                           cur().line);
+        ver.procs.push_back(std::move(proc));
+      }
+      expect(TokKind::kRBrace, "'}'");
+      expect(TokKind::kEquals, "'='");
+      ver.number = static_cast<std::uint32_t>(expect_value());
+      expect(TokKind::kSemicolon, "';'");
+      prog.versions.push_back(std::move(ver));
+    }
+    expect(TokKind::kRBrace, "'}'");
+    expect(TokKind::kEquals, "'='");
+    prog.number = static_cast<std::uint32_t>(expect_value());
+    expect(TokKind::kSemicolon, "';'");
+    spec_.programs.push_back(std::move(prog));
+  }
+
+  void validate() const {
+    for (const auto& [name, line] : used_types_) {
+      if (!defined_types_.contains(name))
+        throw ParseError("reference to undefined type '" + name + "'", line);
+    }
+    std::set<std::string> names;
+    for (const auto& s : spec_.structs)
+      if (!names.insert(s.name).second)
+        throw ParseError("duplicate type name '" + s.name + "'", 0);
+    for (const auto& e : spec_.enums)
+      if (!names.insert(e.name).second)
+        throw ParseError("duplicate type name '" + e.name + "'", 0);
+    for (const auto& u : spec_.unions)
+      if (!names.insert(u.name).second)
+        throw ParseError("duplicate type name '" + u.name + "'", 0);
+    for (const auto& t : spec_.typedefs)
+      if (!names.insert(t.name).second)
+        throw ParseError("duplicate type name '" + t.name + "'", 0);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  SpecFile spec_;
+  std::map<std::string, std::int64_t> const_values_;
+  std::set<std::string> defined_types_;
+  std::multimap<std::string, int> used_types_;
+};
+
+}  // namespace
+
+const StructDef* SpecFile::find_struct(const std::string& name) const {
+  for (const auto& s : structs)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const EnumDef* SpecFile::find_enum(const std::string& name) const {
+  for (const auto& e : enums)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const TypedefDef* SpecFile::find_typedef(const std::string& name) const {
+  for (const auto& t : typedefs)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+const UnionDef* SpecFile::find_union(const std::string& name) const {
+  for (const auto& u : unions)
+    if (u.name == name) return &u;
+  return nullptr;
+}
+
+SpecFile parse_spec(std::string_view source) {
+  return Parser(tokenize(source)).parse();
+}
+
+}  // namespace cricket::rpcl

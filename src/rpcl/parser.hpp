@@ -1,0 +1,16 @@
+// Recursive-descent parser for the RPC Language.
+#pragma once
+
+#include <string_view>
+
+#include "rpcl/ast.hpp"
+#include "rpcl/lexer.hpp"
+
+namespace cricket::rpcl {
+
+/// Parses a complete .x specification. Throws ParseError with line info on
+/// syntax errors; performs basic semantic checks (duplicate type names,
+/// duplicate procedure numbers, references to undefined types).
+[[nodiscard]] SpecFile parse_spec(std::string_view source);
+
+}  // namespace cricket::rpcl

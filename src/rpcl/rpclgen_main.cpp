@@ -1,0 +1,48 @@
+// rpclgen: RPCL -> C++ code generator CLI.
+//
+// Usage: rpclgen <spec.x> <out.hpp> [--namespace ns::path]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rpcl/codegen.hpp"
+#include "rpcl/parser.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns]\n";
+    return 2;
+  }
+  const std::string spec_path = argv[1];
+  const std::string out_path = argv[2];
+  cricket::rpcl::CodegenOptions options;
+  options.source_name = spec_path;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--namespace") options.ns = argv[i + 1];
+  }
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::cerr << "rpclgen: cannot open " << spec_path << "\n";
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  try {
+    const auto spec = cricket::rpcl::parse_spec(source.str());
+    const std::string header =
+        cricket::rpcl::generate_header(spec, options);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "rpclgen: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << header;
+  } catch (const cricket::rpcl::ParseError& e) {
+    std::cerr << "rpclgen: " << spec_path << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "sim/rng.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace cricket::sim {
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256ss::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256ss::fill_bytes(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= out.size(); i += 8) {
+    const std::uint64_t v = next();
+    std::memcpy(out.data() + i, &v, 8);
+  }
+  if (i < out.size()) {
+    const std::uint64_t v = next();
+    std::memcpy(out.data() + i, &v, out.size() - i);
+  }
+}
+
+}  // namespace cricket::sim

@@ -1,0 +1,82 @@
+// Deterministic random number generators.
+//
+// Two quality tiers on purpose: the paper (§4.1) traces the histogram
+// benchmark's C-vs-Rust gap partly to "the C applications use a slower random
+// number generator for initialization". We mirror that with a fast
+// xoshiro256** generator (the Rust-style RNG) and a deliberately slower
+// rand()-style LCG that produces one byte per call (the C-samples RNG).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cricket::sim {
+
+/// SplitMix64: seeds the other generators; also fine standalone.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, and the kind of generator Rust's
+/// `rand` crate family ships. Fills 8 bytes per call.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() noexcept {
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Fills `out` with random bytes, 8 at a time.
+  void fill_bytes(std::span<std::uint8_t> out) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Minimal-standard LCG mimicking libc rand(): 31-bit state, one output per
+/// step, plus an artificial modulo to mirror the C samples' byte extraction.
+/// Used only to reproduce the paper's "slower C RNG" effect.
+class LegacyLcg {
+ public:
+  explicit LegacyLcg(std::uint32_t seed) noexcept : state_(seed ? seed : 1) {}
+
+  std::uint32_t next() noexcept {
+    state_ = (1103515245u * state_ + 12345u) & 0x7FFFFFFFu;
+    return state_;
+  }
+
+  float next_float() noexcept {
+    return static_cast<float>(next()) / 2147483648.0f;
+  }
+
+  /// One byte per full generator step — intentionally 8x the work of
+  /// Xoshiro256ss::fill_bytes per output byte.
+  void fill_bytes(std::span<std::uint8_t> out) noexcept {
+    for (auto& b : out) b = static_cast<std::uint8_t>(next() % 256u);
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace cricket::sim

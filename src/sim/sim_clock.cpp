@@ -1,0 +1,12 @@
+#include "sim/sim_clock.hpp"
+
+namespace cricket::sim {
+
+const char* pick_unit(Nanos ns) noexcept {
+  if (ns >= kSecond) return "s";
+  if (ns >= kMillisecond) return "ms";
+  if (ns >= kMicrosecond) return "us";
+  return "ns";
+}
+
+}  // namespace cricket::sim

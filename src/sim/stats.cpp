@@ -1,0 +1,103 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace cricket::sim {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t bucket =
+      value == 0 ? 0
+                 : std::min<std::size_t>(kBuckets - 1,
+                                         static_cast<std::size_t>(
+                                             std::bit_width(value) - 1));
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return (std::uint64_t{1} << (i + 1)) - 1;
+  }
+  return std::uint64_t{1} << (kBuckets - 1);
+}
+
+std::string Log2Histogram::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    char line[96];
+    std::snprintf(line, sizeof line, "[%llu, %llu): %llu\n",
+                  static_cast<unsigned long long>(i == 0 ? 0 : (1ULL << i)),
+                  static_cast<unsigned long long>(1ULL << (i + 1)),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  std::size_t u = 0;
+  while (bytes >= 1024.0 && u + 1 < std::size(kUnits)) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, kUnits[u]);
+  return buf;
+}
+
+std::string format_nanos(double ns) {
+  static constexpr const char* kUnits[] = {"ns", "us", "ms", "s"};
+  std::size_t u = 0;
+  while (ns >= 1000.0 && u + 1 < std::size(kUnits)) {
+    ns /= 1000.0;
+    ++u;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f %s", ns, kUnits[u]);
+  return buf;
+}
+
+}  // namespace cricket::sim

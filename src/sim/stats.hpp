@@ -1,0 +1,60 @@
+// Streaming statistics used by benchmark harnesses and the network simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cricket::sim {
+
+/// Welford-style single-pass accumulator: count, mean, variance, min, max.
+/// Not thread-safe; aggregate per-thread instances with `merge`.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Combines another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-boundary log2 histogram for latency distributions. Bucket i covers
+/// [2^i, 2^(i+1)) in the recorded unit; values < 1 land in bucket 0.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Value below which `q` (0..1) of the samples fall, estimated from bucket
+  /// boundaries (upper edge of the quantile bucket).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Formats `bytes` as "512.0 MiB" etc.
+[[nodiscard]] std::string format_bytes(double bytes);
+/// Formats a nanosecond duration as e.g. "12.34 ms".
+[[nodiscard]] std::string format_nanos(double ns);
+
+}  // namespace cricket::sim

@@ -1,0 +1,44 @@
+#include "vnet/checksum.hpp"
+
+namespace cricket::vnet {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  if (i < data.size()) acc += std::uint32_t{data[i]} << 8;  // odd trailing byte
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) noexcept {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_accumulate(data, 0));
+}
+
+std::uint16_t tcp_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                           std::span<const std::uint8_t> segment) noexcept {
+  const std::uint8_t pseudo[12] = {
+      static_cast<std::uint8_t>(src_ip >> 24),
+      static_cast<std::uint8_t>(src_ip >> 16),
+      static_cast<std::uint8_t>(src_ip >> 8),
+      static_cast<std::uint8_t>(src_ip),
+      static_cast<std::uint8_t>(dst_ip >> 24),
+      static_cast<std::uint8_t>(dst_ip >> 16),
+      static_cast<std::uint8_t>(dst_ip >> 8),
+      static_cast<std::uint8_t>(dst_ip),
+      0,
+      6,  // protocol: TCP
+      static_cast<std::uint8_t>(segment.size() >> 8),
+      static_cast<std::uint8_t>(segment.size()),
+  };
+  std::uint32_t acc = checksum_accumulate(pseudo, 0);
+  acc = checksum_accumulate(segment, acc);
+  return checksum_finish(acc);
+}
+
+}  // namespace cricket::vnet

@@ -1,0 +1,34 @@
+// Internet checksum (RFC 1071) and the TCP pseudo-header checksum.
+//
+// Checksumming is a protagonist of the paper's evaluation: RustyHermit
+// gained VIRTIO_NET_F_CSUM/GUEST_CSUM to *avoid* computing these per packet
+// (§3.1), Unikraft cannot yet, and disabling transmit checksum offload in
+// the Linux VM collapses its bandwidth (§4.2). The real computation lives
+// here so the simulated guests genuinely pay (or skip) it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cricket::vnet {
+
+/// One's-complement sum over `data` folded to 16 bits (RFC 1071). The
+/// returned value is the checksum field value (already complemented).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental variant: returns the raw 32-bit accumulator for composing
+/// multi-part checksums (pseudo-header + payload).
+[[nodiscard]] std::uint32_t checksum_accumulate(
+    std::span<const std::uint8_t> data, std::uint32_t acc) noexcept;
+
+/// Folds an accumulator and complements it into a checksum field value.
+[[nodiscard]] std::uint16_t checksum_finish(std::uint32_t acc) noexcept;
+
+/// TCP checksum over IPv4 pseudo-header + TCP header + payload. `segment`
+/// must contain the TCP header with its checksum field zeroed.
+[[nodiscard]] std::uint16_t tcp_checksum(
+    std::uint32_t src_ip, std::uint32_t dst_ip,
+    std::span<const std::uint8_t> segment) noexcept;
+
+}  // namespace cricket::vnet

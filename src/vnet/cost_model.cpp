@@ -1,0 +1,86 @@
+#include "vnet/cost_model.hpp"
+
+namespace cricket::vnet {
+namespace {
+
+std::size_t div_ceil(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::uint64_t OffloadFeatures::feature_bits() const noexcept {
+  std::uint64_t bits = 0;
+  if (tx_checksum) bits |= kVirtioNetFCsum;
+  if (rx_checksum) bits |= kVirtioNetFGuestCsum;
+  if (tso) bits |= kVirtioNetFHostTso4;
+  if (mrg_rxbuf) bits |= kVirtioNetFMrgRxbuf;
+  if (rx_coalesce) bits |= kVirtioNetFGuestTso4;
+  return bits;
+}
+
+OffloadFeatures OffloadFeatures::from_bits(std::uint64_t bits) noexcept {
+  OffloadFeatures f;
+  f.tx_checksum = bits & kVirtioNetFCsum;
+  f.rx_checksum = bits & kVirtioNetFGuestCsum;
+  f.tso = bits & kVirtioNetFHostTso4;
+  f.mrg_rxbuf = bits & kVirtioNetFMrgRxbuf;
+  f.rx_coalesce = bits & kVirtioNetFGuestTso4;
+  return f;
+}
+
+sim::Nanos tx_cpu_cost(const NetworkProfile& p, std::size_t bytes) noexcept {
+  const std::size_t segments =
+      bytes == 0 ? 1 : div_ceil(bytes, p.tx_segment_size());
+  sim::Nanos cost = p.guest.syscall_ns;
+  cost += static_cast<sim::Nanos>(segments) * p.guest.per_packet_ns;
+  if (p.virtualized) {
+    const std::size_t batch =
+        p.guest.kick_batch > 0 ? static_cast<std::size_t>(p.guest.kick_batch)
+                               : 1;
+    cost += static_cast<sim::Nanos>(div_ceil(segments, batch)) *
+            p.guest.vm_exit_ns;
+  }
+  if (!p.offloads.tx_checksum)
+    cost += static_cast<sim::Nanos>(p.guest.checksum_ns_per_byte *
+                                    static_cast<double>(bytes));
+  const int copies =
+      p.guest.tx_copies - (p.offloads.scatter_gather ? 1 : 0);
+  if (copies > 0)
+    cost += static_cast<sim::Nanos>(p.guest.copy_ns_per_byte *
+                                    static_cast<double>(copies) *
+                                    static_cast<double>(bytes));
+  return cost;
+}
+
+sim::Nanos rx_cpu_cost(const NetworkProfile& p, std::size_t bytes) noexcept {
+  const std::size_t buffers =
+      bytes == 0 ? 1 : div_ceil(bytes, p.rx_buffer_size());
+  sim::Nanos cost = p.guest.syscall_ns;
+  cost += static_cast<sim::Nanos>(buffers) * p.guest.per_packet_ns;
+  if (p.virtualized) {
+    const std::size_t batch =
+        p.guest.kick_batch > 0 ? static_cast<std::size_t>(p.guest.kick_batch)
+                               : 1;
+    cost += static_cast<sim::Nanos>(div_ceil(buffers, batch)) *
+            p.guest.vm_exit_ns;
+  }
+  if (!p.offloads.mrg_rxbuf)
+    cost += static_cast<sim::Nanos>(buffers) * p.guest.rx_per_buffer_ns;
+  if (!p.offloads.rx_checksum)
+    cost += static_cast<sim::Nanos>(p.guest.checksum_ns_per_byte *
+                                    static_cast<double>(bytes));
+  if (p.guest.rx_copies > 0)
+    cost += static_cast<sim::Nanos>(p.guest.copy_ns_per_byte *
+                                    static_cast<double>(p.guest.rx_copies) *
+                                    static_cast<double>(bytes));
+  return cost;
+}
+
+sim::Nanos wire_time(const NetworkProfile& p, std::size_t bytes) noexcept {
+  return p.link.one_way_latency_ns +
+         static_cast<sim::Nanos>(static_cast<double>(bytes) /
+                                 (p.link.bandwidth_gbps * 1e9) * 1e9);
+}
+
+}  // namespace cricket::vnet

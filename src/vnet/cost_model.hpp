@@ -1,0 +1,110 @@
+// Network cost model: where the paper's measured overheads come from.
+//
+// The evaluation (§4.2) attributes the unikernel/VM slowdowns to concrete
+// mechanisms: virtualization of the network interface (VM exits per queue
+// notification), guest-side network stack work per packet, checksum
+// computation when VIRTIO_NET_F_CSUM/GUEST_CSUM are absent, per-MSS
+// segmentation when TSO is absent (vs 64 KiB super-frames with it), receive
+// buffer handling without MRG_RXBUF, internal copies, and guest context
+// switches (absent in single-address-space unikernels). Each mechanism is a
+// parameter here; environment presets (src/env) instantiate them per Table 1
+// row, and the transports charge the resulting virtual time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/sim_clock.hpp"
+#include "vnet/packet.hpp"
+
+namespace cricket::vnet {
+
+/// Virtio-net feature bits (virtio 1.1 §5.1.3) — the ones the paper names.
+constexpr std::uint64_t kVirtioNetFCsum = 1ull << 0;       // TX csum offload
+constexpr std::uint64_t kVirtioNetFGuestCsum = 1ull << 1;  // RX csum offload
+constexpr std::uint64_t kVirtioNetFGuestTso4 = 1ull << 7;
+constexpr std::uint64_t kVirtioNetFHostTso4 = 1ull << 11;  // TX segmentation
+constexpr std::uint64_t kVirtioNetFMrgRxbuf = 1ull << 15;
+
+struct OffloadFeatures {
+  bool tx_checksum = false;  // VIRTIO_NET_F_CSUM
+  bool rx_checksum = false;  // VIRTIO_NET_F_GUEST_CSUM
+  bool tso = false;          // VIRTIO_NET_F_HOST_TSO4: 64 KiB TX frames
+  bool mrg_rxbuf = false;    // VIRTIO_NET_F_MRG_RXBUF: flexible RX buffers
+  bool rx_coalesce = false;  // VIRTIO_NET_F_GUEST_TSO4 / GRO: 64 KiB RX units
+  bool scatter_gather = false;  // zero-copy TX queueing
+
+  [[nodiscard]] std::uint64_t feature_bits() const noexcept;
+  [[nodiscard]] static OffloadFeatures from_bits(std::uint64_t bits) noexcept;
+};
+
+/// Guest-side (and hypervisor) CPU costs, charged to virtual time.
+struct GuestCosts {
+  /// Socket syscall / guest kernel entry per send/recv call. Zero for
+  /// unikernels (single address space, no privilege transition).
+  sim::Nanos syscall_ns = 0;
+  /// Network stack processing per TX/RX packet (headers, queue management).
+  sim::Nanos per_packet_ns = 0;
+  /// Software checksum speed. Only paid when the matching offload is off.
+  double checksum_ns_per_byte = 0.0;
+  /// Internal buffer copies (paper §3.1: Hermit "reduced the amount of
+  /// internal copies").
+  double copy_ns_per_byte = 0.0;
+  int tx_copies = 1;
+  int rx_copies = 1;
+  /// VM exit + host handling per virtqueue kick / interrupt.
+  sim::Nanos vm_exit_ns = 0;
+  /// Segments per kick in bulk transmission. A mature virtio driver
+  /// suppresses notifications (event-idx) and batches many segments per VM
+  /// exit; simple unikernel drivers kick per packet.
+  int kick_batch = 1;
+  /// Extra RX cost per descriptor when MRG_RXBUF is unavailable.
+  sim::Nanos rx_per_buffer_ns = 0;
+};
+
+/// Physical link: 100 Gbit/s Ethernet (IPoIB on ConnectX-5) in the paper.
+struct LinkModel {
+  double bandwidth_gbps = 100.0 / 8.0;  // GB/s
+  sim::Nanos one_way_latency_ns = 6'000;  // IPoIB-class one-way latency
+};
+
+/// Everything a transport needs to charge realistic virtual time.
+struct NetworkProfile {
+  OffloadFeatures offloads;
+  GuestCosts guest;
+  LinkModel link;
+  std::size_t ip_mtu = 9000;
+  bool virtualized = false;  // false = native host networking
+
+  [[nodiscard]] std::size_t mss() const noexcept {
+    return mss_for_mtu(ip_mtu);
+  }
+  /// TSO/GRO super-frame payload: bounded by the IPv4 total-length field
+  /// (64 KiB including headers), as with real TSO_V4.
+  static constexpr std::size_t kSuperFrame =
+      65535 - kIpv4HeaderLen - kTcpHeaderLen;
+
+  /// Bytes per TX "packet" hitting the stack: ~64 KiB super-frames with TSO,
+  /// one MSS otherwise.
+  [[nodiscard]] std::size_t tx_segment_size() const noexcept {
+    return offloads.tso ? kSuperFrame : mss();
+  }
+  /// Bytes per RX unit the guest stack processes: ~64 KiB coalesced units
+  /// with GRO/GUEST_TSO4 (Linux guests), one MSS otherwise (the unikernel
+  /// stacks process every wire segment individually).
+  [[nodiscard]] std::size_t rx_buffer_size() const noexcept {
+    return offloads.rx_coalesce ? kSuperFrame : mss();
+  }
+};
+
+/// Guest-side cost of transmitting `bytes` (excluding wire time).
+[[nodiscard]] sim::Nanos tx_cpu_cost(const NetworkProfile& p,
+                                     std::size_t bytes) noexcept;
+/// Guest-side cost of receiving `bytes` (excluding wire time).
+[[nodiscard]] sim::Nanos rx_cpu_cost(const NetworkProfile& p,
+                                     std::size_t bytes) noexcept;
+/// Wire time for `bytes` in one direction (serialization + propagation).
+[[nodiscard]] sim::Nanos wire_time(const NetworkProfile& p,
+                                   std::size_t bytes) noexcept;
+
+}  // namespace cricket::vnet

@@ -1,0 +1,248 @@
+#include "vnet/minitcp.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cricket::vnet {
+namespace {
+
+constexpr MacAddr kGuestMac = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+constexpr MacAddr kHostMac = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+
+}  // namespace
+
+TcpConnection::TcpConnection(TcpConfig config, FrameSink sink)
+    : config_(config),
+      sink_(std::move(sink)),
+      snd_nxt_(config.initial_seq),
+      snd_una_(config.initial_seq) {}
+
+void TcpConnection::emit(std::uint8_t flags, std::uint32_t seq,
+                         std::span<const std::uint8_t> payload, bool track,
+                         sim::Nanos now) {
+  EthHeader eth{.dst = kHostMac, .src = kGuestMac};
+  Ipv4Header ip;
+  ip.src = config_.local_ip;
+  ip.dst = config_.remote_ip;
+  ip.ident = static_cast<std::uint16_t>(stats_.segments_sent);
+  TcpHeader tcp;
+  tcp.src_port = config_.local_port;
+  tcp.dst_port = config_.remote_port;
+  tcp.seq = seq;
+  tcp.ack = rcv_nxt_;
+  tcp.flags = flags;
+
+  sink_(encode_frame(eth, ip, tcp, payload, config_.tx_checksum));
+  ++stats_.segments_sent;
+  stats_.bytes_sent += payload.size();
+  if (flags & kTcpAck) ++stats_.acks_sent;
+  if (track) {
+    unacked_.push_back(UnackedSegment{
+        seq, {payload.begin(), payload.end()}, flags});
+    last_activity_ = now;
+  }
+}
+
+void TcpConnection::connect(sim::Nanos now) {
+  if (state_ != TcpState::kClosed) throw PacketError("connect: not closed");
+  state_ = TcpState::kSynSent;
+  emit(kTcpSyn, snd_nxt_, {}, /*track=*/true, now);
+  ++snd_nxt_;  // SYN consumes one sequence number
+}
+
+void TcpConnection::listen() {
+  if (state_ != TcpState::kClosed) throw PacketError("listen: not closed");
+  state_ = TcpState::kListen;
+}
+
+std::size_t TcpConnection::unacked_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& seg : unacked_) n += seg.payload.size();
+  return n;
+}
+
+void TcpConnection::retransmit_segment(const UnackedSegment& seg) {
+  EthHeader eth{.dst = kHostMac, .src = kGuestMac};
+  Ipv4Header ip;
+  ip.src = config_.local_ip;
+  ip.dst = config_.remote_ip;
+  TcpHeader tcp;
+  tcp.src_port = config_.local_port;
+  tcp.dst_port = config_.remote_port;
+  tcp.seq = seg.seq;
+  tcp.ack = rcv_nxt_;
+  tcp.flags = static_cast<std::uint8_t>(seg.flags | kTcpAck);
+  sink_(encode_frame(eth, ip, tcp, seg.payload, config_.tx_checksum));
+  ++stats_.segments_sent;
+  ++stats_.segments_retransmitted;
+}
+
+void TcpConnection::handle_ack(std::uint32_t ack, sim::Nanos now) {
+  if (seq_lt(snd_nxt_ + 1, ack)) return;  // acks data we never sent
+
+  // RFC 5681-style fast retransmit: three ACKs for the same sequence while
+  // data is outstanding mean the next segment was lost — resend it without
+  // waiting for the RTO.
+  if (ack == last_ack_seen_ && !unacked_.empty()) {
+    if (++dup_ack_count_ == 3) {
+      ++stats_.fast_retransmits;
+      retransmit_segment(unacked_.front());
+      last_activity_ = now;  // restart the RTO
+    }
+  } else {
+    last_ack_seen_ = ack;
+    dup_ack_count_ = 0;
+  }
+
+  while (!unacked_.empty()) {
+    const auto& seg = unacked_.front();
+    const std::uint32_t seg_end =
+        seg.seq + static_cast<std::uint32_t>(seg.payload.size()) +
+        ((seg.flags & (kTcpSyn | kTcpFin)) ? 1 : 0);
+    if (seq_lt(ack, seg_end)) break;  // not fully acknowledged
+    unacked_.pop_front();
+  }
+  if (seq_lt(snd_una_, ack)) snd_una_ = ack;
+}
+
+void TcpConnection::flush_send_queue(sim::Nanos now) {
+  const std::size_t max_seg = mss();
+  while (!send_queue_.empty() &&
+         unacked_bytes() + max_seg <= config_.send_window) {
+    const std::size_t n = std::min(max_seg, send_queue_.size());
+    std::vector<std::uint8_t> payload(send_queue_.begin(),
+                                      send_queue_.begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+    send_queue_.erase(send_queue_.begin(),
+                      send_queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    emit(static_cast<std::uint8_t>(kTcpAck | kTcpPsh), snd_nxt_, payload,
+         /*track=*/true, now);
+    snd_nxt_ += static_cast<std::uint32_t>(n);
+  }
+  if (fin_pending_ && send_queue_.empty() && unacked_.empty()) {
+    fin_pending_ = false;
+    emit(static_cast<std::uint8_t>(kTcpFin | kTcpAck), snd_nxt_, {},
+         /*track=*/true, now);
+    ++snd_nxt_;
+    state_ = TcpState::kFinWait;
+  }
+}
+
+std::size_t TcpConnection::send(std::span<const std::uint8_t> data,
+                                sim::Nanos now) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait)
+    throw PacketError("send: connection not established");
+  send_queue_.insert(send_queue_.end(), data.begin(), data.end());
+  flush_send_queue(now);
+  return data.size();
+}
+
+std::vector<std::uint8_t> TcpConnection::take_received() {
+  return std::exchange(received_, {});
+}
+
+void TcpConnection::on_frame(std::span<const std::uint8_t> frame,
+                             sim::Nanos now) {
+  ParsedFrame parsed;
+  try {
+    parsed = parse_frame(frame, config_.rx_checksum);
+  } catch (const PacketError&) {
+    ++stats_.segments_dropped;
+    return;
+  }
+  if (parsed.tcp.dst_port != config_.local_port) {
+    ++stats_.segments_dropped;
+    return;
+  }
+  ++stats_.segments_received;
+  const TcpHeader& tcp = parsed.tcp;
+
+  switch (state_) {
+    case TcpState::kListen:
+      if (tcp.flags & kTcpSyn) {
+        rcv_nxt_ = tcp.seq + 1;
+        state_ = TcpState::kSynReceived;
+        emit(static_cast<std::uint8_t>(kTcpSyn | kTcpAck), snd_nxt_, {},
+             /*track=*/true, now);
+        ++snd_nxt_;
+      }
+      return;
+
+    case TcpState::kSynSent:
+      if ((tcp.flags & kTcpSyn) && (tcp.flags & kTcpAck)) {
+        rcv_nxt_ = tcp.seq + 1;
+        handle_ack(tcp.ack, now);
+        state_ = TcpState::kEstablished;
+        emit(kTcpAck, snd_nxt_, {}, /*track=*/false, now);
+      }
+      return;
+
+    case TcpState::kSynReceived:
+      if (tcp.flags & kTcpAck) {
+        handle_ack(tcp.ack, now);
+        state_ = TcpState::kEstablished;
+      }
+      return;
+
+    case TcpState::kEstablished:
+    case TcpState::kFinWait:
+    case TcpState::kCloseWait: {
+      if (tcp.flags & kTcpAck) {
+        handle_ack(tcp.ack, now);
+        flush_send_queue(now);
+      }
+      bool advanced = false;
+      if (!parsed.payload.empty()) {
+        if (tcp.seq == rcv_nxt_) {
+          received_.insert(received_.end(), parsed.payload.begin(),
+                           parsed.payload.end());
+          rcv_nxt_ += static_cast<std::uint32_t>(parsed.payload.size());
+          stats_.bytes_received += parsed.payload.size();
+          advanced = true;
+        } else {
+          // Go-back-N receiver: drop out-of-order data, re-ACK rcv_nxt_.
+          ++stats_.segments_dropped;
+        }
+      }
+      if (tcp.flags & kTcpFin) {
+        if (tcp.seq + (parsed.payload.empty()
+                           ? 0
+                           : static_cast<std::uint32_t>(parsed.payload.size())) ==
+            rcv_nxt_) {
+          ++rcv_nxt_;
+          advanced = true;
+          if (state_ == TcpState::kEstablished)
+            state_ = TcpState::kCloseWait;
+          else if (state_ == TcpState::kFinWait)
+            state_ = TcpState::kClosed;
+        }
+      }
+      if (advanced || !parsed.payload.empty())
+        emit(kTcpAck, snd_nxt_, {}, /*track=*/false, now);
+      return;
+    }
+
+    case TcpState::kClosed:
+      ++stats_.segments_dropped;
+      return;
+  }
+}
+
+void TcpConnection::poll(sim::Nanos now) {
+  if (unacked_.empty()) return;
+  if (now - last_activity_ < config_.rto) return;
+  // Go-back-N: retransmit everything outstanding.
+  last_activity_ = now;
+  for (const auto& seg : unacked_) retransmit_segment(seg);
+}
+
+void TcpConnection::close(sim::Nanos now) {
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    fin_pending_ = true;
+    flush_send_queue(now);
+  } else {
+    state_ = TcpState::kClosed;
+  }
+}
+
+}  // namespace cricket::vnet

@@ -1,0 +1,131 @@
+// minitcp: a small deterministic TCP implementation.
+//
+// Stands in for the guest network stacks of the paper (smoltcp in
+// RustyHermit, lwIP in Unikraft): three-way handshake, MSS-bounded
+// segmentation, cumulative ACKs, fixed-window flow control, and go-back-N
+// retransmission on a (virtual-time) RTO. The state machine is
+// single-threaded and I/O-free: inbound frames are fed to `on_frame`,
+// outbound frames leave through a caller-supplied sink, and timers advance
+// via `poll(now)` — which makes every scenario (loss, reordering,
+// retransmit) exactly reproducible in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/sim_clock.hpp"
+#include "vnet/packet.hpp"
+
+namespace cricket::vnet {
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait,
+  kCloseWait,
+};
+
+struct TcpConfig {
+  std::uint32_t local_ip = 0;
+  std::uint32_t remote_ip = 0;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+  std::size_t ip_mtu = 9000;  // paper §4: "IP-MTU of 9000"
+  /// Software checksum handling: compute on TX / verify on RX. Off models
+  /// VIRTIO_NET_F_CSUM / GUEST_CSUM offload.
+  bool tx_checksum = true;
+  bool rx_checksum = true;
+  std::uint32_t initial_seq = 1000;
+  sim::Nanos rto = 200 * sim::kMillisecond;
+  std::size_t send_window = 256 * 1024;
+};
+
+struct TcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_retransmitted = 0;
+  std::uint64_t fast_retransmits = 0;  // triggered by 3 duplicate ACKs
+  std::uint64_t segments_received = 0;
+  std::uint64_t segments_dropped = 0;  // out-of-order / bad checksum
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class TcpConnection {
+ public:
+  using FrameSink = std::function<void(std::vector<std::uint8_t>)>;
+
+  TcpConnection(TcpConfig config, FrameSink sink);
+
+  /// Active open: emits SYN, enters SYN_SENT.
+  void connect(sim::Nanos now);
+  /// Passive open: enters LISTEN.
+  void listen();
+
+  /// Feeds one inbound Ethernet frame into the state machine.
+  void on_frame(std::span<const std::uint8_t> frame, sim::Nanos now);
+
+  /// Queues application data; transmits what fits in the send window.
+  /// Returns the number of bytes accepted (all of them; the unsent tail is
+  /// buffered and flushed as ACKs open the window).
+  std::size_t send(std::span<const std::uint8_t> data, sim::Nanos now);
+
+  /// Drains in-order received application data.
+  [[nodiscard]] std::vector<std::uint8_t> take_received();
+
+  /// Drives timers: go-back-N retransmission once `now` passes the RTO.
+  void poll(sim::Nanos now);
+
+  /// Initiates close (sends FIN once all queued data is acknowledged).
+  void close(sim::Nanos now);
+
+  [[nodiscard]] TcpState state() const noexcept { return state_; }
+  [[nodiscard]] const TcpStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t unacked_bytes() const noexcept;
+  [[nodiscard]] std::size_t mss() const noexcept {
+    return mss_for_mtu(config_.ip_mtu);
+  }
+
+ private:
+  struct UnackedSegment {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t flags;
+  };
+
+  void emit(std::uint8_t flags, std::uint32_t seq,
+            std::span<const std::uint8_t> payload, bool track,
+            sim::Nanos now);
+  void flush_send_queue(sim::Nanos now);
+  void handle_ack(std::uint32_t ack, sim::Nanos now);
+  void retransmit_segment(const struct UnackedSegment& seg);
+  static bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+
+  TcpConfig config_;
+  FrameSink sink_;
+  TcpState state_ = TcpState::kClosed;
+  TcpStats stats_;
+
+  std::uint32_t snd_nxt_;  // next sequence to send
+  std::uint32_t snd_una_;  // oldest unacknowledged
+  std::uint32_t rcv_nxt_ = 0;
+
+  std::deque<UnackedSegment> unacked_;
+  std::deque<std::uint8_t> send_queue_;  // app data not yet transmitted
+  std::vector<std::uint8_t> received_;
+  sim::Nanos last_activity_ = 0;
+  bool fin_pending_ = false;
+  // Fast-retransmit state (RFC 5681-style: 3 duplicate ACKs).
+  std::uint32_t last_ack_seen_ = 0;
+  int dup_ack_count_ = 0;
+};
+
+}  // namespace cricket::vnet

@@ -1,0 +1,115 @@
+// Virtio-net guest transport and the cost-charging transport decorator.
+//
+// VirtioNetTransport is the data path of a unikernel / Linux-VM guest
+// (paper Fig. 4): application bytes are segmented into real
+// Ethernet/IPv4/TCP frames (checksummed in software unless the virtio
+// checksum offloads are negotiated), pushed through a real split virtqueue
+// to a host backend thread, which unwraps them onto the "wire" (a byte
+// queue toward the Cricket server). Receive is the mirror image, with
+// MRG_RXBUF governing how many bytes arrive per posted buffer. All guest
+// CPU mechanisms additionally charge virtual time via the NetworkProfile.
+//
+// ShapedTransport is the light-weight variant for native (non-virtualized)
+// rows: it only charges host-stack costs around an inner transport.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "rpc/transport.hpp"
+#include "sim/sim_clock.hpp"
+#include "vnet/cost_model.hpp"
+#include "vnet/virtqueue.hpp"
+
+namespace cricket::vnet {
+
+struct TransportStats {
+  std::uint64_t frames_tx = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t checksums_computed = 0;  // software checksum operations
+};
+
+/// Charges NetworkProfile costs around an inner transport. Used for the
+/// native C / native Rust rows of Table 1 (host kernel TCP, no hypervisor).
+class ShapedTransport final : public rpc::Transport {
+ public:
+  ShapedTransport(NetworkProfile profile, sim::SimClock& clock,
+                  std::unique_ptr<rpc::Transport> inner)
+      : profile_(profile), clock_(&clock), inner_(std::move(inner)) {}
+
+  void send(std::span<const std::uint8_t> data) override {
+    clock_->advance(tx_cpu_cost(profile_, data.size()) +
+                    wire_time(profile_, data.size()));
+    inner_->send(data);
+  }
+
+  std::size_t recv(std::span<std::uint8_t> out) override {
+    const std::size_t n = inner_->recv(out);
+    if (n > 0) clock_->advance(rx_cpu_cost(profile_, n));
+    return n;
+  }
+
+  void shutdown() override { inner_->shutdown(); }
+
+ private:
+  NetworkProfile profile_;
+  sim::SimClock* clock_;
+  std::unique_ptr<rpc::Transport> inner_;
+};
+
+/// Guest-side virtio-net transport. One instance per guest connection; owns
+/// the guest memory arena, the TX/RX virtqueues, and two host backend
+/// threads bridging the queues to the wire byte-queues.
+class VirtioNetTransport final : public rpc::Transport {
+ public:
+  VirtioNetTransport(NetworkProfile profile, sim::SimClock& clock,
+                     std::shared_ptr<rpc::ByteQueue> wire_tx,
+                     std::shared_ptr<rpc::ByteQueue> wire_rx);
+  ~VirtioNetTransport() override;
+
+  VirtioNetTransport(const VirtioNetTransport&) = delete;
+  VirtioNetTransport& operator=(const VirtioNetTransport&) = delete;
+
+  void send(std::span<const std::uint8_t> data) override;
+  std::size_t recv(std::span<std::uint8_t> out) override;
+  void shutdown() override;
+
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const NetworkProfile& profile() const noexcept {
+    return profile_;
+  }
+  /// Virtqueue notification counters (kicks = VM exits on the TX path).
+  [[nodiscard]] std::uint64_t tx_kicks() const noexcept { return tx_.kicks(); }
+
+ private:
+  void tx_backend();
+  void rx_backend();
+  void reclaim_tx_descriptors(bool wait);
+  void post_rx_buffer();
+
+  NetworkProfile profile_;
+  sim::SimClock* clock_;
+  std::shared_ptr<rpc::ByteQueue> wire_tx_;
+  std::shared_ptr<rpc::ByteQueue> wire_rx_;
+
+  GuestMemory memory_;
+  Virtqueue tx_;
+  Virtqueue rx_;
+
+  std::uint32_t tx_seq_ = 1;
+  std::deque<std::uint8_t> rx_pending_;  // payload reassembled, not yet read
+  TransportStats stats_;
+
+  std::thread tx_thread_;
+  std::thread rx_thread_;
+  std::atomic<bool> stopping_{false};
+
+  static constexpr std::uint16_t kQueueSize = 256;
+  static constexpr std::size_t kHeaderRoom = 128;
+};
+
+}  // namespace cricket::vnet

@@ -1,0 +1,65 @@
+#include "workloads/bandwidth_test.hpp"
+
+#include "cudart/raii.hpp"
+
+namespace cricket::workloads {
+
+BandwidthReport run_bandwidth_test(cuda::CudaApi& api, sim::SimClock& clock,
+                                   const env::ClientFlavor& flavor,
+                                   const BandwidthConfig& config) {
+  BandwidthReport report;
+  report.base.name = config.direction == CopyDirection::kHostToDevice
+                         ? "bandwidthTest H2D"
+                         : "bandwidthTest D2H";
+  const sim::SimStopwatch total(clock);
+  std::uint64_t calls = 0;
+
+  const sim::SimStopwatch init(clock);
+  std::vector<std::uint8_t> host(config.bytes);
+  fill_random_bytes(host, flavor, clock, 0xB0);
+  cuda::DeviceBuffer dev(api, config.bytes);
+  ++calls;
+  if (config.direction == CopyDirection::kDeviceToHost) {
+    dev.upload(host);  // seed device content once (not measured)
+    ++calls;
+  }
+  report.base.init_ns = init.elapsed();
+
+  const sim::SimStopwatch exec(clock);
+  std::vector<std::uint8_t> readback(
+      config.direction == CopyDirection::kDeviceToHost ? config.bytes : 0);
+  for (std::uint32_t run = 0; run < config.runs; ++run) {
+    if (config.direction == CopyDirection::kHostToDevice) {
+      dev.upload(host);
+      report.base.bytes_to_device += config.bytes;
+    } else {
+      dev.download(readback);
+      report.base.bytes_from_device += config.bytes;
+    }
+    ++calls;
+  }
+  report.base.exec_ns = exec.elapsed();
+
+  if (config.verify) {
+    if (config.direction == CopyDirection::kDeviceToHost) {
+      report.base.verified = readback == host;
+    } else {
+      std::vector<std::uint8_t> check(config.bytes);
+      dev.download(check);
+      ++calls;
+      report.base.verified = check == host;
+    }
+  }
+
+  ++calls;  // RAII free
+  report.base.api_calls = calls;
+  report.base.total_ns = total.elapsed();
+
+  const double secs = static_cast<double>(report.base.exec_ns) / 1e9;
+  const double mib =
+      static_cast<double>(config.bytes) * config.runs / (1 << 20);
+  report.mib_per_s = secs > 0 ? mib / secs : 0.0;
+  return report;
+}
+
+}  // namespace cricket::workloads

@@ -1,0 +1,31 @@
+// Port of the CUDA Samples `bandwidthTest` (paper §4.2, Fig. 7).
+//
+// Measures sustained host<->device copy bandwidth through the Cricket
+// virtualization layer with 512 MiB of memory, averaged over 10 runs — the
+// experiment that exposes the unikernels' missing network offloads.
+#pragma once
+
+#include "cudart/api.hpp"
+#include "workloads/common.hpp"
+
+namespace cricket::workloads {
+
+enum class CopyDirection { kHostToDevice, kDeviceToHost };
+
+struct BandwidthConfig {
+  std::uint64_t bytes = 512ull << 20;
+  std::uint32_t runs = 10;
+  CopyDirection direction = CopyDirection::kHostToDevice;
+  bool verify = true;
+};
+
+struct BandwidthReport {
+  WorkloadReport base;
+  double mib_per_s = 0.0;
+};
+
+[[nodiscard]] BandwidthReport run_bandwidth_test(
+    cuda::CudaApi& api, sim::SimClock& clock,
+    const env::ClientFlavor& flavor, const BandwidthConfig& config);
+
+}  // namespace cricket::workloads

@@ -1,0 +1,70 @@
+// Shared workload plumbing: reports and host-side input generation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "env/environment.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace cricket::workloads {
+
+/// What a workload run measured — the raw material for the Fig. 5/7 rows
+/// and for the paper's API-call/bytes accounting (§4.1).
+struct WorkloadReport {
+  std::string name;
+  std::uint64_t api_calls = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_from_device = 0;
+  std::uint64_t bytes_d2d = 0;  // device-local cudaMemcpy volume
+
+  /// Total cudaMemcpy volume, the quantity the paper reports per app
+  /// ("6.07 GiB of memory transfers" counts device-side copies too).
+  [[nodiscard]] std::uint64_t memcpy_volume() const noexcept {
+    return bytes_to_device + bytes_from_device + bytes_d2d;
+  }
+  sim::Nanos init_ns = 0;   // input generation + setup
+  sim::Nanos exec_ns = 0;   // forwarded-API phase
+  sim::Nanos total_ns = 0;
+  bool verified = true;     // numerics checked against CPU reference
+};
+
+/// Host-side input initialization. The C CUDA samples use a slower RNG than
+/// the Rust ports (paper §4.1: "the C applications use a slower random
+/// number generator for initialization") — both the generator and the
+/// charged virtual time differ by flavour.
+inline void fill_random_bytes(std::span<std::uint8_t> out,
+                              const env::ClientFlavor& flavor,
+                              sim::SimClock& clock, std::uint64_t seed) {
+  if (flavor.fast_rng) {
+    sim::Xoshiro256ss rng(seed);
+    rng.fill_bytes(out);
+    clock.advance(static_cast<sim::Nanos>(0.75 * static_cast<double>(out.size())));
+  } else {
+    // rand() + modulo per byte: ~14 ns/byte on the paper's EPYC hosts.
+    sim::LegacyLcg rng(static_cast<std::uint32_t>(seed));
+    rng.fill_bytes(out);
+    clock.advance(static_cast<sim::Nanos>(14.0 * static_cast<double>(out.size())));
+  }
+}
+
+inline void fill_random_floats(std::span<float> out,
+                               const env::ClientFlavor& flavor,
+                               sim::SimClock& clock, std::uint64_t seed) {
+  if (flavor.fast_rng) {
+    sim::Xoshiro256ss rng(seed);
+    for (auto& v : out) v = rng.next_float();
+    clock.advance(static_cast<sim::Nanos>(
+        3.0 * static_cast<double>(out.size())));
+  } else {
+    sim::LegacyLcg rng(static_cast<std::uint32_t>(seed));
+    for (auto& v : out) v = rng.next_float();
+    clock.advance(static_cast<sim::Nanos>(
+        24.0 * static_cast<double>(out.size())));
+  }
+}
+
+}  // namespace cricket::workloads

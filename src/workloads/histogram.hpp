@@ -1,0 +1,28 @@
+// Port of the CUDA Samples `histogram` application (paper §4.1, Fig. 5c).
+//
+// "The histogram application calculates the histogram of a randomly
+// initialized array of data." Paper configuration: ~80 033 API calls and
+// 64 MiB of transfers. This is the workload where the C and Rust clients
+// diverge most (Rust ≈37.6 % faster): the C samples' slower input RNG and
+// the per-launch compatibility logic dominate because the kernels are
+// short-running.
+#pragma once
+
+#include "cudart/api.hpp"
+#include "workloads/common.hpp"
+
+namespace cricket::workloads {
+
+struct HistogramConfig {
+  std::uint64_t data_bytes = 64ull << 20;  // uploaded once (the 64 MiB)
+  std::uint32_t iterations = 40'000;       // 2 kernels per iteration
+  std::uint32_t partial_blocks = 240;
+  bool verify = true;
+};
+
+[[nodiscard]] WorkloadReport run_histogram(cuda::CudaApi& api,
+                                           sim::SimClock& clock,
+                                           const env::ClientFlavor& flavor,
+                                           const HistogramConfig& config);
+
+}  // namespace cricket::workloads

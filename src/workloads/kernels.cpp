@@ -1,0 +1,162 @@
+#include "workloads/kernels.hpp"
+
+#include "fatbin/fatbin.hpp"
+#include "fatbin/lz.hpp"
+
+namespace cricket::workloads {
+namespace {
+
+using gpusim::LaunchContext;
+
+/// C = A(hA x wA) * B(wA x wB), row-major (as in the CUDA sample).
+/// Params: C, A, B, wA, wB; geometry carries hA via grid.y * block.y.
+void matrix_mul_kernel(LaunchContext& ctx) {
+  const auto c = ctx.ptr_param(0);
+  const auto a = ctx.ptr_param(1);
+  const auto b = ctx.ptr_param(2);
+  const auto wa = ctx.param<std::uint32_t>(3);
+  const auto wb = ctx.param<std::uint32_t>(4);
+  const std::uint64_t ha = static_cast<std::uint64_t>(ctx.grid().y) *
+                           ctx.block().y;
+
+  if (!ctx.timing_only()) {
+    auto C = ctx.mem_as<float>(c, ha * wb);
+    auto A = ctx.mem_as<float>(a, ha * wa);
+    auto B = ctx.mem_as<float>(b, static_cast<std::uint64_t>(wa) * wb);
+    ctx.pool().parallel_for_chunks(ha, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::uint32_t j = 0; j < wb; ++j) {
+          float sum = 0.0f;
+          for (std::uint32_t k = 0; k < wa; ++k)
+            sum += A[i * wa + k] * B[static_cast<std::size_t>(k) * wb + j];
+          C[i * wb + j] = sum;
+        }
+      }
+    });
+  }
+  ctx.charge_flops(2.0 * static_cast<double>(ha) * wa * wb);
+  ctx.charge_dram_bytes(
+      4.0 * (static_cast<double>(ha) * wa + static_cast<double>(wa) * wb +
+             static_cast<double>(ha) * wb));
+}
+
+/// 64-bin byte histogram over `n` bytes into per-block partial histograms.
+/// Params: partials, data, n. Partial h of block g at partials[g*64 + bin].
+void histogram64_kernel(LaunchContext& ctx) {
+  const auto partials = ctx.ptr_param(0);
+  const auto data = ctx.ptr_param(1);
+  const auto n = ctx.param<std::uint32_t>(2);
+  const std::uint32_t blocks = ctx.grid().x;
+
+  if (!ctx.timing_only()) {
+    auto out = ctx.mem_as<std::uint32_t>(partials,
+                                         static_cast<std::uint64_t>(blocks) *
+                                             64);
+    auto in = ctx.mem(data, n);
+    std::fill(out.begin(), out.end(), 0u);
+    const std::uint32_t per_block = (n + blocks - 1) / blocks;
+    ctx.pool().parallel_for_chunks(blocks, [&](std::size_t g0, std::size_t g1) {
+      for (std::size_t g = g0; g < g1; ++g) {
+        const std::size_t begin = g * per_block;
+        const std::size_t end =
+            std::min<std::size_t>(n, begin + per_block);
+        std::uint32_t* h = out.data() + g * 64;
+        for (std::size_t i = begin; i < end; ++i) ++h[in[i] >> 2];
+      }
+    });
+  }
+  ctx.charge_flops(static_cast<double>(n));
+  ctx.charge_dram_bytes(static_cast<double>(n) + 64.0 * 4 * blocks);
+}
+
+/// Reduces per-block partials into the final 64-bin histogram.
+/// Params: result, partials, block_count.
+void merge_histogram64_kernel(LaunchContext& ctx) {
+  const auto result = ctx.ptr_param(0);
+  const auto partials = ctx.ptr_param(1);
+  const auto blocks = ctx.param<std::uint32_t>(2);
+
+  if (!ctx.timing_only()) {
+    auto out = ctx.mem_as<std::uint32_t>(result, 64);
+    auto in = ctx.mem_as<std::uint32_t>(
+        partials, static_cast<std::uint64_t>(blocks) * 64);
+    for (int bin = 0; bin < 64; ++bin) {
+      std::uint32_t sum = 0;
+      for (std::uint32_t g = 0; g < blocks; ++g)
+        sum += in[static_cast<std::size_t>(g) * 64 +
+                  static_cast<std::size_t>(bin)];
+      out[static_cast<std::size_t>(bin)] = sum;
+    }
+  }
+  ctx.charge_flops(64.0 * blocks);
+  ctx.charge_dram_bytes(64.0 * 4 * (blocks + 1));
+}
+
+/// c[i] = a[i] + b[i]. Params: c, a, b, n.
+void vector_add_kernel(LaunchContext& ctx) {
+  const auto c = ctx.ptr_param(0);
+  const auto a = ctx.ptr_param(1);
+  const auto b = ctx.ptr_param(2);
+  const auto n = ctx.param<std::uint32_t>(3);
+  if (!ctx.timing_only()) {
+    auto C = ctx.mem_as<float>(c, n);
+    auto A = ctx.mem_as<float>(a, n);
+    auto B = ctx.mem_as<float>(b, n);
+    for (std::uint32_t i = 0; i < n; ++i) C[i] = A[i] + B[i];
+  }
+  ctx.charge_flops(static_cast<double>(n));
+  ctx.charge_dram_bytes(12.0 * n);
+}
+
+fatbin::KernelParam ptr_param() {
+  return {.size = 8, .align = 8, .is_pointer = true};
+}
+fatbin::KernelParam u32_param() {
+  return {.size = 4, .align = 4, .is_pointer = false};
+}
+
+fatbin::CubinImage build_sample_image() {
+  fatbin::CubinImage img;
+  img.sm_arch = 61;
+
+  fatbin::KernelDescriptor mm;
+  mm.name = kMatrixMulKernel;
+  mm.params = {ptr_param(), ptr_param(), ptr_param(), u32_param(),
+               u32_param()};
+  mm.static_shared_bytes = 2 * 32 * 32 * 4;  // the sample's two tiles
+  img.kernels.push_back(mm);
+
+  fatbin::KernelDescriptor h;
+  h.name = kHistogramKernel;
+  h.params = {ptr_param(), ptr_param(), u32_param()};
+  img.kernels.push_back(h);
+
+  fatbin::KernelDescriptor m;
+  m.name = kMergeHistogramKernel;
+  m.params = {ptr_param(), ptr_param(), u32_param()};
+  img.kernels.push_back(m);
+
+  fatbin::KernelDescriptor va;
+  va.name = kVectorAddKernel;
+  va.params = {ptr_param(), ptr_param(), ptr_param(), u32_param()};
+  img.kernels.push_back(va);
+
+  img.code = fatbin::make_pseudo_isa(16384, 0xC0DE);
+  return img;
+}
+
+}  // namespace
+
+void register_sample_kernels(gpusim::KernelRegistry& registry) {
+  registry.register_kernel(kMatrixMulKernel, matrix_mul_kernel);
+  registry.register_kernel(kHistogramKernel, histogram64_kernel);
+  registry.register_kernel(kMergeHistogramKernel, merge_histogram64_kernel);
+  registry.register_kernel(kVectorAddKernel, vector_add_kernel);
+}
+
+std::vector<std::uint8_t> sample_cubin(bool compressed) {
+  const auto raw = fatbin::cubin_serialize(build_sample_image());
+  return compressed ? fatbin::lz_compress(raw) : raw;
+}
+
+}  // namespace cricket::workloads

@@ -1,0 +1,33 @@
+// Device kernels for the ported CUDA samples (paper §4.1: matrixMul,
+// cuSolverDn_LinearSolver, histogram; §4.2: bandwidthTest) plus the
+// vectorAdd kernel used by the quickstart example.
+//
+// Each kernel exists twice, as in the real system: as *metadata* inside a
+// cubin image (name, parameter layout) shipped to the server, and as an
+// *implementation* registered in the GPU node's KernelRegistry. The cubin
+// images here are what the paper's Rust applications read from .cubin files
+// and send via RPC (§3.3).
+#pragma once
+
+#include <vector>
+
+#include "fatbin/cubin.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace cricket::workloads {
+
+/// Registers every sample kernel implementation into `registry`. Idempotent.
+void register_sample_kernels(gpusim::KernelRegistry& registry);
+
+/// A cubin image containing all sample kernels (sm_61 so it loads on every
+/// testbed GPU), serialized; `compressed` ships it through the
+/// decompression path.
+[[nodiscard]] std::vector<std::uint8_t> sample_cubin(bool compressed = false);
+
+/// Kernel names inside sample_cubin().
+inline constexpr const char* kMatrixMulKernel = "matrixMulCUDA";
+inline constexpr const char* kHistogramKernel = "histogram64Kernel";
+inline constexpr const char* kMergeHistogramKernel = "mergeHistogram64Kernel";
+inline constexpr const char* kVectorAddKernel = "vectorAdd";
+
+}  // namespace cricket::workloads

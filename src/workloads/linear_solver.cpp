@@ -1,0 +1,128 @@
+#include "workloads/linear_solver.hpp"
+
+#include <cmath>
+
+#include "cudart/raii.hpp"
+
+namespace cricket::workloads {
+
+WorkloadReport run_linear_solver(cuda::CudaApi& api, sim::SimClock& clock,
+                                 const env::ClientFlavor& flavor,
+                                 const LinearSolverConfig& config) {
+  WorkloadReport report;
+  report.name = "cuSolverDn_LinearSolver";
+  const sim::SimStopwatch total(clock);
+  std::uint64_t calls = 0;
+
+  const sim::SimStopwatch init(clock);
+  int dev_count = 0;
+  cuda::check(api.get_device_count(dev_count));
+  cuda::check(api.set_device(0));
+  calls += 2;
+
+  const int n = config.n;
+  const auto un = static_cast<std::size_t>(n);
+  // Diagonally dominant system: LU with partial pivoting is stable and the
+  // verification tolerance stays tight.
+  std::vector<float> A(un * un);
+  fill_random_floats(A, flavor, clock, 0x50);
+  for (int i = 0; i < n; ++i) A[un * static_cast<std::size_t>(i) + static_cast<std::size_t>(i)] += static_cast<float>(n);
+  std::vector<float> x_true(un);
+  fill_random_floats(x_true, flavor, clock, 0x51);
+  std::vector<float> b(un, 0.0f);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] +=
+          A[un * static_cast<std::size_t>(j) + static_cast<std::size_t>(i)] *
+          x_true[static_cast<std::size_t>(j)];
+
+  cuda::DeviceBuffer dA(api, un * un * 4);      // factored in place
+  cuda::DeviceBuffer dAcopy(api, un * un * 4);  // pristine copy for residual
+  cuda::DeviceBuffer dB(api, un * 4);
+  cuda::DeviceBuffer dX(api, un * 4);
+  cuda::DeviceBuffer dPiv(api, un * 4);
+  cuda::DeviceBuffer dInfo(api, 4);
+  calls += 6;
+  report.init_ns = init.elapsed();
+
+  // The matrix crosses the wire once; each iteration restores the working
+  // copies with *device-to-device* copies, exactly like the CUDA sample
+  // (which keeps d_A pristine and factors a copy). This is why the paper's
+  // 6.07 GiB of memory transfers coexist with small network traffic — the
+  // gigabytes are device-local.
+  dAcopy.upload_values<float>(A);
+  ++calls;
+  report.bytes_to_device += un * un * 4;
+
+  const sim::SimStopwatch exec(clock);
+  std::vector<float> x(un);
+  cuda::DeviceBuffer dR(api, un * 4);  // residual workspace
+  ++calls;
+  for (std::uint32_t it = 0; it < config.iterations; ++it) {
+    // Restore the to-be-factored copy and a residual working copy.
+    cuda::check(api.memcpy_d2d(dA.get(), dAcopy.get(), un * un * 4));
+    ++calls;
+    report.bytes_d2d += un * un * 4;
+    dB.upload_values<float>(b);
+    ++calls;
+    report.bytes_to_device += un * 4;
+
+    cuda::check(api.solver_sgetrf(n, dA.get(), n, dPiv.get(), dInfo.get()),
+                "sgetrf");
+    ++calls;
+    ++report.kernel_launches;
+    const auto info1 = dInfo.download_values<std::int32_t>(1);
+    ++calls;
+    report.bytes_from_device += 4;
+    if (info1[0] != 0) {
+      report.verified = false;
+      break;
+    }
+    cuda::check(api.memcpy_d2d(dX.get(), dB.get(), un * 4));
+    ++calls;
+    report.bytes_d2d += un * 4;
+    cuda::check(api.solver_sgetrs(n, 1, dA.get(), n, dPiv.get(), dX.get(), n,
+                                  dInfo.get()),
+                "sgetrs");
+    ++calls;
+    ++report.kernel_launches;
+    // Residual on device against the pristine copy: r = A*x. The sample
+    // also stages the matrix restore for the verification pass — a second
+    // full-matrix device-local copy.
+    cuda::check(api.memcpy_d2d(dA.get(), dAcopy.get(), un * un * 4));
+    ++calls;
+    report.bytes_d2d += un * un * 4;
+    cuda::check(api.blas_sgemm(n, 1, n, 1.0f, dAcopy.get(), n, dX.get(), n,
+                               0.0f, dR.get(), n),
+                "residual gemm");
+    ++calls;
+    ++report.kernel_launches;
+    x = dX.download_values<float>(un);
+    ++calls;
+    report.bytes_from_device += un * 4;
+    const auto r = dR.download_values<float>(un);
+    ++calls;
+    report.bytes_from_device += un * 4;
+    (void)r;
+  }
+  cuda::check(api.device_synchronize());
+  ++calls;
+  report.exec_ns = exec.elapsed();
+
+  if (config.verify && report.verified) {
+    double max_err = 0;
+    for (int i = 0; i < n; ++i)
+      max_err = std::max(max_err,
+                         std::fabs(static_cast<double>(
+                             x[static_cast<std::size_t>(i)] -
+                             x_true[static_cast<std::size_t>(i)])));
+    report.verified = max_err < 5e-2;
+  }
+
+  calls += 6;  // RAII frees
+  report.api_calls = calls;
+  report.total_ns = total.elapsed();
+  return report;
+}
+
+}  // namespace cricket::workloads

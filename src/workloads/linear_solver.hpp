@@ -1,0 +1,28 @@
+// Port of the CUDA Samples `cuSolverDn_LinearSolver` (paper §4.1, Fig. 5b).
+//
+// "cuSolverDn_LinearSolver performs a LU decomposition of a system of
+// linear equations and solves the system." Paper configuration: 900x900
+// matrix, 1000 iterations, ~20 047 API calls and 6.07 GiB of memory
+// transfers. The matrix crosses the wire once; the per-iteration gigabytes
+// are *device-to-device* restores of the working copies (the sample keeps
+// d_A pristine and factors a copy) — which is why this app shows the
+// smallest virtualization overhead despite the largest transfer volume
+// (paper §4.1).
+#pragma once
+
+#include "cudart/api.hpp"
+#include "workloads/common.hpp"
+
+namespace cricket::workloads {
+
+struct LinearSolverConfig {
+  int n = 900;
+  std::uint32_t iterations = 1'000;
+  bool verify = true;
+};
+
+[[nodiscard]] WorkloadReport run_linear_solver(
+    cuda::CudaApi& api, sim::SimClock& clock,
+    const env::ClientFlavor& flavor, const LinearSolverConfig& config);
+
+}  // namespace cricket::workloads

@@ -1,0 +1,29 @@
+// Port of the CUDA Samples `matrixMul` application (paper §4.1, Fig. 5a).
+//
+// "matrixMul performs repeated multiplications of two matrices." The
+// paper's configuration: 100 000 iterations, 100 041 CUDA API calls,
+// 1.95 MiB of memory transfers — matrices are uploaded once and only the
+// kernel launch repeats.
+#pragma once
+
+#include "cudart/api.hpp"
+#include "workloads/common.hpp"
+
+namespace cricket::workloads {
+
+struct MatrixMulConfig {
+  std::uint32_t hA = 320;
+  std::uint32_t wA = 320;
+  std::uint32_t wB = 640;
+  std::uint32_t iterations = 100'000;
+  /// Check the GPU result against a CPU reference (skip when the device is
+  /// in timing-only mode).
+  bool verify = true;
+};
+
+[[nodiscard]] WorkloadReport run_matrix_mul(cuda::CudaApi& api,
+                                            sim::SimClock& clock,
+                                            const env::ClientFlavor& flavor,
+                                            const MatrixMulConfig& config);
+
+}  // namespace cricket::workloads

@@ -1,0 +1,627 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "cudart/api.hpp"
+#include "cudart/culibs.hpp"
+#include "cudart/error.hpp"
+#include "cudart/local_api.hpp"
+#include "cudart/raii.hpp"
+#include "fatbin/cubin.hpp"
+#include "sim/rng.hpp"
+
+namespace cricket::cuda {
+namespace {
+
+struct LocalApiFixture : ::testing::Test {
+  LocalApiFixture() : node(GpuNode::make_paper_testbed()), api(*node) {}
+
+  std::unique_ptr<GpuNode> node;
+  LocalCudaApi api;
+};
+
+// ----------------------------- error strings -------------------------------
+
+TEST(Errors, NamesAndStrings) {
+  EXPECT_STREQ(error_name(Error::kSuccess), "cudaSuccess");
+  EXPECT_STREQ(error_name(Error::kMemoryAllocation),
+               "cudaErrorMemoryAllocation");
+  EXPECT_STREQ(error_string(Error::kMemoryAllocation), "out of memory");
+  EXPECT_STREQ(error_name(Error::kRpcFailure), "cricketErrorRpcFailure");
+}
+
+TEST(Errors, CheckThrowsWithContext) {
+  EXPECT_NO_THROW(check(Error::kSuccess));
+  try {
+    check(Error::kInvalidValue, "cudaMalloc");
+    FAIL();
+  } catch (const CudaException& e) {
+    EXPECT_EQ(e.code(), Error::kInvalidValue);
+    EXPECT_NE(std::string(e.what()).find("cudaMalloc"), std::string::npos);
+  }
+}
+
+// ------------------------------ device mgmt --------------------------------
+
+TEST_F(LocalApiFixture, DeviceCountMatchesPaperTestbed) {
+  int count = 0;
+  ASSERT_EQ(api.get_device_count(count), Error::kSuccess);
+  EXPECT_EQ(count, 4);  // A100 + 2x T4 + P40
+}
+
+TEST_F(LocalApiFixture, SetAndGetDevice) {
+  ASSERT_EQ(api.set_device(2), Error::kSuccess);
+  int dev = -1;
+  ASSERT_EQ(api.get_device(dev), Error::kSuccess);
+  EXPECT_EQ(dev, 2);
+  EXPECT_EQ(api.set_device(99), Error::kInvalidDevice);
+  EXPECT_EQ(api.set_device(-1), Error::kInvalidDevice);
+}
+
+TEST_F(LocalApiFixture, DevicePropertiesReportTestbedGpus) {
+  DeviceInfo info;
+  ASSERT_EQ(api.get_device_properties(info, 0), Error::kSuccess);
+  EXPECT_EQ(info.name, "NVIDIA A100-SXM4-40GB");
+  EXPECT_EQ(info.sm_arch, 80u);
+  ASSERT_EQ(api.get_device_properties(info, 3), Error::kSuccess);
+  EXPECT_EQ(info.name, "NVIDIA P40");
+  EXPECT_EQ(api.get_device_properties(info, 4), Error::kInvalidDevice);
+}
+
+TEST_F(LocalApiFixture, ApiCallsAdvanceVirtualClock) {
+  const auto t0 = node->clock().now();
+  int count;
+  (void)api.get_device_count(count);
+  EXPECT_GT(node->clock().now(), t0);
+}
+
+// -------------------------------- memory -----------------------------------
+
+TEST_F(LocalApiFixture, MallocFreeRoundTrip) {
+  DevPtr p = 0;
+  ASSERT_EQ(api.malloc(p, 4096), Error::kSuccess);
+  EXPECT_NE(p, 0u);
+  EXPECT_EQ(api.free(p), Error::kSuccess);
+  EXPECT_EQ(api.free(p), Error::kInvalidDevicePointer);  // double free
+}
+
+TEST_F(LocalApiFixture, MallocZeroIsInvalid) {
+  DevPtr p = 0;
+  EXPECT_EQ(api.malloc(p, 0), Error::kInvalidValue);
+}
+
+TEST_F(LocalApiFixture, MallocBeyondCapacityIsMemoryAllocation) {
+  DevPtr p = 0;
+  EXPECT_EQ(api.malloc(p, 1ull << 60), Error::kMemoryAllocation);
+}
+
+TEST_F(LocalApiFixture, MemcpyRoundTripAndMemset) {
+  DevPtr p = 0;
+  ASSERT_EQ(api.malloc(p, 256), Error::kSuccess);
+  std::vector<std::uint8_t> in(256);
+  std::iota(in.begin(), in.end(), std::uint8_t{1});
+  ASSERT_EQ(api.memcpy_h2d(p, in), Error::kSuccess);
+  std::vector<std::uint8_t> out(256);
+  ASSERT_EQ(api.memcpy_d2h(out, p), Error::kSuccess);
+  EXPECT_EQ(out, in);
+  ASSERT_EQ(api.memset(p, 0, 256), Error::kSuccess);
+  ASSERT_EQ(api.memcpy_d2h(out, p), Error::kSuccess);
+  for (auto b : out) EXPECT_EQ(b, 0);
+  (void)api.free(p);
+}
+
+TEST_F(LocalApiFixture, DevicesHaveIsolatedMemory) {
+  DevPtr p0 = 0;
+  ASSERT_EQ(api.malloc(p0, 64), Error::kSuccess);
+  ASSERT_EQ(api.set_device(1), Error::kSuccess);
+  // p0 belongs to device 0; device 1 cannot free it.
+  EXPECT_EQ(api.free(p0), Error::kInvalidDevicePointer);
+  ASSERT_EQ(api.set_device(0), Error::kSuccess);
+  EXPECT_EQ(api.free(p0), Error::kSuccess);
+}
+
+// ----------------------------- RAII wrappers -------------------------------
+
+TEST_F(LocalApiFixture, DeviceBufferFreesOnScopeExit) {
+  const auto before = node->device(0).memory().allocation_count();
+  {
+    DeviceBuffer buf(api, 1024);
+    EXPECT_TRUE(buf);
+    EXPECT_EQ(node->device(0).memory().allocation_count(), before + 1);
+  }
+  EXPECT_EQ(node->device(0).memory().allocation_count(), before);
+}
+
+TEST_F(LocalApiFixture, DeviceBufferMoveTransfersOwnership) {
+  DeviceBuffer a(api, 128);
+  const DevPtr ptr = a.get();
+  DeviceBuffer b = std::move(a);
+  EXPECT_EQ(b.get(), ptr);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — testing moved-from state
+}
+
+TEST_F(LocalApiFixture, DeviceBufferTypedTransfer) {
+  DeviceBuffer buf(api, 100 * sizeof(float));
+  std::vector<float> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<float>(i) * 0.5f;
+  buf.upload_values<float>(xs);
+  EXPECT_EQ(buf.download_values<float>(100), xs);
+}
+
+TEST_F(LocalApiFixture, StreamAndEventRaii) {
+  Stream s(api);
+  Event start(api), stop(api);
+  start.record(s.id());
+  stop.record(s.id());
+  stop.synchronize();
+  EXPECT_GE(stop.elapsed_ms_since(start), 0.0f);
+}
+
+TEST_F(LocalApiFixture, ParamPackerAlignsLikeCubinMetadata) {
+  ParamPacker p;
+  p.add_ptr(DevPtr{0x1000}).add(std::int32_t{7}).add_ptr(DevPtr{0x2000});
+  // 8 (ptr) + 4 (int) + 4 (pad) + 8 (ptr) = 24.
+  EXPECT_EQ(p.bytes().size(), 24u);
+  DevPtr second = 0;
+  std::memcpy(&second, p.bytes().data() + 16, 8);
+  EXPECT_EQ(second, DevPtr{0x2000});
+}
+
+// ----------------------------- module + launch -----------------------------
+
+fatbin::CubinImage scale_image() {
+  fatbin::CubinImage img;
+  img.sm_arch = 61;  // runs on every testbed GPU
+  fatbin::KernelDescriptor k;
+  k.name = "scale_f32";
+  k.params = {{.size = 8, .align = 8, .is_pointer = true},
+              {.size = 4, .align = 4, .is_pointer = false},
+              {.size = 4, .align = 4, .is_pointer = false}};
+  img.kernels.push_back(k);
+  img.code = fatbin::make_pseudo_isa(64, 3);
+  return img;
+}
+
+void register_scale(gpusim::KernelRegistry& reg) {
+  reg.register_kernel("scale_f32", [](gpusim::LaunchContext& ctx) {
+    const auto data = ctx.ptr_param(0);
+    const float f = ctx.param<float>(1);
+    const auto n = ctx.param<std::uint32_t>(2);
+    if (!ctx.timing_only()) {
+      auto xs = ctx.mem_as<float>(data, n);
+      for (auto& x : xs) x *= f;
+    }
+    ctx.charge_flops(n);
+    ctx.charge_dram_bytes(8.0 * n);
+  });
+}
+
+TEST_F(LocalApiFixture, ModuleLoadLaunchComputes) {
+  register_scale(node->registry());
+  Module mod(api, fatbin::cubin_serialize(scale_image()));
+  const FuncId fn = mod.function("scale_f32");
+
+  DeviceBuffer buf(api, 16 * sizeof(float));
+  std::vector<float> xs(16, 2.0f);
+  buf.upload_values<float>(xs);
+
+  ParamPacker params;
+  params.add_ptr(buf).add(3.0f).add(std::uint32_t{16});
+  ASSERT_EQ(api.launch_kernel(fn, Dim3{1}, Dim3{16}, 0, gpusim::kDefaultStream,
+                              params.bytes()),
+            Error::kSuccess);
+  ASSERT_EQ(api.device_synchronize(), Error::kSuccess);
+  for (float v : buf.download_values<float>(16)) EXPECT_FLOAT_EQ(v, 6.0f);
+}
+
+TEST_F(LocalApiFixture, TimingOnlySkipsMathButChargesTime) {
+  register_scale(node->registry());
+  Module mod(api, fatbin::cubin_serialize(scale_image()));
+  const FuncId fn = mod.function("scale_f32");
+  DeviceBuffer buf(api, 16 * sizeof(float));
+  buf.upload_values<float>(std::vector<float>(16, 2.0f));
+
+  node->device(0).set_timing_only(true);
+  ParamPacker params;
+  params.add_ptr(buf).add(3.0f).add(std::uint32_t{16});
+  const auto t0 = node->clock().now();
+  ASSERT_EQ(api.launch_kernel(fn, Dim3{1}, Dim3{16}, 0, gpusim::kDefaultStream,
+                              params.bytes()),
+            Error::kSuccess);
+  ASSERT_EQ(api.device_synchronize(), Error::kSuccess);
+  node->device(0).set_timing_only(false);
+
+  EXPECT_GT(node->clock().now(), t0);  // time charged
+  for (float v : buf.download_values<float>(16))
+    EXPECT_FLOAT_EQ(v, 2.0f);  // math skipped
+}
+
+TEST_F(LocalApiFixture, BadImageIsInvalidKernelImage) {
+  ModuleId mod = 0;
+  const std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_EQ(api.module_load(mod, garbage), Error::kInvalidKernelImage);
+}
+
+TEST_F(LocalApiFixture, MissingKernelIsResourceError) {
+  Module mod(api, fatbin::cubin_serialize(scale_image()));
+  FuncId fn = 0;
+  EXPECT_EQ(api.module_get_function(fn, mod.id(), "nope"),
+            Error::kInvalidResourceHandle);
+}
+
+// --------------------------------- culibs ----------------------------------
+
+// Column-major helpers for reference math.
+std::vector<float> random_matrix(int rows, int cols, std::uint64_t seed) {
+  sim::Xoshiro256ss rng(seed);
+  std::vector<float> m(static_cast<std::size_t>(rows) *
+                       static_cast<std::size_t>(cols));
+  for (auto& v : m) v = rng.next_float() * 2.0f - 1.0f;
+  return m;
+}
+
+std::vector<float> reference_gemm(int m, int n, int k,
+                                  const std::vector<float>& a,
+                                  const std::vector<float>& b) {
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int j = 0; j < n; ++j)
+    for (int l = 0; l < k; ++l)
+      for (int i = 0; i < m; ++i)
+        c[static_cast<std::size_t>(j) * m + i] +=
+            a[static_cast<std::size_t>(l) * m + i] *
+            b[static_cast<std::size_t>(j) * k + l];
+  return c;
+}
+
+TEST_F(LocalApiFixture, SgemmMatchesReference) {
+  const int m = 33, n = 17, k = 25;
+  const auto A = random_matrix(m, k, 1);
+  const auto B = random_matrix(k, n, 2);
+  DeviceBuffer da(api, A.size() * 4), db(api, B.size() * 4),
+      dc(api, static_cast<std::size_t>(m) * n * 4);
+  da.upload_values<float>(A);
+  db.upload_values<float>(B);
+
+  ASSERT_EQ(api.blas_sgemm(m, n, k, 1.0f, da.get(), m, db.get(), k, 0.0f,
+                           dc.get(), m),
+            Error::kSuccess);
+  const auto C = dc.download_values<float>(static_cast<std::size_t>(m) * n);
+  const auto ref = reference_gemm(m, n, k, A, B);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(C[i], ref[i], 1e-3f) << "at " << i;
+}
+
+TEST_F(LocalApiFixture, SgemmAlphaBetaAndLeadingDims) {
+  // 2x2 in a 4-row leading dimension, alpha=2, beta=0.5.
+  const int lda = 4;
+  std::vector<float> A = {1, 2, 0, 0, 3, 4, 0, 0};  // col-major 2x2 in ld 4
+  std::vector<float> B = {5, 6, 0, 0, 7, 8, 0, 0};
+  std::vector<float> C = {10, 20, 0, 0, 30, 40, 0, 0};
+  DeviceBuffer da(api, A.size() * 4), db(api, B.size() * 4),
+      dc(api, C.size() * 4);
+  da.upload_values<float>(A);
+  db.upload_values<float>(B);
+  dc.upload_values<float>(C);
+  ASSERT_EQ(api.blas_sgemm(2, 2, 2, 2.0f, da.get(), lda, db.get(), lda, 0.5f,
+                           dc.get(), lda),
+            Error::kSuccess);
+  const auto out = dc.download_values<float>(8);
+  // A*B = [[1*5+3*6, 1*7+3*8],[2*5+4*6, 2*7+4*8]] = [[23,31],[34,46]]
+  EXPECT_FLOAT_EQ(out[0], 2 * 23 + 0.5f * 10);
+  EXPECT_FLOAT_EQ(out[1], 2 * 34 + 0.5f * 20);
+  EXPECT_FLOAT_EQ(out[4], 2 * 31 + 0.5f * 30);
+  EXPECT_FLOAT_EQ(out[5], 2 * 46 + 0.5f * 40);
+}
+
+TEST_F(LocalApiFixture, SgemmRejectsBadDims) {
+  EXPECT_EQ(api.blas_sgemm(-1, 2, 2, 1.0f, 0, 2, 0, 2, 0.0f, 0, 2),
+            Error::kInvalidValue);
+  EXPECT_EQ(api.blas_sgemm(4, 2, 2, 1.0f, 0, 2 /* lda < m */, 0, 2, 0.0f, 0, 4),
+            Error::kInvalidValue);
+}
+
+TEST_F(LocalApiFixture, SgemmRejectsBadPointers) {
+  EXPECT_EQ(api.blas_sgemm(2, 2, 2, 1.0f, 0xDEAD, 2, 0xBEEF, 2, 0.0f, 0xF00D,
+                           2),
+            Error::kInvalidDevicePointer);
+}
+
+TEST_F(LocalApiFixture, LuSolveRecoversKnownSolution) {
+  // Solve A x = b for a random well-conditioned A and known x.
+  const int n = 64;
+  auto A = random_matrix(n, n, 3);
+  for (int i = 0; i < n; ++i)
+    A[static_cast<std::size_t>(i) * n + i] += static_cast<float>(n);  // diagonal dominance
+  const auto x_true = random_matrix(n, 1, 4);
+  // b = A * x_true.
+  std::vector<float> b(static_cast<std::size_t>(n), 0.0f);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] +=
+          A[static_cast<std::size_t>(j) * n + i] * x_true[static_cast<std::size_t>(j)];
+
+  DeviceBuffer dA(api, A.size() * 4), dB(api, b.size() * 4),
+      dPiv(api, static_cast<std::size_t>(n) * 4), dInfo(api, 4);
+  dA.upload_values<float>(A);
+  dB.upload_values<float>(b);
+
+  ASSERT_EQ(api.solver_sgetrf(n, dA.get(), n, dPiv.get(), dInfo.get()),
+            Error::kSuccess);
+  EXPECT_EQ(dInfo.download_values<std::int32_t>(1)[0], 0);
+  ASSERT_EQ(api.solver_sgetrs(n, 1, dA.get(), n, dPiv.get(), dB.get(), n,
+                              dInfo.get()),
+            Error::kSuccess);
+
+  const auto x = dB.download_values<float>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 2e-3f);
+}
+
+TEST_F(LocalApiFixture, LuRequiresPivoting) {
+  // A matrix with a zero in the (0,0) position factors correctly only with
+  // row pivoting.
+  std::vector<float> A = {0, 1, 1, 0};  // col-major [[0,1],[1,0]]
+  std::vector<float> b = {3, 7};        // solution x = [7, 3]
+  DeviceBuffer dA(api, 16), dB(api, 8), dPiv(api, 8), dInfo(api, 4);
+  dA.upload_values<float>(A);
+  dB.upload_values<float>(b);
+  ASSERT_EQ(api.solver_sgetrf(2, dA.get(), 2, dPiv.get(), dInfo.get()),
+            Error::kSuccess);
+  EXPECT_EQ(dInfo.download_values<std::int32_t>(1)[0], 0);
+  ASSERT_EQ(api.solver_sgetrs(2, 1, dA.get(), 2, dPiv.get(), dB.get(), 2,
+                              dInfo.get()),
+            Error::kSuccess);
+  const auto x = dB.download_values<float>(2);
+  EXPECT_FLOAT_EQ(x[0], 7.0f);
+  EXPECT_FLOAT_EQ(x[1], 3.0f);
+}
+
+TEST_F(LocalApiFixture, SingularMatrixSetsInfo) {
+  std::vector<float> A(16, 1.0f);  // rank-1 4x4
+  DeviceBuffer dA(api, 64), dPiv(api, 16), dInfo(api, 4);
+  dA.upload_values<float>(A);
+  ASSERT_EQ(api.solver_sgetrf(4, dA.get(), 4, dPiv.get(), dInfo.get()),
+            Error::kSuccess);
+  EXPECT_GT(dInfo.download_values<std::int32_t>(1)[0], 0);
+}
+
+TEST_F(LocalApiFixture, CulibsChargeDeviceTime) {
+  const int n = 128;
+  DeviceBuffer dA(api, static_cast<std::size_t>(n) * n * 4),
+      dPiv(api, static_cast<std::size_t>(n) * 4), dInfo(api, 4);
+  dA.upload_values<float>(random_matrix(n, n, 5));
+  const auto t0 = node->clock().now();
+  ASSERT_EQ(api.solver_sgetrf(n, dA.get(), n, dPiv.get(), dInfo.get()),
+            Error::kSuccess);
+  ASSERT_EQ(api.device_synchronize(), Error::kSuccess);
+  EXPECT_GT(node->clock().now(), t0);
+  EXPECT_GT(node->device(0).stats().kernels_launched, 0u);
+}
+
+// Property sweep: LU solve across sizes, always recovering the solution of a
+// diagonally dominant system.
+class LuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuProperty, SolvesDiagonallyDominantSystems) {
+  auto node = GpuNode::make_a100();
+  LocalCudaApi api(*node);
+  const int n = GetParam();
+  auto A = random_matrix(n, n, static_cast<std::uint64_t>(n));
+  for (int i = 0; i < n; ++i)
+    A[static_cast<std::size_t>(i) * n + i] += static_cast<float>(2 * n);
+  const auto x_true = random_matrix(n, 1, static_cast<std::uint64_t>(n) + 99);
+  std::vector<float> b(static_cast<std::size_t>(n), 0.0f);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] +=
+          A[static_cast<std::size_t>(j) * n + i] *
+          x_true[static_cast<std::size_t>(j)];
+
+  DeviceBuffer dA(api, A.size() * 4), dB(api, b.size() * 4),
+      dPiv(api, static_cast<std::size_t>(n) * 4), dInfo(api, 4);
+  dA.upload_values<float>(A);
+  dB.upload_values<float>(b);
+  ASSERT_EQ(api.solver_sgetrf(n, dA.get(), n, dPiv.get(), dInfo.get()),
+            Error::kSuccess);
+  ASSERT_EQ(api.solver_sgetrs(n, 1, dA.get(), n, dPiv.get(), dB.get(), n,
+                              dInfo.get()),
+            Error::kSuccess);
+  const auto x = dB.download_values<float>(static_cast<std::size_t>(n));
+  double max_err = 0;
+  for (int i = 0; i < n; ++i)
+    max_err = std::max(max_err,
+                       std::fabs(static_cast<double>(
+                           x[static_cast<std::size_t>(i)] -
+                           x_true[static_cast<std::size_t>(i)])));
+  EXPECT_LT(max_err, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty,
+                         ::testing::Values(1, 2, 3, 8, 31, 100, 257));
+
+}  // namespace
+}  // namespace cricket::cuda
+
+// ---------------------- extended culibs & stream API ------------------------
+// (Appended suite: sgemv/saxpy/snrm2, Cholesky, async copies, wait-event.)
+
+namespace cricket::cuda {
+namespace {
+
+struct ExtendedApiFixture : ::testing::Test {
+  ExtendedApiFixture() : node(GpuNode::make_a100()), api(*node) {}
+  std::unique_ptr<GpuNode> node;
+  LocalCudaApi api;
+};
+
+TEST_F(ExtendedApiFixture, SgemvMatchesReference) {
+  const int m = 13, n = 7;
+  const auto A = random_matrix(m, n, 31);
+  const auto x = random_matrix(n, 1, 32);
+  std::vector<float> y(static_cast<std::size_t>(m), 1.0f);
+  DeviceBuffer dA(api, A.size() * 4), dx(api, x.size() * 4),
+      dy(api, y.size() * 4);
+  dA.upload_values<float>(A);
+  dx.upload_values<float>(x);
+  dy.upload_values<float>(y);
+  ASSERT_EQ(api.blas_sgemv(m, n, 2.0f, dA.get(), m, dx.get(), 0.5f, dy.get()),
+            Error::kSuccess);
+  const auto out = dy.download_values<float>(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    float ref = 0.5f * 1.0f;
+    for (int j = 0; j < n; ++j)
+      ref += 2.0f * A[static_cast<std::size_t>(j) * m + i] *
+             x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)], ref, 1e-4f);
+  }
+}
+
+TEST_F(ExtendedApiFixture, SgemvRejectsBadDims) {
+  EXPECT_EQ(api.blas_sgemv(-1, 2, 1.0f, 0, 1, 0, 0.0f, 0),
+            Error::kInvalidValue);
+  EXPECT_EQ(api.blas_sgemv(4, 2, 1.0f, 0, 2 /* < m */, 0, 0.0f, 0),
+            Error::kInvalidValue);
+}
+
+TEST_F(ExtendedApiFixture, SaxpyComputes) {
+  const int n = 100;
+  std::vector<float> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = static_cast<float>(i);
+    y[static_cast<std::size_t>(i)] = 1.0f;
+  }
+  DeviceBuffer dx(api, x.size() * 4), dy(api, y.size() * 4);
+  dx.upload_values<float>(x);
+  dy.upload_values<float>(y);
+  ASSERT_EQ(api.blas_saxpy(n, 3.0f, dx.get(), dy.get()), Error::kSuccess);
+  const auto out = dy.download_values<float>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)],
+                    1.0f + 3.0f * static_cast<float>(i));
+}
+
+TEST_F(ExtendedApiFixture, Snrm2MatchesReference) {
+  std::vector<float> x = {3.0f, 4.0f};  // norm 5
+  DeviceBuffer dx(api, 8), dr(api, 4);
+  dx.upload_values<float>(x);
+  ASSERT_EQ(api.blas_snrm2(2, dx.get(), dr.get()), Error::kSuccess);
+  EXPECT_FLOAT_EQ(dr.download_values<float>(1)[0], 5.0f);
+}
+
+TEST_F(ExtendedApiFixture, Snrm2ZeroLength) {
+  DeviceBuffer dr(api, 4);
+  ASSERT_EQ(api.blas_snrm2(0, 0, dr.get()), Error::kSuccess);
+  EXPECT_FLOAT_EQ(dr.download_values<float>(1)[0], 0.0f);
+}
+
+/// Builds an SPD matrix A = M^T M + n*I (column-major).
+std::vector<float> spd_matrix(int n, std::uint64_t seed) {
+  const auto M = random_matrix(n, n, seed);
+  std::vector<float> A(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      float sum = i == j ? static_cast<float>(n) : 0.0f;
+      for (int k = 0; k < n; ++k)
+        sum += M[static_cast<std::size_t>(i) * n + k] *
+               M[static_cast<std::size_t>(j) * n + k];
+      A[static_cast<std::size_t>(j) * n + i] = sum;
+    }
+  return A;
+}
+
+TEST_F(ExtendedApiFixture, CholeskySolveRecoversSolution) {
+  const int n = 48;
+  const auto A = spd_matrix(n, 41);
+  const auto x_true = random_matrix(n, 1, 42);
+  std::vector<float> b(static_cast<std::size_t>(n), 0.0f);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] +=
+          A[static_cast<std::size_t>(j) * n + i] *
+          x_true[static_cast<std::size_t>(j)];
+
+  DeviceBuffer dA(api, A.size() * 4), dB(api, b.size() * 4), dInfo(api, 4);
+  dA.upload_values<float>(A);
+  dB.upload_values<float>(b);
+  ASSERT_EQ(api.solver_spotrf(n, dA.get(), n, dInfo.get()), Error::kSuccess);
+  EXPECT_EQ(dInfo.download_values<std::int32_t>(1)[0], 0);
+  ASSERT_EQ(api.solver_spotrs(n, 1, dA.get(), n, dB.get(), n, dInfo.get()),
+            Error::kSuccess);
+  const auto x = dB.download_values<float>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 5e-2f);
+}
+
+TEST_F(ExtendedApiFixture, CholeskyDetectsNonSpd) {
+  // A matrix with a negative eigenvalue direction.
+  std::vector<float> A = {1, 2, 2, 1};  // eigenvalues 3, -1
+  DeviceBuffer dA(api, 16), dInfo(api, 4);
+  dA.upload_values<float>(A);
+  ASSERT_EQ(api.solver_spotrf(2, dA.get(), 2, dInfo.get()), Error::kSuccess);
+  EXPECT_GT(dInfo.download_values<std::int32_t>(1)[0], 0);
+}
+
+TEST_F(ExtendedApiFixture, AsyncCopiesChargeStreamNotHost) {
+  StreamId s = 0;
+  ASSERT_EQ(api.stream_create(s), Error::kSuccess);
+  DeviceBuffer buf(api, 1 << 20);
+  std::vector<std::uint8_t> data(1 << 20, 0x42);
+
+  const auto host_before = node->clock().now();
+  ASSERT_EQ(api.memcpy_h2d_async(buf.get(), data, s), Error::kSuccess);
+  const auto host_after = node->clock().now();
+  // Async submit returns without paying the PCIe time on the host clock...
+  EXPECT_LT(host_after - host_before, 50 * sim::kMicrosecond);
+  // ...but synchronizing the stream does.
+  ASSERT_EQ(api.stream_synchronize(s), Error::kSuccess);
+  EXPECT_GT(node->clock().now() - host_after, 10 * sim::kMicrosecond);
+
+  std::vector<std::uint8_t> out(1 << 20);
+  ASSERT_EQ(api.memcpy_d2h_async(out, buf.get(), s), Error::kSuccess);
+  ASSERT_EQ(api.stream_synchronize(s), Error::kSuccess);
+  EXPECT_EQ(out, data);
+  (void)api.stream_destroy(s);
+}
+
+TEST_F(ExtendedApiFixture, StreamWaitEventOrdersAcrossStreams) {
+  register_scale(node->registry());
+  Module mod(api, fatbin::cubin_serialize(scale_image()));
+  const FuncId fn = mod.function("scale_f32");
+  DeviceBuffer buf(api, 1 << 22);
+
+  StreamId s1 = 0, s2 = 0;
+  ASSERT_EQ(api.stream_create(s1), Error::kSuccess);
+  ASSERT_EQ(api.stream_create(s2), Error::kSuccess);
+  EventId e = 0;
+  ASSERT_EQ(api.event_create(e), Error::kSuccess);
+
+  // Big kernel on s1, record event, make s2 wait on it.
+  ParamPacker params;
+  params.add_ptr(buf.get()).add(1.0f).add(std::uint32_t{1 << 20});
+  ASSERT_EQ(api.launch_kernel(fn, Dim3{1}, Dim3{256}, 0, s1, params.bytes()),
+            Error::kSuccess);
+  ASSERT_EQ(api.event_record(e, s1), Error::kSuccess);
+  ASSERT_EQ(api.stream_wait_event(s2, e), Error::kSuccess);
+
+  // s2's completion time must now be at least s1's event timestamp.
+  const auto t_now = node->clock().now();
+  ASSERT_EQ(api.stream_synchronize(s2), Error::kSuccess);
+  EXPECT_GT(node->clock().now(), t_now);  // had to wait for s1's kernel
+  (void)api.event_destroy(e);
+  (void)api.stream_destroy(s1);
+  (void)api.stream_destroy(s2);
+}
+
+TEST_F(ExtendedApiFixture, StreamWaitEventUnknownHandles) {
+  EXPECT_EQ(api.stream_wait_event(gpusim::kDefaultStream, 999),
+            Error::kInvalidResourceHandle);
+  EXPECT_EQ(api.stream_wait_event(999, 999), Error::kInvalidResourceHandle);
+}
+
+}  // namespace
+}  // namespace cricket::cuda

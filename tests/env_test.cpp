@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "env/environment.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_clock.hpp"
+#include "vnet/cost_model.hpp"
+
+namespace cricket::env {
+namespace {
+
+TEST(Environment, TableOneRowsMatchPaper) {
+  const auto envs = all_environments();
+  ASSERT_EQ(envs.size(), 5u);
+  EXPECT_EQ(envs[0].name, "C");
+  EXPECT_EQ(envs[0].app_lang, "C");
+  EXPECT_EQ(envs[0].os, "Rocky Linux");
+  EXPECT_EQ(envs[0].hypervisor, "-");
+  EXPECT_EQ(envs[0].network, "native");
+  EXPECT_EQ(envs[1].name, "Rust");
+  EXPECT_EQ(envs[2].name, "Linux VM");
+  EXPECT_EQ(envs[2].hypervisor, "QEMU");
+  EXPECT_EQ(envs[2].network, "virtio");
+  EXPECT_EQ(envs[3].name, "Unikraft");
+  EXPECT_EQ(envs[4].name, "Hermit");
+  EXPECT_EQ(envs[4].os, "Hermit");
+}
+
+TEST(Environment, OffloadMatrixMatchesPaperSection) {
+  const auto hermit = make_environment(EnvKind::kRustyHermit);
+  // §3.1: the paper added VIRTIO_NET_F_CSUM, GUEST_CSUM, MRG_RXBUF to Hermit.
+  EXPECT_TRUE(hermit.profile.offloads.tx_checksum);
+  EXPECT_TRUE(hermit.profile.offloads.rx_checksum);
+  EXPECT_TRUE(hermit.profile.offloads.mrg_rxbuf);
+  // §5: TSO is ongoing work, not present.
+  EXPECT_FALSE(hermit.profile.offloads.tso);
+
+  const auto unikraft = make_environment(EnvKind::kUnikraft);
+  // §4.2: "Unikraft does not support checksum offloading, yet".
+  EXPECT_FALSE(unikraft.profile.offloads.tx_checksum);
+  EXPECT_FALSE(unikraft.profile.offloads.tso);
+
+  const auto vm = make_environment(EnvKind::kLinuxVm);
+  EXPECT_TRUE(vm.profile.offloads.tso);
+  EXPECT_TRUE(vm.profile.offloads.tx_checksum);
+}
+
+TEST(Environment, UnikernelsHaveNoSyscallCost) {
+  EXPECT_EQ(make_environment(EnvKind::kRustyHermit).profile.guest.syscall_ns,
+            0);
+  EXPECT_EQ(make_environment(EnvKind::kUnikraft).profile.guest.syscall_ns, 0);
+  EXPECT_GT(make_environment(EnvKind::kLinuxVm).profile.guest.syscall_ns, 0);
+}
+
+TEST(Environment, FlavorsDifferAsMeasured) {
+  const auto c = make_environment(EnvKind::kNativeC);
+  const auto rust = make_environment(EnvKind::kNativeRust);
+  EXPECT_FALSE(c.flavor.fast_rng);
+  EXPECT_TRUE(rust.flavor.fast_rng);
+  EXPECT_GT(c.flavor.launch_extra_ns, rust.flavor.launch_extra_ns);
+}
+
+TEST(Environment, PaperUsesMtu9000) {
+  for (const auto& e : all_environments()) EXPECT_EQ(e.profile.ip_mtu, 9000u);
+}
+
+/// Round-trip virtual time of one small request/response across a
+/// connection — the shape behind Fig. 6.
+sim::Nanos measure_rtt(EnvKind kind, std::size_t req_bytes = 100,
+                       std::size_t resp_bytes = 100) {
+  sim::SimClock clock;
+  const auto environment = make_environment(kind);
+  auto conn = connect(environment, clock);
+
+  std::thread server([&] {
+    std::vector<std::uint8_t> buf(req_bytes);
+    conn.server->recv_exact(buf);
+    conn.server->send(std::vector<std::uint8_t>(resp_bytes, 0x5A));
+  });
+
+  const auto t0 = clock.now();
+  conn.guest->send(std::vector<std::uint8_t>(req_bytes, 0xA5));
+  std::vector<std::uint8_t> resp(resp_bytes);
+  conn.guest->recv_exact(resp);
+  server.join();
+  const auto rtt = clock.now() - t0;
+  conn.guest->shutdown();
+  return rtt;
+}
+
+TEST(EnvironmentShape, Fig6OrderingNativeHermitUnikraftVm) {
+  const auto rtt_native = measure_rtt(EnvKind::kNativeRust);
+  const auto rtt_hermit = measure_rtt(EnvKind::kRustyHermit);
+  const auto rtt_unikraft = measure_rtt(EnvKind::kUnikraft);
+  const auto rtt_vm = measure_rtt(EnvKind::kLinuxVm);
+
+  // Paper Fig. 6: Linux VM slowest, Hermit the best virtualized option, all
+  // virtualized configs at least ~2x native.
+  EXPECT_LT(rtt_native, rtt_hermit);
+  EXPECT_LT(rtt_hermit, rtt_unikraft);
+  EXPECT_LT(rtt_unikraft, rtt_vm);
+  EXPECT_GT(rtt_hermit, rtt_native * 3 / 2);
+  EXPECT_GT(rtt_vm, 2 * rtt_native);
+}
+
+TEST(EnvironmentShape, NativeCAndRustAreClose) {
+  const auto c = measure_rtt(EnvKind::kNativeC);
+  const auto rust = measure_rtt(EnvKind::kNativeRust);
+  EXPECT_LT(std::abs(c - rust), c / 5);  // within 20%
+}
+
+/// One-way bulk throughput in MiB/s of guest-side send — the shape behind
+/// Fig. 7 (host-to-device direction).
+double measure_tx_mibps(EnvKind kind) {
+  sim::SimClock clock;
+  const auto environment = make_environment(kind);
+  auto conn = connect(environment, clock);
+  constexpr std::size_t kBytes = 32 << 20;
+
+  std::thread server([&] {
+    std::vector<std::uint8_t> buf(1 << 16);
+    std::size_t got = 0;
+    while (got < kBytes) {
+      const std::size_t n = conn.server->recv(buf);
+      if (n == 0) break;
+      got += n;
+    }
+  });
+  const auto t0 = clock.now();
+  std::vector<std::uint8_t> chunk(1 << 20, 0x77);
+  for (std::size_t sent = 0; sent < kBytes; sent += chunk.size())
+    conn.guest->send(chunk);
+  conn.guest->shutdown();
+  server.join();
+  const double secs = static_cast<double>(clock.now() - t0) / 1e9;
+  return static_cast<double>(kBytes) / (1 << 20) / secs;
+}
+
+TEST(EnvironmentShape, Fig7BandwidthHierarchy) {
+  const double native = measure_tx_mibps(EnvKind::kNativeRust);
+  const double vm = measure_tx_mibps(EnvKind::kLinuxVm);
+  const double hermit = measure_tx_mibps(EnvKind::kRustyHermit);
+  const double unikraft = measure_tx_mibps(EnvKind::kUnikraft);
+
+  // Paper Fig. 7: VM retains >= ~80% of native; unikernels collapse to
+  // around a tenth of native because they lack TSO (and, for Unikraft,
+  // checksum offload).
+  EXPECT_GT(vm, 0.55 * native);
+  EXPECT_LT(hermit, 0.25 * native);
+  EXPECT_LT(unikraft, 0.25 * native);
+  EXPECT_GT(hermit, 0.02 * native);
+  EXPECT_GT(native, 3000.0);  // multi-GiB/s native on 100 GbE
+}
+
+TEST(Environment, ConnectionCarriesDataBothWays) {
+  sim::SimClock clock;
+  auto conn = connect(make_environment(EnvKind::kUnikraft), clock);
+  sim::Xoshiro256ss rng(4);
+  std::vector<std::uint8_t> req(200'000);
+  rng.fill_bytes(req);
+
+  std::thread server([&] {
+    std::vector<std::uint8_t> buf(req.size());
+    conn.server->recv_exact(buf);
+    conn.server->send(buf);  // echo
+  });
+  conn.guest->send(req);
+  std::vector<std::uint8_t> echoed(req.size());
+  conn.guest->recv_exact(echoed);
+  server.join();
+  EXPECT_EQ(echoed, req);
+}
+
+}  // namespace
+}  // namespace cricket::env

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fatbin/cubin.hpp"
+#include "fatbin/fatbin.hpp"
+#include "fatbin/lz.hpp"
+#include "sim/rng.hpp"
+
+namespace cricket::fatbin {
+namespace {
+
+CubinImage sample_image(std::uint32_t arch = 80) {
+  CubinImage img;
+  img.sm_arch = arch;
+  KernelDescriptor k;
+  k.name = "matrixMulCUDA";
+  k.params = {
+      {.size = 8, .align = 8, .is_pointer = true},   // C
+      {.size = 8, .align = 8, .is_pointer = true},   // A
+      {.size = 8, .align = 8, .is_pointer = true},   // B
+      {.size = 4, .align = 4, .is_pointer = false},  // wA
+      {.size = 4, .align = 4, .is_pointer = false},  // wB
+  };
+  k.max_threads_per_block = 1024;
+  k.static_shared_bytes = 2 * 32 * 32 * 4;
+  k.num_regs = 40;
+  img.kernels.push_back(k);
+
+  KernelDescriptor h;
+  h.name = "histogram64Kernel";
+  h.params = {{.size = 8, .align = 8, .is_pointer = true},
+              {.size = 8, .align = 8, .is_pointer = true},
+              {.size = 4, .align = 4, .is_pointer = false}};
+  img.kernels.push_back(h);
+
+  GlobalSymbol g;
+  g.name = "d_scale_factor";
+  g.size = 8;
+  g.init = {0, 0, 0, 0, 0, 0, 240, 63};  // 1.0 as little-endian double
+  img.globals.push_back(g);
+
+  img.code = make_pseudo_isa(4096, /*seed=*/arch);
+  return img;
+}
+
+// ---------------------------------- LZ -------------------------------------
+
+TEST(Lz, EmptyInput) {
+  EXPECT_TRUE(lz_compress({}).empty());
+  EXPECT_TRUE(lz_decompress({}).empty());
+}
+
+TEST(Lz, RoundTripShortLiteral) {
+  const std::vector<std::uint8_t> in = {1, 2, 3};
+  EXPECT_EQ(lz_decompress(lz_compress(in)), in);
+}
+
+TEST(Lz, RoundTripAllSameByte) {
+  const std::vector<std::uint8_t> in(10'000, 0xAB);
+  const auto c = lz_compress(in);
+  EXPECT_LT(c.size(), in.size() / 10);  // trivially compressible
+  EXPECT_EQ(lz_decompress(c), in);
+}
+
+TEST(Lz, RoundTripRandomIncompressible) {
+  sim::Xoshiro256ss rng(1);
+  std::vector<std::uint8_t> in(100'000);
+  rng.fill_bytes(in);
+  const auto c = lz_compress(in);
+  EXPECT_LT(c.size(), in.size() + in.size() / 64 + 16);  // bounded expansion
+  EXPECT_EQ(lz_decompress(c), in);
+}
+
+TEST(Lz, PseudoIsaCompressesRealistically) {
+  const auto code = make_pseudo_isa(100'000, 7);
+  const auto c = lz_compress(code);
+  // Machine-code-like input should compress meaningfully but not absurdly.
+  EXPECT_LT(c.size(), code.size() * 3 / 4);
+  EXPECT_GT(c.size(), code.size() / 50);
+  EXPECT_EQ(lz_decompress(c), code);
+}
+
+TEST(Lz, OverlappingMatchesDecode) {
+  // "abcabcabc..." produces matches with dist < len.
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 1000; ++i) in.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+  EXPECT_EQ(lz_decompress(lz_compress(in)), in);
+}
+
+TEST(Lz, TruncatedLiteralThrows) {
+  const std::vector<std::uint8_t> bad = {0x05, 'a', 'b'};  // promises 6 bytes
+  EXPECT_THROW((void)lz_decompress(bad), LzError);
+}
+
+TEST(Lz, TruncatedMatchTokenThrows) {
+  const std::vector<std::uint8_t> bad = {0x00, 'x', 0x80, 0x01};  // missing dist hi
+  EXPECT_THROW((void)lz_decompress(bad), LzError);
+}
+
+TEST(Lz, BadDistanceThrows) {
+  // Literal 'x' then match reaching back 5 bytes into 1 byte of output.
+  const std::vector<std::uint8_t> bad = {0x00, 'x', 0x80, 0x05, 0x00};
+  EXPECT_THROW((void)lz_decompress(bad), LzError);
+}
+
+TEST(Lz, ZeroDistanceThrows) {
+  const std::vector<std::uint8_t> bad = {0x00, 'x', 0x80, 0x00, 0x00};
+  EXPECT_THROW((void)lz_decompress(bad), LzError);
+}
+
+TEST(Lz, OutputLimitEnforced) {
+  const std::vector<std::uint8_t> in(1000, 7);
+  const auto c = lz_compress(in);
+  EXPECT_THROW((void)lz_decompress(c, /*max_output=*/100), LzError);
+}
+
+class LzRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LzRoundTripProperty, RandomStructuredBuffers) {
+  sim::Xoshiro256ss rng(GetParam());
+  // Mix of runs, random spans, and repeated motifs.
+  std::vector<std::uint8_t> in;
+  for (int seg = 0; seg < 50; ++seg) {
+    const auto kind = rng.next() % 3;
+    const auto len = rng.next() % 2000;
+    if (kind == 0) {
+      in.insert(in.end(), len, static_cast<std::uint8_t>(rng.next()));
+    } else if (kind == 1) {
+      const std::size_t old = in.size();
+      in.resize(old + len);
+      rng.fill_bytes(std::span(in).subspan(old));
+    } else if (!in.empty()) {
+      const std::size_t start = rng.next() % in.size();
+      const std::size_t n = std::min<std::size_t>(len, in.size() - start);
+      for (std::size_t i = 0; i < n; ++i) in.push_back(in[start + i]);
+    }
+  }
+  EXPECT_EQ(lz_decompress(lz_compress(in)), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzRoundTripProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// --------------------------------- cubin -----------------------------------
+
+TEST(Cubin, RoundTripPreservesEverything) {
+  const CubinImage img = sample_image();
+  const auto bytes = cubin_serialize(img);
+  EXPECT_TRUE(cubin_probe(bytes));
+  const CubinImage out = cubin_parse(bytes);
+  EXPECT_EQ(out, img);
+}
+
+TEST(Cubin, FindKernelAndGlobal) {
+  const CubinImage img = sample_image();
+  ASSERT_NE(img.find_kernel("matrixMulCUDA"), nullptr);
+  EXPECT_EQ(img.find_kernel("matrixMulCUDA")->params.size(), 5u);
+  EXPECT_EQ(img.find_kernel("nonexistent"), nullptr);
+  ASSERT_NE(img.find_global("d_scale_factor"), nullptr);
+  EXPECT_EQ(img.find_global("d_scale_factor")->size, 8u);
+}
+
+TEST(Cubin, ParamOffsetsHonourAlignment) {
+  KernelDescriptor k;
+  k.params = {{.size = 4, .align = 4, .is_pointer = false},
+              {.size = 8, .align = 8, .is_pointer = true},
+              {.size = 1, .align = 1, .is_pointer = false},
+              {.size = 8, .align = 8, .is_pointer = true}};
+  EXPECT_EQ(k.param_offset(0), 0u);
+  EXPECT_EQ(k.param_offset(1), 8u);   // 4 -> aligned to 8
+  EXPECT_EQ(k.param_offset(2), 16u);
+  EXPECT_EQ(k.param_offset(3), 24u);  // 17 -> aligned to 24
+  EXPECT_EQ(k.param_buffer_size(), 32u);
+}
+
+TEST(Cubin, EmptyParamListHasZeroSize) {
+  KernelDescriptor k;
+  EXPECT_EQ(k.param_buffer_size(), 0u);
+}
+
+TEST(Cubin, BadMagicThrows) {
+  std::vector<std::uint8_t> bad = {'X', 'X', 'X', 'X', 0};
+  EXPECT_THROW((void)cubin_parse(bad), CubinError);
+}
+
+TEST(Cubin, TruncatedThrows) {
+  auto bytes = cubin_serialize(sample_image());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)cubin_parse(bytes), CubinError);
+}
+
+TEST(Cubin, TrailingGarbageThrows) {
+  auto bytes = cubin_serialize(sample_image());
+  bytes.push_back(0);
+  EXPECT_THROW((void)cubin_parse(bytes), CubinError);
+}
+
+TEST(Cubin, NonPowerOfTwoAlignmentRejected) {
+  CubinImage img = sample_image();
+  img.kernels[0].params[0].align = 3;
+  const auto bytes = cubin_serialize(img);
+  EXPECT_THROW((void)cubin_parse(bytes), CubinError);
+}
+
+TEST(Cubin, GlobalInitSizeMismatchRejected) {
+  CubinImage img = sample_image();
+  img.globals[0].init.resize(4);  // size says 8
+  const auto bytes = cubin_serialize(img);
+  EXPECT_THROW((void)cubin_parse(bytes), CubinError);
+}
+
+// --------------------------------- fatbin ----------------------------------
+
+TEST(FatbinContainer, RoundTripMixedCompression) {
+  Fatbin fb;
+  fb.add_image(sample_image(61), /*compress=*/false);
+  fb.add_image(sample_image(75), /*compress=*/true);
+  fb.add_image(sample_image(80), /*compress=*/true);
+  const auto bytes = fb.serialize();
+  EXPECT_TRUE(Fatbin::probe(bytes));
+
+  const Fatbin out = Fatbin::parse(bytes);
+  ASSERT_EQ(out.entries().size(), 3u);
+  EXPECT_FALSE(out.entries()[0].compressed);
+  EXPECT_TRUE(out.entries()[1].compressed);
+  EXPECT_EQ(out.load(80), sample_image(80));
+  EXPECT_EQ(out.load(75), sample_image(75));
+  EXPECT_EQ(out.load(61), sample_image(61));
+}
+
+TEST(FatbinContainer, SelectPicksHighestCompatible) {
+  Fatbin fb;
+  fb.add_image(sample_image(61), false);
+  fb.add_image(sample_image(75), false);
+  ASSERT_NE(fb.select(80), nullptr);
+  EXPECT_EQ(fb.select(80)->sm_arch, 75u);
+  EXPECT_EQ(fb.select(75)->sm_arch, 75u);
+  EXPECT_EQ(fb.select(61)->sm_arch, 61u);
+  EXPECT_EQ(fb.select(50), nullptr);  // nothing old enough
+}
+
+TEST(FatbinContainer, LoadWithNoCompatibleImageThrows) {
+  Fatbin fb;
+  fb.add_image(sample_image(80), false);
+  EXPECT_THROW((void)fb.load(61), CubinError);
+}
+
+TEST(FatbinContainer, CompressionActuallyShrinksEntries) {
+  Fatbin fb;
+  fb.add_image(sample_image(80), true);
+  const auto& e = fb.entries()[0];
+  EXPECT_LT(e.payload.size(), e.uncompressed_len);
+}
+
+TEST(FatbinContainer, CorruptedCompressedPayloadThrows) {
+  Fatbin fb;
+  fb.add_image(sample_image(80), true);
+  auto bytes = fb.serialize();
+  // First payload byte: container header (12) + entry header (20). Breaking
+  // the first LZ control byte desynchronizes the token stream.
+  bytes[32] ^= 0x80;
+  const Fatbin out = Fatbin::parse(bytes);
+  EXPECT_THROW((void)out.load(80), std::runtime_error);
+}
+
+TEST(ExtractMetadata, HandlesBareCubin) {
+  const auto bytes = cubin_serialize(sample_image());
+  const CubinImage img = extract_metadata(bytes, 80);
+  EXPECT_NE(img.find_kernel("matrixMulCUDA"), nullptr);
+}
+
+TEST(ExtractMetadata, HandlesCompressedBareCubin) {
+  // Cricket's decompression path: a .cubin file that is itself compressed.
+  const auto bytes = lz_compress(cubin_serialize(sample_image()));
+  const CubinImage img = extract_metadata(bytes, 80);
+  EXPECT_NE(img.find_kernel("histogram64Kernel"), nullptr);
+}
+
+TEST(ExtractMetadata, HandlesFatbin) {
+  Fatbin fb;
+  fb.add_image(sample_image(80), true);
+  const CubinImage img = extract_metadata(fb.serialize(), 80);
+  EXPECT_EQ(img.sm_arch, 80u);
+}
+
+TEST(ExtractMetadata, GarbageRejected) {
+  const std::vector<std::uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  EXPECT_THROW((void)extract_metadata(garbage, 80), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cricket::fatbin

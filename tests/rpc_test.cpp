@@ -1,0 +1,563 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/client.hpp"
+#include "rpc/record.hpp"
+#include "rpc/rpc_msg.hpp"
+#include "rpc/server.hpp"
+#include "rpc/transport.hpp"
+#include "sim/rng.hpp"
+
+namespace cricket::rpc {
+namespace {
+
+constexpr std::uint32_t kProg = 0x20000001;
+constexpr std::uint32_t kVers = 1;
+constexpr std::uint32_t kProcAdd = 1;
+constexpr std::uint32_t kProcEcho = 2;
+constexpr std::uint32_t kProcFail = 3;
+constexpr std::uint32_t kProcConcatN = 4;
+
+ServiceRegistry make_test_registry() {
+  ServiceRegistry reg;
+  reg.register_typed<std::uint32_t, std::uint32_t, std::uint32_t>(
+      kProg, kVers, kProcAdd,
+      [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  reg.register_typed<std::vector<std::uint8_t>, std::vector<std::uint8_t>>(
+      kProg, kVers, kProcEcho,
+      [](std::vector<std::uint8_t> data) { return data; });
+  reg.register_typed<std::uint32_t, std::uint32_t>(
+      kProg, kVers, kProcFail, [](std::uint32_t) -> std::uint32_t {
+        throw std::runtime_error("handler exploded");
+      });
+  reg.register_typed<std::string, std::string, std::uint32_t>(
+      kProg, kVers, kProcConcatN, [](const std::string& s, std::uint32_t n) {
+        std::string out;
+        for (std::uint32_t i = 0; i < n; ++i) out += s;
+        return out;
+      });
+  return reg;
+}
+
+/// Client + in-process server fixture over a pipe pair.
+class RpcPipeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = make_test_registry();
+    auto [client_end, server_end] = make_pipe_pair();
+    server_end_ = std::move(server_end);
+    server_thread_ = std::thread([this] {
+      serve_transport(registry_, *server_end_);
+    });
+    client_ = std::make_unique<RpcClient>(std::move(client_end), kProg, kVers);
+  }
+
+  void TearDown() override {
+    client_.reset();  // shuts down the client->server direction
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  ServiceRegistry registry_;
+  std::unique_ptr<Transport> server_end_;
+  std::unique_ptr<RpcClient> client_;
+  std::thread server_thread_;
+};
+
+TEST_F(RpcPipeTest, NullProcedurePings) { EXPECT_NO_THROW(client_->ping()); }
+
+TEST_F(RpcPipeTest, TypedCallReturnsSum) {
+  EXPECT_EQ((client_->call<std::uint32_t>(kProcAdd, std::uint32_t{2},
+                                          std::uint32_t{40})),
+            42u);
+}
+
+TEST_F(RpcPipeTest, ManySequentialCallsIncrementXids) {
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ((client_->call<std::uint32_t>(kProcAdd, i, i)), 2 * i);
+  }
+  EXPECT_EQ(client_->stats().calls, 500u);
+}
+
+TEST_F(RpcPipeTest, EchoLargePayloadRoundTrips) {
+  sim::Xoshiro256ss rng(3);
+  std::vector<std::uint8_t> payload(3u << 20);  // 3 MiB: forces fragmentation
+  rng.fill_bytes(payload);
+  const auto echoed =
+      client_->call<std::vector<std::uint8_t>>(kProcEcho, payload);
+  EXPECT_EQ(echoed, payload);
+}
+
+TEST_F(RpcPipeTest, UnknownProcedureIsProcUnavail) {
+  try {
+    client_->call_void(999);
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kProcUnavail);
+  }
+}
+
+TEST_F(RpcPipeTest, HandlerExceptionIsSystemErr) {
+  try {
+    (void)client_->call<std::uint32_t>(kProcFail, std::uint32_t{1});
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kSystemErr);
+  }
+}
+
+TEST_F(RpcPipeTest, TruncatedArgsAreGarbageArgs) {
+  // kProcAdd wants two u32s; send one.
+  xdr::Encoder enc;
+  enc.put_u32(1);
+  try {
+    (void)client_->call_raw(kProcAdd, enc.bytes());
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kGarbageArgs);
+  }
+}
+
+TEST_F(RpcPipeTest, TrailingArgsAreGarbageArgs) {
+  xdr::Encoder enc;
+  enc.put_u32(1);
+  enc.put_u32(2);
+  enc.put_u32(3);  // extra
+  try {
+    (void)client_->call_raw(kProcAdd, enc.bytes());
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kGarbageArgs);
+  }
+}
+
+TEST_F(RpcPipeTest, StatsCountBytesBothWays) {
+  (void)client_->call<std::uint32_t>(kProcAdd, std::uint32_t{1},
+                                     std::uint32_t{2});
+  EXPECT_GT(client_->stats().bytes_sent, 0u);
+  EXPECT_GT(client_->stats().bytes_received, 0u);
+}
+
+TEST_F(RpcPipeTest, MultiArgStringProcedure) {
+  EXPECT_EQ((client_->call<std::string>(kProcConcatN, std::string("ab"),
+                                        std::uint32_t{3})),
+            "ababab");
+}
+
+TEST(RpcVersioning, WrongVersionReportsMismatchBounds) {
+  ServiceRegistry reg = make_test_registry();
+  auto [client_end, server_end] = make_pipe_pair();
+  std::thread server([&reg, t = std::move(server_end)]() mutable {
+    serve_transport(reg, *t);
+  });
+  {
+    RpcClient client(std::move(client_end), kProg, /*vers=*/99);
+    try {
+      client.ping();
+      FAIL() << "expected RpcError";
+    } catch (const RpcError& e) {
+      EXPECT_EQ(e.kind(), RpcError::Kind::kProgMismatch);
+      EXPECT_NE(std::string(e.what()).find("1..1"), std::string::npos);
+    }
+  }
+  server.join();
+}
+
+TEST(RpcVersioning, UnknownProgramIsProgUnavail) {
+  ServiceRegistry reg = make_test_registry();
+  auto [client_end, server_end] = make_pipe_pair();
+  std::thread server([&reg, t = std::move(server_end)]() mutable {
+    serve_transport(reg, *t);
+  });
+  {
+    RpcClient client(std::move(client_end), /*prog=*/0xBAD, kVers);
+    try {
+      client.ping();
+      FAIL() << "expected RpcError";
+    } catch (const RpcError& e) {
+      EXPECT_EQ(e.kind(), RpcError::Kind::kProgUnavail);
+    }
+  }
+  server.join();
+}
+
+// ------------------------------ record marking ------------------------------
+
+TEST(RecordMarking, SingleFragmentRoundTrip) {
+  auto [a, b] = make_pipe_pair();
+  RecordWriter writer(*a);
+  RecordReader reader(*b);
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  writer.write_record(msg);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(reader.read_record(out));
+  EXPECT_EQ(out, msg);
+}
+
+TEST(RecordMarking, EmptyRecordRoundTrip) {
+  auto [a, b] = make_pipe_pair();
+  RecordWriter writer(*a);
+  RecordReader reader(*b);
+  writer.write_record({});
+  std::vector<std::uint8_t> out = {9};
+  ASSERT_TRUE(reader.read_record(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RecordMarking, EofBeforeRecordReturnsFalse) {
+  auto [a, b] = make_pipe_pair();
+  a->shutdown();
+  RecordReader reader(*b);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(reader.read_record(out));
+}
+
+TEST(RecordMarking, EofMidRecordThrows) {
+  auto [a, b] = make_pipe_pair();
+  // Header claiming 100 bytes, then only 10, then EOF.
+  const std::uint8_t hdr[4] = {0x80, 0, 0, 100};
+  a->send(hdr);
+  const std::uint8_t partial[10] = {};
+  a->send(partial);
+  a->shutdown();
+  RecordReader reader(*b);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW((void)reader.read_record(out), TransportError);
+}
+
+TEST(RecordMarking, OversizeRecordRejected) {
+  auto [a, b] = make_pipe_pair();
+  const std::uint8_t hdr[4] = {0x00, 0xFF, 0xFF, 0xFF};  // 16 MiB, not last
+  a->send(hdr);
+  RecordReader reader(*b, /*max_record=*/1024);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW((void)reader.read_record(out), TransportError);
+}
+
+// The paper (§2) singles out fragmented-message support as the reason the
+// existing Rust onc_rpc crate was unusable for Cricket. Sweep fragment sizes
+// against payload sizes to prove reassembly is exact.
+struct FragmentCase {
+  std::uint32_t max_fragment;
+  std::size_t payload;
+};
+
+class RecordFragmentation : public ::testing::TestWithParam<FragmentCase> {};
+
+TEST_P(RecordFragmentation, ReassemblesExactly) {
+  const auto [max_fragment, payload_size] = GetParam();
+  auto [a, b] = make_pipe_pair(/*capacity_bytes=*/1 << 22);
+  RecordWriter writer(*a, max_fragment);
+  RecordReader reader(*b);
+
+  sim::Xoshiro256ss rng(payload_size * 31 + max_fragment);
+  std::vector<std::uint8_t> msg(payload_size);
+  rng.fill_bytes(msg);
+
+  std::thread sender([&] { writer.write_record(msg); });
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(reader.read_record(out));
+  sender.join();
+  EXPECT_EQ(out, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecordFragmentation,
+    ::testing::Values(FragmentCase{1, 1}, FragmentCase{1, 17},
+                      FragmentCase{7, 100}, FragmentCase{64, 64},
+                      FragmentCase{64, 65}, FragmentCase{1024, 1 << 16},
+                      FragmentCase{4096, (1 << 20) + 3},
+                      FragmentCase{RecordWriter::kDefaultMaxFragment, 1 << 21}));
+
+TEST(RecordMarking, BackToBackRecordsKeepBoundaries) {
+  auto [a, b] = make_pipe_pair();
+  RecordWriter writer(*a, /*max_fragment=*/8);
+  RecordReader reader(*b);
+  std::vector<std::vector<std::uint8_t>> msgs;
+  sim::Xoshiro256ss rng(5);
+  for (std::size_t len : {0u, 1u, 8u, 9u, 100u, 31u}) {
+    std::vector<std::uint8_t> m(len);
+    rng.fill_bytes(m);
+    msgs.push_back(m);
+  }
+  std::thread sender([&] {
+    for (const auto& m : msgs) writer.write_record(m);
+    a->shutdown();
+  });
+  for (const auto& expected : msgs) {
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(reader.read_record(out));
+    EXPECT_EQ(out, expected);
+  }
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(reader.read_record(out));
+  sender.join();
+}
+
+// ------------------------------- rpc messages -------------------------------
+
+TEST(RpcMsg, CallRoundTrip) {
+  CallMsg call;
+  call.xid = 77;
+  call.prog = kProg;
+  call.vers = kVers;
+  call.proc = kProcAdd;
+  call.cred = AuthSysParms{.stamp = 1,
+                           .machinename = "unikernel0",
+                           .uid = 1000,
+                           .gid = 100,
+                           .gids = {100, 10}}
+                  .to_opaque();
+  call.args = {0, 0, 0, 1};
+  const auto wire = encode_call(call);
+  const CallMsg out = decode_call(wire);
+  EXPECT_EQ(out.xid, 77u);
+  EXPECT_EQ(out.prog, kProg);
+  EXPECT_EQ(out.vers, kVers);
+  EXPECT_EQ(out.proc, kProcAdd);
+  EXPECT_EQ(out.args, call.args);
+  const auto sys = AuthSysParms::from_opaque(out.cred);
+  EXPECT_EQ(sys.machinename, "unikernel0");
+  EXPECT_EQ(sys.uid, 1000u);
+  EXPECT_EQ(sys.gids.size(), 2u);
+}
+
+TEST(RpcMsg, ReplySuccessRoundTrip) {
+  ReplyMsg reply;
+  reply.xid = 5;
+  reply.accept_stat = AcceptStat::kSuccess;
+  reply.results = {9, 9, 9, 9};
+  const ReplyMsg out = decode_reply(encode_reply(reply));
+  EXPECT_EQ(out.xid, 5u);
+  EXPECT_EQ(out.stat, ReplyStat::kAccepted);
+  EXPECT_EQ(out.accept_stat, AcceptStat::kSuccess);
+  EXPECT_EQ(out.results, reply.results);
+}
+
+TEST(RpcMsg, ReplyProgMismatchCarriesBounds) {
+  ReplyMsg reply;
+  reply.xid = 6;
+  reply.accept_stat = AcceptStat::kProgMismatch;
+  reply.mismatch = MismatchInfo{2, 4};
+  const ReplyMsg out = decode_reply(encode_reply(reply));
+  ASSERT_TRUE(out.mismatch.has_value());
+  EXPECT_EQ(out.mismatch->low, 2u);
+  EXPECT_EQ(out.mismatch->high, 4u);
+}
+
+TEST(RpcMsg, ReplyDeniedAuthError) {
+  ReplyMsg reply;
+  reply.xid = 7;
+  reply.stat = ReplyStat::kDenied;
+  reply.reject_stat = RejectStat::kAuthError;
+  reply.auth_stat = AuthStat::kTooWeak;
+  const ReplyMsg out = decode_reply(encode_reply(reply));
+  EXPECT_EQ(out.stat, ReplyStat::kDenied);
+  EXPECT_EQ(out.reject_stat, RejectStat::kAuthError);
+  EXPECT_EQ(out.auth_stat, AuthStat::kTooWeak);
+}
+
+TEST(RpcMsg, DecodeCallRejectsReply) {
+  ReplyMsg reply;
+  reply.xid = 1;
+  EXPECT_THROW((void)decode_call(encode_reply(reply)), RpcFormatError);
+}
+
+TEST(RpcMsg, DecodeRejectsWrongRpcVersion) {
+  CallMsg call;
+  call.xid = 1;
+  auto wire = encode_call(call);
+  wire[11] = 3;  // rpcvers lives at bytes 8..11 (big-endian)
+  EXPECT_THROW((void)decode_call(wire), RpcFormatError);
+}
+
+TEST(RpcMsg, AuthSysRejectsOversizeGidList) {
+  xdr::Encoder enc;
+  enc.put_u32(0);
+  enc.put_string("m");
+  enc.put_u32(0);
+  enc.put_u32(0);
+  enc.put_u32(17);  // > 16 gids
+  for (int i = 0; i < 17; ++i) enc.put_u32(0);
+  OpaqueAuth auth;
+  auth.flavor = AuthFlavor::kSys;
+  auth.body = {enc.bytes().begin(), enc.bytes().end()};
+  EXPECT_THROW((void)AuthSysParms::from_opaque(auth), RpcFormatError);
+}
+
+// --------------------------- real TCP integration ---------------------------
+
+TEST(RpcTcp, LoopbackCallsWork) {
+  const ServiceRegistry reg = make_test_registry();
+  TcpRpcServer server(reg, std::make_unique<TcpListener>());
+  auto conn = TcpTransport::connect_loopback(server.port());
+  RpcClient client(std::move(conn), kProg, kVers);
+  EXPECT_EQ((client.call<std::uint32_t>(kProcAdd, std::uint32_t{20},
+                                        std::uint32_t{22})),
+            42u);
+  sim::Xoshiro256ss rng(4);
+  std::vector<std::uint8_t> payload(1 << 20);
+  rng.fill_bytes(payload);
+  EXPECT_EQ((client.call<std::vector<std::uint8_t>>(kProcEcho, payload)),
+            payload);
+}
+
+TEST(RpcTcp, MultipleConcurrentClients) {
+  const ServiceRegistry reg = make_test_registry();
+  TcpRpcServer server(reg, std::make_unique<TcpListener>());
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        RpcClient client(TcpTransport::connect_loopback(server.port()), kProg,
+                         kVers);
+        for (std::uint32_t i = 0; i < 200; ++i) {
+          const auto want = static_cast<std::uint32_t>(t) + i;
+          if (client.call<std::uint32_t>(kProcAdd,
+                                         static_cast<std::uint32_t>(t), i) !=
+              want)
+            ++failures;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ------------------------------- byte queues --------------------------------
+
+TEST(ByteQueue, BlocksUntilDataArrives) {
+  ByteQueue q(16);
+  std::thread producer([&] {
+    const std::uint8_t data[3] = {1, 2, 3};
+    q.push(data);
+  });
+  std::uint8_t out[3] = {};
+  std::size_t got = 0;
+  while (got < 3) got += q.pop(std::span(out + got, 3 - got));
+  producer.join();
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST(ByteQueue, PushBlocksWhenFullThenDrains) {
+  ByteQueue q(4);
+  std::vector<std::uint8_t> big(64);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i);
+  std::thread producer([&] {
+    q.push(big);
+    q.close();
+  });
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[8];
+  for (;;) {
+    const std::size_t n = q.pop(buf);
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  producer.join();
+  EXPECT_EQ(out, big);
+}
+
+TEST(ByteQueue, PushAfterCloseThrows) {
+  ByteQueue q(4);
+  q.close();
+  const std::uint8_t b[1] = {0};
+  EXPECT_THROW(q.push(b), TransportError);
+}
+
+}  // namespace
+}  // namespace cricket::rpc
+
+// -------------------------------- portmapper --------------------------------
+
+#include "rpc/portmap.hpp"
+
+namespace cricket::rpc {
+namespace {
+
+TEST(Portmap, SetGetportUnsetLocally) {
+  Portmapper pm;
+  EXPECT_TRUE(pm.set({kProg, 1, kIpProtoTcp, 5001}));
+  EXPECT_FALSE(pm.set({kProg, 1, kIpProtoTcp, 5002}));  // duplicate refused
+  EXPECT_TRUE(pm.set({kProg, 1, kIpProtoUdp, 5001}));   // other proto fine
+  EXPECT_EQ(pm.getport(kProg, 1, kIpProtoTcp), 5001u);
+  EXPECT_EQ(pm.getport(kProg, 2, kIpProtoTcp), 0u);  // not registered
+  EXPECT_TRUE(pm.unset(kProg, 1));
+  EXPECT_EQ(pm.getport(kProg, 1, kIpProtoTcp), 0u);
+  EXPECT_FALSE(pm.unset(kProg, 1));  // already gone
+}
+
+TEST(Portmap, MappingXdrRoundTrip) {
+  const PmapMapping m{0x20000C81, 1, kIpProtoTcp, 49152};
+  xdr::Encoder enc;
+  xdr_encode(enc, m);
+  EXPECT_EQ(enc.size(), 16u);  // four u32 fields, RFC 1833 layout
+  xdr::Decoder dec(enc.bytes());
+  PmapMapping out;
+  xdr_decode(dec, out);
+  EXPECT_EQ(out, m);
+}
+
+TEST(Portmap, WireProtocolOverPipe) {
+  Portmapper pm;
+  ServiceRegistry registry;
+  pm.register_into(registry);
+  auto [client_end, server_end] = make_pipe_pair();
+  std::thread server([&registry, t = std::move(server_end)]() mutable {
+    serve_transport(registry, *t);
+  });
+  {
+    PortmapClient client(std::move(client_end));
+    EXPECT_TRUE(client.set({777, 3, kIpProtoTcp, 9999}));
+    EXPECT_EQ(client.getport(777, 3), 9999u);
+    EXPECT_EQ(client.getport(777, 4), 0u);
+    const auto mappings = client.dump();
+    ASSERT_EQ(mappings.size(), 1u);
+    EXPECT_EQ(mappings[0].port, 9999u);
+    EXPECT_TRUE(client.unset(777, 3));
+    EXPECT_TRUE(client.dump().empty());
+  }
+  server.join();
+}
+
+TEST(Portmap, DiscoverThenConnectFlow) {
+  // The full deployment flow: a service registers its ephemeral TCP port
+  // with the portmapper; a client discovers it and dials.
+  const ServiceRegistry service = make_test_registry();
+  TcpRpcServer service_server(service, std::make_unique<TcpListener>());
+
+  Portmapper pm;
+  ServiceRegistry pm_registry;
+  pm.register_into(pm_registry);
+  TcpRpcServer pm_server(pm_registry, std::make_unique<TcpListener>());
+
+  // Service side registers itself.
+  {
+    PortmapClient reg(TcpTransport::connect_loopback(pm_server.port()));
+    ASSERT_TRUE(reg.set({kProg, kVers, kIpProtoTcp, service_server.port()}));
+  }
+  // Client side discovers and calls.
+  PortmapClient discover(TcpTransport::connect_loopback(pm_server.port()));
+  const auto port = discover.getport(kProg, kVers);
+  ASSERT_NE(port, 0u);
+  RpcClient client(TcpTransport::connect_loopback(
+                       static_cast<std::uint16_t>(port)),
+                   kProg, kVers);
+  EXPECT_EQ((client.call<std::uint32_t>(kProcAdd, std::uint32_t{40},
+                                        std::uint32_t{2})),
+            42u);
+}
+
+}  // namespace
+}  // namespace cricket::rpc

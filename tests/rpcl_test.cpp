@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rpcl/codegen.hpp"
+#include "rpcl/lexer.hpp"
+#include "rpcl/parser.hpp"
+
+namespace cricket::rpcl {
+namespace {
+
+// ---------------------------------- lexer ----------------------------------
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = tokenize("struct foo { int bar; };");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "struct");
+  EXPECT_EQ(toks[2].kind, TokKind::kLBrace);
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = tokenize("17 -5 0x20 010");
+  EXPECT_EQ(toks[0].number, 17);
+  EXPECT_EQ(toks[1].number, -5);
+  EXPECT_EQ(toks[2].number, 0x20);
+  EXPECT_EQ(toks[3].number, 8);  // octal
+}
+
+TEST(Lexer, CommentsAreStripped) {
+  const auto toks = tokenize(R"(
+    /* block
+       comment */
+    const A = 1; // trailing
+    % #include <passthrough.h>
+    const B = 2;
+  )");
+  int idents = 0;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::kIdentifier) ++idents;
+  EXPECT_EQ(idents, 4);  // const A const B
+}
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  EXPECT_THROW((void)tokenize("/* oops"), ParseError);
+}
+
+TEST(Lexer, BadCharacterThrows) {
+  EXPECT_THROW((void)tokenize("const $ = 1;"), ParseError);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = tokenize("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+// --------------------------------- parser ----------------------------------
+
+constexpr const char* kSmallSpec = R"(
+const MAX_NAME = 64;
+
+enum op_kind {
+  OP_READ = 0,
+  OP_WRITE = 1
+};
+
+typedef unsigned hyper dev_ptr;
+
+struct request {
+  op_kind kind;
+  dev_ptr ptr;
+  opaque payload<>;
+  string label<MAX_NAME>;
+  int dims[3];
+  *unsigned int maybe_flags;
+};
+
+union result switch (int err) {
+  case 0:
+    opaque data<>;
+  default:
+    void;
+};
+
+program TESTPROG {
+  version TESTVERS {
+    void null(void) = 0;
+    request echo(request) = 1;
+    unsigned hyper add(unsigned int, unsigned int) = 2;
+  } = 1;
+} = 0x20000099;
+)";
+
+TEST(Parser, ParsesFullSpec) {
+  const SpecFile spec = parse_spec(kSmallSpec);
+  EXPECT_EQ(spec.consts.size(), 1u);
+  EXPECT_EQ(spec.consts[0].value, 64);
+  ASSERT_EQ(spec.enums.size(), 1u);
+  EXPECT_EQ(spec.enums[0].values[1].first, "OP_WRITE");
+  ASSERT_EQ(spec.typedefs.size(), 1u);
+  ASSERT_EQ(spec.structs.size(), 1u);
+  ASSERT_EQ(spec.unions.size(), 1u);
+  ASSERT_EQ(spec.programs.size(), 1u);
+  EXPECT_EQ(spec.programs[0].number, 0x20000099u);
+  ASSERT_EQ(spec.programs[0].versions.size(), 1u);
+  EXPECT_EQ(spec.programs[0].versions[0].procs.size(), 3u);
+}
+
+TEST(Parser, StructFieldDecorations) {
+  const SpecFile spec = parse_spec(kSmallSpec);
+  const StructDef* req = spec.find_struct("request");
+  ASSERT_NE(req, nullptr);
+  ASSERT_EQ(req->fields.size(), 6u);
+  EXPECT_EQ(req->fields[2].type.decoration,
+            TypeRef::Decoration::kVariableArray);
+  EXPECT_EQ(req->fields[3].type.bound, 64u);  // via const MAX_NAME
+  EXPECT_EQ(req->fields[4].type.decoration, TypeRef::Decoration::kFixedArray);
+  EXPECT_EQ(req->fields[4].type.bound, 3u);
+  EXPECT_EQ(req->fields[5].type.decoration, TypeRef::Decoration::kOptional);
+}
+
+TEST(Parser, ProcedureSignatures) {
+  const SpecFile spec = parse_spec(kSmallSpec);
+  const auto& procs = spec.programs[0].versions[0].procs;
+  EXPECT_TRUE(procs[0].result.is_void());
+  EXPECT_TRUE(procs[0].args.empty());
+  EXPECT_EQ(procs[1].args.size(), 1u);
+  EXPECT_EQ(procs[2].args.size(), 2u);
+  EXPECT_EQ(procs[2].number, 2u);
+}
+
+TEST(Parser, EnumValuesUsableAsConstants) {
+  const SpecFile spec = parse_spec(R"(
+    enum e { A = 5 };
+    struct s { int xs[A]; };
+  )");
+  EXPECT_EQ(spec.structs[0].fields[0].type.bound, 5u);
+}
+
+TEST(Parser, UndefinedTypeRejected) {
+  EXPECT_THROW((void)parse_spec("struct s { nosuchtype x; };"), ParseError);
+}
+
+TEST(Parser, DuplicateTypeNameRejected) {
+  EXPECT_THROW((void)parse_spec("struct s { int a; }; struct s { int b; };"),
+               ParseError);
+}
+
+TEST(Parser, DuplicateProcNumberRejected) {
+  EXPECT_THROW((void)parse_spec(R"(
+    program P { version V {
+      void a(void) = 1;
+      void b(void) = 1;
+    } = 1; } = 99;
+  )"),
+               ParseError);
+}
+
+TEST(Parser, SyntaxErrorHasLineNumber) {
+  try {
+    (void)parse_spec("const A = ;\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+  }
+}
+
+TEST(Parser, UnknownConstantRejected) {
+  EXPECT_THROW((void)parse_spec("struct s { int xs[UNDEFINED]; };"),
+               ParseError);
+}
+
+// --------------------------------- codegen ---------------------------------
+
+TEST(Codegen, EmitsExpectedDeclarations) {
+  const SpecFile spec = parse_spec(kSmallSpec);
+  const std::string header =
+      generate_header(spec, {.ns = "testgen", .source_name = "small.x"});
+
+  // Types.
+  EXPECT_NE(header.find("struct request {"), std::string::npos);
+  EXPECT_NE(header.find("enum class op_kind : std::int32_t"),
+            std::string::npos);
+  EXPECT_NE(header.find("using dev_ptr = std::uint64_t;"), std::string::npos);
+  EXPECT_NE(header.find("std::array<std::int32_t, 3> dims{};"),
+            std::string::npos);
+  EXPECT_NE(header.find("std::optional<std::uint32_t> maybe_flags{};"),
+            std::string::npos);
+  // Serializers.
+  EXPECT_NE(header.find("inline void xdr_encode(::cricket::xdr::Encoder& "
+                        "enc, const request& v)"),
+            std::string::npos);
+  // Program constants.
+  EXPECT_NE(header.find("TESTPROG_PROG = 536871065u"), std::string::npos);
+  EXPECT_NE(header.find("ECHO_PROC = 1u"), std::string::npos);
+  // Client stub and service skeleton.
+  EXPECT_NE(header.find("class TESTVERSClient {"), std::string::npos);
+  EXPECT_NE(header.find("class TESTVERSService {"), std::string::npos);
+  EXPECT_NE(header.find("virtual std::uint64_t add(std::uint32_t a0, "
+                        "std::uint32_t a1) = 0;"),
+            std::string::npos);
+  EXPECT_NE(header.find("void register_into"), std::string::npos);
+}
+
+TEST(Codegen, UnionBecomesTaggedStruct) {
+  const SpecFile spec = parse_spec(kSmallSpec);
+  const std::string header = generate_header(spec, {.ns = "t"});
+  EXPECT_NE(header.find("struct result {"), std::string::npos);
+  EXPECT_NE(header.find("std::int32_t err{};"), std::string::npos);
+  EXPECT_NE(header.find("std::optional<std::vector<std::uint8_t>> data;"),
+            std::string::npos);
+}
+
+TEST(Codegen, HeaderIsSelfDescribing) {
+  const SpecFile spec = parse_spec("const X = 1;");
+  const std::string header =
+      generate_header(spec, {.ns = "t", .source_name = "origin.x"});
+  EXPECT_NE(header.find("GENERATED by rpclgen from origin.x"),
+            std::string::npos);
+  EXPECT_NE(header.find("#pragma once"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cricket::rpcl
+
+// ----------------------- declared-bounds enforcement ------------------------
+
+namespace cricket::rpcl {
+namespace {
+
+TEST(Codegen, EmitsBoundsChecksForDeclaredLimits) {
+  const SpecFile spec = parse_spec(R"(
+    struct bounded {
+      string label<32>;
+      opaque blob<1024>;
+      int values<8>;
+      opaque unlimited<>;
+    };
+  )");
+  const std::string header = generate_header(spec, {.ns = "t"});
+  EXPECT_NE(header.find("v.label.size() > 32u"), std::string::npos);
+  EXPECT_NE(header.find("v.blob.size() > 1024u"), std::string::npos);
+  EXPECT_NE(header.find("v.values.size() > 8u"), std::string::npos);
+  // Unbounded fields get no check.
+  EXPECT_EQ(header.find("v.unlimited.size() >"), std::string::npos);
+  EXPECT_NE(header.find("exceeds declared bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cricket::rpcl

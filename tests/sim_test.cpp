@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/sim_clock.hpp"
+#include "sim/stats.hpp"
+
+namespace cricket::sim {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  clock.advance(5);
+  clock.advance(7);
+  EXPECT_EQ(clock.now(), 12);
+}
+
+TEST(SimClock, NegativeAdvanceIsIgnored) {
+  SimClock clock;
+  clock.advance(10);
+  clock.advance(-100);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(SimClock, ResetReturnsToZero) {
+  SimClock clock;
+  clock.advance(42);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClock, AdvanceSecondsConverts) {
+  SimClock clock;
+  clock.advance_seconds(1.5);
+  EXPECT_EQ(clock.now(), 1'500'000'000);
+}
+
+TEST(SimClock, ConcurrentAdvanceIsLossless) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kIters; ++i) clock.advance(3);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(clock.now(), Nanos{3} * kThreads * kIters);
+}
+
+TEST(SimStopwatch, MeasuresElapsedVirtualTime) {
+  SimClock clock;
+  SimStopwatch sw(clock);
+  clock.advance(100);
+  EXPECT_EQ(sw.elapsed(), 100);
+  sw.restart();
+  clock.advance(25);
+  EXPECT_EQ(sw.elapsed(), 25);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double x : {4.0, 8.0, 6.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(RunningStats, VarianceMatchesTwoPass) {
+  RunningStats s;
+  const std::vector<double> xs = {1.5, 2.5, 3.5, 4.5, 10.0, -3.0};
+  double mean = 0;
+  for (double x : xs) {
+    s.add(x);
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100 - 50;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Log2Histogram, CountsAndQuantiles) {
+  Log2Histogram h;
+  for (std::uint64_t i = 0; i < 100; ++i) h.add(10);   // bucket [8,16)
+  for (std::uint64_t i = 0; i < 100; ++i) h.add(1000); // bucket [512,1024)
+  EXPECT_EQ(h.total(), 200u);
+  EXPECT_LE(h.quantile(0.25), 15u);
+  EXPECT_GE(h.quantile(0.99), 512u);
+}
+
+TEST(Log2Histogram, ZeroGoesToFirstBucket) {
+  Log2Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_LE(h.quantile(1.0), 1u);
+}
+
+TEST(Formatting, Bytes) {
+  EXPECT_EQ(format_bytes(512.0), "512.0 B");
+  EXPECT_EQ(format_bytes(2048.0), "2.0 KiB");
+  EXPECT_EQ(format_bytes(512.0 * 1024 * 1024), "512.0 MiB");
+}
+
+TEST(Formatting, Nanos) {
+  EXPECT_EQ(format_nanos(999.0), "999.00 ns");
+  EXPECT_EQ(format_nanos(1.5e6), "1.50 ms");
+  EXPECT_EQ(format_nanos(2.5e9), "2.50 s");
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDistinctSeedsDiffer) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, XoshiroDoubleInUnitInterval) {
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, XoshiroFloatInUnitInterval) {
+  Xoshiro256ss rng(10);
+  for (int i = 0; i < 10'000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, FillBytesCoversAllValues) {
+  Xoshiro256ss rng(11);
+  std::vector<std::uint8_t> buf(1 << 16);
+  rng.fill_bytes(buf);
+  std::vector<int> seen(256, 0);
+  for (auto b : buf) seen[b] = 1;
+  int distinct = 0;
+  for (int s : seen) distinct += s;
+  EXPECT_EQ(distinct, 256);
+}
+
+TEST(Rng, FillBytesHandlesOddLengths) {
+  Xoshiro256ss a(12), b(12);
+  std::vector<std::uint8_t> x(13), y(13);
+  a.fill_bytes(x);
+  b.fill_bytes(y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Rng, LegacyLcgMatchesReferenceRecurrence) {
+  LegacyLcg lcg(1);
+  // One step of the minimal-standard recurrence from seed 1.
+  EXPECT_EQ(lcg.next(), (1103515245u * 1u + 12345u) & 0x7FFFFFFFu);
+}
+
+TEST(Rng, LegacyLcgZeroSeedIsCoerced) {
+  LegacyLcg a(0), b(1);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, LegacyFloatInUnitInterval) {
+  LegacyLcg lcg(77);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = lcg.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(PickUnit, SelectsByMagnitude) {
+  EXPECT_STREQ(pick_unit(10), "ns");
+  EXPECT_STREQ(pick_unit(10'000), "us");
+  EXPECT_STREQ(pick_unit(10'000'000), "ms");
+  EXPECT_STREQ(pick_unit(10'000'000'000), "s");
+}
+
+}  // namespace
+}  // namespace cricket::sim

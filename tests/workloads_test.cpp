@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cricket/client.hpp"
+#include "cricket/server.hpp"
+#include "cudart/local_api.hpp"
+#include "env/environment.hpp"
+#include "workloads/bandwidth_test.hpp"
+#include "workloads/histogram.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/linear_solver.hpp"
+#include "workloads/matrix_mul.hpp"
+
+namespace cricket::workloads {
+namespace {
+
+env::ClientFlavor rust_flavor() {
+  return env::make_environment(env::EnvKind::kNativeRust).flavor;
+}
+env::ClientFlavor c_flavor() {
+  return env::make_environment(env::EnvKind::kNativeC).flavor;
+}
+
+/// Runs workloads against a *local* CudaApi (no RPC) — validates numerics.
+struct LocalWorkloads : ::testing::Test {
+  LocalWorkloads() : node(cuda::GpuNode::make_a100()), api(*node) {
+    register_sample_kernels(node->registry());
+  }
+  std::unique_ptr<cuda::GpuNode> node;
+  cuda::LocalCudaApi api;
+};
+
+TEST_F(LocalWorkloads, MatrixMulVerifiesSmall) {
+  MatrixMulConfig cfg;
+  cfg.hA = 64;
+  cfg.wA = 64;
+  cfg.wB = 64;
+  cfg.iterations = 3;
+  const auto report = run_matrix_mul(api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.kernel_launches, 3u);
+  EXPECT_GT(report.total_ns, 0);
+  EXPECT_EQ(report.bytes_to_device, 2u * 64 * 64 * 4);
+  EXPECT_EQ(report.bytes_from_device, 64u * 64 * 4);
+}
+
+TEST_F(LocalWorkloads, MatrixMulPaperShapeCallCount) {
+  MatrixMulConfig cfg;
+  cfg.hA = 32;
+  cfg.wA = 32;
+  cfg.wB = 32;
+  cfg.iterations = 1000;
+  cfg.verify = false;
+  const auto report = run_matrix_mul(api, node->clock(), rust_flavor(), cfg);
+  // Paper: 100 041 calls for 100 000 iterations — iterations + ~41 setup.
+  EXPECT_GE(report.api_calls, cfg.iterations);
+  EXPECT_LE(report.api_calls, cfg.iterations + 50);
+}
+
+TEST_F(LocalWorkloads, LinearSolverVerifies) {
+  LinearSolverConfig cfg;
+  cfg.n = 64;
+  cfg.iterations = 2;
+  const auto report =
+      run_linear_solver(api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.verified);
+  // One wire upload of the matrix; the per-iteration volume is d2d.
+  EXPECT_GE(report.bytes_to_device, 64u * 64 * 4);
+  EXPECT_GT(report.bytes_d2d, 2u * 64 * 64 * 4);
+}
+
+TEST_F(LocalWorkloads, LinearSolverTransferDominatedLikePaper) {
+  // Paper: 20 047 calls vs 6.07 GiB of memory transfers — few calls, heavy
+  // memcpy volume, most of it device-local (the wire only carries the
+  // matrix once).
+  LinearSolverConfig cfg;
+  cfg.n = 900;
+  cfg.iterations = 10;
+  cfg.verify = false;
+  const auto report =
+      run_linear_solver(api, node->clock(), rust_flavor(), cfg);
+  EXPECT_LT(report.api_calls, 200u);
+  EXPECT_GT(report.memcpy_volume(), 60ull << 20);  // ~65 MB for 10 iters
+  EXPECT_GT(report.bytes_d2d, report.bytes_to_device);
+}
+
+TEST_F(LocalWorkloads, HistogramVerifies) {
+  HistogramConfig cfg;
+  cfg.data_bytes = 1 << 20;
+  cfg.iterations = 5;
+  const auto report = run_histogram(api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.kernel_launches, 10u);
+}
+
+TEST_F(LocalWorkloads, HistogramCallCountMatchesPaperShape) {
+  HistogramConfig cfg;
+  cfg.data_bytes = 1 << 16;
+  cfg.iterations = 100;
+  cfg.verify = false;
+  const auto report = run_histogram(api, node->clock(), rust_flavor(), cfg);
+  // Paper: 80 033 calls for its iteration count — 2*iters + ~33 setup.
+  EXPECT_GE(report.api_calls, 2u * cfg.iterations);
+  EXPECT_LE(report.api_calls, 2u * cfg.iterations + 40);
+}
+
+TEST_F(LocalWorkloads, CFlavorInitSlowerThanRust) {
+  HistogramConfig cfg;
+  cfg.data_bytes = 4 << 20;
+  cfg.iterations = 1;
+  cfg.verify = false;
+  const auto rust = run_histogram(api, node->clock(), rust_flavor(), cfg);
+  const auto c = run_histogram(api, node->clock(), c_flavor(), cfg);
+  EXPECT_GT(c.init_ns, rust.init_ns * 2);
+}
+
+TEST_F(LocalWorkloads, BandwidthTestBothDirectionsVerify) {
+  BandwidthConfig cfg;
+  cfg.bytes = 8 << 20;
+  cfg.runs = 2;
+  for (const auto dir :
+       {CopyDirection::kHostToDevice, CopyDirection::kDeviceToHost}) {
+    cfg.direction = dir;
+    const auto report =
+        run_bandwidth_test(api, node->clock(), rust_flavor(), cfg);
+    EXPECT_TRUE(report.base.verified);
+    EXPECT_GT(report.mib_per_s, 0.0);
+  }
+}
+
+/// The same workloads through the full Cricket RPC stack.
+struct RemoteWorkloads : ::testing::Test {
+  RemoteWorkloads() : node(cuda::GpuNode::make_a100()), server(*node) {
+    register_sample_kernels(node->registry());
+    auto [client_end, server_end] = rpc::make_pipe_pair();
+    server_thread = server.serve_async(std::move(server_end));
+    api = std::make_unique<core::RemoteCudaApi>(std::move(client_end),
+                                                node->clock());
+  }
+  ~RemoteWorkloads() override {
+    api.reset();
+    if (server_thread.joinable()) server_thread.join();
+  }
+
+  std::unique_ptr<cuda::GpuNode> node;
+  core::CricketServer server;
+  std::unique_ptr<core::RemoteCudaApi> api;
+  std::thread server_thread;
+};
+
+TEST_F(RemoteWorkloads, MatrixMulOverRpcVerifies) {
+  MatrixMulConfig cfg;
+  cfg.hA = 64;
+  cfg.wA = 64;
+  cfg.wB = 64;
+  cfg.iterations = 2;
+  const auto report = run_matrix_mul(*api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.verified);
+  // The client-side call count agrees with the workload's own accounting.
+  EXPECT_EQ(api->stats().api_calls, report.api_calls);
+}
+
+TEST_F(RemoteWorkloads, LinearSolverOverRpcVerifies) {
+  LinearSolverConfig cfg;
+  cfg.n = 48;
+  cfg.iterations = 2;
+  const auto report =
+      run_linear_solver(*api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.verified);
+}
+
+TEST_F(RemoteWorkloads, HistogramOverRpcVerifies) {
+  HistogramConfig cfg;
+  cfg.data_bytes = 1 << 18;
+  cfg.iterations = 3;
+  const auto report = run_histogram(*api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.verified);
+}
+
+TEST_F(RemoteWorkloads, BandwidthOverRpcVerifies) {
+  BandwidthConfig cfg;
+  cfg.bytes = 4 << 20;
+  cfg.runs = 2;
+  const auto report =
+      run_bandwidth_test(*api, node->clock(), rust_flavor(), cfg);
+  EXPECT_TRUE(report.base.verified);
+}
+
+TEST_F(RemoteWorkloads, TimingOnlyModeStillChargesTime) {
+  MatrixMulConfig cfg;
+  cfg.hA = 32;
+  cfg.wA = 32;
+  cfg.wB = 32;
+  cfg.iterations = 50;
+  cfg.verify = false;
+  node->device(0).set_timing_only(true);
+  const auto t0 = node->clock().now();
+  const auto report = run_matrix_mul(*api, node->clock(), rust_flavor(), cfg);
+  node->device(0).set_timing_only(false);
+  EXPECT_GT(node->clock().now(), t0);
+  EXPECT_EQ(report.kernel_launches, 50u);
+}
+
+/// Workload sweep across every Table 1 environment: the full pipeline the
+/// figure benches use, at miniature scale.
+class WorkloadAcrossEnvironments
+    : public ::testing::TestWithParam<env::EnvKind> {};
+
+TEST_P(WorkloadAcrossEnvironments, HistogramRunsAndVerifies) {
+  const auto environment = env::make_environment(GetParam());
+  auto node = cuda::GpuNode::make_a100();
+  register_sample_kernels(node->registry());
+  core::CricketServer server(*node);
+  auto conn = env::connect(environment, node->clock());
+  auto thread = server.serve_async(std::move(conn.server));
+  {
+    core::RemoteCudaApi api(std::move(conn.guest), node->clock(),
+                            core::ClientConfig{.flavor = environment.flavor,
+                                               .profile = environment.profile});
+    HistogramConfig cfg;
+    cfg.data_bytes = 1 << 18;
+    cfg.iterations = 2;
+    const auto report =
+        run_histogram(api, node->clock(), environment.flavor, cfg);
+    EXPECT_TRUE(report.verified) << environment.name;
+  }
+  thread.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOne, WorkloadAcrossEnvironments,
+                         ::testing::Values(env::EnvKind::kNativeC,
+                                           env::EnvKind::kNativeRust,
+                                           env::EnvKind::kLinuxVm,
+                                           env::EnvKind::kUnikraft,
+                                           env::EnvKind::kRustyHermit));
+
+}  // namespace
+}  // namespace cricket::workloads

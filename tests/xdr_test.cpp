@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "xdr/xdr.hpp"
+
+namespace cricket::xdr {
+namespace {
+
+enum class Color : std::int32_t { kRed = 0, kGreen = 1, kBlue = 7 };
+
+TEST(XdrEncoder, U32IsBigEndian) {
+  Encoder enc;
+  enc.put_u32(0x01020304u);
+  const auto b = enc.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(XdrEncoder, I32NegativeTwosComplement) {
+  Encoder enc;
+  enc.put_i32(-1);
+  const auto b = enc.bytes();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)], 0xFF);
+}
+
+TEST(XdrEncoder, HyperSplitsHighLow) {
+  Encoder enc;
+  enc.put_u64(0x0102030405060708ULL);
+  const auto b = enc.bytes();
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[7], 0x08);
+}
+
+TEST(XdrEncoder, StringPadsToFour) {
+  Encoder enc;
+  enc.put_string("abcde");  // 4 len + 5 data + 3 pad
+  EXPECT_EQ(enc.size(), 12u);
+  const auto b = enc.bytes();
+  EXPECT_EQ(b[3], 5);          // length
+  EXPECT_EQ(b[4], 'a');
+  EXPECT_EQ(b[9], 0);          // padding
+  EXPECT_EQ(b[10], 0);
+  EXPECT_EQ(b[11], 0);
+}
+
+TEST(XdrEncoder, OpaqueAlreadyAlignedHasNoPadding) {
+  Encoder enc;
+  const std::uint8_t data[4] = {1, 2, 3, 4};
+  enc.put_opaque(data);
+  EXPECT_EQ(enc.size(), 8u);  // 4 length + 4 data
+}
+
+TEST(XdrRoundTrip, AllScalarTypes) {
+  Encoder enc;
+  enc.put_u32(0xDEADBEEFu);
+  enc.put_i32(std::numeric_limits<std::int32_t>::min());
+  enc.put_u64(0xFEEDFACECAFEBEEFULL);
+  enc.put_i64(std::numeric_limits<std::int64_t>::min());
+  enc.put_bool(true);
+  enc.put_bool(false);
+  enc.put_f32(3.14159f);
+  enc.put_f64(-2.718281828459045);
+  enc.put_enum(Color::kBlue);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.get_i32(), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(dec.get_u64(), 0xFEEDFACECAFEBEEFULL);
+  EXPECT_EQ(dec.get_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_FLOAT_EQ(dec.get_f32(), 3.14159f);
+  EXPECT_DOUBLE_EQ(dec.get_f64(), -2.718281828459045);
+  EXPECT_EQ(dec.get_enum<Color>(), Color::kBlue);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrRoundTrip, SpecialFloats) {
+  Encoder enc;
+  enc.put_f32(std::numeric_limits<float>::infinity());
+  enc.put_f64(-std::numeric_limits<double>::infinity());
+  enc.put_f32(std::numeric_limits<float>::quiet_NaN());
+  enc.put_f64(0.0);
+  enc.put_f64(-0.0);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_f32(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(dec.get_f64(), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(dec.get_f32()));
+  EXPECT_EQ(dec.get_f64(), 0.0);
+  EXPECT_TRUE(std::signbit(dec.get_f64()));
+}
+
+TEST(XdrRoundTrip, EmptyString) {
+  Encoder enc;
+  enc.put_string("");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrRoundTrip, EmptyOpaque) {
+  Encoder enc;
+  enc.put_opaque({});
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.get_opaque().empty());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrRoundTrip, FixedOpaque) {
+  Encoder enc;
+  const std::uint8_t data[5] = {9, 8, 7, 6, 5};
+  enc.put_opaque_fixed(data);
+  EXPECT_EQ(enc.size(), 8u);  // 5 + 3 pad, no length
+  Decoder dec(enc.bytes());
+  std::uint8_t out[5] = {};
+  dec.get_opaque_fixed(out);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[4], 5);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrDecoder, UnderrunThrows) {
+  const std::uint8_t two[2] = {0, 0};
+  Decoder dec(two);
+  EXPECT_THROW((void)dec.get_u32(), XdrError);
+}
+
+TEST(XdrDecoder, InvalidBoolThrows) {
+  Encoder enc;
+  enc.put_u32(2);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_bool(), XdrError);
+}
+
+TEST(XdrDecoder, NonZeroPaddingThrows) {
+  // "a" + non-zero padding byte.
+  const std::uint8_t bad[] = {0, 0, 0, 1, 'a', 0xFF, 0, 0};
+  Decoder dec(bad);
+  EXPECT_THROW((void)dec.get_string(), XdrError);
+}
+
+TEST(XdrDecoder, OverMaxLenThrows) {
+  Encoder enc;
+  enc.put_opaque(std::vector<std::uint8_t>(100));
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_opaque(/*max_len=*/50), XdrError);
+}
+
+TEST(XdrDecoder, LengthBeyondBufferThrows) {
+  Encoder enc;
+  enc.put_u32(1000);  // claims 1000 bytes follow; they do not
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_opaque(), XdrError);
+}
+
+TEST(XdrDecoder, ExpectExhaustedThrowsOnTrailing) {
+  Encoder enc;
+  enc.put_u32(1);
+  enc.put_u32(2);
+  Decoder dec(enc.bytes());
+  (void)dec.get_u32();
+  EXPECT_THROW(dec.expect_exhausted(), XdrError);
+}
+
+TEST(XdrAdl, VectorOfStructuredTypes) {
+  std::vector<std::uint32_t> v = {1, 2, 3, 4, 5};
+  Encoder enc;
+  xdr_encode(enc, v);
+  EXPECT_EQ(enc.size(), 4u + 4u * 5u);
+  Decoder dec(enc.bytes());
+  std::vector<std::uint32_t> out;
+  xdr_decode(dec, out);
+  EXPECT_EQ(out, v);
+}
+
+TEST(XdrAdl, HostileArrayCountRejected) {
+  Encoder enc;
+  enc.put_u32(0x40000000u);  // ~1G elements claimed in a 4-byte buffer
+  Decoder dec(enc.bytes());
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(xdr_decode(dec, out), XdrError);
+}
+
+TEST(XdrAdl, OptionalPresentAndAbsent) {
+  std::optional<std::string> present = "hello";
+  std::optional<std::string> absent;
+  Encoder enc;
+  xdr_encode(enc, present);
+  xdr_encode(enc, absent);
+  Decoder dec(enc.bytes());
+  std::optional<std::string> p, a;
+  xdr_decode(dec, p);
+  xdr_decode(dec, a);
+  EXPECT_EQ(p, "hello");
+  EXPECT_FALSE(a.has_value());
+}
+
+TEST(XdrAdl, ToFromBytesRoundTrip) {
+  const std::string s = "the quick brown fox";
+  EXPECT_EQ(from_bytes<std::string>(to_bytes(s)), s);
+}
+
+TEST(XdrAdl, FromBytesRejectsTrailingGarbage) {
+  auto bytes = to_bytes(std::uint32_t{7});
+  bytes.push_back(0);
+  EXPECT_THROW((void)from_bytes<std::uint32_t>(bytes), XdrError);
+}
+
+// Property sweep: random opaque payloads of every alignment class survive a
+// round trip and always produce 4-byte-aligned encodings.
+class XdrOpaqueProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XdrOpaqueProperty, RoundTripAndAlignment) {
+  sim::Xoshiro256ss rng(GetParam() * 997 + 1);
+  std::vector<std::uint8_t> payload(GetParam());
+  rng.fill_bytes(payload);
+
+  Encoder enc;
+  enc.put_opaque(payload);
+  EXPECT_EQ(enc.size() % 4, 0u);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_opaque(), payload);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, XdrOpaqueProperty,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 63, 64, 65, 1000,
+                                           4096, 65537));
+
+// Property sweep: random scalar sequences round-trip exactly.
+class XdrFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XdrFuzzRoundTrip, MixedScalarSequence) {
+  sim::Xoshiro256ss rng(GetParam());
+  Encoder enc;
+  std::vector<std::uint64_t> values;
+  std::vector<int> kinds;
+  for (int i = 0; i < 200; ++i) {
+    const int kind = static_cast<int>(rng.next() % 4);
+    const std::uint64_t v = rng.next();
+    kinds.push_back(kind);
+    values.push_back(v);
+    switch (kind) {
+      case 0: enc.put_u32(static_cast<std::uint32_t>(v)); break;
+      case 1: enc.put_u64(v); break;
+      case 2: enc.put_i32(static_cast<std::int32_t>(v)); break;
+      default: enc.put_f64(static_cast<double>(v)); break;
+    }
+  }
+  Decoder dec(enc.bytes());
+  for (int i = 0; i < 200; ++i) {
+    switch (kinds[static_cast<std::size_t>(i)]) {
+      case 0:
+        EXPECT_EQ(dec.get_u32(),
+                  static_cast<std::uint32_t>(values[static_cast<std::size_t>(i)]));
+        break;
+      case 1:
+        EXPECT_EQ(dec.get_u64(), values[static_cast<std::size_t>(i)]);
+        break;
+      case 2:
+        EXPECT_EQ(dec.get_i32(),
+                  static_cast<std::int32_t>(values[static_cast<std::size_t>(i)]));
+        break;
+      default:
+        EXPECT_DOUBLE_EQ(
+            dec.get_f64(),
+            static_cast<double>(values[static_cast<std::size_t>(i)]));
+        break;
+    }
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XdrFuzzRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace cricket::xdr

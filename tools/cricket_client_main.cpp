@@ -1,0 +1,99 @@
+// cricket_client: drives a cricket_server over TCP from a second process.
+//
+//   $ cricket_client --port=PORT [--app=histogram|matrixMul|linearSolver|
+//                                 bandwidth|info] [--iters=N]
+//
+// Two-process deployment check: marshalling, record marking, session
+// lifecycle, and the workloads all crossing a real socket. (Timing columns
+// are client-side virtual charges; the unified-virtual-time experiments
+// live in bench/.)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cricket/client.hpp"
+#include "env/environment.hpp"
+#include "rpc/transport.hpp"
+#include "sim/stats.hpp"
+#include "workloads/bandwidth_test.hpp"
+#include "workloads/histogram.hpp"
+#include "workloads/linear_solver.hpp"
+#include "workloads/matrix_mul.hpp"
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind(prefix, 0) == 0)
+      return std::string(argv[i]).substr(prefix.size());
+  return fallback;
+}
+
+void print_report(const cricket::workloads::WorkloadReport& r) {
+  std::printf("%s: %s | API calls %llu | launches %llu | memcpy %s\n",
+              r.name.c_str(), r.verified ? "VERIFIED" : "FAILED",
+              static_cast<unsigned long long>(r.api_calls),
+              static_cast<unsigned long long>(r.kernel_launches),
+              cricket::sim::format_bytes(
+                  static_cast<double>(r.memcpy_volume())).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cricket;
+
+  const auto port = static_cast<std::uint16_t>(
+      std::atoi(arg_value(argc, argv, "port", "0").c_str()));
+  if (port == 0) {
+    std::fprintf(stderr, "usage: cricket_client --port=PORT [--app=...]\n");
+    return 2;
+  }
+  const std::string app = arg_value(argc, argv, "app", "info");
+  const auto iters = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "iters", "10").c_str()));
+
+  sim::SimClock clock;
+  const auto flavor = env::make_environment(env::EnvKind::kNativeRust).flavor;
+  core::RemoteCudaApi api(rpc::TcpTransport::connect_loopback(port), clock,
+                          core::ClientConfig{.flavor = flavor});
+
+  if (app == "info") {
+    int count = 0;
+    cuda::check(api.get_device_count(count));
+    std::printf("%d device(s):\n", count);
+    for (int d = 0; d < count; ++d) {
+      cuda::DeviceInfo info;
+      cuda::check(api.get_device_properties(info, d));
+      std::printf("  %d: %s (sm_%u, %u SMs, %llu MiB)\n", d,
+                  info.name.c_str(), info.sm_arch, info.sm_count,
+                  static_cast<unsigned long long>(info.total_mem >> 20));
+    }
+  } else if (app == "histogram") {
+    workloads::HistogramConfig cfg;
+    cfg.data_bytes = 4 << 20;
+    cfg.iterations = iters;
+    print_report(workloads::run_histogram(api, clock, flavor, cfg));
+  } else if (app == "matrixMul") {
+    workloads::MatrixMulConfig cfg;
+    cfg.iterations = iters;
+    print_report(workloads::run_matrix_mul(api, clock, flavor, cfg));
+  } else if (app == "linearSolver") {
+    workloads::LinearSolverConfig cfg;
+    cfg.n = 256;
+    cfg.iterations = iters;
+    print_report(workloads::run_linear_solver(api, clock, flavor, cfg));
+  } else if (app == "bandwidth") {
+    workloads::BandwidthConfig cfg;
+    cfg.bytes = 64 << 20;
+    cfg.runs = 2;
+    const auto rep = workloads::run_bandwidth_test(api, clock, flavor, cfg);
+    print_report(rep.base);
+  } else {
+    std::fprintf(stderr, "unknown --app=%s\n", app.c_str());
+    return 2;
+  }
+  return 0;
+}
