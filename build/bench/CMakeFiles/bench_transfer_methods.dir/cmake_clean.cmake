@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfer_methods.dir/bench_transfer_methods.cpp.o"
+  "CMakeFiles/bench_transfer_methods.dir/bench_transfer_methods.cpp.o.d"
+  "bench_transfer_methods"
+  "bench_transfer_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfer_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

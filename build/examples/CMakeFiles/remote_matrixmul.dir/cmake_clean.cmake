@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_matrixmul.dir/remote_matrixmul.cpp.o"
+  "CMakeFiles/remote_matrixmul.dir/remote_matrixmul.cpp.o.d"
+  "remote_matrixmul"
+  "remote_matrixmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_matrixmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("xdr")
+subdirs("rpc")
+subdirs("rpcl")
+subdirs("fatbin")
+subdirs("gpusim")
+subdirs("cudart")
+subdirs("vnet")
+subdirs("env")
+subdirs("cricket")
+subdirs("workloads")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/cricket_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/cricket_core.dir/client.cpp.o"
+  "CMakeFiles/cricket_core.dir/client.cpp.o.d"
+  "CMakeFiles/cricket_core.dir/scheduler.cpp.o"
+  "CMakeFiles/cricket_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cricket_core.dir/server.cpp.o"
+  "CMakeFiles/cricket_core.dir/server.cpp.o.d"
+  "CMakeFiles/cricket_core.dir/transfer.cpp.o"
+  "CMakeFiles/cricket_core.dir/transfer.cpp.o.d"
+  "gen/cricket_proto.hpp"
+  "libcricket_core.a"
+  "libcricket_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcricket_core.a"
+)

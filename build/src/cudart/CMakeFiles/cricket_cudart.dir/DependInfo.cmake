@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudart/culibs.cpp" "src/cudart/CMakeFiles/cricket_cudart.dir/culibs.cpp.o" "gcc" "src/cudart/CMakeFiles/cricket_cudart.dir/culibs.cpp.o.d"
+  "/root/repo/src/cudart/error.cpp" "src/cudart/CMakeFiles/cricket_cudart.dir/error.cpp.o" "gcc" "src/cudart/CMakeFiles/cricket_cudart.dir/error.cpp.o.d"
+  "/root/repo/src/cudart/local_api.cpp" "src/cudart/CMakeFiles/cricket_cudart.dir/local_api.cpp.o" "gcc" "src/cudart/CMakeFiles/cricket_cudart.dir/local_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/cricket_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fatbin/CMakeFiles/cricket_fatbin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

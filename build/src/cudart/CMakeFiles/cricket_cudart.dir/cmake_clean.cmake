@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_cudart.dir/culibs.cpp.o"
+  "CMakeFiles/cricket_cudart.dir/culibs.cpp.o.d"
+  "CMakeFiles/cricket_cudart.dir/error.cpp.o"
+  "CMakeFiles/cricket_cudart.dir/error.cpp.o.d"
+  "CMakeFiles/cricket_cudart.dir/local_api.cpp.o"
+  "CMakeFiles/cricket_cudart.dir/local_api.cpp.o.d"
+  "libcricket_cudart.a"
+  "libcricket_cudart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_cudart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_env.dir/environment.cpp.o"
+  "CMakeFiles/cricket_env.dir/environment.cpp.o.d"
+  "libcricket_env.a"
+  "libcricket_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

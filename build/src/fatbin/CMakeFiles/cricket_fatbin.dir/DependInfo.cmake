@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fatbin/cubin.cpp" "src/fatbin/CMakeFiles/cricket_fatbin.dir/cubin.cpp.o" "gcc" "src/fatbin/CMakeFiles/cricket_fatbin.dir/cubin.cpp.o.d"
+  "/root/repo/src/fatbin/fatbin.cpp" "src/fatbin/CMakeFiles/cricket_fatbin.dir/fatbin.cpp.o" "gcc" "src/fatbin/CMakeFiles/cricket_fatbin.dir/fatbin.cpp.o.d"
+  "/root/repo/src/fatbin/lz.cpp" "src/fatbin/CMakeFiles/cricket_fatbin.dir/lz.cpp.o" "gcc" "src/fatbin/CMakeFiles/cricket_fatbin.dir/lz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

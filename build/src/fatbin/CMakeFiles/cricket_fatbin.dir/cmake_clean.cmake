@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_fatbin.dir/cubin.cpp.o"
+  "CMakeFiles/cricket_fatbin.dir/cubin.cpp.o.d"
+  "CMakeFiles/cricket_fatbin.dir/fatbin.cpp.o"
+  "CMakeFiles/cricket_fatbin.dir/fatbin.cpp.o.d"
+  "CMakeFiles/cricket_fatbin.dir/lz.cpp.o"
+  "CMakeFiles/cricket_fatbin.dir/lz.cpp.o.d"
+  "libcricket_fatbin.a"
+  "libcricket_fatbin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_fatbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

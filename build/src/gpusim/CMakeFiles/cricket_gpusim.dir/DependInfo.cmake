@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/cricket_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/cricket_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_props.cpp" "src/gpusim/CMakeFiles/cricket_gpusim.dir/device_props.cpp.o" "gcc" "src/gpusim/CMakeFiles/cricket_gpusim.dir/device_props.cpp.o.d"
+  "/root/repo/src/gpusim/kernel.cpp" "src/gpusim/CMakeFiles/cricket_gpusim.dir/kernel.cpp.o" "gcc" "src/gpusim/CMakeFiles/cricket_gpusim.dir/kernel.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/gpusim/CMakeFiles/cricket_gpusim.dir/memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/cricket_gpusim.dir/memory.cpp.o.d"
+  "/root/repo/src/gpusim/thread_pool.cpp" "src/gpusim/CMakeFiles/cricket_gpusim.dir/thread_pool.cpp.o" "gcc" "src/gpusim/CMakeFiles/cricket_gpusim.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fatbin/CMakeFiles/cricket_fatbin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_gpusim.dir/device.cpp.o"
+  "CMakeFiles/cricket_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/cricket_gpusim.dir/device_props.cpp.o"
+  "CMakeFiles/cricket_gpusim.dir/device_props.cpp.o.d"
+  "CMakeFiles/cricket_gpusim.dir/kernel.cpp.o"
+  "CMakeFiles/cricket_gpusim.dir/kernel.cpp.o.d"
+  "CMakeFiles/cricket_gpusim.dir/memory.cpp.o"
+  "CMakeFiles/cricket_gpusim.dir/memory.cpp.o.d"
+  "CMakeFiles/cricket_gpusim.dir/thread_pool.cpp.o"
+  "CMakeFiles/cricket_gpusim.dir/thread_pool.cpp.o.d"
+  "libcricket_gpusim.a"
+  "libcricket_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cpp" "src/rpc/CMakeFiles/cricket_rpc.dir/client.cpp.o" "gcc" "src/rpc/CMakeFiles/cricket_rpc.dir/client.cpp.o.d"
+  "/root/repo/src/rpc/portmap.cpp" "src/rpc/CMakeFiles/cricket_rpc.dir/portmap.cpp.o" "gcc" "src/rpc/CMakeFiles/cricket_rpc.dir/portmap.cpp.o.d"
+  "/root/repo/src/rpc/record.cpp" "src/rpc/CMakeFiles/cricket_rpc.dir/record.cpp.o" "gcc" "src/rpc/CMakeFiles/cricket_rpc.dir/record.cpp.o.d"
+  "/root/repo/src/rpc/rpc_msg.cpp" "src/rpc/CMakeFiles/cricket_rpc.dir/rpc_msg.cpp.o" "gcc" "src/rpc/CMakeFiles/cricket_rpc.dir/rpc_msg.cpp.o.d"
+  "/root/repo/src/rpc/server.cpp" "src/rpc/CMakeFiles/cricket_rpc.dir/server.cpp.o" "gcc" "src/rpc/CMakeFiles/cricket_rpc.dir/server.cpp.o.d"
+  "/root/repo/src/rpc/transport.cpp" "src/rpc/CMakeFiles/cricket_rpc.dir/transport.cpp.o" "gcc" "src/rpc/CMakeFiles/cricket_rpc.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xdr/CMakeFiles/cricket_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_rpc.dir/client.cpp.o"
+  "CMakeFiles/cricket_rpc.dir/client.cpp.o.d"
+  "CMakeFiles/cricket_rpc.dir/portmap.cpp.o"
+  "CMakeFiles/cricket_rpc.dir/portmap.cpp.o.d"
+  "CMakeFiles/cricket_rpc.dir/record.cpp.o"
+  "CMakeFiles/cricket_rpc.dir/record.cpp.o.d"
+  "CMakeFiles/cricket_rpc.dir/rpc_msg.cpp.o"
+  "CMakeFiles/cricket_rpc.dir/rpc_msg.cpp.o.d"
+  "CMakeFiles/cricket_rpc.dir/server.cpp.o"
+  "CMakeFiles/cricket_rpc.dir/server.cpp.o.d"
+  "CMakeFiles/cricket_rpc.dir/transport.cpp.o"
+  "CMakeFiles/cricket_rpc.dir/transport.cpp.o.d"
+  "libcricket_rpc.a"
+  "libcricket_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

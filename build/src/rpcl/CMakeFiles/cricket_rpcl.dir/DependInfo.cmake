@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpcl/codegen.cpp" "src/rpcl/CMakeFiles/cricket_rpcl.dir/codegen.cpp.o" "gcc" "src/rpcl/CMakeFiles/cricket_rpcl.dir/codegen.cpp.o.d"
+  "/root/repo/src/rpcl/lexer.cpp" "src/rpcl/CMakeFiles/cricket_rpcl.dir/lexer.cpp.o" "gcc" "src/rpcl/CMakeFiles/cricket_rpcl.dir/lexer.cpp.o.d"
+  "/root/repo/src/rpcl/parser.cpp" "src/rpcl/CMakeFiles/cricket_rpcl.dir/parser.cpp.o" "gcc" "src/rpcl/CMakeFiles/cricket_rpcl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

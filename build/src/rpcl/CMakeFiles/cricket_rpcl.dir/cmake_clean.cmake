@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_rpcl.dir/codegen.cpp.o"
+  "CMakeFiles/cricket_rpcl.dir/codegen.cpp.o.d"
+  "CMakeFiles/cricket_rpcl.dir/lexer.cpp.o"
+  "CMakeFiles/cricket_rpcl.dir/lexer.cpp.o.d"
+  "CMakeFiles/cricket_rpcl.dir/parser.cpp.o"
+  "CMakeFiles/cricket_rpcl.dir/parser.cpp.o.d"
+  "libcricket_rpcl.a"
+  "libcricket_rpcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_rpcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

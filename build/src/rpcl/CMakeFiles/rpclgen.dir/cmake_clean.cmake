@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpclgen.dir/rpclgen_main.cpp.o"
+  "CMakeFiles/rpclgen.dir/rpclgen_main.cpp.o.d"
+  "rpclgen"
+  "rpclgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpclgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rpclgen.
+# This may be replaced when dependencies are built.

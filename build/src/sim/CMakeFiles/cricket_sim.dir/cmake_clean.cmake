@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_sim.dir/rng.cpp.o"
+  "CMakeFiles/cricket_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/cricket_sim.dir/sim_clock.cpp.o"
+  "CMakeFiles/cricket_sim.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/cricket_sim.dir/stats.cpp.o"
+  "CMakeFiles/cricket_sim.dir/stats.cpp.o.d"
+  "libcricket_sim.a"
+  "libcricket_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

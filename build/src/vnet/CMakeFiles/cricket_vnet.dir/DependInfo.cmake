@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vnet/checksum.cpp" "src/vnet/CMakeFiles/cricket_vnet.dir/checksum.cpp.o" "gcc" "src/vnet/CMakeFiles/cricket_vnet.dir/checksum.cpp.o.d"
+  "/root/repo/src/vnet/cost_model.cpp" "src/vnet/CMakeFiles/cricket_vnet.dir/cost_model.cpp.o" "gcc" "src/vnet/CMakeFiles/cricket_vnet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/vnet/minitcp.cpp" "src/vnet/CMakeFiles/cricket_vnet.dir/minitcp.cpp.o" "gcc" "src/vnet/CMakeFiles/cricket_vnet.dir/minitcp.cpp.o.d"
+  "/root/repo/src/vnet/packet.cpp" "src/vnet/CMakeFiles/cricket_vnet.dir/packet.cpp.o" "gcc" "src/vnet/CMakeFiles/cricket_vnet.dir/packet.cpp.o.d"
+  "/root/repo/src/vnet/virtio_net.cpp" "src/vnet/CMakeFiles/cricket_vnet.dir/virtio_net.cpp.o" "gcc" "src/vnet/CMakeFiles/cricket_vnet.dir/virtio_net.cpp.o.d"
+  "/root/repo/src/vnet/virtqueue.cpp" "src/vnet/CMakeFiles/cricket_vnet.dir/virtqueue.cpp.o" "gcc" "src/vnet/CMakeFiles/cricket_vnet.dir/virtqueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/cricket_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/cricket_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

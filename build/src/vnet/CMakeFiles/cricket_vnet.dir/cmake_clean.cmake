@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_vnet.dir/checksum.cpp.o"
+  "CMakeFiles/cricket_vnet.dir/checksum.cpp.o.d"
+  "CMakeFiles/cricket_vnet.dir/cost_model.cpp.o"
+  "CMakeFiles/cricket_vnet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cricket_vnet.dir/minitcp.cpp.o"
+  "CMakeFiles/cricket_vnet.dir/minitcp.cpp.o.d"
+  "CMakeFiles/cricket_vnet.dir/packet.cpp.o"
+  "CMakeFiles/cricket_vnet.dir/packet.cpp.o.d"
+  "CMakeFiles/cricket_vnet.dir/virtio_net.cpp.o"
+  "CMakeFiles/cricket_vnet.dir/virtio_net.cpp.o.d"
+  "CMakeFiles/cricket_vnet.dir/virtqueue.cpp.o"
+  "CMakeFiles/cricket_vnet.dir/virtqueue.cpp.o.d"
+  "libcricket_vnet.a"
+  "libcricket_vnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_vnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cricket_vnet.
+# This may be replaced when dependencies are built.

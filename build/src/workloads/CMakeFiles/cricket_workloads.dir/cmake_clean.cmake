@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_workloads.dir/bandwidth_test.cpp.o"
+  "CMakeFiles/cricket_workloads.dir/bandwidth_test.cpp.o.d"
+  "CMakeFiles/cricket_workloads.dir/histogram.cpp.o"
+  "CMakeFiles/cricket_workloads.dir/histogram.cpp.o.d"
+  "CMakeFiles/cricket_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/cricket_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/cricket_workloads.dir/linear_solver.cpp.o"
+  "CMakeFiles/cricket_workloads.dir/linear_solver.cpp.o.d"
+  "CMakeFiles/cricket_workloads.dir/matrix_mul.cpp.o"
+  "CMakeFiles/cricket_workloads.dir/matrix_mul.cpp.o.d"
+  "libcricket_workloads.a"
+  "libcricket_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

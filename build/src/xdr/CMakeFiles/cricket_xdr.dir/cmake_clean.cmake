@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/cricket_xdr.dir/xdr.cpp.o.d"
+  "libcricket_xdr.a"
+  "libcricket_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cricket.dir/cricket_test.cpp.o"
+  "CMakeFiles/test_cricket.dir/cricket_test.cpp.o.d"
+  "test_cricket"
+  "test_cricket.pdb"
+  "test_cricket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cricket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

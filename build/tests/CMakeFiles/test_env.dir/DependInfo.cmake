@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/env_test.cpp" "tests/CMakeFiles/test_env.dir/env_test.cpp.o" "gcc" "tests/CMakeFiles/test_env.dir/env_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/cricket_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/cricket_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/cricket_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/cricket_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

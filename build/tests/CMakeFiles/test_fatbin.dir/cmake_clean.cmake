@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fatbin.dir/fatbin_test.cpp.o"
+  "CMakeFiles/test_fatbin.dir/fatbin_test.cpp.o.d"
+  "test_fatbin"
+  "test_fatbin.pdb"
+  "test_fatbin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fatbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpcl.dir/rpcl_test.cpp.o"
+  "CMakeFiles/test_rpcl.dir/rpcl_test.cpp.o.d"
+  "test_rpcl"
+  "test_rpcl.pdb"
+  "test_rpcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnet.dir/vnet_test.cpp.o"
+  "CMakeFiles/test_vnet.dir/vnet_test.cpp.o.d"
+  "test_vnet"
+  "test_vnet.pdb"
+  "test_vnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

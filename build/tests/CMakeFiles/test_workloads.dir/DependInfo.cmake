@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/test_workloads.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/cricket_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cricket/CMakeFiles/cricket_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/cricket_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cricket_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/cricket_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fatbin/CMakeFiles/cricket_fatbin.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/cricket_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/cricket_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/cricket_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cricket_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

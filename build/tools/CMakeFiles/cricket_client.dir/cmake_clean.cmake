@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_client.dir/cricket_client_main.cpp.o"
+  "CMakeFiles/cricket_client.dir/cricket_client_main.cpp.o.d"
+  "cricket_client"
+  "cricket_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

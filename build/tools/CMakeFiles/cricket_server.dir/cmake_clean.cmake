@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cricket_server.dir/cricket_server_main.cpp.o"
+  "CMakeFiles/cricket_server.dir/cricket_server_main.cpp.o.d"
+  "cricket_server"
+  "cricket_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cricket_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
