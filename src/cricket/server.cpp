@@ -382,7 +382,13 @@ void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   CricketSession session(*this, id, std::move(lanes));
   rpc::ServiceRegistry registry;
   session.register_into(registry);
-  rpc::serve_transport(registry, transport);
+  rpc::ServeOptions serve = options_.serve;
+  // Session handlers share per-session state (resource tracking, the local
+  // CUDA context) and CUDA streams demand in-order execution, so pipelining
+  // for this service means depth-1 workers: decode, execute, and reply
+  // overlap across calls, but execution itself stays serial per session.
+  if (serve.workers > 1) serve.workers = 1;
+  rpc::serve_transport(registry, transport, serve);
 }
 
 std::thread CricketServer::serve_async(

@@ -16,6 +16,7 @@
 #include "cricket/scheduler.hpp"
 #include "cricket/transfer.hpp"
 #include "cudart/local_api.hpp"
+#include "rpc/server.hpp"
 #include "rpc/transport.hpp"
 
 namespace cricket::core {
@@ -25,6 +26,13 @@ struct ServerOptions {
   /// Directory prefix applied to checkpoint paths received via RPC (keeps
   /// clients from writing anywhere on the server host).
   std::string checkpoint_dir = ".";
+  /// Per-connection RPC loop configuration. Setting `serve.workers` > 0
+  /// enables the pipelined loop (overlapped decode/execute/reply, coalesced
+  /// reply records) for clients that pipeline calls; CricketServer clamps
+  /// the worker count to 1 because a session's handlers mutate shared
+  /// session state and CUDA stream semantics require this session's calls
+  /// to execute in issue order.
+  rpc::ServeOptions serve{};
 };
 
 struct ServerStats {

@@ -126,25 +126,32 @@ Environment make_environment(EnvKind kind) {
     case EnvKind::kNativeC:
       return Environment{kind,          "C",    "C",
                          "Rocky Linux", "-",    "native",
-                         native_profile(), tirpc_flavor()};
+                         native_profile(), tirpc_flavor(), PipelineConfig{}};
     case EnvKind::kNativeRust:
       return Environment{kind,          "Rust", "Rust",
                          "Rocky Linux", "-",    "native",
-                         native_profile(), rpclib_flavor()};
+                         native_profile(), rpclib_flavor(), PipelineConfig{}};
     case EnvKind::kLinuxVm:
       return Environment{kind,        "Linux VM", "Rust",
                          "Fedora VM", "QEMU",     "virtio",
-                         linux_vm_profile(), rpclib_flavor()};
+                         linux_vm_profile(), rpclib_flavor(), PipelineConfig{}};
     case EnvKind::kUnikraft:
       return Environment{kind,       "Unikraft", "Rust",
                          "Unikraft", "QEMU",     "virtio",
-                         unikraft_profile(), rpclib_flavor()};
+                         unikraft_profile(), rpclib_flavor(), PipelineConfig{}};
     case EnvKind::kRustyHermit:
       return Environment{kind,     "Hermit", "Rust",
                          "Hermit", "QEMU",   "virtio",
-                         hermit_profile(), rpclib_flavor()};
+                         hermit_profile(), rpclib_flavor(), PipelineConfig{}};
   }
   throw std::invalid_argument("unknown environment kind");
+}
+
+Environment with_pipelining(Environment environment, std::uint32_t depth,
+                            bool batching) {
+  environment.pipeline =
+      PipelineConfig{.enabled = true, .depth = depth, .batching = batching};
+  return environment;
 }
 
 std::vector<Environment> all_environments() {

@@ -49,6 +49,18 @@ struct ClientFlavor {
   bool fast_rng = true;
 };
 
+/// RPC pipelining knob (the rpcflow subsystem). Off in every Table-1 preset:
+/// the paper's stack is strictly one synchronous RPC at a time (§4.2), and
+/// the reproduction benches must keep matching it. Opt in per experiment
+/// with `with_pipelining`.
+struct PipelineConfig {
+  bool enabled = false;
+  /// Max calls in flight on the connection before the client blocks.
+  std::uint32_t depth = 32;
+  /// Coalesce back-to-back sub-MTU calls into one record flush.
+  bool batching = true;
+};
+
 struct Environment {
   EnvKind kind = EnvKind::kNativeRust;
   std::string name;        // Table 1 "Name"
@@ -58,7 +70,13 @@ struct Environment {
   std::string network;     // Table 1 "Network"
   vnet::NetworkProfile profile;
   ClientFlavor flavor;
+  PipelineConfig pipeline;  // defaults to off (paper-faithful)
 };
+
+/// Returns a copy of `environment` with rpcflow pipelining switched on.
+[[nodiscard]] Environment with_pipelining(Environment environment,
+                                          std::uint32_t depth = 32,
+                                          bool batching = true);
 
 [[nodiscard]] Environment make_environment(EnvKind kind);
 

@@ -34,14 +34,22 @@ std::vector<std::uint8_t> RpcClient::call_raw(
   ++stats_.calls;
 
   std::vector<std::uint8_t> reply_record;
-  // Replies arrive in order on this synchronous channel, but tolerate stale
-  // xids (e.g. a reply to a timed-out predecessor) by skipping them.
+  // This channel never has more than one call outstanding, so the reply xid
+  // must match the call xid exactly; anything else is a misbehaving peer (or
+  // a desynchronized stream) and silently skipping it would only turn the
+  // protocol violation into a hard-to-diagnose hang one call later.
   for (;;) {
     if (!reader_.read_record(reply_record))
       throw TransportError("connection closed while awaiting reply");
     stats_.bytes_received += reply_record.size();
     const ReplyMsg reply = decode_reply(reply_record);
-    if (reply.xid != call.xid) continue;
+    if (reply.xid != call.xid)
+      throw RpcError(RpcError::Kind::kBadReply,
+                     "reply xid mismatch: expected " +
+                         std::to_string(call.xid) + ", got " +
+                         std::to_string(reply.xid) +
+                         " (out-of-order or stale reply on a synchronous "
+                         "channel)");
 
     if (reply.stat == ReplyStat::kDenied) {
       throw RpcError(RpcError::Kind::kDenied,

@@ -32,6 +32,24 @@ void RecordWriter::write_record(std::span<const std::uint8_t> record) {
   } while (off < record.size());
 }
 
+void append_record_marked(std::vector<std::uint8_t>& out,
+                          std::span<const std::uint8_t> record,
+                          std::uint32_t max_fragment) {
+  std::size_t off = 0;
+  do {
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::size_t>(max_fragment, record.size() - off));
+    const bool last = off + n == record.size();
+    std::uint8_t hdr[4];
+    put_header(hdr, n, last);
+    out.insert(out.end(), hdr, hdr + 4);
+    if (n > 0)
+      out.insert(out.end(), record.begin() + static_cast<std::ptrdiff_t>(off),
+                 record.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+  } while (off < record.size());
+}
+
 bool RecordReader::read_record(std::vector<std::uint8_t>& out) {
   out.clear();
   bool first = true;
@@ -57,6 +75,50 @@ bool RecordReader::read_record(std::vector<std::uint8_t>& out) {
     out.resize(old + len);
     if (len > 0)
       transport_->recv_exact(std::span(out.data() + old, len));
+    if (last) return true;
+  }
+}
+
+bool BufferedRecordReader::fill(std::size_t need) {
+  // Compact once the consumed prefix dominates, keeping the buffer small.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= chunk_)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  while (buf_.size() - pos_ < need) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + chunk_);
+    const std::size_t n = transport_->recv(std::span(buf_.data() + old, chunk_));
+    buf_.resize(old + n);
+    if (n == 0) return false;
+  }
+  return true;
+}
+
+bool BufferedRecordReader::read_record(std::vector<std::uint8_t>& out) {
+  out.clear();
+  bool first = true;
+  for (;;) {
+    if (!fill(4)) {
+      if (first && buf_.size() == pos_) return false;  // clean EOF
+      throw TransportError("EOF inside RPC record");
+    }
+    const std::uint8_t* hdr = buf_.data() + pos_;
+    const std::uint32_t h = (std::uint32_t{hdr[0]} << 24) |
+                            (std::uint32_t{hdr[1]} << 16) |
+                            (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
+    pos_ += 4;
+    first = false;
+    const bool last = (h & kLastFragmentBit) != 0;
+    const std::uint32_t len = h & ~kLastFragmentBit;
+    if (out.size() + len > max_record_)
+      throw TransportError("RPC record exceeds maximum size");
+    if (len > 0) {
+      if (!fill(len)) throw TransportError("EOF inside RPC record");
+      out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+      pos_ += len;
+    }
     if (last) return true;
   }
 }

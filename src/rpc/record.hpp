@@ -34,6 +34,15 @@ class RecordWriter {
   std::uint32_t max_fragment_;
 };
 
+/// Appends one record-marked message (header + fragments) to `out` without
+/// touching any transport. The pipelined paths use this to coalesce several
+/// back-to-back records into a single transport send, amortizing per-send
+/// costs (syscall / virtqueue kick / wire latency) across all of them.
+void append_record_marked(std::vector<std::uint8_t>& out,
+                          std::span<const std::uint8_t> record,
+                          std::uint32_t max_fragment =
+                              RecordWriter::kDefaultMaxFragment);
+
 /// Reads one complete record (reassembling fragments) per call.
 class RecordReader {
  public:
@@ -50,6 +59,35 @@ class RecordReader {
  private:
   Transport* transport_;
   std::size_t max_record_;
+};
+
+/// Record reader that pulls large chunks off the transport into an internal
+/// buffer instead of issuing exact-size reads per header/fragment. When many
+/// small records arrive back-to-back (pipelined calls, coalesced replies)
+/// one recv covers them all, so per-recv costs amortize. Semantics match
+/// RecordReader: one complete record per read_record call, false on clean
+/// EOF at a record boundary, TransportError on mid-record EOF.
+class BufferedRecordReader {
+ public:
+  explicit BufferedRecordReader(Transport& transport,
+                                std::size_t chunk = kDefaultChunk,
+                                std::size_t max_record =
+                                    RecordReader::kDefaultMaxRecord)
+      : transport_(&transport), chunk_(chunk), max_record_(max_record) {}
+
+  [[nodiscard]] bool read_record(std::vector<std::uint8_t>& out);
+
+  static constexpr std::size_t kDefaultChunk = 64 * 1024;
+
+ private:
+  /// Ensures at least `need` buffered bytes; returns false on EOF first.
+  [[nodiscard]] bool fill(std::size_t need);
+
+  Transport* transport_;
+  std::size_t chunk_;
+  std::size_t max_record_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
 };
 
 }  // namespace cricket::rpc

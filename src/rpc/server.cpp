@@ -1,5 +1,8 @@
 #include "rpc/server.hpp"
 
+#include <condition_variable>
+#include <deque>
+
 namespace cricket::rpc {
 
 void ServiceRegistry::register_proc(std::uint32_t prog, std::uint32_t vers,
@@ -51,8 +54,145 @@ ReplyMsg ServiceRegistry::dispatch(const CallMsg& call) const {
   return reply;
 }
 
-void serve_transport(const ServiceRegistry& registry, Transport& transport,
-                     std::uint32_t max_fragment) {
+namespace {
+
+/// Pipelined connection service: reader (caller thread) -> bounded worker
+/// pool -> coalescing writer thread. Replies complete out of order when
+/// more than one worker runs; the client matches them by xid.
+class PipelinedConnection {
+ public:
+  PipelinedConnection(const ServiceRegistry& registry, Transport& transport,
+                      const ServeOptions& options)
+      : registry_(&registry), transport_(&transport), options_(options) {}
+
+  void run() {
+    for (std::uint32_t i = 0; i < options_.workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+    std::thread writer([this] { writer_loop(); });
+
+    read_loop();
+
+    {
+      std::lock_guard lock(mu_);
+      intake_done_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    {
+      std::lock_guard lock(mu_);
+      workers_done_ = true;
+    }
+    reply_cv_.notify_all();
+    writer.join();
+  }
+
+ private:
+  void read_loop() {
+    BufferedRecordReader reader(*transport_);
+    std::vector<std::uint8_t> record;
+    for (;;) {
+      try {
+        if (!reader.read_record(record)) return;  // clean EOF
+      } catch (const TransportError&) {
+        return;  // peer vanished mid-record; nothing to reply to
+      }
+      CallMsg call;
+      try {
+        call = decode_call(record);
+      } catch (const std::exception&) {
+        continue;  // not parseable as a call: drop it
+      }
+      std::unique_lock lock(mu_);
+      slots_cv_.wait(lock, [this] {
+        return in_flight_ < options_.max_in_flight || write_failed_;
+      });
+      if (write_failed_) return;
+      ++in_flight_;
+      queue_.push_back(std::move(call));
+      lock.unlock();
+      work_cv_.notify_one();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return !queue_.empty() || intake_done_ || write_failed_;
+      });
+      if (queue_.empty()) return;  // intake done or writer dead: drain over
+      CallMsg call = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      auto record = encode_reply(registry_->dispatch(call));
+      lock.lock();
+      ready_.push_back(std::move(record));
+      lock.unlock();
+      reply_cv_.notify_one();
+    }
+  }
+
+  void writer_loop() {
+    RecordWriter writer(*transport_, options_.max_fragment);
+    std::vector<std::vector<std::uint8_t>> batch;
+    std::vector<std::uint8_t> wire;
+    for (;;) {
+      {
+        std::unique_lock lock(mu_);
+        reply_cv_.wait(lock, [this] {
+          return !ready_.empty() || (workers_done_ && queue_.empty());
+        });
+        if (ready_.empty()) return;  // drained and no more producers
+        batch.swap(ready_);
+      }
+      try {
+        if (options_.coalesce_replies) {
+          wire.clear();
+          for (const auto& r : batch)
+            append_record_marked(wire, r, options_.max_fragment);
+          transport_->send(wire);
+        } else {
+          for (const auto& r : batch) writer.write_record(r);
+        }
+      } catch (const TransportError&) {
+        std::lock_guard lock(mu_);
+        write_failed_ = true;
+        slots_cv_.notify_all();
+        work_cv_.notify_all();
+        return;
+      }
+      {
+        std::lock_guard lock(mu_);
+        in_flight_ -= static_cast<std::uint32_t>(batch.size());
+      }
+      slots_cv_.notify_all();
+      batch.clear();
+    }
+  }
+
+  const ServiceRegistry* registry_;
+  Transport* transport_;
+  ServeOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: calls available
+  std::condition_variable reply_cv_;  // writer: replies available
+  std::condition_variable slots_cv_;  // reader: in-flight slots free
+  std::deque<CallMsg> queue_;
+  std::vector<std::vector<std::uint8_t>> ready_;  // encoded reply records
+  std::vector<std::thread> workers_;
+  std::uint32_t in_flight_ = 0;  // decoded but not yet written
+  bool intake_done_ = false;
+  bool workers_done_ = false;
+  bool write_failed_ = false;
+};
+
+}  // namespace
+
+namespace {
+
+void serve_serial(const ServiceRegistry& registry, Transport& transport,
+                  std::uint32_t max_fragment) {
   RecordReader reader(transport);
   RecordWriter writer(transport, max_fragment);
   std::vector<std::uint8_t> record;
@@ -79,9 +219,34 @@ void serve_transport(const ServiceRegistry& registry, Transport& transport,
   }
 }
 
+}  // namespace
+
+void serve_transport(const ServiceRegistry& registry, Transport& transport,
+                     const ServeOptions& options) {
+  if (options.workers > 0) {
+    PipelinedConnection(registry, transport, options).run();
+  } else {
+    serve_serial(registry, transport, options.max_fragment);
+  }
+  // Half-close our write side so a pipelined client's reader thread, which
+  // blocks on recv between replies, observes end-of-stream.
+  try {
+    transport.shutdown();
+  } catch (const TransportError&) {
+  }
+}
+
+void serve_transport(const ServiceRegistry& registry, Transport& transport,
+                     std::uint32_t max_fragment) {
+  serve_transport(registry, transport, ServeOptions{.max_fragment = max_fragment});
+}
+
 TcpRpcServer::TcpRpcServer(const ServiceRegistry& registry,
-                           std::unique_ptr<TcpListener> listener)
-    : registry_(&registry), listener_(std::move(listener)) {
+                           std::unique_ptr<TcpListener> listener,
+                           ServeOptions options)
+    : registry_(&registry),
+      listener_(std::move(listener)),
+      options_(options) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -96,7 +261,7 @@ void TcpRpcServer::accept_loop() {
     std::lock_guard lock(mu_);
     workers_.emplace_back(
         [this, c = std::shared_ptr<TcpTransport>(std::move(conn))] {
-          serve_transport(*registry_, *c);
+          serve_transport(*registry_, *c, options_);
         });
   }
 }

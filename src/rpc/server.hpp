@@ -82,8 +82,34 @@ class ServiceRegistry {
   std::map<Key, ProcHandler> handlers_;
 };
 
+/// Per-connection concurrency options. The default reproduces the paper's
+/// single-threaded RPC processing: decode, dispatch, reply — strictly in
+/// order, one call in flight.
+struct ServeOptions {
+  std::uint32_t max_fragment = RecordWriter::kDefaultMaxFragment;
+  /// 0 = classic synchronous loop. >0 = pipelined mode: calls are decoded as
+  /// fast as they arrive and dispatched to a bounded pool of this many
+  /// worker threads, so several calls from one connection execute
+  /// concurrently and replies may complete out of order (clients match them
+  /// by xid). One worker keeps execution FIFO while still overlapping
+  /// decode/execute/reply — the mode the Cricket server uses to preserve
+  /// CUDA stream semantics.
+  std::uint32_t workers = 0;
+  /// Pipelined mode: cap on decoded-but-unreplied calls; the reader stalls
+  /// at the cap so a flooding client cannot balloon server memory.
+  std::uint32_t max_in_flight = 64;
+  /// Pipelined mode: coalesce all replies that are ready back-to-back into
+  /// one record-marked transport send (amortizes per-send cost; the mirror
+  /// image of the client-side small-call batcher).
+  bool coalesce_replies = true;
+};
+
 /// Serves RPC records on one transport until end-of-stream. Runs inline on
-/// the calling thread; spawn your own thread for background service.
+/// the calling thread (pipelined mode spawns its workers internally and
+/// joins them before returning); spawn your own thread for background
+/// service.
+void serve_transport(const ServiceRegistry& registry, Transport& transport,
+                     const ServeOptions& options);
 void serve_transport(const ServiceRegistry& registry, Transport& transport,
                      std::uint32_t max_fragment = RecordWriter::kDefaultMaxFragment);
 
@@ -92,7 +118,8 @@ void serve_transport(const ServiceRegistry& registry, Transport& transport,
 class TcpRpcServer {
  public:
   TcpRpcServer(const ServiceRegistry& registry,
-               std::unique_ptr<TcpListener> listener);
+               std::unique_ptr<TcpListener> listener,
+               ServeOptions options = {});
   ~TcpRpcServer();
 
   TcpRpcServer(const TcpRpcServer&) = delete;
@@ -106,6 +133,7 @@ class TcpRpcServer {
 
   const ServiceRegistry* registry_;
   std::unique_ptr<TcpListener> listener_;
+  ServeOptions options_;
   std::thread accept_thread_;
   std::mutex mu_;
   std::vector<std::thread> workers_;

@@ -112,28 +112,31 @@ std::unique_ptr<TcpTransport> TcpTransport::connect_loopback(
 // ------------------------------- TcpListener -------------------------------
 
 TcpListener::TcpListener() {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw TransportError("socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("socket() failed");
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = 0;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd_, 64) != 0) {
-    ::close(fd_);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
     throw TransportError(std::string("bind/listen: ") + std::strerror(errno));
   }
   socklen_t len = sizeof addr;
-  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  fd_.store(fd);
 }
 
 TcpListener::~TcpListener() { close(); }
 
 std::unique_ptr<TcpTransport> TcpListener::accept() {
-  const int cfd = ::accept(fd_, nullptr, nullptr);
+  const int lfd = fd_.load();
+  if (lfd < 0) return nullptr;
+  const int cfd = ::accept(lfd, nullptr, nullptr);
   if (cfd < 0) return nullptr;  // listener closed
   const int one = 1;
   ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -141,10 +144,10 @@ std::unique_ptr<TcpTransport> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -10,6 +10,7 @@
 // top of this interface.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -123,10 +124,11 @@ class TcpListener {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   /// Blocks for one inbound connection; returns nullptr once closed.
   [[nodiscard]] std::unique_ptr<TcpTransport> accept();
+  /// Safe to call from another thread while accept() is blocked.
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -1,0 +1,102 @@
+#include "rpcflow/batcher.hpp"
+
+namespace cricket::rpcflow {
+
+CallBatcher::CallBatcher(rpc::Transport& transport, Options options,
+                         std::uint32_t max_fragment)
+    : transport_(&transport),
+      options_(options),
+      max_fragment_(max_fragment) {
+  if (options_.enabled && options_.deadline.count() > 0)
+    flusher_ = std::thread([this] { deadline_loop(); });
+}
+
+CallBatcher::~CallBatcher() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    // Best effort: don't strand buffered calls whose futures are pending.
+    if (!buf_.empty() && !failed_) {
+      try {
+        flush_locked(Cause::kExplicit);
+      } catch (const rpc::TransportError&) {
+        // The channel's reader fails the pending futures.
+      }
+    }
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void CallBatcher::append(std::span<const std::uint8_t> record) {
+  std::lock_guard lock(mu_);
+  if (failed_) throw rpc::TransportError("batcher transport already failed");
+  rpc::append_record_marked(buf_, record, max_fragment_);
+  ++stats_.records;
+  if (++buffered_calls_ == 1) {
+    oldest_ = std::chrono::steady_clock::now();
+    cv_.notify_all();  // arm the deadline flusher
+  }
+  if (!options_.enabled || buffered_calls_ >= options_.max_calls ||
+      buf_.size() >= options_.max_bytes) {
+    flush_locked(options_.enabled ? Cause::kFull : Cause::kExplicit);
+  }
+}
+
+void CallBatcher::flush() {
+  std::lock_guard lock(mu_);
+  if (buf_.empty()) return;
+  if (failed_) throw rpc::TransportError("batcher transport already failed");
+  flush_locked(Cause::kExplicit);
+}
+
+CallBatcher::Stats CallBatcher::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void CallBatcher::flush_locked(Cause cause) {
+  switch (cause) {
+    case Cause::kFull: ++stats_.flush_full; break;
+    case Cause::kDeadline: ++stats_.flush_deadline; break;
+    case Cause::kExplicit: ++stats_.flush_explicit; break;
+  }
+  ++stats_.batches;
+  stats_.bytes += buf_.size();
+  buffered_calls_ = 0;
+  // Send under the lock: the transport allows only one concurrent sender,
+  // and the lock is what serializes appenders with the deadline flusher.
+  try {
+    transport_->send(buf_);
+  } catch (const rpc::TransportError&) {
+    failed_ = true;
+    buf_.clear();
+    throw;
+  }
+  buf_.clear();
+}
+
+void CallBatcher::deadline_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || buffered_calls_ > 0; });
+    if (stopping_) return;
+    const auto wake = oldest_ + options_.deadline;
+    cv_.wait_until(lock, wake, [this, wake] {
+      return stopping_ || buffered_calls_ == 0 ||
+             std::chrono::steady_clock::now() >= wake;
+    });
+    if (stopping_) return;
+    if (buffered_calls_ > 0 &&
+        std::chrono::steady_clock::now() >= oldest_ + options_.deadline &&
+        !failed_) {
+      try {
+        flush_locked(Cause::kDeadline);
+      } catch (const rpc::TransportError&) {
+        // Reader loop surfaces the failure to the pending futures.
+      }
+    }
+  }
+}
+
+}  // namespace cricket::rpcflow

@@ -1,0 +1,90 @@
+// Adaptive small-call batcher (Nagle-style, with an explicit flush escape).
+//
+// The Fig. 6a workload — storms of sub-100-byte calls like
+// cudaGetDeviceCount — pays one full send (syscall, virtqueue kick, wire
+// latency) per call on the synchronous path. The batcher coalesces
+// back-to-back record-marked calls into a single transport send and flushes
+// when the buffer fills (bytes or record count), when a wall-clock deadline
+// expires since the oldest buffered call, or when the caller flushes
+// explicitly — so latency-sensitive callers can opt out of the wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rpc/record.hpp"
+#include "rpc/transport.hpp"
+
+namespace cricket::rpcflow {
+
+class CallBatcher {
+ public:
+  struct Options {
+    /// Disabled: every append is sent immediately (still one send per
+    /// record, i.e. header+payload coalesced — no cross-call waiting).
+    bool enabled = false;
+    /// Flush as soon as the buffered wire bytes reach this (keep it at or
+    /// under one MSS so a batch still fits one network segment).
+    std::size_t max_bytes = 8 * 1024;
+    /// Flush as soon as this many records are buffered.
+    std::uint32_t max_calls = 16;
+    /// Flush this long (wall clock) after the oldest buffered record if
+    /// neither threshold fills. Zero disables the background flusher:
+    /// only full/explicit flushes happen — callers must flush before
+    /// blocking on a reply.
+    std::chrono::microseconds deadline{200};
+  };
+
+  struct Stats {
+    std::uint64_t records = 0;
+    std::uint64_t batches = 0;  // transport sends
+    std::uint64_t flush_full = 0;
+    std::uint64_t flush_deadline = 0;
+    std::uint64_t flush_explicit = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  CallBatcher(rpc::Transport& transport, Options options,
+              std::uint32_t max_fragment);
+  ~CallBatcher();
+
+  CallBatcher(const CallBatcher&) = delete;
+  CallBatcher& operator=(const CallBatcher&) = delete;
+
+  /// Queues one RPC record; sends immediately when batching is disabled or a
+  /// full-threshold is crossed. Throws TransportError if the transport died.
+  void append(std::span<const std::uint8_t> record);
+
+  /// Sends whatever is buffered now. Safe to call with an empty buffer.
+  void flush();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  enum class Cause { kFull, kDeadline, kExplicit };
+
+  /// Pre: mu_ held. Sends buf_ as one transport write.
+  void flush_locked(Cause cause);
+  void deadline_loop();
+
+  rpc::Transport* transport_;
+  Options options_;
+  std::uint32_t max_fragment_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes the deadline flusher
+  std::vector<std::uint8_t> buf_;
+  std::uint32_t buffered_calls_ = 0;
+  std::chrono::steady_clock::time_point oldest_{};
+  bool failed_ = false;
+  bool stopping_ = false;
+  Stats stats_;
+  std::thread flusher_;
+};
+
+}  // namespace cricket::rpcflow

@@ -1,0 +1,221 @@
+#include "rpcflow/channel.hpp"
+
+namespace cricket::rpcflow {
+
+namespace {
+
+/// Maps a decoded reply to the caller-visible outcome: results on success,
+/// an RpcError otherwise (same classification as the synchronous client).
+std::exception_ptr reply_error(const rpc::ReplyMsg& reply) {
+  using rpc::RpcError;
+  if (reply.stat == rpc::ReplyStat::kDenied) {
+    return std::make_exception_ptr(RpcError(
+        RpcError::Kind::kDenied,
+        reply.reject_stat == rpc::RejectStat::kRpcMismatch
+            ? "call denied: RPC version mismatch"
+            : "call denied: authentication error"));
+  }
+  switch (reply.accept_stat) {
+    case rpc::AcceptStat::kSuccess:
+      return nullptr;
+    case rpc::AcceptStat::kProgUnavail:
+      return std::make_exception_ptr(
+          RpcError(RpcError::Kind::kProgUnavail, "program unavailable"));
+    case rpc::AcceptStat::kProgMismatch: {
+      const auto mi = reply.mismatch.value_or(rpc::MismatchInfo{});
+      return std::make_exception_ptr(RpcError(
+          RpcError::Kind::kProgMismatch,
+          "program version mismatch (supported " + std::to_string(mi.low) +
+              ".." + std::to_string(mi.high) + ")"));
+    }
+    case rpc::AcceptStat::kProcUnavail:
+      return std::make_exception_ptr(
+          RpcError(RpcError::Kind::kProcUnavail, "procedure unavailable"));
+    case rpc::AcceptStat::kGarbageArgs:
+      return std::make_exception_ptr(RpcError(
+          RpcError::Kind::kGarbageArgs, "server could not decode arguments"));
+    case rpc::AcceptStat::kSystemErr:
+      return std::make_exception_ptr(
+          RpcError(RpcError::Kind::kSystemErr, "server system error"));
+  }
+  return std::make_exception_ptr(
+      RpcError(RpcError::Kind::kBadReply, "invalid accept_stat"));
+}
+
+}  // namespace
+
+AsyncRpcChannel::AsyncRpcChannel(std::unique_ptr<rpc::Transport> transport,
+                                 std::uint32_t prog, std::uint32_t vers,
+                                 ChannelOptions options)
+    : transport_(std::move(transport)),
+      prog_(prog),
+      vers_(vers),
+      options_(options),
+      batcher_(std::make_unique<CallBatcher>(*transport_, options.batch,
+                                             options.max_fragment)),
+      next_xid_(options.initial_xid) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+AsyncRpcChannel::~AsyncRpcChannel() {
+  // Push out anything still buffered so the server can answer it, then
+  // half-close: the server drains, replies, and closes its side, which ends
+  // the reader loop (completing or failing every remaining future).
+  batcher_.reset();
+  try {
+    transport_->shutdown();
+  } catch (...) {  // destructor must not throw
+  }
+  if (reader_.joinable()) reader_.join();
+}
+
+void AsyncRpcChannel::set_credential(rpc::OpaqueAuth cred) {
+  std::lock_guard lock(mu_);
+  cred_ = std::move(cred);
+}
+
+ReplyFuture AsyncRpcChannel::call_raw_async(
+    std::uint32_t proc, std::span<const std::uint8_t> args) {
+  rpc::CallMsg call;
+  call.prog = prog_;
+  call.vers = vers_;
+  call.proc = proc;
+  call.args.assign(args.begin(), args.end());
+
+  ReplyPromise promise;
+  ReplyFuture future(promise.state());
+  {
+    std::unique_lock lock(mu_);
+    if (pending_.size() >=
+        static_cast<std::size_t>(options_.max_outstanding)) {
+      // The window is full of calls we may still be holding in the batcher;
+      // push them out before blocking on their replies.
+      lock.unlock();
+      flush();
+      lock.lock();
+      slots_cv_.wait(lock, [this] {
+        return dead_ || pending_.size() <
+                            static_cast<std::size_t>(options_.max_outstanding);
+      });
+    }
+    if (dead_) {
+      promise.set_error(std::make_exception_ptr(
+          rpc::TransportError("channel closed: " + dead_reason_)));
+      return future;
+    }
+    call.xid = next_xid_++;
+    call.cred = cred_;
+    pending_.emplace(call.xid, promise);
+    ++stats_.calls;
+    stats_.max_in_flight = std::max(
+        stats_.max_in_flight, static_cast<std::uint32_t>(pending_.size()));
+  }
+
+  const auto record = rpc::encode_call(call);
+  try {
+    batcher_->append(record);
+    std::lock_guard lock(mu_);
+    stats_.bytes_sent += record.size();
+  } catch (const rpc::TransportError&) {
+    // The reader will (or already did) fail every pending future, including
+    // this one; nothing more to do here.
+  }
+  return future;
+}
+
+void AsyncRpcChannel::flush() { batcher_->flush(); }
+
+void AsyncRpcChannel::drain() {
+  try {
+    flush();
+  } catch (const rpc::TransportError&) {
+    // The reader notices the dead transport and fails every pending future;
+    // drain's contract is only "everything completed", which still holds.
+  }
+  std::unique_lock lock(mu_);
+  // fail_all_locked empties pending_ atomically with setting dead_, so this
+  // terminates both on normal completion and on mid-pipeline failure.
+  slots_cv_.wait(lock, [this] { return pending_.empty(); });
+}
+
+std::uint32_t AsyncRpcChannel::outstanding() const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::uint32_t>(pending_.size());
+}
+
+ChannelStats AsyncRpcChannel::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void AsyncRpcChannel::fail_all_locked(const std::exception_ptr& error) {
+  dead_ = true;
+  // Complete outside pending_ so promise callbacks never see a half-updated
+  // map; promises have their own locks.
+  std::map<std::uint32_t, ReplyPromise> orphans;
+  orphans.swap(pending_);
+  stats_.failed += orphans.size();
+  for (auto& [xid, promise] : orphans) promise.set_error(error);
+}
+
+void AsyncRpcChannel::reader_loop() {
+  rpc::BufferedRecordReader reader(*transport_);
+  std::vector<std::uint8_t> record;
+  for (;;) {
+    bool got = false;
+    std::string reason;
+    try {
+      got = reader.read_record(record);
+      if (!got) reason = "connection closed by peer";
+    } catch (const rpc::TransportError& e) {
+      reason = e.what();
+    }
+    if (!got) {
+      std::lock_guard lock(mu_);
+      if (dead_reason_.empty()) dead_reason_ = reason;
+      fail_all_locked(std::make_exception_ptr(rpc::TransportError(
+          "connection failed with calls in flight: " + reason)));
+      slots_cv_.notify_all();
+      return;
+    }
+
+    rpc::ReplyMsg reply;
+    try {
+      reply = rpc::decode_reply(record);
+    } catch (const std::exception&) {
+      std::lock_guard lock(mu_);
+      ++stats_.unmatched;  // garbage record; not attributable to any call
+      continue;
+    }
+
+    ReplyPromise promise;
+    bool matched = false;
+    {
+      std::lock_guard lock(mu_);
+      stats_.bytes_received += record.size();
+      const auto it = pending_.find(reply.xid);
+      if (it != pending_.end()) {
+        matched = true;
+        promise = it->second;
+        pending_.erase(it);
+        ++stats_.replies;
+      } else {
+        ++stats_.unmatched;
+      }
+    }
+    if (matched) {
+      if (auto error = reply_error(reply); error != nullptr) {
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.failed;
+        }
+        promise.set_error(std::move(error));
+      } else {
+        promise.set_value(std::move(reply.results));
+      }
+      slots_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cricket::rpcflow

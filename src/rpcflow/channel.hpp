@@ -1,0 +1,125 @@
+// AsyncRpcChannel: N outstanding ONC RPC calls on one connection.
+//
+// The paper's forwarding path is one synchronous RPC per CUDA call ("the
+// RPC library is single-threaded", §4.2), so throughput is capped at 1/RTT
+// per connection. This channel lifts that cap without touching the wire
+// protocol: every call is tagged with its xid and sent immediately (or
+// handed to the small-call batcher), a dedicated reader thread matches
+// replies — in whatever order the server completes them — back to per-call
+// ReplyFutures, and a bounded outstanding-call window provides
+// back-pressure. Layered purely on Transport + record marking + XDR, so it
+// runs over pipes, TCP, and the vnet-simulated unikernel paths alike.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/client.hpp"
+#include "rpc/record.hpp"
+#include "rpc/rpc_msg.hpp"
+#include "rpc/transport.hpp"
+#include "rpcflow/batcher.hpp"
+#include "rpcflow/future.hpp"
+#include "xdr/xdr.hpp"
+
+namespace cricket::rpcflow {
+
+struct ChannelOptions {
+  /// Pipeline depth: calls admitted on the wire before the oldest reply
+  /// arrives. call_raw_async blocks (back-pressure) at the cap.
+  std::uint32_t max_outstanding = 32;
+  std::uint32_t initial_xid = 0x51C40000;
+  std::uint32_t max_fragment = rpc::RecordWriter::kDefaultMaxFragment;
+  /// Small-call coalescing (off by default: pipelining without batching).
+  CallBatcher::Options batch{};
+};
+
+struct ChannelStats {
+  std::uint64_t calls = 0;
+  std::uint64_t replies = 0;       // matched completions
+  std::uint64_t failed = 0;        // completed with an error
+  std::uint64_t unmatched = 0;     // replies with an unknown xid (dropped)
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint32_t max_in_flight = 0;  // high-water mark of the pipeline
+};
+
+/// Asynchronous RPC client bound to one (program, version) on one transport.
+/// Thread-safe: any number of caller threads may issue calls concurrently;
+/// one internal reader thread completes futures.
+class AsyncRpcChannel {
+ public:
+  AsyncRpcChannel(std::unique_ptr<rpc::Transport> transport,
+                  std::uint32_t prog, std::uint32_t vers,
+                  ChannelOptions options = {});
+  ~AsyncRpcChannel();
+
+  AsyncRpcChannel(const AsyncRpcChannel&) = delete;
+  AsyncRpcChannel& operator=(const AsyncRpcChannel&) = delete;
+
+  void set_credential(rpc::OpaqueAuth cred);
+
+  /// Issues `proc` with pre-encoded arguments. Returns immediately with a
+  /// future for the raw encoded results; blocks only while the pipeline is
+  /// at max_outstanding. The future fails with RpcError for call-level
+  /// errors and TransportError if the connection dies mid-pipeline.
+  [[nodiscard]] ReplyFuture call_raw_async(std::uint32_t proc,
+                                           std::span<const std::uint8_t> args);
+
+  /// Typed pipelined call: XDR-encodes `args...`, decodes one `Res` at get().
+  template <typename Res, typename... Args>
+  [[nodiscard]] TypedFuture<Res> call_async(std::uint32_t proc,
+                                            const Args&... args) {
+    xdr::Encoder enc;
+    (xdr_encode(enc, args), ...);
+    return TypedFuture<Res>(call_raw_async(proc, enc.bytes()));
+  }
+
+  /// Synchronous convenience on the pipelined channel: issues, flushes, and
+  /// waits. Calls issued earlier remain in flight (this does not drain).
+  template <typename Res, typename... Args>
+  Res call(std::uint32_t proc, const Args&... args) {
+    auto fut = call_async<Res>(proc, args...);
+    flush();
+    return fut.get();
+  }
+
+  /// Sends anything the batcher is still holding.
+  void flush();
+
+  /// Flushes, then blocks until every outstanding call has completed
+  /// (successfully or not). The pipeline's sync point.
+  void drain();
+
+  [[nodiscard]] std::uint32_t outstanding() const;
+  [[nodiscard]] ChannelStats stats() const;
+  [[nodiscard]] rpc::Transport& transport() noexcept { return *transport_; }
+
+ private:
+  void reader_loop();
+  void fail_all_locked(const std::exception_ptr& error);
+
+  std::unique_ptr<rpc::Transport> transport_;
+  std::uint32_t prog_;
+  std::uint32_t vers_;
+  ChannelOptions options_;
+  std::unique_ptr<CallBatcher> batcher_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slots_cv_;  // outstanding window + drain waiters
+  std::map<std::uint32_t, ReplyPromise> pending_;
+  std::uint32_t next_xid_;
+  rpc::OpaqueAuth cred_;
+  bool dead_ = false;
+  std::string dead_reason_;
+  ChannelStats stats_;
+
+  std::thread reader_;
+};
+
+}  // namespace cricket::rpcflow

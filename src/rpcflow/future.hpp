@@ -1,0 +1,122 @@
+// Completion handles for pipelined RPCs.
+//
+// A ReplyFuture is the caller's end of one in-flight call on an
+// AsyncRpcChannel: the channel's reader thread completes it (value or
+// error) when the reply with the matching xid arrives, or fails it when the
+// connection dies with the call still outstanding. A minimal hand-rolled
+// shared state (rather than std::future) so the channel can complete many
+// futures under one lock sweep and callers can poll readiness cheaply.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "xdr/xdr.hpp"
+
+namespace cricket::rpcflow {
+
+namespace detail {
+
+struct ReplyState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  std::vector<std::uint8_t> value;  // XDR-encoded results
+  std::exception_ptr error;
+};
+
+}  // namespace detail
+
+/// Write side of a ReplyState; owned by the channel.
+class ReplyPromise {
+ public:
+  ReplyPromise() : state_(std::make_shared<detail::ReplyState>()) {}
+
+  void set_value(std::vector<std::uint8_t> value) const {
+    {
+      std::lock_guard lock(state_->mu);
+      state_->value = std::move(value);
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  void set_error(std::exception_ptr error) const {
+    {
+      std::lock_guard lock(state_->mu);
+      state_->error = std::move(error);
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  [[nodiscard]] std::shared_ptr<detail::ReplyState> state() const {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<detail::ReplyState> state_;
+};
+
+/// Caller's handle to one pipelined call's raw (XDR-encoded) results.
+class ReplyFuture {
+ public:
+  ReplyFuture() = default;
+  explicit ReplyFuture(std::shared_ptr<detail::ReplyState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Non-blocking readiness poll.
+  [[nodiscard]] bool ready() const {
+    std::lock_guard lock(state_->mu);
+    return state_->ready;
+  }
+
+  void wait() const {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+  }
+
+  /// Blocks until completion; rethrows the call's error if it failed.
+  [[nodiscard]] std::vector<std::uint8_t> get() {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (state_->error) std::rethrow_exception(state_->error);
+    return std::move(state_->value);
+  }
+
+ private:
+  std::shared_ptr<detail::ReplyState> state_;
+};
+
+/// Typed view over a ReplyFuture: XDR-decodes one `Res` on get().
+template <typename Res>
+class TypedFuture {
+ public:
+  TypedFuture() = default;
+  explicit TypedFuture(ReplyFuture raw) : raw_(std::move(raw)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return raw_.valid(); }
+  [[nodiscard]] bool ready() const { return raw_.ready(); }
+  void wait() const { raw_.wait(); }
+
+  [[nodiscard]] Res get() {
+    const auto bytes = raw_.get();
+    xdr::Decoder dec(bytes);
+    Res res{};
+    xdr_decode(dec, res);
+    dec.expect_exhausted();
+    return res;
+  }
+
+ private:
+  ReplyFuture raw_;
+};
+
+}  // namespace cricket::rpcflow

@@ -24,9 +24,10 @@ VirtioNetTransport::VirtioNetTransport(NetworkProfile profile,
       wire_rx_(std::move(wire_rx)),
       // Each descriptor slot must hold the largest buffer we ever queue:
       // 64 KiB super-frames (TSO / MRG_RXBUF) plus header room.
-      memory_(static_cast<std::size_t>(kQueueSize) * (65536 + kHeaderRoom)),
-      tx_(memory_, kQueueSize),
-      rx_(memory_, kQueueSize) {
+      tx_memory_(static_cast<std::size_t>(kQueueSize) * (65536 + kHeaderRoom)),
+      rx_memory_(static_cast<std::size_t>(kQueueSize) * (65536 + kHeaderRoom)),
+      tx_(tx_memory_, kQueueSize),
+      rx_(rx_memory_, kQueueSize) {
   // Pre-post receive buffers, as a real driver does at device bring-up.
   for (int i = 0; i < 64; ++i) post_rx_buffer();
   tx_thread_ = std::thread([this] { tx_backend(); });

@@ -84,6 +84,13 @@ class VirtioNetTransport final : public rpc::Transport {
   }
   /// Virtqueue notification counters (kicks = VM exits on the TX path).
   [[nodiscard]] std::uint64_t tx_kicks() const noexcept { return tx_.kicks(); }
+  [[nodiscard]] std::uint64_t tx_interrupts() const noexcept {
+    return tx_.interrupts();
+  }
+  [[nodiscard]] std::uint64_t rx_kicks() const noexcept { return rx_.kicks(); }
+  [[nodiscard]] std::uint64_t rx_interrupts() const noexcept {
+    return rx_.interrupts();
+  }
 
  private:
   void tx_backend();
@@ -96,7 +103,12 @@ class VirtioNetTransport final : public rpc::Transport {
   std::shared_ptr<rpc::ByteQueue> wire_tx_;
   std::shared_ptr<rpc::ByteQueue> wire_rx_;
 
-  GuestMemory memory_;
+  // One arena per queue: Virtqueue maps descriptor id -> arena offset, so a
+  // shared arena would alias TX frames with posted RX buffers as soon as
+  // both directions are active at once (pipelined clients do this; the
+  // one-call-at-a-time synchronous client never did).
+  GuestMemory tx_memory_;
+  GuestMemory rx_memory_;
   Virtqueue tx_;
   Virtqueue rx_;
 

@@ -185,6 +185,65 @@ TEST(RpcVersioning, UnknownProgramIsProgUnavail) {
   server.join();
 }
 
+/// In-process peer that answers every call with a success reply carrying the
+/// wrong xid — a misbehaving (or pipelining) server on a synchronous channel.
+class WrongXidTransport final : public Transport {
+ public:
+  void send(std::span<const std::uint8_t> data) override {
+    inbox_.insert(inbox_.end(), data.begin(), data.end());
+    while (inbox_.size() >= 4) {
+      const std::uint32_t header =
+          (std::uint32_t{inbox_[0]} << 24) | (std::uint32_t{inbox_[1]} << 16) |
+          (std::uint32_t{inbox_[2]} << 8) | std::uint32_t{inbox_[3]};
+      const bool last = (header & 0x8000'0000u) != 0;
+      const std::size_t len = header & 0x7FFF'FFFFu;
+      if (inbox_.size() < 4 + len) break;
+      record_.insert(record_.end(), inbox_.begin() + 4,
+                     inbox_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+      inbox_.erase(inbox_.begin(),
+                   inbox_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+      if (!last) continue;
+      const CallMsg call = decode_call(record_);
+      record_.clear();
+      ReplyMsg reply;
+      reply.xid = call.xid + 1;  // the misbehaviour under test
+      append_record_marked(outbox_, encode_reply(reply));
+    }
+  }
+
+  std::size_t recv(std::span<std::uint8_t> out) override {
+    if (outbox_.empty()) return 0;
+    const std::size_t n = std::min(out.size(), outbox_.size());
+    std::copy_n(outbox_.begin(), n, out.begin());
+    outbox_.erase(outbox_.begin(), outbox_.begin() + static_cast<std::ptrdiff_t>(n));
+    return n;
+  }
+
+  void shutdown() override {}
+
+ private:
+  std::vector<std::uint8_t> inbox_;
+  std::vector<std::uint8_t> record_;
+  std::vector<std::uint8_t> outbox_;
+};
+
+TEST(RpcXidMatching, MismatchedReplyXidIsBadReplyWithBothXids) {
+  ClientOptions options;
+  options.initial_xid = 0x1000;
+  RpcClient client(std::make_unique<WrongXidTransport>(), kProg, kVers,
+                   options);
+  try {
+    client.ping();
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kBadReply);
+    const std::string what = e.what();
+    // Both the expected and the received xid are named in the message.
+    EXPECT_NE(what.find(std::to_string(0x1000)), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(0x1001)), std::string::npos) << what;
+  }
+}
+
 // ------------------------------ record marking ------------------------------
 
 TEST(RecordMarking, SingleFragmentRoundTrip) {
