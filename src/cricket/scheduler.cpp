@@ -5,7 +5,7 @@
 namespace cricket::core {
 
 void KernelScheduler::session_open(std::uint64_t session) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& s = sessions_[session];
   // A newcomer starts level with the least-served existing session so it
   // cannot monopolize the device by arriving late with zero usage history.
@@ -20,7 +20,7 @@ void KernelScheduler::session_open(std::uint64_t session) {
 }
 
 void KernelScheduler::session_close(std::uint64_t session) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
   archived_[session] = it->second.stats;
@@ -28,7 +28,7 @@ void KernelScheduler::session_close(std::uint64_t session) {
 }
 
 sim::Nanos KernelScheduler::admit(std::uint64_t session) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) it = sessions_.emplace(session, Session{}).first;
   ++it->second.stats.launches;
@@ -50,14 +50,14 @@ sim::Nanos KernelScheduler::admit(std::uint64_t session) {
 
 void KernelScheduler::record_usage(std::uint64_t session,
                                    sim::Nanos device_ns) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& s = sessions_[session];
   s.used_ns += device_ns;
   s.stats.device_time_ns += device_ns;
 }
 
 SchedulerStats KernelScheduler::stats(std::uint64_t session) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = sessions_.find(session);
   if (it != sessions_.end()) return it->second.stats;
   const auto archived = archived_.find(session);

@@ -14,8 +14,8 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 
+#include "sim/annotations.hpp"
 #include "sim/sim_clock.hpp"
 
 namespace cricket::core {
@@ -34,19 +34,21 @@ class KernelScheduler {
                            sim::Nanos quantum = sim::kMillisecond)
       : policy_(policy), clock_(&clock), quantum_(quantum) {}
 
-  void session_open(std::uint64_t session);
+  void session_open(std::uint64_t session) CRICKET_EXCLUDES(mu_);
   /// Removes the session from fair-share accounting; its stats remain
   /// queryable (archived) for post-mortem analysis.
-  void session_close(std::uint64_t session);
+  void session_close(std::uint64_t session) CRICKET_EXCLUDES(mu_);
 
   /// Called before executing a session's launch; charges any scheduling
   /// delay to the virtual clock and returns it.
-  sim::Nanos admit(std::uint64_t session);
+  sim::Nanos admit(std::uint64_t session) CRICKET_EXCLUDES(mu_);
 
   /// Called after a launch with the device time it consumed.
-  void record_usage(std::uint64_t session, sim::Nanos device_ns);
+  void record_usage(std::uint64_t session, sim::Nanos device_ns)
+      CRICKET_EXCLUDES(mu_);
 
-  [[nodiscard]] SchedulerStats stats(std::uint64_t session) const;
+  [[nodiscard]] SchedulerStats stats(std::uint64_t session) const
+      CRICKET_EXCLUDES(mu_);
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
 
  private:
@@ -58,9 +60,9 @@ class KernelScheduler {
   SchedulerPolicy policy_;
   sim::SimClock* clock_;
   sim::Nanos quantum_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, Session> sessions_;
-  std::map<std::uint64_t, SchedulerStats> archived_;
+  mutable sim::Mutex mu_;
+  std::map<std::uint64_t, Session> sessions_ CRICKET_GUARDED_BY(mu_);
+  std::map<std::uint64_t, SchedulerStats> archived_ CRICKET_GUARDED_BY(mu_);
 };
 
 }  // namespace cricket::core

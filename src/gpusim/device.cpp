@@ -45,6 +45,7 @@ void Device::memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) {
   const auto span = memory_.resolve(dst, src.size());
   std::copy(src.begin(), src.end(), span.begin());
   clock_->advance(copy_time(src.size()));
+  sim::MutexLock lock(mu_);
   stats_.bytes_h2d += src.size();
 }
 
@@ -53,6 +54,7 @@ void Device::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
   const auto span = memory_.resolve(src, dst.size());
   std::copy(span.begin(), span.end(), dst.begin());
   clock_->advance(copy_time(dst.size()));
+  sim::MutexLock lock(mu_);
   stats_.bytes_d2h += dst.size();
 }
 
@@ -66,14 +68,20 @@ void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
   clock_->advance(static_cast<sim::Nanos>(
       2.0 * static_cast<double>(len) / (props_.mem_bandwidth_gbps * 1e9) *
       1e9));
+  sim::MutexLock lock(mu_);
   stats_.bytes_d2d += len;
+}
+
+DeviceStats Device::stats() const {
+  sim::MutexLock lock(mu_);
+  return stats_;
 }
 
 void Device::memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
                               StreamId stream) {
   const auto span = memory_.resolve(dst, src.size());
   std::copy(src.begin(), src.end(), span.begin());
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + copy_time(src.size());
   stats_.bytes_h2d += src.size();
@@ -83,7 +91,7 @@ void Device::memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
                               StreamId stream) {
   const auto span = memory_.resolve(src, dst.size());
   std::copy(span.begin(), span.end(), dst.begin());
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + copy_time(dst.size());
   stats_.bytes_d2h += dst.size();
@@ -109,7 +117,7 @@ ModuleId Device::load_module(std::span<const std::uint8_t> image) {
   // Charge load time: metadata parse + code upload over PCIe.
   clock_->advance(50 * sim::kMicrosecond + copy_time(image.size()));
 
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const ModuleId id = next_id_++;
   modules_.emplace(id, std::move(mod));
   ++stats_.modules_loaded;
@@ -117,7 +125,7 @@ ModuleId Device::load_module(std::span<const std::uint8_t> image) {
 }
 
 void Device::unload_module(ModuleId mod) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = modules_.find(mod);
   if (it == modules_.end()) throw DeviceError("unload of unknown module");
   for (const auto& [name, addr] : it->second.globals) memory_.free(addr);
@@ -132,7 +140,7 @@ void Device::unload_module(ModuleId mod) {
 }
 
 FuncId Device::get_function(ModuleId mod, const std::string& name) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = modules_.find(mod);
   if (it == modules_.end()) throw DeviceError("unknown module handle");
   const auto* desc = it->second.image.find_kernel(name);
@@ -143,7 +151,7 @@ FuncId Device::get_function(ModuleId mod, const std::string& name) {
 }
 
 DevPtr Device::get_global(ModuleId mod, const std::string& name) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = modules_.find(mod);
   if (it == modules_.end()) throw DeviceError("unknown module handle");
   const auto git = it->second.globals.find(name);
@@ -153,7 +161,7 @@ DevPtr Device::get_global(ModuleId mod, const std::string& name) {
 }
 
 const fatbin::KernelDescriptor& Device::function_desc(FuncId fn) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = functions_.find(fn);
   if (it == functions_.end()) throw DeviceError("unknown function handle");
   return *it->second.desc;
@@ -178,7 +186,7 @@ sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
                           std::span<const std::uint8_t> params) {
   const fatbin::KernelDescriptor* desc;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     const auto it = functions_.find(fn);
     if (it == functions_.end()) throw DeviceError("unknown function handle");
     desc = it->second.desc;
@@ -198,13 +206,13 @@ sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
 
   const KernelFunc impl = registry_->find(desc->name);
   LaunchContext ctx(*desc, grid, block, shared_bytes, params, memory_, *pool_,
-                    timing_only_);
+                    timing_only());
   impl(ctx);  // real computation happens here (unless timing-only)
 
   // Host pays the submission latency; the device timeline absorbs execution.
   clock_->advance(props_.launch_latency_ns);
   const sim::Nanos exec = exec_time(ctx);
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + exec;
   ++stats_.kernels_launched;
@@ -226,7 +234,7 @@ void Device::charge_internal_kernel(StreamId stream, double flops,
                                sim::kMicrosecond,
                            static_cast<sim::Nanos>(std::max(t_flops, t_mem) *
                                                    1e9));
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + exec;
   stats_.kernels_launched += launches;
@@ -235,7 +243,7 @@ void Device::charge_internal_kernel(StreamId stream, double flops,
 // ------------------------- checkpoint / restart -----------------------------
 
 DeviceSnapshot Device::snapshot() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   DeviceSnapshot snap;
   snap.next_id = next_id_;
   for (const auto& [addr, size] : memory_.live()) {
@@ -263,7 +271,7 @@ DeviceSnapshot Device::snapshot() const {
 }
 
 void Device::restore(const DeviceSnapshot& snap) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (memory_.allocation_count() != 0 || !modules_.empty() ||
       !events_.empty() || streams_.size() != 1)
     throw DeviceError("restore requires a pristine device");
@@ -307,7 +315,7 @@ std::int64_t& Device::stream_finish(StreamId stream) {
 }
 
 StreamId Device::stream_create() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const StreamId id = next_id_++;
   streams_.emplace(id, 0);
   return id;
@@ -316,14 +324,14 @@ StreamId Device::stream_create() {
 void Device::stream_destroy(StreamId stream) {
   if (stream == kDefaultStream)
     throw DeviceError("cannot destroy the default stream");
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (streams_.erase(stream) == 0) throw DeviceError("unknown stream");
 }
 
 void Device::stream_synchronize(StreamId stream) {
   std::int64_t finish;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     finish = stream_finish(stream);
   }
   const auto now = clock_->now();
@@ -333,7 +341,7 @@ void Device::stream_synchronize(StreamId stream) {
 void Device::device_synchronize() {
   std::int64_t finish = 0;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     for (const auto& [id, f] : streams_) finish = std::max(finish, f);
   }
   const auto now = clock_->now();
@@ -341,14 +349,14 @@ void Device::device_synchronize() {
 }
 
 std::int64_t Device::stream_completion_time(StreamId stream) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = streams_.find(stream);
   if (it == streams_.end()) throw DeviceError("unknown stream");
   return it->second;
 }
 
 void Device::stream_wait_event(StreamId stream, EventId event) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = events_.find(event);
   if (it == events_.end()) throw DeviceError("unknown event");
   auto& finish = stream_finish(stream);
@@ -356,19 +364,19 @@ void Device::stream_wait_event(StreamId stream, EventId event) {
 }
 
 EventId Device::event_create() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const EventId id = next_id_++;
   events_.emplace(id, -1);
   return id;
 }
 
 void Device::event_destroy(EventId event) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (events_.erase(event) == 0) throw DeviceError("unknown event");
 }
 
 void Device::event_record(EventId event, StreamId stream) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = events_.find(event);
   if (it == events_.end()) throw DeviceError("unknown event");
   it->second = std::max(stream_finish(stream), clock_->now());
@@ -377,7 +385,7 @@ void Device::event_record(EventId event, StreamId stream) {
 void Device::event_synchronize(EventId event) {
   std::int64_t ts;
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     const auto it = events_.find(event);
     if (it == events_.end()) throw DeviceError("unknown event");
     if (it->second < 0) return;  // never recorded: CUDA treats as complete
@@ -388,7 +396,7 @@ void Device::event_synchronize(EventId event) {
 }
 
 float Device::event_elapsed_ms(EventId start, EventId stop) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto a = events_.find(start);
   const auto b = events_.find(stop);
   if (a == events_.end() || b == events_.end())

@@ -8,10 +8,10 @@
 // what the paper's measurements are about.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,6 +21,7 @@
 #include "gpusim/kernel.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/thread_pool.hpp"
+#include "sim/annotations.hpp"
 #include "sim/sim_clock.hpp"
 
 namespace cricket::gpusim {
@@ -87,26 +88,33 @@ class Device {
   void free(DevPtr ptr);
   void memset(DevPtr ptr, int value, std::uint64_t len);
   /// Synchronous copies: wait for the device, move bytes, charge PCIe time.
-  void memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src);
-  void memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src);
-  void memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len);
+  void memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src)
+      CRICKET_EXCLUDES(mu_);
+  void memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src)
+      CRICKET_EXCLUDES(mu_);
+  void memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len)
+      CRICKET_EXCLUDES(mu_);
   /// Async copies: charged to the stream timeline instead of blocking.
   void memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
-                        StreamId stream);
+                        StreamId stream) CRICKET_EXCLUDES(mu_);
   void memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
-                        StreamId stream);
+                        StreamId stream) CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] MemoryManager& memory() noexcept { return memory_; }
 
   // ------------------------------- modules -------------------------------
   /// Loads a cubin/fatbin image (possibly compressed); allocates + initializes
   /// module globals in device memory.
-  [[nodiscard]] ModuleId load_module(std::span<const std::uint8_t> image);
-  void unload_module(ModuleId mod);
-  [[nodiscard]] FuncId get_function(ModuleId mod, const std::string& name);
+  [[nodiscard]] ModuleId load_module(std::span<const std::uint8_t> image)
+      CRICKET_EXCLUDES(mu_);
+  void unload_module(ModuleId mod) CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] FuncId get_function(ModuleId mod, const std::string& name)
+      CRICKET_EXCLUDES(mu_);
   /// Device address of a module __device__ global.
-  [[nodiscard]] DevPtr get_global(ModuleId mod, const std::string& name);
-  [[nodiscard]] const fatbin::KernelDescriptor& function_desc(FuncId fn) const;
+  [[nodiscard]] DevPtr get_global(ModuleId mod, const std::string& name)
+      CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] const fatbin::KernelDescriptor& function_desc(FuncId fn) const
+      CRICKET_EXCLUDES(mu_);
 
   // ------------------------------- launch --------------------------------
   /// Validates geometry and parameters against the kernel descriptor, runs
@@ -115,55 +123,66 @@ class Device {
   /// (used by the Cricket scheduler for per-session accounting).
   sim::Nanos launch(FuncId fn, Dim3 grid, Dim3 block,
                     std::uint32_t shared_bytes, StreamId stream,
-                    std::span<const std::uint8_t> params);
+                    std::span<const std::uint8_t> params)
+      CRICKET_EXCLUDES(mu_);
 
   /// Charges the timeline for work executed by an internal library routine
   /// (culibs GEMM/LU run device-side as fused kernels): `launches` kernel
   /// submissions plus roofline execution for the given flops/bytes.
-  void charge_internal_kernel(StreamId stream, double flops,
-                              double dram_bytes, std::uint64_t launches = 1);
+  void charge_internal_kernel(StreamId stream, double flops, double dram_bytes,
+                              std::uint64_t launches = 1)
+      CRICKET_EXCLUDES(mu_);
 
   // --------------------------- streams & events --------------------------
-  [[nodiscard]] StreamId stream_create();
-  void stream_destroy(StreamId stream);
+  [[nodiscard]] StreamId stream_create() CRICKET_EXCLUDES(mu_);
+  void stream_destroy(StreamId stream) CRICKET_EXCLUDES(mu_);
   /// Blocks (virtually) until the stream's queued work completes.
-  void stream_synchronize(StreamId stream);
-  void device_synchronize();
+  void stream_synchronize(StreamId stream) CRICKET_EXCLUDES(mu_);
+  void device_synchronize() CRICKET_EXCLUDES(mu_);
   /// cudaStreamWaitEvent: subsequent work on `stream` starts no earlier
   /// than the event's recorded timestamp (cross-stream dependency).
-  void stream_wait_event(StreamId stream, EventId event);
+  void stream_wait_event(StreamId stream, EventId event) CRICKET_EXCLUDES(mu_);
 
   /// Virtual timestamp at which `stream`'s queued work completes (used by
   /// the Cricket scheduler to attribute device time to sessions).
-  [[nodiscard]] std::int64_t stream_completion_time(StreamId stream) const;
+  [[nodiscard]] std::int64_t stream_completion_time(StreamId stream) const
+      CRICKET_EXCLUDES(mu_);
 
-  [[nodiscard]] EventId event_create();
-  void event_destroy(EventId event);
+  [[nodiscard]] EventId event_create() CRICKET_EXCLUDES(mu_);
+  void event_destroy(EventId event) CRICKET_EXCLUDES(mu_);
   /// Captures the stream's completion timestamp at record time.
-  void event_record(EventId event, StreamId stream);
-  void event_synchronize(EventId event);
+  void event_record(EventId event, StreamId stream) CRICKET_EXCLUDES(mu_);
+  void event_synchronize(EventId event) CRICKET_EXCLUDES(mu_);
   /// Milliseconds of virtual device time between two recorded events.
-  [[nodiscard]] float event_elapsed_ms(EventId start, EventId stop) const;
+  [[nodiscard]] float event_elapsed_ms(EventId start, EventId stop) const
+      CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
-  [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
+  /// Returns a snapshot copy: callers may race with in-flight launches, so
+  /// handing out a reference to the guarded struct would be a data race.
+  [[nodiscard]] DeviceStats stats() const CRICKET_EXCLUDES(mu_);
   [[nodiscard]] sim::SimClock& clock() noexcept { return *clock_; }
 
   /// Timing-only launches: kernels skip arithmetic but charge modelled cost.
-  /// See LaunchContext::timing_only.
-  void set_timing_only(bool value) noexcept { timing_only_ = value; }
-  [[nodiscard]] bool timing_only() const noexcept { return timing_only_; }
+  /// See LaunchContext::timing_only. Atomic: benchmarks flip it while the
+  /// serving thread is mid-launch.
+  void set_timing_only(bool value) noexcept {
+    timing_only_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool timing_only() const noexcept {
+    return timing_only_.load(std::memory_order_relaxed);
+  }
 
   // ---------------------- checkpoint / restart support --------------------
   /// Captures the complete device state: live allocations with contents,
   /// loaded modules, resolved functions, streams, events, and the handle
   /// counter — everything needed for Cricket checkpoint/restart (the paper's
   /// §1/§5 capability).
-  [[nodiscard]] struct DeviceSnapshot snapshot() const;
+  [[nodiscard]] struct DeviceSnapshot snapshot() const CRICKET_EXCLUDES(mu_);
   /// Restores a snapshot into this device. The device must be pristine (no
   /// allocations, modules, or non-default streams); handles and device
   /// pointers held by clients stay valid afterwards.
-  void restore(const struct DeviceSnapshot& snap);
+  void restore(const struct DeviceSnapshot& snap) CRICKET_EXCLUDES(mu_);
 
  private:
   struct Module {
@@ -177,7 +196,7 @@ class Device {
 
   [[nodiscard]] sim::Nanos copy_time(std::uint64_t bytes) const noexcept;
   [[nodiscard]] sim::Nanos exec_time(const LaunchContext& ctx) const noexcept;
-  std::int64_t& stream_finish(StreamId stream);
+  std::int64_t& stream_finish(StreamId stream) CRICKET_REQUIRES(mu_);
 
   DeviceProps props_;
   sim::SimClock* clock_;
@@ -185,14 +204,16 @@ class Device {
   ThreadPool* pool_;
   MemoryManager memory_;
 
-  mutable std::mutex mu_;
-  std::map<ModuleId, Module> modules_;
-  std::map<FuncId, Function> functions_;
-  std::map<StreamId, std::int64_t> streams_;  // stream -> finish timestamp
-  std::map<EventId, std::int64_t> events_;    // event -> recorded timestamp
-  std::uint64_t next_id_ = 1;
-  DeviceStats stats_;
-  bool timing_only_ = false;
+  mutable sim::Mutex mu_;
+  std::map<ModuleId, Module> modules_ CRICKET_GUARDED_BY(mu_);
+  std::map<FuncId, Function> functions_ CRICKET_GUARDED_BY(mu_);
+  // stream -> finish timestamp
+  std::map<StreamId, std::int64_t> streams_ CRICKET_GUARDED_BY(mu_);
+  // event -> recorded timestamp
+  std::map<EventId, std::int64_t> events_ CRICKET_GUARDED_BY(mu_);
+  std::uint64_t next_id_ CRICKET_GUARDED_BY(mu_) = 1;
+  DeviceStats stats_ CRICKET_GUARDED_BY(mu_);
+  std::atomic<bool> timing_only_{false};
 };
 
 }  // namespace cricket::gpusim

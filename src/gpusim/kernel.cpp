@@ -3,12 +3,12 @@
 namespace cricket::gpusim {
 
 void KernelRegistry::register_kernel(const std::string& name, KernelFunc fn) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   kernels_[name] = std::move(fn);
 }
 
 KernelFunc KernelRegistry::find(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = kernels_.find(name);
   if (it == kernels_.end())
     throw LaunchError("no kernel implementation registered for '" + name +
@@ -17,12 +17,12 @@ KernelFunc KernelRegistry::find(const std::string& name) const {
 }
 
 bool KernelRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return kernels_.contains(name);
 }
 
 std::size_t KernelRegistry::size() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return kernels_.size();
 }
 

@@ -13,7 +13,6 @@
 #include <cstring>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -21,6 +20,7 @@
 #include "fatbin/cubin.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/thread_pool.hpp"
+#include "sim/annotations.hpp"
 
 namespace cricket::gpusim {
 
@@ -135,18 +135,21 @@ class KernelRegistry {
  public:
   /// Registering the same name twice replaces the implementation (mirrors
   /// module reloading).
-  void register_kernel(const std::string& name, KernelFunc fn);
+  void register_kernel(const std::string& name, KernelFunc fn)
+      CRICKET_EXCLUDES(mu_);
 
   /// Returns the implementation or throws LaunchError (the moral equivalent
   /// of CUDA_ERROR_NOT_FOUND at cuModuleGetFunction time).
-  [[nodiscard]] KernelFunc find(const std::string& name) const;
+  [[nodiscard]] KernelFunc find(const std::string& name) const
+      CRICKET_EXCLUDES(mu_);
 
-  [[nodiscard]] bool contains(const std::string& name) const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool contains(const std::string& name) const
+      CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t size() const CRICKET_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, KernelFunc> kernels_;
+  mutable sim::Mutex mu_;
+  std::map<std::string, KernelFunc> kernels_ CRICKET_GUARDED_BY(mu_);
 };
 
 }  // namespace cricket::gpusim

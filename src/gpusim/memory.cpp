@@ -13,7 +13,7 @@ DevPtr MemoryManager::allocate(std::uint64_t size) {
   if (size == 0) throw MemoryError("zero-byte device allocation");
   const std::uint64_t padded =
       (size + kGranularity - 1) / kGranularity * kGranularity;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     if (it->second < padded) continue;
     const DevPtr addr = it->first;
@@ -35,7 +35,7 @@ void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
   if (size == 0) throw MemoryError("zero-byte device allocation");
   const std::uint64_t padded =
       (size + kGranularity - 1) / kGranularity * kGranularity;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   // Find the free hole containing [ptr, ptr + padded).
   auto it = free_.upper_bound(ptr);
   if (it == free_.begin()) throw MemoryError("address not in a free hole");
@@ -57,7 +57,7 @@ void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
 }
 
 void MemoryManager::free(DevPtr ptr) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto it = allocs_.find(ptr);
   if (it == allocs_.end())
     throw MemoryError("free of invalid or already-freed device pointer");
@@ -86,7 +86,7 @@ void MemoryManager::free(DevPtr ptr) {
 }
 
 std::span<std::uint8_t> MemoryManager::resolve(DevPtr ptr, std::uint64_t len) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   auto it = allocs_.upper_bound(ptr);
   if (it == allocs_.begin())
     throw MemoryError("device pointer outside any allocation");
@@ -108,17 +108,17 @@ void MemoryManager::memset(DevPtr ptr, int value, std::uint64_t len) {
 }
 
 std::uint64_t MemoryManager::bytes_in_use() const noexcept {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return in_use_;
 }
 
 std::size_t MemoryManager::allocation_count() const noexcept {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return allocs_.size();
 }
 
 std::vector<std::pair<DevPtr, std::uint64_t>> MemoryManager::live() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   std::vector<std::pair<DevPtr, std::uint64_t>> out;
   out.reserve(allocs_.size());
   for (const auto& [addr, a] : allocs_) out.emplace_back(addr, a.size);

@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "sim/annotations.hpp"
 
 namespace cricket::gpusim {
 
@@ -39,31 +40,36 @@ class MemoryManager {
 
   /// Allocates `size` bytes (rounded up to 256-byte granularity, like the
   /// CUDA allocator). Throws OutOfMemory when it does not fit.
-  [[nodiscard]] DevPtr allocate(std::uint64_t size);
+  [[nodiscard]] DevPtr allocate(std::uint64_t size) CRICKET_EXCLUDES(mu_);
 
   /// Places an allocation at an exact device address (checkpoint restore:
   /// client-held pointers must stay valid). Throws MemoryError if the range
   /// is not entirely inside one free hole.
-  void allocate_at(DevPtr ptr, std::uint64_t size);
+  void allocate_at(DevPtr ptr, std::uint64_t size) CRICKET_EXCLUDES(mu_);
 
   /// Frees an allocation; `ptr` must be the exact value returned by
   /// allocate. Double-free or a bogus pointer throws MemoryError.
-  void free(DevPtr ptr);
+  void free(DevPtr ptr) CRICKET_EXCLUDES(mu_);
 
   /// Resolves [ptr, ptr+len) to backing storage; the range must lie inside
   /// one live allocation (CUDA forbids cross-allocation arithmetic too).
-  [[nodiscard]] std::span<std::uint8_t> resolve(DevPtr ptr, std::uint64_t len);
+  [[nodiscard]] std::span<std::uint8_t> resolve(DevPtr ptr, std::uint64_t len)
+      CRICKET_EXCLUDES(mu_);
   [[nodiscard]] std::span<const std::uint8_t> resolve(DevPtr ptr,
-                                                      std::uint64_t len) const;
+                                                      std::uint64_t len) const
+      CRICKET_EXCLUDES(mu_);
 
-  void memset(DevPtr ptr, int value, std::uint64_t len);
+  void memset(DevPtr ptr, int value, std::uint64_t len) CRICKET_EXCLUDES(mu_);
 
-  [[nodiscard]] std::uint64_t bytes_in_use() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_in_use() const noexcept
+      CRICKET_EXCLUDES(mu_);
   [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t allocation_count() const noexcept;
+  [[nodiscard]] std::size_t allocation_count() const noexcept
+      CRICKET_EXCLUDES(mu_);
 
   /// Enumerates live allocations (pointer, size) — used by checkpoint.
-  [[nodiscard]] std::vector<std::pair<DevPtr, std::uint64_t>> live() const;
+  [[nodiscard]] std::vector<std::pair<DevPtr, std::uint64_t>> live() const
+      CRICKET_EXCLUDES(mu_);
 
   static constexpr std::uint64_t kGranularity = 256;
 
@@ -76,11 +82,11 @@ class MemoryManager {
 
   // Both maps are keyed by device address. free_ maps start -> length of a
   // free hole; coalescing happens on free().
-  mutable std::mutex mu_;
-  std::map<DevPtr, Allocation> allocs_;
-  std::map<DevPtr, std::uint64_t> free_;
+  mutable sim::Mutex mu_;
+  std::map<DevPtr, Allocation> allocs_ CRICKET_GUARDED_BY(mu_);
+  std::map<DevPtr, std::uint64_t> free_ CRICKET_GUARDED_BY(mu_);
   std::uint64_t capacity_;
-  std::uint64_t in_use_ = 0;
+  std::uint64_t in_use_ CRICKET_GUARDED_BY(mu_) = 0;
   DevPtr base_;
 };
 

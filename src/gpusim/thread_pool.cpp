@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -35,8 +35,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      sim::MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mu_);
       if (tasks_.empty()) return;  // stopping and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -53,9 +53,9 @@ void ThreadPool::parallel_for_chunks(
 
   std::atomic<std::size_t> remaining{0};
   std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  sim::Mutex err_mu;
+  sim::Mutex done_mu;
+  sim::CondVar done_cv;
 
   std::size_t launched = 0;
   for (std::size_t begin = 0; begin < n; begin += chunk) {
@@ -66,20 +66,24 @@ void ThreadPool::parallel_for_chunks(
       try {
         fn(begin, end);
       } catch (...) {
-        std::lock_guard lock(err_mu);
+        sim::MutexLock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mu);
+        sim::MutexLock lock(done_mu);
         done_cv.notify_all();
       }
     });
   }
   (void)launched;
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&] {
-    return remaining.load(std::memory_order_acquire) == 0;
-  });
+  {
+    sim::MutexLock lock(done_mu);
+    while (remaining.load(std::memory_order_acquire) != 0) done_cv.wait(done_mu);
+  }
+  // All workers are past their err_mu sections once remaining hits zero, but
+  // take the lock anyway: the happens-before chain through `remaining` is too
+  // subtle to lean on, and the uncontended acquire is free.
+  sim::MutexLock lock(err_mu);
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -2,13 +2,13 @@
 // execution engine to spread grid work across host cores.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "sim/annotations.hpp"
 
 namespace cricket::gpusim {
 
@@ -33,14 +33,14 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  void enqueue(std::function<void()> task) CRICKET_EXCLUDES(mu_);
+  void worker_loop() CRICKET_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  sim::Mutex mu_;
+  sim::CondVar cv_;
+  std::queue<std::function<void()>> tasks_ CRICKET_GUARDED_BY(mu_);
+  bool stopping_ CRICKET_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cricket::gpusim

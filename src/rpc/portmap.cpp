@@ -19,7 +19,7 @@ void xdr_decode(xdr::Decoder& dec, PmapMapping& m) {
 }
 
 bool Portmapper::set(const PmapMapping& mapping) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   // RFC 1833: SET fails if a mapping for (prog, vers, prot) already exists.
   for (const auto& m : mappings_)
     if (m.prog == mapping.prog && m.vers == mapping.vers &&
@@ -30,7 +30,7 @@ bool Portmapper::set(const PmapMapping& mapping) {
 }
 
 bool Portmapper::unset(std::uint32_t prog, std::uint32_t vers) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const auto old_size = mappings_.size();
   std::erase_if(mappings_, [&](const PmapMapping& m) {
     return m.prog == prog && m.vers == vers;
@@ -40,14 +40,14 @@ bool Portmapper::unset(std::uint32_t prog, std::uint32_t vers) {
 
 std::uint32_t Portmapper::getport(std::uint32_t prog, std::uint32_t vers,
                                   std::uint32_t prot) const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (const auto& m : mappings_)
     if (m.prog == prog && m.vers == vers && m.prot == prot) return m.port;
   return 0;
 }
 
 std::vector<PmapMapping> Portmapper::dump() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return mappings_;
 }
 

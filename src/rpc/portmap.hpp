@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
+#include "sim/annotations.hpp"
 
 namespace cricket::rpc {
 
@@ -49,15 +49,16 @@ class Portmapper {
   void register_into(ServiceRegistry& registry);
 
   // Direct (in-process) access, used by servers co-located with the mapper.
-  bool set(const PmapMapping& mapping);
-  bool unset(std::uint32_t prog, std::uint32_t vers);
+  bool set(const PmapMapping& mapping) CRICKET_EXCLUDES(mu_);
+  bool unset(std::uint32_t prog, std::uint32_t vers) CRICKET_EXCLUDES(mu_);
   [[nodiscard]] std::uint32_t getport(std::uint32_t prog, std::uint32_t vers,
-                                      std::uint32_t prot) const;
-  [[nodiscard]] std::vector<PmapMapping> dump() const;
+                                      std::uint32_t prot) const
+      CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<PmapMapping> dump() const CRICKET_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<PmapMapping> mappings_;
+  mutable sim::Mutex mu_;
+  std::vector<PmapMapping> mappings_ CRICKET_GUARDED_BY(mu_);
 };
 
 /// Client-side helpers speaking the wire protocol against a remote mapper.

@@ -1,6 +1,5 @@
 #include "rpc/server.hpp"
 
-#include <condition_variable>
 #include <deque>
 
 namespace cricket::rpc {
@@ -65,7 +64,7 @@ class PipelinedConnection {
                       const ServeOptions& options)
       : registry_(&registry), transport_(&transport), options_(options) {}
 
-  void run() {
+  void run() CRICKET_EXCLUDES(mu_) {
     for (std::uint32_t i = 0; i < options_.workers; ++i)
       workers_.emplace_back([this] { worker_loop(); });
     std::thread writer([this] { writer_loop(); });
@@ -73,13 +72,13 @@ class PipelinedConnection {
     read_loop();
 
     {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       intake_done_ = true;
     }
     work_cv_.notify_all();
     for (auto& w : workers_) w.join();
     {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       workers_done_ = true;
     }
     reply_cv_.notify_all();
@@ -87,7 +86,7 @@ class PipelinedConnection {
   }
 
  private:
-  void read_loop() {
+  void read_loop() CRICKET_EXCLUDES(mu_) {
     BufferedRecordReader reader(*transport_);
     std::vector<std::uint8_t> record;
     for (;;) {
@@ -102,10 +101,9 @@ class PipelinedConnection {
       } catch (const std::exception&) {
         continue;  // not parseable as a call: drop it
       }
-      std::unique_lock lock(mu_);
-      slots_cv_.wait(lock, [this] {
-        return in_flight_ < options_.max_in_flight || write_failed_;
-      });
+      sim::MutexLock lock(mu_);
+      while (in_flight_ >= options_.max_in_flight && !write_failed_)
+        slots_cv_.wait(mu_);
       if (write_failed_) return;
       ++in_flight_;
       queue_.push_back(std::move(call));
@@ -114,12 +112,11 @@ class PipelinedConnection {
     }
   }
 
-  void worker_loop() {
+  void worker_loop() CRICKET_EXCLUDES(mu_) {
     for (;;) {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return !queue_.empty() || intake_done_ || write_failed_;
-      });
+      sim::MutexLock lock(mu_);
+      while (queue_.empty() && !intake_done_ && !write_failed_)
+        work_cv_.wait(mu_);
       if (queue_.empty()) return;  // intake done or writer dead: drain over
       CallMsg call = std::move(queue_.front());
       queue_.pop_front();
@@ -132,16 +129,15 @@ class PipelinedConnection {
     }
   }
 
-  void writer_loop() {
+  void writer_loop() CRICKET_EXCLUDES(mu_) {
     RecordWriter writer(*transport_, options_.max_fragment);
     std::vector<std::vector<std::uint8_t>> batch;
     std::vector<std::uint8_t> wire;
     for (;;) {
       {
-        std::unique_lock lock(mu_);
-        reply_cv_.wait(lock, [this] {
-          return !ready_.empty() || (workers_done_ && queue_.empty());
-        });
+        sim::MutexLock lock(mu_);
+        while (ready_.empty() && !(workers_done_ && queue_.empty()))
+          reply_cv_.wait(mu_);
         if (ready_.empty()) return;  // drained and no more producers
         batch.swap(ready_);
       }
@@ -155,14 +151,14 @@ class PipelinedConnection {
           for (const auto& r : batch) writer.write_record(r);
         }
       } catch (const TransportError&) {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         write_failed_ = true;
         slots_cv_.notify_all();
         work_cv_.notify_all();
         return;
       }
       {
-        std::lock_guard lock(mu_);
+        sim::MutexLock lock(mu_);
         in_flight_ -= static_cast<std::uint32_t>(batch.size());
       }
       slots_cv_.notify_all();
@@ -174,17 +170,19 @@ class PipelinedConnection {
   Transport* transport_;
   ServeOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: calls available
-  std::condition_variable reply_cv_;  // writer: replies available
-  std::condition_variable slots_cv_;  // reader: in-flight slots free
-  std::deque<CallMsg> queue_;
-  std::vector<std::vector<std::uint8_t>> ready_;  // encoded reply records
-  std::vector<std::thread> workers_;
-  std::uint32_t in_flight_ = 0;  // decoded but not yet written
-  bool intake_done_ = false;
-  bool workers_done_ = false;
-  bool write_failed_ = false;
+  sim::Mutex mu_;
+  sim::CondVar work_cv_;   // workers: calls available
+  sim::CondVar reply_cv_;  // writer: replies available
+  sim::CondVar slots_cv_;  // reader: in-flight slots free
+  std::deque<CallMsg> queue_ CRICKET_GUARDED_BY(mu_);
+  // Encoded reply records awaiting the writer.
+  std::vector<std::vector<std::uint8_t>> ready_ CRICKET_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // touched by run() only
+  // Decoded but not yet written.
+  std::uint32_t in_flight_ CRICKET_GUARDED_BY(mu_) = 0;
+  bool intake_done_ CRICKET_GUARDED_BY(mu_) = false;
+  bool workers_done_ CRICKET_GUARDED_BY(mu_) = false;
+  bool write_failed_ CRICKET_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace
@@ -258,7 +256,7 @@ void TcpRpcServer::accept_loop() {
   for (;;) {
     auto conn = listener_->accept();
     if (!conn || stopping_.load()) return;
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     workers_.emplace_back(
         [this, c = std::shared_ptr<TcpTransport>(std::move(conn))] {
           serve_transport(*registry_, *c, options_);
@@ -270,7 +268,7 @@ void TcpRpcServer::stop() {
   if (stopping_.exchange(true)) return;
   listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (auto& w : workers_)
     if (w.joinable()) w.join();
   workers_.clear();

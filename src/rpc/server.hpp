@@ -12,7 +12,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "rpc/record.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "rpc/transport.hpp"
+#include "sim/annotations.hpp"
 #include "xdr/xdr.hpp"
 
 namespace cricket::rpc {
@@ -126,17 +126,17 @@ class TcpRpcServer {
   TcpRpcServer& operator=(const TcpRpcServer&) = delete;
 
   [[nodiscard]] std::uint16_t port() const noexcept;
-  void stop();
+  void stop() CRICKET_EXCLUDES(mu_);
 
  private:
-  void accept_loop();
+  void accept_loop() CRICKET_EXCLUDES(mu_);
 
   const ServiceRegistry* registry_;
   std::unique_ptr<TcpListener> listener_;
   ServeOptions options_;
   std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> workers_;
+  sim::Mutex mu_;
+  std::vector<std::thread> workers_ CRICKET_GUARDED_BY(mu_);
   std::atomic<bool> stopping_{false};
 };
 

@@ -25,8 +25,8 @@ void Transport::recv_exact(std::span<std::uint8_t> out) {
 void ByteQueue::push(std::span<const std::uint8_t> data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || fifo_.size() < capacity_; });
+    sim::MutexLock lock(mu_);
+    while (!closed_ && fifo_.size() >= capacity_) cv_.wait(mu_);
     if (closed_) throw TransportError("pipe closed");
     const std::size_t room = capacity_ - fifo_.size();
     const std::size_t n = std::min(room, data.size() - off);
@@ -38,8 +38,8 @@ void ByteQueue::push(std::span<const std::uint8_t> data) {
 }
 
 std::size_t ByteQueue::pop(std::span<std::uint8_t> out) {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !fifo_.empty(); });
+  sim::MutexLock lock(mu_);
+  while (!closed_ && fifo_.empty()) cv_.wait(mu_);
   if (fifo_.empty()) return 0;  // closed and drained
   const std::size_t n = std::min(out.size(), fifo_.size());
   std::copy_n(fifo_.begin(), n, out.begin());
@@ -49,7 +49,7 @@ std::size_t ByteQueue::pop(std::span<std::uint8_t> out) {
 }
 
 void ByteQueue::close() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }

@@ -11,15 +11,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "sim/annotations.hpp"
 
 namespace cricket::rpc {
 
@@ -58,17 +58,17 @@ class ByteQueue {
   explicit ByteQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Blocks while full. Throws TransportError if closed.
-  void push(std::span<const std::uint8_t> data);
+  void push(std::span<const std::uint8_t> data) CRICKET_EXCLUDES(mu_);
   /// Blocks while empty and open; returns bytes read (0 = closed and drained).
-  std::size_t pop(std::span<std::uint8_t> out);
-  void close();
+  std::size_t pop(std::span<std::uint8_t> out) CRICKET_EXCLUDES(mu_);
+  void close() CRICKET_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::uint8_t> fifo_;
+  sim::Mutex mu_;
+  sim::CondVar cv_;
+  std::deque<std::uint8_t> fifo_ CRICKET_GUARDED_BY(mu_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ CRICKET_GUARDED_BY(mu_) = false;
 };
 
 /// In-process duplex transport; create pairs with `make_pipe_pair`.

@@ -13,7 +13,7 @@ CallBatcher::CallBatcher(rpc::Transport& transport, Options options,
 
 CallBatcher::~CallBatcher() {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     stopping_ = true;
     // Best effort: don't strand buffered calls whose futures are pending.
     if (!buf_.empty() && !failed_) {
@@ -29,7 +29,7 @@ CallBatcher::~CallBatcher() {
 }
 
 void CallBatcher::append(std::span<const std::uint8_t> record) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (failed_) throw rpc::TransportError("batcher transport already failed");
   rpc::append_record_marked(buf_, record, max_fragment_);
   ++stats_.records;
@@ -44,14 +44,14 @@ void CallBatcher::append(std::span<const std::uint8_t> record) {
 }
 
 void CallBatcher::flush() {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (buf_.empty()) return;
   if (failed_) throw rpc::TransportError("batcher transport already failed");
   flush_locked(Cause::kExplicit);
 }
 
 CallBatcher::Stats CallBatcher::stats() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -77,15 +77,15 @@ void CallBatcher::flush_locked(Cause cause) {
 }
 
 void CallBatcher::deadline_loop() {
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stopping_ || buffered_calls_ > 0; });
+    while (!stopping_ && buffered_calls_ == 0) cv_.wait(mu_);
     if (stopping_) return;
     const auto wake = oldest_ + options_.deadline;
-    cv_.wait_until(lock, wake, [this, wake] {
-      return stopping_ || buffered_calls_ == 0 ||
-             std::chrono::steady_clock::now() >= wake;
-    });
+    while (!stopping_ && buffered_calls_ > 0 &&
+           std::chrono::steady_clock::now() < wake) {
+      if (cv_.wait_until(mu_, wake) == std::cv_status::timeout) break;
+    }
     if (stopping_) return;
     if (buffered_calls_ > 0 &&
         std::chrono::steady_clock::now() >= oldest_ + options_.deadline &&

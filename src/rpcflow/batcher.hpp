@@ -10,15 +10,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "rpc/record.hpp"
 #include "rpc/transport.hpp"
+#include "sim/annotations.hpp"
 
 namespace cricket::rpcflow {
 
@@ -58,32 +57,32 @@ class CallBatcher {
 
   /// Queues one RPC record; sends immediately when batching is disabled or a
   /// full-threshold is crossed. Throws TransportError if the transport died.
-  void append(std::span<const std::uint8_t> record);
+  void append(std::span<const std::uint8_t> record) CRICKET_EXCLUDES(mu_);
 
   /// Sends whatever is buffered now. Safe to call with an empty buffer.
-  void flush();
+  void flush() CRICKET_EXCLUDES(mu_);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const CRICKET_EXCLUDES(mu_);
 
  private:
   enum class Cause { kFull, kDeadline, kExplicit };
 
-  /// Pre: mu_ held. Sends buf_ as one transport write.
-  void flush_locked(Cause cause);
-  void deadline_loop();
+  /// Sends buf_ as one transport write.
+  void flush_locked(Cause cause) CRICKET_REQUIRES(mu_);
+  void deadline_loop() CRICKET_EXCLUDES(mu_);
 
   rpc::Transport* transport_;
   Options options_;
   std::uint32_t max_fragment_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // wakes the deadline flusher
-  std::vector<std::uint8_t> buf_;
-  std::uint32_t buffered_calls_ = 0;
-  std::chrono::steady_clock::time_point oldest_{};
-  bool failed_ = false;
-  bool stopping_ = false;
-  Stats stats_;
+  mutable sim::Mutex mu_;
+  sim::CondVar cv_;  // wakes the deadline flusher
+  std::vector<std::uint8_t> buf_ CRICKET_GUARDED_BY(mu_);
+  std::uint32_t buffered_calls_ CRICKET_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point oldest_ CRICKET_GUARDED_BY(mu_){};
+  bool failed_ CRICKET_GUARDED_BY(mu_) = false;
+  bool stopping_ CRICKET_GUARDED_BY(mu_) = false;
+  Stats stats_ CRICKET_GUARDED_BY(mu_);
   std::thread flusher_;
 };
 

@@ -70,7 +70,7 @@ AsyncRpcChannel::~AsyncRpcChannel() {
 }
 
 void AsyncRpcChannel::set_credential(rpc::OpaqueAuth cred) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   cred_ = std::move(cred);
 }
 
@@ -85,7 +85,7 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
   ReplyPromise promise;
   ReplyFuture future(promise.state());
   {
-    std::unique_lock lock(mu_);
+    sim::MutexLock lock(mu_);
     if (pending_.size() >=
         static_cast<std::size_t>(options_.max_outstanding)) {
       // The window is full of calls we may still be holding in the batcher;
@@ -93,10 +93,9 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
       lock.unlock();
       flush();
       lock.lock();
-      slots_cv_.wait(lock, [this] {
-        return dead_ || pending_.size() <
-                            static_cast<std::size_t>(options_.max_outstanding);
-      });
+      while (!dead_ && pending_.size() >=
+                           static_cast<std::size_t>(options_.max_outstanding))
+        slots_cv_.wait(mu_);
     }
     if (dead_) {
       promise.set_error(std::make_exception_ptr(
@@ -114,7 +113,7 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
   const auto record = rpc::encode_call(call);
   try {
     batcher_->append(record);
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     stats_.bytes_sent += record.size();
   } catch (const rpc::TransportError&) {
     // The reader will (or already did) fail every pending future, including
@@ -132,19 +131,19 @@ void AsyncRpcChannel::drain() {
     // The reader notices the dead transport and fails every pending future;
     // drain's contract is only "everything completed", which still holds.
   }
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   // fail_all_locked empties pending_ atomically with setting dead_, so this
   // terminates both on normal completion and on mid-pipeline failure.
-  slots_cv_.wait(lock, [this] { return pending_.empty(); });
+  while (!pending_.empty()) slots_cv_.wait(mu_);
 }
 
 std::uint32_t AsyncRpcChannel::outstanding() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return static_cast<std::uint32_t>(pending_.size());
 }
 
 ChannelStats AsyncRpcChannel::stats() const {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -171,7 +170,7 @@ void AsyncRpcChannel::reader_loop() {
       reason = e.what();
     }
     if (!got) {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       if (dead_reason_.empty()) dead_reason_ = reason;
       fail_all_locked(std::make_exception_ptr(rpc::TransportError(
           "connection failed with calls in flight: " + reason)));
@@ -183,7 +182,7 @@ void AsyncRpcChannel::reader_loop() {
     try {
       reply = rpc::decode_reply(record);
     } catch (const std::exception&) {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       ++stats_.unmatched;  // garbage record; not attributable to any call
       continue;
     }
@@ -191,7 +190,7 @@ void AsyncRpcChannel::reader_loop() {
     ReplyPromise promise;
     bool matched = false;
     {
-      std::lock_guard lock(mu_);
+      sim::MutexLock lock(mu_);
       stats_.bytes_received += record.size();
       const auto it = pending_.find(reply.xid);
       if (it != pending_.end()) {
@@ -206,7 +205,7 @@ void AsyncRpcChannel::reader_loop() {
     if (matched) {
       if (auto error = reply_error(reply); error != nullptr) {
         {
-          std::lock_guard lock(mu_);
+          sim::MutexLock lock(mu_);
           ++stats_.failed;
         }
         promise.set_error(std::move(error));

@@ -62,14 +62,15 @@ class AsyncRpcChannel {
   AsyncRpcChannel(const AsyncRpcChannel&) = delete;
   AsyncRpcChannel& operator=(const AsyncRpcChannel&) = delete;
 
-  void set_credential(rpc::OpaqueAuth cred);
+  void set_credential(rpc::OpaqueAuth cred) CRICKET_EXCLUDES(mu_);
 
   /// Issues `proc` with pre-encoded arguments. Returns immediately with a
   /// future for the raw encoded results; blocks only while the pipeline is
   /// at max_outstanding. The future fails with RpcError for call-level
   /// errors and TransportError if the connection dies mid-pipeline.
   [[nodiscard]] ReplyFuture call_raw_async(std::uint32_t proc,
-                                           std::span<const std::uint8_t> args);
+                                           std::span<const std::uint8_t> args)
+      CRICKET_EXCLUDES(mu_);
 
   /// Typed pipelined call: XDR-encodes `args...`, decodes one `Res` at get().
   template <typename Res, typename... Args>
@@ -94,15 +95,15 @@ class AsyncRpcChannel {
 
   /// Flushes, then blocks until every outstanding call has completed
   /// (successfully or not). The pipeline's sync point.
-  void drain();
+  void drain() CRICKET_EXCLUDES(mu_);
 
-  [[nodiscard]] std::uint32_t outstanding() const;
-  [[nodiscard]] ChannelStats stats() const;
+  [[nodiscard]] std::uint32_t outstanding() const CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] ChannelStats stats() const CRICKET_EXCLUDES(mu_);
   [[nodiscard]] rpc::Transport& transport() noexcept { return *transport_; }
 
  private:
-  void reader_loop();
-  void fail_all_locked(const std::exception_ptr& error);
+  void reader_loop() CRICKET_EXCLUDES(mu_);
+  void fail_all_locked(const std::exception_ptr& error) CRICKET_REQUIRES(mu_);
 
   std::unique_ptr<rpc::Transport> transport_;
   std::uint32_t prog_;
@@ -110,14 +111,14 @@ class AsyncRpcChannel {
   ChannelOptions options_;
   std::unique_ptr<CallBatcher> batcher_;
 
-  mutable std::mutex mu_;
-  std::condition_variable slots_cv_;  // outstanding window + drain waiters
-  std::map<std::uint32_t, ReplyPromise> pending_;
-  std::uint32_t next_xid_;
-  rpc::OpaqueAuth cred_;
-  bool dead_ = false;
-  std::string dead_reason_;
-  ChannelStats stats_;
+  mutable sim::Mutex mu_;
+  sim::CondVar slots_cv_;  // outstanding window + drain waiters
+  std::map<std::uint32_t, ReplyPromise> pending_ CRICKET_GUARDED_BY(mu_);
+  std::uint32_t next_xid_ CRICKET_GUARDED_BY(mu_);
+  rpc::OpaqueAuth cred_ CRICKET_GUARDED_BY(mu_);
+  bool dead_ CRICKET_GUARDED_BY(mu_) = false;
+  std::string dead_reason_ CRICKET_GUARDED_BY(mu_);
+  ChannelStats stats_ CRICKET_GUARDED_BY(mu_);
 
   std::thread reader_;
 };

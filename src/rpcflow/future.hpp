@@ -8,14 +8,13 @@
 // futures under one lock sweep and callers can poll readiness cheaply.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "xdr/xdr.hpp"
 
 namespace cricket::rpcflow {
@@ -23,11 +22,12 @@ namespace cricket::rpcflow {
 namespace detail {
 
 struct ReplyState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool ready = false;
-  std::vector<std::uint8_t> value;  // XDR-encoded results
-  std::exception_ptr error;
+  sim::Mutex mu;
+  sim::CondVar cv;
+  bool ready CRICKET_GUARDED_BY(mu) = false;
+  // XDR-encoded results.
+  std::vector<std::uint8_t> value CRICKET_GUARDED_BY(mu);
+  std::exception_ptr error CRICKET_GUARDED_BY(mu);
 };
 
 }  // namespace detail
@@ -39,7 +39,7 @@ class ReplyPromise {
 
   void set_value(std::vector<std::uint8_t> value) const {
     {
-      std::lock_guard lock(state_->mu);
+      sim::MutexLock lock(state_->mu);
       state_->value = std::move(value);
       state_->ready = true;
     }
@@ -48,7 +48,7 @@ class ReplyPromise {
 
   void set_error(std::exception_ptr error) const {
     {
-      std::lock_guard lock(state_->mu);
+      sim::MutexLock lock(state_->mu);
       state_->error = std::move(error);
       state_->ready = true;
     }
@@ -74,19 +74,19 @@ class ReplyFuture {
 
   /// Non-blocking readiness poll.
   [[nodiscard]] bool ready() const {
-    std::lock_guard lock(state_->mu);
+    sim::MutexLock lock(state_->mu);
     return state_->ready;
   }
 
   void wait() const {
-    std::unique_lock lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->ready; });
+    sim::MutexLock lock(state_->mu);
+    while (!state_->ready) state_->cv.wait(state_->mu);
   }
 
   /// Blocks until completion; rethrows the call's error if it failed.
   [[nodiscard]] std::vector<std::uint8_t> get() {
-    std::unique_lock lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->ready; });
+    sim::MutexLock lock(state_->mu);
+    while (!state_->ready) state_->cv.wait(state_->mu);
     if (state_->error) std::rethrow_exception(state_->error);
     return std::move(state_->value);
   }

@@ -17,6 +17,15 @@
 
 namespace cricket::rpcl {
 
+/// Position of a construct in the .x source (1-based; 0 = synthesized).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return line > 0; }
+  bool operator==(const SourceLoc&) const = default;
+};
+
 /// Builtin XDR scalar types.
 enum class Builtin {
   kInt,       // int -> std::int32_t
@@ -44,6 +53,7 @@ struct TypeRef {
   std::variant<Builtin, std::string> base = Builtin::kVoid;
   Decoration decoration = Decoration::kNone;
   std::optional<std::uint32_t> bound;  // array bound if given
+  SourceLoc loc;                       // where the base type is named
 
   [[nodiscard]] bool is_void() const noexcept {
     return std::holds_alternative<Builtin>(base) &&
@@ -60,16 +70,19 @@ struct Field {
 struct ConstDef {
   std::string name;
   std::int64_t value = 0;
+  SourceLoc loc;
 };
 
 struct EnumDef {
   std::string name;
   std::vector<std::pair<std::string, std::int32_t>> values;
+  SourceLoc loc;
 };
 
 struct StructDef {
   std::string name;
   std::vector<Field> fields;
+  SourceLoc loc;
 };
 
 /// XDR discriminated union: switch (disc_type disc_name) { case ...: field }.
@@ -84,11 +97,13 @@ struct UnionDef {
   TypeRef discriminant_type;
   std::string discriminant_name;
   std::vector<UnionArm> arms;
+  SourceLoc loc;
 };
 
 struct TypedefDef {
   TypeRef type;
   std::string name;
+  SourceLoc loc;
 };
 
 struct ProcDef {
@@ -96,18 +111,21 @@ struct ProcDef {
   std::string name;
   std::vector<TypeRef> args;
   std::uint32_t number = 0;
+  SourceLoc loc;
 };
 
 struct VersionDef {
   std::string name;
   std::uint32_t number = 0;
   std::vector<ProcDef> procs;
+  SourceLoc loc;
 };
 
 struct ProgramDef {
   std::string name;
   std::uint32_t number = 0;
   std::vector<VersionDef> versions;
+  SourceLoc loc;
 };
 
 /// A whole .x file.

@@ -8,6 +8,7 @@ std::vector<Token> tokenize(std::string_view src) {
   std::vector<Token> tokens;
   int line = 1;
   std::size_t i = 0;
+  std::size_t line_start = 0;  // index just past the last newline
 
   const auto peek = [&](std::size_t k = 0) -> char {
     return i + k < src.size() ? src[i + k] : '\0';
@@ -18,6 +19,7 @@ std::vector<Token> tokenize(std::string_view src) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -31,7 +33,10 @@ std::vector<Token> tokenize(std::string_view src) {
       for (;;) {
         if (i >= src.size())
           throw ParseError("unterminated block comment", start_line);
-        if (src[i] == '\n') ++line;
+        if (src[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         if (src[i] == '*' && peek(1) == '/') {
           i += 2;
           break;
@@ -52,6 +57,7 @@ std::vector<Token> tokenize(std::string_view src) {
 
     Token tok;
     tok.line = line;
+    tok.col = static_cast<int>(i - line_start) + 1;
     switch (c) {
       case '{': tok.kind = TokKind::kLBrace; ++i; break;
       case '}': tok.kind = TokKind::kRBrace; ++i; break;
@@ -108,6 +114,7 @@ std::vector<Token> tokenize(std::string_view src) {
   Token eof;
   eof.kind = TokKind::kEof;
   eof.line = line;
+  eof.col = static_cast<int>(i - line_start) + 1;
   tokens.push_back(eof);
   return tokens;
 }

@@ -45,6 +45,7 @@ struct Token {
   std::string text;        // identifier text / raw number
   std::int64_t number = 0; // value when kind == kNumber
   int line = 1;
+  int col = 1;  // 1-based column of the token's first character
 };
 
 /// Tokenizes RPCL source; strips /* */ and // and % passthrough lines.

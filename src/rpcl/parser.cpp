@@ -1,7 +1,8 @@
 #include "rpcl/parser.hpp"
 
 #include <map>
-#include <set>
+
+#include "rpcl/sema.hpp"
 
 namespace cricket::rpcl {
 namespace {
@@ -12,13 +13,13 @@ class Parser {
 
   SpecFile parse() {
     while (!at(TokKind::kEof)) parse_definition();
-    validate();
     return std::move(spec_);
   }
 
  private:
   // ------------------------------ helpers --------------------------------
   [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] SourceLoc here() const { return {cur().line, cur().col}; }
   [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
   [[nodiscard]] bool at_ident(std::string_view s) const {
     return at(TokKind::kIdentifier) && cur().text == s;
@@ -63,6 +64,7 @@ class Parser {
   void parse_const() {
     advance();  // const
     ConstDef def;
+    def.loc = here();
     def.name = expect_ident();
     expect(TokKind::kEquals, "'='");
     def.value = expect_value();
@@ -74,6 +76,7 @@ class Parser {
   void parse_enum() {
     advance();  // enum
     EnumDef def;
+    def.loc = here();
     def.name = expect_ident();
     expect(TokKind::kLBrace, "'{'");
     std::int32_t next = 0;
@@ -95,7 +98,6 @@ class Parser {
     }
     expect(TokKind::kRBrace, "'}'");
     expect(TokKind::kSemicolon, "';'");
-    defined_types_.insert(def.name);
     spec_.enums.push_back(std::move(def));
   }
 
@@ -106,7 +108,7 @@ class Parser {
       advance();
       t.decoration = TypeRef::Decoration::kOptional;
     }
-    const int line = cur().line;
+    t.loc = here();
     std::string name = expect_ident();
     if (name == "unsigned") {
       // "unsigned int" | "unsigned hyper" | bare "unsigned".
@@ -137,7 +139,6 @@ class Parser {
       t.base = Builtin::kOpaque;
     } else {
       t.base = name;
-      used_types_.emplace(name, line);
     }
     return t;
   }
@@ -177,6 +178,7 @@ class Parser {
   void parse_struct() {
     advance();  // struct
     StructDef def;
+    def.loc = here();
     def.name = expect_ident();
     expect(TokKind::kLBrace, "'{'");
     while (!at(TokKind::kRBrace)) {
@@ -188,13 +190,13 @@ class Parser {
     }
     expect(TokKind::kRBrace, "'}'");
     expect(TokKind::kSemicolon, "';'");
-    defined_types_.insert(def.name);
     spec_.structs.push_back(std::move(def));
   }
 
   void parse_union() {
     advance();  // union
     UnionDef def;
+    def.loc = here();
     def.name = expect_ident();
     if (!at_ident("switch")) throw ParseError("expected 'switch'", cur().line);
     advance();
@@ -225,36 +227,37 @@ class Parser {
     }
     expect(TokKind::kRBrace, "'}'");
     expect(TokKind::kSemicolon, "';'");
-    defined_types_.insert(def.name);
     spec_.unions.push_back(std::move(def));
   }
 
   void parse_typedef() {
     advance();  // typedef
     TypedefDef def;
+    def.loc = here();
     def.type = parse_type();
     def.name = expect_ident();
     parse_array_suffix(def.type);
     expect(TokKind::kSemicolon, "';'");
-    defined_types_.insert(def.name);
     spec_.typedefs.push_back(std::move(def));
   }
 
   void parse_program() {
     advance();  // program
     ProgramDef prog;
+    prog.loc = here();
     prog.name = expect_ident();
     expect(TokKind::kLBrace, "'{'");
     while (at_ident("version")) {
       advance();
       VersionDef ver;
+      ver.loc = here();
       ver.name = expect_ident();
       expect(TokKind::kLBrace, "'{'");
-      std::set<std::uint32_t> proc_numbers;
       while (!at(TokKind::kRBrace)) {
         ProcDef proc;
         proc.result = parse_type();
         parse_array_suffix(proc.result);  // applies string/opaque defaults
+        proc.loc = here();
         proc.name = expect_ident();
         expect(TokKind::kLParen, "'('");
         if (!at(TokKind::kRParen)) {
@@ -274,10 +277,6 @@ class Parser {
         expect(TokKind::kEquals, "'='");
         proc.number = static_cast<std::uint32_t>(expect_value());
         expect(TokKind::kSemicolon, "';'");
-        if (!proc_numbers.insert(proc.number).second)
-          throw ParseError("duplicate procedure number " +
-                               std::to_string(proc.number),
-                           cur().line);
         ver.procs.push_back(std::move(proc));
       }
       expect(TokKind::kRBrace, "'}'");
@@ -293,32 +292,10 @@ class Parser {
     spec_.programs.push_back(std::move(prog));
   }
 
-  void validate() const {
-    for (const auto& [name, line] : used_types_) {
-      if (!defined_types_.contains(name))
-        throw ParseError("reference to undefined type '" + name + "'", line);
-    }
-    std::set<std::string> names;
-    for (const auto& s : spec_.structs)
-      if (!names.insert(s.name).second)
-        throw ParseError("duplicate type name '" + s.name + "'", 0);
-    for (const auto& e : spec_.enums)
-      if (!names.insert(e.name).second)
-        throw ParseError("duplicate type name '" + e.name + "'", 0);
-    for (const auto& u : spec_.unions)
-      if (!names.insert(u.name).second)
-        throw ParseError("duplicate type name '" + u.name + "'", 0);
-    for (const auto& t : spec_.typedefs)
-      if (!names.insert(t.name).second)
-        throw ParseError("duplicate type name '" + t.name + "'", 0);
-  }
-
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   SpecFile spec_;
   std::map<std::string, std::int64_t> const_values_;
-  std::set<std::string> defined_types_;
-  std::multimap<std::string, int> used_types_;
 };
 
 }  // namespace
@@ -347,8 +324,22 @@ const UnionDef* SpecFile::find_union(const std::string& name) const {
   return nullptr;
 }
 
-SpecFile parse_spec(std::string_view source) {
+SpecFile parse_spec_unchecked(std::string_view source) {
   return Parser(tokenize(source)).parse();
+}
+
+SpecFile parse_spec(std::string_view source) {
+  SpecFile spec = parse_spec_unchecked(source);
+  // Preserve the historical contract: semantic problems surface as a thrown
+  // ParseError for the first *error*-severity diagnostic; warnings (e.g. an
+  // unbounded opaque<>) never reject a spec here. Callers wanting the full
+  // diagnostic list use parse_spec_unchecked + analyze directly.
+  const SemaResult sema = analyze(spec);
+  for (const auto& d : sema.diagnostics) {
+    if (d.severity == Severity::kError)
+      throw ParseError(d.message + " [" + d.rule + "]", d.loc.line);
+  }
+  return spec;
 }
 
 }  // namespace cricket::rpcl

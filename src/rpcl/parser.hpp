@@ -9,8 +9,15 @@
 namespace cricket::rpcl {
 
 /// Parses a complete .x specification. Throws ParseError with line info on
-/// syntax errors; performs basic semantic checks (duplicate type names,
-/// duplicate procedure numbers, references to undefined types).
+/// syntax errors, and on the first error-severity semantic diagnostic
+/// (duplicate type names, duplicate procedure numbers, references to
+/// undefined types, ...; see rpcl/sema.hpp for the full rule set).
+/// Warning-severity diagnostics are ignored here.
 [[nodiscard]] SpecFile parse_spec(std::string_view source);
+
+/// Parses syntax only — no semantic analysis. Use together with
+/// rpcl::analyze() when the full diagnostic list (including warnings) is
+/// wanted instead of a throw-on-first-error contract.
+[[nodiscard]] SpecFile parse_spec_unchecked(std::string_view source);
 
 }  // namespace cricket::rpcl

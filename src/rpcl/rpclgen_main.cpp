@@ -1,26 +1,114 @@
-// rpclgen: RPCL -> C++ code generator CLI.
+// rpclgen: RPCL -> C++ code generator and spec linter CLI.
 //
-// Usage: rpclgen <spec.x> <out.hpp> [--namespace ns::path]
+// Generate:  rpclgen <spec.x> <out.hpp> [--namespace ns] [lint flags]
+// Lint only: rpclgen --lint <spec.x> [lint flags]
+//
+// Lint flags: --Werror (warnings fail), --max-bound N (wire-size budget in
+// bytes). Generation always runs the linter first; error-severity findings
+// (and warnings under --Werror) abort before any output file is written.
+//
+// Exit codes: 0 success, 1 lint/generation failure, 2 usage error.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "rpcl/codegen.hpp"
 #include "rpcl/parser.hpp"
+#include "rpcl/sema.hpp"
+
+namespace {
+
+constexpr const char* kVersion = "rpclgen 0.2.0";
+
+int usage() {
+  std::cerr << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns]"
+               " [--Werror] [--max-bound N]\n"
+               "       rpclgen --lint <spec.x> [--Werror] [--max-bound N]\n"
+               "       rpclgen --version\n";
+  return 2;
+}
+
+/// Lints one already-read spec. Returns the process exit code (0 or 1) and
+/// prints every diagnostic to stderr in compiler format.
+int lint(const std::string& path, const std::string& source,
+         const cricket::rpcl::SemaOptions& options,
+         cricket::rpcl::SpecFile* out_spec) {
+  using namespace cricket::rpcl;
+  SpecFile spec;
+  try {
+    spec = parse_spec_unchecked(source);
+  } catch (const ParseError& e) {
+    std::cerr << path << ":" << e.line() << ": error: " << e.what() << "\n";
+    return 1;
+  }
+  const SemaResult result = analyze(spec, options);
+  for (const auto& d : result.diagnostics)
+    std::cerr << format_diagnostic(d, path) << "\n";
+  if (!result.ok(options)) {
+    std::cerr << path << ": " << result.error_count() << " error(s), "
+              << result.warning_count() << " warning(s)\n";
+    return 1;
+  }
+  if (out_spec) *out_spec = std::move(spec);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::cerr << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns]\n";
-    return 2;
+  std::string spec_path;
+  std::string out_path;
+  bool lint_only = false;
+  cricket::rpcl::CodegenOptions codegen_options;
+  cricket::rpcl::SemaOptions sema_options;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
+    } else if (arg == "--lint") {
+      lint_only = true;
+    } else if (arg == "--Werror") {
+      sema_options.warnings_as_errors = true;
+    } else if (arg == "--namespace") {
+      if (i + 1 >= argc) {
+        std::cerr << "rpclgen: --namespace requires a value\n";
+        return usage();
+      }
+      codegen_options.ns = argv[++i];
+    } else if (arg == "--max-bound") {
+      if (i + 1 >= argc) {
+        std::cerr << "rpclgen: --max-bound requires a value\n";
+        return usage();
+      }
+      try {
+        sema_options.max_bound = std::stoull(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "rpclgen: bad --max-bound value '" << argv[i] << "'\n";
+        return usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rpclgen: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
   }
-  const std::string spec_path = argv[1];
-  const std::string out_path = argv[2];
-  cricket::rpcl::CodegenOptions options;
-  options.source_name = spec_path;
-  for (int i = 3; i + 1 < argc; i += 2) {
-    if (std::string(argv[i]) == "--namespace") options.ns = argv[i + 1];
+
+  if (lint_only) {
+    if (positional.size() != 1) return usage();
+    spec_path = positional[0];
+  } else {
+    if (positional.size() != 2) return usage();
+    spec_path = positional[0];
+    out_path = positional[1];
   }
+  codegen_options.source_name = spec_path;
 
   std::ifstream in(spec_path);
   if (!in) {
@@ -30,19 +118,19 @@ int main(int argc, char** argv) {
   std::ostringstream source;
   source << in.rdbuf();
 
-  try {
-    const auto spec = cricket::rpcl::parse_spec(source.str());
-    const std::string header =
-        cricket::rpcl::generate_header(spec, options);
-    std::ofstream out(out_path);
-    if (!out) {
-      std::cerr << "rpclgen: cannot write " << out_path << "\n";
-      return 1;
-    }
-    out << header;
-  } catch (const cricket::rpcl::ParseError& e) {
-    std::cerr << "rpclgen: " << spec_path << ": " << e.what() << "\n";
+  cricket::rpcl::SpecFile spec;
+  if (const int rc = lint(spec_path, source.str(), sema_options, &spec);
+      rc != 0)
+    return rc;
+  if (lint_only) return 0;
+
+  const std::string header =
+      cricket::rpcl::generate_header(spec, codegen_options);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "rpclgen: cannot write " << out_path << "\n";
     return 1;
   }
+  out << header;
   return 0;
 }

@@ -1,0 +1,272 @@
+#include "rpcl/sema.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace cricket::rpcl {
+namespace {
+
+/// Names that cannot be redeclared: RPCL/XDR keywords plus the builtin type
+/// spellings the parser recognises in type position.
+bool is_reserved(const std::string& name) {
+  static const std::set<std::string> kReserved = {
+      "bool",    "case",   "const",   "default", "double", "enum",
+      "float",   "hyper",  "int",     "opaque",  "program", "string",
+      "struct",  "switch", "typedef", "union",   "unsigned", "version",
+      "void",
+  };
+  return kReserved.contains(name);
+}
+
+/// Minimum wire bytes per element for bound-budget purposes. Named types are
+/// counted at 4 bytes (the smallest possible XDR encoding) so the check is a
+/// conservative lower bound rather than a full recursive size computation.
+std::uint64_t element_wire_size(const TypeRef& t) {
+  if (std::holds_alternative<std::string>(t.base)) return 4;
+  switch (std::get<Builtin>(t.base)) {
+    case Builtin::kString:
+    case Builtin::kOpaque:
+      return 1;
+    case Builtin::kHyper:
+    case Builtin::kUHyper:
+    case Builtin::kDouble:
+      return 8;
+    default:
+      return 4;
+  }
+}
+
+class Analyzer {
+ public:
+  Analyzer(const SpecFile& spec, const SemaOptions& options)
+      : spec_(spec), options_(options) {}
+
+  SemaResult run() {
+    collect_declarations();
+    check_type_refs();
+    check_unused_types();
+    check_programs();
+    // Compiler-style presentation: findings in source order regardless of
+    // which rule produced them.
+    std::stable_sort(result_.diagnostics.begin(), result_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.loc.line != b.loc.line)
+                         return a.loc.line < b.loc.line;
+                       return a.loc.col < b.loc.col;
+                     });
+    return std::move(result_);
+  }
+
+ private:
+  void emit(Severity sev, const char* rule, std::string message,
+            SourceLoc loc) {
+    result_.diagnostics.push_back(
+        {sev, rule, std::move(message), loc});
+  }
+
+  void declare_type(const std::string& name, SourceLoc loc) {
+    if (is_reserved(name)) {
+      emit(Severity::kError, "RPCL005",
+           "type name '" + name + "' shadows a builtin type or keyword", loc);
+      return;
+    }
+    if (!types_.emplace(name, loc).second)
+      emit(Severity::kError, "RPCL004",
+           "duplicate type name '" + name + "'", loc);
+  }
+
+  void declare_constant(const std::string& name, SourceLoc loc) {
+    if (is_reserved(name)) {
+      emit(Severity::kError, "RPCL005",
+           "constant name '" + name + "' shadows a builtin type or keyword",
+           loc);
+      return;
+    }
+    if (!constants_.emplace(name, loc).second)
+      emit(Severity::kError, "RPCL004",
+           "duplicate constant name '" + name + "'", loc);
+  }
+
+  void collect_declarations() {
+    for (const auto& c : spec_.consts) declare_constant(c.name, c.loc);
+    for (const auto& e : spec_.enums) {
+      declare_type(e.name, e.loc);
+      for (const auto& [name, value] : e.values) {
+        (void)value;
+        declare_constant(name, e.loc);
+      }
+    }
+    for (const auto& s : spec_.structs) declare_type(s.name, s.loc);
+    for (const auto& u : spec_.unions) declare_type(u.name, u.loc);
+    for (const auto& t : spec_.typedefs) declare_type(t.name, t.loc);
+  }
+
+  /// One TypeRef in context: undefined references (RPCL008), unbounded
+  /// variable-length payloads (RPCL006), and over-budget bounds (RPCL007).
+  void visit_type(const TypeRef& t, const std::string& where) {
+    if (std::holds_alternative<std::string>(t.base)) {
+      const auto& name = std::get<std::string>(t.base);
+      if (!types_.contains(name)) {
+        emit(Severity::kError, "RPCL008",
+             "reference to undefined type '" + name + "' in " + where, t.loc);
+      } else {
+        used_types_.insert(name);
+      }
+    }
+    if (t.decoration == TypeRef::Decoration::kVariableArray && !t.bound) {
+      emit(Severity::kWarning, "RPCL006",
+           "unbounded variable-length " + type_word(t) + " in " + where +
+               "; give it an explicit <N> bound",
+           t.loc);
+    }
+    if (t.bound) {
+      const std::uint64_t wire =
+          static_cast<std::uint64_t>(*t.bound) * element_wire_size(t);
+      if (wire > options_.max_bound) {
+        emit(Severity::kError, "RPCL007",
+             "bound " + std::to_string(*t.bound) + " in " + where +
+                 " implies at least " + std::to_string(wire) +
+                 " wire bytes, exceeding the budget of " +
+                 std::to_string(options_.max_bound),
+             t.loc);
+      }
+    }
+  }
+
+  static std::string type_word(const TypeRef& t) {
+    if (std::holds_alternative<Builtin>(t.base)) {
+      if (std::get<Builtin>(t.base) == Builtin::kOpaque) return "opaque";
+      if (std::get<Builtin>(t.base) == Builtin::kString) return "string";
+    }
+    return "array";
+  }
+
+  void check_type_refs() {
+    for (const auto& s : spec_.structs)
+      for (const auto& f : s.fields)
+        visit_type(f.type, "struct " + s.name + "." + f.name);
+    for (const auto& u : spec_.unions) {
+      visit_type(u.discriminant_type, "union " + u.name + " discriminant");
+      for (const auto& arm : u.arms)
+        if (arm.field)
+          visit_type(arm.field->type,
+                     "union " + u.name + "." + arm.field->name);
+    }
+    for (const auto& t : spec_.typedefs)
+      visit_type(t.type, "typedef " + t.name);
+    for (const auto& p : spec_.programs)
+      for (const auto& v : p.versions)
+        for (const auto& proc : v.procs) {
+          visit_type(proc.result, "result of " + proc.name);
+          for (std::size_t i = 0; i < proc.args.size(); ++i)
+            visit_type(proc.args[i], "argument " + std::to_string(i + 1) +
+                                         " of " + proc.name);
+        }
+  }
+
+  void check_unused_types() {
+    for (const auto& [name, loc] : types_) {
+      if (!used_types_.contains(name))
+        emit(Severity::kWarning, "RPCL009",
+             "type '" + name + "' is declared but never referenced", loc);
+    }
+  }
+
+  void check_programs() {
+    std::map<std::uint32_t, std::string> prog_numbers;
+    for (const auto& p : spec_.programs) {
+      if (const auto [it, inserted] = prog_numbers.emplace(p.number, p.name);
+          !inserted) {
+        emit(Severity::kError, "RPCL001",
+             "duplicate program number " + std::to_string(p.number) +
+                 " (also used by program '" + it->second + "')",
+             p.loc);
+      }
+      std::map<std::uint32_t, std::string> ver_numbers;
+      for (const auto& v : p.versions) {
+        if (const auto [it, inserted] = ver_numbers.emplace(v.number, v.name);
+            !inserted) {
+          emit(Severity::kError, "RPCL002",
+               "duplicate version number " + std::to_string(v.number) +
+                   " in program '" + p.name + "' (also used by version '" +
+                   it->second + "')",
+               v.loc);
+        }
+        check_procs(v);
+      }
+    }
+  }
+
+  void check_procs(const VersionDef& v) {
+    std::map<std::uint32_t, std::string> proc_numbers;
+    bool monotonic_warned = false;
+    const ProcDef* prev = nullptr;
+    for (const auto& proc : v.procs) {
+      if (const auto [it, inserted] =
+              proc_numbers.emplace(proc.number, proc.name);
+          !inserted) {
+        emit(Severity::kError, "RPCL003",
+             "duplicate procedure number " + std::to_string(proc.number) +
+                 " in version '" + v.name + "' (also used by '" + it->second +
+                 "')",
+             proc.loc);
+      } else if (prev && proc.number <= prev->number && !monotonic_warned) {
+        // One warning per version is enough: a single out-of-order proc
+        // usually means the rest of the list is shifted too.
+        monotonic_warned = true;
+        emit(Severity::kWarning, "RPCL010",
+             "procedure numbers in version '" + v.name +
+                 "' are not in increasing order ('" + proc.name + "' = " +
+                 std::to_string(proc.number) + " follows '" + prev->name +
+                 "' = " + std::to_string(prev->number) + ")",
+             proc.loc);
+      }
+      prev = &proc;
+    }
+  }
+
+  const SpecFile& spec_;
+  const SemaOptions& options_;
+  SemaResult result_;
+  std::map<std::string, SourceLoc> types_;
+  std::map<std::string, SourceLoc> constants_;
+  std::set<std::string> used_types_;
+};
+
+}  // namespace
+
+std::size_t SemaResult::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::size_t SemaResult::warning_count() const noexcept {
+  return diagnostics.size() - error_count();
+}
+
+bool SemaResult::ok(const SemaOptions& options) const noexcept {
+  if (options.warnings_as_errors) return diagnostics.empty();
+  return error_count() == 0;
+}
+
+SemaResult analyze(const SpecFile& spec, const SemaOptions& options) {
+  return Analyzer(spec, options).run();
+}
+
+std::string format_diagnostic(const Diagnostic& diag, std::string_view file) {
+  std::string out(file);
+  if (diag.loc.line > 0) {
+    out += ":" + std::to_string(diag.loc.line);
+    if (diag.loc.col > 0) out += ":" + std::to_string(diag.loc.col);
+  }
+  out += diag.severity == Severity::kError ? ": error: " : ": warning: ";
+  out += diag.message;
+  out += " [" + diag.rule + "]";
+  return out;
+}
+
+}  // namespace cricket::rpcl

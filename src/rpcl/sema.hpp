@@ -1,0 +1,74 @@
+// Semantic analyzer for parsed RPCL specifications.
+//
+// The parser (parser.hpp) accepts anything that is syntactically RPCL; this
+// pass checks that the spec also *means* something sane before codegen sees
+// it. Each finding is a typed Diagnostic carrying a stable rule id, a
+// severity, and the 1-based line:col of the offending construct, so tools
+// (rpclgen --lint, tests, editors) can present and filter them uniformly.
+//
+// Rules:
+//   RPCL001  error    duplicate program number
+//   RPCL002  error    duplicate version number within a program
+//   RPCL003  error    duplicate procedure number within a version
+//   RPCL004  error    duplicate declaration (type or constant name)
+//   RPCL005  error    declaration shadows a builtin type or RPCL keyword
+//   RPCL006  warning  unbounded opaque<> / string<> / variable-length array
+//   RPCL007  error    declared bound exceeds the wire-size budget
+//   RPCL008  error    reference to an undefined type
+//   RPCL009  warning  declared type is never referenced
+//   RPCL010  warning  procedure numbers not in increasing order
+//
+// RPCL006 is a warning (not an error) because unbounded payloads are legal
+// XDR and common in quick prototypes; production specs opt into strictness
+// with SemaOptions::warnings_as_errors (rpclgen --Werror).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpcl/ast.hpp"
+
+namespace cricket::rpcl {
+
+enum class Severity { kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;     // stable id, e.g. "RPCL006"
+  std::string message;  // human-readable, no location prefix
+  SourceLoc loc;        // 1-based; loc.valid() == false if synthesized
+};
+
+struct SemaOptions {
+  /// Maximum accepted bound on opaque<N> / string<N> / arrays, measured in
+  /// wire bytes (element count x XDR element size). Defaults to 1 GiB, the
+  /// largest single transfer the Cricket benchmarks ship (bench_fig7 moves
+  /// 512 MiB payloads).
+  std::uint64_t max_bound = 1ull << 30;
+  /// Promote warnings to errors for ok() / rpclgen --Werror.
+  bool warnings_as_errors = false;
+};
+
+struct SemaResult {
+  std::vector<Diagnostic> diagnostics;  // ordered by source location
+
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+  /// True when the spec should be accepted under the given options.
+  [[nodiscard]] bool ok(const SemaOptions& options = {}) const noexcept;
+};
+
+/// Runs every rule over an already-parsed spec. Never throws; all findings
+/// are returned as diagnostics.
+[[nodiscard]] SemaResult analyze(const SpecFile& spec,
+                                 const SemaOptions& options = {});
+
+/// Formats one diagnostic in the conventional compiler style:
+///   file:line:col: error: message [RPCL004]
+/// (the ":col" / ":line" parts are omitted when unknown).
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& diag,
+                                            std::string_view file);
+
+}  // namespace cricket::rpcl

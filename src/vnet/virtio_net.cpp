@@ -81,7 +81,7 @@ void VirtioNetTransport::send(std::span<const std::uint8_t> data) {
     const bool sw_csum = !profile_.offloads.tx_checksum;
     const auto frame = encode_frame(eth, ip, tcp, data.subspan(off, n),
                                     /*fill_checksums=*/sw_csum);
-    if (sw_csum) ++stats_.checksums_computed;
+    if (sw_csum) stats_.checksums_computed.fetch_add(1, std::memory_order_relaxed);
     tx_seq_ += static_cast<std::uint32_t>(n);
 
     const std::span<const std::uint8_t> bufs[1] = {frame};
@@ -91,8 +91,8 @@ void VirtioNetTransport::send(std::span<const std::uint8_t> data) {
       if (stopping_.load()) throw rpc::TransportError("transport shut down");
     }
     tx_.kick(*head);
-    ++stats_.frames_tx;
-    stats_.bytes_tx += n;
+    stats_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_tx.fetch_add(n, std::memory_order_relaxed);
     off += n;
   } while (off < data.size());
   reclaim_tx_descriptors(/*wait=*/false);
@@ -173,11 +173,13 @@ std::size_t VirtioNetTransport::recv(std::span<std::uint8_t> out) {
       // GUEST_CSUM offload lets the guest trust the host.
       const bool sw_csum = !profile_.offloads.rx_checksum;
       const ParsedFrame parsed = parse_frame(frame, /*verify=*/sw_csum);
-      if (sw_csum) ++stats_.checksums_computed;
+      if (sw_csum)
+        stats_.checksums_computed.fetch_add(1, std::memory_order_relaxed);
       rx_pending_.insert(rx_pending_.end(), parsed.payload.begin(),
                          parsed.payload.end());
-      ++stats_.frames_rx;
-      stats_.bytes_rx += parsed.payload.size();
+      stats_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_rx.fetch_add(parsed.payload.size(),
+                                std::memory_order_relaxed);
     } catch (const PacketError&) {
       // Corrupt frame dropped; reliable wire makes this benign.
     }

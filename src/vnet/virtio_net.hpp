@@ -33,6 +33,33 @@ struct TransportStats {
   std::uint64_t checksums_computed = 0;  // software checksum operations
 };
 
+namespace detail {
+
+/// Internal counter block for VirtioNetTransport. The transport contract
+/// allows one sender plus one receiver concurrently, and both paths compute
+/// software checksums — so checksums_computed (and a stats() reader) would
+/// race on plain fields. Relaxed atomics: these are counters, not
+/// synchronization.
+struct AtomicTransportStats {
+  std::atomic<std::uint64_t> frames_tx{0};
+  std::atomic<std::uint64_t> frames_rx{0};
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> checksums_computed{0};
+
+  [[nodiscard]] TransportStats snapshot() const noexcept {
+    TransportStats s;
+    s.frames_tx = frames_tx.load(std::memory_order_relaxed);
+    s.frames_rx = frames_rx.load(std::memory_order_relaxed);
+    s.bytes_tx = bytes_tx.load(std::memory_order_relaxed);
+    s.bytes_rx = bytes_rx.load(std::memory_order_relaxed);
+    s.checksums_computed = checksums_computed.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace detail
+
 /// Charges NetworkProfile costs around an inner transport. Used for the
 /// native C / native Rust rows of Table 1 (host kernel TCP, no hypervisor).
 class ShapedTransport final : public rpc::Transport {
@@ -78,7 +105,11 @@ class VirtioNetTransport final : public rpc::Transport {
   std::size_t recv(std::span<std::uint8_t> out) override;
   void shutdown() override;
 
-  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  /// Returns a snapshot copy (counters advance concurrently on the sender
+  /// and receiver threads).
+  [[nodiscard]] TransportStats stats() const noexcept {
+    return stats_.snapshot();
+  }
   [[nodiscard]] const NetworkProfile& profile() const noexcept {
     return profile_;
   }
@@ -112,9 +143,9 @@ class VirtioNetTransport final : public rpc::Transport {
   Virtqueue tx_;
   Virtqueue rx_;
 
-  std::uint32_t tx_seq_ = 1;
-  std::deque<std::uint8_t> rx_pending_;  // payload reassembled, not yet read
-  TransportStats stats_;
+  std::uint32_t tx_seq_ = 1;            // sender thread only
+  std::deque<std::uint8_t> rx_pending_;  // receiver thread only
+  detail::AtomicTransportStats stats_;
 
   std::thread tx_thread_;
   std::thread rx_thread_;

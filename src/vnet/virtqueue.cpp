@@ -66,7 +66,7 @@ std::optional<std::uint16_t> Virtqueue::add_chain(
   const std::size_t needed = out.size() + in_lens.size();
   if (needed == 0) throw VirtqError("empty descriptor chain");
 
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   if (free_list_.size() < needed) return std::nullopt;
 
   const std::uint64_t slot = memory_->size() / queue_size_;
@@ -103,7 +103,7 @@ std::optional<std::uint16_t> Virtqueue::add_chain(
 
 void Virtqueue::kick(std::uint16_t head) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     avail_ring_.push_back(head);
     ++kick_count_;
   }
@@ -111,9 +111,9 @@ void Virtqueue::kick(std::uint16_t head) {
 }
 
 std::optional<VirtqChain> Virtqueue::pop_avail(bool wait) {
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   if (wait)
-    avail_cv_.wait(lock, [this] { return shutdown_ || !avail_ring_.empty(); });
+    while (!shutdown_ && avail_ring_.empty()) avail_cv_.wait(mu_);
   if (avail_ring_.empty()) return std::nullopt;
   const std::uint16_t head = avail_ring_.front();
   avail_ring_.erase(avail_ring_.begin());
@@ -123,7 +123,7 @@ std::optional<VirtqChain> Virtqueue::pop_avail(bool wait) {
 std::vector<std::uint8_t> Virtqueue::gather(const VirtqChain& chain) {
   std::vector<std::uint8_t> out;
   out.reserve(chain.readable_len());
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (const auto& d : chain.descs) {
     if (d.flags & kDescWrite) continue;
     const auto src = memory_->at(d.addr, d.len);
@@ -135,7 +135,7 @@ std::vector<std::uint8_t> Virtqueue::gather(const VirtqChain& chain) {
 std::uint32_t Virtqueue::scatter(const VirtqChain& chain,
                                  std::span<const std::uint8_t> data) {
   std::size_t off = 0;
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   for (const auto& d : chain.descs) {
     if (!(d.flags & kDescWrite)) continue;
     const std::size_t n = std::min<std::size_t>(d.len, data.size() - off);
@@ -149,7 +149,7 @@ std::uint32_t Virtqueue::scatter(const VirtqChain& chain,
 
 void Virtqueue::push_used(std::uint16_t head, std::uint32_t written) {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     used_ring_.emplace_back(head, written);
     ++interrupt_count_;
   }
@@ -158,9 +158,9 @@ void Virtqueue::push_used(std::uint16_t head, std::uint32_t written) {
 
 std::optional<std::pair<std::uint16_t, std::uint32_t>> Virtqueue::take_used(
     bool wait) {
-  std::unique_lock lock(mu_);
+  sim::MutexLock lock(mu_);
   if (wait)
-    used_cv_.wait(lock, [this] { return shutdown_ || !used_ring_.empty(); });
+    while (!shutdown_ && used_ring_.empty()) used_cv_.wait(mu_);
   if (used_ring_.empty()) return std::nullopt;
   const auto entry = used_ring_.front();
   used_ring_.erase(used_ring_.begin());
@@ -169,7 +169,7 @@ std::optional<std::pair<std::uint16_t, std::uint32_t>> Virtqueue::take_used(
 
 std::vector<std::uint8_t> Virtqueue::read_in_buffers(std::uint16_t head,
                                                      std::uint32_t written) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   const VirtqChain chain = resolve_chain_locked(head);
   std::vector<std::uint8_t> out;
   out.reserve(written);
@@ -186,13 +186,13 @@ std::vector<std::uint8_t> Virtqueue::read_in_buffers(std::uint16_t head,
 }
 
 void Virtqueue::recycle(std::uint16_t head) {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   free_chain_locked(head);
 }
 
 void Virtqueue::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    sim::MutexLock lock(mu_);
     shutdown_ = true;
   }
   avail_cv_.notify_all();
@@ -200,12 +200,12 @@ void Virtqueue::shutdown() {
 }
 
 std::uint64_t Virtqueue::kicks() const noexcept {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return kick_count_;
 }
 
 std::uint64_t Virtqueue::interrupts() const noexcept {
-  std::lock_guard lock(mu_);
+  sim::MutexLock lock(mu_);
   return interrupt_count_;
 }
 

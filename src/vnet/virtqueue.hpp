@@ -9,13 +9,13 @@
 // VM-exit time per kick at a higher layer.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "sim/annotations.hpp"
 
 namespace cricket::vnet {
 
@@ -75,64 +75,72 @@ class Virtqueue {
   /// Returns the head descriptor index, or nullopt if the table is full.
   std::optional<std::uint16_t> add_chain(
       std::span<const std::span<const std::uint8_t>> out,
-      std::span<const std::uint32_t> in_lens);
+      std::span<const std::uint32_t> in_lens) CRICKET_EXCLUDES(mu_);
 
   /// Exposes the chain on the available ring and notifies the device.
-  void kick(std::uint16_t head);
+  void kick(std::uint16_t head) CRICKET_EXCLUDES(mu_);
 
   /// Completed chain from the used ring: (head, bytes written by device).
   /// Blocks when `wait`; otherwise returns nullopt if none pending.
-  std::optional<std::pair<std::uint16_t, std::uint32_t>> take_used(bool wait);
+  std::optional<std::pair<std::uint16_t, std::uint32_t>> take_used(bool wait)
+      CRICKET_EXCLUDES(mu_);
 
   /// Reads back a device-written ("in") buffer of a completed chain and
   /// frees the chain's descriptors.
   [[nodiscard]] std::vector<std::uint8_t> read_in_buffers(
-      std::uint16_t head, std::uint32_t written);
+      std::uint16_t head, std::uint32_t written) CRICKET_EXCLUDES(mu_);
   /// Frees a chain's descriptors without reading (TX completion).
-  void recycle(std::uint16_t head);
+  void recycle(std::uint16_t head) CRICKET_EXCLUDES(mu_);
 
   // ------------------------------ device side ----------------------------
   /// Next available chain; blocks when `wait` (returns nullopt on shutdown
   /// or, for non-waiting calls, when the ring is empty).
-  std::optional<VirtqChain> pop_avail(bool wait);
+  std::optional<VirtqChain> pop_avail(bool wait) CRICKET_EXCLUDES(mu_);
 
   /// Copies device-readable chain content out of guest memory.
-  [[nodiscard]] std::vector<std::uint8_t> gather(const VirtqChain& chain);
+  [[nodiscard]] std::vector<std::uint8_t> gather(const VirtqChain& chain)
+      CRICKET_EXCLUDES(mu_);
   /// Scatters `data` into the chain's device-writable buffers; returns bytes
   /// written (trailing data is truncated if the chain is too small).
   std::uint32_t scatter(const VirtqChain& chain,
-                        std::span<const std::uint8_t> data);
+                        std::span<const std::uint8_t> data)
+      CRICKET_EXCLUDES(mu_);
   /// Marks the chain used and notifies the driver.
-  void push_used(std::uint16_t head, std::uint32_t written);
+  void push_used(std::uint16_t head, std::uint32_t written)
+      CRICKET_EXCLUDES(mu_);
 
-  void shutdown();
+  void shutdown() CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] std::uint16_t queue_size() const noexcept {
     return queue_size_;
   }
-  [[nodiscard]] std::uint64_t kicks() const noexcept;
-  [[nodiscard]] std::uint64_t interrupts() const noexcept;
+  [[nodiscard]] std::uint64_t kicks() const noexcept CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t interrupts() const noexcept
+      CRICKET_EXCLUDES(mu_);
 
  private:
-  std::uint16_t alloc_desc_locked();
-  void free_chain_locked(std::uint16_t head);
-  VirtqChain resolve_chain_locked(std::uint16_t head) const;
+  std::uint16_t alloc_desc_locked() CRICKET_REQUIRES(mu_);
+  void free_chain_locked(std::uint16_t head) CRICKET_REQUIRES(mu_);
+  VirtqChain resolve_chain_locked(std::uint16_t head) const
+      CRICKET_REQUIRES(mu_);
 
   GuestMemory* memory_;
   std::uint16_t queue_size_;
-  std::vector<VirtqDesc> desc_table_;
-  std::vector<std::uint16_t> avail_ring_;  // FIFO of heads
-  std::vector<std::pair<std::uint16_t, std::uint32_t>> used_ring_;
-  std::vector<std::uint16_t> free_list_;
+  std::vector<VirtqDesc> desc_table_ CRICKET_GUARDED_BY(mu_);
+  // FIFO of heads.
+  std::vector<std::uint16_t> avail_ring_ CRICKET_GUARDED_BY(mu_);
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> used_ring_
+      CRICKET_GUARDED_BY(mu_);
+  std::vector<std::uint16_t> free_list_ CRICKET_GUARDED_BY(mu_);
   // Per-chain bookkeeping of allocated arena regions (addr reuse).
   std::uint64_t arena_next_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable avail_cv_;  // device waits for kicks
-  std::condition_variable used_cv_;   // driver waits for interrupts
-  bool shutdown_ = false;
-  std::uint64_t kick_count_ = 0;
-  std::uint64_t interrupt_count_ = 0;
+  mutable sim::Mutex mu_;
+  sim::CondVar avail_cv_;  // device waits for kicks
+  sim::CondVar used_cv_;   // driver waits for interrupts
+  bool shutdown_ CRICKET_GUARDED_BY(mu_) = false;
+  std::uint64_t kick_count_ CRICKET_GUARDED_BY(mu_) = 0;
+  std::uint64_t interrupt_count_ CRICKET_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cricket::vnet

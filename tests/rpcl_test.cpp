@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "rpcl/codegen.hpp"
 #include "rpcl/lexer.hpp"
 #include "rpcl/parser.hpp"
+#include "rpcl/sema.hpp"
 
 namespace cricket::rpcl {
 namespace {
@@ -55,6 +58,20 @@ TEST(Lexer, TracksLineNumbers) {
   EXPECT_EQ(toks[0].line, 1);
   EXPECT_EQ(toks[1].line, 2);
   EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, TracksColumns) {
+  const auto toks = tokenize("  foo bar\n    baz");
+  EXPECT_EQ(toks[0].col, 3);
+  EXPECT_EQ(toks[1].col, 7);
+  EXPECT_EQ(toks[2].line, 2);
+  EXPECT_EQ(toks[2].col, 5);
+}
+
+TEST(Lexer, ColumnsResetAfterBlockComment) {
+  const auto toks = tokenize("/* one\n   two */ foo");
+  EXPECT_EQ(toks[0].line, 2);
+  EXPECT_EQ(toks[0].col, 11);
 }
 
 // --------------------------------- parser ----------------------------------
@@ -230,6 +247,157 @@ TEST(Codegen, HeaderIsSelfDescribing) {
 
 namespace cricket::rpcl {
 namespace {
+
+// ----------------------------------- sema ----------------------------------
+
+/// One seeded-bad spec per lint rule: the analyzer must report exactly this
+/// rule at exactly this line (1-based; every spec string starts with '\n',
+/// so the first content line is line 2).
+struct BadSpecCase {
+  const char* rule;
+  Severity severity;
+  int line;
+  const char* spec;
+};
+
+const BadSpecCase kBadSpecs[] = {
+    {"RPCL001", Severity::kError, 3, R"(
+program A { version V { void p(void) = 1; } = 1; } = 5;
+program B { version W { void q(void) = 1; } = 1; } = 5;
+)"},
+    {"RPCL002", Severity::kError, 4, R"(
+program A {
+  version V1 { void p(void) = 1; } = 1;
+  version V2 { void q(void) = 1; } = 1;
+} = 5;
+)"},
+    {"RPCL003", Severity::kError, 4, R"(
+program P { version V {
+  void a(void) = 1;
+  void b(void) = 1;
+} = 1; } = 9;
+)"},
+    {"RPCL004", Severity::kError, 3, R"(
+struct s { int a; };
+struct s { int b; };
+)"},
+    {"RPCL004", Severity::kError, 3, R"(
+const LIMIT = 1;
+const LIMIT = 2;
+)"},
+    {"RPCL005", Severity::kError, 2, R"(
+struct opaque { int a; };
+)"},
+    {"RPCL006", Severity::kWarning, 2, R"(
+struct s { opaque data<>; };
+)"},
+    {"RPCL007", Severity::kError, 2, R"(
+struct s { opaque data<2000000000>; };
+)"},
+    {"RPCL008", Severity::kError, 2, R"(
+struct s { nosuchtype x; };
+)"},
+    {"RPCL009", Severity::kWarning, 2, R"(
+struct never_referenced { int a; };
+)"},
+    {"RPCL010", Severity::kWarning, 4, R"(
+program P { version V {
+  void a(void) = 5;
+  void b(void) = 3;
+} = 1; } = 9;
+)"},
+};
+
+TEST(Sema, EachRuleFiresWithRuleIdAndLine) {
+  for (const auto& c : kBadSpecs) {
+    SCOPED_TRACE(std::string(c.rule) + " @ line " + std::to_string(c.line));
+    const SpecFile spec = parse_spec_unchecked(c.spec);
+    const SemaResult result = analyze(spec);
+    const Diagnostic* hit = nullptr;
+    for (const auto& d : result.diagnostics)
+      if (d.rule == c.rule) {
+        hit = &d;
+        break;
+      }
+    ASSERT_NE(hit, nullptr) << "rule did not fire";
+    EXPECT_EQ(hit->severity, c.severity);
+    EXPECT_EQ(hit->loc.line, c.line) << hit->message;
+    EXPECT_GT(hit->loc.col, 0);
+  }
+}
+
+TEST(Sema, CleanSpecHasNoDiagnostics) {
+  const SpecFile spec = parse_spec_unchecked(R"(
+struct point { int x; int y; };
+program P { version V { point get(void) = 1; } = 1; } = 9;
+)");
+  const SemaResult result = analyze(spec);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << (result.diagnostics.empty()
+              ? ""
+              : format_diagnostic(result.diagnostics[0], "spec"));
+}
+
+TEST(Sema, MaxBoundOptionIsRespected) {
+  const SpecFile spec = parse_spec_unchecked("struct s { opaque d<32>; };");
+  EXPECT_EQ(analyze(spec, {.max_bound = 16}).error_count(), 1u);
+  EXPECT_EQ(analyze(spec, {.max_bound = 32}).error_count(), 0u);
+}
+
+TEST(Sema, BoundBudgetCountsElementWireSize) {
+  // 8 hypers = 64 wire bytes: over a 32-byte budget even though the element
+  // count alone is under it.
+  const SpecFile spec =
+      parse_spec_unchecked("struct s { unsigned hyper d<8>; };");
+  EXPECT_EQ(analyze(spec, {.max_bound = 32}).error_count(), 1u);
+  EXPECT_EQ(analyze(spec, {.max_bound = 64}).error_count(), 0u);
+}
+
+TEST(Sema, WarningsAsErrorsFlipsOk) {
+  const SpecFile spec =
+      parse_spec_unchecked("struct s { opaque data<>; };\n"
+                           "program P { version V { int u(s) = 1; } = 1; }"
+                           " = 9;");
+  const SemaResult result = analyze(spec);
+  EXPECT_EQ(result.error_count(), 0u);
+  EXPECT_GE(result.warning_count(), 1u);
+  EXPECT_TRUE(result.ok({}));
+  EXPECT_FALSE(result.ok({.warnings_as_errors = true}));
+}
+
+TEST(Sema, FormatDiagnosticIsCompilerStyle) {
+  const Diagnostic d{Severity::kWarning, "RPCL006", "unbounded opaque",
+                     {12, 7}};
+  EXPECT_EQ(format_diagnostic(d, "spec.x"),
+            "spec.x:12:7: warning: unbounded opaque [RPCL006]");
+}
+
+TEST(Sema, ParseSpecStillThrowsOnFirstError) {
+  // parse_spec's historical contract: error diagnostics throw ParseError
+  // carrying the offending line; warnings do not throw (kSmallSpec has an
+  // unbounded opaque and must keep parsing — see ParsesFullSpec above).
+  try {
+    (void)parse_spec("\nstruct s { nosuchtype x; };");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("RPCL008"), std::string::npos);
+  }
+}
+
+TEST(Sema, CommittedCricketSpecLintsClean) {
+  // The golden check mirrored by the build: rpclgen --lint --Werror must
+  // accept src/cricket/specs/cricket.x with zero errors AND zero warnings.
+  std::ifstream in(CRICKET_SPEC_X);
+  ASSERT_TRUE(in.is_open()) << "cannot open " << CRICKET_SPEC_X;
+  std::ostringstream source;
+  source << in.rdbuf();
+  const SpecFile spec = parse_spec_unchecked(source.str());
+  const SemaResult result = analyze(spec);
+  for (const auto& d : result.diagnostics)
+    ADD_FAILURE() << format_diagnostic(d, "cricket.x");
+  EXPECT_TRUE(result.ok({.warnings_as_errors = true}));
+}
 
 TEST(Codegen, EmitsBoundsChecksForDeclaredLimits) {
   const SpecFile spec = parse_spec(R"(
