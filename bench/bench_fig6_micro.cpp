@@ -4,20 +4,30 @@
 //   (b) cudaMalloc/cudaFree — alternating, server-side bookkeeping
 //   (c) kernel launch       — parameter blob, the dominant call type in the
 //                             Fig. 5 applications
+//   (d) cudaMemcpy          — 64 KiB H2D/D2H round trips (not a paper panel;
+//                             the canonical span-tracing demo: one call
+//                             crosses client → channel → vnet → server → gpu)
 //
 // Paper shape: the Linux VM is slowest for every API, RustyHermit has the
 // smallest virtualized overhead but still needs more than double the native
 // time; the Rust kernel launches are ~6.3% faster than C (no <<<...>>>
 // compatibility logic).
 //
-// Flags: --api=getDeviceCount|mallocFree|kernelLaunch|all  --calls=N
+// Flags: --api=getDeviceCount|mallocFree|kernelLaunch|memcpy|all  --calls=N
+//        --json=<path>  (machine-readable rows, see bench_util.hpp)
+// Env:   CRICKET_TRACE=<path> / CRICKET_METRICS=<path> — span trace +
+//        Prometheus dump via obs::TraceSession; also prints the per-layer
+//        latency breakdown.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "cudart/raii.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 
 namespace {
@@ -25,13 +35,18 @@ namespace {
 using namespace cricket;
 using bench::Rig;
 
+std::vector<bench::BenchRow> g_rows;
+
 struct Row {
   std::string config;
   sim::Nanos total = 0;
+  sim::Log2Histogram per_call;  // virtual ns per API call
+  std::uint64_t bytes = 0;      // payload moved (memcpy section)
 };
 
-void print_rows(const char* title, const char* paper_note,
-                const std::vector<Row>& rows, std::uint64_t calls) {
+void print_rows(const char* title, const char* section,
+                const char* paper_note, const std::vector<Row>& rows,
+                std::uint64_t calls) {
   std::printf("\n--- Figure 6: %s (%llu calls) ---\n", title,
               static_cast<unsigned long long>(calls));
   std::printf("paper: %s\n", paper_note);
@@ -43,6 +58,10 @@ void print_rows(const char* title, const char* paper_note,
                 static_cast<double>(row.total) / static_cast<double>(calls) /
                     1e3,
                 static_cast<double>(row.total) / native);
+    g_rows.push_back(bench::make_row("fig6_micro", section, row.config,
+                                     row.per_call,
+                                     static_cast<double>(row.total),
+                                     row.bytes));
   }
 }
 
@@ -52,39 +71,52 @@ std::vector<Row> measure(std::uint64_t calls, Body&& body) {
   for (const auto& environment : env::all_environments()) {
     Rig rig(environment);
     rig.clock().reset();
+    Row row;
+    row.config = environment.name;
     const sim::SimStopwatch sw(rig.clock());
-    body(rig, calls);
-    rows.push_back(Row{environment.name, sw.elapsed()});
+    body(rig, calls, row);
+    row.total = sw.elapsed();
+    rows.push_back(std::move(row));
   }
   return rows;
 }
 
+/// Times one API call in virtual ns and feeds the section's histogram.
+template <typename Fn>
+void timed_call(Rig& rig, sim::Log2Histogram& hist, Fn&& fn) {
+  const sim::Nanos t0 = rig.clock().now();
+  cuda::check(fn());
+  hist.add(static_cast<std::uint64_t>(rig.clock().now() - t0));
+}
+
 void bench_get_device_count(std::uint64_t calls) {
-  const auto rows = measure(calls, [](Rig& rig, std::uint64_t n) {
+  const auto rows = measure(calls, [](Rig& rig, std::uint64_t n, Row& row) {
     int count = 0;
     for (std::uint64_t i = 0; i < n; ++i)
-      cuda::check(rig.api().get_device_count(count));
+      timed_call(rig, row.per_call,
+                 [&] { return rig.api().get_device_count(count); });
   });
-  print_rows("(a) cudaGetDeviceCount",
+  print_rows("(a) cudaGetDeviceCount", "get_device_count",
              "VM slowest; Hermit best virtualized; all > 2x native", rows,
              calls);
 }
 
 void bench_malloc_free(std::uint64_t calls) {
-  const auto rows = measure(calls, [](Rig& rig, std::uint64_t n) {
+  const auto rows = measure(calls, [](Rig& rig, std::uint64_t n, Row& row) {
     for (std::uint64_t i = 0; i < n / 2; ++i) {
       cuda::DevPtr p = 0;
-      cuda::check(rig.api().malloc(p, 1 << 20));
-      cuda::check(rig.api().free(p));
+      timed_call(rig, row.per_call,
+                 [&] { return rig.api().malloc(p, 1 << 20); });
+      timed_call(rig, row.per_call, [&] { return rig.api().free(p); });
     }
   });
-  print_rows("(b) cudaMalloc and cudaFree (alternating)",
+  print_rows("(b) cudaMalloc and cudaFree (alternating)", "malloc_free",
              "same ordering as (a); bookkeeping adds server-side time", rows,
              calls);
 }
 
 void bench_kernel_launch(std::uint64_t calls) {
-  const auto rows = measure(calls, [](Rig& rig, std::uint64_t n) {
+  const auto rows = measure(calls, [](Rig& rig, std::uint64_t n, Row& row) {
     cuda::Module mod(rig.api(), workloads::sample_cubin());
     const auto fn = mod.function(workloads::kVectorAddKernel);
     cuda::DeviceBuffer a(rig.api(), 1024), b(rig.api(), 1024),
@@ -93,13 +125,15 @@ void bench_kernel_launch(std::uint64_t calls) {
     params.add_ptr(c).add_ptr(a).add_ptr(b).add(std::uint32_t{256});
     rig.set_timing_only(true);
     for (std::uint64_t i = 0; i < n; ++i)
-      cuda::check(rig.api().launch_kernel(fn, {1, 1, 1}, {256, 1, 1}, 0,
-                                          gpusim::kDefaultStream,
-                                          params.bytes()));
+      timed_call(rig, row.per_call, [&] {
+        return rig.api().launch_kernel(fn, {1, 1, 1}, {256, 1, 1}, 0,
+                                       gpusim::kDefaultStream,
+                                       params.bytes());
+      });
     cuda::check(rig.api().device_synchronize());
     rig.set_timing_only(false);
   });
-  print_rows("(c) kernel launch",
+  print_rows("(c) kernel launch", "kernel_launch",
              "Rust ~6.3% faster than C (<<<...>>> compat logic omitted)",
              rows, calls);
 
@@ -110,10 +144,35 @@ void bench_kernel_launch(std::uint64_t calls) {
               (c_time - rust_time) / c_time * 100.0);
 }
 
+void bench_memcpy(std::uint64_t calls) {
+  constexpr std::uint64_t kCopyBytes = 64 * 1024;
+  // Bulk copies are ~3 orders slower than no-payload calls; scale the count
+  // down so "all" stays quick while the distribution still fills out.
+  const std::uint64_t copies = std::max<std::uint64_t>(calls / 100, 2);
+  const auto rows =
+      measure(copies * 2, [&](Rig& rig, std::uint64_t, Row& row) {
+        std::vector<std::uint8_t> host(kCopyBytes, 0xAB);
+        cuda::DeviceBuffer dev(rig.api(), kCopyBytes);
+        for (std::uint64_t i = 0; i < copies; ++i) {
+          timed_call(rig, row.per_call,
+                     [&] { return rig.api().memcpy_h2d(dev.get(), host); });
+          timed_call(rig, row.per_call,
+                     [&] { return rig.api().memcpy_d2h(host, dev.get()); });
+        }
+        row.bytes = copies * 2 * kCopyBytes;
+      });
+  print_rows("(d) cudaMemcpy 64 KiB H2D/D2H", "memcpy",
+             "not a paper panel; bulk payload exercises the full span stack",
+             rows, copies * 2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // CRICKET_TRACE=out.json captures the span trace across every section.
+  obs::TraceSession trace_session = obs::TraceSession::from_env();
   const std::string api = bench::arg_value(argc, argv, "api", "all");
+  const std::string json = bench::arg_value(argc, argv, "json", "");
   const auto calls = static_cast<std::uint64_t>(
       std::atoll(bench::arg_value(argc, argv, "calls", "100000").c_str()));
 
@@ -122,5 +181,10 @@ int main(int argc, char** argv) {
   if (api == "getDeviceCount" || api == "all") bench_get_device_count(calls);
   if (api == "mallocFree" || api == "all") bench_malloc_free(calls);
   if (api == "kernelLaunch" || api == "all") bench_kernel_launch(calls);
+  if (api == "memcpy" || api == "all") bench_memcpy(calls);
+
+  if (obs::tracing_enabled() || trace_session.active())
+    bench::print_layer_breakdown("Figure 6 per-layer latency");
+  if (!bench::write_bench_json(json, g_rows)) return 1;
   return 0;
 }

@@ -2,14 +2,32 @@
 //
 // Prints the five configuration rows exactly as the paper tabulates them,
 // plus the resolved virtio feature set and cost parameters each row maps to
-// in this reproduction (DESIGN.md §3, src/env).
+// in this reproduction (DESIGN.md §3, src/env) — and then, per row, a
+// measured where-does-the-time-go breakdown: a small mixed workload runs
+// under span tracing and the per-layer latency histograms are printed for
+// each environment in turn (the obs registry is reset between rows so each
+// breakdown is scoped to its configuration).
+//
+// Flags: --calls=N (mixed workload size, default 2000)
+//        --no-breakdown (static tables only)
+//        --json=<path> (machine-readable per-env rows)
+// Env:   CRICKET_TRACE=<path> / CRICKET_METRICS=<path> via obs::TraceSession.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
+#include "cudart/raii.hpp"
 #include "env/environment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
-int main() {
-  using namespace cricket;
+namespace {
 
+using namespace cricket;
+
+void print_static_tables() {
   std::printf("Table 1: Overview of configurations for the evaluation\n\n");
   std::printf("%-10s %-6s %-13s %-11s %-8s\n", "Name", "app.", "OS",
               "Hypervisor", "Network");
@@ -45,5 +63,77 @@ int main() {
   }
   std::printf("\nAll guests use IP-MTU 9000 over a 100 Gbit/s link, as in "
               "the paper (section 4).\n");
+}
+
+/// A small mixed workload (no-payload calls, kernel launches, one 64 KiB
+/// round trip) whose spans populate every layer of the breakdown.
+void run_mixed_workload(bench::Rig& rig, std::uint64_t calls,
+                        sim::Log2Histogram& per_call) {
+  int count = 0;
+  cuda::Module mod(rig.api(), workloads::sample_cubin());
+  const auto fn = mod.function(workloads::kVectorAddKernel);
+  cuda::DeviceBuffer a(rig.api(), 64 * 1024), b(rig.api(), 1024),
+      c(rig.api(), 1024);
+  cuda::ParamPacker params;
+  params.add_ptr(c).add_ptr(b).add_ptr(b).add(std::uint32_t{256});
+  std::vector<std::uint8_t> host(64 * 1024, 0x5A);
+  rig.set_timing_only(true);
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    const sim::Nanos t0 = rig.clock().now();
+    switch (i % 4) {
+      case 0:
+        cuda::check(rig.api().get_device_count(count));
+        break;
+      case 1:
+      case 2:
+        cuda::check(rig.api().launch_kernel(fn, {1, 1, 1}, {256, 1, 1}, 0,
+                                            gpusim::kDefaultStream,
+                                            params.bytes()));
+        break;
+      case 3:
+        cuda::check(rig.api().memcpy_h2d(a.get(), host));
+        break;
+    }
+    per_call.add(static_cast<std::uint64_t>(rig.clock().now() - t0));
+  }
+  cuda::check(rig.api().device_synchronize());
+  rig.set_timing_only(false);
+}
+
+void measured_breakdown(std::uint64_t calls, const std::string& json) {
+  std::printf("\n=== Measured per-layer breakdown (mixed workload, %llu "
+              "calls per row) ===\n",
+              static_cast<unsigned long long>(calls));
+  std::vector<bench::BenchRow> rows;
+  for (const auto& environment : env::all_environments()) {
+    // Reset between rows so each breakdown covers exactly one configuration.
+    obs::Registry::global().reset();
+    obs::reset_trace();
+    bench::Rig rig(env::with_tracing(environment));
+    rig.clock().reset();
+    sim::Log2Histogram per_call;
+    const sim::SimStopwatch sw(rig.clock());
+    run_mixed_workload(rig, calls, per_call);
+    const auto total = static_cast<double>(sw.elapsed());
+    std::printf("\n[%s]  total %s, %.2f us/call", environment.name.c_str(),
+                sim::format_nanos(total).c_str(),
+                total / static_cast<double>(calls) / 1e3);
+    bench::print_layer_breakdown(environment.name.c_str());
+    rows.push_back(bench::make_row("table1", "mixed", environment.name,
+                                   per_call, total));
+  }
+  bench::write_bench_json(json, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::TraceSession trace_session = obs::TraceSession::from_env();
+  print_static_tables();
+  if (!bench::has_flag(argc, argv, "no-breakdown")) {
+    const auto calls = static_cast<std::uint64_t>(
+        std::atoll(bench::arg_value(argc, argv, "calls", "2000").c_str()));
+    measured_breakdown(calls, bench::arg_value(argc, argv, "json", ""));
+  }
   return 0;
 }

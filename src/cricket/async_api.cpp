@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "cricket_proto.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cricket::core {
 
@@ -57,6 +59,9 @@ template <typename... Args>
 Error AsyncRemoteCudaApi::enqueue(std::uint32_t proc, const Args&... args) {
   ++stats_.api_calls;
   ++stats_.pipelined;
+  static obs::Counter& api_calls = obs::Registry::global().counter(
+      "cricket_client_api_calls_total", {{"mode", "pipelined"}});
+  api_calls.inc();
   clock_->advance(config_.flavor.per_call_ns);
   if (sticky_ == Error::kRpcFailure) return sticky_;
   reap_ready();
@@ -76,6 +81,10 @@ Error AsyncRemoteCudaApi::call_blocking(std::uint32_t proc, Fn&& consume,
                                         const Args&... args) {
   ++stats_.api_calls;
   ++stats_.blocking;
+  static obs::Counter& api_calls = obs::Registry::global().counter(
+      "cricket_client_api_calls_total", {{"mode", "blocking"}});
+  api_calls.inc();
+  obs::Span span(obs::Layer::kClientCall, "cuda.async_call");
   clock_->advance(config_.flavor.per_call_ns);
   if (sticky_ == Error::kRpcFailure) return sticky_;
   reap_ready();

@@ -3,6 +3,8 @@
 #include <thread>
 
 #include "cricket_proto.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cricket::core {
 
@@ -26,8 +28,15 @@ RemoteCudaApi::RemoteCudaApi(std::unique_ptr<rpc::Transport> transport,
 RemoteCudaApi::~RemoteCudaApi() = default;
 
 template <typename Fn>
-Error RemoteCudaApi::forward(Fn&& fn) {
+Error RemoteCudaApi::forward(const char* name, Fn&& fn) {
   ++stats_.api_calls;
+  static obs::Counter& api_calls = obs::Registry::global().counter(
+      "cricket_client_api_calls_total", {{"mode", "sync"}},
+      "CUDA API calls forwarded over RPC");
+  api_calls.inc();
+  // The whole remote call, named after the CUDA entry point; the RPC layers
+  // underneath contribute the nested serialize/send/wait spans.
+  obs::Span span(obs::Layer::kClientCall, name);
   clock_->advance(config_.flavor.per_call_ns);
   try {
     return fn();
@@ -41,7 +50,7 @@ Error RemoteCudaApi::forward(Fn&& fn) {
 }
 
 Error RemoteCudaApi::get_device_count(int& count) {
-  return forward([&] {
+  return forward("cuda.get_device_count", [&] {
     const auto res = stub_->rpc_get_device_count();
     count = res.value;
     return from_wire(res.err);
@@ -49,11 +58,11 @@ Error RemoteCudaApi::get_device_count(int& count) {
 }
 
 Error RemoteCudaApi::set_device(int device) {
-  return forward([&] { return from_wire(stub_->rpc_set_device(device)); });
+  return forward("cuda.set_device", [&] { return from_wire(stub_->rpc_set_device(device)); });
 }
 
 Error RemoteCudaApi::get_device(int& device) {
-  return forward([&] {
+  return forward("cuda.get_device", [&] {
     const auto res = stub_->rpc_get_device();
     device = res.value;
     return from_wire(res.err);
@@ -62,7 +71,7 @@ Error RemoteCudaApi::get_device(int& device) {
 
 Error RemoteCudaApi::get_device_properties(cuda::DeviceInfo& info,
                                            int device) {
-  return forward([&] {
+  return forward("cuda.get_device_properties", [&] {
     const auto res = stub_->rpc_get_device_properties(device);
     if (res.err == 0) {
       info = cuda::DeviceInfo{.name = res.name,
@@ -76,7 +85,7 @@ Error RemoteCudaApi::get_device_properties(cuda::DeviceInfo& info,
 }
 
 Error RemoteCudaApi::malloc(cuda::DevPtr& ptr, std::uint64_t size) {
-  return forward([&] {
+  return forward("cuda.malloc", [&] {
     const auto res = stub_->rpc_malloc(size);
     ptr = res.value;
     return from_wire(res.err);
@@ -84,11 +93,11 @@ Error RemoteCudaApi::malloc(cuda::DevPtr& ptr, std::uint64_t size) {
 }
 
 Error RemoteCudaApi::free(cuda::DevPtr ptr) {
-  return forward([&] { return from_wire(stub_->rpc_free(ptr)); });
+  return forward("cuda.free", [&] { return from_wire(stub_->rpc_free(ptr)); });
 }
 
 Error RemoteCudaApi::memset(cuda::DevPtr ptr, int value, std::uint64_t size) {
-  return forward(
+  return forward("cuda.memset", 
       [&] { return from_wire(stub_->rpc_memset(ptr, value, size)); });
 }
 
@@ -97,13 +106,13 @@ Error RemoteCudaApi::memcpy_h2d(cuda::DevPtr dst,
   stats_.bytes_to_device += src.size();
   switch (config_.transfer) {
     case TransferMethod::kRpcArgs:
-      return forward([&] {
+      return forward("cuda.memcpy_h2d", [&] {
         return from_wire(stub_->rpc_memcpy_h2d(
             dst, std::vector<std::uint8_t>(src.begin(), src.end())));
       });
     case TransferMethod::kParallelSockets: {
       if (lanes_.count() == 0) return Error::kInvalidValue;
-      return forward([&] {
+      return forward("cuda.memcpy_h2d", [&] {
         // Stripe concurrently with the RPC: the server handler starts
         // draining the lanes when it receives the call.
         std::thread sender(
@@ -134,7 +143,7 @@ Error RemoteCudaApi::memcpy_d2h(std::span<std::uint8_t> dst,
   stats_.bytes_from_device += dst.size();
   switch (config_.transfer) {
     case TransferMethod::kRpcArgs:
-      return forward([&] {
+      return forward("cuda.memcpy_d2h", [&] {
         const auto res = stub_->rpc_memcpy_d2h(src, dst.size());
         if (res.err == 0) {
           if (res.data.size() != dst.size()) return Error::kRpcFailure;
@@ -144,7 +153,7 @@ Error RemoteCudaApi::memcpy_d2h(std::span<std::uint8_t> dst,
       });
     case TransferMethod::kParallelSockets: {
       if (lanes_.count() == 0) return Error::kInvalidValue;
-      return forward([&] {
+      return forward("cuda.memcpy_d2h", [&] {
         std::thread receiver(
             [&] { recv_striped(lanes_, dst, config_.profile, *clock_); });
         const auto err = from_wire(stub_->rpc_transfer_begin_d2h(
@@ -168,7 +177,7 @@ Error RemoteCudaApi::memcpy_d2h(std::span<std::uint8_t> dst,
 
 Error RemoteCudaApi::memcpy_d2d(cuda::DevPtr dst, cuda::DevPtr src,
                                 std::uint64_t size) {
-  return forward(
+  return forward("cuda.memcpy_d2d", 
       [&] { return from_wire(stub_->rpc_memcpy_d2d(dst, src, size)); });
 }
 
@@ -176,7 +185,7 @@ Error RemoteCudaApi::memcpy_h2d_async(cuda::DevPtr dst,
                                       std::span<const std::uint8_t> src,
                                       cuda::StreamId stream) {
   stats_.bytes_to_device += src.size();
-  return forward([&] {
+  return forward("cuda.memcpy_h2d_async", [&] {
     return from_wire(stub_->rpc_memcpy_h2d_async(
         dst, std::vector<std::uint8_t>(src.begin(), src.end()), stream));
   });
@@ -186,7 +195,7 @@ Error RemoteCudaApi::memcpy_d2h_async(std::span<std::uint8_t> dst,
                                       cuda::DevPtr src,
                                       cuda::StreamId stream) {
   stats_.bytes_from_device += dst.size();
-  return forward([&] {
+  return forward("cuda.memcpy_d2h_async", [&] {
     const auto res = stub_->rpc_memcpy_d2h_async(src, dst.size(), stream);
     if (res.err == 0) {
       if (res.data.size() != dst.size()) return Error::kRpcFailure;
@@ -198,12 +207,12 @@ Error RemoteCudaApi::memcpy_d2h_async(std::span<std::uint8_t> dst,
 
 Error RemoteCudaApi::stream_wait_event(cuda::StreamId stream,
                                        cuda::EventId event) {
-  return forward(
+  return forward("cuda.stream_wait_event", 
       [&] { return from_wire(stub_->rpc_stream_wait_event(stream, event)); });
 }
 
 Error RemoteCudaApi::stream_create(cuda::StreamId& stream) {
-  return forward([&] {
+  return forward("cuda.stream_create", [&] {
     const auto res = stub_->rpc_stream_create();
     stream = res.value;
     return from_wire(res.err);
@@ -211,20 +220,20 @@ Error RemoteCudaApi::stream_create(cuda::StreamId& stream) {
 }
 
 Error RemoteCudaApi::stream_destroy(cuda::StreamId stream) {
-  return forward([&] { return from_wire(stub_->rpc_stream_destroy(stream)); });
+  return forward("cuda.stream_destroy", [&] { return from_wire(stub_->rpc_stream_destroy(stream)); });
 }
 
 Error RemoteCudaApi::stream_synchronize(cuda::StreamId stream) {
-  return forward(
+  return forward("cuda.stream_synchronize", 
       [&] { return from_wire(stub_->rpc_stream_synchronize(stream)); });
 }
 
 Error RemoteCudaApi::device_synchronize() {
-  return forward([&] { return from_wire(stub_->rpc_device_synchronize()); });
+  return forward("cuda.device_synchronize", [&] { return from_wire(stub_->rpc_device_synchronize()); });
 }
 
 Error RemoteCudaApi::event_create(cuda::EventId& event) {
-  return forward([&] {
+  return forward("cuda.event_create", [&] {
     const auto res = stub_->rpc_event_create();
     event = res.value;
     return from_wire(res.err);
@@ -232,22 +241,22 @@ Error RemoteCudaApi::event_create(cuda::EventId& event) {
 }
 
 Error RemoteCudaApi::event_destroy(cuda::EventId event) {
-  return forward([&] { return from_wire(stub_->rpc_event_destroy(event)); });
+  return forward("cuda.event_destroy", [&] { return from_wire(stub_->rpc_event_destroy(event)); });
 }
 
 Error RemoteCudaApi::event_record(cuda::EventId event, cuda::StreamId stream) {
-  return forward(
+  return forward("cuda.event_record", 
       [&] { return from_wire(stub_->rpc_event_record(event, stream)); });
 }
 
 Error RemoteCudaApi::event_synchronize(cuda::EventId event) {
-  return forward(
+  return forward("cuda.event_synchronize", 
       [&] { return from_wire(stub_->rpc_event_synchronize(event)); });
 }
 
 Error RemoteCudaApi::event_elapsed_ms(float& ms, cuda::EventId start,
                                       cuda::EventId stop) {
-  return forward([&] {
+  return forward("cuda.event_elapsed_ms", [&] {
     const auto res = stub_->rpc_event_elapsed(start, stop);
     ms = res.value;
     return from_wire(res.err);
@@ -256,7 +265,7 @@ Error RemoteCudaApi::event_elapsed_ms(float& ms, cuda::EventId start,
 
 Error RemoteCudaApi::module_load(cuda::ModuleId& module,
                                  std::span<const std::uint8_t> image) {
-  return forward([&] {
+  return forward("cuda.module_load", [&] {
     const auto res = stub_->rpc_module_load(
         std::vector<std::uint8_t>(image.begin(), image.end()));
     module = res.value;
@@ -265,13 +274,13 @@ Error RemoteCudaApi::module_load(cuda::ModuleId& module,
 }
 
 Error RemoteCudaApi::module_unload(cuda::ModuleId module) {
-  return forward([&] { return from_wire(stub_->rpc_module_unload(module)); });
+  return forward("cuda.module_unload", [&] { return from_wire(stub_->rpc_module_unload(module)); });
 }
 
 Error RemoteCudaApi::module_get_function(cuda::FuncId& func,
                                          cuda::ModuleId module,
                                          const std::string& name) {
-  return forward([&] {
+  return forward("cuda.module_get_function", [&] {
     const auto res = stub_->rpc_module_get_function(module, name);
     func = res.value;
     return from_wire(res.err);
@@ -281,7 +290,7 @@ Error RemoteCudaApi::module_get_function(cuda::FuncId& func,
 Error RemoteCudaApi::module_get_global(cuda::DevPtr& ptr,
                                        cuda::ModuleId module,
                                        const std::string& name) {
-  return forward([&] {
+  return forward("cuda.module_get_global", [&] {
     const auto res = stub_->rpc_module_get_global(module, name);
     ptr = res.value;
     return from_wire(res.err);
@@ -296,7 +305,7 @@ Error RemoteCudaApi::launch_kernel(cuda::FuncId func, cuda::Dim3 grid,
   // The C client's <<<...>>> compatibility logic runs here; the Rust path
   // omits it (paper §4.2, ~6.3% faster kernel launches).
   clock_->advance(config_.flavor.launch_extra_ns);
-  return forward([&] {
+  return forward("cuda.launch_kernel", [&] {
     return from_wire(stub_->rpc_launch_kernel(
         func, proto::rpc_dim3{grid.x, grid.y, grid.z},
         proto::rpc_dim3{block.x, block.y, block.z}, shared_bytes, stream,
@@ -308,7 +317,7 @@ Error RemoteCudaApi::blas_sgemm(int m, int n, int k, float alpha,
                                 cuda::DevPtr a, int lda, cuda::DevPtr b,
                                 int ldb, float beta, cuda::DevPtr c,
                                 int ldc) {
-  return forward([&] {
+  return forward("cuda.blas_sgemm", [&] {
     return from_wire(
         stub_->rpc_blas_sgemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc));
   });
@@ -317,39 +326,39 @@ Error RemoteCudaApi::blas_sgemm(int m, int n, int k, float alpha,
 Error RemoteCudaApi::blas_sgemv(int m, int n, float alpha, cuda::DevPtr a,
                                 int lda, cuda::DevPtr x, float beta,
                                 cuda::DevPtr y) {
-  return forward([&] {
+  return forward("cuda.blas_sgemv", [&] {
     return from_wire(stub_->rpc_blas_sgemv(m, n, alpha, a, lda, x, beta, y));
   });
 }
 
 Error RemoteCudaApi::blas_saxpy(int n, float alpha, cuda::DevPtr x,
                                 cuda::DevPtr y) {
-  return forward(
+  return forward("cuda.blas_saxpy", 
       [&] { return from_wire(stub_->rpc_blas_saxpy(n, alpha, x, y)); });
 }
 
 Error RemoteCudaApi::blas_snrm2(int n, cuda::DevPtr x, cuda::DevPtr result) {
-  return forward(
+  return forward("cuda.blas_snrm2", 
       [&] { return from_wire(stub_->rpc_blas_snrm2(n, x, result)); });
 }
 
 Error RemoteCudaApi::solver_spotrf(int n, cuda::DevPtr a, int lda,
                                    cuda::DevPtr info) {
-  return forward(
+  return forward("cuda.solver_spotrf", 
       [&] { return from_wire(stub_->rpc_solver_spotrf(n, a, lda, info)); });
 }
 
 Error RemoteCudaApi::solver_spotrs(int n, int nrhs, cuda::DevPtr a, int lda,
                                    cuda::DevPtr b, int ldb,
                                    cuda::DevPtr info) {
-  return forward([&] {
+  return forward("cuda.solver_spotrs", [&] {
     return from_wire(stub_->rpc_solver_spotrs(n, nrhs, a, lda, b, ldb, info));
   });
 }
 
 Error RemoteCudaApi::solver_sgetrf(int n, cuda::DevPtr a, int lda,
                                    cuda::DevPtr ipiv, cuda::DevPtr info) {
-  return forward([&] {
+  return forward("cuda.solver_sgetrf", [&] {
     return from_wire(stub_->rpc_solver_sgetrf(n, a, lda, ipiv, info));
   });
 }
@@ -357,18 +366,18 @@ Error RemoteCudaApi::solver_sgetrf(int n, cuda::DevPtr a, int lda,
 Error RemoteCudaApi::solver_sgetrs(int n, int nrhs, cuda::DevPtr a, int lda,
                                    cuda::DevPtr ipiv, cuda::DevPtr b, int ldb,
                                    cuda::DevPtr info) {
-  return forward([&] {
+  return forward("cuda.solver_sgetrs", [&] {
     return from_wire(
         stub_->rpc_solver_sgetrs(n, nrhs, a, lda, ipiv, b, ldb, info));
   });
 }
 
 Error RemoteCudaApi::checkpoint(const std::string& path) {
-  return forward([&] { return from_wire(stub_->rpc_checkpoint(path)); });
+  return forward("cuda.checkpoint", [&] { return from_wire(stub_->rpc_checkpoint(path)); });
 }
 
 Error RemoteCudaApi::restore(const std::string& path) {
-  return forward([&] { return from_wire(stub_->rpc_restore(path)); });
+  return forward("cuda.restore", [&] { return from_wire(stub_->rpc_restore(path)); });
 }
 
 void RemoteCudaApi::disconnect() { rpc_.transport().shutdown(); }

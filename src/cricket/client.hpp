@@ -129,8 +129,11 @@ class RemoteCudaApi final : public cuda::CudaApi {
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
 
  private:
+  /// Forwards one CUDA API call: bumps counters, opens the kClientCall
+  /// span (`name` is the stable "cuda.<entry point>" label), charges the
+  /// per-call flavor cost, and maps RPC failures to Error::kRpcFailure.
   template <typename Fn>
-  cuda::Error forward(Fn&& fn);
+  cuda::Error forward(const char* name, Fn&& fn);
 
   sim::SimClock* clock_;
   ClientConfig config_;

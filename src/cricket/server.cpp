@@ -4,6 +4,7 @@
 
 #include "cricket/checkpoint.hpp"
 #include "cricket_proto.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/server.hpp"
 
 namespace cricket::core {
@@ -357,7 +358,13 @@ class CricketSession final : public proto::CRICKETVERSService {
   }
 
  private:
-  void count() noexcept { server_->count_rpc(); }
+  void count() noexcept {
+    server_->count_rpc();
+    static obs::Counter& rpcs = obs::Registry::global().counter(
+        "cricket_server_rpcs_total", {},
+        "RPCs dispatched by Cricket sessions");
+    rpcs.inc();
+  }
 
   CricketServer* server_;
   std::uint64_t id_;
@@ -379,6 +386,9 @@ CricketServer::CricketServer(cuda::GpuNode& node, ServerOptions options)
 void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   const std::uint64_t id = next_session_.fetch_add(1);
   stats_.sessions.fetch_add(1);
+  static obs::Counter& sessions = obs::Registry::global().counter(
+      "cricket_server_sessions_total", {}, "Client sessions served");
+  sessions.inc();
   CricketSession session(*this, id, std::move(lanes));
   rpc::ServiceRegistry registry;
   session.register_into(registry);

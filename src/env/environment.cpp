@@ -154,6 +154,11 @@ Environment with_pipelining(Environment environment, std::uint32_t depth,
   return environment;
 }
 
+Environment with_tracing(Environment environment) {
+  environment.tracing = true;
+  return environment;
+}
+
 std::vector<Environment> all_environments() {
   return {make_environment(EnvKind::kNativeC),
           make_environment(EnvKind::kNativeRust),

@@ -71,12 +71,20 @@ struct Environment {
   vnet::NetworkProfile profile;
   ClientFlavor flavor;
   PipelineConfig pipeline;  // defaults to off (paper-faithful)
+  /// Enable the obs span collector for runs under this environment. Off by
+  /// default: Table-1 presets measure the stack, not the instrumentation.
+  bool tracing = false;
 };
 
 /// Returns a copy of `environment` with rpcflow pipelining switched on.
 [[nodiscard]] Environment with_pipelining(Environment environment,
                                           std::uint32_t depth = 32,
                                           bool batching = true);
+
+/// Returns a copy of `environment` with obs tracing switched on. Harness
+/// code (bench_util's Rig) reacts by enabling the span collector and binding
+/// the trace time source to the run's SimClock.
+[[nodiscard]] Environment with_tracing(Environment environment);
 
 [[nodiscard]] Environment make_environment(EnvKind kind);
 

@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace cricket::gpusim {
+
+namespace detail {
+
+DeviceCounters::DeviceCounters(const std::string& instance)
+    : kernels_launched(obs::Registry::global().counter(
+          "cricket_gpu_kernels_launched_total", {{"device", instance}},
+          "Kernel launches executed by the simulated device")),
+      bytes_h2d(obs::Registry::global().counter(
+          "cricket_gpu_copy_bytes_total",
+          {{"device", instance}, {"dir", "h2d"}},
+          "Bytes moved by device copies")),
+      bytes_d2h(obs::Registry::global().counter(
+          "cricket_gpu_copy_bytes_total",
+          {{"device", instance}, {"dir", "d2h"}})),
+      bytes_d2d(obs::Registry::global().counter(
+          "cricket_gpu_copy_bytes_total",
+          {{"device", instance}, {"dir", "d2d"}})),
+      modules_loaded(obs::Registry::global().counter(
+          "cricket_gpu_modules_loaded_total", {{"device", instance}},
+          "Fatbin/cubin modules loaded")) {}
+
+}  // namespace detail
 
 Device::Device(DeviceProps props, sim::SimClock& clock,
                KernelRegistry& registry, ThreadPool& pool)
@@ -10,7 +34,8 @@ Device::Device(DeviceProps props, sim::SimClock& clock,
       clock_(&clock),
       registry_(&registry),
       pool_(&pool),
-      memory_(props_.mem_bytes) {
+      memory_(props_.mem_bytes),
+      counters_(obs::Registry::global().unique_label("gpu")) {
   streams_.emplace(kDefaultStream, 0);
 }
 
@@ -41,24 +66,25 @@ sim::Nanos Device::copy_time(std::uint64_t bytes) const noexcept {
 }
 
 void Device::memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) {
+  obs::Span trace(obs::Layer::kGpuMemcpy, "gpu.memcpy_h2d", src.size());
   device_synchronize();
   const auto span = memory_.resolve(dst, src.size());
   std::copy(src.begin(), src.end(), span.begin());
   clock_->advance(copy_time(src.size()));
-  sim::MutexLock lock(mu_);
-  stats_.bytes_h2d += src.size();
+  counters_.bytes_h2d.inc(src.size());
 }
 
 void Device::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
+  obs::Span trace(obs::Layer::kGpuMemcpy, "gpu.memcpy_d2h", dst.size());
   device_synchronize();
   const auto span = memory_.resolve(src, dst.size());
   std::copy(span.begin(), span.end(), dst.begin());
   clock_->advance(copy_time(dst.size()));
-  sim::MutexLock lock(mu_);
-  stats_.bytes_d2h += dst.size();
+  counters_.bytes_d2h.inc(dst.size());
 }
 
 void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
+  obs::Span trace(obs::Layer::kGpuMemcpy, "gpu.memcpy_d2d", len);
   device_synchronize();
   // Resolve source first so overlapping-copy errors surface before writes.
   const auto s = memory_.resolve(src, len);
@@ -68,33 +94,29 @@ void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
   clock_->advance(static_cast<sim::Nanos>(
       2.0 * static_cast<double>(len) / (props_.mem_bandwidth_gbps * 1e9) *
       1e9));
-  sim::MutexLock lock(mu_);
-  stats_.bytes_d2d += len;
-}
-
-DeviceStats Device::stats() const {
-  sim::MutexLock lock(mu_);
-  return stats_;
+  counters_.bytes_d2d.inc(len);
 }
 
 void Device::memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
                               StreamId stream) {
+  obs::Span trace(obs::Layer::kGpuMemcpy, "gpu.memcpy_h2d_async", src.size());
   const auto span = memory_.resolve(dst, src.size());
   std::copy(src.begin(), src.end(), span.begin());
+  counters_.bytes_h2d.inc(src.size());
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + copy_time(src.size());
-  stats_.bytes_h2d += src.size();
 }
 
 void Device::memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
                               StreamId stream) {
+  obs::Span trace(obs::Layer::kGpuMemcpy, "gpu.memcpy_d2h_async", dst.size());
   const auto span = memory_.resolve(src, dst.size());
   std::copy(span.begin(), span.end(), dst.begin());
+  counters_.bytes_d2h.inc(dst.size());
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + copy_time(dst.size());
-  stats_.bytes_d2h += dst.size();
 }
 
 // --------------------------------- modules ---------------------------------
@@ -117,10 +139,10 @@ ModuleId Device::load_module(std::span<const std::uint8_t> image) {
   // Charge load time: metadata parse + code upload over PCIe.
   clock_->advance(50 * sim::kMicrosecond + copy_time(image.size()));
 
+  counters_.modules_loaded.inc();
   sim::MutexLock lock(mu_);
   const ModuleId id = next_id_++;
   modules_.emplace(id, std::move(mod));
-  ++stats_.modules_loaded;
   return id;
 }
 
@@ -184,6 +206,8 @@ sim::Nanos Device::exec_time(const LaunchContext& ctx) const noexcept {
 sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
                           std::uint32_t shared_bytes, StreamId stream,
                           std::span<const std::uint8_t> params) {
+  obs::Span trace(obs::Layer::kGpuLaunch, nullptr,
+                  static_cast<std::uint64_t>(grid.count()) * block.count());
   const fatbin::KernelDescriptor* desc;
   {
     sim::MutexLock lock(mu_);
@@ -212,10 +236,10 @@ sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
   // Host pays the submission latency; the device timeline absorbs execution.
   clock_->advance(props_.launch_latency_ns);
   const sim::Nanos exec = exec_time(ctx);
+  counters_.kernels_launched.inc();
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + exec;
-  ++stats_.kernels_launched;
   return exec;
 }
 
@@ -234,10 +258,10 @@ void Device::charge_internal_kernel(StreamId stream, double flops,
                                sim::kMicrosecond,
                            static_cast<sim::Nanos>(std::max(t_flops, t_mem) *
                                                    1e9));
+  counters_.kernels_launched.inc(launches);
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + exec;
-  stats_.kernels_launched += launches;
 }
 
 // ------------------------- checkpoint / restart -----------------------------
@@ -329,6 +353,7 @@ void Device::stream_destroy(StreamId stream) {
 }
 
 void Device::stream_synchronize(StreamId stream) {
+  obs::Span trace(obs::Layer::kGpuSync, "gpu.sync_stream");
   std::int64_t finish;
   {
     sim::MutexLock lock(mu_);
@@ -339,6 +364,7 @@ void Device::stream_synchronize(StreamId stream) {
 }
 
 void Device::device_synchronize() {
+  obs::Span trace(obs::Layer::kGpuSync, "gpu.sync_device");
   std::int64_t finish = 0;
   {
     sim::MutexLock lock(mu_);

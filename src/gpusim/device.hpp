@@ -18,6 +18,7 @@
 
 #include "fatbin/fatbin.hpp"
 #include "gpusim/device_props.hpp"
+#include "obs/metrics.hpp"
 #include "gpusim/kernel.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/thread_pool.hpp"
@@ -41,6 +42,34 @@ struct DeviceStats {
   std::uint64_t bytes_d2d = 0;
   std::uint64_t modules_loaded = 0;
 };
+
+namespace detail {
+
+/// Per-device counter block backed by the global obs registry (series
+/// `cricket_gpu_*_total{device="gpuN",...}`). Bumps are relaxed atomics, so
+/// transfer accounting no longer rides the device mutex and stats() readers
+/// never contend with in-flight launches.
+struct DeviceCounters {
+  explicit DeviceCounters(const std::string& instance);
+
+  obs::Counter& kernels_launched;
+  obs::Counter& bytes_h2d;
+  obs::Counter& bytes_d2h;
+  obs::Counter& bytes_d2d;
+  obs::Counter& modules_loaded;
+
+  [[nodiscard]] DeviceStats snapshot() const noexcept {
+    DeviceStats s;
+    s.kernels_launched = kernels_launched.value();
+    s.bytes_h2d = bytes_h2d.value();
+    s.bytes_d2h = bytes_d2h.value();
+    s.bytes_d2d = bytes_d2d.value();
+    s.modules_loaded = modules_loaded.value();
+    return s;
+  }
+};
+
+}  // namespace detail
 
 class DeviceError : public std::runtime_error {
  public:
@@ -158,9 +187,11 @@ class Device {
       CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
-  /// Returns a snapshot copy: callers may race with in-flight launches, so
-  /// handing out a reference to the guarded struct would be a data race.
-  [[nodiscard]] DeviceStats stats() const CRICKET_EXCLUDES(mu_);
+  /// Returns a snapshot copy assembled from the atomic obs counters —
+  /// lock-free, so readers never contend with in-flight launches.
+  [[nodiscard]] DeviceStats stats() const noexcept {
+    return counters_.snapshot();
+  }
   [[nodiscard]] sim::SimClock& clock() noexcept { return *clock_; }
 
   /// Timing-only launches: kernels skip arithmetic but charge modelled cost.
@@ -212,7 +243,7 @@ class Device {
   // event -> recorded timestamp
   std::map<EventId, std::int64_t> events_ CRICKET_GUARDED_BY(mu_);
   std::uint64_t next_id_ CRICKET_GUARDED_BY(mu_) = 1;
-  DeviceStats stats_ CRICKET_GUARDED_BY(mu_);
+  detail::DeviceCounters counters_;  // atomic; needs no mutex
   std::atomic<bool> timing_only_{false};
 };
 

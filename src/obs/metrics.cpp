@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cricket::obs {
+
+namespace {
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+/// Series name with one extra label spliced in (for histogram `le`).
+std::string series_with(const std::string& name, const Labels& labels,
+                        const std::string& extra_key,
+                        const std::string& extra_value) {
+  Labels all = labels;
+  all.emplace_back(extra_key, extra_value);
+  return series_name(name, all);
+}
+
+}  // namespace
+
+std::string series_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+sim::Log2Histogram Histogram::snapshot() const noexcept {
+  sim::Log2Histogram out;
+  for (std::size_t i = 0; i < sim::Log2Histogram::bucket_count(); ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.add_bucket(i, n);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) gauges[k] = v;
+  for (const auto& [k, v] : other.histograms) {
+    auto& mine = histograms[k];
+    mine.hist.merge(v.hist);
+    mine.sum += v.sum;
+  }
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels,
+                           const std::string& help) {
+  Key key{name, sorted(std::move(labels))};
+  sim::MutexLock lock(mu_);
+  auto& slot = counters_[key];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    if (!help.empty()) help_.emplace(name, help);
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels,
+                       const std::string& help) {
+  Key key{name, sorted(std::move(labels))};
+  sim::MutexLock lock(mu_);
+  auto& slot = gauges_[key];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    if (!help.empty()) help_.emplace(name, help);
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels,
+                               const std::string& help) {
+  Key key{name, sorted(std::move(labels))};
+  sim::MutexLock lock(mu_);
+  auto& slot = hists_[key];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+    if (!help.empty()) help_.emplace(name, help);
+  }
+  return *slot;
+}
+
+std::string Registry::unique_label(const std::string& prefix) {
+  sim::MutexLock lock(mu_);
+  std::string out = prefix;
+  append_u64(out, label_seq_[prefix]++);
+  return out;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  sim::MutexLock lock(mu_);
+  for (const auto& [key, c] : counters_)
+    out.counters[series_name(key.name, key.labels)] = c->value();
+  for (const auto& [key, g] : gauges_)
+    out.gauges[series_name(key.name, key.labels)] = g->value();
+  for (const auto& [key, h] : hists_) {
+    auto& slot = out.histograms[series_name(key.name, key.labels)];
+    slot.hist = h->snapshot();
+    slot.sum = h->sum();
+  }
+  return out;
+}
+
+std::string Registry::prometheus_text() const {
+  std::string out;
+  sim::MutexLock lock(mu_);
+  const std::string* last_family = nullptr;
+  const auto header = [&](const std::string& name, const char* type) {
+    if (last_family && *last_family == name) return;
+    last_family = &name;
+    auto h = help_.find(name);
+    if (h != help_.end()) {
+      out += "# HELP ";
+      out += name;
+      out += ' ';
+      out += h->second;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+
+  for (const auto& [key, c] : counters_) {
+    header(key.name, "counter");
+    out += series_name(key.name, key.labels);
+    out += ' ';
+    append_u64(out, c->value());
+    out += '\n';
+  }
+  last_family = nullptr;
+  for (const auto& [key, g] : gauges_) {
+    header(key.name, "gauge");
+    out += series_name(key.name, key.labels);
+    out += ' ';
+    append_i64(out, g->value());
+    out += '\n';
+  }
+  last_family = nullptr;
+  for (const auto& [key, h] : hists_) {
+    header(key.name, "histogram");
+    const sim::Log2Histogram snap = h->snapshot();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < sim::Log2Histogram::bucket_count(); ++i) {
+      if (snap.bucket(i) == 0) continue;
+      cumulative += snap.bucket(i);
+      std::string le;
+      append_u64(le, sim::Log2Histogram::bucket_upper(i));
+      out += series_with(key.name + "_bucket", key.labels, "le", le);
+      out += ' ';
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += series_with(key.name + "_bucket", key.labels, "le", "+Inf");
+    out += ' ';
+    append_u64(out, cumulative);
+    out += '\n';
+    out += series_name(key.name + "_sum", key.labels);
+    out += ' ';
+    append_u64(out, h->sum());
+    out += '\n';
+    out += series_name(key.name + "_count", key.labels);
+    out += ' ';
+    append_u64(out, cumulative);
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::reset() {
+  sim::MutexLock lock(mu_);
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : hists_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // bumps from detached threads outlive static teardown
+}
+
+}  // namespace cricket::obs

@@ -1,0 +1,168 @@
+// Named metrics registry: counters, gauges, and log2 latency histograms.
+//
+// Every instrument is a handful of relaxed atomics — bump sites never take a
+// lock, so hot paths (per-frame transport counters, per-call histograms) pay
+// one fetch_add. The Registry owns instruments behind stable references:
+// counter()/gauge()/histogram() get-or-create under a Mutex and hand back a
+// reference that stays valid for the registry's lifetime (reset() zeroes
+// values in place, it never deallocates), so callers cache the pointer once
+// and bump forever. Exposition is Prometheus text format; snapshot() returns
+// a plain-value copy whose merge() mirrors RunningStats::merge for
+// aggregating registries from parallel experiments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/annotations.hpp"
+#include "sim/stats.hpp"
+
+namespace cricket::obs {
+
+/// Metric labels as key=value pairs; canonicalized (sorted by key) on
+/// registration so {a=1,b=2} and {b=2,a=1} name the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Settable signed gauge (queue depths, outstanding calls).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t d) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Concurrent log2 histogram: the atomic twin of sim::Log2Histogram.
+/// observe() is two relaxed fetch_adds plus a bit_width; snapshot() imports
+/// the buckets into a plain Log2Histogram for quantile math.
+class Histogram {
+ public:
+  void observe(std::uint64_t value) noexcept {
+    buckets_[sim::Log2Histogram::bucket_index(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Plain-value copy for quantiles/merging. Buckets are read individually
+  /// (relaxed), so a snapshot taken concurrently with observes is a valid
+  /// histogram of "some subset" of the samples, never a torn one.
+  [[nodiscard]] sim::Log2Histogram snapshot() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[sim::Log2Histogram::bucket_count()]{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain-value copy of a registry at one instant, keyed by the canonical
+/// series name (`name{label="v",...}`). merge() sums counters/histograms and
+/// keeps the latest gauge, mirroring RunningStats::merge for per-experiment
+/// aggregation.
+struct Snapshot {
+  struct Hist {
+    sim::Log2Histogram hist;
+    std::uint64_t sum = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+
+  void merge(const Snapshot& other);
+};
+
+/// Get-or-create registry of named instruments. Registration locks; the
+/// returned references are bump-without-lock and live as long as the
+/// registry. One process-wide instance is at global(); tests construct their
+/// own for deterministic golden output.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. The first registration of a family name records `help`
+  /// for exposition; later calls may pass an empty help.
+  Counter& counter(const std::string& name, Labels labels = {},
+                   const std::string& help = "") CRICKET_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, Labels labels = {},
+               const std::string& help = "") CRICKET_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       const std::string& help = "") CRICKET_EXCLUDES(mu_);
+
+  /// "vnet0", "vnet1", ... — distinct instance labels for objects that each
+  /// want their own series (transports, devices).
+  [[nodiscard]] std::string unique_label(const std::string& prefix)
+      CRICKET_EXCLUDES(mu_);
+
+  [[nodiscard]] Snapshot snapshot() const CRICKET_EXCLUDES(mu_);
+
+  /// Prometheus text exposition (# HELP / # TYPE / series lines; histograms
+  /// as cumulative _bucket{le=...} + _sum + _count). Only occupied buckets
+  /// plus "+Inf" are emitted — cumulative counts stay correct.
+  [[nodiscard]] std::string prometheus_text() const CRICKET_EXCLUDES(mu_);
+
+  /// Zeroes every instrument in place. References handed out earlier stay
+  /// valid — nothing is deallocated.
+  void reset() CRICKET_EXCLUDES(mu_);
+
+  /// The process-wide registry all instrumented layers bump into.
+  static Registry& global();
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;  // sorted by key
+    bool operator<(const Key& o) const {
+      return name != o.name ? name < o.name : labels < o.labels;
+    }
+  };
+
+  mutable sim::Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ CRICKET_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ CRICKET_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> hists_ CRICKET_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ CRICKET_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> label_seq_ CRICKET_GUARDED_BY(mu_);
+};
+
+/// Canonical series name: `name{k="v",...}`, or just `name` without labels.
+[[nodiscard]] std::string series_name(const std::string& name,
+                                      const Labels& labels);
+
+}  // namespace cricket::obs

@@ -1,0 +1,420 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "sim/annotations.hpp"
+
+namespace cricket::obs {
+
+namespace {
+
+struct LayerInfo {
+  const char* name;
+  const char* category;
+};
+
+constexpr LayerInfo kLayers[static_cast<std::size_t>(Layer::kCount)] = {
+    {"app", "app"},
+    {"client.call", "client"},
+    {"client.serialize", "client"},
+    {"client.wait", "client"},
+    {"chan.send", "chan"},
+    {"chan.flush", "chan"},
+    {"chan.reply", "chan"},
+    {"net.tx", "net"},
+    {"net.rx", "net"},
+    {"vnet.tx", "vnet"},
+    {"vnet.rx", "vnet"},
+    {"server.dispatch", "server"},
+    {"server.reply", "server"},
+    {"gpu.launch", "gpu"},
+    {"gpu.memcpy", "gpu"},
+    {"gpu.sync", "gpu"},
+};
+
+constexpr std::size_t layer_slot(Layer layer) noexcept {
+  auto i = static_cast<std::size_t>(layer);
+  return i < static_cast<std::size_t>(Layer::kCount) ? i : 0;
+}
+
+}  // namespace
+
+const char* layer_name(Layer layer) noexcept {
+  return kLayers[layer_slot(layer)].name;
+}
+
+const char* layer_category(Layer layer) noexcept {
+  return kLayers[layer_slot(layer)].category;
+}
+
+#if !defined(CRICKET_OBS_DISABLE)
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+thread_local std::uint32_t t_xid = 0;
+}  // namespace detail
+
+namespace {
+
+/// One ring slot, seqlock-protected. Every field is an atomic so the racing
+/// reads the seqlock window allows are defined behavior (and TSan-clean);
+/// the seq check discards any torn combination.
+struct Slot {
+  std::atomic<std::uint32_t> seq{0};  // odd while the owner thread writes
+  std::atomic<std::int64_t> start_ns{0};
+  std::atomic<std::int64_t> dur_ns{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint32_t> xid{0};
+  std::atomic<std::uint8_t> layer{0};
+  std::atomic<bool> instant{false};
+};
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n && p < (std::size_t{1} << 31)) p <<= 1;
+  return p;
+}
+
+/// Per-thread event ring. The owning thread is the only writer; collectors
+/// read concurrently through the seqlock protocol.
+class ThreadRing {
+ public:
+  ThreadRing(std::size_t capacity, std::uint32_t tid, std::uint64_t epoch)
+      : mask_(capacity - 1),
+        tid_(tid),
+        epoch_(epoch),
+        slots_(std::make_unique<Slot[]>(capacity)) {}
+
+  void record(Layer layer, const char* name, std::int64_t start_ns,
+              std::int64_t dur_ns, std::uint64_t arg, std::uint32_t xid,
+              bool inst) noexcept {
+    const std::uint64_t n = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[n & mask_];
+    // Fence-free seqlock writer: the acq_rel RMW marks the slot odd and its
+    // acquire half keeps the data stores below it; the release store keeps
+    // them above the even transition. (GCC's TSan cannot instrument
+    // atomic_thread_fence, so the fence formulation is off the table.)
+    const std::uint32_t seq = s.seq.fetch_add(1, std::memory_order_acq_rel);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.name.store(name, std::memory_order_relaxed);
+    s.xid.store(xid, std::memory_order_relaxed);
+    s.layer.store(static_cast<std::uint8_t>(layer),
+                  std::memory_order_relaxed);
+    s.instant.store(inst, std::memory_order_relaxed);
+    s.seq.store(seq + 2, std::memory_order_release);
+    head_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Appends every readable event to `out`. Slots being overwritten while we
+  /// look (seq odd or changed) are retried a few times, then skipped.
+  void collect(std::vector<TraceEvent>& out) const {
+    const std::uint64_t n = head_.load(std::memory_order_acquire);
+    const std::size_t count =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, mask_ + 1));
+    for (std::size_t i = 0; i < count; ++i) {
+      const Slot& s = slots_[i];
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        if (s1 & 1u) continue;
+        // Acquire data loads pin the seq recheck below every one of them —
+        // the reader-side half of the fence-free seqlock.
+        TraceEvent ev;
+        ev.start_ns = s.start_ns.load(std::memory_order_acquire);
+        ev.dur_ns = s.dur_ns.load(std::memory_order_acquire);
+        ev.arg = s.arg.load(std::memory_order_acquire);
+        ev.name = s.name.load(std::memory_order_acquire);
+        ev.xid = s.xid.load(std::memory_order_acquire);
+        ev.layer = static_cast<Layer>(s.layer.load(std::memory_order_acquire));
+        ev.instant = s.instant.load(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) != s1) continue;
+        ev.tid = tid_;
+        out.push_back(ev);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = head_.load(std::memory_order_relaxed);
+    const std::uint64_t cap = mask_ + 1;
+    return n > cap ? n - cap : 0;
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  const std::uint64_t mask_;
+  const std::uint32_t tid_;
+  const std::uint64_t epoch_;
+  std::atomic<std::uint64_t> head_{0};
+  const std::unique_ptr<Slot[]> slots_;
+};
+
+/// Process-wide ring directory. Rings are never freed (a detached thread may
+/// still hold a pointer); reset_trace() bumps the epoch so stale rings fall
+/// out of collection and each thread lazily re-registers a fresh one. The
+/// retired-ring footprint is bounded by threads x enable/reset cycles.
+struct Collector {
+  sim::Mutex mu;
+  std::vector<ThreadRing*> rings CRICKET_GUARDED_BY(mu);
+  std::atomic<std::uint64_t> epoch{1};
+  std::atomic<std::size_t> ring_capacity{64 * 1024};
+  std::atomic<bool> latency_metrics{true};
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // never destroyed: spans may be
+  return *c;                              // recorded during static teardown
+}
+
+std::uint32_t local_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+ThreadRing& local_ring() {
+  struct TlsRef {
+    ThreadRing* ring = nullptr;
+    std::uint64_t epoch = 0;
+  };
+  thread_local TlsRef tls;
+  Collector& c = collector();
+  const std::uint64_t e = c.epoch.load(std::memory_order_acquire);
+  if (tls.ring == nullptr || tls.epoch != e) {
+    auto* ring = new ThreadRing(
+        c.ring_capacity.load(std::memory_order_relaxed), local_tid(), e);
+    sim::MutexLock lock(c.mu);
+    c.rings.push_back(ring);
+    tls = {ring, e};
+  }
+  return *tls.ring;
+}
+
+/// Per-layer latency histograms, resolved from the global Registry once and
+/// cached (Registry::reset zeroes in place, so the pointers stay valid).
+Histogram& layer_latency(Layer layer) {
+  static std::atomic<Histogram*> cache[static_cast<std::size_t>(
+      Layer::kCount)] = {};
+  std::atomic<Histogram*>& slot = cache[layer_slot(layer)];
+  Histogram* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &Registry::global().histogram(
+        "cricket_span_latency_ns", {{"layer", layer_name(layer)}},
+        "Span duration per stack layer, nanoseconds");
+    slot.store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
+std::atomic<const sim::SimClock*> g_clock{nullptr};
+
+}  // namespace
+
+namespace detail {
+
+void record_span(Layer layer, const char* name, std::int64_t start_ns,
+                 std::int64_t dur_ns, std::uint64_t arg,
+                 bool inst) noexcept {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (name == nullptr) name = layer_name(layer);
+  local_ring().record(layer, name, start_ns, dur_ns, arg, t_xid, inst);
+  if (!inst && collector().latency_metrics.load(std::memory_order_relaxed)) {
+    layer_latency(layer).observe(
+        dur_ns > 0 ? static_cast<std::uint64_t>(dur_ns) : 0);
+  }
+}
+
+}  // namespace detail
+
+void enable_tracing(const TraceOptions& options) {
+  Collector& c = collector();
+  c.ring_capacity.store(round_up_pow2(options.ring_capacity),
+                        std::memory_order_relaxed);
+  c.latency_metrics.store(options.latency_metrics, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable_tracing() noexcept {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  Collector& c = collector();
+  // Bump first so threads mid-record drain into rings that are already
+  // excluded from collection; they re-register on their next span.
+  c.epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void bind_clock(const sim::SimClock* clock) noexcept {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+std::int64_t trace_now_ns() noexcept {
+  const sim::SimClock* c = g_clock.load(std::memory_order_acquire);
+  if (c != nullptr) return c->now();
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<TraceEvent> collect_events() {
+  Collector& c = collector();
+  const std::uint64_t e = c.epoch.load(std::memory_order_acquire);
+  std::vector<TraceEvent> out;
+  {
+    sim::MutexLock lock(c.mu);
+    for (const ThreadRing* ring : c.rings)
+      if (ring->epoch() == e) ring->collect(out);
+  }
+  // Parents before children on the same thread: ascending start, longer
+  // duration first on ties, so trace viewers nest complete events correctly.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns)
+                       return a.start_ns < b.start_ns;
+                     return a.dur_ns > b.dur_ns;
+                   });
+  return out;
+}
+
+std::uint64_t events_recorded() noexcept {
+  Collector& c = collector();
+  const std::uint64_t e = c.epoch.load(std::memory_order_acquire);
+  std::uint64_t total = 0;
+  sim::MutexLock lock(c.mu);
+  for (const ThreadRing* ring : c.rings)
+    if (ring->epoch() == e) total += ring->recorded();
+  return total;
+}
+
+std::uint64_t events_dropped() noexcept {
+  Collector& c = collector();
+  const std::uint64_t e = c.epoch.load(std::memory_order_acquire);
+  std::uint64_t total = 0;
+  sim::MutexLock lock(c.mu);
+  for (const ThreadRing* ring : c.rings)
+    if (ring->epoch() == e) total += ring->dropped();
+  return total;
+}
+
+#endif  // !CRICKET_OBS_DISABLE
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    const char* name = ev.name != nullptr ? ev.name : layer_name(ev.layer);
+    if (ev.instant) {
+      std::snprintf(buf, sizeof buf,
+                    "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                    "\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                    "\"args\":{\"xid\":%u,\"arg\":%" PRIu64 "}}",
+                    name, layer_category(ev.layer),
+                    static_cast<double>(ev.start_ns) / 1000.0, ev.tid, ev.xid,
+                    ev.arg);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                    "\"args\":{\"xid\":%u,\"arg\":%" PRIu64 "}}",
+                    name, layer_category(ev.layer),
+                    static_cast<double>(ev.start_ns) / 1000.0,
+                    static_cast<double>(ev.dur_ns) / 1000.0, ev.tid, ev.xid,
+                    ev.arg);
+    }
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json(collect_events());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (n != json.size()) std::fclose(f);
+  return ok;
+}
+
+TraceSession TraceSession::from_env() {
+  const char* trace = std::getenv("CRICKET_TRACE");
+  const char* metrics = std::getenv("CRICKET_METRICS");
+  return TraceSession(trace != nullptr ? trace : "",
+                      metrics != nullptr ? metrics : "");
+}
+
+TraceSession::TraceSession(std::string trace_path, std::string metrics_path,
+                           TraceOptions options)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) {
+    reset_trace();
+    enable_tracing(options);
+  }
+}
+
+TraceSession::TraceSession(TraceSession&& other) noexcept
+    : trace_path_(std::move(other.trace_path_)),
+      metrics_path_(std::move(other.metrics_path_)),
+      flushed_(other.flushed_) {
+  other.trace_path_.clear();
+  other.metrics_path_.clear();
+  other.flushed_ = true;
+}
+
+TraceSession::~TraceSession() {
+  if (active() && !flushed_) flush();
+}
+
+bool TraceSession::flush() {
+  if (flushed_) return true;
+  flushed_ = true;
+  bool ok = true;
+  if (!trace_path_.empty()) {
+    disable_tracing();
+    if (write_chrome_trace(trace_path_)) {
+      std::fprintf(stderr, "[obs] wrote trace: %s\n", trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] failed to write trace: %s\n",
+                   trace_path_.c_str());
+      ok = false;
+    }
+  }
+  if (!metrics_path_.empty()) {
+    const std::string text = Registry::global().prometheus_text();
+    std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+    if (f != nullptr &&
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fclose(f) == 0) {
+      std::fprintf(stderr, "[obs] wrote metrics: %s\n", metrics_path_.c_str());
+    } else {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "[obs] failed to write metrics: %s\n",
+                   metrics_path_.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace cricket::obs

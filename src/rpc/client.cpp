@@ -1,5 +1,7 @@
 #include "rpc/client.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cricket::rpc {
 
 RpcClient::RpcClient(std::unique_ptr<Transport> transport, std::uint32_t prog,
@@ -28,11 +30,21 @@ std::vector<std::uint8_t> RpcClient::call_raw(
   call.cred = cred_;
   call.args.assign(args.begin(), args.end());
 
-  const auto record = encode_call(call);
-  writer_.write_record(record);
+  const obs::ScopedXid trace_xid(call.xid);
+  std::vector<std::uint8_t> record;
+  {
+    obs::Span span(obs::Layer::kClientSerialize);
+    record = encode_call(call);
+    span.set_arg(record.size());
+  }
+  {
+    obs::Span span(obs::Layer::kChanSend, nullptr, record.size());
+    writer_.write_record(record);
+  }
   stats_.bytes_sent += record.size();
   ++stats_.calls;
 
+  const obs::Span wait_span(obs::Layer::kClientWait);
   std::vector<std::uint8_t> reply_record;
   // This channel never has more than one call outstanding, so the reply xid
   // must match the call xid exactly; anything else is a misbehaving peer (or

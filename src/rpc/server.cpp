@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/trace.hpp"
+
 namespace cricket::rpc {
 
 void ServiceRegistry::register_proc(std::uint32_t prog, std::uint32_t vers,
@@ -121,7 +123,16 @@ class PipelinedConnection {
       CallMsg call = std::move(queue_.front());
       queue_.pop_front();
       lock.unlock();
-      auto record = encode_reply(registry_->dispatch(call));
+      std::vector<std::uint8_t> record;
+      {
+        // The xid crosses from the reader thread to this worker inside the
+        // CallMsg; re-establish it so dispatch-side spans line up with the
+        // client-side spans of the same call.
+        const obs::ScopedXid trace_xid(call.xid);
+        obs::Span span(obs::Layer::kServerDispatch, nullptr,
+                       call.args.size());
+        record = encode_reply(registry_->dispatch(call));
+      }
       lock.lock();
       ready_.push_back(std::move(record));
       lock.unlock();
@@ -142,6 +153,9 @@ class PipelinedConnection {
         batch.swap(ready_);
       }
       try {
+        std::size_t batch_bytes = 0;
+        for (const auto& r : batch) batch_bytes += r.size();
+        obs::Span span(obs::Layer::kServerReply, nullptr, batch_bytes);
         if (options_.coalesce_replies) {
           wire.clear();
           for (const auto& r : batch)
@@ -203,6 +217,8 @@ void serve_serial(const ServiceRegistry& registry, Transport& transport,
     ReplyMsg reply;
     try {
       const CallMsg call = decode_call(record);
+      const obs::ScopedXid trace_xid(call.xid);
+      obs::Span span(obs::Layer::kServerDispatch, nullptr, call.args.size());
       reply = registry.dispatch(call);
     } catch (const std::exception&) {
       // Not parseable as a call: drop it (a real server also cannot reply
@@ -210,6 +226,8 @@ void serve_serial(const ServiceRegistry& registry, Transport& transport,
       continue;
     }
     try {
+      const obs::ScopedXid trace_xid(reply.xid);
+      obs::Span span(obs::Layer::kServerReply);
       writer.write_record(encode_reply(reply));
     } catch (const TransportError&) {
       return;

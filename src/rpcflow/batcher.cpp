@@ -1,5 +1,8 @@
 #include "rpcflow/batcher.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cricket::rpcflow {
 
 CallBatcher::CallBatcher(rpc::Transport& transport, Options options,
@@ -56,16 +59,35 @@ CallBatcher::Stats CallBatcher::stats() const {
 }
 
 void CallBatcher::flush_locked(Cause cause) {
+  // Flush-cause counters live in the global registry (static refs: the
+  // registry hands out stable pointers and is never destroyed).
+  static obs::Counter& flush_full = obs::Registry::global().counter(
+      "cricket_batch_flushes_total", {{"cause", "full"}},
+      "Batcher flushes by trigger");
+  static obs::Counter& flush_deadline = obs::Registry::global().counter(
+      "cricket_batch_flushes_total", {{"cause", "deadline"}});
+  static obs::Counter& flush_explicit = obs::Registry::global().counter(
+      "cricket_batch_flushes_total", {{"cause", "explicit"}});
   switch (cause) {
-    case Cause::kFull: ++stats_.flush_full; break;
-    case Cause::kDeadline: ++stats_.flush_deadline; break;
-    case Cause::kExplicit: ++stats_.flush_explicit; break;
+    case Cause::kFull:
+      ++stats_.flush_full;
+      flush_full.inc();
+      break;
+    case Cause::kDeadline:
+      ++stats_.flush_deadline;
+      flush_deadline.inc();
+      break;
+    case Cause::kExplicit:
+      ++stats_.flush_explicit;
+      flush_explicit.inc();
+      break;
   }
   ++stats_.batches;
   stats_.bytes += buf_.size();
   buffered_calls_ = 0;
   // Send under the lock: the transport allows only one concurrent sender,
   // and the lock is what serializes appenders with the deadline flusher.
+  obs::Span span(obs::Layer::kChanFlush, nullptr, buf_.size());
   try {
     transport_->send(buf_);
   } catch (const rpc::TransportError&) {

@@ -1,5 +1,7 @@
 #include "rpcflow/channel.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cricket::rpcflow {
 
 namespace {
@@ -110,9 +112,18 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
         stats_.max_in_flight, static_cast<std::uint32_t>(pending_.size()));
   }
 
-  const auto record = rpc::encode_call(call);
+  const obs::ScopedXid trace_xid(call.xid);
+  std::vector<std::uint8_t> record;
+  {
+    obs::Span span(obs::Layer::kClientSerialize);
+    record = rpc::encode_call(call);
+    span.set_arg(record.size());
+  }
   try {
-    batcher_->append(record);
+    {
+      obs::Span span(obs::Layer::kChanSend, nullptr, record.size());
+      batcher_->append(record);
+    }
     sim::MutexLock lock(mu_);
     stats_.bytes_sent += record.size();
   } catch (const rpc::TransportError&) {
@@ -203,6 +214,10 @@ void AsyncRpcChannel::reader_loop() {
       }
     }
     if (matched) {
+      // Reader-thread events carry the matched call's xid so the viewer can
+      // connect them to the issuing thread's spans.
+      const obs::ScopedXid trace_xid(reply.xid);
+      obs::instant(obs::Layer::kChanReply, nullptr, record.size());
       if (auto error = reply_error(reply); error != nullptr) {
         {
           sim::MutexLock lock(mu_);

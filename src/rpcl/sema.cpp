@@ -260,12 +260,18 @@ SemaResult analyze(const SpecFile& spec, const SemaOptions& options) {
 std::string format_diagnostic(const Diagnostic& diag, std::string_view file) {
   std::string out(file);
   if (diag.loc.line > 0) {
-    out += ":" + std::to_string(diag.loc.line);
-    if (diag.loc.col > 0) out += ":" + std::to_string(diag.loc.col);
+    out += ':';
+    out += std::to_string(diag.loc.line);
+    if (diag.loc.col > 0) {
+      out += ':';
+      out += std::to_string(diag.loc.col);
+    }
   }
   out += diag.severity == Severity::kError ? ": error: " : ": warning: ";
   out += diag.message;
-  out += " [" + diag.rule + "]";
+  out += " [";
+  out += diag.rule;
+  out += ']';
   return out;
 }
 

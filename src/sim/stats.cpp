@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace cricket::sim {
 
@@ -39,27 +40,64 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+std::size_t Log2Histogram::bucket_index(std::uint64_t value) noexcept {
+  return value == 0 ? 0
+                    : std::min<std::size_t>(kBuckets - 1,
+                                            static_cast<std::size_t>(
+                                                std::bit_width(value) - 1));
+}
+
+std::uint64_t Log2Histogram::bucket_lower(std::size_t i) noexcept {
+  return i == 0 ? 0 : std::uint64_t{1} << std::min<std::size_t>(i, 63);
+}
+
+std::uint64_t Log2Histogram::bucket_upper(std::size_t i) noexcept {
+  // The top bucket is open-ended: [2^63, inf) reported as the max value.
+  if (i + 1 >= kBuckets) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << (i + 1)) - 1;
+}
+
 void Log2Histogram::add(std::uint64_t value) noexcept {
-  const std::size_t bucket =
-      value == 0 ? 0
-                 : std::min<std::size_t>(kBuckets - 1,
-                                         static_cast<std::size_t>(
-                                             std::bit_width(value) - 1));
-  ++buckets_[bucket];
+  ++buckets_[bucket_index(value)];
   ++total_;
+}
+
+void Log2Histogram::add_bucket(std::size_t bucket, std::uint64_t n) noexcept {
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket] += n;
+  total_ += n;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
 }
 
 std::uint64_t Log2Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(total_));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= target && buckets_[i] > 0) return (std::uint64_t{1} << (i + 1)) - 1;
+  if (!(q > 0.0)) {  // q <= 0 or NaN: smallest observed value's lower edge
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      if (buckets_[i] > 0) return bucket_lower(i);
+    return 0;
   }
-  return std::uint64_t{1} << (kBuckets - 1);
+  if (q >= 1.0) {  // largest observed value's upper edge
+    for (std::size_t i = kBuckets; i-- > 0;)
+      if (buckets_[i] > 0) return bucket_upper(i);
+    return 0;
+  }
+  // Rank of the quantile sample, 1-based: ceil so q=0.5 over 3 samples picks
+  // the second (the median), not the first.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  std::size_t last_occupied = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    last_occupied = i;
+    if (seen >= target) return bucket_upper(i);
+  }
+  return bucket_upper(last_occupied);
 }
 
 std::string Log2Histogram::to_string() const {
@@ -67,9 +105,9 @@ std::string Log2Histogram::to_string() const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     if (buckets_[i] == 0) continue;
     char line[96];
-    std::snprintf(line, sizeof line, "[%llu, %llu): %llu\n",
-                  static_cast<unsigned long long>(i == 0 ? 0 : (1ULL << i)),
-                  static_cast<unsigned long long>(1ULL << (i + 1)),
+    std::snprintf(line, sizeof line, "[%llu, %llu]: %llu\n",
+                  static_cast<unsigned long long>(bucket_lower(i)),
+                  static_cast<unsigned long long>(bucket_upper(i)),
                   static_cast<unsigned long long>(buckets_[i]));
     out += line;
   }

@@ -36,15 +36,35 @@ class RunningStats {
 
 /// Fixed-boundary log2 histogram for latency distributions. Bucket i covers
 /// [2^i, 2^(i+1)) in the recorded unit; values < 1 land in bucket 0.
+/// Not thread-safe; aggregate per-thread instances with `merge` (the atomic
+/// obs::Histogram snapshots into this type).
 class Log2Histogram {
  public:
   void add(std::uint64_t value) noexcept;
+  /// Adds `n` pre-bucketed samples (snapshot import from atomic counters).
+  void add_bucket(std::size_t bucket, std::uint64_t n) noexcept;
+  /// Combines another histogram into this one (parallel aggregation, same
+  /// role as RunningStats::merge).
+  void merge(const Log2Histogram& other) noexcept;
 
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < kBuckets ? buckets_[i] : 0;
+  }
   /// Value below which `q` (0..1) of the samples fall, estimated from bucket
-  /// boundaries (upper edge of the quantile bucket).
+  /// boundaries (upper edge of the quantile bucket). Edge cases: an empty
+  /// histogram yields 0; q <= 0 (or NaN) yields the lower edge of the first
+  /// occupied bucket; q >= 1 yields the upper edge of the last occupied one.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
   [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static constexpr std::size_t bucket_count() noexcept {
+    return kBuckets;
+  }
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Inclusive value range covered by bucket i: [lower, upper].
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t i) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept;
 
  private:
   static constexpr std::size_t kBuckets = 64;

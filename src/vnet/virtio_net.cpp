@@ -14,6 +14,33 @@ constexpr std::uint16_t kCricketPort = 49152;
 
 }  // namespace
 
+namespace detail {
+
+TransportCounters::TransportCounters(const std::string& instance)
+    : frames_tx(obs::Registry::global().counter(
+          "cricket_vnet_frames_total",
+          {{"transport", instance}, {"dir", "tx"}},
+          "Ethernet frames through the virtio-net transport")),
+      frames_rx(obs::Registry::global().counter(
+          "cricket_vnet_frames_total",
+          {{"transport", instance}, {"dir", "rx"}})),
+      bytes_tx(obs::Registry::global().counter(
+          "cricket_vnet_bytes_total",
+          {{"transport", instance}, {"dir", "tx"}},
+          "Payload bytes through the virtio-net transport")),
+      bytes_rx(obs::Registry::global().counter(
+          "cricket_vnet_bytes_total",
+          {{"transport", instance}, {"dir", "rx"}})),
+      checksums_tx(obs::Registry::global().counter(
+          "cricket_vnet_checksums_total",
+          {{"transport", instance}, {"dir", "tx"}},
+          "Software checksum operations (no offload negotiated)")),
+      checksums_rx(obs::Registry::global().counter(
+          "cricket_vnet_checksums_total",
+          {{"transport", instance}, {"dir", "rx"}})) {}
+
+}  // namespace detail
+
 VirtioNetTransport::VirtioNetTransport(NetworkProfile profile,
                                        sim::SimClock& clock,
                                        std::shared_ptr<rpc::ByteQueue> wire_tx,
@@ -27,7 +54,8 @@ VirtioNetTransport::VirtioNetTransport(NetworkProfile profile,
       tx_memory_(static_cast<std::size_t>(kQueueSize) * (65536 + kHeaderRoom)),
       rx_memory_(static_cast<std::size_t>(kQueueSize) * (65536 + kHeaderRoom)),
       tx_(tx_memory_, kQueueSize),
-      rx_(rx_memory_, kQueueSize) {
+      rx_(rx_memory_, kQueueSize),
+      stats_(obs::Registry::global().unique_label("vnet")) {
   // Pre-post receive buffers, as a real driver does at device bring-up.
   for (int i = 0; i < 64; ++i) post_rx_buffer();
   tx_thread_ = std::thread([this] { tx_backend(); });
@@ -59,6 +87,7 @@ void VirtioNetTransport::reclaim_tx_descriptors(bool wait) {
 
 void VirtioNetTransport::send(std::span<const std::uint8_t> data) {
   if (stopping_.load()) throw rpc::TransportError("transport shut down");
+  obs::Span span(obs::Layer::kVnetTx, nullptr, data.size());
   // Charge the guest CPU + wire once for the whole burst; the per-frame
   // machinery below does the real (functional) work.
   clock_->advance(tx_cpu_cost(profile_, data.size()) +
@@ -81,7 +110,7 @@ void VirtioNetTransport::send(std::span<const std::uint8_t> data) {
     const bool sw_csum = !profile_.offloads.tx_checksum;
     const auto frame = encode_frame(eth, ip, tcp, data.subspan(off, n),
                                     /*fill_checksums=*/sw_csum);
-    if (sw_csum) stats_.checksums_computed.fetch_add(1, std::memory_order_relaxed);
+    if (sw_csum) stats_.checksums_tx.inc();
     tx_seq_ += static_cast<std::uint32_t>(n);
 
     const std::span<const std::uint8_t> bufs[1] = {frame};
@@ -91,8 +120,8 @@ void VirtioNetTransport::send(std::span<const std::uint8_t> data) {
       if (stopping_.load()) throw rpc::TransportError("transport shut down");
     }
     tx_.kick(*head);
-    stats_.frames_tx.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_tx.fetch_add(n, std::memory_order_relaxed);
+    stats_.frames_tx.inc();
+    stats_.bytes_tx.inc(n);
     off += n;
   } while (off < data.size());
   reclaim_tx_descriptors(/*wait=*/false);
@@ -155,6 +184,7 @@ void VirtioNetTransport::rx_backend() {
 }
 
 std::size_t VirtioNetTransport::recv(std::span<std::uint8_t> out) {
+  obs::Span span(obs::Layer::kVnetRx);
   // Drain the used ring in one go: block for the first frame if nothing is
   // pending, then opportunistically take every already-completed frame. One
   // recv() spans many frames, as one socket read does on a real guest —
@@ -173,13 +203,11 @@ std::size_t VirtioNetTransport::recv(std::span<std::uint8_t> out) {
       // GUEST_CSUM offload lets the guest trust the host.
       const bool sw_csum = !profile_.offloads.rx_checksum;
       const ParsedFrame parsed = parse_frame(frame, /*verify=*/sw_csum);
-      if (sw_csum)
-        stats_.checksums_computed.fetch_add(1, std::memory_order_relaxed);
+      if (sw_csum) stats_.checksums_rx.inc();
       rx_pending_.insert(rx_pending_.end(), parsed.payload.begin(),
                          parsed.payload.end());
-      stats_.frames_rx.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_rx.fetch_add(parsed.payload.size(),
-                                std::memory_order_relaxed);
+      stats_.frames_rx.inc();
+      stats_.bytes_rx.inc(parsed.payload.size());
     } catch (const PacketError&) {
       // Corrupt frame dropped; reliable wire makes this benign.
     }
@@ -189,6 +217,11 @@ std::size_t VirtioNetTransport::recv(std::span<std::uint8_t> out) {
   rx_pending_.erase(rx_pending_.begin(),
                     rx_pending_.begin() + static_cast<std::ptrdiff_t>(n));
   clock_->advance(rx_cpu_cost(profile_, n));
+  if (n > 0) {
+    span.set_arg(n);
+  } else {
+    span.cancel();  // shutdown EOF
+  }
   return n;
 }
 

@@ -16,8 +16,11 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/transport.hpp"
 #include "sim/sim_clock.hpp"
 #include "vnet/cost_model.hpp"
@@ -35,25 +38,28 @@ struct TransportStats {
 
 namespace detail {
 
-/// Internal counter block for VirtioNetTransport. The transport contract
-/// allows one sender plus one receiver concurrently, and both paths compute
-/// software checksums — so checksums_computed (and a stats() reader) would
-/// race on plain fields. Relaxed atomics: these are counters, not
-/// synchronization.
-struct AtomicTransportStats {
-  std::atomic<std::uint64_t> frames_tx{0};
-  std::atomic<std::uint64_t> frames_rx{0};
-  std::atomic<std::uint64_t> bytes_tx{0};
-  std::atomic<std::uint64_t> bytes_rx{0};
-  std::atomic<std::uint64_t> checksums_computed{0};
+/// Per-instance counter block for VirtioNetTransport, backed by the global
+/// obs registry (series `cricket_vnet_*_total{transport="vnetN",dir=...}`).
+/// The transport contract allows one sender plus one receiver concurrently,
+/// and both paths compute software checksums — obs::Counter's relaxed
+/// atomics make the concurrent bumps and a stats() reader race-free.
+struct TransportCounters {
+  explicit TransportCounters(const std::string& instance);
+
+  obs::Counter& frames_tx;
+  obs::Counter& frames_rx;
+  obs::Counter& bytes_tx;
+  obs::Counter& bytes_rx;
+  obs::Counter& checksums_tx;
+  obs::Counter& checksums_rx;
 
   [[nodiscard]] TransportStats snapshot() const noexcept {
     TransportStats s;
-    s.frames_tx = frames_tx.load(std::memory_order_relaxed);
-    s.frames_rx = frames_rx.load(std::memory_order_relaxed);
-    s.bytes_tx = bytes_tx.load(std::memory_order_relaxed);
-    s.bytes_rx = bytes_rx.load(std::memory_order_relaxed);
-    s.checksums_computed = checksums_computed.load(std::memory_order_relaxed);
+    s.frames_tx = frames_tx.value();
+    s.frames_rx = frames_rx.value();
+    s.bytes_tx = bytes_tx.value();
+    s.bytes_rx = bytes_rx.value();
+    s.checksums_computed = checksums_tx.value() + checksums_rx.value();
     return s;
   }
 };
@@ -69,14 +75,21 @@ class ShapedTransport final : public rpc::Transport {
       : profile_(profile), clock_(&clock), inner_(std::move(inner)) {}
 
   void send(std::span<const std::uint8_t> data) override {
+    obs::Span span(obs::Layer::kNetTx, nullptr, data.size());
     clock_->advance(tx_cpu_cost(profile_, data.size()) +
                     wire_time(profile_, data.size()));
     inner_->send(data);
   }
 
   std::size_t recv(std::span<std::uint8_t> out) override {
+    obs::Span span(obs::Layer::kNetRx);
     const std::size_t n = inner_->recv(out);
-    if (n > 0) clock_->advance(rx_cpu_cost(profile_, n));
+    if (n > 0) {
+      clock_->advance(rx_cpu_cost(profile_, n));
+      span.set_arg(n);
+    } else {
+      span.cancel();  // EOF: nothing happened worth a trace slice
+    }
     return n;
   }
 
@@ -145,7 +158,7 @@ class VirtioNetTransport final : public rpc::Transport {
 
   std::uint32_t tx_seq_ = 1;            // sender thread only
   std::deque<std::uint8_t> rx_pending_;  // receiver thread only
-  detail::AtomicTransportStats stats_;
+  detail::TransportCounters stats_;
 
   std::thread tx_thread_;
   std::thread rx_thread_;

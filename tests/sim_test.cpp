@@ -144,6 +144,57 @@ TEST(Log2Histogram, ZeroGoesToFirstBucket) {
   EXPECT_LE(h.quantile(1.0), 1u);
 }
 
+TEST(Log2Histogram, QuantileEdgeCases) {
+  const Log2Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+
+  Log2Histogram h;
+  h.add(10);  // bucket [8,16)
+  // q <= 0 (and NaN) yield the lower edge of the first occupied bucket;
+  // q >= 1 the upper edge of the last occupied one.
+  EXPECT_EQ(h.quantile(0.0), 8u);
+  EXPECT_EQ(h.quantile(-1.0), 8u);
+  EXPECT_EQ(h.quantile(std::nan("")), 8u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+  EXPECT_EQ(h.quantile(2.0), 15u);
+  // A single sample is every quantile.
+  EXPECT_EQ(h.quantile(0.001), 15u);
+  EXPECT_EQ(h.quantile(0.999), 15u);
+}
+
+TEST(Log2Histogram, BucketBoundsCoverFullRange) {
+  EXPECT_EQ(Log2Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(0), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_index(2), 1u);
+  // The top bucket absorbs everything up to UINT64_MAX without shifting by
+  // 64 anywhere.
+  const std::size_t top = Log2Histogram::bucket_count() - 1;
+  EXPECT_EQ(Log2Histogram::bucket_upper(top),
+            std::numeric_limits<std::uint64_t>::max());
+  Log2Histogram h;
+  h.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.bucket(top), 1u);
+  EXPECT_EQ(h.quantile(1.0), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Log2Histogram, AddBucketClampsAndMergeSums) {
+  Log2Histogram a;
+  a.add_bucket(3, 5);                             // 5 samples in [8,15]
+  a.add_bucket(Log2Histogram::bucket_count(), 2); // clamped to the top bucket
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_EQ(a.bucket(Log2Histogram::bucket_count() - 1), 2u);
+
+  Log2Histogram b;
+  for (int i = 0; i < 10; ++i) b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 17u);
+  EXPECT_EQ(a.bucket(3), 5u);
+  EXPECT_EQ(a.bucket(Log2Histogram::bucket_index(1000)), 10u);
+  EXPECT_EQ(a.quantile(0.5), 1023u);  // 9th of 17 sits in the [512,1023] bucket
+}
+
 TEST(Formatting, Bytes) {
   EXPECT_EQ(format_bytes(512.0), "512.0 B");
   EXPECT_EQ(format_bytes(2048.0), "2.0 KiB");

@@ -10,6 +10,7 @@
 #   5. clang-tidy    bugprone/concurrency/performance/cert-err profile
 #   6. rpcl-lint     rpclgen --lint --Werror over committed .x specs
 #   7. no-escapes    greps for CRICKET_NO_THREAD_SAFETY_ANALYSIS escapes
+#   8. obs-trace     CRICKET_TRACE smoke run + trace schema/stitching check
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -146,6 +147,26 @@ if should_continue; then
     record no-escapes FAIL
   else
     record no-escapes PASS
+  fi
+fi
+
+# -------------------------------------------------------------- 8: obs-trace
+# End-to-end tracing smoke test: capture a span trace + metrics dump from a
+# short memcpy bench run, then validate schema, layer coverage, and
+# cross-thread xid stitching (tools/validate_trace.py, stdlib-only).
+if should_continue; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    record obs-trace "SKIP (python3 not installed)"
+  elif [[ ! -x build/bench/bench_fig6_micro ]]; then
+    record obs-trace "SKIP (build/bench/bench_fig6_micro missing — run plain stage first)"
+  else
+    run_stage obs-trace bash -c '
+      out=$(mktemp -d) &&
+      trap "rm -rf $out" EXIT &&
+      CRICKET_TRACE="$out/trace.json" CRICKET_METRICS="$out/metrics.txt" \
+        build/bench/bench_fig6_micro --api=memcpy --calls=500 &&
+      python3 tools/validate_trace.py "$out/trace.json" \
+        --metrics "$out/metrics.txt" --min-events 100'
   fi
 fi
 

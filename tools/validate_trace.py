@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by the obs subsystem.
+
+Stdlib-only; used by tools/check.sh stage 8 (obs-trace) and usable by hand:
+
+    CRICKET_TRACE=out.json build/bench/bench_fig6_micro --api=memcpy
+    python3 tools/validate_trace.py out.json [--metrics metrics.txt]
+
+Checks, in order:
+  1. schema     — {"traceEvents": [...]}; every event carries name/cat/ph/
+                  ts/pid/tid/args{xid,arg}; ph is "X" (complete, with dur)
+                  or "i" (instant, with s).
+  2. categories — the cross-layer set the span taxonomy promises shows up:
+                  client, server, gpu, and a wire layer (net or vnet).
+  3. stitching  — at least one RPC xid is shared by a client-side span, a
+                  server.dispatch span on a different tid, and a gpu.* span
+                  (the end-to-end nesting the tracing exists to show).
+  4. metrics    — optional: the Prometheus dump contains the per-layer
+                  cricket_span_latency_ns histogram series.
+
+Exit code 0 iff every check passes.
+"""
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid", "args")
+KNOWN_CATEGORIES = {"app", "client", "chan", "net", "vnet", "server", "gpu"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_schema(events):
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in ev:
+                fail(f"event {i} ({ev.get('name', '?')}) missing '{key}'")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"event {i}: 'name' must be a non-empty string")
+        if ev["cat"] not in KNOWN_CATEGORIES:
+            fail(f"event {i}: unknown category '{ev['cat']}'")
+        if ev["ph"] not in ("X", "i"):
+            fail(f"event {i}: ph must be 'X' or 'i', got '{ev['ph']}'")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"event {i}: 'ts' must be a non-negative number")
+        if ev["ph"] == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                fail(f"event {i}: complete event needs a non-negative 'dur'")
+        else:
+            if ev.get("s") != "t":
+                fail(f"event {i}: instant event needs scope 's': 't'")
+        args = ev["args"]
+        if not isinstance(args, dict):
+            fail(f"event {i}: 'args' must be an object")
+        for key in ("xid", "arg"):
+            if not isinstance(args.get(key), int) or args[key] < 0:
+                fail(f"event {i}: args.{key} must be a non-negative integer")
+
+
+def check_categories(events):
+    cats = {ev["cat"] for ev in events}
+    for needed in ("client", "server", "gpu"):
+        if needed not in cats:
+            fail(f"no '{needed}' spans in trace (categories seen: "
+                 f"{sorted(cats)})")
+    if not cats & {"net", "vnet"}:
+        fail(f"no wire-layer (net/vnet) spans in trace (categories seen: "
+             f"{sorted(cats)})")
+
+
+def check_stitching(events):
+    by_xid = {}
+    for ev in events:
+        xid = ev["args"]["xid"]
+        if xid:
+            by_xid.setdefault(xid, []).append(ev)
+    for xid, evs in by_xid.items():
+        client_tids = {e["tid"] for e in evs if e["cat"] == "client"}
+        dispatch_tids = {e["tid"] for e in evs
+                         if e["name"] == "server.dispatch"}
+        has_gpu = any(e["cat"] == "gpu" for e in evs)
+        if client_tids and has_gpu and (dispatch_tids - client_tids):
+            return
+    fail("no xid stitches a client span, a server.dispatch on another "
+         "thread, and a gpu span — cross-layer propagation is broken")
+
+
+def check_metrics(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot read metrics file: {e}")
+    if "cricket_span_latency_ns" not in text:
+        fail("metrics dump lacks the cricket_span_latency_ns series")
+    if "# TYPE cricket_span_latency_ns histogram" not in text:
+        fail("cricket_span_latency_ns is not exposed as a histogram")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--metrics", help="Prometheus text dump to validate")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of trace events (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        fail("top level must be an object with a 'traceEvents' list")
+    events = doc["traceEvents"]
+    if len(events) < args.min_events:
+        fail(f"expected at least {args.min_events} events, got {len(events)}")
+
+    check_schema(events)
+    check_categories(events)
+    check_stitching(events)
+    if args.metrics:
+        check_metrics(args.metrics)
+
+    print(f"validate_trace: OK: {len(events)} events, "
+          f"{len({e['args']['xid'] for e in events if e['args']['xid']})} "
+          f"distinct xids")
+
+
+if __name__ == "__main__":
+    main()
