@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,9 @@ rpcflow::ChannelOptions channel_options(const env::PipelineConfig& pipeline) {
   // the same wire behaviour as the synchronous client.
   opts.max_outstanding = pipeline.enabled ? pipeline.depth : 1;
   opts.batch.enabled = pipeline.enabled && pipeline.batching;
+  // Reply pre-flight: reject replies larger than the procedure's proven
+  // result bound before they are decoded.
+  opts.bounds = proto::bounds::kProcBounds;
   return opts;
 }
 

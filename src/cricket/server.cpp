@@ -3,6 +3,7 @@
 #include <set>
 
 #include "cricket/checkpoint.hpp"
+#include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/server.hpp"
@@ -392,6 +393,10 @@ void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   CricketSession session(*this, id, std::move(lanes));
   rpc::ServiceRegistry registry;
   session.register_into(registry);
+  // Decode pre-flight from the rpclgen-proven bounds tables: records whose
+  // length can not belong to the addressed procedure are answered
+  // GARBAGE_ARGS before any allocation or argument decode.
+  registry.set_bounds(proto::bounds::kProcBounds);
   rpc::ServeOptions serve = options_.serve;
   // Session handlers share per-session state (resource tracking, the local
   // CUDA context) and CUDA streams demand in-order execution, so pipelining

@@ -100,6 +100,27 @@ std::vector<std::uint8_t> encode_reply(const ReplyMsg& reply) {
   return out;
 }
 
+CallHeader peek_call_header(std::span<const std::uint8_t> record) {
+  Decoder dec(record);
+  CallHeader h;
+  h.xid = dec.get_u32();
+  const auto mtype = dec.get_enum<MsgType>();
+  if (mtype != MsgType::kCall) throw RpcFormatError("expected CALL message");
+  const std::uint32_t rpcvers = dec.get_u32();
+  if (rpcvers != kRpcVersion) throw RpcFormatError("unsupported RPC version");
+  h.prog = dec.get_u32();
+  h.vers = dec.get_u32();
+  h.proc = dec.get_u32();
+  // Skip cred and verf without materialising the bodies; same length caps
+  // as xdr_decode(Decoder&, OpaqueAuth&).
+  for (int i = 0; i < 2; ++i) {
+    (void)dec.get_enum<AuthFlavor>();
+    dec.skip_opaque(OpaqueAuth::kMaxBody);
+  }
+  h.body_offset = dec.position();
+  return h;
+}
+
 CallMsg decode_call(std::span<const std::uint8_t> record) {
   Decoder dec(record);
   CallMsg call;
@@ -139,10 +160,19 @@ ReplyMsg decode_reply(std::span<const std::uint8_t> record) {
         mi.low = dec.get_u32();
         mi.high = dec.get_u32();
         reply.mismatch = mi;
+        dec.expect_exhausted();
         break;
       }
-      default:
+      case AcceptStat::kProgUnavail:
+      case AcceptStat::kProcUnavail:
+      case AcceptStat::kGarbageArgs:
+      case AcceptStat::kSystemErr:
+        dec.expect_exhausted();
         break;
+      default:
+        // An out-of-range accept_stat must not be returned looking like a
+        // structured reply whose untouched fields happen to read kSuccess.
+        throw RpcFormatError("invalid accept_stat");
     }
   } else if (reply.stat == ReplyStat::kDenied) {
     reply.reject_stat = dec.get_enum<RejectStat>();
@@ -151,9 +181,16 @@ ReplyMsg decode_reply(std::span<const std::uint8_t> record) {
       mi.low = dec.get_u32();
       mi.high = dec.get_u32();
       reply.mismatch = mi;
+    } else if (reply.reject_stat == RejectStat::kAuthError) {
+      const std::int32_t astat = dec.get_i32();
+      if (astat < static_cast<std::int32_t>(AuthStat::kOk) ||
+          astat > static_cast<std::int32_t>(AuthStat::kFailed))
+        throw RpcFormatError("invalid auth_stat");
+      reply.auth_stat = static_cast<AuthStat>(astat);
     } else {
-      reply.auth_stat = dec.get_enum<AuthStat>();
+      throw RpcFormatError("invalid reject_stat");
     }
+    dec.expect_exhausted();
   } else {
     throw RpcFormatError("invalid reply_stat");
   }

@@ -95,8 +95,24 @@ struct ReplyMsg {
 
 /// Parses a record as a call; throws XdrError/RpcFormatError on garbage.
 [[nodiscard]] CallMsg decode_call(std::span<const std::uint8_t> record);
-/// Parses a record as a reply.
+/// Parses a record as a reply. Strict: unknown reply_stat / accept_stat /
+/// reject_stat / auth_stat values and trailing bytes all throw.
 [[nodiscard]] ReplyMsg decode_reply(std::span<const std::uint8_t> record);
+
+/// Allocation-free view of a call header — just enough to route the record
+/// (bounds pre-flight) without copying auth bodies or args.
+struct CallHeader {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  std::size_t body_offset = 0;  // offset of the encoded args in the record
+};
+
+/// Parses only the call header, performing no allocation. Throws
+/// XdrError/RpcFormatError in exactly the cases decode_call would reject
+/// the header, so a record that passes the peek still decodes.
+[[nodiscard]] CallHeader peek_call_header(std::span<const std::uint8_t> record);
 
 /// Thrown when a record is not a structurally valid RPC message.
 class RpcFormatError : public std::runtime_error {

@@ -11,6 +11,37 @@ void ServiceRegistry::register_proc(std::uint32_t prog, std::uint32_t vers,
   handlers_[Key{prog, vers, proc}] = std::move(handler);
 }
 
+void ServiceRegistry::set_bounds(std::span<const ProcWireBounds> table) {
+  for (const auto& b : table) bounds_[Key{b.prog, b.vers, b.proc}] = b;
+}
+
+std::optional<ReplyMsg> ServiceRegistry::preflight(
+    std::span<const std::uint8_t> record) const {
+  if (bounds_.empty()) return std::nullopt;
+  CallHeader header;
+  try {
+    header = peek_call_header(record);
+  } catch (const std::exception&) {
+    // Unparseable header: let the full decode path classify (and drop) it.
+    return std::nullopt;
+  }
+  const auto it = bounds_.find(Key{header.prog, header.vers, header.proc});
+  if (it == bounds_.end() || it->second.args_max == kUnboundedWireSize)
+    return std::nullopt;
+  const std::uint64_t args_len = record.size() - header.body_offset;
+  if (args_len >= it->second.args_min && args_len <= it->second.args_max)
+    return std::nullopt;
+  static obs::Counter& rejected = obs::Registry::global().counter(
+      "cricket_rpc_preflight_rejected_total", {},
+      "Records rejected by wire-size bounds pre-flight before decode");
+  rejected.inc();
+  ReplyMsg reply;
+  reply.xid = header.xid;
+  reply.stat = ReplyStat::kAccepted;
+  reply.accept_stat = AcceptStat::kGarbageArgs;
+  return reply;
+}
+
 ReplyMsg ServiceRegistry::dispatch(const CallMsg& call) const {
   ReplyMsg reply;
   reply.xid = call.xid;
@@ -96,6 +127,20 @@ class PipelinedConnection {
         if (!reader.read_record(record)) return;  // clean EOF
       } catch (const TransportError&) {
         return;  // peer vanished mid-record; nothing to reply to
+      }
+      if (auto rejected = registry_->preflight(record)) {
+        // Out-of-bounds length: answer GARBAGE_ARGS without ever decoding.
+        // The reply takes the normal writer path (and an in-flight slot) so
+        // ordering and backpressure stay uniform.
+        sim::MutexLock lock(mu_);
+        while (in_flight_ >= options_.max_in_flight && !write_failed_)
+          slots_cv_.wait(mu_);
+        if (write_failed_) return;
+        ++in_flight_;
+        ready_.push_back(encode_reply(*rejected));
+        lock.unlock();
+        reply_cv_.notify_one();
+        continue;
       }
       CallMsg call;
       try {
@@ -213,6 +258,15 @@ void serve_serial(const ServiceRegistry& registry, Transport& transport,
       if (!reader.read_record(record)) return;  // clean EOF
     } catch (const TransportError&) {
       return;  // peer vanished mid-record; nothing to reply to
+    }
+    if (auto rejected = registry.preflight(record)) {
+      // Out-of-bounds length: answer GARBAGE_ARGS without ever decoding.
+      try {
+        writer.write_record(encode_reply(*rejected));
+      } catch (const TransportError&) {
+        return;
+      }
+      continue;
     }
     ReplyMsg reply;
     try {

@@ -12,13 +12,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rpc/record.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "rpc/transport.hpp"
+#include "rpc/wire_bounds.hpp"
 #include "sim/annotations.hpp"
 #include "xdr/xdr.hpp"
 
@@ -51,6 +54,13 @@ class ServiceRegistry {
                       std::uint32_t proc, Fn fn) {
     register_proc(prog, vers, proc,
                   [fn = std::move(fn)](std::span<const std::uint8_t> in) {
+                    // Counted so tests can prove pre-flight rejections never
+                    // reach argument decoding.
+                    static obs::Counter& decode_attempts =
+                        obs::Registry::global().counter(
+                            "cricket_rpc_args_decode_total", {},
+                            "Typed argument decode attempts");
+                    decode_attempts.inc();
                     xdr::Decoder dec(in);
                     std::tuple<std::decay_t<Args>...> args;
                     try {
@@ -70,6 +80,21 @@ class ServiceRegistry {
                   });
   }
 
+  /// Installs rpclgen-generated wire-size bounds (e.g.
+  /// cricket::proto::bounds::kProcBounds). Entries are copied; like
+  /// register_proc this must complete before dispatch starts.
+  void set_bounds(std::span<const ProcWireBounds> table);
+
+  /// Decode pre-flight: peeks the call header of a raw record and checks
+  /// the argument length against the addressed procedure's proven
+  /// [min, max] interval, before any allocation or xdr_decode. Returns a
+  /// GARBAGE_ARGS reply if the record can not be a valid call to that
+  /// procedure, nullopt to proceed with the full decode (including when
+  /// the header is unparseable or no bounds are installed — those paths
+  /// keep their existing error classification).
+  [[nodiscard]] std::optional<ReplyMsg> preflight(
+      std::span<const std::uint8_t> record) const;
+
   /// Executes one parsed call, producing the reply (never throws for
   /// call-level errors; they become reply statuses).
   [[nodiscard]] ReplyMsg dispatch(const CallMsg& call) const;
@@ -80,6 +105,7 @@ class ServiceRegistry {
     auto operator<=>(const Key&) const = default;
   };
   std::map<Key, ProcHandler> handlers_;
+  std::map<Key, ProcWireBounds> bounds_;
 };
 
 /// Per-connection concurrency options. The default reproduces the paper's

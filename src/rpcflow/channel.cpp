@@ -106,7 +106,15 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
     }
     call.xid = next_xid_++;
     call.cred = cred_;
-    pending_.emplace(call.xid, promise);
+    // The reply pre-flight bound is decided now: once the reply arrives the
+    // reader only has an xid, not a procedure number.
+    std::uint64_t max_reply_bytes = rpc::kUnboundedWireSize;
+    if (const auto* b =
+            rpc::find_proc_bounds(options_.bounds, prog_, vers_, proc);
+        b != nullptr && b->result_max != rpc::kUnboundedWireSize) {
+      max_reply_bytes = b->result_max + rpc::kReplyHeaderMax;
+    }
+    pending_.emplace(call.xid, PendingCall{promise, max_reply_bytes});
     ++stats_.calls;
     stats_.max_in_flight = std::max(
         stats_.max_in_flight, static_cast<std::uint32_t>(pending_.size()));
@@ -162,10 +170,10 @@ void AsyncRpcChannel::fail_all_locked(const std::exception_ptr& error) {
   dead_ = true;
   // Complete outside pending_ so promise callbacks never see a half-updated
   // map; promises have their own locks.
-  std::map<std::uint32_t, ReplyPromise> orphans;
+  std::map<std::uint32_t, PendingCall> orphans;
   orphans.swap(pending_);
   stats_.failed += orphans.size();
-  for (auto& [xid, promise] : orphans) promise.set_error(error);
+  for (auto& [xid, call] : orphans) call.promise.set_error(error);
 }
 
 void AsyncRpcChannel::reader_loop() {
@@ -189,6 +197,35 @@ void AsyncRpcChannel::reader_loop() {
       return;
     }
 
+    // Pre-flight: the xid is the first word of every reply, so the record
+    // can be matched to its call — and to the call's proven result bound —
+    // before decode_reply parses or allocates anything. An oversized record
+    // addressed to a bounded call can not be a valid reply; fail that call
+    // without decoding.
+    if (record.size() >= 4) {
+      const std::uint32_t peek_xid = (std::uint32_t{record[0]} << 24) |
+                                     (std::uint32_t{record[1]} << 16) |
+                                     (std::uint32_t{record[2]} << 8) |
+                                     std::uint32_t{record[3]};
+      sim::MutexLock lock(mu_);
+      const auto it = pending_.find(peek_xid);
+      if (it != pending_.end() &&
+          record.size() > it->second.max_reply_bytes) {
+        ReplyPromise promise = it->second.promise;
+        pending_.erase(it);
+        ++stats_.preflight_rejected;
+        ++stats_.failed;
+        stats_.bytes_received += record.size();
+        lock.unlock();
+        promise.set_error(std::make_exception_ptr(rpc::RpcError(
+            rpc::RpcError::Kind::kBadReply,
+            "reply of " + std::to_string(record.size()) +
+                " bytes exceeds the procedure's proven wire-size bound")));
+        slots_cv_.notify_all();
+        continue;
+      }
+    }
+
     rpc::ReplyMsg reply;
     try {
       reply = rpc::decode_reply(record);
@@ -206,7 +243,7 @@ void AsyncRpcChannel::reader_loop() {
       const auto it = pending_.find(reply.xid);
       if (it != pending_.end()) {
         matched = true;
-        promise = it->second;
+        promise = it->second.promise;
         pending_.erase(it);
         ++stats_.replies;
       } else {

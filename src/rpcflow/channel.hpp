@@ -23,6 +23,7 @@
 #include "rpc/record.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "rpc/transport.hpp"
+#include "rpc/wire_bounds.hpp"
 #include "rpcflow/batcher.hpp"
 #include "rpcflow/future.hpp"
 #include "xdr/xdr.hpp"
@@ -37,6 +38,12 @@ struct ChannelOptions {
   std::uint32_t max_fragment = rpc::RecordWriter::kDefaultMaxFragment;
   /// Small-call coalescing (off by default: pipelining without batching).
   CallBatcher::Options batch{};
+  /// rpclgen-generated per-procedure wire bounds (e.g.
+  /// cricket::proto::bounds::kProcBounds). When set, the reader thread
+  /// rejects any reply record larger than the addressed call's proven
+  /// result bound before decode_reply runs. The span must outlive the
+  /// channel (generated tables have static storage).
+  std::span<const rpc::ProcWireBounds> bounds{};
 };
 
 struct ChannelStats {
@@ -44,6 +51,7 @@ struct ChannelStats {
   std::uint64_t replies = 0;       // matched completions
   std::uint64_t failed = 0;        // completed with an error
   std::uint64_t unmatched = 0;     // replies with an unknown xid (dropped)
+  std::uint64_t preflight_rejected = 0;  // oversized replies failed undecoded
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint32_t max_in_flight = 0;  // high-water mark of the pipeline
@@ -111,9 +119,18 @@ class AsyncRpcChannel {
   ChannelOptions options_;
   std::unique_ptr<CallBatcher> batcher_;
 
+  /// A call awaiting its reply. max_reply_bytes is fixed at call time (the
+  /// reader can not know the procedure from a reply record alone): result
+  /// bound plus the worst-case reply header, or kUnboundedWireSize when no
+  /// bounds table covers the procedure.
+  struct PendingCall {
+    ReplyPromise promise;
+    std::uint64_t max_reply_bytes = rpc::kUnboundedWireSize;
+  };
+
   mutable sim::Mutex mu_;
   sim::CondVar slots_cv_;  // outstanding window + drain waiters
-  std::map<std::uint32_t, ReplyPromise> pending_ CRICKET_GUARDED_BY(mu_);
+  std::map<std::uint32_t, PendingCall> pending_ CRICKET_GUARDED_BY(mu_);
   std::uint32_t next_xid_ CRICKET_GUARDED_BY(mu_);
   rpc::OpaqueAuth cred_ CRICKET_GUARDED_BY(mu_);
   bool dead_ CRICKET_GUARDED_BY(mu_) = false;

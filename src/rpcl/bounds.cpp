@@ -1,0 +1,495 @@
+#include "rpcl/bounds.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace cricket::rpcl {
+namespace {
+
+constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
+constexpr std::uint64_t kU32Max = 0xFFFFFFFFull;
+
+/// RPCL013 thresholds: warn only when the dominant arm is big enough to
+/// matter for receive-buffer sizing and clearly out of scale with the rest
+/// of the union.
+constexpr std::uint64_t kDominantArmMinBytes = 64 * 1024;
+constexpr std::uint64_t kDominantArmRatio = 16;
+
+/// Saturating arithmetic: a hostile spec must not be able to wrap the size
+/// computation and get a small (wrong) bound certified. Saturated values
+/// stick at UINT64_MAX and trip RPCL012 downstream.
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kU64Max - b ? kU64Max : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kU64Max / b ? kU64Max : a * b;
+}
+
+/// XDR pads opaque/string bodies to a 4-byte boundary (RFC 4506 §3/§4).
+std::uint64_t padded(std::uint64_t n) {
+  const std::uint64_t p = sat_add(n, 3);
+  return p == kU64Max ? kU64Max : p & ~std::uint64_t{3};
+}
+
+SizeInterval exact(std::uint64_t n) { return {n, n, true}; }
+
+SizeInterval unbounded_from(std::uint64_t min) { return {min, 0, false}; }
+
+SizeInterval interval_sum(SizeInterval a, SizeInterval b) {
+  SizeInterval r;
+  r.min = sat_add(a.min, b.min);
+  r.bounded = a.bounded && b.bounded;
+  r.max = r.bounded ? sat_add(a.max, b.max) : 0;
+  return r;
+}
+
+bool is_bytes(const TypeRef& t) {
+  if (!std::holds_alternative<Builtin>(t.base)) return false;
+  const auto b = std::get<Builtin>(t.base);
+  return b == Builtin::kString || b == Builtin::kOpaque;
+}
+
+class BoundsAnalyzer {
+ public:
+  BoundsAnalyzer(const SpecFile& spec, const BoundsOptions& options)
+      : spec_(spec), options_(options) {}
+
+  BoundsResult run() {
+    resolve_budget();
+    collect_types();
+    check_union_dominance();
+    check_procs();
+    // Same presentation contract as sema: findings in source order.
+    std::stable_sort(result_.diagnostics.begin(), result_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.loc.line != b.loc.line)
+                         return a.loc.line < b.loc.line;
+                       return a.loc.col < b.loc.col;
+                     });
+    return std::move(result_);
+  }
+
+ private:
+  void emit(Severity sev, const char* rule, std::string message,
+            SourceLoc loc) {
+    result_.diagnostics.push_back({sev, rule, std::move(message), loc});
+  }
+
+  void resolve_budget() {
+    for (const auto& c : spec_.consts) {
+      if (c.name == kBudgetConstName && c.value > 0)
+        result_.max_payload = static_cast<std::uint64_t>(c.value);
+    }
+    if (options_.proc_budget != 0) {
+      result_.budget = options_.proc_budget;
+    } else if (result_.max_payload != 0) {
+      result_.budget =
+          sat_add(result_.max_payload, options_.overhead_allowance);
+    }
+  }
+
+  // --- interval computation -------------------------------------------
+
+  /// Size of a named type, memoized. Recursion is detected with an
+  /// in-progress set: a cycle can never be assigned a finite XDR size
+  /// (XDR has no indefinite-length encodings), so it is RPCL014 and the
+  /// participant is poisoned to [0, 0] to stop the cascade.
+  SizeInterval size_of_named(const std::string& name, SourceLoc use_loc) {
+    if (const auto it = memo_.find(name); it != memo_.end()) return it->second;
+    if (in_progress_.contains(name)) {
+      if (recursion_reported_.insert(name).second) {
+        emit(Severity::kError, "RPCL014",
+             "type '" + name +
+                 "' is recursive and can not be assigned a finite wire size",
+             use_loc);
+      }
+      return exact(0);
+    }
+    in_progress_.insert(name);
+    SizeInterval size = exact(0);
+    if (const auto* s = spec_.find_struct(name)) {
+      for (const auto& f : s->fields)
+        size = interval_sum(size, size_of_type(f.type));
+    } else if (const auto* u = spec_.find_union(name)) {
+      size = size_of_union(*u);
+    } else if (const auto* t = spec_.find_typedef(name)) {
+      size = size_of_type(t->type);
+    } else if (spec_.find_enum(name) != nullptr) {
+      size = exact(4);
+    }
+    // else: undefined reference — sema reports RPCL008; [0, 0] here keeps
+    // one broken name from cascading into bounds noise.
+    in_progress_.erase(name);
+    memo_.emplace(name, size);
+    return size;
+  }
+
+  SizeInterval size_of_union(const UnionDef& u) {
+    SizeInterval disc = size_of_type(u.discriminant_type);
+    if (u.arms.empty()) return disc;
+    SizeInterval arms{kU64Max, 0, true};
+    for (const auto& arm : u.arms) {
+      const SizeInterval a =
+          arm.field ? size_of_type(arm.field->type) : exact(0);
+      arms.min = std::min(arms.min, a.min);
+      arms.bounded = arms.bounded && a.bounded;
+      if (arms.bounded) arms.max = std::max(arms.max, a.max);
+    }
+    if (!arms.bounded) arms.max = 0;
+    return interval_sum(disc, arms);
+  }
+
+  SizeInterval size_of_type(const TypeRef& t) {
+    if (is_bytes(t)) {
+      // string<N> / opaque<N> / opaque[N]: the element is one byte, padded
+      // as a unit to a 4-byte boundary.
+      if (t.decoration == TypeRef::Decoration::kFixedArray)
+        return exact(padded(t.bound.value_or(0)));
+      if (!t.bound) return unbounded_from(4);
+      return {4, sat_add(4, padded(*t.bound)), true};
+    }
+    SizeInterval elem =
+        std::holds_alternative<Builtin>(t.base)
+            ? exact(builtin_size(std::get<Builtin>(t.base)))
+            : size_of_named(std::get<std::string>(t.base), t.loc);
+    switch (t.decoration) {
+      case TypeRef::Decoration::kNone:
+        return elem;
+      case TypeRef::Decoration::kOptional: {
+        // XDR pointer: 4-byte presence discriminant, then nothing or the
+        // value.
+        SizeInterval r{4, 0, elem.bounded};
+        if (r.bounded) r.max = sat_add(4, elem.max);
+        return r;
+      }
+      case TypeRef::Decoration::kFixedArray: {
+        const std::uint64_t n = t.bound.value_or(0);
+        SizeInterval r;
+        r.min = sat_mul(elem.min, n);
+        r.bounded = elem.bounded || n == 0;
+        r.max = r.bounded ? sat_mul(elem.max, n) : 0;
+        return r;
+      }
+      case TypeRef::Decoration::kVariableArray: {
+        if (!t.bound || !elem.bounded) return unbounded_from(4);
+        return {4, sat_add(4, sat_mul(elem.max, *t.bound)), true};
+      }
+    }
+    return exact(0);
+  }
+
+  static std::uint64_t builtin_size(Builtin b) {
+    switch (b) {
+      case Builtin::kHyper:
+      case Builtin::kUHyper:
+      case Builtin::kDouble:
+        return 8;
+      case Builtin::kVoid:
+        return 0;
+      default:
+        return 4;  // int, unsigned, float, bool (string/opaque handled above)
+    }
+  }
+
+  // --- passes ----------------------------------------------------------
+
+  void collect_types() {
+    struct Named {
+      const std::string* name;
+      SourceLoc loc;
+    };
+    std::vector<Named> order;
+    for (const auto& e : spec_.enums) order.push_back({&e.name, e.loc});
+    for (const auto& s : spec_.structs) order.push_back({&s.name, s.loc});
+    for (const auto& u : spec_.unions) order.push_back({&u.name, u.loc});
+    for (const auto& t : spec_.typedefs) order.push_back({&t.name, t.loc});
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Named& a, const Named& b) {
+                       if (a.loc.line != b.loc.line)
+                         return a.loc.line < b.loc.line;
+                       return a.loc.col < b.loc.col;
+                     });
+    for (const auto& n : order) {
+      const SizeInterval size = size_of_named(*n.name, n.loc);
+      result_.types.push_back({*n.name, size});
+      check_u32_overflow(size, "type '" + *n.name + "'", n.loc);
+    }
+  }
+
+  /// RPCL012: a bound that does not fit the 32-bit XDR length field can
+  /// never be honoured on the wire, and a saturated computation means the
+  /// declared bounds are astronomically large.
+  void check_u32_overflow(SizeInterval size, const std::string& what,
+                          SourceLoc loc) {
+    if (!size.bounded || size.max <= kU32Max) return;
+    std::string detail =
+        size.max == kU64Max
+            ? "saturates 64-bit size arithmetic"
+            : "is " + std::to_string(size.max) +
+                  " bytes, overflowing the 32-bit wire length field";
+    emit(Severity::kError, "RPCL012",
+         "computed size bound of " + what + " " + detail, loc);
+  }
+
+  void check_union_dominance() {
+    for (const auto& u : spec_.unions) {
+      if (u.arms.size() < 2) continue;
+      std::uint64_t largest = 0;
+      std::uint64_t second = 0;
+      const std::string* largest_name = nullptr;
+      bool all_bounded = true;
+      for (const auto& arm : u.arms) {
+        const SizeInterval a =
+            arm.field ? size_of_type(arm.field->type) : exact(0);
+        if (!a.bounded) {
+          all_bounded = false;  // RPCL011 territory, not a budget-shape issue
+          break;
+        }
+        if (a.max > largest) {
+          second = largest;
+          largest = a.max;
+          largest_name = arm.field ? &arm.field->name : nullptr;
+        } else {
+          second = std::max(second, a.max);
+        }
+      }
+      if (!all_bounded || largest < kDominantArmMinBytes) continue;
+      if (largest < sat_mul(kDominantArmRatio, std::max<std::uint64_t>(
+                                                   second, 1)))
+        continue;
+      emit(Severity::kWarning, "RPCL013",
+           "union '" + u.name + "' worst-case size is dominated by arm '" +
+               (largest_name ? *largest_name : std::string("<void>")) +
+               "' (" + std::to_string(largest) + " bytes vs " +
+               std::to_string(second) +
+               " for the next-largest arm); every receiver must budget for "
+               "the large arm",
+           u.loc);
+    }
+  }
+
+  void check_procs() {
+    for (const auto& p : spec_.programs) {
+      for (const auto& v : p.versions) {
+        for (const auto& proc : v.procs) {
+          ProcBoundsInfo info;
+          info.program = p.name;
+          info.version = v.name;
+          info.name = proc.name;
+          info.prog = p.number;
+          info.vers = v.number;
+          info.number = proc.number;
+          info.args = exact(0);
+          for (const auto& a : proc.args) {
+            if (a.is_void()) continue;
+            info.args = interval_sum(info.args, size_of_type(a));
+          }
+          info.result = proc.result.is_void() ? exact(0)
+                                              : size_of_type(proc.result);
+          check_proc_direction(proc, "argument", info.args);
+          check_proc_direction(proc, "result", info.result);
+          result_.procs.push_back(std::move(info));
+        }
+      }
+    }
+  }
+
+  void check_proc_direction(const ProcDef& proc, const char* direction,
+                            SizeInterval size) {
+    if (!size.bounded) {
+      emit(Severity::kError, "RPCL011",
+           std::string(direction) + " encoding of procedure '" + proc.name +
+               "' is transitively unbounded; every reachable variable-length "
+               "field needs an explicit <N> bound",
+           proc.loc);
+      return;
+    }
+    if (size.max > kU32Max) {
+      check_u32_overflow(size,
+                         std::string(direction) + " encoding of procedure '" +
+                             proc.name + "'",
+                         proc.loc);
+      return;
+    }
+    if (result_.budget != 0 && size.max > result_.budget) {
+      emit(Severity::kError, "RPCL015",
+           std::string(direction) + " encoding of procedure '" + proc.name +
+               "' can reach " + std::to_string(size.max) +
+               " bytes, exceeding the per-procedure budget of " +
+               std::to_string(result_.budget) + " (" +
+               (options_.proc_budget != 0
+                    ? "--proc-budget"
+                    : std::string(kBudgetConstName) + " + overhead allowance") +
+               ")",
+           proc.loc);
+    }
+  }
+
+  const SpecFile& spec_;
+  const BoundsOptions& options_;
+  BoundsResult result_;
+  std::map<std::string, SizeInterval> memo_;
+  std::set<std::string> in_progress_;
+  std::set<std::string> recursion_reported_;
+};
+
+// --- generated header --------------------------------------------------
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += "ull";
+}
+
+void append_size(std::string& out, const SizeInterval& size, bool want_max) {
+  if (!size.bounded && want_max) {
+    out += "::cricket::rpc::kUnboundedWireSize";
+    return;
+  }
+  append_u64(out, want_max ? size.max : size.min);
+}
+
+std::string hex_u32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08xu", v);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t BoundsResult::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::size_t BoundsResult::warning_count() const noexcept {
+  return diagnostics.size() - error_count();
+}
+
+bool BoundsResult::ok(const BoundsOptions& options) const noexcept {
+  if (options.warnings_as_errors) return diagnostics.empty();
+  return error_count() == 0;
+}
+
+BoundsResult compute_bounds(const SpecFile& spec,
+                            const BoundsOptions& options) {
+  return BoundsAnalyzer(spec, options).run();
+}
+
+std::string generate_bounds_header(const SpecFile& spec,
+                                   const BoundsResult& bounds,
+                                   const CodegenOptions& options) {
+  (void)spec;
+  std::string out;
+  out += "// Generated by rpclgen --emit-bounds from ";
+  out += options.source_name;
+  out += ". DO NOT EDIT.\n";
+  out +=
+      "// Wire-size interval tables proven by the rpcl bounds pass; the\n"
+      "// static_asserts below make the C++ compiler of every including\n"
+      "// build re-check the proof (see DESIGN.md §9).\n";
+  out += "#pragma once\n\n";
+  out += "#include <cstdint>\n";
+  if (bounds.types.empty() || bounds.procs.empty())
+    out += "#include <array>\n";
+  out += "\n#include \"rpc/wire_bounds.hpp\"\n\n";
+  out += "namespace " + options.ns + "::bounds {\n\n";
+
+  if (bounds.max_payload != 0) {
+    out += "/// " + std::string(kBudgetConstName) + " from the spec.\n";
+    out += "inline constexpr std::uint64_t kMaxPayload = ";
+    append_u64(out, bounds.max_payload);
+    out += ";\n\n";
+  }
+  if (bounds.budget != 0) {
+    out +=
+        "/// Per-procedure ceiling every args_max / result_max below is\n"
+        "/// statically checked against.\n";
+    out += "inline constexpr std::uint64_t kProcBudget = ";
+    append_u64(out, bounds.budget);
+    out += ";";
+    if (bounds.max_payload != 0 && bounds.budget > bounds.max_payload) {
+      out += "  // kMaxPayload + ";
+      out += std::to_string(bounds.budget - bounds.max_payload);
+      out += " bytes of bounded overhead";
+    }
+    out += "\n\n";
+  }
+
+  out += "/// [min, max] encoded wire bytes of each named type.\n";
+  if (bounds.types.empty()) {
+    out +=
+        "inline constexpr std::array<::cricket::rpc::TypeWireBounds, 0> "
+        "kTypeBounds{};\n\n";
+  } else {
+    out += "inline constexpr ::cricket::rpc::TypeWireBounds kTypeBounds[] = "
+           "{\n";
+    for (const auto& t : bounds.types) {
+      out += "    {\"" + t.name + "\", ";
+      append_size(out, t.size, /*want_max=*/false);
+      out += ", ";
+      append_size(out, t.size, /*want_max=*/true);
+      out += "},\n";
+    }
+    out += "};\n\n";
+  }
+
+  out +=
+      "/// [min, max] encoded bytes of each procedure's argument list and\n"
+      "/// result, excluding RPC headers.\n";
+  if (bounds.procs.empty()) {
+    out +=
+        "inline constexpr std::array<::cricket::rpc::ProcWireBounds, 0> "
+        "kProcBounds{};\n";
+  } else {
+    out += "inline constexpr ::cricket::rpc::ProcWireBounds kProcBounds[] = "
+           "{\n";
+    const std::string* last_version = nullptr;
+    for (const auto& p : bounds.procs) {
+      if (!last_version || *last_version != p.version) {
+        out += "    // " + p.program + " " + p.version + "\n";
+        last_version = &p.version;
+      }
+      out += "    {" + hex_u32(p.prog) + ", " + std::to_string(p.vers) +
+             "u, " + std::to_string(p.number) + "u, ";
+      append_size(out, p.args, false);
+      out += ", ";
+      append_size(out, p.args, true);
+      out += ", ";
+      append_size(out, p.result, false);
+      out += ", ";
+      append_size(out, p.result, true);
+      out += ", \"" + p.name + "\"},\n";
+    }
+    out += "};\n";
+  }
+
+  if (bounds.budget != 0 && !bounds.procs.empty()) {
+    out += "\n";
+    for (std::size_t i = 0; i < bounds.procs.size(); ++i) {
+      const auto& p = bounds.procs[i];
+      if (p.args.bounded) {
+        out += "static_assert(kProcBounds[" + std::to_string(i) +
+               "].args_max <= kProcBudget,\n              \"" + p.name +
+               ": argument bound exceeds budget\");\n";
+      }
+      if (p.result.bounded) {
+        out += "static_assert(kProcBounds[" + std::to_string(i) +
+               "].result_max <= kProcBudget,\n              \"" + p.name +
+               ": result bound exceeds budget\");\n";
+      }
+    }
+  }
+
+  out += "\n}  // namespace " + options.ns + "::bounds\n";
+  return out;
+}
+
+}  // namespace cricket::rpcl

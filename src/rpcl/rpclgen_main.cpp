@@ -1,38 +1,87 @@
-// rpclgen: RPCL -> C++ code generator and spec linter CLI.
+// rpclgen: RPCL -> C++ code generator, spec linter, and bounds-table
+// emitter CLI.
 //
-// Generate:  rpclgen <spec.x> <out.hpp> [--namespace ns] [lint flags]
-// Lint only: rpclgen --lint <spec.x> [lint flags]
+// Generate:     rpclgen <spec.x> <out.hpp> [--namespace ns] [lint flags]
+// Lint only:    rpclgen --lint <spec.x> [lint flags]
+// Bounds table: rpclgen --emit-bounds <spec.x> [out.hpp] [--namespace ns]
+//               [--proc-budget N] [lint flags]
 //
-// Lint flags: --Werror (warnings fail), --max-bound N (wire-size budget in
-// bytes). Generation always runs the linter first; error-severity findings
-// (and warnings under --Werror) abort before any output file is written.
-//
-// Exit codes: 0 success, 1 lint/generation failure, 2 usage error.
+// Lint flags: --Werror (warnings fail), --max-bound N (per-field wire-size
+// budget in bytes). Generation and bounds emission always run the linter
+// first; error-severity findings (and warnings under --Werror) abort before
+// any output file is written. See --help for the exit-code contract.
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "rpcl/bounds.hpp"
 #include "rpcl/codegen.hpp"
 #include "rpcl/parser.hpp"
 #include "rpcl/sema.hpp"
 
 namespace {
 
-constexpr const char* kVersion = "rpclgen 0.2.0";
+constexpr const char* kVersion = "rpclgen 0.3.0";
 
-int usage() {
-  std::cerr << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns]"
-               " [--Werror] [--max-bound N]\n"
-               "       rpclgen --lint <spec.x> [--Werror] [--max-bound N]\n"
-               "       rpclgen --version\n";
-  return 2;
+// Exit codes are part of the CLI contract: tools/check.sh uses them to
+// report which gate tripped.
+constexpr int kExitOk = 0;
+constexpr int kExitLint = 1;    // parse error or RPCL001-010 lint failure
+constexpr int kExitUsage = 2;   // bad command line
+constexpr int kExitBounds = 3;  // RPCL011-015 bounds-analysis failure
+constexpr int kExitIo = 4;      // cannot read spec / write output
+
+void print_usage(std::ostream& os) {
+  os << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns]"
+        " [--Werror] [--max-bound N]\n"
+        "       rpclgen --lint <spec.x> [--Werror] [--max-bound N]\n"
+        "       rpclgen --emit-bounds <spec.x> [out.hpp] [--namespace ns]\n"
+        "                [--proc-budget N] [--Werror] [--max-bound N]\n"
+        "       rpclgen --help | --version\n";
 }
 
-/// Lints one already-read spec. Returns the process exit code (0 or 1) and
-/// prints every diagnostic to stderr in compiler format.
+int usage() {
+  print_usage(std::cerr);
+  return kExitUsage;
+}
+
+int help() {
+  print_usage(std::cout);
+  std::cout <<
+      "\nmodes:\n"
+      "  <spec.x> <out.hpp>     lint the spec, then generate the C++\n"
+      "                         protocol header (types, stubs, skeleton)\n"
+      "  --lint <spec.x>        lint only (rules RPCL001-RPCL010)\n"
+      "  --emit-bounds <spec.x> [out.hpp]\n"
+      "                         lint, run the wire-size interval analysis\n"
+      "                         (rules RPCL011-RPCL015), and emit the\n"
+      "                         constexpr bounds-table header; out defaults\n"
+      "                         to <spec-stem>_bounds.hpp in the current\n"
+      "                         directory\n"
+      "\noptions:\n"
+      "  --namespace ns         namespace for generated code (default\n"
+      "                         cricket::proto; bounds tables land in\n"
+      "                         ns::bounds)\n"
+      "  --Werror               treat lint and bounds warnings as errors\n"
+      "  --max-bound N          per-field wire-size budget for RPCL007\n"
+      "  --proc-budget N        per-procedure wire-size budget for RPCL015\n"
+      "                         (default: spec CRICKET_MAX_PAYLOAD plus a\n"
+      "                         64 KiB overhead allowance)\n"
+      "\nexit codes:\n"
+      "  0  success\n"
+      "  1  lint failure (parse error or RPCL001-RPCL010)\n"
+      "  2  usage error\n"
+      "  3  bounds-analysis failure (RPCL011-RPCL015)\n"
+      "  4  I/O error (cannot read the spec or write the output)\n";
+  return kExitOk;
+}
+
+/// Lints one already-read spec. Returns kExitOk or kExitLint and prints
+/// every diagnostic to stderr in compiler format.
 int lint(const std::string& path, const std::string& source,
          const cricket::rpcl::SemaOptions& options,
          cricket::rpcl::SpecFile* out_spec) {
@@ -42,7 +91,7 @@ int lint(const std::string& path, const std::string& source,
     spec = parse_spec_unchecked(source);
   } catch (const ParseError& e) {
     std::cerr << path << ":" << e.line() << ": error: " << e.what() << "\n";
-    return 1;
+    return kExitLint;
   }
   const SemaResult result = analyze(spec, options);
   for (const auto& d : result.diagnostics)
@@ -50,10 +99,36 @@ int lint(const std::string& path, const std::string& source,
   if (!result.ok(options)) {
     std::cerr << path << ": " << result.error_count() << " error(s), "
               << result.warning_count() << " warning(s)\n";
-    return 1;
+    return kExitLint;
   }
   if (out_spec) *out_spec = std::move(spec);
-  return 0;
+  return kExitOk;
+}
+
+/// Runs the interval analysis and writes the bounds-table header.
+int emit_bounds(const cricket::rpcl::SpecFile& spec,
+                const std::string& spec_path, const std::string& out_path,
+                const cricket::rpcl::BoundsOptions& options,
+                const cricket::rpcl::CodegenOptions& codegen_options) {
+  using namespace cricket::rpcl;
+  const BoundsResult bounds = compute_bounds(spec, options);
+  for (const auto& d : bounds.diagnostics)
+    std::cerr << format_diagnostic(d, spec_path) << "\n";
+  if (!bounds.ok(options)) {
+    std::cerr << spec_path << ": bounds analysis failed: "
+              << bounds.error_count() << " error(s), "
+              << bounds.warning_count() << " warning(s)\n";
+    return kExitBounds;
+  }
+  const std::string header =
+      generate_bounds_header(spec, bounds, codegen_options);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "rpclgen: cannot write " << out_path << "\n";
+    return kExitIo;
+  }
+  out << header;
+  return kExitOk;
 }
 
 }  // namespace
@@ -62,36 +137,48 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_path;
   bool lint_only = false;
+  bool bounds_mode = false;
   cricket::rpcl::CodegenOptions codegen_options;
   cricket::rpcl::SemaOptions sema_options;
+  cricket::rpcl::BoundsOptions bounds_options;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--version") {
       std::cout << kVersion << "\n";
-      return 0;
+      return kExitOk;
+    } else if (arg == "--help") {
+      return help();
     } else if (arg == "--lint") {
       lint_only = true;
+    } else if (arg == "--emit-bounds") {
+      bounds_mode = true;
     } else if (arg == "--Werror") {
       sema_options.warnings_as_errors = true;
+      bounds_options.warnings_as_errors = true;
     } else if (arg == "--namespace") {
       if (i + 1 >= argc) {
         std::cerr << "rpclgen: --namespace requires a value\n";
         return usage();
       }
       codegen_options.ns = argv[++i];
-    } else if (arg == "--max-bound") {
+    } else if (arg == "--max-bound" || arg == "--proc-budget") {
       if (i + 1 >= argc) {
-        std::cerr << "rpclgen: --max-bound requires a value\n";
+        std::cerr << "rpclgen: " << arg << " requires a value\n";
         return usage();
       }
+      std::uint64_t value = 0;
       try {
-        sema_options.max_bound = std::stoull(argv[++i]);
+        value = std::stoull(argv[++i]);
       } catch (const std::exception&) {
-        std::cerr << "rpclgen: bad --max-bound value '" << argv[i] << "'\n";
+        std::cerr << "rpclgen: bad " << arg << " value '" << argv[i] << "'\n";
         return usage();
       }
+      if (arg == "--max-bound")
+        sema_options.max_bound = value;
+      else
+        bounds_options.proc_budget = value;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "rpclgen: unknown option '" << arg << "'\n";
       return usage();
@@ -100,9 +187,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (lint_only && bounds_mode) {
+    std::cerr << "rpclgen: --lint and --emit-bounds are mutually exclusive\n";
+    return usage();
+  }
   if (lint_only) {
     if (positional.size() != 1) return usage();
     spec_path = positional[0];
+  } else if (bounds_mode) {
+    if (positional.empty() || positional.size() > 2) return usage();
+    spec_path = positional[0];
+    out_path = positional.size() == 2
+                   ? positional[1]
+                   : std::filesystem::path(spec_path).stem().string() +
+                         "_bounds.hpp";
   } else {
     if (positional.size() != 2) return usage();
     spec_path = positional[0];
@@ -113,24 +211,27 @@ int main(int argc, char** argv) {
   std::ifstream in(spec_path);
   if (!in) {
     std::cerr << "rpclgen: cannot open " << spec_path << "\n";
-    return 1;
+    return kExitIo;
   }
   std::ostringstream source;
   source << in.rdbuf();
 
   cricket::rpcl::SpecFile spec;
   if (const int rc = lint(spec_path, source.str(), sema_options, &spec);
-      rc != 0)
+      rc != kExitOk)
     return rc;
-  if (lint_only) return 0;
+  if (lint_only) return kExitOk;
+  if (bounds_mode)
+    return emit_bounds(spec, spec_path, out_path, bounds_options,
+                       codegen_options);
 
   const std::string header =
       cricket::rpcl::generate_header(spec, codegen_options);
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "rpclgen: cannot write " << out_path << "\n";
-    return 1;
+    return kExitIo;
   }
   out << header;
-  return 0;
+  return kExitOk;
 }

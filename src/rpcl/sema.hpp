@@ -21,6 +21,10 @@
 // RPCL006 is a warning (not an error) because unbounded payloads are legal
 // XDR and common in quick prototypes; production specs opt into strictness
 // with SemaOptions::warnings_as_errors (rpclgen --Werror).
+//
+// Rules RPCL011-RPCL015 (whole-message wire-size interval analysis) are
+// implemented by the separate bounds pass in bounds.hpp and reported
+// through the same Diagnostic type; rpclgen --emit-bounds runs both passes.
 #pragma once
 
 #include <cstdint>

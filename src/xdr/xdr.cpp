@@ -121,6 +121,14 @@ std::string Decoder::get_string(std::uint32_t max_len) {
   return out;
 }
 
+void Decoder::skip_opaque(std::uint32_t max_len) {
+  const std::uint32_t n = get_u32();
+  if (n > max_len) throw XdrError("XDR opaque exceeds maximum length");
+  if (n > remaining()) throw XdrError("XDR opaque exceeds buffer");
+  (void)take(n);
+  skip_padding(n);
+}
+
 void Decoder::expect_exhausted() const {
   if (!exhausted()) throw XdrError("trailing bytes after XDR message");
 }

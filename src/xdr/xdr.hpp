@@ -102,6 +102,9 @@ class Decoder {
   [[nodiscard]] std::vector<std::uint8_t> get_opaque(
       std::uint32_t max_len = kDefaultMaxLen);
   [[nodiscard]] std::string get_string(std::uint32_t max_len = kDefaultMaxLen);
+  /// Advances past a length-prefixed opaque without materialising the body
+  /// (same validation as get_opaque, zero allocation) — for header peeks.
+  void skip_opaque(std::uint32_t max_len = kDefaultMaxLen);
 
   template <typename E>
     requires std::is_enum_v<E>
@@ -179,12 +182,30 @@ void xdr_encode(Encoder& enc, const std::vector<T>& v) {
   for (const auto& e : v) xdr_encode(enc, e);
 }
 
+/// Smallest possible wire encoding of one element of T, for pre-allocation
+/// sanity checks. 8 for 8-byte scalars; 4 for everything else (4-byte
+/// scalars, enums, and any compound type, whose cheapest encoding still
+/// carries at least one 4-byte word: a count, a discriminant, or a field).
+template <typename T>
+consteval std::size_t xdr_min_wire_size() {
+  if constexpr (std::is_same_v<T, std::uint64_t> ||
+                std::is_same_v<T, std::int64_t> ||
+                std::is_same_v<T, double>) {
+    return 8;
+  } else {
+    return 4;
+  }
+}
+
 template <typename T>
   requires(!std::is_same_v<T, std::uint8_t>)
 void xdr_decode(Decoder& dec, std::vector<T>& v) {
   const std::uint32_t n = dec.get_u32();
-  // Guard against hostile counts: each element needs at least 4 bytes.
-  if (static_cast<std::size_t>(n) > dec.remaining() / 4 + 1)
+  // Guard against hostile counts BEFORE any allocation: n elements need at
+  // least n * min-element-size bytes, so a 4-byte count on a short message
+  // can never trigger a multi-GiB reserve. Strictly `>` with no slack — a
+  // count the buffer cannot possibly satisfy is malformed, full stop.
+  if (static_cast<std::size_t>(n) > dec.remaining() / xdr_min_wire_size<T>())
     throw XdrError("array count exceeds remaining buffer");
   v.clear();
   v.reserve(n);

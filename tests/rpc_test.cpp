@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rpc/client.hpp"
 #include "rpc/record.hpp"
 #include "rpc/rpc_msg.hpp"
@@ -446,6 +447,239 @@ TEST(RpcMsg, AuthSysRejectsOversizeGidList) {
   auth.flavor = AuthFlavor::kSys;
   auth.body = {enc.bytes().begin(), enc.bytes().end()};
   EXPECT_THROW((void)AuthSysParms::from_opaque(auth), RpcFormatError);
+}
+
+TEST(RpcMsg, PeekCallHeaderMatchesFullDecode) {
+  CallMsg call;
+  call.xid = 0xABCD;
+  call.prog = kProg;
+  call.vers = kVers;
+  call.proc = kProcEcho;
+  call.cred = AuthSysParms{
+      .stamp = 1, .machinename = "uk", .uid = 1, .gid = 1, .gids = {}}
+                  .to_opaque();
+  call.args = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto wire = encode_call(call);
+  const CallHeader hdr = peek_call_header(wire);
+  EXPECT_EQ(hdr.xid, call.xid);
+  EXPECT_EQ(hdr.prog, kProg);
+  EXPECT_EQ(hdr.vers, kVers);
+  EXPECT_EQ(hdr.proc, kProcEcho);
+  // body_offset lands exactly on the encoded args.
+  ASSERT_EQ(wire.size() - hdr.body_offset, call.args.size());
+  EXPECT_EQ(decode_call(wire).args, call.args);
+  // Replies and wrong rpcvers are rejected just like decode_call.
+  ReplyMsg reply;
+  reply.xid = 1;
+  EXPECT_THROW((void)peek_call_header(encode_reply(reply)), RpcFormatError);
+  auto bad = wire;
+  bad[11] = 3;
+  EXPECT_THROW((void)peek_call_header(bad), RpcFormatError);
+}
+
+TEST(RpcMsg, TruncatedCallEveryHeaderPrefixThrows) {
+  CallMsg call;
+  call.xid = 9;
+  call.prog = kProg;
+  call.vers = kVers;
+  call.proc = kProcAdd;
+  call.cred = AuthSysParms{
+      .stamp = 3, .machinename = "uk0", .uid = 5, .gid = 5, .gids = {}}
+                  .to_opaque();
+  call.args = {0, 0, 0, 1};
+  const auto wire = encode_call(call);
+  const std::size_t body_offset = peek_call_header(wire).body_offset;
+  for (std::size_t n = 0; n < body_offset; ++n) {
+    SCOPED_TRACE("prefix length " + std::to_string(n));
+    const std::vector<std::uint8_t> prefix(wire.begin(),
+                                           wire.begin() + std::ptrdiff_t(n));
+    bool decode_threw = false;
+    try {
+      (void)decode_call(prefix);
+    } catch (const xdr::XdrError&) {
+      decode_threw = true;
+    } catch (const RpcFormatError&) {
+      decode_threw = true;
+    }
+    EXPECT_TRUE(decode_threw);
+    bool peek_threw = false;
+    try {
+      (void)peek_call_header(prefix);
+    } catch (const xdr::XdrError&) {
+      peek_threw = true;
+    } catch (const RpcFormatError&) {
+      peek_threw = true;
+    }
+    EXPECT_TRUE(peek_threw);
+  }
+  // Truncation inside the args region is not the header codec's problem:
+  // the call decodes with shorter args (the typed layer rejects those).
+  EXPECT_TRUE(
+      decode_call(std::span(wire).first(body_offset)).args.empty());
+}
+
+TEST(RpcMsg, TruncatedReplyEveryPrefixThrows) {
+  ReplyMsg mismatch;
+  mismatch.xid = 6;
+  mismatch.accept_stat = AcceptStat::kProgMismatch;
+  mismatch.mismatch = MismatchInfo{2, 4};
+  ReplyMsg denied;
+  denied.xid = 7;
+  denied.stat = ReplyStat::kDenied;
+  denied.reject_stat = RejectStat::kAuthError;
+  denied.auth_stat = AuthStat::kBadCred;
+  for (const auto& wire : {encode_reply(mismatch), encode_reply(denied)}) {
+    for (std::size_t n = 0; n < wire.size(); ++n) {
+      SCOPED_TRACE("prefix length " + std::to_string(n));
+      const std::vector<std::uint8_t> prefix(wire.begin(),
+                                             wire.begin() + std::ptrdiff_t(n));
+      bool threw = false;
+      try {
+        (void)decode_reply(prefix);
+      } catch (const xdr::XdrError&) {
+        threw = true;
+      } catch (const RpcFormatError&) {
+        threw = true;
+      }
+      EXPECT_TRUE(threw) << "early EOF must throw, never parse";
+    }
+  }
+}
+
+TEST(RpcMsg, ReplyInvalidAcceptStatThrows) {
+  ReplyMsg reply;
+  reply.xid = 5;
+  auto wire = encode_reply(reply);
+  // xid(4) mtype(4) reply_stat(4) verf flavor(4) verf len(4) accept_stat(4)
+  ASSERT_EQ(wire.size(), 24u);
+  wire[23] = 9;  // not a valid accept_stat
+  EXPECT_THROW((void)decode_reply(wire), RpcFormatError);
+}
+
+TEST(RpcMsg, ReplyInvalidRejectAndAuthStatThrow) {
+  ReplyMsg denied;
+  denied.xid = 7;
+  denied.stat = ReplyStat::kDenied;
+  denied.reject_stat = RejectStat::kAuthError;
+  denied.auth_stat = AuthStat::kBadCred;
+  const auto wire = encode_reply(denied);
+  // xid(4) mtype(4) reply_stat(4) reject_stat(4) auth_stat(4)
+  ASSERT_EQ(wire.size(), 20u);
+  auto bad_reject = wire;
+  bad_reject[15] = 5;  // reject_stat must be 0 or 1
+  EXPECT_THROW((void)decode_reply(bad_reject), RpcFormatError);
+  auto bad_auth = wire;
+  bad_auth[19] = 200;  // auth_stat outside kOk..kFailed
+  EXPECT_THROW((void)decode_reply(bad_auth), RpcFormatError);
+}
+
+TEST(RpcMsg, ReplyTrailingGarbageAfterErrorBodyThrows) {
+  ReplyMsg denied;
+  denied.xid = 8;
+  denied.stat = ReplyStat::kDenied;
+  denied.reject_stat = RejectStat::kAuthError;
+  denied.auth_stat = AuthStat::kTooWeak;
+  auto wire = encode_reply(denied);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_THROW((void)decode_reply(wire), xdr::XdrError);
+}
+
+// ------------------------- bounds decode pre-flight -------------------------
+
+/// Same pipe fixture, with a wire-size bounds table installed: records whose
+/// length cannot be a valid encoding of the addressed procedure's arguments
+/// are answered with GarbageArgs before any decode or allocation happens.
+class RpcPreflightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = make_test_registry();
+    registry_.set_bounds(kBoundsTable);
+    auto [client_end, server_end] = make_pipe_pair();
+    server_end_ = std::move(server_end);
+    server_thread_ =
+        std::thread([this] { serve_transport(registry_, *server_end_); });
+    client_ = std::make_unique<RpcClient>(std::move(client_end), kProg, kVers);
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  static constexpr ProcWireBounds kBoundsTable[] = {
+      // echo: opaque<64> worst case = 4-byte count + 64 bytes
+      {kProg, kVers, kProcEcho, 4, 68, 4, 68, "echo"},
+      // add: exactly two u32s
+      {kProg, kVers, kProcAdd, 8, 8, 4, 4, "add"},
+  };
+
+  ServiceRegistry registry_;
+  std::unique_ptr<Transport> server_end_;
+  std::unique_ptr<RpcClient> client_;
+  std::thread server_thread_;
+};
+
+obs::Counter& preflight_rejected_counter() {
+  return obs::Registry::global().counter(
+      "cricket_rpc_preflight_rejected_total", {},
+      "Records rejected by wire-size bounds pre-flight before decode");
+}
+
+obs::Counter& args_decode_counter() {
+  return obs::Registry::global().counter("cricket_rpc_args_decode_total", {},
+                                         "Typed argument decode attempts");
+}
+
+TEST_F(RpcPreflightTest, InRangeRecordsPassThrough) {
+  const std::vector<std::uint8_t> payload(60, 0x42);  // 64 encoded: in range
+  EXPECT_EQ(client_->call<std::vector<std::uint8_t>>(kProcEcho, payload),
+            payload);
+  EXPECT_EQ(
+      (client_->call<std::uint32_t>(kProcAdd, std::uint32_t{20},
+                                    std::uint32_t{22})),
+      42u);
+}
+
+TEST_F(RpcPreflightTest, OversizedRecordRejectedBeforeDecode) {
+  const std::uint64_t rejected_before = preflight_rejected_counter().value();
+  const std::uint64_t decodes_before = args_decode_counter().value();
+  try {
+    // 100-byte payload encodes to 104 > the proven max of 68.
+    (void)client_->call<std::vector<std::uint8_t>>(
+        kProcEcho, std::vector<std::uint8_t>(100, 0x42));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kGarbageArgs);
+  }
+  EXPECT_EQ(preflight_rejected_counter().value(), rejected_before + 1);
+  // The proof of "before decode": the typed decode counter never moved.
+  EXPECT_EQ(args_decode_counter().value(), decodes_before);
+}
+
+TEST_F(RpcPreflightTest, UndersizedRecordRejectedBeforeDecode) {
+  const std::uint64_t rejected_before = preflight_rejected_counter().value();
+  const std::uint64_t decodes_before = args_decode_counter().value();
+  xdr::Encoder enc;
+  enc.put_u32(1);  // add needs exactly 8 bytes of args
+  try {
+    (void)client_->call_raw(kProcAdd, enc.bytes());
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kGarbageArgs);
+  }
+  EXPECT_EQ(preflight_rejected_counter().value(), rejected_before + 1);
+  EXPECT_EQ(args_decode_counter().value(), decodes_before);
+}
+
+TEST_F(RpcPreflightTest, ProcsOutsideTheTableAreNotPreflighted) {
+  const std::uint64_t rejected_before = preflight_rejected_counter().value();
+  EXPECT_EQ((client_->call<std::string>(kProcConcatN, std::string("xy"),
+                                        std::uint32_t{2})),
+            "xyxy");
+  EXPECT_EQ(preflight_rejected_counter().value(), rejected_before);
 }
 
 // --------------------------- real TCP integration ---------------------------

@@ -13,6 +13,8 @@
 #include "cricket/server.hpp"
 #include "cudart/local_api.hpp"
 #include "env/environment.hpp"
+#include "rpc/record.hpp"
+#include "rpc/rpc_msg.hpp"
 #include "rpc/server.hpp"
 #include "rpc/transport.hpp"
 #include "rpcflow/batcher.hpp"
@@ -311,6 +313,66 @@ TEST(AsyncRpcChannelTest, MidPipelineFailureFailsEveryPendingFuture) {
   auto late = channel.call_async<std::uint32_t>(kProcAdd, std::uint32_t{1},
                                                 std::uint32_t{1});
   EXPECT_THROW((void)late.get(), rpc::TransportError);
+}
+
+TEST(AsyncRpcChannelTest, OversizedReplyFailsUndecodedViaBoundsTable) {
+  static constexpr rpc::ProcWireBounds kTable[] = {
+      {kProg, kVers, kProcAdd, 8, 8, 4, 4, "add"},
+  };
+  auto [client_end, server_end] = rpc::make_pipe_pair();
+  AsyncRpcChannel channel(
+      std::move(client_end), kProg, kVers,
+      ChannelOptions{.max_outstanding = 4, .bounds = kTable});
+  // Raw "server": answers the call with a well-formed success reply whose
+  // results blob far exceeds the procedure's proven result bound. The
+  // channel must fail the future from the record length alone, before
+  // decode_reply ever sees the payload.
+  std::thread server([&] {
+    rpc::RecordReader reader(*server_end);
+    std::vector<std::uint8_t> record;
+    if (!reader.read_record(record)) return;
+    const rpc::CallMsg call = rpc::decode_call(record);
+    rpc::ReplyMsg reply;
+    reply.xid = call.xid;
+    reply.results.assign(4096, 0x5A);  // proven max is 4 bytes
+    rpc::RecordWriter writer(*server_end);
+    writer.write_record(rpc::encode_reply(reply));
+  });
+  auto fut = channel.call_async<std::uint32_t>(kProcAdd, std::uint32_t{1},
+                                               std::uint32_t{2});
+  try {
+    (void)fut.get();
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_EQ(e.kind(), rpc::RpcError::Kind::kBadReply);
+  }
+  server.join();
+  EXPECT_EQ(channel.stats().preflight_rejected, 1u);
+  EXPECT_EQ(channel.stats().failed, 1u);
+  EXPECT_EQ(channel.stats().replies, 0u);
+  EXPECT_EQ(channel.outstanding(), 0u);
+
+  // The same channel stays usable: an in-bounds reply still completes.
+  std::thread server2([&] {
+    rpc::RecordReader reader(*server_end);
+    std::vector<std::uint8_t> record;
+    if (!reader.read_record(record)) return;
+    const rpc::CallMsg call = rpc::decode_call(record);
+    rpc::ReplyMsg reply;
+    reply.xid = call.xid;
+    reply.results = {0, 0, 0, 42};
+    rpc::RecordWriter writer(*server_end);
+    writer.write_record(rpc::encode_reply(reply));
+  });
+  EXPECT_EQ(
+      (channel.call_async<std::uint32_t>(kProcAdd, std::uint32_t{40},
+                                         std::uint32_t{2})
+           .get()),
+      42u);
+  server2.join();
+  // End the reader loop: the channel destructor joins the reader, which
+  // runs until the server half-closes.
+  server_end->shutdown();
 }
 
 TEST(AsyncRpcChannelTest, DrainIsIdleSafe) {

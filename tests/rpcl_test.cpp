@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 
+#include "rpcl/bounds.hpp"
 #include "rpcl/codegen.hpp"
 #include "rpcl/lexer.hpp"
 #include "rpcl/parser.hpp"
@@ -415,6 +416,252 @@ TEST(Codegen, EmitsBoundsChecksForDeclaredLimits) {
   // Unbounded fields get no check.
   EXPECT_EQ(header.find("v.unlimited.size() >"), std::string::npos);
   EXPECT_NE(header.find("exceeds declared bound"), std::string::npos);
+}
+
+// ---------------------------------- bounds ---------------------------------
+
+const SizeInterval* find_type(const BoundsResult& r, const std::string& name) {
+  for (const auto& t : r.types)
+    if (t.name == name) return &t.size;
+  return nullptr;
+}
+
+const ProcBoundsInfo* find_proc(const BoundsResult& r,
+                                const std::string& name) {
+  for (const auto& p : r.procs)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+TEST(Bounds, IntervalLatticePropagation) {
+  // Every lattice rule at once: struct = sum, fixed opaque padded as a
+  // unit, variable opaque/string = count + padded bound, optional =
+  // discriminant + value, fixed array = count x element, variable array =
+  // count + bound x element max, union = discriminant + [min/max over arms].
+  const SpecFile spec = parse_spec_unchecked(R"(
+struct s {
+  int a;
+  unsigned hyper b;
+  opaque fixed[5];
+  opaque var<9>;
+  string str<7>;
+  *int opt;
+  int arr[3];
+  float farr<2>;
+};
+union u switch (int t) {
+  case 0: void;
+  case 1: s val;
+};
+program P { version V { u f(s, int) = 1; } = 1; } = 9;
+)");
+  const BoundsResult r = compute_bounds(spec);
+  EXPECT_TRUE(r.ok());
+  const auto* s = find_type(r, "s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, (SizeInterval{48, 80, true}));
+  const auto* u = find_type(r, "u");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(*u, (SizeInterval{4, 84, true}));
+  const auto* f = find_proc(r, "f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->args, (SizeInterval{52, 84, true}));
+  EXPECT_EQ(f->result, (SizeInterval{4, 84, true}));
+  EXPECT_EQ(r.budget, 0u);  // no CRICKET_MAX_PAYLOAD, no --proc-budget
+}
+
+TEST(Bounds, GoldenIntervalsForCricketSpec) {
+  std::ifstream in(CRICKET_SPEC_X);
+  ASSERT_TRUE(in.is_open()) << "cannot open " << CRICKET_SPEC_X;
+  std::ostringstream source;
+  source << in.rdbuf();
+  const SpecFile spec = parse_spec_unchecked(source.str());
+  const BoundsResult r = compute_bounds(spec);
+  for (const auto& d : r.diagnostics)
+    ADD_FAILURE() << format_diagnostic(d, "cricket.x");
+  EXPECT_TRUE(r.ok({.warnings_as_errors = true}));
+
+  constexpr std::uint64_t kPayload = 1073741824;  // CRICKET_MAX_PAYLOAD
+  EXPECT_EQ(r.max_payload, kPayload);
+  EXPECT_EQ(r.budget, kPayload + 64 * 1024);
+
+  EXPECT_EQ(*find_type(r, "rpc_dim3"), (SizeInterval{12, 12, true}));
+  EXPECT_EQ(*find_type(r, "dev_props_result"), (SizeInterval{28, 284, true}));
+  EXPECT_EQ(*find_type(r, "data_result"),
+            (SizeInterval{8, 8 + kPayload, true}));
+
+  const auto* count = find_proc(r, "rpc_get_device_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->args, (SizeInterval{0, 0, true}));
+  EXPECT_EQ(count->result, (SizeInterval{8, 8, true}));
+
+  const auto* h2d = find_proc(r, "rpc_memcpy_h2d");
+  ASSERT_NE(h2d, nullptr);
+  EXPECT_EQ(h2d->args, (SizeInterval{12, 12 + kPayload, true}));
+  EXPECT_EQ(h2d->result, (SizeInterval{4, 4, true}));
+
+  const auto* launch = find_proc(r, "rpc_launch_kernel");
+  ASSERT_NE(launch, nullptr);
+  EXPECT_EQ(launch->args.min, 48u);
+  EXPECT_EQ(launch->args.max, 48 + kPayload);
+
+  // Every procedure is within the budget — the property the generated
+  // static_asserts pin at compile time.
+  for (const auto& p : r.procs) {
+    EXPECT_TRUE(p.args.bounded && p.args.max <= r.budget) << p.name;
+    EXPECT_TRUE(p.result.bounded && p.result.max <= r.budget) << p.name;
+  }
+}
+
+/// Seeded-bad specs for the bounds rules, mirroring kBadSpecs: the pass
+/// must report exactly this rule at exactly this line.
+const BadSpecCase kBadBoundsSpecs[] = {
+    // args unbounded transitively (through a named struct)
+    {"RPCL011", Severity::kError, 3, R"(
+struct s { opaque data<>; };
+program P { version V { void u(s) = 1; } = 1; } = 9;
+)"},
+    // result unbounded directly
+    {"RPCL011", Severity::kError, 2, R"(
+program P { version V { string r(void) = 1; } = 1; } = 9;
+)"},
+    // bounded product overflows the 32-bit wire length
+    {"RPCL012", Severity::kError, 2, R"(
+struct big { unsigned hyper d<600000000>; };
+program P { version V { void u(big) = 1; } = 1; } = 9;
+)"},
+    // one union arm dominates the worst case
+    {"RPCL013", Severity::kWarning, 2, R"(
+union u switch (int tag) {
+  case 0: opaque blob<1000000>;
+  case 1: int small;
+};
+program P { version V { void f(u) = 1; } = 1; } = 9;
+)"},
+    // self-recursion through an optional
+    {"RPCL014", Severity::kError, 2, R"(
+struct node { int v; *node next; };
+program P { version V { void f(node) = 1; } = 1; } = 9;
+)"},
+    // mutual recursion (reported at the closing back-reference)
+    {"RPCL014", Severity::kError, 3, R"(
+struct a { b x; };
+struct b { a y; };
+program P { version V { void f(a) = 1; } = 1; } = 9;
+)"},
+    // auto budget: CRICKET_MAX_PAYLOAD + 64 KiB allowance, exceeded
+    {"RPCL015", Severity::kError, 4, R"(
+const CRICKET_MAX_PAYLOAD = 1024;
+struct s { opaque d<66600>; };
+program P { version V { void f(s) = 1; } = 1; } = 9;
+)"},
+};
+
+TEST(Bounds, EachRuleFiresWithRuleIdAndLine) {
+  for (const auto& c : kBadBoundsSpecs) {
+    SCOPED_TRACE(std::string(c.rule) + " @ line " + std::to_string(c.line));
+    const SpecFile spec = parse_spec_unchecked(c.spec);
+    const BoundsResult result = compute_bounds(spec);
+    const Diagnostic* hit = nullptr;
+    for (const auto& d : result.diagnostics)
+      if (d.rule == c.rule) {
+        hit = &d;
+        break;
+      }
+    ASSERT_NE(hit, nullptr) << "rule did not fire";
+    EXPECT_EQ(hit->severity, c.severity);
+    EXPECT_EQ(hit->loc.line, c.line) << hit->message;
+    EXPECT_FALSE(result.ok({.warnings_as_errors = true}));
+  }
+}
+
+TEST(Bounds, SaturatedArithmeticIsReportedNotWrapped) {
+  // a.max ~ 4e9 (u32-clean), b.max ~ 1.6e19 (overflows u32), c.max would be
+  // ~6.4e19 > UINT64_MAX: the computation must saturate and say so instead
+  // of wrapping around to a small "certified" bound.
+  const SpecFile spec = parse_spec_unchecked(R"(
+struct a { opaque d<4000000000>; };
+struct b { a v[4000000000]; };
+struct c { b w[4]; };
+program P { version V { void f(c) = 1; } = 1; } = 9;
+)");
+  const BoundsResult r = compute_bounds(spec);
+  EXPECT_FALSE(r.ok());
+  bool saturated = false;
+  for (const auto& d : r.diagnostics) {
+    EXPECT_EQ(d.rule, "RPCL012");
+    if (d.message.find("saturates") != std::string::npos) saturated = true;
+  }
+  EXPECT_TRUE(saturated);
+}
+
+TEST(Bounds, ExplicitProcBudgetOverridesAuto) {
+  const SpecFile spec = parse_spec_unchecked(R"(
+struct s { opaque d<2048>; };
+program P { version V { void f(s) = 1; } = 1; } = 9;
+)");
+  EXPECT_TRUE(compute_bounds(spec).ok());  // no budget at all
+  const BoundsResult tight = compute_bounds(spec, {.proc_budget = 1024});
+  EXPECT_EQ(tight.budget, 1024u);
+  ASSERT_EQ(tight.error_count(), 1u);
+  EXPECT_EQ(tight.diagnostics[0].rule, "RPCL015");
+  EXPECT_TRUE(compute_bounds(spec, {.proc_budget = 4096}).ok());
+}
+
+TEST(Bounds, UnusedUnboundedTypeIsTotalButNotAnError) {
+  // RPCL011 is a per-procedure property: an unbounded type no procedure
+  // reaches stays legal, and the emitted table is total (sentinel max).
+  const SpecFile spec = parse_spec_unchecked(R"(
+struct scratch { opaque data<>; };
+program P { version V { int f(int) = 1; } = 1; } = 9;
+)");
+  const BoundsResult r = compute_bounds(spec);
+  EXPECT_TRUE(r.ok());
+  const auto* scratch = find_type(r, "scratch");
+  ASSERT_NE(scratch, nullptr);
+  EXPECT_FALSE(scratch->bounded);
+  EXPECT_EQ(scratch->min, 4u);
+  const std::string header =
+      generate_bounds_header(spec, r, {.ns = "t", .source_name = "t.x"});
+  EXPECT_NE(header.find("::cricket::rpc::kUnboundedWireSize"),
+            std::string::npos);
+}
+
+TEST(Bounds, GeneratedHeaderHasTablesBudgetAndAsserts) {
+  const SpecFile spec = parse_spec_unchecked(R"(
+const CRICKET_MAX_PAYLOAD = 4096;
+struct s { opaque d<512>; };
+program P { version V { s f(s) = 1; } = 1; } = 9;
+)");
+  const BoundsResult r = compute_bounds(spec);
+  ASSERT_TRUE(r.ok());
+  const std::string header =
+      generate_bounds_header(spec, r, {.ns = "t::proto", .source_name = "t.x"});
+  EXPECT_NE(header.find("namespace t::proto::bounds {"), std::string::npos);
+  EXPECT_NE(header.find("kMaxPayload = 4096ull"), std::string::npos);
+  EXPECT_NE(header.find("kProcBudget = " + std::to_string(4096 + 65536)),
+            std::string::npos);
+  EXPECT_NE(header.find("TypeWireBounds kTypeBounds[]"), std::string::npos);
+  EXPECT_NE(header.find("ProcWireBounds kProcBounds[]"), std::string::npos);
+  EXPECT_NE(header.find("{\"s\", 4ull, 516ull}"), std::string::npos);
+  EXPECT_NE(header.find("\"f\"},"), std::string::npos);
+  EXPECT_NE(
+      header.find("static_assert(kProcBounds[0].args_max <= kProcBudget"),
+      std::string::npos);
+  EXPECT_NE(
+      header.find("static_assert(kProcBounds[0].result_max <= kProcBudget"),
+      std::string::npos);
+}
+
+TEST(Bounds, NoBudgetMeansNoAsserts) {
+  const SpecFile spec = parse_spec_unchecked(
+      "program P { version V { int f(int) = 1; } = 1; } = 9;");
+  const BoundsResult r = compute_bounds(spec);
+  ASSERT_TRUE(r.ok());
+  const std::string header =
+      generate_bounds_header(spec, r, {.ns = "t", .source_name = "t.x"});
+  EXPECT_EQ(header.find("static_assert("), std::string::npos);
+  EXPECT_EQ(header.find("kProcBudget"), std::string::npos);
 }
 
 }  // namespace

@@ -193,6 +193,65 @@ TEST(XdrAdl, HostileArrayCountRejected) {
   EXPECT_THROW(xdr_decode(dec, out), XdrError);
 }
 
+TEST(XdrAdl, HostileWideElementCountRejectedWithoutAllocation) {
+  // Regression: the count guard must scale by the element's minimum wire
+  // size and run BEFORE the vector is resized. A 16-byte message claiming
+  // one billion 8-byte elements is rejected up front — the old guard
+  // (remaining()/4 + 1, element-size-blind) admitted hostile counts to the
+  // resize for every element type wider than 4 bytes.
+  Encoder enc;
+  enc.put_u32(1000000000u);  // claimed element count
+  enc.put_u64(0);            // 12 bytes of actual payload follow the count
+  enc.put_u32(0);
+  Decoder dec(enc.bytes());
+  std::vector<std::uint64_t> out;
+  EXPECT_THROW(xdr_decode(dec, out), XdrError);
+  EXPECT_TRUE(out.empty());  // thrown before any resize touched the output
+}
+
+TEST(XdrAdl, WideElementCountBoundaryIsExact) {
+  Encoder enc;
+  xdr_encode(enc, std::vector<std::uint64_t>{7, 8});  // count + 16 bytes
+  {
+    // Exactly-fitting count decodes.
+    Decoder dec(enc.bytes());
+    std::vector<std::uint64_t> out;
+    xdr_decode(dec, out);
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{7, 8}));
+  }
+  // Same bytes with the count bumped by one: claims 24 > 16 remaining, and
+  // the old guard's "+ 1" slack must not readmit it.
+  std::vector<std::uint8_t> bytes(enc.bytes().begin(), enc.bytes().end());
+  bytes[3] = 3;
+  Decoder dec(bytes);
+  std::vector<std::uint64_t> out;
+  EXPECT_THROW(xdr_decode(dec, out), XdrError);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(XdrDecoder, SkipOpaqueConsumesWithoutCopy) {
+  Encoder enc;
+  enc.put_opaque(std::vector<std::uint8_t>(10, 0xCD));  // 4 + 10 + 2 pad
+  enc.put_u32(0xFEEDF00Du);
+  Decoder dec(enc.bytes());
+  dec.skip_opaque();
+  EXPECT_EQ(dec.get_u32(), 0xFEEDF00Du);
+  dec.expect_exhausted();
+}
+
+TEST(XdrDecoder, SkipOpaqueEnforcesMaxLenAndBuffer) {
+  Encoder enc;
+  enc.put_opaque(std::vector<std::uint8_t>(10, 0xCD));
+  {
+    Decoder dec(enc.bytes());
+    EXPECT_THROW(dec.skip_opaque(8), XdrError);  // over caller's cap
+  }
+  Encoder lie;
+  lie.put_u32(100);  // claims 100 bytes, none follow
+  Decoder dec(lie.bytes());
+  EXPECT_THROW(dec.skip_opaque(), XdrError);
+}
+
 TEST(XdrAdl, OptionalPresentAndAbsent) {
   std::optional<std::string> present = "hello";
   std::optional<std::string> absent;

@@ -8,9 +8,13 @@
 #   3. asan-ubsan    AddressSanitizer+UBSan build + full ctest
 #   4. analyze       Clang -Wthread-safety over the annotated surface
 #   5. clang-tidy    bugprone/concurrency/performance/cert-err profile
-#   6. rpcl-lint     rpclgen --lint --Werror over committed .x specs
+#   6. rpcl-lint     rpclgen --lint and --emit-bounds, both --Werror, over
+#                    committed .x specs (lint failure = exit 1, wire-size
+#                    bounds failure = exit 3; either fails the stage)
 #   7. no-escapes    greps for CRICKET_NO_THREAD_SAFETY_ANALYSIS escapes
 #   8. obs-trace     CRICKET_TRACE smoke run + trace schema/stitching check
+#   9. fuzz-smoke    deterministic decode fuzzer, 10k iterations against the
+#                    ASan+UBSan build (clean-throw-no-leak on every mutation)
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -126,9 +130,15 @@ if should_continue; then
   if [[ -x build/src/rpcl/rpclgen ]]; then
     run_stage rpcl-lint bash -c '
       rc=0
+      tmp=$(mktemp -d) || exit 1
+      trap "rm -rf $tmp" EXIT
       for spec in src/cricket/specs/*.x; do
         echo "linting $spec"
         build/src/rpcl/rpclgen --lint --Werror "$spec" || rc=1
+        echo "bounds-checking $spec"
+        # Exit 3 = a wire-size bounds rule (RPCL011-RPCL015) fired.
+        build/src/rpcl/rpclgen --emit-bounds "$spec" \
+          "$tmp/$(basename "$spec" .x)_bounds.hpp" --Werror || rc=1
       done
       exit $rc'
   else
@@ -167,6 +177,18 @@ if should_continue; then
         build/bench/bench_fig6_micro --api=memcpy --calls=500 &&
       python3 tools/validate_trace.py "$out/trace.json" \
         --metrics "$out/metrics.txt" --min-events 100'
+  fi
+fi
+
+# -------------------------------------------------------------- 9: fuzz-smoke
+# Deterministic mutational fuzzing of the untrusted decode surface under
+# ASan+UBSan: every mutated record must either parse or throw a typed
+# malformed-input error, with no leak, overflow, or unexpected exception.
+if should_continue; then
+  if [[ -x build-asan/tools/fuzz_decode ]]; then
+    run_stage fuzz-smoke build-asan/tools/fuzz_decode --iters 10000
+  else
+    record fuzz-smoke "SKIP (build-asan/tools/fuzz_decode missing — run asan-ubsan stage first)"
   fi
 fi
 
