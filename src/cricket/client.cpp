@@ -22,7 +22,9 @@ RemoteCudaApi::RemoteCudaApi(std::unique_ptr<rpc::Transport> transport,
     : clock_(&clock),
       config_(std::move(config)),
       lanes_(std::move(lanes)),
-      rpc_(std::move(transport), proto::CRICKET_PROG, proto::CRICKETVERS_VERS),
+      rpc_(std::move(transport), proto::CRICKET_PROG, proto::CRICKETVERS_VERS,
+           rpc::ClientOptions{.retry = config_.retry,
+                              .reconnect = config_.reconnect}),
       stub_(std::make_unique<proto::CRICKETVERSClient>(rpc_)) {}
 
 RemoteCudaApi::~RemoteCudaApi() = default;
@@ -30,6 +32,10 @@ RemoteCudaApi::~RemoteCudaApi() = default;
 template <typename Fn>
 Error RemoteCudaApi::forward(const char* name, Fn&& fn) {
   ++stats_.api_calls;
+  // Degraded mode: the retry layer already exhausted its budget (or the
+  // transport died with no reconnect path), so fail fast instead of paying
+  // a full deadline per call against a link we know is gone.
+  if (sticky_error_ != Error::kSuccess) return sticky_error_;
   static obs::Counter& api_calls = obs::Registry::global().counter(
       "cricket_client_api_calls_total", {{"mode", "sync"}},
       "CUDA API calls forwarded over RPC");
@@ -40,9 +46,12 @@ Error RemoteCudaApi::forward(const char* name, Fn&& fn) {
   clock_->advance(config_.flavor.per_call_ns);
   try {
     return fn();
-  } catch (const rpc::RpcError&) {
+  } catch (const rpc::RpcError& e) {
+    if (e.kind() == rpc::RpcError::Kind::kDeadlineExceeded)
+      sticky_error_ = Error::kRpcFailure;
     return Error::kRpcFailure;
   } catch (const rpc::TransportError&) {
+    sticky_error_ = Error::kRpcFailure;
     return Error::kRpcFailure;
   } catch (const xdr::XdrError&) {
     return Error::kRpcFailure;

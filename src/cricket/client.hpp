@@ -35,6 +35,13 @@ struct ClientConfig {
   /// Required for kSharedMemory: the co-located GPU node whose address
   /// space the client shares.
   cuda::GpuNode* local_node = nullptr;
+  /// Per-call deadlines + idempotency-aware retry for the underlying RPC
+  /// client (faultnet). Only enable `retry.assume_at_most_once` against a
+  /// server running the duplicate-request cache — otherwise a retried
+  /// kernel launch could execute twice.
+  rpc::RetryPolicy retry{};
+  /// Fresh transport to the same server after a connection-level failure.
+  std::function<std::unique_ptr<rpc::Transport>()> reconnect{};
 };
 
 struct RemoteStats {
@@ -128,6 +135,15 @@ class RemoteCudaApi final : public cuda::CudaApi {
   [[nodiscard]] const RemoteStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
 
+  /// Non-success once the connection is declared unrecoverable (retry
+  /// budget exhausted or the transport died with no reconnect path).
+  /// Graceful degradation: every later call short-circuits to this error
+  /// instead of hammering a dead link — the paper's unikernel guest keeps
+  /// running and sees a CUDA error code, not a crash.
+  [[nodiscard]] cuda::Error sticky_error() const noexcept {
+    return sticky_error_;
+  }
+
  private:
   /// Forwards one CUDA API call: bumps counters, opens the kClientCall
   /// span (`name` is the stable "cuda.<entry point>" label), charges the
@@ -141,6 +157,7 @@ class RemoteCudaApi final : public cuda::CudaApi {
   rpc::RpcClient rpc_;
   std::unique_ptr<proto::CRICKETVERSClient> stub_;
   RemoteStats stats_;
+  cuda::Error sticky_error_ = cuda::Error::kSuccess;
 };
 
 }  // namespace cricket::core

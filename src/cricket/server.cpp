@@ -397,6 +397,7 @@ void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   // length can not belong to the addressed procedure are answered
   // GARBAGE_ARGS before any allocation or argument decode.
   registry.set_bounds(proto::bounds::kProcBounds);
+  if (options_.at_most_once) registry.enable_duplicate_cache(options_.drc);
   rpc::ServeOptions serve = options_.serve;
   // Session handlers share per-session state (resource tracking, the local
   // CUDA context) and CUDA streams demand in-order execution, so pipelining

@@ -33,6 +33,12 @@ struct ServerOptions {
   /// session state and CUDA stream semantics require this session's calls
   /// to execute in issue order.
   rpc::ServeOptions serve{};
+  /// At-most-once execution: cache replies keyed by (client, xid) so a
+  /// faultnet/retry client re-sending a timed-out call gets the original
+  /// answer instead of a second kernel launch. Required whenever clients
+  /// enable RetryPolicy::assume_at_most_once.
+  bool at_most_once = false;
+  rpc::DrcOptions drc{};
 };
 
 struct ServerStats {

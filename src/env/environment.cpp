@@ -1,5 +1,7 @@
 #include "env/environment.hpp"
 
+#include "faultnet/fault_spec.hpp"
+#include "faultnet/faulty_transport.hpp"
 #include "vnet/virtio_net.hpp"
 
 namespace cricket::env {
@@ -159,6 +161,12 @@ Environment with_tracing(Environment environment) {
   return environment;
 }
 
+Environment with_faults(Environment environment, std::string spec) {
+  (void)faultnet::FaultSpec::parse(spec);  // validate now, not at connect()
+  environment.faults = std::move(spec);
+  return environment;
+}
+
 std::vector<Environment> all_environments() {
   return {make_environment(EnvKind::kNativeC),
           make_environment(EnvKind::kNativeRust),
@@ -186,6 +194,16 @@ Connection connect(const Environment& environment, sim::SimClock& clock) {
   conn.server = std::make_unique<vnet::ShapedTransport>(
       server_profile(), clock,
       std::make_unique<rpc::PipeTransport>(server_to_guest, guest_to_server));
+  if (!environment.faults.empty()) {
+    // Each direction gets its own fault stream: deriving the seeds from the
+    // spec seed keeps a run reproducible while decorrelating the two sides
+    // (a dropped call and a dropped reply are independent events).
+    const auto spec = faultnet::FaultSpec::parse(environment.faults);
+    conn.guest = std::make_unique<faultnet::FaultyTransport>(
+        std::move(conn.guest), spec.with_seed(spec.seed ^ 0xC2C5u), &clock);
+    conn.server = std::make_unique<faultnet::FaultyTransport>(
+        std::move(conn.server), spec.with_seed(spec.seed ^ 0x5E2Eu), &clock);
+  }
   return conn;
 }
 

@@ -74,6 +74,12 @@ struct Environment {
   /// Enable the obs span collector for runs under this environment. Off by
   /// default: Table-1 presets measure the stack, not the instrumentation.
   bool tracing = false;
+  /// faultnet injection spec (FaultSpec::parse syntax, e.g.
+  /// "drop=0.05,seed=42"). Empty = clean network (every Table-1 preset).
+  /// When set, connect() wraps both directions in FaultyTransport with
+  /// per-direction seeds derived from the spec seed, so guest->server and
+  /// server->guest draw independent but reproducible fault streams.
+  std::string faults{};
 };
 
 /// Returns a copy of `environment` with rpcflow pipelining switched on.
@@ -85,6 +91,11 @@ struct Environment {
 /// code (bench_util's Rig) reacts by enabling the span collector and binding
 /// the trace time source to the run's SimClock.
 [[nodiscard]] Environment with_tracing(Environment environment);
+
+/// Returns a copy of `environment` with a faultnet spec attached (validated
+/// eagerly: throws std::invalid_argument on a malformed spec).
+[[nodiscard]] Environment with_faults(Environment environment,
+                                      std::string spec);
 
 [[nodiscard]] Environment make_environment(EnvKind kind);
 

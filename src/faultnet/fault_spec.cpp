@@ -1,0 +1,124 @@
+#include "faultnet/fault_spec.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace cricket::faultnet {
+
+namespace {
+
+double parse_probability(std::string_view key, std::string_view value) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(std::string(value), &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CRICKET_FAULTS: bad number for '" +
+                                std::string(key) + "': " + std::string(value));
+  }
+  if (pos != value.size() || p < 0.0 || p > 1.0)
+    throw std::invalid_argument("CRICKET_FAULTS: '" + std::string(key) +
+                                "' must be a probability in [0,1], got " +
+                                std::string(value));
+  return p;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(std::string(value), &pos, 0);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CRICKET_FAULTS: bad integer for '" +
+                                std::string(key) + "': " + std::string(value));
+  }
+  if (pos != value.size())
+    throw std::invalid_argument("CRICKET_FAULTS: bad integer for '" +
+                                std::string(key) + "': " + std::string(value));
+  return v;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view spec) {
+  FaultSpec out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view item =
+        spec.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    start = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument("CRICKET_FAULTS: expected key=value, got '" +
+                                  std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "drop") {
+      out.drop = parse_probability(key, value);
+    } else if (key == "dup") {
+      out.dup = parse_probability(key, value);
+    } else if (key == "reorder") {
+      out.reorder = parse_probability(key, value);
+    } else if (key == "corrupt") {
+      out.corrupt = parse_probability(key, value);
+    } else if (key == "delay") {
+      out.delay = parse_probability(key, value);
+    } else if (key == "reset") {
+      out.reset = parse_probability(key, value);
+    } else if (key == "delay_us") {
+      out.delay_ns = static_cast<sim::Nanos>(parse_u64(key, value)) *
+                     sim::kMicrosecond;
+    } else if (key == "partition_after") {
+      out.partition_after = parse_u64(key, value);
+    } else if (key == "partition_len") {
+      out.partition_len = parse_u64(key, value);
+    } else if (key == "seed") {
+      out.seed = parse_u64(key, value);
+    } else if (key == "max_faults") {
+      out.max_faults = parse_u64(key, value);
+    } else {
+      throw std::invalid_argument("CRICKET_FAULTS: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return out;
+}
+
+std::optional<FaultSpec> FaultSpec::from_env(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return parse(value);
+}
+
+FaultSpec FaultSpec::from_env_or(std::string_view fallback, const char* var) {
+  if (auto spec = from_env(var)) return *spec;
+  return parse(fallback);
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  const char* sep = "";
+  const auto emit = [&](const char* key, auto value) {
+    out << sep << key << '=' << value;
+    sep = ",";
+  };
+  if (drop > 0) emit("drop", drop);
+  if (dup > 0) emit("dup", dup);
+  if (reorder > 0) emit("reorder", reorder);
+  if (corrupt > 0) emit("corrupt", corrupt);
+  if (delay > 0) emit("delay", delay);
+  if (reset > 0) emit("reset", reset);
+  if (delay_ns != 2000 * sim::kMicrosecond)
+    emit("delay_us", delay_ns / sim::kMicrosecond);
+  if (partition_after > 0) emit("partition_after", partition_after);
+  if (partition_len > 0) emit("partition_len", partition_len);
+  emit("seed", seed);
+  if (max_faults > 0) emit("max_faults", max_faults);
+  return out.str();
+}
+
+}  // namespace cricket::faultnet

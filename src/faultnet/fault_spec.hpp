@@ -1,0 +1,91 @@
+// faultnet: deterministic, seeded fault injection for the simulated network.
+//
+// The paper's measurements assume the unikernel guest and the Cricket server
+// are connected by a network that works; this module supplies the network
+// that doesn't. A FaultSpec describes a reproducible fault mix — drop,
+// duplicate, reorder, corrupt, delay, partition, reset — that the
+// FaultyTransport decorator (faulty_transport.hpp) and the minitcp frame
+// hook (frame_faults.hpp) apply from a seeded generator, so every test or
+// bench run with the same spec sees byte-identical fault sequences.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/sim_clock.hpp"
+
+namespace cricket::faultnet {
+
+/// Parsed fault configuration. Env-parseable, e.g.
+///   CRICKET_FAULTS="drop=0.05,dup=0.01,seed=42"
+/// Keys: drop, dup, reorder, corrupt, delay, reset (probabilities in [0,1]);
+/// delay_us (injected delay per delay event, default 2000); partition_after
+/// + partition_len (blackhole window in message/frame indices); seed;
+/// max_faults (total injection budget, 0 = unlimited).
+struct FaultSpec {
+  double drop = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+  double delay = 0.0;
+  double reset = 0.0;
+  sim::Nanos delay_ns = 2000 * sim::kMicrosecond;
+  /// Messages (after+1 .. after+len, 1-based index) vanish: a hard
+  /// partition that heals. len == 0 disables.
+  std::uint64_t partition_after = 0;
+  std::uint64_t partition_len = 0;
+  std::uint64_t seed = 42;
+  std::uint64_t max_faults = 0;  // 0 = unlimited
+
+  /// True when this spec can inject anything at all.
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0 || dup > 0 || reorder > 0 || corrupt > 0 || delay > 0 ||
+           reset > 0 || partition_len > 0;
+  }
+
+  /// Same fault mix, different seed — used to decorrelate the two
+  /// directions of one connection.
+  [[nodiscard]] FaultSpec with_seed(std::uint64_t s) const {
+    FaultSpec out = *this;
+    out.seed = s;
+    return out;
+  }
+
+  /// Parses "key=value,key=value". Throws std::invalid_argument on unknown
+  /// keys, malformed numbers, or out-of-range probabilities.
+  static FaultSpec parse(std::string_view spec);
+
+  /// Reads `var` (default CRICKET_FAULTS); nullopt when unset or empty.
+  static std::optional<FaultSpec> from_env(const char* var = "CRICKET_FAULTS");
+
+  /// from_env falling back to parse(fallback) — how fault-matrix tests honor
+  /// an externally supplied CRICKET_FAULTS while staying self-sufficient.
+  static FaultSpec from_env_or(std::string_view fallback,
+                               const char* var = "CRICKET_FAULTS");
+
+  /// Canonical round-trippable form (only non-default keys).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What one injector actually did. Mirrored into the global obs registry as
+/// faultnet_injected_total{kind}.
+struct FaultStats {
+  std::uint64_t messages = 0;   // messages seen by the injector
+  std::uint64_t forwarded = 0;  // messages that reached the wire (incl. dups)
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t partitioned = 0;
+  std::uint64_t resets = 0;
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return dropped + duplicated + reordered + corrupted + delayed +
+           partitioned + resets;
+  }
+};
+
+}  // namespace cricket::faultnet

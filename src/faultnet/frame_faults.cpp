@@ -1,0 +1,65 @@
+#include "faultnet/frame_faults.hpp"
+
+#include <utility>
+
+namespace cricket::faultnet {
+
+void FrameFaultInjector::operator()(std::vector<std::uint8_t> frame) {
+  ++stats_.messages;
+  ++frame_index_;
+
+  // Fixed draw count per frame (see FaultyTransport::process_message).
+  const double d_drop = rng_.next_double();
+  const double d_dup = rng_.next_double();
+  const double d_reorder = rng_.next_double();
+  const double d_corrupt = rng_.next_double();
+
+  if (const auto it = forced_drops_.find(frame_index_);
+      it != forced_drops_.end()) {
+    forced_drops_.erase(it);
+    ++stats_.dropped;
+    return;
+  }
+  if (spec_.partition_len > 0 && frame_index_ > spec_.partition_after &&
+      frame_index_ <= spec_.partition_after + spec_.partition_len &&
+      budget_left()) {
+    ++stats_.partitioned;
+    return;
+  }
+  if (d_drop < spec_.drop && budget_left()) {
+    ++stats_.dropped;
+    return;
+  }
+  if (d_corrupt < spec_.corrupt && budget_left() && !frame.empty()) {
+    // One byte flip; the receiver's TCP checksum verification counts it as
+    // segments_dropped, turning corruption into loss — as on a real link.
+    frame[static_cast<std::size_t>(rng_.next() % frame.size())] ^=
+        static_cast<std::uint8_t>(1 + rng_.next() % 255u);
+    ++stats_.corrupted;
+  }
+  if (d_reorder < spec_.reorder && budget_left() && !has_held_) {
+    ++stats_.reordered;
+    held_ = std::move(frame);
+    has_held_ = true;
+    return;
+  }
+
+  sink_(frame);
+  ++stats_.forwarded;
+  if (d_dup < spec_.dup && budget_left()) {
+    ++stats_.duplicated;
+    sink_(std::move(frame));
+    ++stats_.forwarded;
+  }
+  flush();
+}
+
+void FrameFaultInjector::flush() {
+  if (!has_held_) return;
+  has_held_ = false;
+  sink_(std::move(held_));
+  held_.clear();
+  ++stats_.forwarded;
+}
+
+}  // namespace cricket::faultnet

@@ -1,0 +1,61 @@
+// FrameFaultInjector: faultnet at Ethernet-frame granularity for minitcp.
+//
+// Wraps a TcpConnection frame sink and applies the FaultSpec per frame —
+// drop, duplicate, reorder (hold-one), corrupt (byte flip the TCP checksum
+// catches on the far side), and a partition window — plus `force_drop`, a
+// deterministic per-index kill switch the loss-recovery regression tests use
+// to stage exact scenarios (e.g. two consecutive losses stalling on the same
+// ACK, the dup_ack_count_ reset bug).
+//
+// Single-threaded by design, like the minitcp state machine it decorates:
+// frames enter from the same thread that drives on_frame/poll, so state
+// here needs no lock (and taking one would just hide misuse from TSan).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "faultnet/fault_spec.hpp"
+#include "sim/rng.hpp"
+
+namespace cricket::faultnet {
+
+class FrameFaultInjector {
+ public:
+  using FrameSink = std::function<void(std::vector<std::uint8_t>)>;
+
+  FrameFaultInjector(FaultSpec spec, FrameSink sink)
+      : spec_(spec), sink_(std::move(sink)), rng_(spec.seed) {}
+
+  /// Drops the `index`-th frame (1-based, counted across this injector's
+  /// lifetime) regardless of probabilities. Callable any time before that
+  /// frame passes through.
+  void force_drop(std::uint64_t index) { forced_drops_.insert(index); }
+
+  /// The decorated sink: feed this to TcpConnection as its FrameSink.
+  void operator()(std::vector<std::uint8_t> frame);
+
+  /// Releases a frame withheld by a reorder fault (also flushed
+  /// automatically behind the next forwarded frame).
+  void flush();
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] bool budget_left() const noexcept {
+    return spec_.max_faults == 0 || stats_.injected() < spec_.max_faults;
+  }
+
+  FaultSpec spec_;
+  FrameSink sink_;
+  sim::Xoshiro256ss rng_;
+  std::set<std::uint64_t> forced_drops_;
+  std::vector<std::uint8_t> held_;
+  bool has_held_ = false;
+  std::uint64_t frame_index_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace cricket::faultnet

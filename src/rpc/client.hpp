@@ -6,7 +6,9 @@
 // vnet-simulated unikernel network paths.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -30,6 +32,8 @@ class RpcError : public std::runtime_error {
     kSystemErr,
     kDenied,
     kBadReply,
+    /// Per-call deadline/attempt budget exhausted (faultnet retry layer).
+    kDeadlineExceeded,
   };
 
   RpcError(Kind kind, std::string what)
@@ -41,10 +45,40 @@ class RpcError : public std::runtime_error {
   Kind kind_;
 };
 
+/// Client-side resilience knobs: per-call deadlines and idempotency-aware
+/// retry with capped exponential backoff and deterministic jitter. Disabled
+/// by default — a retry against a server without the duplicate-request cache
+/// would re-execute non-idempotent CUDA calls.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Total tries per call, including the first (so 4 = 1 send + 3 retries).
+  std::uint32_t max_attempts = 4;
+  /// How long one attempt waits for its reply before re-sending.
+  std::chrono::nanoseconds attempt_timeout = std::chrono::milliseconds(200);
+  /// Whole-call budget across attempts + backoff. Zero = attempts-only.
+  std::chrono::nanoseconds deadline = std::chrono::seconds(2);
+  /// Backoff before retry k (1-based) is
+  ///   min(backoff_cap, backoff_base << (k-1)) * jitter,  jitter ∈ [0.5, 1)
+  /// with jitter drawn from a generator seeded by (seed ^ xid ^ k) — the
+  /// same seed reproduces the same retry schedule exactly.
+  std::chrono::nanoseconds backoff_base = std::chrono::milliseconds(1);
+  std::chrono::nanoseconds backoff_cap = std::chrono::milliseconds(100);
+  std::uint64_t seed = 0x5EEDF00Dull;
+  /// True when the server runs the duplicate-request cache, making every
+  /// procedure safe to retry. When false only `idempotent_procs` retry;
+  /// anything else fails with kDeadlineExceeded on the first timeout.
+  bool assume_at_most_once = true;
+  std::vector<std::uint32_t> idempotent_procs{};
+};
+
 struct ClientOptions {
   std::uint32_t max_fragment = RecordWriter::kDefaultMaxFragment;
   /// Initial transaction id; subsequent calls increment.
   std::uint32_t initial_xid = 0x10000000;
+  RetryPolicy retry{};
+  /// Produces a fresh transport to the same server after a connection-level
+  /// failure. Without it a dead connection is fatal to the call.
+  std::function<std::unique_ptr<Transport>()> reconnect{};
 };
 
 /// Client statistics (useful for the paper's API-call accounting, §4.1).
@@ -52,6 +86,12 @@ struct ClientStats {
   std::uint64_t calls = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t reconnects = 0;
+  /// Replies for an older xid, skipped while retrying (the original answer
+  /// to a call we already re-sent).
+  std::uint64_t stale_replies = 0;
 };
 
 /// Synchronous RPC client bound to one (program, version) on one transport.
@@ -104,6 +144,11 @@ class RpcClient {
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
 
  private:
+  std::vector<std::uint8_t> call_raw_retrying(const CallMsg& call);
+  /// Maps an accepted/denied reply to results-or-RpcError.
+  static std::vector<std::uint8_t> interpret_reply(const ReplyMsg& reply);
+  [[nodiscard]] bool try_reconnect();
+
   std::unique_ptr<Transport> transport_;
   RecordWriter writer_;
   RecordReader reader_;
@@ -112,6 +157,7 @@ class RpcClient {
   std::uint32_t next_xid_;
   OpaqueAuth cred_;
   ClientStats stats_;
+  ClientOptions options_;
 };
 
 }  // namespace cricket::rpc

@@ -54,7 +54,13 @@ class RecordReader {
   /// TransportError on mid-record EOF or an over-size record.
   [[nodiscard]] bool read_record(std::vector<std::uint8_t>& out);
 
-  static constexpr std::size_t kDefaultMaxRecord = std::size_t{1} << 31;
+  /// Largest legitimate record: the CRICKET_MAX_PAYLOAD opaque bound
+  /// (1 GiB, mirrored by rpclgen's kProcBudget) plus a 64 KiB envelope for
+  /// the RPC header, auth blobs, and sibling fields. A peer claiming more
+  /// is hostile or corrupted, and the cap stops fragment accumulation long
+  /// before the bounds preflight would see the completed record.
+  static constexpr std::size_t kDefaultMaxRecord =
+      (std::size_t{1} << 30) + (std::size_t{64} << 10);
 
  private:
   Transport* transport_;

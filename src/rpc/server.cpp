@@ -42,7 +42,96 @@ std::optional<ReplyMsg> ServiceRegistry::preflight(
   return reply;
 }
 
+void ServiceRegistry::enable_duplicate_cache(DrcOptions options) {
+  drc_ = std::make_unique<DrcState>();
+  drc_->options = options;
+}
+
+DrcStats ServiceRegistry::drc_stats() const {
+  if (!drc_) return {};
+  sim::MutexLock lock(drc_->mu);
+  return drc_->stats;
+}
+
+void ServiceRegistry::DrcState::evict_locked() {
+  while (!fifo.empty() &&
+         (cache.size() > options.max_entries || bytes > options.max_bytes)) {
+    const auto it = cache.find(fifo.front());
+    fifo.pop_front();
+    if (it == cache.end()) continue;
+    bytes -= it->second.bytes;
+    cache.erase(it);
+    ++stats.evictions;
+  }
+}
+
+namespace {
+/// FNV-1a over the credential (flavor + body): stable client identity for
+/// the duplicate-request cache without parsing any particular auth scheme.
+std::uint64_t drc_client_id(const OpaqueAuth& cred) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001B3ull;
+  };
+  const auto flavor = static_cast<std::uint32_t>(cred.flavor);
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(flavor >> (8 * i)));
+  for (const std::uint8_t byte : cred.body) mix(byte);
+  return h;
+}
+}  // namespace
+
 ReplyMsg ServiceRegistry::dispatch(const CallMsg& call) const {
+  // Only handled procedures go through the cache: error classifications and
+  // the implicit null procedure are side-effect free, and caching them would
+  // let misses crowd out replies that actually protect against re-execution.
+  if (!drc_ ||
+      handlers_.find(Key{call.prog, call.vers, call.proc}) == handlers_.end())
+    return execute(call);
+
+  static obs::Counter& drc_hits = obs::Registry::global().counter(
+      "cricket_drc_hits_total", {},
+      "Retried calls answered from the duplicate-request cache");
+
+  DrcState& drc = *drc_;
+  const DrcKey key{drc_client_id(call.cred), call.xid};
+  {
+    sim::MutexLock lock(drc.mu);
+    for (;;) {
+      const auto it = drc.cache.find(key);
+      if (it != drc.cache.end()) {
+        ++drc.stats.hits;
+        drc_hits.inc();
+        return it->second.reply;
+      }
+      if (drc.in_flight.find(key) == drc.in_flight.end()) break;
+      // The original attempt is still executing on another worker. Wait for
+      // its reply rather than racing a second execution of the same call.
+      ++drc.stats.in_flight_waits;
+      drc.cv.wait(drc.mu);
+    }
+    drc.in_flight.insert(key);
+  }
+
+  // Handler runs outside the lock — CUDA-side work can be long.
+  ReplyMsg reply = execute(call);
+
+  {
+    sim::MutexLock lock(drc.mu);
+    drc.in_flight.erase(key);
+    const std::size_t bytes = reply.results.size() + 64;  // + header estimate
+    if (drc.cache.emplace(key, DrcEntry{reply, bytes}).second) {
+      drc.fifo.push_back(key);
+      drc.bytes += bytes;
+      ++drc.stats.insertions;
+      drc.evict_locked();
+    }
+    drc.cv.notify_all();
+  }
+  return reply;
+}
+
+ReplyMsg ServiceRegistry::execute(const CallMsg& call) const {
   ReplyMsg reply;
   reply.xid = call.xid;
   reply.stat = ReplyStat::kAccepted;

@@ -9,10 +9,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <thread>
 #include <vector>
@@ -37,6 +39,22 @@ class GarbageArgsError : public std::runtime_error {
 /// A procedure handler: takes XDR-encoded args, returns XDR-encoded results.
 using ProcHandler =
     std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+/// Duplicate-request cache sizing. FIFO eviction: retries arrive within the
+/// client's backoff window (milliseconds), so recency-ordering buys nothing
+/// over insertion-ordering here and FIFO keeps eviction O(1).
+struct DrcOptions {
+  std::size_t max_entries = 1024;
+  /// Cap on cached reply payload bytes (a memcpy_d2h reply can be large).
+  std::size_t max_bytes = 16u << 20;
+};
+
+struct DrcStats {
+  std::uint64_t hits = 0;          // retried call answered from cache
+  std::uint64_t in_flight_waits = 0;  // duplicate arrived mid-execution
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
 
 /// Maps (program, version, procedure) to handlers; computes RFC 5531 error
 /// statuses for unknown programs/versions/procedures. Thread-safe after
@@ -95,8 +113,23 @@ class ServiceRegistry {
   [[nodiscard]] std::optional<ReplyMsg> preflight(
       std::span<const std::uint8_t> record) const;
 
+  /// Turns on at-most-once semantics: replies to handled procedures are
+  /// cached by (client id, xid), and a retried call — same client, same xid
+  /// — is answered from cache instead of re-executing the handler. A
+  /// duplicate that lands while the original is still executing waits for
+  /// that execution rather than starting a second one. The client id is a
+  /// hash of the call credential, so clients wanting isolation on a shared
+  /// registry must present distinct credentials (e.g. AUTH_SYS machinename).
+  /// Like register_proc, must be called before dispatch starts.
+  void enable_duplicate_cache(DrcOptions options = {});
+  [[nodiscard]] bool duplicate_cache_enabled() const noexcept {
+    return drc_ != nullptr;
+  }
+  [[nodiscard]] DrcStats drc_stats() const;
+
   /// Executes one parsed call, producing the reply (never throws for
-  /// call-level errors; they become reply statuses).
+  /// call-level errors; they become reply statuses). Consults the
+  /// duplicate-request cache when enabled.
   [[nodiscard]] ReplyMsg dispatch(const CallMsg& call) const;
 
  private:
@@ -104,8 +137,39 @@ class ServiceRegistry {
     std::uint32_t prog, vers, proc;
     auto operator<=>(const Key&) const = default;
   };
+  struct DrcKey {
+    std::uint64_t client;
+    std::uint32_t xid;
+    auto operator<=>(const DrcKey&) const = default;
+  };
+  struct DrcEntry {
+    ReplyMsg reply;
+    std::size_t bytes;
+  };
+
+  /// The cache lives on the heap so the registry stays movable (sim::Mutex
+  /// is neither movable nor copyable). Null until enable_duplicate_cache.
+  /// dispatch() is const and concurrent (pipelined workers), so all cache
+  /// state sits behind its own lock.
+  struct DrcState {
+    DrcOptions options;
+    sim::Mutex mu;
+    sim::CondVar cv;
+    std::map<DrcKey, DrcEntry> cache CRICKET_GUARDED_BY(mu);
+    std::deque<DrcKey> fifo CRICKET_GUARDED_BY(mu);
+    std::set<DrcKey> in_flight CRICKET_GUARDED_BY(mu);
+    std::size_t bytes CRICKET_GUARDED_BY(mu) = 0;
+    DrcStats stats CRICKET_GUARDED_BY(mu);
+
+    void evict_locked() CRICKET_REQUIRES(mu);
+  };
+
+  /// dispatch() minus the duplicate cache.
+  [[nodiscard]] ReplyMsg execute(const CallMsg& call) const;
+
   std::map<Key, ProcHandler> handlers_;
   std::map<Key, ProcWireBounds> bounds_;
+  std::unique_ptr<DrcState> drc_;
 };
 
 /// Per-connection concurrency options. The default reproduces the paper's

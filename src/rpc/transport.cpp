@@ -2,12 +2,15 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 namespace cricket::rpc {
 
@@ -40,6 +43,25 @@ void ByteQueue::push(std::span<const std::uint8_t> data) {
 std::size_t ByteQueue::pop(std::span<std::uint8_t> out) {
   sim::MutexLock lock(mu_);
   while (!closed_ && fifo_.empty()) cv_.wait(mu_);
+  if (fifo_.empty()) return 0;  // closed and drained
+  const std::size_t n = std::min(out.size(), fifo_.size());
+  std::copy_n(fifo_.begin(), n, out.begin());
+  fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<std::ptrdiff_t>(n));
+  cv_.notify_all();
+  return n;
+}
+
+std::size_t ByteQueue::pop_for(std::span<std::uint8_t> out,
+                               std::chrono::nanoseconds timeout) {
+  if (timeout <= std::chrono::nanoseconds::zero()) return pop(out);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  sim::MutexLock lock(mu_);
+  while (!closed_ && fifo_.empty()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportTimeout("pipe recv timed out");
+    }
+    cv_.wait_until(mu_, deadline);
+  }
   if (fifo_.empty()) return 0;  // closed and drained
   const std::size_t n = std::min(out.size(), fifo_.size());
   std::copy_n(fifo_.begin(), n, out.begin());
@@ -82,12 +104,36 @@ void TcpTransport::send(std::span<const std::uint8_t> data) {
 }
 
 std::size_t TcpTransport::recv(std::span<std::uint8_t> out) {
+  const std::int64_t timeout_ns =
+      recv_timeout_ns_.load(std::memory_order_relaxed);
+  if (timeout_ns > 0) {
+    // Bound the wait with poll() rather than SO_RCVTIMEO so a zero return
+    // can still be cleanly distinguished from orderly EOF.
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int timeout_ms = static_cast<int>(
+        std::min<std::int64_t>((timeout_ns + 999'999) / 1'000'000,
+                               std::numeric_limits<int>::max()));
+    for (;;) {
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc > 0) break;
+      if (rc == 0) throw TransportTimeout("tcp recv timed out");
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("poll: ") + std::strerror(errno));
+    }
+  }
   for (;;) {
     const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
     throw TransportError(std::string("recv: ") + std::strerror(errno));
   }
+}
+
+bool TcpTransport::set_recv_timeout(std::chrono::nanoseconds timeout) {
+  recv_timeout_ns_.store(timeout.count(), std::memory_order_relaxed);
+  return true;
 }
 
 void TcpTransport::shutdown() { ::shutdown(fd_, SHUT_WR); }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -27,6 +28,15 @@ namespace cricket::rpc {
 class TransportError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown by recv() when a set_recv_timeout bound elapses with no data. A
+/// subclass of TransportError so callers without deadline handling keep
+/// their existing failure classification; the retry layer catches it
+/// specifically to distinguish "slow" from "gone".
+class TransportTimeout : public TransportError {
+ public:
+  using TransportError::TransportError;
 };
 
 /// Reliable ordered byte stream. Implementations must be safe for one
@@ -47,6 +57,16 @@ class Transport {
   /// Reads exactly `out.size()` bytes or throws TransportError on EOF.
   void recv_exact(std::span<std::uint8_t> out);
 
+  /// Bounds how long any single recv() may block; once the bound elapses
+  /// with no data, recv() throws TransportTimeout. Zero clears the bound.
+  /// Returns true when the transport honours it; the base implementation
+  /// returns false (recv stays fully blocking) so decorators over transports
+  /// without timed waits — e.g. the virtio data path, whose backend threads
+  /// own the blocking pops — degrade to deadline-between-records only.
+  virtual bool set_recv_timeout(std::chrono::nanoseconds /*timeout*/) {
+    return false;
+  }
+
   /// Half-closes the write side; the peer's recv() will drain then return 0.
   virtual void shutdown() = 0;
 };
@@ -61,6 +81,10 @@ class ByteQueue {
   void push(std::span<const std::uint8_t> data) CRICKET_EXCLUDES(mu_);
   /// Blocks while empty and open; returns bytes read (0 = closed and drained).
   std::size_t pop(std::span<std::uint8_t> out) CRICKET_EXCLUDES(mu_);
+  /// Like pop() but gives up after `timeout` with no data, throwing
+  /// TransportTimeout. timeout <= 0 means wait forever.
+  std::size_t pop_for(std::span<std::uint8_t> out,
+                      std::chrono::nanoseconds timeout) CRICKET_EXCLUDES(mu_);
   void close() CRICKET_EXCLUDES(mu_);
 
  private:
@@ -80,13 +104,22 @@ class PipeTransport final : public Transport {
 
   void send(std::span<const std::uint8_t> data) override { tx_->push(data); }
   std::size_t recv(std::span<std::uint8_t> out) override {
+    const auto timeout = recv_timeout_.load(std::memory_order_relaxed);
+    if (timeout > 0) {
+      return rx_->pop_for(out, std::chrono::nanoseconds(timeout));
+    }
     return rx_->pop(out);
+  }
+  bool set_recv_timeout(std::chrono::nanoseconds timeout) override {
+    recv_timeout_.store(timeout.count(), std::memory_order_relaxed);
+    return true;
   }
   void shutdown() override { tx_->close(); }
 
  private:
   std::shared_ptr<ByteQueue> tx_;
   std::shared_ptr<ByteQueue> rx_;
+  std::atomic<std::int64_t> recv_timeout_{0};
 };
 
 /// Creates a connected pair of in-process transports (client end, server end).
@@ -103,6 +136,7 @@ class TcpTransport final : public Transport {
 
   void send(std::span<const std::uint8_t> data) override;
   std::size_t recv(std::span<std::uint8_t> out) override;
+  bool set_recv_timeout(std::chrono::nanoseconds timeout) override;
   void shutdown() override;
 
   /// Connects to 127.0.0.1:`port`.
@@ -111,6 +145,7 @@ class TcpTransport final : public Transport {
 
  private:
   int fd_;
+  std::atomic<std::int64_t> recv_timeout_ns_{0};
 };
 
 /// Listening TCP socket bound to a loopback ephemeral port.

@@ -53,9 +53,22 @@ void CallBatcher::flush() {
   flush_locked(Cause::kExplicit);
 }
 
+void CallBatcher::rebind(rpc::Transport& transport) {
+  sim::MutexLock lock(mu_);
+  transport_ = &transport;
+  failed_ = false;
+  buf_.clear();
+  buffered_calls_ = 0;
+}
+
 CallBatcher::Stats CallBatcher::stats() const {
   sim::MutexLock lock(mu_);
   return stats_;
+}
+
+std::uint32_t CallBatcher::buffered() const {
+  sim::MutexLock lock(mu_);
+  return buffered_calls_;
 }
 
 void CallBatcher::flush_locked(Cause cause) {

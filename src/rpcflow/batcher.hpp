@@ -62,7 +62,16 @@ class CallBatcher {
   /// Sends whatever is buffered now. Safe to call with an empty buffer.
   void flush() CRICKET_EXCLUDES(mu_);
 
+  /// Points the batcher at a fresh transport after a reconnect, clearing
+  /// the failed latch and discarding buffered-but-unsent records (the
+  /// channel re-submits every pending call through append() anyway, so
+  /// keeping them would send duplicates ahead of the resubmission).
+  void rebind(rpc::Transport& transport) CRICKET_EXCLUDES(mu_);
+
   [[nodiscard]] Stats stats() const CRICKET_EXCLUDES(mu_);
+
+  /// Records buffered and not yet sent.
+  [[nodiscard]] std::uint32_t buffered() const CRICKET_EXCLUDES(mu_);
 
  private:
   enum class Cause { kFull, kDeadline, kExplicit };

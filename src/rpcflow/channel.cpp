@@ -1,10 +1,29 @@
 #include "rpcflow/channel.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/rng.hpp"
 
 namespace cricket::rpcflow {
 
 namespace {
+
+/// Capped exponential backoff with deterministic jitter; mirrors the
+/// synchronous client's schedule (rpc/client.cpp) so the two retry layers
+/// behave identically under the same policy.
+std::chrono::nanoseconds backoff_for(const rpc::RetryPolicy& policy,
+                                     std::uint32_t xid, std::uint32_t k) {
+  const std::uint32_t shift = std::min(k - 1, 30u);
+  auto step = policy.backoff_base * (1u << shift);
+  step = std::min(step, policy.backoff_cap);
+  sim::Xoshiro256ss jitter(policy.seed ^ xid ^ k);
+  const double factor = 0.5 + 0.5 * jitter.next_double();
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(static_cast<double>(step.count()) * factor));
+}
 
 /// Maps a decoded reply to the caller-visible outcome: results on success,
 /// an RpcError otherwise (same classification as the synchronous client).
@@ -52,19 +71,29 @@ AsyncRpcChannel::AsyncRpcChannel(std::unique_ptr<rpc::Transport> transport,
     : transport_(std::move(transport)),
       prog_(prog),
       vers_(vers),
-      options_(options),
-      batcher_(std::make_unique<CallBatcher>(*transport_, options.batch,
-                                             options.max_fragment)),
-      next_xid_(options.initial_xid) {
+      options_(std::move(options)),
+      batcher_(std::make_shared<CallBatcher>(*transport_, options_.batch,
+                                             options_.max_fragment)),
+      next_xid_(options_.initial_xid) {
   reader_ = std::thread([this] { reader_loop(); });
+  if (options_.retry.enabled)
+    retry_thread_ = std::thread([this] { retry_loop(); });
 }
 
 AsyncRpcChannel::~AsyncRpcChannel() {
+  {
+    sim::MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  retry_cv_.notify_all();
+  if (retry_thread_.joinable()) retry_thread_.join();
   // Push out anything still buffered so the server can answer it, then
   // half-close: the server drains, replies, and closes its side, which ends
-  // the reader loop (completing or failing every remaining future).
+  // the reader loop (completing or failing every remaining future; with
+  // stopping_ set it will not reconnect).
   batcher_.reset();
   try {
+    sim::MutexLock lock(mu_);  // vs. the reader swapping transport_
     transport_->shutdown();
   } catch (...) {  // destructor must not throw
   }
@@ -86,6 +115,33 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
 
   ReplyPromise promise;
   ReplyFuture future(promise.state());
+  // Zero-deadline batcher diagnostic: with no background flusher, blocking
+  // on a call still sitting in the batcher would hang forever. The hook
+  // fires when a caller is about to block, flags the misuse, and flushes.
+  if (options_.batch.enabled && options_.batch.deadline.count() == 0) {
+    promise.state()->on_block =
+        [weak = std::weak_ptr<CallBatcher>(batcher_)] {
+          const auto batcher = weak.lock();
+          if (!batcher || batcher->buffered() == 0) return;
+          static obs::Counter& unflushed = obs::Registry::global().counter(
+              "cricket_batch_unflushed_waits_total", {},
+              "Futures blocked on while calls sat unflushed in a "
+              "zero-deadline batcher (caller should flush first)");
+          unflushed.inc();
+          std::fprintf(stderr,
+                       "rpcflow: waiting on a future while %u call(s) sit "
+                       "unflushed in a zero-deadline batcher; flushing to "
+                       "avoid a hang — call flush() before blocking\n",
+                       batcher->buffered());
+          try {
+            batcher->flush();
+          } catch (const rpc::TransportError&) {
+            // Dead transport: the reader fails the futures; nothing to do.
+          }
+        };
+  }
+  const bool stash =
+      options_.retry.enabled || static_cast<bool>(options_.reconnect);
   {
     sim::MutexLock lock(mu_);
     if (pending_.size() >=
@@ -114,7 +170,18 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
         b != nullptr && b->result_max != rpc::kUnboundedWireSize) {
       max_reply_bytes = b->result_max + rpc::kReplyHeaderMax;
     }
-    pending_.emplace(call.xid, PendingCall{promise, max_reply_bytes});
+    PendingCall entry;
+    entry.promise = promise;
+    entry.max_reply_bytes = max_reply_bytes;
+    if (stash) {
+      const auto now = std::chrono::steady_clock::now();
+      entry.expires = now + options_.retry.attempt_timeout;
+      entry.hard_deadline =
+          options_.retry.deadline > std::chrono::nanoseconds::zero()
+              ? now + options_.retry.deadline
+              : std::chrono::steady_clock::time_point::max();
+    }
+    pending_.emplace(call.xid, std::move(entry));
     ++stats_.calls;
     stats_.max_in_flight = std::max(
         stats_.max_in_flight, static_cast<std::uint32_t>(pending_.size()));
@@ -127,6 +194,12 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
     record = rpc::encode_call(call);
     span.set_arg(record.size());
   }
+  if (stash) {
+    sim::MutexLock lock(mu_);
+    // The entry can already be gone (failed by a racing disconnect).
+    if (const auto it = pending_.find(call.xid); it != pending_.end())
+      it->second.record = record;
+  }
   try {
     {
       obs::Span span(obs::Layer::kChanSend, nullptr, record.size());
@@ -138,6 +211,7 @@ ReplyFuture AsyncRpcChannel::call_raw_async(
     // The reader will (or already did) fail every pending future, including
     // this one; nothing more to do here.
   }
+  if (options_.retry.enabled) retry_cv_.notify_all();
   return future;
 }
 
@@ -166,6 +240,83 @@ ChannelStats AsyncRpcChannel::stats() const {
   return stats_;
 }
 
+void AsyncRpcChannel::retry_loop() {
+  static obs::Counter& retries_total = obs::Registry::global().counter(
+      "cricket_rpc_retries_total", {},
+      "RPC call attempts beyond the first (timeout or transport failure)");
+  static obs::Counter& deadline_total = obs::Registry::global().counter(
+      "cricket_rpc_deadline_exceeded_total", {},
+      "RPC calls failed after exhausting their deadline/attempt budget");
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+  sim::MutexLock lock(mu_);
+  for (;;) {
+    if (stopping_ || dead_) return;
+    TimePoint earliest = TimePoint::max();
+    for (const auto& [xid, call] : pending_)
+      if (!call.record.empty()) earliest = std::min(earliest, call.expires);
+    if (earliest == TimePoint::max()) {
+      retry_cv_.wait(mu_);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now < earliest) {
+      retry_cv_.wait_until(mu_, earliest);
+      continue;
+    }
+
+    // Sweep expired calls: resend those with budget left, fail the rest.
+    std::vector<std::vector<std::uint8_t>> resend;
+    std::vector<std::pair<ReplyPromise, std::uint32_t>> expired;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      auto& call = it->second;
+      if (call.record.empty() || call.expires > now) {
+        ++it;
+        continue;
+      }
+      if (call.attempts >= options_.retry.max_attempts ||
+          now >= call.hard_deadline) {
+        expired.emplace_back(call.promise, it->first);
+        ++stats_.deadline_exceeded;
+        ++stats_.failed;
+        deadline_total.inc();
+        it = pending_.erase(it);
+        continue;
+      }
+      ++call.attempts;
+      call.expires = now + options_.retry.attempt_timeout +
+                     backoff_for(options_.retry, it->first, call.attempts - 1);
+      resend.push_back(call.record);
+      ++stats_.retries;
+      retries_total.inc();
+      ++it;
+    }
+    const auto batcher = batcher_;
+    lock.unlock();
+
+    for (auto& [promise, xid] : expired) {
+      promise.set_error(std::make_exception_ptr(rpc::RpcError(
+          rpc::RpcError::Kind::kDeadlineExceeded,
+          "xid " + std::to_string(xid) +
+              ": deadline exceeded after retries")));
+    }
+    if (!expired.empty()) slots_cv_.notify_all();
+    if (!resend.empty() && batcher) {
+      try {
+        // Same xid on the wire again: the server's duplicate-request cache
+        // answers re-executions from cache, so this is safe for mutating
+        // CUDA calls too.
+        for (const auto& record : resend) batcher->append(record);
+        batcher->flush();
+      } catch (const rpc::TransportError&) {
+        // Dead transport: the reader reconnects (resubmitting everything
+        // pending) or fails the futures.
+      }
+    }
+    lock.lock();
+  }
+}
+
 void AsyncRpcChannel::fail_all_locked(const std::exception_ptr& error) {
   dead_ = true;
   // Complete outside pending_ so promise callbacks never see a half-updated
@@ -189,12 +340,58 @@ void AsyncRpcChannel::reader_loop() {
       reason = e.what();
     }
     if (!got) {
-      sim::MutexLock lock(mu_);
-      if (dead_reason_.empty()) dead_reason_ = reason;
-      fail_all_locked(std::make_exception_ptr(rpc::TransportError(
-          "connection failed with calls in flight: " + reason)));
-      slots_cv_.notify_all();
-      return;
+      // Transparent reconnect: fresh transport, rebind the batcher, and
+      // resubmit every in-flight xid on the new connection. The server's
+      // duplicate-request cache turns already-executed resubmissions into
+      // cache hits, so nothing runs twice.
+      std::vector<std::vector<std::uint8_t>> resubmit;
+      std::shared_ptr<CallBatcher> batcher;
+      bool reconnected = false;
+      {
+        sim::MutexLock lock(mu_);
+        if (!stopping_ && !dead_ && options_.reconnect &&
+            stats_.reconnects < options_.max_reconnects) {
+          std::unique_ptr<rpc::Transport> fresh;
+          try {
+            fresh = options_.reconnect();
+          } catch (const std::exception&) {
+          }
+          if (fresh != nullptr && batcher_ != nullptr) {
+            transport_ = std::move(fresh);
+            batcher_->rebind(*transport_);
+            ++stats_.reconnects;
+            const auto now = std::chrono::steady_clock::now();
+            for (auto& [xid, call] : pending_) {
+              if (call.record.empty()) continue;
+              resubmit.push_back(call.record);
+              call.expires = now + options_.retry.attempt_timeout;
+            }
+            batcher = batcher_;
+            reconnected = true;
+          }
+        }
+        if (!reconnected) {
+          if (dead_reason_.empty()) dead_reason_ = reason;
+          fail_all_locked(std::make_exception_ptr(rpc::TransportError(
+              "connection failed with calls in flight: " + reason)));
+          slots_cv_.notify_all();
+          retry_cv_.notify_all();
+          return;
+        }
+      }
+      retry_cv_.notify_all();
+      try {
+        for (const auto& r : resubmit) batcher->append(r);
+        batcher->flush();
+      } catch (const rpc::TransportError&) {
+        // New connection died instantly; the next read attempt loops back
+        // here and either reconnects again or gives up.
+      }
+      {
+        sim::MutexLock lock(mu_);
+        reader = rpc::BufferedRecordReader(*transport_);
+      }
+      continue;
     }
 
     // Pre-flight: the xid is the first word of every reply, so the record

@@ -11,7 +11,9 @@
 // runs over pipes, TCP, and the vnet-simulated unikernel paths alike.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -44,6 +46,19 @@ struct ChannelOptions {
   /// result bound before decode_reply runs. The span must outlive the
   /// channel (generated tables have static storage).
   std::span<const rpc::ProcWireBounds> bounds{};
+  /// Per-call deadlines + resubmission (faultnet). When enabled, a retry
+  /// thread re-appends the encoded record of any call whose attempt
+  /// timeout expires — same xid, so an at-most-once server answers a
+  /// re-execution attempt from its duplicate cache — and fails the future
+  /// with kDeadlineExceeded once attempts/deadline run out. Only enable
+  /// against a server with the duplicate-request cache (or an all-
+  /// idempotent program): the channel cannot know which procedures are
+  /// safe, so it retries everything.
+  rpc::RetryPolicy retry{};
+  /// Fresh transport to the same server after a connection-level failure;
+  /// in-flight xids are resubmitted transparently on the new connection.
+  std::function<std::unique_ptr<rpc::Transport>()> reconnect{};
+  std::uint32_t max_reconnects = 8;
 };
 
 struct ChannelStats {
@@ -55,6 +70,9 @@ struct ChannelStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint32_t max_in_flight = 0;  // high-water mark of the pipeline
+  std::uint64_t retries = 0;           // records re-sent after a timeout
+  std::uint64_t deadline_exceeded = 0;  // futures failed by the retry layer
+  std::uint64_t reconnects = 0;
 };
 
 /// Asynchronous RPC client bound to one (program, version) on one transport.
@@ -111,33 +129,46 @@ class AsyncRpcChannel {
 
  private:
   void reader_loop() CRICKET_EXCLUDES(mu_);
+  void retry_loop() CRICKET_EXCLUDES(mu_);
   void fail_all_locked(const std::exception_ptr& error) CRICKET_REQUIRES(mu_);
 
   std::unique_ptr<rpc::Transport> transport_;
   std::uint32_t prog_;
   std::uint32_t vers_;
   ChannelOptions options_;
-  std::unique_ptr<CallBatcher> batcher_;
+  /// shared_ptr: the zero-deadline on_block hooks and the reader/retry
+  /// threads pin it with weak/shared copies, so a racing channel teardown
+  /// can never free it out from under them.
+  std::shared_ptr<CallBatcher> batcher_;
 
   /// A call awaiting its reply. max_reply_bytes is fixed at call time (the
   /// reader can not know the procedure from a reply record alone): result
   /// bound plus the worst-case reply header, or kUnboundedWireSize when no
-  /// bounds table covers the procedure.
+  /// bounds table covers the procedure. When the retry layer or reconnect
+  /// is active, `record` keeps the encoded call for resubmission under the
+  /// same xid.
   struct PendingCall {
     ReplyPromise promise;
     std::uint64_t max_reply_bytes = rpc::kUnboundedWireSize;
+    std::vector<std::uint8_t> record;
+    std::uint32_t attempts = 1;
+    std::chrono::steady_clock::time_point expires{};       // next resend
+    std::chrono::steady_clock::time_point hard_deadline{};  // give-up point
   };
 
   mutable sim::Mutex mu_;
   sim::CondVar slots_cv_;  // outstanding window + drain waiters
+  sim::CondVar retry_cv_;  // wakes the retry thread (new call / teardown)
   std::map<std::uint32_t, PendingCall> pending_ CRICKET_GUARDED_BY(mu_);
   std::uint32_t next_xid_ CRICKET_GUARDED_BY(mu_);
   rpc::OpaqueAuth cred_ CRICKET_GUARDED_BY(mu_);
   bool dead_ CRICKET_GUARDED_BY(mu_) = false;
+  bool stopping_ CRICKET_GUARDED_BY(mu_) = false;
   std::string dead_reason_ CRICKET_GUARDED_BY(mu_);
   ChannelStats stats_ CRICKET_GUARDED_BY(mu_);
 
   std::thread reader_;
+  std::thread retry_thread_;
 };
 
 }  // namespace cricket::rpcflow

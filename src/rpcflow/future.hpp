@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -28,6 +29,13 @@ struct ReplyState {
   // XDR-encoded results.
   std::vector<std::uint8_t> value CRICKET_GUARDED_BY(mu);
   std::exception_ptr error CRICKET_GUARDED_BY(mu);
+  /// Invoked (outside the lock) when a caller is about to block on this
+  /// future while it is not ready. The channel installs it on calls issued
+  /// through a zero-deadline batcher: with no background flusher, blocking
+  /// on an unflushed call would hang forever — the hook flushes (and
+  /// counts the near-miss) instead. Set before the state is shared; never
+  /// mutated afterwards.
+  std::function<void()> on_block;
 };
 
 }  // namespace detail
@@ -79,12 +87,14 @@ class ReplyFuture {
   }
 
   void wait() const {
+    run_on_block_hook();
     sim::MutexLock lock(state_->mu);
     while (!state_->ready) state_->cv.wait(state_->mu);
   }
 
   /// Blocks until completion; rethrows the call's error if it failed.
   [[nodiscard]] std::vector<std::uint8_t> get() {
+    run_on_block_hook();
     sim::MutexLock lock(state_->mu);
     while (!state_->ready) state_->cv.wait(state_->mu);
     if (state_->error) std::rethrow_exception(state_->error);
@@ -92,6 +102,17 @@ class ReplyFuture {
   }
 
  private:
+  /// If we are about to block and the state carries an on_block hook, run
+  /// it outside the lock (it may call back into the channel/batcher).
+  void run_on_block_hook() const {
+    if (!state_->on_block) return;
+    {
+      sim::MutexLock lock(state_->mu);
+      if (state_->ready) return;
+    }
+    state_->on_block();
+  }
+
   std::shared_ptr<detail::ReplyState> state_;
 };
 

@@ -88,6 +88,11 @@ void TcpConnection::handle_ack(std::uint32_t ack, sim::Nanos now) {
       ++stats_.fast_retransmits;
       retransmit_segment(unacked_.front());
       last_activity_ = now;  // restart the RTO
+      // Re-arm: if the retransmit is also lost and the peer keeps ACKing
+      // the same sequence, three further duplicates must be able to fire
+      // again — without this the counter runs 4, 5, … past the trigger and
+      // a second loss stalls until the full RTO.
+      dup_ack_count_ = 0;
     }
   } else {
     last_ack_seen_ = ack;

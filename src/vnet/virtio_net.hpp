@@ -95,6 +95,12 @@ class ShapedTransport final : public rpc::Transport {
 
   void shutdown() override { inner_->shutdown(); }
 
+  bool set_recv_timeout(std::chrono::nanoseconds timeout) override {
+    // Shaping charges time but does not buffer, so the inner transport's
+    // timed recv (pipe or TCP) carries the deadline unchanged.
+    return inner_->set_recv_timeout(timeout);
+  }
+
  private:
   NetworkProfile profile_;
   sim::SimClock* clock_;

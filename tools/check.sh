@@ -15,6 +15,9 @@
 #   8. obs-trace     CRICKET_TRACE smoke run + trace schema/stitching check
 #   9. fuzz-smoke    deterministic decode fuzzer, 10k iterations against the
 #                    ASan+UBSan build (clean-throw-no-leak on every mutation)
+#  10. fault-smoke   seeded fault-injection matrix (`ctest -L fault`) against
+#                    the TSan build — loss recovery races are exactly where
+#                    retry/reconnect/DRC state is touched from many threads
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -189,6 +192,20 @@ if should_continue; then
     run_stage fuzz-smoke build-asan/tools/fuzz_decode --iters 10000
   else
     record fuzz-smoke "SKIP (build-asan/tools/fuzz_decode missing — run asan-ubsan stage first)"
+  fi
+fi
+
+# ------------------------------------------------------------- 10: fault-smoke
+# The faultnet matrix (drop/dup/reorder/corrupt/partition x serial/pipelined/
+# batched) under ThreadSanitizer: recovery paths — retry timers, reconnect,
+# in-flight resubmission, the duplicate-request cache — are the most
+# thread-entangled code in the tree, so they run where races are fatal.
+if should_continue; then
+  if [[ -d build-tsan ]]; then
+    run_stage fault-smoke ctest --test-dir build-tsan --output-on-failure \
+      -j "$JOBS" -L fault
+  else
+    record fault-smoke "SKIP (build-tsan missing — run tsan stage first)"
   fi
 fi
 

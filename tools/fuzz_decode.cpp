@@ -28,8 +28,10 @@
 
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
+#include "rpc/record.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "rpc/server.hpp"
+#include "rpc/transport.hpp"
 #include "sim/rng.hpp"
 #include "xdr/xdr.hpp"
 
@@ -45,6 +47,7 @@ struct Stats {
   std::uint64_t format_errors = 0;
   std::uint64_t preflight_rejects = 0;
   std::uint64_t dispatches = 0;
+  std::uint64_t record_errors = 0;
 };
 
 Stats g_stats;
@@ -67,6 +70,39 @@ void expect_clean(Fn&& fn) {
   // std::bad_alloc, std::length_error, any other exception, or a signal
   // propagates out: those are exactly the bugs this harness exists to find.
 }
+
+/// Record-marking layer invocation. Here TransportError joins the clean
+/// typed outcomes: it is what the reader raises both for a hostile fragment
+/// length (the max-record cap) and for truncation mid-record, and a mutated
+/// stream produces both constantly.
+template <typename Fn>
+void expect_clean_stream(Fn&& fn) {
+  try {
+    fn();
+    ++g_stats.parsed;
+  } catch (const cricket::rpc::TransportError&) {
+    ++g_stats.record_errors;
+  }
+}
+
+/// Replays one fuzzed buffer as an inbound byte stream: recv drains the
+/// buffer, then reports orderly EOF. The record readers never send.
+class SpanTransport final : public cricket::rpc::Transport {
+ public:
+  explicit SpanTransport(std::span<const std::uint8_t> data) : data_(data) {}
+
+  void send(std::span<const std::uint8_t>) override {}
+  std::size_t recv(std::span<std::uint8_t> out) override {
+    const std::size_t n = std::min(out.size(), data_.size());
+    if (n > 0) std::memcpy(out.data(), data_.data(), n);
+    data_ = data_.subspan(n);
+    return n;
+  }
+  void shutdown() override {}
+
+ private:
+  std::span<const std::uint8_t> data_;
+};
 
 // ----------------------------- seed corpus ------------------------------
 
@@ -147,6 +183,19 @@ std::vector<std::vector<std::uint8_t>> build_corpus() {
     xdr_encode(enc, std::vector<std::uint32_t>{1, 2, 3, 4, 5});
     corpus.push_back(enc.take());
   }
+  {
+    // Record-marked framing of the first call, deliberately split into
+    // small fragments so mutations land on the 4-byte fragment headers
+    // (length field, last-fragment bit) as well as the payload.
+    std::vector<std::uint8_t> framed;
+    append_record_marked(framed, corpus.front(), /*max_fragment=*/32);
+    corpus.push_back(std::move(framed));
+  }
+  // Hostile record header: last-fragment bit plus the maximum 31-bit
+  // fragment length (2 GiB - 1). The RecordReader max-record cap must
+  // reject this from the 4 header bytes alone, before any allocation or
+  // payload read; main() additionally pins this against the default cap.
+  corpus.push_back({0xFF, 0xFF, 0xFF, 0xFF});
   return corpus;
 }
 
@@ -249,6 +298,27 @@ void consume(const cricket::rpc::ServiceRegistry& registry,
     xdr_decode(dec, v);
     dec.expect_exhausted();
   });
+  // Record-marking layer: replay the buffer as an inbound byte stream and
+  // reassemble records to EOF through both reader implementations. The
+  // small explicit cap keeps mutated length fields from turning into large
+  // throwaway allocations each iteration; rejection of a hostile length
+  // against the DEFAULT cap is pinned deterministically in main().
+  expect_clean_stream([&] {
+    SpanTransport t(buf);
+    RecordReader reader(t, /*max_record=*/std::size_t{1} << 16);
+    std::vector<std::uint8_t> record;
+    while (reader.read_record(record)) {
+    }
+  });
+  expect_clean_stream([&] {
+    SpanTransport t(buf);
+    BufferedRecordReader reader(t, /*chunk=*/64,
+                                /*max_record=*/std::size_t{1} << 16);
+    std::vector<std::uint8_t> record;
+    while (reader.read_record(record)) {
+    }
+  });
+
   expect_clean([&] {
     OpaqueAuth auth;
     auth.flavor = AuthFlavor::kSys;
@@ -276,6 +346,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  {
+    // Pin the default record cap before fuzzing: a header advertising the
+    // maximum 31-bit fragment length must be rejected from the 4 header
+    // bytes alone — no payload read, no allocation.
+    const std::uint8_t hostile[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    SpanTransport t(std::span(hostile, 4));
+    cricket::rpc::RecordReader reader(t);
+    std::vector<std::uint8_t> record;
+    bool rejected = false;
+    try {
+      (void)reader.read_record(record);
+    } catch (const cricket::rpc::TransportError&) {
+      rejected = true;
+    }
+    if (!rejected) {
+      std::fprintf(stderr,
+                   "fuzz_decode: hostile 2 GiB fragment header was NOT "
+                   "rejected by the default record cap\n");
+      return 1;
+    }
+  }
+
   const auto corpus = build_corpus();
   const auto registry = build_registry();
   Xoshiro256ss rng(seed);
@@ -300,12 +392,14 @@ int main(int argc, char** argv) {
 
   std::printf(
       "fuzz_decode: %llu iterations clean (parsed %llu, xdr errors %llu, "
-      "format errors %llu, preflight rejects %llu, dispatches %llu)\n",
+      "format errors %llu, preflight rejects %llu, dispatches %llu, "
+      "record errors %llu)\n",
       static_cast<unsigned long long>(iters),
       static_cast<unsigned long long>(g_stats.parsed),
       static_cast<unsigned long long>(g_stats.xdr_errors),
       static_cast<unsigned long long>(g_stats.format_errors),
       static_cast<unsigned long long>(g_stats.preflight_rejects),
-      static_cast<unsigned long long>(g_stats.dispatches));
+      static_cast<unsigned long long>(g_stats.dispatches),
+      static_cast<unsigned long long>(g_stats.record_errors));
   return 0;
 }
