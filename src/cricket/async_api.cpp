@@ -36,7 +36,13 @@ AsyncRemoteCudaApi::AsyncRemoteCudaApi(std::unique_ptr<rpc::Transport> transport
       config_(std::move(config)),
       channel_(std::make_unique<rpcflow::AsyncRpcChannel>(
           std::move(transport), proto::CRICKET_PROG, proto::CRICKETVERS_VERS,
-          channel_options(config_.pipeline))) {}
+          channel_options(config_.pipeline))) {
+  if (!config_.tenant.empty()) {
+    rpc::AuthSysParms cred;
+    cred.machinename = config_.tenant;
+    channel_->set_credential(cred.to_opaque());
+  }
+}
 
 AsyncRemoteCudaApi::~AsyncRemoteCudaApi() {
   try {
@@ -51,6 +57,11 @@ void AsyncRemoteCudaApi::reap_ready() {
   while (!pending_.empty() && pending_.front().ready()) {
     try {
       const auto err = from_wire(pending_.front().get());
+      if (sticky_ == Error::kSuccess) sticky_ = err;
+    } catch (const rpc::RpcError& e) {
+      const auto err = e.kind() == rpc::RpcError::Kind::kQuotaExceeded
+                           ? Error::kQuotaExceeded
+                           : Error::kRpcFailure;
       if (sticky_ == Error::kSuccess) sticky_ = err;
     } catch (...) {
       if (sticky_ == Error::kSuccess) sticky_ = Error::kRpcFailure;
@@ -98,7 +109,11 @@ Error AsyncRemoteCudaApi::call_blocking(std::uint32_t proc, Fn&& consume,
     // The server runs this session's calls in order, so by the time this
     // reply is in hand every earlier pipelined call has executed.
     return consume(fut.get());
-  } catch (const rpc::RpcError&) {
+  } catch (const rpc::RpcError& e) {
+    // A quota rejection leaves the connection healthy: report it for this
+    // call only, never sticky.
+    if (e.kind() == rpc::RpcError::Kind::kQuotaExceeded)
+      return Error::kQuotaExceeded;
     return Error::kRpcFailure;
   } catch (const rpc::TransportError&) {
     sticky_ = Error::kRpcFailure;
@@ -122,6 +137,10 @@ Error AsyncRemoteCudaApi::drain() {
   while (!pending_.empty()) {
     try {
       absorb(from_wire(pending_.front().get()));
+    } catch (const rpc::RpcError& e) {
+      absorb(e.kind() == rpc::RpcError::Kind::kQuotaExceeded
+                 ? Error::kQuotaExceeded
+                 : Error::kRpcFailure);
     } catch (...) {
       absorb(Error::kRpcFailure);
     }

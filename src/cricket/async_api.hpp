@@ -30,6 +30,9 @@ struct AsyncClientConfig {
   env::ClientFlavor flavor = {};
   /// Pipeline depth / batching, typically from env::Environment::pipeline.
   env::PipelineConfig pipeline = {.enabled = true};
+  /// Tenant identity presented to a multi-tenant server (AUTH_SYS
+  /// machinename); empty = anonymous.
+  std::string tenant{};
 };
 
 struct AsyncClientStats {

@@ -25,7 +25,13 @@ RemoteCudaApi::RemoteCudaApi(std::unique_ptr<rpc::Transport> transport,
       rpc_(std::move(transport), proto::CRICKET_PROG, proto::CRICKETVERS_VERS,
            rpc::ClientOptions{.retry = config_.retry,
                               .reconnect = config_.reconnect}),
-      stub_(std::make_unique<proto::CRICKETVERSClient>(rpc_)) {}
+      stub_(std::make_unique<proto::CRICKETVERSClient>(rpc_)) {
+  if (!config_.tenant.empty()) {
+    rpc::AuthSysParms cred;
+    cred.machinename = config_.tenant;
+    rpc_.set_credential(cred.to_opaque());
+  }
+}
 
 RemoteCudaApi::~RemoteCudaApi() = default;
 
@@ -47,6 +53,10 @@ Error RemoteCudaApi::forward(const char* name, Fn&& fn) {
   try {
     return fn();
   } catch (const rpc::RpcError& e) {
+    // Quota rejections are per-call and the connection stays healthy, so
+    // they never go sticky — the tenant backs off and retries.
+    if (e.kind() == rpc::RpcError::Kind::kQuotaExceeded)
+      return Error::kQuotaExceeded;
     if (e.kind() == rpc::RpcError::Kind::kDeadlineExceeded)
       sticky_error_ = Error::kRpcFailure;
     return Error::kRpcFailure;

@@ -42,6 +42,10 @@ struct ClientConfig {
   rpc::RetryPolicy retry{};
   /// Fresh transport to the same server after a connection-level failure.
   std::function<std::unique_ptr<rpc::Transport>()> reconnect{};
+  /// Tenant identity presented to a multi-tenant server: when non-empty,
+  /// every call carries an AUTH_SYS credential with this machinename, and
+  /// the server binds the session to the tenant registered under it.
+  std::string tenant{};
 };
 
 struct RemoteStats {

@@ -2,58 +2,203 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace cricket::core {
 
-void KernelScheduler::session_open(std::uint64_t session) {
-  sim::MutexLock lock(mu_);
-  auto& s = sessions_[session];
-  // A newcomer starts level with the least-served existing session so it
-  // cannot monopolize the device by arriving late with zero usage history.
+KernelScheduler::Session& KernelScheduler::open_locked(
+    std::uint64_t session, std::uint64_t group, std::uint32_t weight,
+    std::uint32_t priority) {
+  Group& g = groups_[group];
+  g.weight = weight == 0 ? 1 : weight;
+  g.priority = priority;
+  if (g.sessions == 0) {
+    // A newcomer group starts level with the least-served existing group so
+    // a tenant cannot monopolize the device by arriving late with zero
+    // usage history.
+    sim::Nanos min_v = 0;
+    bool first = true;
+    for (const auto& [key, other] : groups_) {
+      if (key == group || other.sessions == 0) continue;
+      min_v = first ? other.vtime : std::min(min_v, other.vtime);
+      first = false;
+    }
+    if (!first) g.vtime = std::max(g.vtime, min_v);
+  }
+
+  auto [it, inserted] = sessions_.emplace(session, Session{});
+  Session& s = it->second;
+  if (inserted || s.group != group) {
+    if (!inserted) {
+      const auto old = groups_.find(s.group);
+      if (old != groups_.end() && --old->second.sessions == 0)
+        groups_.erase(old);
+    }
+    s.group = group;
+    ++g.sessions;
+  }
+  // Same levelling rule one layer down, among the group's own sessions.
   sim::Nanos min_used = 0;
   bool first = true;
   for (const auto& [id, other] : sessions_) {
-    if (id == session) continue;
+    if (id == session || other.group != group) continue;
     min_used = first ? other.used_ns : std::min(min_used, other.used_ns);
     first = false;
   }
-  if (!first) s.used_ns = min_used;
+  if (!first) s.used_ns = std::max(s.used_ns, min_used);
+  return s;
+}
+
+KernelScheduler::Session& KernelScheduler::find_or_create_locked(
+    std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end()) return it->second;
+  return open_locked(session, kImplicitGroupBit | session, 1, 0);
+}
+
+void KernelScheduler::session_open(std::uint64_t session) {
+  sim::MutexLock lock(mu_);
+  open_locked(session, kImplicitGroupBit | session, 1, 0);
+}
+
+void KernelScheduler::session_open(std::uint64_t session, std::uint64_t tenant,
+                                   std::uint32_t weight,
+                                   std::uint32_t priority) {
+  sim::MutexLock lock(mu_);
+  open_locked(session, tenant, weight, priority);
+}
+
+void KernelScheduler::session_set_tenant(std::uint64_t session,
+                                         std::uint64_t tenant,
+                                         std::uint32_t weight,
+                                         std::uint32_t priority) {
+  {
+    sim::MutexLock lock(mu_);
+    open_locked(session, tenant, weight, priority);
+  }
+  // Group membership changed: blocked waiters must re-derive their leads.
+  caught_up_.notify_all();
+}
+
+void KernelScheduler::archive_locked(std::uint64_t session,
+                                     const SchedulerStats& stats) {
+  static obs::Counter& evicted_total = obs::Registry::global().counter(
+      "cricket_scheduler_archive_evicted_total", {},
+      "Closed-session stat archives evicted to honour the archive cap");
+  if (archived_.insert_or_assign(session, stats).second)
+    archive_fifo_.push_back(session);
+  while (archived_.size() > options_.max_archived && !archive_fifo_.empty()) {
+    archived_.erase(archive_fifo_.front());
+    archive_fifo_.pop_front();
+    ++archive_evictions_;
+    evicted_total.inc();
+  }
 }
 
 void KernelScheduler::session_close(std::uint64_t session) {
-  sim::MutexLock lock(mu_);
-  const auto it = sessions_.find(session);
-  if (it == sessions_.end()) return;
-  archived_[session] = it->second.stats;
-  sessions_.erase(it);
+  {
+    sim::MutexLock lock(mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    archive_locked(session, it->second.stats);
+    const auto git = groups_.find(it->second.group);
+    if (git != groups_.end() && --git->second.sessions == 0)
+      groups_.erase(git);
+    sessions_.erase(it);
+  }
+  // A departing laggard may have been the one a leader was waiting on.
+  caught_up_.notify_all();
+}
+
+sim::Nanos KernelScheduler::excess_lead_locked(const Session& s) const {
+  // Level 2: lead over the least-served sibling session in the same group.
+  sim::Nanos min_used = s.used_ns;
+  bool alone = true;
+  for (const auto& [id, other] : sessions_) {
+    if (other.group != s.group) continue;
+    if (&other != &s) {
+      alone = false;
+      min_used = std::min(min_used, other.used_ns);
+    }
+  }
+  sim::Nanos lead = alone ? 0 : s.used_ns - min_used;
+
+  // Level 1: weighted virtual-time lead over the slowest contending group
+  // of same-or-higher priority (a tenant never waits for lower-priority
+  // tenants).
+  const auto git = groups_.find(s.group);
+  if (git != groups_.end()) {
+    const Group& g = git->second;
+    sim::Nanos min_v = g.vtime;
+    bool only_group = true;
+    for (const auto& [key, other] : groups_) {
+      if (key == git->first || other.sessions == 0) continue;
+      if (other.priority < g.priority) continue;
+      min_v = std::min(min_v, other.vtime);
+      only_group = false;
+    }
+    if (!only_group) lead = std::max(lead, g.vtime - min_v);
+  }
+  return lead - options_.quantum;
+}
+
+sim::Nanos KernelScheduler::admit_locked(Session& s) {
+  if (policy_ == SchedulerPolicy::kFifo) return 0;
+  sim::Nanos excess = excess_lead_locked(s);
+  if (excess <= 0) return 0;
+
+  if (options_.max_real_block.count() > 0) {
+    // Block (bounded, in real time) so laggards that are actively
+    // launching genuinely catch up; record_usage/session_close signal us.
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.max_real_block;
+    while (excess > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      (void)caught_up_.wait_until(
+          mu_, std::min(deadline, now + std::chrono::microseconds(200)));
+      excess = excess_lead_locked(s);
+    }
+    if (excess <= 0) return 0;
+  }
+
+  // Laggards idle: fall back to charging the residual lead as a virtual
+  // delay, capped at a few quanta so the scheduler stays work-conserving
+  // when nothing else is queued.
+  const sim::Nanos wait = std::min(excess, 4 * options_.quantum);
+  clock_->advance(wait);
+  s.stats.total_wait_ns += wait;
+  return wait;
 }
 
 sim::Nanos KernelScheduler::admit(std::uint64_t session) {
   sim::MutexLock lock(mu_);
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) it = sessions_.emplace(session, Session{}).first;
-  ++it->second.stats.launches;
-  if (policy_ == SchedulerPolicy::kFifo || sessions_.size() < 2) return 0;
+  Session& s = find_or_create_locked(session);
+  ++s.stats.launches;
+  return admit_locked(s);
+}
 
-  sim::Nanos min_used = it->second.used_ns;
-  for (const auto& [id, s] : sessions_) min_used = std::min(min_used, s.used_ns);
-  const sim::Nanos lead = it->second.used_ns - min_used;
-  if (lead <= quantum_) return 0;
-
-  // Fair share: wait for the laggards to catch up — modelled as a virtual
-  // delay proportional to the excess lead, capped at a few quanta so the
-  // scheduler stays work-conserving when the laggards have nothing queued.
-  const sim::Nanos wait = std::min(lead - quantum_, 4 * quantum_);
-  clock_->advance(wait);
-  it->second.stats.total_wait_ns += wait;
-  return wait;
+sim::Nanos KernelScheduler::admit_transfer(std::uint64_t session,
+                                           std::uint64_t bytes) {
+  sim::MutexLock lock(mu_);
+  Session& s = find_or_create_locked(session);
+  ++s.stats.transfers;
+  s.stats.transfer_bytes += bytes;
+  return admit_locked(s);
 }
 
 void KernelScheduler::record_usage(std::uint64_t session,
                                    sim::Nanos device_ns) {
-  sim::MutexLock lock(mu_);
-  auto& s = sessions_[session];
-  s.used_ns += device_ns;
-  s.stats.device_time_ns += device_ns;
+  {
+    sim::MutexLock lock(mu_);
+    Session& s = find_or_create_locked(session);
+    s.used_ns += device_ns;
+    s.stats.device_time_ns += device_ns;
+    const auto git = groups_.find(s.group);
+    if (git != groups_.end())
+      git->second.vtime += device_ns / git->second.weight;
+  }
+  caught_up_.notify_all();
 }
 
 SchedulerStats KernelScheduler::stats(std::uint64_t session) const {
@@ -62,6 +207,11 @@ SchedulerStats KernelScheduler::stats(std::uint64_t session) const {
   if (it != sessions_.end()) return it->second.stats;
   const auto archived = archived_.find(session);
   return archived == archived_.end() ? SchedulerStats{} : archived->second;
+}
+
+std::uint64_t KernelScheduler::archive_evictions() const {
+  sim::MutexLock lock(mu_);
+  return archive_evictions_;
 }
 
 }  // namespace cricket::core

@@ -1,18 +1,35 @@
-// Kernel-launch scheduling across Cricket sessions.
+// Device-time scheduling across Cricket tenants and sessions.
 //
 // The paper's closing argument (§5): because unikernels are deployed in
 // large numbers, Cricket must share GPUs across many of them, "managing the
 // shared access through configurable schedulers". This scheduler arbitrates
-// kernel launches between sessions sharing one device:
-//   * FIFO        — launches pass straight through (the default; what the
+// kernel launches and large memcpys on one device:
+//   * FIFO        — work passes straight through (the default; what the
 //                   evaluation used with one client).
-//   * Fair share  — per-session device-time accounting; a session that has
-//                   consumed more than its fair share waits (virtual time)
-//                   until the others catch up or the lead is within one
-//                   quantum.
+//   * Fair share  — two-level weighted fair queueing. Level 1 groups
+//                   sessions by tenant: each group accumulates virtual time
+//                   at used_ns / weight, and a group whose virtual time
+//                   leads the slowest group of same-or-higher priority by
+//                   more than one quantum waits. Level 2 applies the same
+//                   rule between a group's own sessions. A session opened
+//                   without a tenant gets an implicit single-session group,
+//                   which makes the two-level scheduler degenerate exactly
+//                   to the historical per-session fair share.
+//
+// Waiting is hybrid: admit() first blocks the calling worker for a bounded
+// *real* interval (max_real_block) so actively-launching laggards genuinely
+// catch up — this is what makes measured throughput fair, not just
+// accounted time. If they do not catch up in time (idle session, paused
+// client) the residual lead is charged to the virtual clock exactly like
+// the historical scheduler, which keeps the system work-conserving and
+// every admit() O(quantum)-bounded. max_real_block = 0 gives a pure
+// virtual-time scheduler whose admit/charge sequence is a deterministic
+// function of the call sequence — the mode the determinism tests pin down.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 
 #include "sim/annotations.hpp"
@@ -24,45 +41,114 @@ enum class SchedulerPolicy { kFifo, kFairShare };
 
 struct SchedulerStats {
   std::uint64_t launches = 0;
+  /// Large memcpys arbitrated via admit_transfer.
+  std::uint64_t transfers = 0;
+  std::uint64_t transfer_bytes = 0;
   sim::Nanos total_wait_ns = 0;
   sim::Nanos device_time_ns = 0;
 };
 
+struct SchedulerOptions {
+  /// Lead a session/tenant may hold before it waits.
+  sim::Nanos quantum = sim::kMillisecond;
+  /// Real-time budget admit() may spend blocked waiting for laggards to
+  /// catch up before falling back to charging virtual wait. 0 = never
+  /// block (pure virtual time, deterministic).
+  std::chrono::nanoseconds max_real_block = std::chrono::milliseconds(2);
+  /// Cap on archived closed-session stats (FIFO eviction beyond this).
+  std::size_t max_archived = 1024;
+};
+
 class KernelScheduler {
  public:
+  KernelScheduler(SchedulerPolicy policy, sim::SimClock& clock,
+                  SchedulerOptions options)
+      : policy_(policy), clock_(&clock), options_(options) {}
   explicit KernelScheduler(SchedulerPolicy policy, sim::SimClock& clock,
                            sim::Nanos quantum = sim::kMillisecond)
-      : policy_(policy), clock_(&clock), quantum_(quantum) {}
+      : KernelScheduler(policy, clock, SchedulerOptions{.quantum = quantum}) {}
 
+  /// Opens a session in its own implicit group (historical single-level
+  /// behaviour).
   void session_open(std::uint64_t session) CRICKET_EXCLUDES(mu_);
+  /// Opens a session inside tenant `tenant`'s group, creating/updating the
+  /// group with the given fair-share weight and priority class.
+  void session_open(std::uint64_t session, std::uint64_t tenant,
+                    std::uint32_t weight, std::uint32_t priority)
+      CRICKET_EXCLUDES(mu_);
+  /// Moves an already-open session into a tenant group (admission binds
+  /// tenants after the session exists). Usage carries over, levelled so the
+  /// move can never grant a fresh monopoly.
+  void session_set_tenant(std::uint64_t session, std::uint64_t tenant,
+                          std::uint32_t weight, std::uint32_t priority)
+      CRICKET_EXCLUDES(mu_);
   /// Removes the session from fair-share accounting; its stats remain
-  /// queryable (archived) for post-mortem analysis.
+  /// queryable (archived, bounded by options.max_archived with FIFO
+  /// eviction) for post-mortem analysis.
   void session_close(std::uint64_t session) CRICKET_EXCLUDES(mu_);
 
-  /// Called before executing a session's launch; charges any scheduling
-  /// delay to the virtual clock and returns it.
+  /// Called before executing a session's launch; may block (bounded) for
+  /// real catch-up, charges any residual scheduling delay to the virtual
+  /// clock, and returns the virtual delay.
   sim::Nanos admit(std::uint64_t session) CRICKET_EXCLUDES(mu_);
+  /// Same arbitration for a large memcpy of `bytes`.
+  sim::Nanos admit_transfer(std::uint64_t session, std::uint64_t bytes)
+      CRICKET_EXCLUDES(mu_);
 
-  /// Called after a launch with the device time it consumed.
+  /// Called after a launch/transfer with the device time it consumed.
   void record_usage(std::uint64_t session, sim::Nanos device_ns)
       CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] SchedulerStats stats(std::uint64_t session) const
       CRICKET_EXCLUDES(mu_);
+  /// Closed-session archive entries evicted to honour max_archived.
+  [[nodiscard]] std::uint64_t archive_evictions() const CRICKET_EXCLUDES(mu_);
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const SchedulerOptions& options() const noexcept {
+    return options_;
+  }
 
  private:
+  struct Group {
+    std::uint32_t weight = 1;
+    std::uint32_t priority = 0;
+    /// Weighted virtual time: sum of used_ns / weight.
+    sim::Nanos vtime = 0;
+    std::uint32_t sessions = 0;
+  };
   struct Session {
+    std::uint64_t group = 0;
     sim::Nanos used_ns = 0;
     SchedulerStats stats;
   };
 
+  /// Sessions opened without a tenant live in a synthetic group keyed by
+  /// the session id with this bit set (session ids are small integers, so
+  /// the spaces cannot collide).
+  static constexpr std::uint64_t kImplicitGroupBit = 1ull << 63;
+
+  Session& open_locked(std::uint64_t session, std::uint64_t group,
+                       std::uint32_t weight, std::uint32_t priority)
+      CRICKET_REQUIRES(mu_);
+  Session& find_or_create_locked(std::uint64_t session) CRICKET_REQUIRES(mu_);
+  /// Excess virtual lead of `s` beyond one quantum, combining both levels;
+  /// <= 0 means admit now.
+  [[nodiscard]] sim::Nanos excess_lead_locked(const Session& s) const
+      CRICKET_REQUIRES(mu_);
+  sim::Nanos admit_locked(Session& s) CRICKET_REQUIRES(mu_);
+  void archive_locked(std::uint64_t session, const SchedulerStats& stats)
+      CRICKET_REQUIRES(mu_);
+
   SchedulerPolicy policy_;
   sim::SimClock* clock_;
-  sim::Nanos quantum_;
+  SchedulerOptions options_;
   mutable sim::Mutex mu_;
+  sim::CondVar caught_up_;  // signalled by record_usage / session_close
+  std::map<std::uint64_t, Group> groups_ CRICKET_GUARDED_BY(mu_);
   std::map<std::uint64_t, Session> sessions_ CRICKET_GUARDED_BY(mu_);
   std::map<std::uint64_t, SchedulerStats> archived_ CRICKET_GUARDED_BY(mu_);
+  std::deque<std::uint64_t> archive_fifo_ CRICKET_GUARDED_BY(mu_);
+  std::uint64_t archive_evictions_ CRICKET_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cricket::core

@@ -1,5 +1,7 @@
 #include "cricket/server.hpp"
 
+#include <deque>
+#include <map>
 #include <set>
 
 #include "cricket/checkpoint.hpp"
@@ -15,6 +17,11 @@ using cuda::Error;
 
 std::int32_t to_wire(Error e) { return static_cast<std::int32_t>(e); }
 
+/// Copies at or above this size contend for real device/PCIe time and are
+/// arbitrated by the scheduler like kernel launches; smaller control-plane
+/// copies pass straight through.
+constexpr std::uint64_t kLargeTransferBytes = 256 * 1024;
+
 /// One client connection: implements the generated service skeleton by
 /// dispatching into the node's LocalCudaApi, tracks every resource the
 /// client creates so a vanished unikernel cannot leak device memory, and
@@ -25,7 +32,8 @@ class CricketSession final : public proto::CRICKETVERSService {
       : server_(&server),
         id_(id),
         lanes_(std::move(lanes)),
-        api_(server.node()) {
+        api_(server.node()),
+        tenants_(server.tenants()) {
     server_->scheduler().session_open(id_);
   }
 
@@ -34,8 +42,24 @@ class CricketSession final : public proto::CRICKETVERSService {
     for (const auto e : events_) (void)api_.event_destroy(e);
     for (const auto s : streams_) (void)api_.stream_destroy(s);
     for (const auto m : modules_) (void)api_.module_unload(m);
-    for (const auto p : allocations_) (void)api_.free(p);
+    for (const auto& [ptr, size] : allocations_) {
+      (void)api_.free(ptr);
+      if (bound()) tenants_->release_memory(tenant_, size);
+    }
     server_->scheduler().session_close(id_);
+  }
+
+  /// Binds this session to its authenticated tenant. Called by admission on
+  /// the connection's first call, before any dispatch runs, so the plain
+  /// member writes are ordered before every handler: the session joins the
+  /// tenant's fair-share group and pins itself to the tenant's device shard.
+  void bind_tenant(tenancy::TenantId tenant) {
+    tenant_ = tenant;
+    const auto spec = tenants_->spec(tenant);
+    server_->scheduler().session_set_tenant(id_, tenant,
+                                            spec ? spec->weight : 1,
+                                            spec ? spec->priority : 0);
+    (void)api_.set_device(static_cast<int>(tenants_->shard_device(tenant)));
   }
 
   // ---------------------------- device mgmt ------------------------------
@@ -78,16 +102,31 @@ class CricketSession final : public proto::CRICKETVERSService {
   // ------------------------------- memory --------------------------------
   proto::u64_result rpc_malloc(std::uint64_t size) override {
     count();
+    // Quota check before touching the device: a refusal charges nothing
+    // (try_charge_memory is all-or-nothing) and surfaces as the typed
+    // cricketErrorQuotaExceeded result, not an allocator failure.
+    if (bound() && !tenants_->try_charge_memory(tenant_, size))
+      return {to_wire(Error::kQuotaExceeded), 0};
     cuda::DevPtr ptr = 0;
     const Error err = api_.malloc(ptr, size);
-    if (err == Error::kSuccess) allocations_.insert(ptr);
+    if (err == Error::kSuccess) {
+      allocations_.emplace(ptr, size);
+    } else if (bound()) {
+      tenants_->release_memory(tenant_, size);
+    }
     return {to_wire(err), ptr};
   }
 
   std::int32_t rpc_free(proto::ptr_t ptr) override {
     count();
     const Error err = api_.free(ptr);
-    if (err == Error::kSuccess) allocations_.erase(ptr);
+    if (err == Error::kSuccess) {
+      const auto it = allocations_.find(ptr);
+      if (it != allocations_.end()) {
+        if (bound()) tenants_->release_memory(tenant_, it->second);
+        allocations_.erase(it);
+      }
+    }
     return to_wire(err);
   }
 
@@ -100,39 +139,52 @@ class CricketSession final : public proto::CRICKETVERSService {
   std::int32_t rpc_memcpy_h2d(proto::ptr_t dst,
                               std::vector<std::uint8_t> data) override {
     count();
-    return to_wire(api_.memcpy_h2d(dst, data));
+    admit_transfer(data.size());
+    const Error err = api_.memcpy_h2d(dst, data);
+    if (err == Error::kSuccess) charge_transfer(data.size());
+    return to_wire(err);
   }
 
   proto::data_result rpc_memcpy_d2h(proto::ptr_t src,
                                     std::uint64_t len) override {
     count();
+    admit_transfer(len);
     proto::data_result res;
     res.data.resize(len);
     res.err = to_wire(api_.memcpy_d2h(res.data, src));
     if (res.err != 0) res.data.clear();
+    if (res.err == 0) charge_transfer(len);
     return res;
   }
 
   std::int32_t rpc_memcpy_d2d(proto::ptr_t dst, proto::ptr_t src,
                               std::uint64_t len) override {
     count();
-    return to_wire(api_.memcpy_d2d(dst, src, len));
+    admit_transfer(len);
+    const Error err = api_.memcpy_d2d(dst, src, len);
+    if (err == Error::kSuccess) charge_transfer(len);
+    return to_wire(err);
   }
 
   std::int32_t rpc_memcpy_h2d_async(proto::ptr_t dst,
                                     std::vector<std::uint8_t> data,
                                     proto::ptr_t stream) override {
     count();
-    return to_wire(api_.memcpy_h2d_async(dst, data, stream));
+    admit_transfer(data.size());
+    const Error err = api_.memcpy_h2d_async(dst, data, stream);
+    if (err == Error::kSuccess) charge_transfer(data.size());
+    return to_wire(err);
   }
 
   proto::data_result rpc_memcpy_d2h_async(proto::ptr_t src, std::uint64_t len,
                                           proto::ptr_t stream) override {
     count();
+    admit_transfer(len);
     proto::data_result res;
     res.data.resize(len);
     res.err = to_wire(api_.memcpy_d2h_async(res.data, src, stream));
     if (res.err != 0) res.data.clear();
+    if (res.err == 0) charge_transfer(len);
     return res;
   }
 
@@ -143,7 +195,10 @@ class CricketSession final : public proto::CRICKETVERSService {
       return to_wire(Error::kInvalidValue);
     std::vector<std::uint8_t> buf(len);
     gather_striped(lanes_, buf);
-    return to_wire(api_.memcpy_h2d(dst, buf));
+    admit_transfer(len);
+    const Error err = api_.memcpy_h2d(dst, buf);
+    if (err == Error::kSuccess) charge_transfer(len);
+    return to_wire(err);
   }
 
   std::int32_t rpc_transfer_begin_d2h(proto::ptr_t src, std::uint64_t len,
@@ -151,9 +206,11 @@ class CricketSession final : public proto::CRICKETVERSService {
     count();
     if (lane_count != lanes_.count() || lane_count == 0)
       return to_wire(Error::kInvalidValue);
+    admit_transfer(len);
     std::vector<std::uint8_t> buf(len);
     const Error err = api_.memcpy_d2h(buf, src);
     if (err != Error::kSuccess) return to_wire(err);
+    charge_transfer(len);
     scatter_striped(lanes_, buf);
     return to_wire(Error::kSuccess);
   }
@@ -261,13 +318,18 @@ class CricketSession final : public proto::CRICKETVERSService {
                                  proto::ptr_t stream,
                                  std::vector<std::uint8_t> params) override {
     count();
-    server_->scheduler().admit(id_);
+    const sim::Nanos wait = server_->scheduler().admit(id_);
     sim::Nanos exec_ns = 0;
     const Error err = api_.launch_kernel_timed(
         func, {grid.x, grid.y, grid.z}, {block.x, block.y, block.z}, shared,
         stream, params, exec_ns);
-    if (err == Error::kSuccess)
+    if (err == Error::kSuccess) {
       server_->scheduler().record_usage(id_, exec_ns);
+      if (bound()) {
+        tenants_->note_device_time(tenant_, exec_ns);
+        tenants_->observe_launch_latency(tenant_, wait + exec_ns);
+      }
+    }
     return to_wire(err);
   }
 
@@ -367,14 +429,163 @@ class CricketSession final : public proto::CRICKETVERSService {
     rpcs.inc();
   }
 
+  [[nodiscard]] bool bound() const noexcept {
+    return tenants_ != nullptr && tenant_ != tenancy::kInvalidTenant;
+  }
+
+  /// Large copies are arbitrated like kernel launches: fair-share admission
+  /// before the bytes move, then the modelled transfer time is charged to
+  /// the session and attributed to its tenant. Small control-plane copies
+  /// skip the scheduler entirely.
+  void admit_transfer(std::uint64_t bytes) {
+    if (bytes < kLargeTransferBytes) return;
+    server_->scheduler().admit_transfer(id_, bytes);
+  }
+  void charge_transfer(std::uint64_t bytes) {
+    if (bytes < kLargeTransferBytes) return;
+    const sim::Nanos ns = api_.current().copy_time(bytes);
+    server_->scheduler().record_usage(id_, ns);
+    if (bound()) tenants_->note_device_time(tenant_, ns);
+  }
+
   CricketServer* server_;
   std::uint64_t id_;
   TransferLanes lanes_;
   cuda::LocalCudaApi api_;
-  std::set<cuda::DevPtr> allocations_;
+  tenancy::SessionManager* tenants_;
+  tenancy::TenantId tenant_ = tenancy::kInvalidTenant;
+  std::map<cuda::DevPtr, std::uint64_t> allocations_;  // ptr -> bytes
   std::set<cuda::ModuleId> modules_;
   std::set<cuda::StreamId> streams_;
   std::set<cuda::EventId> events_;
+};
+
+/// Pre-decode admission for one connection. The first structurally valid
+/// record authenticates the connection's credential and binds the session
+/// to its tenant (session-limit quota applies here); every record then
+/// passes the per-call checks — outstanding-call cap, bytes/sec token
+/// bucket, and a device-memory pre-check for cudaMalloc — before its
+/// arguments are decoded. Rejections return typed replies through the
+/// normal reply path, so the connection always survives.
+class TenantAdmission final : public rpc::AdmissionController {
+ public:
+  TenantAdmission(tenancy::SessionManager& tenants, CricketSession& session,
+                  std::uint64_t session_id)
+      : tenants_(&tenants), session_(&session), id_(session_id) {}
+
+  ~TenantAdmission() override {
+    // serve_transport joins its workers before the controller is destroyed,
+    // so anything still pending is a call whose dispatch never produced a
+    // completion (exception unwind); balance the outstanding accounting.
+    for (const auto tenant : pending_)
+      if (tenant != tenancy::kInvalidTenant) tenants_->complete_call(tenant);
+    if (tenant_ != tenancy::kInvalidTenant)
+      tenants_->close_session(tenant_, id_);
+  }
+
+  std::optional<rpc::ReplyMsg> admit(
+      std::span<const std::uint8_t> record) override {
+    rpc::CallHeader header;
+    try {
+      header = rpc::peek_call_header(record);
+    } catch (const std::exception&) {
+      // Structurally invalid: let the decode path produce the format error;
+      // its completion must not be charged to any tenant.
+      push_pending(tenancy::kInvalidTenant);
+      return std::nullopt;
+    }
+    if (tenant_ == tenancy::kInvalidTenant) {
+      std::optional<tenancy::TenantId> tenant;
+      try {
+        tenant = tenants_->authenticate(rpc::peek_call_credential(record));
+      } catch (const std::exception&) {
+        tenant = std::nullopt;
+      }
+      if (!tenant) {
+        tenants_->count_rejection(tenancy::kInvalidTenant,
+                                  tenancy::RejectReason::kUnknownTenant);
+        return denied(header.xid);
+      }
+      const auto opened = tenants_->open_session(*tenant, id_);
+      if (!opened.admitted) return rejected(header.xid, opened.reason);
+      tenant_ = *tenant;
+      session_->bind_tenant(tenant_);
+    }
+    // A cudaMalloc from a tenant already at its memory quota cannot
+    // succeed: refuse before its arguments are decoded.
+    if (header.proc == proto::RPC_MALLOC_PROC &&
+        tenants_->memory_exhausted(tenant_)) {
+      tenants_->count_rejection(tenant_, tenancy::RejectReason::kDeviceMemory);
+      return rejected(header.xid, tenancy::RejectReason::kDeviceMemory);
+    }
+    const auto admitted = tenants_->admit_call(tenant_, record.size());
+    if (!admitted.admitted) return rejected(header.xid, admitted.reason);
+    push_pending(tenant_);
+    return std::nullopt;
+  }
+
+  void complete() override {
+    tenancy::TenantId tenant = tenancy::kInvalidTenant;
+    {
+      sim::MutexLock lock(mu_);
+      if (pending_.empty()) return;
+      tenant = pending_.front();
+      pending_.pop_front();
+    }
+    if (tenant != tenancy::kInvalidTenant) tenants_->complete_call(tenant);
+  }
+
+ private:
+  void push_pending(tenancy::TenantId tenant) {
+    sim::MutexLock lock(mu_);
+    pending_.push_back(tenant);
+  }
+
+  static std::optional<rpc::ReplyMsg> denied(std::uint32_t xid) {
+    rpc::ReplyMsg reply;
+    reply.xid = xid;
+    reply.stat = rpc::ReplyStat::kDenied;
+    reply.reject_stat = rpc::RejectStat::kAuthError;
+    reply.auth_stat = rpc::AuthStat::kRejectedCred;
+    return reply;
+  }
+
+  static std::optional<rpc::ReplyMsg> rejected(std::uint32_t xid,
+                                               tenancy::RejectReason reason) {
+    rpc::ReplyMsg reply;
+    reply.xid = xid;
+    reply.accept_stat = rpc::AcceptStat::kQuotaExceeded;
+    reply.quota_reason = to_quota_reason(reason);
+    return reply;
+  }
+
+  static rpc::QuotaReason to_quota_reason(
+      tenancy::RejectReason reason) noexcept {
+    switch (reason) {
+      case tenancy::RejectReason::kRateLimited:
+        return rpc::QuotaReason::kRateLimited;
+      case tenancy::RejectReason::kOutstandingCalls:
+        return rpc::QuotaReason::kOutstandingCalls;
+      case tenancy::RejectReason::kDeviceMemory:
+        return rpc::QuotaReason::kDeviceMemory;
+      case tenancy::RejectReason::kSessionLimit:
+        return rpc::QuotaReason::kSessionLimit;
+      case tenancy::RejectReason::kUnknownTenant:
+        break;
+    }
+    return rpc::QuotaReason::kUnspecified;
+  }
+
+  tenancy::SessionManager* tenants_;
+  CricketSession* session_;
+  std::uint64_t id_;
+  /// Written only on the reader thread (admit); read by the destructor.
+  tenancy::TenantId tenant_ = tenancy::kInvalidTenant;
+  sim::Mutex mu_;
+  /// Tenant to credit per admitted record, in admission order. admit()
+  /// pushes on the reader thread; complete() pops on the (single) pipelined
+  /// worker, which processes records in the same order.
+  std::deque<tenancy::TenantId> pending_ CRICKET_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -382,7 +593,8 @@ class CricketSession final : public proto::CRICKETVERSService {
 CricketServer::CricketServer(cuda::GpuNode& node, ServerOptions options)
     : node_(&node),
       options_(std::move(options)),
-      scheduler_(options_.scheduler, node.clock()) {}
+      scheduler_(options_.scheduler, node.clock(),
+                 options_.scheduler_options) {}
 
 void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   const std::uint64_t id = next_session_.fetch_add(1);
@@ -397,6 +609,14 @@ void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   // length can not belong to the addressed procedure are answered
   // GARBAGE_ARGS before any allocation or argument decode.
   registry.set_bounds(proto::bounds::kProcBounds);
+  // Multi-tenant mode: admission (authentication + quota enforcement) runs
+  // between the bounds pre-flight and the argument decode.
+  std::unique_ptr<TenantAdmission> admission;
+  if (options_.tenants != nullptr) {
+    admission =
+        std::make_unique<TenantAdmission>(*options_.tenants, session, id);
+    registry.set_admission(admission.get());
+  }
   if (options_.at_most_once) registry.enable_duplicate_cache(options_.drc);
   rpc::ServeOptions serve = options_.serve;
   // Session handlers share per-session state (resource tracking, the local

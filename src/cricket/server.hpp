@@ -18,6 +18,7 @@
 #include "cudart/local_api.hpp"
 #include "rpc/server.hpp"
 #include "rpc/transport.hpp"
+#include "tenancy/session_manager.hpp"
 
 namespace cricket::core {
 
@@ -39,6 +40,15 @@ struct ServerOptions {
   /// enable RetryPolicy::assume_at_most_once.
   bool at_most_once = false;
   rpc::DrcOptions drc{};
+  /// Fair-share quantum / real-block budget / archive cap for the kernel
+  /// scheduler (policy comes from `scheduler` above).
+  SchedulerOptions scheduler_options{};
+  /// Multi-tenant mode: authenticate every connection against this manager
+  /// (non-owning; must outlive the server), enforce its quotas at admission
+  /// before argument decode, shard sessions across devices by tenant, and
+  /// group fair-share accounting by tenant. Null = historical single-tenant
+  /// behaviour.
+  tenancy::SessionManager* tenants = nullptr;
 };
 
 struct ServerStats {
@@ -63,6 +73,9 @@ class CricketServer {
 
   [[nodiscard]] cuda::GpuNode& node() noexcept { return *node_; }
   [[nodiscard]] KernelScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] tenancy::SessionManager* tenants() noexcept {
+    return options_.tenants;
+  }
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ServerOptions& options() const noexcept {
     return options_;

@@ -27,6 +27,10 @@ enum class Error : std::int32_t {
   kInvalidDevice = 101,
   kFileNotFound = 301,
   kInvalidKernelImage = 200,
+  /// Cricket extension: the call was rejected at server admission because
+  /// the tenant is over quota (AcceptStat::kQuotaExceeded on the wire).
+  /// Unlike kRpcFailure the connection is healthy; retry after backoff.
+  kQuotaExceeded = 998,
   kRpcFailure = 999,
 };
 

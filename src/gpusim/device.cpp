@@ -24,7 +24,10 @@ DeviceCounters::DeviceCounters(const std::string& instance)
           {{"device", instance}, {"dir", "d2d"}})),
       modules_loaded(obs::Registry::global().counter(
           "cricket_gpu_modules_loaded_total", {{"device", instance}},
-          "Fatbin/cubin modules loaded")) {}
+          "Fatbin/cubin modules loaded")),
+      busy_ns(obs::Registry::global().counter(
+          "cricket_gpu_busy_ns_total", {{"device", instance}},
+          "Virtual ns spent executing kernels and moving bytes")) {}
 
 }  // namespace detail
 
@@ -72,6 +75,7 @@ void Device::memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src) {
   std::copy(src.begin(), src.end(), span.begin());
   clock_->advance(copy_time(src.size()));
   counters_.bytes_h2d.inc(src.size());
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(copy_time(src.size())));
 }
 
 void Device::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
@@ -81,6 +85,7 @@ void Device::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
   std::copy(span.begin(), span.end(), dst.begin());
   clock_->advance(copy_time(dst.size()));
   counters_.bytes_d2h.inc(dst.size());
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(copy_time(dst.size())));
 }
 
 void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
@@ -91,10 +96,12 @@ void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
   const auto d = memory_.resolve(dst, len);
   std::copy(s.begin(), s.end(), d.begin());
   // On-device copy moves at memory bandwidth (read + write).
-  clock_->advance(static_cast<sim::Nanos>(
+  const auto d2d_ns = static_cast<sim::Nanos>(
       2.0 * static_cast<double>(len) / (props_.mem_bandwidth_gbps * 1e9) *
-      1e9));
+      1e9);
+  clock_->advance(d2d_ns);
   counters_.bytes_d2d.inc(len);
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(d2d_ns));
 }
 
 void Device::memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
@@ -103,6 +110,7 @@ void Device::memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
   const auto span = memory_.resolve(dst, src.size());
   std::copy(src.begin(), src.end(), span.begin());
   counters_.bytes_h2d.inc(src.size());
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(copy_time(src.size())));
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + copy_time(src.size());
@@ -114,6 +122,7 @@ void Device::memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
   const auto span = memory_.resolve(src, dst.size());
   std::copy(span.begin(), span.end(), dst.begin());
   counters_.bytes_d2h.inc(dst.size());
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(copy_time(dst.size())));
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + copy_time(dst.size());
@@ -237,6 +246,7 @@ sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
   clock_->advance(props_.launch_latency_ns);
   const sim::Nanos exec = exec_time(ctx);
   counters_.kernels_launched.inc();
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(exec));
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + exec;
@@ -259,6 +269,7 @@ void Device::charge_internal_kernel(StreamId stream, double flops,
                            static_cast<sim::Nanos>(std::max(t_flops, t_mem) *
                                                    1e9));
   counters_.kernels_launched.inc(launches);
+  counters_.busy_ns.inc(static_cast<std::uint64_t>(exec));
   sim::MutexLock lock(mu_);
   auto& finish = stream_finish(stream);
   finish = std::max(finish, clock_->now()) + exec;

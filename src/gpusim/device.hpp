@@ -41,6 +41,9 @@ struct DeviceStats {
   std::uint64_t bytes_d2h = 0;
   std::uint64_t bytes_d2d = 0;
   std::uint64_t modules_loaded = 0;
+  /// Virtual ns the device spent executing kernels and moving bytes —
+  /// the per-device utilization figure multi-tenant sharding balances.
+  std::uint64_t busy_ns = 0;
 };
 
 namespace detail {
@@ -57,6 +60,7 @@ struct DeviceCounters {
   obs::Counter& bytes_d2h;
   obs::Counter& bytes_d2d;
   obs::Counter& modules_loaded;
+  obs::Counter& busy_ns;
 
   [[nodiscard]] DeviceStats snapshot() const noexcept {
     DeviceStats s;
@@ -65,6 +69,7 @@ struct DeviceCounters {
     s.bytes_d2h = bytes_d2h.value();
     s.bytes_d2d = bytes_d2d.value();
     s.modules_loaded = modules_loaded.value();
+    s.busy_ns = busy_ns.value();
     return s;
   }
 };
@@ -187,6 +192,10 @@ class Device {
       CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] const DeviceProps& props() const noexcept { return props_; }
+  /// Modelled PCIe transfer time for `bytes` (latency + bandwidth term) —
+  /// public so the Cricket server can attribute large-copy device time to
+  /// tenants without duplicating the cost model.
+  [[nodiscard]] sim::Nanos copy_time(std::uint64_t bytes) const noexcept;
   /// Returns a snapshot copy assembled from the atomic obs counters —
   /// lock-free, so readers never contend with in-flight launches.
   [[nodiscard]] DeviceStats stats() const noexcept {
@@ -225,7 +234,6 @@ class Device {
     const fatbin::KernelDescriptor* desc;  // points into Module::image
   };
 
-  [[nodiscard]] sim::Nanos copy_time(std::uint64_t bytes) const noexcept;
   [[nodiscard]] sim::Nanos exec_time(const LaunchContext& ctx) const noexcept;
   std::int64_t& stream_finish(StreamId stream) CRICKET_REQUIRES(mu_);
 

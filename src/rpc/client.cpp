@@ -73,6 +73,10 @@ std::vector<std::uint8_t> RpcClient::interpret_reply(const ReplyMsg& reply) {
                      "server could not decode arguments");
     case AcceptStat::kSystemErr:
       throw RpcError(RpcError::Kind::kSystemErr, "server system error");
+    case AcceptStat::kQuotaExceeded:
+      throw RpcError(RpcError::Kind::kQuotaExceeded,
+                     std::string("tenant quota exceeded: ") +
+                         quota_reason_name(reply.quota_reason));
   }
   throw RpcError(RpcError::Kind::kBadReply, "invalid accept_stat");
 }

@@ -34,6 +34,10 @@ class RpcError : public std::runtime_error {
     kBadReply,
     /// Per-call deadline/attempt budget exhausted (faultnet retry layer).
     kDeadlineExceeded,
+    /// Cricket extension: rejected at admission because the caller's tenant
+    /// is over quota (see AcceptStat::kQuotaExceeded). Retryable after
+    /// backoff — the connection is still healthy.
+    kQuotaExceeded,
   };
 
   RpcError(Kind kind, std::string what)

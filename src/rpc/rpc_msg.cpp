@@ -5,6 +5,17 @@ namespace cricket::rpc {
 using xdr::Decoder;
 using xdr::Encoder;
 
+const char* quota_reason_name(QuotaReason reason) noexcept {
+  switch (reason) {
+    case QuotaReason::kUnspecified: return "unspecified";
+    case QuotaReason::kRateLimited: return "rate_limited";
+    case QuotaReason::kOutstandingCalls: return "outstanding_calls";
+    case QuotaReason::kDeviceMemory: return "device_memory";
+    case QuotaReason::kSessionLimit: return "session_limit";
+  }
+  return "unknown";
+}
+
 void xdr_encode(Encoder& enc, const OpaqueAuth& auth) {
   enc.put_enum(auth.flavor);
   enc.put_opaque(auth.body);
@@ -78,6 +89,9 @@ std::vector<std::uint8_t> encode_reply(const ReplyMsg& reply) {
         enc.put_u32(mi.high);
         break;
       }
+      case AcceptStat::kQuotaExceeded:
+        enc.put_u32(static_cast<std::uint32_t>(reply.quota_reason));
+        break;
       default:
         break;  // void
     }
@@ -119,6 +133,19 @@ CallHeader peek_call_header(std::span<const std::uint8_t> record) {
   }
   h.body_offset = dec.position();
   return h;
+}
+
+OpaqueAuth peek_call_credential(std::span<const std::uint8_t> record) {
+  Decoder dec(record);
+  (void)dec.get_u32();  // xid
+  const auto mtype = dec.get_enum<MsgType>();
+  if (mtype != MsgType::kCall) throw RpcFormatError("expected CALL message");
+  const std::uint32_t rpcvers = dec.get_u32();
+  if (rpcvers != kRpcVersion) throw RpcFormatError("unsupported RPC version");
+  for (int i = 0; i < 3; ++i) (void)dec.get_u32();  // prog, vers, proc
+  OpaqueAuth cred;
+  xdr_decode(dec, cred);
+  return cred;
 }
 
 CallMsg decode_call(std::span<const std::uint8_t> record) {
@@ -169,6 +196,14 @@ ReplyMsg decode_reply(std::span<const std::uint8_t> record) {
       case AcceptStat::kSystemErr:
         dec.expect_exhausted();
         break;
+      case AcceptStat::kQuotaExceeded: {
+        const std::uint32_t reason = dec.get_u32();
+        if (reason > static_cast<std::uint32_t>(QuotaReason::kSessionLimit))
+          throw RpcFormatError("invalid quota_reason");
+        reply.quota_reason = static_cast<QuotaReason>(reason);
+        dec.expect_exhausted();
+        break;
+      }
       default:
         // An out-of-range accept_stat must not be returned looking like a
         // structured reply whose untouched fields happen to read kSuccess.

@@ -23,7 +23,23 @@ enum class AcceptStat : std::int32_t {
   kProcUnavail = 3,
   kGarbageArgs = 4,
   kSystemErr = 5,
+  /// Cricket extension: the call was well-formed but the tenant it belongs
+  /// to is over quota. Carries a QuotaReason word where results would go.
+  /// Admission control answers with this status *before* argument decode,
+  /// so the connection survives and the client can retry after backoff.
+  kQuotaExceeded = 6,
 };
+
+/// Reason word carried by a kQuotaExceeded reply.
+enum class QuotaReason : std::uint32_t {
+  kUnspecified = 0,
+  kRateLimited = 1,       // bytes/sec token bucket empty
+  kOutstandingCalls = 2,  // too many decoded-but-unreplied calls
+  kDeviceMemory = 3,      // device-memory byte quota exhausted
+  kSessionLimit = 4,      // too many concurrent sessions
+};
+
+[[nodiscard]] const char* quota_reason_name(QuotaReason reason) noexcept;
 enum class RejectStat : std::int32_t { kRpcMismatch = 0, kAuthError = 1 };
 enum class AuthStat : std::int32_t {
   kOk = 0,
@@ -82,6 +98,7 @@ struct ReplyMsg {
   OpaqueAuth verf;
   AcceptStat accept_stat = AcceptStat::kSuccess;
   std::optional<MismatchInfo> mismatch;  // prog/rpc mismatch bounds
+  QuotaReason quota_reason = QuotaReason::kUnspecified;  // with kQuotaExceeded
   std::vector<std::uint8_t> results;     // XDR-encoded results on success
   // denied:
   RejectStat reject_stat = RejectStat::kRpcMismatch;
@@ -113,6 +130,12 @@ struct CallHeader {
 /// XdrError/RpcFormatError in exactly the cases decode_call would reject
 /// the header, so a record that passes the peek still decodes.
 [[nodiscard]] CallHeader peek_call_header(std::span<const std::uint8_t> record);
+
+/// Parses only the credential of a call record (one ≤400-byte copy, no args
+/// materialisation). Admission control authenticates from this before the
+/// argument decode is allowed to run. Throws like peek_call_header.
+[[nodiscard]] OpaqueAuth peek_call_credential(
+    std::span<const std::uint8_t> record);
 
 /// Thrown when a record is not a structurally valid RPC message.
 class RpcFormatError : public std::runtime_error {

@@ -42,6 +42,16 @@ std::optional<ReplyMsg> ServiceRegistry::preflight(
   return reply;
 }
 
+std::optional<ReplyMsg> ServiceRegistry::admit(
+    std::span<const std::uint8_t> record) const {
+  if (!admission_) return std::nullopt;
+  return admission_->admit(record);
+}
+
+void ServiceRegistry::admission_complete() const {
+  if (admission_) admission_->complete();
+}
+
 void ServiceRegistry::enable_duplicate_cache(DrcOptions options) {
   drc_ = std::make_unique<DrcState>();
   drc_->options = options;
@@ -231,11 +241,27 @@ class PipelinedConnection {
         reply_cv_.notify_one();
         continue;
       }
+      if (auto rejected = registry_->admit(record)) {
+        // Tenant over quota (or unauthenticated): answer the typed
+        // rejection without decoding, through the normal writer path.
+        sim::MutexLock lock(mu_);
+        while (in_flight_ >= options_.max_in_flight && !write_failed_)
+          slots_cv_.wait(mu_);
+        if (write_failed_) return;
+        ++in_flight_;
+        ready_.push_back(encode_reply(*rejected));
+        lock.unlock();
+        reply_cv_.notify_one();
+        continue;
+      }
       CallMsg call;
       try {
         call = decode_call(record);
       } catch (const std::exception&) {
-        continue;  // not parseable as a call: drop it
+        // Not parseable as a call: drop it, but release the admission slot
+        // the record was granted above.
+        registry_->admission_complete();
+        continue;
       }
       sim::MutexLock lock(mu_);
       while (in_flight_ >= options_.max_in_flight && !write_failed_)
@@ -267,6 +293,7 @@ class PipelinedConnection {
                        call.args.size());
         record = encode_reply(registry_->dispatch(call));
       }
+      registry_->admission_complete();
       lock.lock();
       ready_.push_back(std::move(record));
       lock.unlock();
@@ -357,6 +384,16 @@ void serve_serial(const ServiceRegistry& registry, Transport& transport,
       }
       continue;
     }
+    if (auto rejected = registry.admit(record)) {
+      // Tenant over quota (or unauthenticated): answer the typed rejection
+      // without decoding; the connection stays up.
+      try {
+        writer.write_record(encode_reply(*rejected));
+      } catch (const TransportError&) {
+        return;
+      }
+      continue;
+    }
     ReplyMsg reply;
     try {
       const CallMsg call = decode_call(record);
@@ -365,9 +402,11 @@ void serve_serial(const ServiceRegistry& registry, Transport& transport,
       reply = registry.dispatch(call);
     } catch (const std::exception&) {
       // Not parseable as a call: drop it (a real server also cannot reply
-      // without an xid it trusts).
+      // without an xid it trusts), releasing its admission slot.
+      registry.admission_complete();
       continue;
     }
+    registry.admission_complete();
     try {
       const obs::ScopedXid trace_xid(reply.xid);
       obs::Span span(obs::Layer::kServerReply);

@@ -56,6 +56,24 @@ struct DrcStats {
   std::uint64_t evictions = 0;
 };
 
+/// Pre-decode admission control seam (multi-tenant servers). The controller
+/// sees every structurally valid record after the wire-size pre-flight and
+/// before any argument decode or dispatch work; returning a reply
+/// short-circuits the call (quota rejection, auth denial) through the
+/// normal reply path, so the connection always survives a rejection.
+/// complete() fires exactly once per admitted record once its reply has
+/// been produced (or the record proved undecodable), releasing
+/// outstanding-call accounting. Implementations must be thread-safe:
+/// admit() runs on the connection's reader thread while complete() runs on
+/// a pipelined worker.
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+  [[nodiscard]] virtual std::optional<ReplyMsg> admit(
+      std::span<const std::uint8_t> record) = 0;
+  virtual void complete() = 0;
+};
+
 /// Maps (program, version, procedure) to handlers; computes RFC 5531 error
 /// statuses for unknown programs/versions/procedures. Thread-safe after
 /// registration completes (registration itself is not concurrent with
@@ -127,6 +145,19 @@ class ServiceRegistry {
   }
   [[nodiscard]] DrcStats drc_stats() const;
 
+  /// Installs a pre-decode admission controller (non-owning; must outlive
+  /// serving). Like register_proc, must be set before dispatch starts —
+  /// typically on a per-connection registry so the controller can hold
+  /// per-session state.
+  void set_admission(AdmissionController* admission) noexcept {
+    admission_ = admission;
+  }
+  /// Admission hooks consulted by the serve loops between pre-flight and
+  /// decode. No controller installed = everything admitted.
+  [[nodiscard]] std::optional<ReplyMsg> admit(
+      std::span<const std::uint8_t> record) const;
+  void admission_complete() const;
+
   /// Executes one parsed call, producing the reply (never throws for
   /// call-level errors; they become reply statuses). Consults the
   /// duplicate-request cache when enabled.
@@ -170,6 +201,7 @@ class ServiceRegistry {
   std::map<Key, ProcHandler> handlers_;
   std::map<Key, ProcWireBounds> bounds_;
   std::unique_ptr<DrcState> drc_;
+  AdmissionController* admission_ = nullptr;
 };
 
 /// Per-connection concurrency options. The default reproduces the paper's

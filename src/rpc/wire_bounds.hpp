@@ -51,10 +51,12 @@ inline constexpr std::uint64_t kCallHeaderMin = 24 + 8 + 8;
 inline constexpr std::uint64_t kCallHeaderMax = 24 + 408 + 408;
 
 /// RFC 5531 reply header envelope: xid + msg_type + reply_stat (12 bytes)
-/// plus, for accepted replies, verifier (8..408) + accept_stat (4); denied
-/// replies are smaller than the accepted maximum.
+/// plus, for accepted replies, verifier (8..408) + accept_stat (4) + the
+/// largest status-specific body (prog-mismatch bounds: 8 bytes; the Cricket
+/// quota-exceeded reason word: 4 bytes); denied replies are smaller than
+/// the accepted maximum.
 inline constexpr std::uint64_t kReplyHeaderMin = 12 + 8 + 4;
-inline constexpr std::uint64_t kReplyHeaderMax = 12 + 408 + 4;
+inline constexpr std::uint64_t kReplyHeaderMax = 12 + 408 + 4 + 8;
 
 /// Looks up the bounds entry for (prog, vers, proc). Linear scan: tables
 /// are generated in procedure order and small (tens of entries), and the

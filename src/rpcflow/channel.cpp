@@ -58,6 +58,11 @@ std::exception_ptr reply_error(const rpc::ReplyMsg& reply) {
     case rpc::AcceptStat::kSystemErr:
       return std::make_exception_ptr(
           RpcError(RpcError::Kind::kSystemErr, "server system error"));
+    case rpc::AcceptStat::kQuotaExceeded:
+      return std::make_exception_ptr(RpcError(
+          RpcError::Kind::kQuotaExceeded,
+          std::string("tenant quota exceeded: ") +
+              rpc::quota_reason_name(reply.quota_reason)));
   }
   return std::make_exception_ptr(
       RpcError(RpcError::Kind::kBadReply, "invalid accept_stat"));

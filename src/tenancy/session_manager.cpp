@@ -1,0 +1,230 @@
+#include "tenancy/session_manager.hpp"
+
+#include <algorithm>
+
+namespace cricket::tenancy {
+
+namespace {
+
+/// FNV-1a over the tenant id: the consistent shard hash. Deliberately
+/// independent of registration order so adding tenants never migrates
+/// existing ones between devices.
+std::uint64_t shard_hash(TenantId tenant) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(tenant >> (8 * i));
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(sim::SimClock& clock,
+                               SessionManagerOptions options)
+    : clock_(&clock), options_(std::move(options)) {
+  if (options_.device_count == 0) options_.device_count = 1;
+  for (std::uint32_t r = 0; r < kRejectReasonCount; ++r) {
+    rejected_[r] = &obs::Registry::global().counter(
+        "cricket_tenant_admission_rejected_total",
+        {{"reason", reject_reason_name(static_cast<RejectReason>(r))}},
+        "Calls/sessions rejected at tenant admission, by reason");
+  }
+}
+
+TenantId SessionManager::register_tenant(const TenantSpec& spec) {
+  sim::MutexLock lock(mu_);
+  const auto named = by_name_.find(spec.name);
+  if (named != by_name_.end()) {
+    Tenant& t = tenants_.at(named->second);
+    t.spec = spec;
+    t.bucket = TokenBucket(spec.quota.bytes_per_sec, spec.quota.burst_bytes);
+    return named->second;
+  }
+  const TenantId id = next_id_++;
+  Tenant t;
+  t.spec = spec;
+  t.bucket = TokenBucket(spec.quota.bytes_per_sec, spec.quota.burst_bytes);
+  t.device_ns_total = &obs::Registry::global().counter(
+      "cricket_tenant_device_ns_total", {{"tenant", spec.name}},
+      "Device time attributed to the tenant (virtual ns)");
+  t.launch_latency = &obs::Registry::global().histogram(
+      "cricket_tenant_launch_latency_ns", {{"tenant", spec.name}},
+      "Per-tenant kernel launch latency: admission wait + execution "
+      "(virtual ns)");
+  tenants_.emplace(id, std::move(t));
+  by_name_.emplace(spec.name, id);
+  return id;
+}
+
+std::optional<TenantId> SessionManager::authenticate(
+    const rpc::OpaqueAuth& cred) const {
+  std::string name;
+  if (cred.flavor == rpc::AuthFlavor::kSys) {
+    try {
+      name = rpc::AuthSysParms::from_opaque(cred).machinename;
+    } catch (const rpc::RpcFormatError&) {
+      name.clear();  // malformed AUTH_SYS body: treat as anonymous
+    } catch (const xdr::XdrError&) {
+      name.clear();
+    }
+  }
+  sim::MutexLock lock(mu_);
+  if (!name.empty()) {
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+  }
+  if (!options_.default_tenant.empty()) {
+    const auto it = by_name_.find(options_.default_tenant);
+    if (it != by_name_.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t SessionManager::shard_device(TenantId tenant) const noexcept {
+  return static_cast<std::uint32_t>(shard_hash(tenant) %
+                                    options_.device_count);
+}
+
+SessionManager::Tenant* SessionManager::find_locked(TenantId tenant) {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+const SessionManager::Tenant* SessionManager::find_locked(
+    TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+void SessionManager::count_rejection_locked(Tenant* t, RejectReason reason) {
+  rejected_[static_cast<std::uint32_t>(reason)]->inc();
+  if (t != nullptr) {
+    ++t->stats.calls_rejected;
+    ++t->stats.rejected_by_reason[static_cast<std::uint32_t>(reason)];
+  }
+}
+
+Admission SessionManager::open_session(TenantId tenant, std::uint64_t) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) {
+    count_rejection_locked(nullptr, RejectReason::kUnknownTenant);
+    return Admission::reject(RejectReason::kUnknownTenant);
+  }
+  if (t->stats.open_sessions >= t->spec.quota.max_sessions) {
+    count_rejection_locked(t, RejectReason::kSessionLimit);
+    return Admission::reject(RejectReason::kSessionLimit);
+  }
+  ++t->stats.open_sessions;
+  ++t->stats.sessions_opened;
+  return Admission::ok();
+}
+
+void SessionManager::close_session(TenantId tenant, std::uint64_t) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr || t->stats.open_sessions == 0) return;
+  --t->stats.open_sessions;
+  ++t->stats.sessions_closed;
+}
+
+Admission SessionManager::admit_call(TenantId tenant,
+                                     std::uint64_t wire_bytes) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) {
+    count_rejection_locked(nullptr, RejectReason::kUnknownTenant);
+    return Admission::reject(RejectReason::kUnknownTenant);
+  }
+  if (t->stats.outstanding_calls >= t->spec.quota.max_outstanding_calls) {
+    count_rejection_locked(t, RejectReason::kOutstandingCalls);
+    return Admission::reject(RejectReason::kOutstandingCalls);
+  }
+  if (!t->bucket.try_take(wire_bytes, clock_->now())) {
+    count_rejection_locked(t, RejectReason::kRateLimited);
+    return Admission::reject(RejectReason::kRateLimited);
+  }
+  ++t->stats.outstanding_calls;
+  ++t->stats.calls_admitted;
+  return Admission::ok();
+}
+
+void SessionManager::complete_call(TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t != nullptr && t->stats.outstanding_calls > 0)
+    --t->stats.outstanding_calls;
+}
+
+bool SessionManager::try_charge_memory(TenantId tenant, std::uint64_t bytes) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return false;
+  if (t->stats.mem_used_bytes + bytes > t->spec.quota.device_mem_bytes) {
+    count_rejection_locked(t, RejectReason::kDeviceMemory);
+    return false;
+  }
+  t->stats.mem_used_bytes += bytes;
+  t->stats.mem_peak_bytes =
+      std::max(t->stats.mem_peak_bytes, t->stats.mem_used_bytes);
+  return true;
+}
+
+void SessionManager::release_memory(TenantId tenant, std::uint64_t bytes) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return;
+  t->stats.mem_used_bytes -= std::min(t->stats.mem_used_bytes, bytes);
+}
+
+bool SessionManager::memory_exhausted(TenantId tenant) const {
+  sim::MutexLock lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  return t != nullptr &&
+         t->stats.mem_used_bytes >= t->spec.quota.device_mem_bytes;
+}
+
+void SessionManager::note_device_time(TenantId tenant, sim::Nanos ns) {
+  if (ns <= 0) return;
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return;
+  t->stats.device_ns += static_cast<std::uint64_t>(ns);
+  t->device_ns_total->inc(static_cast<std::uint64_t>(ns));
+}
+
+void SessionManager::observe_launch_latency(TenantId tenant, sim::Nanos ns) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return;
+  t->launch_latency->observe(
+      static_cast<std::uint64_t>(std::max<sim::Nanos>(ns, 0)));
+}
+
+void SessionManager::count_rejection(TenantId tenant, RejectReason reason) {
+  sim::MutexLock lock(mu_);
+  count_rejection_locked(find_locked(tenant), reason);
+}
+
+std::optional<TenantSpec> SessionManager::spec(TenantId tenant) const {
+  sim::MutexLock lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  if (t == nullptr) return std::nullopt;
+  return t->spec;
+}
+
+std::optional<TenantId> SessionManager::find(const std::string& name) const {
+  sim::MutexLock lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+TenantStats SessionManager::stats(TenantId tenant) const {
+  sim::MutexLock lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  return t == nullptr ? TenantStats{} : t->stats;
+}
+
+}  // namespace cricket::tenancy

@@ -1,0 +1,90 @@
+// Multi-tenant vocabulary: identities, quotas, per-tenant accounting.
+//
+// The paper's closing argument (§5) is that unikernels deploy in large
+// numbers, so one Cricket server must share its GPUs across many guests.
+// A tenant is the unit of isolation: one customer/VM-image identity that
+// may open several sessions (connections), owns a quota envelope enforced
+// at admission, and competes for device time under the two-level fair-share
+// scheduler (src/cricket/scheduler.hpp) with a configurable weight and
+// priority.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cricket::tenancy {
+
+/// Opaque tenant identity, assigned at registration. 0 is never a valid
+/// tenant.
+using TenantId = std::uint64_t;
+inline constexpr TenantId kInvalidTenant = 0;
+
+/// Why admission refused a call. The quota reasons mirror
+/// rpc::QuotaReason one-to-one; kUnknownTenant precedes quota checks and
+/// maps to an RFC 5531 auth denial instead of the quota status.
+enum class RejectReason : std::uint32_t {
+  kUnknownTenant = 0,
+  kRateLimited = 1,
+  kOutstandingCalls = 2,
+  kDeviceMemory = 3,
+  kSessionLimit = 4,
+};
+inline constexpr std::uint32_t kRejectReasonCount = 5;
+
+[[nodiscard]] constexpr const char* reject_reason_name(
+    RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kUnknownTenant: return "unknown_tenant";
+    case RejectReason::kRateLimited: return "rate_limited";
+    case RejectReason::kOutstandingCalls: return "outstanding_calls";
+    case RejectReason::kDeviceMemory: return "device_memory";
+    case RejectReason::kSessionLimit: return "session_limit";
+  }
+  return "unknown";
+}
+
+/// Per-tenant quota envelope, enforced at admission (before argument
+/// decode) and at allocation time. Zero means "unlimited" for the rate
+/// limit only; the other limits are hard caps.
+struct TenantQuota {
+  /// Total device memory the tenant's live allocations may hold.
+  std::uint64_t device_mem_bytes = 4ull << 30;
+  /// Decoded-but-unreplied calls across all of the tenant's sessions.
+  std::uint32_t max_outstanding_calls = 64;
+  /// Ingress wire bytes per *virtual* second (token bucket); 0 = unlimited.
+  std::uint64_t bytes_per_sec = 0;
+  /// Token-bucket burst capacity.
+  std::uint64_t burst_bytes = 1ull << 20;
+  /// Concurrent sessions (connections).
+  std::uint32_t max_sessions = 16;
+};
+
+/// Registration-time description of a tenant.
+struct TenantSpec {
+  /// AUTH_SYS machinename the tenant's clients present as credential.
+  std::string name;
+  /// Fair-share weight: device time is apportioned proportionally to
+  /// weight among contending tenants of the same priority.
+  std::uint32_t weight = 1;
+  /// Priority class: a tenant never waits for lower-priority tenants.
+  std::uint32_t priority = 0;
+  TenantQuota quota;
+};
+
+/// Point-in-time accounting snapshot for one tenant.
+struct TenantStats {
+  std::uint64_t calls_admitted = 0;
+  std::uint64_t calls_rejected = 0;
+  std::uint64_t rejected_by_reason[kRejectReasonCount] = {};
+  /// Device time attributed to the tenant (kernel execution + modelled
+  /// large-transfer time), virtual ns.
+  std::uint64_t device_ns = 0;
+  std::uint64_t mem_used_bytes = 0;
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint32_t open_sessions = 0;
+  std::uint32_t outstanding_calls = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+};
+
+}  // namespace cricket::tenancy

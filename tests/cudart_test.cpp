@@ -33,6 +33,18 @@ TEST(Errors, NamesAndStrings) {
   EXPECT_STREQ(error_name(Error::kRpcFailure), "cricketErrorRpcFailure");
 }
 
+// Regression: the admission-rejected status is a distinct code with its own
+// name/string — it must never collapse into kRpcFailure (the connection is
+// healthy and the call is retryable after backoff).
+TEST(Errors, QuotaExceededIsDistinctFromRpcFailure) {
+  EXPECT_NE(Error::kQuotaExceeded, Error::kRpcFailure);
+  EXPECT_EQ(static_cast<std::int32_t>(Error::kQuotaExceeded), 998);
+  EXPECT_STREQ(error_name(Error::kQuotaExceeded),
+               "cricketErrorQuotaExceeded");
+  EXPECT_STREQ(error_string(Error::kQuotaExceeded),
+               "tenant quota exceeded");
+}
+
 TEST(Errors, CheckThrowsWithContext) {
   EXPECT_NO_THROW(check(Error::kSuccess));
   try {

@@ -421,6 +421,59 @@ TEST(RpcMsg, ReplyDeniedAuthError) {
   EXPECT_EQ(out.auth_stat, AuthStat::kTooWeak);
 }
 
+TEST(RpcMsg, ReplyQuotaExceededCarriesReason) {
+  ReplyMsg reply;
+  reply.xid = 8;
+  reply.accept_stat = AcceptStat::kQuotaExceeded;
+  reply.quota_reason = QuotaReason::kRateLimited;
+  const ReplyMsg out = decode_reply(encode_reply(reply));
+  EXPECT_EQ(out.stat, ReplyStat::kAccepted);
+  EXPECT_EQ(out.accept_stat, AcceptStat::kQuotaExceeded);
+  EXPECT_EQ(out.quota_reason, QuotaReason::kRateLimited);
+  EXPECT_TRUE(out.results.empty());
+}
+
+TEST(RpcMsg, ReplyQuotaExceededInvalidReasonThrows) {
+  ReplyMsg reply;
+  reply.xid = 8;
+  reply.accept_stat = AcceptStat::kQuotaExceeded;
+  reply.quota_reason = QuotaReason::kSessionLimit;
+  auto wire = encode_reply(reply);
+  // The reason word is the 4-byte body after the 24-byte accepted header.
+  wire.back() = 9;  // past kSessionLimit
+  EXPECT_THROW((void)decode_reply(wire), RpcFormatError);
+}
+
+TEST(RpcMsg, QuotaReasonNames) {
+  EXPECT_STREQ(quota_reason_name(QuotaReason::kUnspecified), "unspecified");
+  EXPECT_STREQ(quota_reason_name(QuotaReason::kRateLimited), "rate_limited");
+  EXPECT_STREQ(quota_reason_name(QuotaReason::kOutstandingCalls),
+               "outstanding_calls");
+  EXPECT_STREQ(quota_reason_name(QuotaReason::kDeviceMemory),
+               "device_memory");
+  EXPECT_STREQ(quota_reason_name(QuotaReason::kSessionLimit),
+               "session_limit");
+}
+
+TEST(RpcMsg, PeekCallCredentialMatchesFullDecode) {
+  CallMsg call;
+  call.xid = 0x1234;
+  call.cred = AuthSysParms{
+      .stamp = 7, .machinename = "tenant-a", .uid = 3, .gid = 4, .gids = {}}
+                  .to_opaque();
+  call.args = {1, 2, 3, 4};
+  const auto wire = encode_call(call);
+  const OpaqueAuth cred = peek_call_credential(wire);
+  EXPECT_EQ(cred.flavor, AuthFlavor::kSys);
+  EXPECT_EQ(cred.body, call.cred.body);
+  EXPECT_EQ(AuthSysParms::from_opaque(cred).machinename, "tenant-a");
+  // Same structural strictness as peek_call_header.
+  ReplyMsg reply;
+  reply.xid = 1;
+  EXPECT_THROW((void)peek_call_credential(encode_reply(reply)),
+               RpcFormatError);
+}
+
 TEST(RpcMsg, DecodeCallRejectsReply) {
   ReplyMsg reply;
   reply.xid = 1;

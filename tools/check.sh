@@ -18,6 +18,10 @@
 #  10. fault-smoke   seeded fault-injection matrix (`ctest -L fault`) against
 #                    the TSan build — loss recovery races are exactly where
 #                    retry/reconnect/DRC state is touched from many threads
+#  11. tenancy       multi-tenant admission + two-level fair share
+#                    (`ctest -L tenancy`) against the TSan build
+#  12. bench-json    committed BENCH_tenants.json parses and still honours
+#                    its fairness/throughput gates (validate_bench_json.py)
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -206,6 +210,34 @@ if should_continue; then
       -j "$JOBS" -L fault
   else
     record fault-smoke "SKIP (build-tsan missing — run tsan stage first)"
+  fi
+fi
+
+# --------------------------------------------------------------- 11: tenancy
+# Multi-tenant admission + two-level fair share under ThreadSanitizer:
+# admission runs on connection reader threads while quota accounting,
+# scheduler catch-up blocking, and session teardown touch shared state —
+# the label selects the tenancy suites on the TSan tree.
+if should_continue; then
+  if [[ -d build-tsan ]]; then
+    run_stage tenancy ctest --test-dir build-tsan --output-on-failure \
+      -j "$JOBS" -L tenancy
+  else
+    record tenancy "SKIP (build-tsan missing — run tsan stage first)"
+  fi
+fi
+
+# ------------------------------------------------------------ 12: bench-json
+# The committed perf trajectory must stay parseable and keep honouring its
+# fairness/throughput gates (tools/validate_bench_json.py, stdlib-only).
+if should_continue; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    record bench-json "SKIP (python3 not installed)"
+  elif [[ ! -f BENCH_tenants.json ]]; then
+    record bench-json "SKIP (BENCH_tenants.json missing — run bench_tenants first)"
+  else
+    run_stage bench-json python3 tools/validate_bench_json.py \
+      BENCH_tenants.json
   fi
 fi
 

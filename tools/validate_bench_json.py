@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates the committed bench_tenants JSON trajectory (BENCH_tenants.json).
+
+Stdlib-only; used by tools/check.sh stage 12 (bench-json) and by hand:
+
+    build/bench/bench_tenants --json=BENCH_tenants.json
+    python3 tools/validate_bench_json.py BENCH_tenants.json
+
+Checks, in order:
+  1. schema     — top level {"bench": "tenants", "window_ms", "admission",
+                  "sweep", "gates_ok"}; every sweep point carries the
+                  fairness/throughput keys for both policies.
+  2. admission  — over-quota calls were rejected, zero argument decodes
+                  happened while rejecting (rejection precedes decode), and
+                  the connection recovered after the token bucket refilled.
+  3. gates      — the bench's own acceptance verdict is true, and the
+                  16-tenant point honours the ISSUE thresholds: non-hog
+                  device time within 10% of fair share and fair-share
+                  aggregate throughput >= 0.85x the FIFO baseline.
+
+Exit code 0 iff every check passes.
+"""
+import json
+import sys
+
+POLICY_KEYS = (
+    "elapsed_ns",
+    "total_device_ns",
+    "utilization",
+    "total_ops",
+    "nonhog_mean_device_ns",
+    "nonhog_min_device_ns",
+    "nonhog_max_device_ns",
+    "max_share_error",
+    "hog_device_ns",
+    "hog_rejected",
+)
+
+
+def fail(msg):
+    print(f"validate_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_schema(doc):
+    if doc.get("bench") != "tenants":
+        fail(f'bench is {doc.get("bench")!r}, expected "tenants"')
+    for key in ("window_ms", "admission", "sweep", "gates_ok"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    if not isinstance(doc["sweep"], list) or not doc["sweep"]:
+        fail("sweep is empty")
+    for point in doc["sweep"]:
+        for key in ("tenants", "fair", "fifo", "throughput_ratio",
+                    "fairness_ok"):
+            if key not in point:
+                fail(f"sweep point missing key {key!r}")
+        for policy in ("fair", "fifo"):
+            for key in POLICY_KEYS:
+                if key not in point[policy]:
+                    fail(f"sweep[tenants={point['tenants']}].{policy} "
+                         f"missing key {key!r}")
+
+
+def check_admission(adm):
+    if adm.get("rejected", 0) <= 0:
+        fail("admission section recorded no rejected calls")
+    if adm.get("decodes_during_rejection", 1) != 0:
+        fail(f"{adm['decodes_during_rejection']} argument decodes happened "
+             "while rejecting (rejection must precede decode)")
+    if not adm.get("recovered_after_refill"):
+        fail("connection did not recover after the token bucket refilled")
+
+
+def check_gates(doc):
+    if not doc["gates_ok"]:
+        fail("the bench's own gates_ok verdict is false")
+    sixteen = [p for p in doc["sweep"] if p["tenants"] == 16]
+    if not sixteen:
+        fail("sweep has no 16-tenant point")
+    point = sixteen[0]
+    fair = point["fair"]
+    if fair["max_share_error"] > 0.10:
+        fail(f"16-tenant non-hog share error {fair['max_share_error']:.3f} "
+             "exceeds 10%")
+    if point["throughput_ratio"] < 0.85:
+        fail(f"16-tenant throughput ratio {point['throughput_ratio']:.3f} "
+             "below 0.85x the FIFO baseline")
+    if fair["hog_rejected"] <= 0:
+        fail("16-tenant hog saw no admission rejections")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_tenants.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {path}: {err}")
+    check_schema(doc)
+    check_admission(doc["admission"])
+    check_gates(doc)
+    points = ", ".join(str(p["tenants"]) for p in doc["sweep"])
+    print(f"validate_bench_json: OK ({path}: sweep points {points}, "
+          f"admission rejected={doc['admission']['rejected']})")
+
+
+if __name__ == "__main__":
+    main()
