@@ -1,0 +1,848 @@
+#include "mcheck/explorer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/annotations.hpp"
+
+namespace cricket::mcheck {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed, fully deterministic — permutes DFS choice
+/// order so different seeds visit schedules in different orders (useful when
+/// max_schedules truncates the space).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string site_string(const std::source_location& loc) {
+  const char* file = loc.file_name();
+  for (const char* p = file; *p != '\0'; ++p)
+    if (*p == '/') file = p + 1;
+  return std::string(file) + ":" + std::to_string(loc.line());
+}
+
+/// What a parked thread is about to do. kUnlock/kNotify/kSpawn parks happen
+/// *after* their side effect (those ops cannot block, so the state change is
+/// visible to the scheduler before the next decision); kAcquire/kTryLock/
+/// kCvBlock take effect when granted.
+enum class OpKind : std::uint8_t {
+  kStart,    // thread exists, has not run yet (always schedulable)
+  kAcquire,  // Mutex::lock — schedulable iff the mutex is model-free
+  kTryLock,  // Mutex::try_lock — always schedulable (failure is a result)
+  kUnlock,   // yield point after a Mutex::unlock already took effect
+  kCvBlock,  // CondVar wait — schedulable iff holding a wakeup token (or the
+             // wait is timed: granting it tokenless is the timeout branch)
+  kNotify,   // yield point after a notify already deposited tokens
+  kSync,     // sim::sync_point — plain preemption point
+  kSpawn,    // yield point after registering a child thread
+  kJoin,     // join_children — schedulable iff all other threads finished
+  kDone,     // thread function returned (terminal, never scheduled)
+};
+
+/// Thrown into a controlled thread to unwind it when the current schedule is
+/// being drained after a failure. Only ever thrown from places where the
+/// model lock state makes unwinding sound: before model ownership is claimed
+/// (kAcquire resume / lock would-block under force-abort) or while the
+/// caller demonstrably holds its mutex (condvar spin-limit). Never thrown
+/// when another exception is in flight.
+struct AbortSchedule {};
+
+/// Thrown by model_assert to unwind the failing thread to thread_main.
+struct ModelFailure {};
+
+struct ExplorerImpl;
+
+/// Per-controlled-thread state. Fields are written either by the owning
+/// thread or by the scheduler, always under ExplorerImpl::hm_.
+struct Ctl {
+  int tid = 0;
+  std::thread thread;
+  std::function<void()> fn;
+
+  OpKind op = OpKind::kStart;
+  std::uint64_t obj = 0;   // normalized id of the op's sync object
+  std::string op_desc;     // "lock batcher.hpp:87 @ test.cpp:42"
+  bool timed_wait = false; // kCvBlock came from wait_until/wait_for
+  bool woke_by_timeout = false;  // grant-time verdict for a timed kCvBlock
+  bool try_verdict = false;      // grant-time verdict for kTryLock
+  bool has_token = false;        // a notify targeted this condvar waiter
+  bool in_unwind = false;        // parked with an exception in flight
+  bool force_abort = false;      // drain: resume by throwing, not running
+  int drain_spurious = 0;  // consecutive tokenless cv grants while draining
+
+  bool runnable = false;  // the scheduler granted this thread the turn
+  bool parked = false;    // the thread is blocked in announce_and_park
+};
+
+/// Signature of one thread's pending op — recorded per decision node so
+/// re-executions can verify the body is deterministic and sleep sets can
+/// test (in)dependence.
+struct OpSig {
+  OpKind op = OpKind::kStart;
+  std::uint64_t obj = 0;
+  bool operator==(const OpSig&) const = default;
+};
+
+/// One decision point in the schedule tree. Persistent across executions —
+/// the vector of these is the DFS stack, not per-run state.
+struct Node {
+  std::map<int, OpSig> ops;     // tid -> pending op at this state
+  std::vector<int> candidates;  // schedulable tids, seed-permuted order
+  /// Godefroid sleep set, inherited from the parent at creation: a sleeping
+  /// transition was fully explored in an earlier sibling subtree and has
+  /// stayed independent of every transition executed since, so re-running
+  /// it from here reaches only already-covered states. Identified by
+  /// (tid, op signature): if the tid's pending op differs it is a different
+  /// transition and is not asleep.
+  std::vector<std::pair<int, OpSig>> sleep;
+  std::set<int> tried;  // branches already fully explored from this node
+  int chosen = -1;      // branch taken on the current execution
+  /// Every candidate was asleep: this state is fully covered elsewhere; the
+  /// in-flight execution still has to finish, but no branching happens here.
+  bool redundant = false;
+
+  [[nodiscard]] bool asleep(int tid) const {
+    const auto it = ops.find(tid);
+    for (const auto& [stid, sig] : sleep)
+      if (stid == tid && it != ops.end() && sig == it->second) return true;
+    return false;
+  }
+};
+
+thread_local ExplorerImpl* t_impl = nullptr;
+thread_local Ctl* t_self = nullptr;
+
+constexpr int kCvSpinLimit = 4;
+
+struct ExplorerImpl final : sim::SyncObserver {
+  ExploreOptions opt;
+  std::function<void()> body;
+
+  // Handshake between the scheduler (the thread that called explore()) and
+  // the controlled threads: one mutex + one condvar, every state change
+  // notifies all, every waiter re-checks its own predicate.
+  std::mutex hm_;
+  std::condition_variable hcv_;
+
+  // ---- per-run state (reset by run_one_schedule)
+  std::vector<std::unique_ptr<Ctl>> threads_;     // [0] runs the body
+  std::map<const void*, std::uint64_t> obj_ids_;  // address -> stable id
+  std::uint64_t next_obj_id_ = 1;
+  std::map<std::uint64_t, int> mutex_owner_;      // model-view lock owners
+  std::map<std::uint64_t, std::vector<int>> cv_waiters_;  // arrival order
+  bool draining_ = false;
+  bool failed_ = false;
+  bool deadlock_ = false;
+  std::string failure_;
+  std::string fatal_;  // contract violation: drain, join, then throw
+  std::vector<int> run_trace_;
+
+  // ---- persistent exploration state
+  std::vector<std::unique_ptr<Node>> path_;  // DFS decision stack
+  std::uint64_t schedules_ = 0;
+  std::uint64_t steps_ = 0;
+  std::vector<int> replay_;
+
+  // ------------------------------------------------------------- utilities
+
+  /// Normalizes a heap address to an id assigned by first-appearance order,
+  /// which is identical across re-executions that share a schedule prefix
+  /// (heap addresses are not).
+  std::uint64_t obj_id(const void* p) {
+    const auto [it, inserted] = obj_ids_.emplace(p, next_obj_id_);
+    if (inserted) ++next_obj_id_;
+    return it->second;
+  }
+
+  /// Sleep-set dependence: ops commute unless they target the same sync
+  /// object. sync_point tags with different addresses are independent by
+  /// the model contract (distinct tags touch disjoint state).
+  static bool dependent(const OpSig& a, const OpSig& b) {
+    return a.obj != 0 && a.obj == b.obj;
+  }
+
+  bool children_done_locked() const {
+    for (const auto& c : threads_)
+      if (c->tid != 0 && c->op != OpKind::kDone) return false;
+    return true;
+  }
+
+  bool enabled_locked(const Ctl& c) const {
+    switch (c.op) {
+      case OpKind::kAcquire:
+        // Includes the self-relock case (owner == c.tid): a second lock of
+        // a held std::mutex can never succeed, so the thread is permanently
+        // unschedulable and shows up as a modelled (self-)deadlock.
+        return mutex_owner_.count(c.obj) == 0;
+      case OpKind::kCvBlock:
+        return c.has_token || c.timed_wait || draining_;
+      case OpKind::kJoin: {
+        for (const auto& other : threads_)
+          if (other->tid != c.tid && other->op != OpKind::kDone) return false;
+        return true;
+      }
+      case OpKind::kDone:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  // --------------------------------------------------------- park protocol
+
+  /// Parks the calling controlled thread with `op` pending and blocks until
+  /// the scheduler grants it the turn. Force-abort grants resume by
+  /// throwing AbortSchedule — only for kAcquire, only before model ownership
+  /// is claimed, only with no exception in flight (all checked here).
+  void announce_and_park(Ctl& self, OpKind op, std::uint64_t obj,
+                         std::string desc, bool timed = false) {
+    std::unique_lock<std::mutex> lk(hm_);
+    self.op = op;
+    self.obj = obj;
+    self.op_desc = std::move(desc);
+    self.timed_wait = timed;
+    self.in_unwind = std::uncaught_exceptions() > 0;
+    self.parked = true;
+    hcv_.notify_all();
+    hcv_.wait(lk, [&] { return self.runnable; });
+    self.runnable = false;  // consume the grant
+    self.parked = false;
+    if (self.force_abort) {
+      self.force_abort = false;
+      lk.unlock();
+      if (op == OpKind::kAcquire && std::uncaught_exceptions() == 0)
+        throw AbortSchedule{};
+      // Cannot throw safely: fall through and run. For kAcquire this means
+      // claiming model ownership even though the model says the lock is
+      // held — acceptable only because force-abort happens during drain,
+      // after the run has already failed, where the model state no longer
+      // feeds any verdict; it just lets the unwinding thread finish.
+    }
+  }
+
+  // ------------------------------------------------------- observer hooks
+  // Every hook passes through untouched unless the calling thread is one of
+  // this run's controlled threads.
+
+  void lock_pending(sim::Mutex& mu, const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return;
+    const std::uint64_t id = obj_id(&mu);
+    announce_and_park(*self, OpKind::kAcquire, id,
+                      "lock " + site_string(mu.birth()) + " @ " +
+                          site_string(loc));
+    // Granted: the mutex is model-free. Claim model ownership before the
+    // next scheduling point; lock_acquire() then reports the lock as taken
+    // without touching the native mutex (see that hook for why).
+    std::lock_guard<std::mutex> lk(hm_);
+    mutex_owner_[id] = self->tid;
+  }
+
+  // Controlled threads hold locks in the model only. They are serialized
+  // through hm_ (at most one runnable at a time), so skipping the native
+  // mutex is sound — and necessary: intentionally inverted model bodies
+  // (the deadlock mutants) would otherwise write genuinely inverted native
+  // lock history that TSan's lock-order detector reports as a finding of
+  // its own, failing the very tests that prove the explorer finds it first.
+  bool lock_acquire(sim::Mutex&, const std::source_location&) override {
+    return t_self != nullptr;
+  }
+  bool unlock_release(sim::Mutex&, const std::source_location&) override {
+    return t_self != nullptr;
+  }
+
+  void unlocked(sim::Mutex& mu, const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return;
+    const std::uint64_t id = obj_id(&mu);
+    {
+      std::lock_guard<std::mutex> lk(hm_);
+      mutex_owner_.erase(id);
+    }
+    announce_and_park(*self, OpKind::kUnlock, id,
+                      "unlock " + site_string(mu.birth()) + " @ " +
+                          site_string(loc));
+  }
+
+  int try_lock_pending(sim::Mutex& mu,
+                       const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return kPassThrough;
+    const std::uint64_t id = obj_id(&mu);
+    announce_and_park(*self, OpKind::kTryLock, id,
+                      "try_lock " + site_string(mu.birth()) + " @ " +
+                          site_string(loc));
+    std::lock_guard<std::mutex> lk(hm_);
+    if (self->try_verdict) {
+      mutex_owner_[id] = self->tid;
+      return kSucceed;  // model-only ownership, native mutex untouched
+    }
+    return kRefuse;
+  }
+
+  void cv_notify(sim::CondVar& cv, bool all,
+                 const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return;
+    const std::uint64_t id = obj_id(&cv);
+    {
+      // Effect at announce: deposit wakeup tokens. notify_one tokens the
+      // longest-waiting tokenless waiter (FIFO — the fairness real condvar
+      // implementations approximate); notify_all tokens everyone. A notify
+      // with no registered waiters deposits nothing and is *lost*, which is
+      // exactly the lost-wakeup bug class the explorer exists to surface.
+      std::lock_guard<std::mutex> lk(hm_);
+      for (int tid : cv_waiters_[id]) {
+        Ctl& w = *threads_[static_cast<std::size_t>(tid)];
+        if (!w.has_token) {
+          w.has_token = true;
+          if (!all) break;
+        }
+      }
+    }
+    announce_and_park(*self, OpKind::kNotify, id,
+                      std::string(all ? "notify_all " : "notify_one ") +
+                          site_string(cv.birth()) + " @ " + site_string(loc));
+  }
+
+  bool cv_wait(sim::CondVar& cv, sim::Mutex& mu,
+               const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return false;
+    do_cv_wait(*self, cv, mu, loc, /*timed=*/false);
+    return true;
+  }
+
+  std::optional<std::cv_status> cv_wait_timed(
+      sim::CondVar& cv, sim::Mutex& mu,
+      const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return std::nullopt;
+    const bool timeout = do_cv_wait(*self, cv, mu, loc, /*timed=*/true);
+    return timeout ? std::cv_status::timeout : std::cv_status::no_timeout;
+  }
+
+  /// The full modelled wait. Returns true iff a timed wait timed out.
+  bool do_cv_wait(Ctl& self, sim::CondVar& cv, sim::Mutex& mu,
+                  const std::source_location& loc, bool timed) {
+    const std::uint64_t id = obj_id(&cv);
+    {
+      // Register as a waiter BEFORE releasing the mutex: a notify running
+      // between our unlock and our park must still see us. Losing that
+      // atomicity would fabricate lost-wakeups that real condvars exclude.
+      std::lock_guard<std::mutex> lk(hm_);
+      cv_waiters_[id].push_back(self.tid);
+      self.has_token = false;
+      self.woke_by_timeout = false;
+    }
+    observer_unlock(mu, loc);  // fires unlocked(): model release + park
+    announce_and_park(self, OpKind::kCvBlock, id,
+                      "cv_wait " + site_string(cv.birth()) + " @ " +
+                          site_string(loc),
+                      timed);
+    bool timeout = false;
+    bool spin_abort = false;
+    {
+      std::lock_guard<std::mutex> lk(hm_);
+      auto& waiters = cv_waiters_[id];
+      for (auto it = waiters.begin(); it != waiters.end(); ++it)
+        if (*it == self.tid) {
+          waiters.erase(it);
+          break;
+        }
+      timeout = self.woke_by_timeout;
+      if (draining_ && !self.has_token && !timed) {
+        // Tokenless untimed grant = drain-time spurious wakeup. A predicate
+        // loop no surviving thread will ever satisfy would spin through
+        // here forever; after a few laps, unwind this thread instead. Only
+        // when the unwind is sound: no exception in flight, and (for the
+        // body, which owns the shared state) no children still alive.
+        spin_abort = ++self.drain_spurious > kCvSpinLimit &&
+                     (self.tid != 0 || children_done_locked());
+      } else {
+        self.drain_spurious = 0;
+      }
+      self.has_token = false;
+    }
+    observer_lock(mu, loc);  // re-acquire: kAcquire park, model-only claim
+    if (spin_abort && std::uncaught_exceptions() == 0)
+      throw AbortSchedule{};  // mutex held: unwinding releases it cleanly
+    return timeout;
+  }
+
+  void sync_point(const void* tag, const std::source_location& loc) override {
+    Ctl* self = t_self;
+    if (self == nullptr) return;
+    announce_and_park(*self, OpKind::kSync, tag != nullptr ? obj_id(tag) : 0,
+                      "sync_point @ " + site_string(loc));
+  }
+
+  // ------------------------------------------------------------ thread API
+
+  void spawn_thread(std::function<void()> fn) {
+    Ctl* self = t_self;
+    Ctl* child = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(hm_);
+      if (static_cast<int>(threads_.size()) >= opt.max_threads)
+        throw std::logic_error("mcheck: max_threads exceeded");
+      threads_.push_back(std::make_unique<Ctl>());
+      child = threads_.back().get();
+      child->tid = static_cast<int>(threads_.size()) - 1;
+      child->fn = std::move(fn);
+      child->parked = true;  // logically parked at kStart until granted
+    }
+    child->thread = std::thread([this, child] { thread_main(*child); });
+    announce_and_park(*self, OpKind::kSpawn, 0, "spawn");
+  }
+
+  void join_children_op() {
+    announce_and_park(*t_self, OpKind::kJoin, 0, "join_children");
+    // Granted only once every other thread is kDone (enabled_locked), so on
+    // return the body may safely destroy state the children referenced.
+  }
+
+  void fail(std::string what) {
+    {
+      std::lock_guard<std::mutex> lk(hm_);
+      if (!failed_) {
+        failed_ = true;
+        failure_ = std::move(what);
+      }
+    }
+    throw ModelFailure{};  // unwind to thread_main; hooks keep parking
+  }
+
+  /// Entry point of every controlled thread (tid 0 runs the body).
+  void thread_main(Ctl& self) {
+    t_impl = this;
+    t_self = &self;
+    announce_and_park(self, OpKind::kStart, 0,
+                      self.tid == 0 ? "body start" : "thread start");
+    try {
+      if (self.tid == 0)
+        body();
+      else
+        self.fn();
+    } catch (const ModelFailure&) {
+      // recorded by fail()
+    } catch (const AbortSchedule&) {
+      // schedule drained
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lk(hm_);
+      if (!failed_) {
+        failed_ = true;
+        failure_ =
+            std::string("uncaught exception in model thread: ") + e.what();
+      }
+    }
+    t_self = nullptr;
+    t_impl = nullptr;
+    std::lock_guard<std::mutex> lk(hm_);
+    self.op = OpKind::kDone;
+    self.parked = true;
+    self.runnable = false;
+    hcv_.notify_all();
+  }
+
+  // -------------------------------------------------------------- scheduler
+
+  /// Wakes `tid` with the turn (materializing grant-time verdicts) and
+  /// blocks until it parks again. Caller holds lk.
+  void grant(std::unique_lock<std::mutex>& lk, int tid, bool force = false) {
+    Ctl& c = *threads_[static_cast<std::size_t>(tid)];
+    if (c.op == OpKind::kTryLock) c.try_verdict = mutex_owner_.count(c.obj) == 0;
+    if (c.op == OpKind::kCvBlock) c.woke_by_timeout = !c.has_token;
+    c.force_abort = force;
+    c.runnable = true;
+    hcv_.notify_all();
+    hcv_.wait(lk, [&] {
+      if (c.runnable) return false;  // grant not yet consumed
+      for (const auto& t : threads_)
+        if (!t->parked) return false;
+      return true;
+    });
+  }
+
+  /// Drain policy after a failure: keep scheduling cooperatively so every
+  /// thread unwinds (or finishes) under full control — children before the
+  /// body, so the body never destroys state live children still reference.
+  /// Returns the tid to grant and whether to force-abort it.
+  std::pair<int, bool> pick_drain_locked() {
+    // 1. An enabled child (highest tid first: latest spawned, least depended
+    //    upon). Skip children spinning in a hopeless cv loop — granting
+    //    them again makes no progress; force-abort handles them below once
+    //    nothing else can run.
+    for (auto it = threads_.rbegin(); it != threads_.rend(); ++it) {
+      Ctl& c = **it;
+      if (c.tid == 0 || c.op == OpKind::kDone || !enabled_locked(c)) continue;
+      if (c.op == OpKind::kCvBlock && !c.has_token && !c.timed_wait &&
+          c.drain_spurious > kCvSpinLimit)
+        continue;
+      return {c.tid, false};
+    }
+    // 2. The body, unless it is itself stuck in a hopeless cv spin while
+    //    children are still alive (its spin-abort is gated on the children
+    //    being done, so re-granting it would loop forever).
+    Ctl& root = *threads_[0];
+    if (root.op != OpKind::kDone && enabled_locked(root)) {
+      const bool hopeless_spin = root.op == OpKind::kCvBlock &&
+                                 !root.has_token && !root.timed_wait &&
+                                 root.drain_spurious > kCvSpinLimit &&
+                                 !children_done_locked();
+      if (!hopeless_spin) return {0, false};
+    }
+    // 3. Force-abort: a thread wedged at kAcquire (lock held by another
+    //    wedged thread, or a self-relock). It resumes by throwing before
+    //    claiming model ownership. Prefer children; require no exception
+    //    in flight (a throw would be swallowed and the thread would fall
+    //    through into a bogus claim mid-unwind). Also retry cv-spinners:
+    //    granted once more they recheck the spin limit and unwind.
+    for (auto it = threads_.rbegin(); it != threads_.rend(); ++it) {
+      Ctl& c = **it;
+      if (c.op == OpKind::kAcquire && !c.in_unwind) return {c.tid, true};
+    }
+    for (auto it = threads_.rbegin(); it != threads_.rend(); ++it) {
+      Ctl& c = **it;
+      if (c.op == OpKind::kCvBlock && enabled_locked(c)) return {c.tid, false};
+    }
+    return {-1, false};
+  }
+
+  /// Runs one complete schedule (execution). Returns true when another
+  /// execution should follow (a new DFS branch remains), false when the
+  /// bounded space is exhausted or exploration must stop.
+  bool run_one_schedule(ExploreResult& result) {
+    // Fresh per-run state.
+    threads_.clear();
+    obj_ids_.clear();
+    next_obj_id_ = 1;
+    mutex_owner_.clear();
+    cv_waiters_.clear();
+    draining_ = false;
+    failed_ = false;
+    deadlock_ = false;
+    failure_.clear();
+    fatal_.clear();
+    run_trace_.clear();
+
+    threads_.push_back(std::make_unique<Ctl>());
+    Ctl* root = threads_[0].get();
+    root->parked = true;
+    root->thread = std::thread([this, root] { thread_main(*root); });
+
+    std::size_t depth = 0;
+    int prev_running = -1;
+    int preemptions = 0;
+    std::uint64_t drain_steps = 0;
+
+    {
+      std::unique_lock<std::mutex> lk(hm_);
+      for (;;) {
+        hcv_.wait(lk, [&] {
+          for (const auto& c : threads_)
+            if (!c->parked) return false;
+          return true;
+        });
+
+        if (failed_ && !draining_) draining_ = true;
+
+        bool all_done = true;
+        for (const auto& c : threads_)
+          if (c->op != OpKind::kDone) all_done = false;
+        if (all_done) break;
+
+        if (draining_) {
+          // A drain that cannot finish means threads are wedged beyond
+          // recovery: they cannot be joined, so the throw below will hit
+          // std::terminate via ~std::thread. Print the diagnosis first —
+          // otherwise the terminate masks it entirely.
+          const auto [tid, force] = pick_drain_locked();
+          if (++drain_steps > opt.max_steps + 10000 || tid < 0) {
+            std::string why = tid < 0 ? "mcheck: no drainable thread"
+                                      : "mcheck: drain did not converge";
+            why += " (model contract violation);";
+            for (const auto& c : threads_)
+              if (c->op != OpKind::kDone)
+                why += " [t" + std::to_string(c->tid) + " at " + c->op_desc +
+                       "]";
+            std::fprintf(stderr, "%s\n", why.c_str());
+            throw std::logic_error(why);
+          }
+          grant(lk, tid, force);
+          continue;
+        }
+
+        // ---- snapshot the state for this decision point
+        std::map<int, OpSig> ops;
+        std::vector<int> enabled;
+        for (const auto& c : threads_) {
+          ops[c->tid] = {c->op, c->obj};
+          if (c->op != OpKind::kDone && enabled_locked(*c))
+            enabled.push_back(c->tid);
+        }
+        if (enabled.empty()) {
+          std::ostringstream why;
+          why << "deadlock: no schedulable thread;";
+          for (const auto& c : threads_)
+            if (c->op != OpKind::kDone)
+              why << " [t" << c->tid << " blocked at " << c->op_desc << "]";
+          failed_ = true;
+          deadlock_ = true;
+          failure_ = why.str();
+          draining_ = true;
+          continue;
+        }
+
+        ++steps_;
+        if (run_trace_.size() >= opt.max_steps) {
+          failed_ = true;
+          failure_ = "max_steps exceeded (livelock or runaway model)";
+          draining_ = true;
+          continue;
+        }
+
+        // ---- pick the next thread: replay > revisit > new node
+        int pick = -1;
+        if (!replay_.empty()) {
+          if (depth < replay_.size()) {
+            pick = replay_[depth];
+            if (std::find(enabled.begin(), enabled.end(), pick) ==
+                enabled.end()) {
+              // Drain first so the controlled threads can be joined; the
+              // error is thrown after teardown instead of through it.
+              fatal_ = "mcheck replay diverged: thread " +
+                       std::to_string(pick) + " not schedulable at step " +
+                       std::to_string(depth);
+              failed_ = true;
+              draining_ = true;
+              continue;
+            }
+          } else {
+            // Prefix consumed on a non-failing replay: finish the run
+            // deterministically.
+            pick = enabled.front();
+          }
+        } else if (depth < path_.size()) {
+          // Revisiting the shared prefix of a previous execution: verify
+          // determinism, then retake the recorded branch (the deepest node
+          // holds the newly chosen branch for this execution).
+          Node& node = *path_[depth];
+          if (node.ops != ops) {
+            // The usual culprit: first-execution-only work such as a
+            // function-local static initializing under a lock. Drain so the
+            // threads can be joined, then throw from the scheduler's frame.
+            std::string diff;
+            for (const auto& [tid, sig] : ops) {
+              const auto prev = node.ops.find(tid);
+              if (prev == node.ops.end() || !(prev->second == sig))
+                diff += " t" + std::to_string(tid);
+            }
+            fatal_ =
+                "mcheck: nondeterministic model body (pending ops differ "
+                "between executions at step " +
+                std::to_string(depth) + "; divergent:" + diff +
+                " — pre-warm function-local statics before explore())";
+            failed_ = true;
+            draining_ = true;
+            continue;
+          }
+          pick = node.chosen;
+        } else {
+          auto node = std::make_unique<Node>();
+          node->ops = ops;
+          if (depth > 0) {
+            // Inherit the sleep set: parent's sleepers plus its
+            // already-explored siblings, minus anything dependent on the
+            // transition that got us here (a dependent execution wakes a
+            // sleeper — the commutativity argument no longer applies).
+            const Node& parent = *path_[depth - 1];
+            const OpSig& taken = parent.ops.at(parent.chosen);
+            for (const auto& entry : parent.sleep)
+              if (!dependent(entry.second, taken)) node->sleep.push_back(entry);
+            for (const int done : parent.tried) {
+              const OpSig& sig = parent.ops.at(done);
+              if (!dependent(sig, taken)) node->sleep.emplace_back(done, sig);
+            }
+          }
+          const bool bound_hit = opt.preemption_bound >= 0 &&
+                                 preemptions >= opt.preemption_bound;
+          const bool prev_enabled =
+              prev_running >= 0 &&
+              std::find(enabled.begin(), enabled.end(), prev_running) !=
+                  enabled.end();
+          if (bound_hit && prev_enabled) {
+            // Out of preemption budget: the only choice is to keep running
+            // the current thread (voluntary switches remain free).
+            node->candidates = {prev_running};
+          } else {
+            node->candidates = enabled;
+            // Deterministic Fisher-Yates keyed by (seed, depth)...
+            std::uint64_t h = mix64(opt.seed ^ (depth * 0x9e3779b9ULL));
+            for (std::size_t i = node->candidates.size(); i > 1; --i) {
+              h = mix64(h);
+              std::swap(node->candidates[i - 1], node->candidates[h % i]);
+            }
+            // ...but explore the preemption-free continuation first so the
+            // cheapest schedules come before bound-consuming ones.
+            if (prev_enabled) {
+              auto at = std::find(node->candidates.begin(),
+                                  node->candidates.end(), prev_running);
+              std::rotate(node->candidates.begin(), at, at + 1);
+            }
+          }
+          node->chosen = -1;
+          for (const int cand : node->candidates) {
+            if (node->asleep(cand)) continue;
+            node->chosen = cand;
+            break;
+          }
+          if (node->chosen < 0) {
+            // Every candidate is asleep: this state was fully covered in an
+            // earlier sibling subtree. The in-flight execution still has to
+            // run to completion; do so without branching here.
+            node->redundant = true;
+            node->chosen = node->candidates.front();
+          }
+          path_.push_back(std::move(node));
+          pick = path_.back()->chosen;
+        }
+
+        if (prev_running >= 0 && pick != prev_running &&
+            std::find(enabled.begin(), enabled.end(), prev_running) !=
+                enabled.end())
+          ++preemptions;  // involuntary switch: prev could have continued
+
+        run_trace_.push_back(pick);
+        ++depth;
+        prev_running = pick;
+        grant(lk, pick);
+      }
+    }
+
+    for (auto& c : threads_)
+      if (c->thread.joinable()) c->thread.join();
+
+    if (!fatal_.empty()) throw std::logic_error(fatal_);
+
+    ++schedules_;
+    result.schedules = schedules_;
+    result.steps = steps_;
+    {
+      std::ostringstream tr;
+      for (std::size_t i = 0; i < run_trace_.size(); ++i) {
+        if (i != 0) tr << ".";
+        tr << run_trace_[i];
+      }
+      result.trace = tr.str();
+    }
+    if (failed_) {
+      result.failed = true;
+      result.deadlock = deadlock_;
+      result.failure = failure_;
+      return false;
+    }
+    if (!replay_.empty()) return false;  // replay runs exactly once
+
+    // ---- backtrack: advance the deepest node with an unexplored branch.
+    while (!path_.empty()) {
+      Node& node = *path_.back();
+      if (!node.redundant) {
+        node.tried.insert(node.chosen);
+        int next = -1;
+        for (int cand : node.candidates) {
+          if (node.tried.count(cand) != 0 || node.asleep(cand)) continue;
+          next = cand;
+          break;
+        }
+        if (next != -1) {
+          node.chosen = next;
+          return true;  // re-execute down the new branch
+        }
+      }
+      path_.pop_back();
+    }
+    return false;  // schedule tree exhausted
+  }
+};
+
+ExplorerImpl* g_active = nullptr;
+
+}  // namespace
+
+ExploreResult explore(const ExploreOptions& options,
+                      const std::function<void()>& body) {
+  if (g_active != nullptr || t_self != nullptr)
+    throw std::logic_error("mcheck::explore does not nest");
+
+  ExplorerImpl impl;
+  impl.opt = options;
+  impl.body = body;
+  if (!options.replay.empty()) {
+    std::istringstream in(options.replay);
+    std::string tok;
+    while (std::getline(in, tok, '.'))
+      if (!tok.empty()) impl.replay_.push_back(std::stoi(tok));
+  }
+
+  sim::SyncObserver* previous = sim::set_sync_observer(&impl);
+  g_active = &impl;
+
+  ExploreResult result;
+  try {
+    for (;;) {
+      const bool more = impl.run_one_schedule(result);
+      if (result.failed || !more) {
+        result.exhausted = !result.failed && impl.replay_.empty();
+        break;
+      }
+      if (impl.schedules_ >= options.max_schedules) break;
+    }
+  } catch (...) {
+    g_active = nullptr;
+    sim::set_sync_observer(previous);
+    throw;
+  }
+  g_active = nullptr;
+  sim::set_sync_observer(previous);
+  return result;
+}
+
+void spawn(std::function<void()> fn) {
+  if (t_impl == nullptr)
+    throw std::logic_error("mcheck::spawn outside a model body");
+  t_impl->spawn_thread(std::move(fn));
+}
+
+void join_children() {
+  if (t_impl == nullptr)
+    throw std::logic_error("mcheck::join_children outside a model body");
+  t_impl->join_children_op();
+}
+
+void model_assert(bool ok, const char* what) {
+  if (ok) return;
+  if (t_impl == nullptr)
+    throw std::logic_error(std::string("model_assert outside explore(): ") +
+                           what);
+  t_impl->fail(std::string("model_assert failed: ") + what);
+}
+
+bool under_exploration() noexcept { return t_self != nullptr; }
+
+}  // namespace cricket::mcheck

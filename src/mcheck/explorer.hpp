@@ -1,0 +1,95 @@
+// Deterministic interleaving explorer (loom/CHESS-style stateless DPOR).
+//
+// explore() runs a small *model test* — a body that spawns a handful of
+// controlled threads exercising one concurrent core — over and over,
+// systematically enumerating distinct thread interleavings. The body's
+// threads are real std::threads, but exactly one runs at a time: every
+// sim::Mutex / sim::CondVar operation (via the SyncObserver seam) and every
+// explicit sim::sync_point() is a *scheduling point* where the running
+// thread parks and the explorer picks who continues. Blocking semantics are
+// modelled, not executed: a thread whose next step is acquiring a held
+// mutex, or waiting on an un-notified condvar, is simply not schedulable,
+// so the explorer sees deadlocks as states with live-but-unschedulable
+// threads instead of hanging.
+//
+// Exploration is depth-first over the schedule tree with two standard
+// reductions: sleep sets (a just-explored choice is not re-interleaved
+// against independent operations — operations on different sync objects
+// commute) and a preemption bound (schedules with more than N involuntary
+// context switches are pruned; empirically almost all concurrency bugs
+// need <= 2). Everything is deterministic and replayable: the same seed
+// enumerates the same schedules in the same order, a failure report carries
+// the exact schedule string, and ExploreOptions::replay re-runs precisely
+// that interleaving under a debugger.
+//
+// Model-test contract (enforced where cheap, documented otherwise):
+//   * the body must be deterministic given the schedule — no wall-clock
+//     reads, no OS randomness, no I/O races;
+//   * all concurrency goes through mcheck::spawn (raw std::threads are
+//     invisible to the scheduler and break the one-runner invariant);
+//   * the body joins its threads (mcheck::join_children) before checking
+//     invariants and returning;
+//   * shared accesses not synchronized by sim primitives are marked with
+//     sim::sync_point(&object) — accesses with different tags must touch
+//     disjoint state (the tag is the dependency-tracking identity);
+//   * function-local statics reachable from threads are warmed up by one
+//     single-threaded call before spawning (their init guard is a real
+//     lock the scheduler cannot see).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cricket::mcheck {
+
+struct ExploreOptions {
+  /// Permutes DFS choice order deterministically; same seed => identical
+  /// schedule sequence and identical result.trace.
+  std::uint64_t seed = 1;
+  /// Stop after this many complete schedules even if the space is larger.
+  std::uint64_t max_schedules = 4096;
+  /// Maximum involuntary context switches per schedule (<0 = unbounded).
+  int preemption_bound = 2;
+  /// Scheduling decisions allowed in one schedule (runaway/livelock guard).
+  std::uint64_t max_steps = 100000;
+  /// Cap on controlled threads alive at once in one schedule.
+  int max_threads = 8;
+  /// Non-empty: skip exploration and run exactly this schedule (a
+  /// result.trace string, e.g. "0.1.1.0.2").
+  std::string replay;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules = 0;  ///< complete interleavings executed
+  std::uint64_t steps = 0;      ///< total scheduling decisions taken
+  bool exhausted = false;       ///< the (bounded) space was fully enumerated
+  bool failed = false;          ///< deadlock or model_assert failure found
+  bool deadlock = false;        ///< the failure was a deadlock
+  std::string failure;          ///< human-readable diagnosis
+  /// Schedule string of the failing run (or of the last run when clean):
+  /// thread ids in decision order, "."-joined. Feed to ExploreOptions::replay.
+  std::string trace;
+};
+
+/// Explores interleavings of `body`. The body runs on controlled thread 0;
+/// it may call spawn/join_children/model_assert. Throws std::logic_error on
+/// misuse (nested explore, replay divergence, nondeterministic body).
+ExploreResult explore(const ExploreOptions& options,
+                      const std::function<void()>& body);
+
+/// Spawns a controlled thread running `fn`. Only valid on a controlled
+/// thread (i.e. inside a model body).
+void spawn(std::function<void()> fn);
+
+/// Blocks (in model time) until every spawned thread has finished.
+void join_children();
+
+/// Model invariant: a false condition fails the current schedule and makes
+/// explore() report the interleaving that broke it.
+void model_assert(bool ok, const char* what);
+
+/// True while the calling thread is a controlled thread of a live explore().
+[[nodiscard]] bool under_exploration() noexcept;
+
+}  // namespace cricket::mcheck

@@ -1,0 +1,323 @@
+#include "mcheck/lock_graph.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace cricket::mcheck {
+
+namespace {
+
+/// "file.cpp:123" — basename keeps identities stable across build trees so
+/// per-process dumps from different working directories still merge.
+std::string site_string(const std::source_location& loc) {
+  const char* file = loc.file_name();
+  if (const char* slash = std::strrchr(file, '/')) file = slash + 1;
+  return std::string(file) + ":" + std::to_string(loc.line());
+}
+
+struct Held {
+  const sim::Mutex* instance;
+  int node;
+  std::source_location acquire_site;
+};
+
+// Per-thread stack of currently-held instrumented locks. TU-level (not a
+// member) because only one LockGraph acts as the observer at a time and
+// thread_local members do not exist in C++.
+thread_local std::vector<Held> t_held;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+LockGraph::~LockGraph() {
+  if (installed_) uninstall();
+}
+
+void LockGraph::install() {
+  if (installed_) return;
+  previous_ = sim::set_sync_observer(this);
+  installed_ = true;
+}
+
+void LockGraph::uninstall() {
+  if (!installed_) return;
+  sim::set_sync_observer(previous_);
+  previous_ = nullptr;
+  installed_ = false;
+}
+
+int LockGraph::intern_locked(const std::string& name) {
+  const auto [it, inserted] =
+      node_ids_.emplace(name, static_cast<int>(node_names_.size()));
+  if (inserted) node_names_.push_back(name);
+  return it->second;
+}
+
+void LockGraph::record_acquire(sim::Mutex& mu,
+                               const std::source_location& loc) {
+  const std::string cls = site_string(mu.birth());
+  std::lock_guard<std::mutex> guard(mu_);
+  const int node = intern_locked(cls);
+  for (const Held& held : t_held) {
+    if (held.node == node) continue;  // same-class nesting: not an ordering
+    EdgeData& edge = edges_[{held.node, node}];
+    if (edge.count == 0) {
+      edge.from_site = site_string(held.acquire_site);
+      edge.to_site = site_string(loc);
+    }
+    ++edge.count;
+  }
+  t_held.push_back({&mu, node, loc});
+}
+
+void LockGraph::record_release(sim::Mutex& mu) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance == &mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockGraph::lock_pending(sim::Mutex& mu, const std::source_location& loc) {
+  for (const Held& held : t_held) {
+    if (held.instance != &mu) continue;
+    const std::string site = site_string(loc);
+    std::fprintf(stderr,
+                 "[lockcheck] SELF-DEADLOCK: re-locking Mutex(%s) already "
+                 "held by this thread, at %s\n",
+                 site_string(mu.birth()).c_str(), site.c_str());
+    std::lock_guard<std::mutex> guard(mu_);
+    ++self_deadlocks_;
+    self_deadlock_sites_.push_back(site);
+    return;
+  }
+}
+
+void LockGraph::lock_acquired(sim::Mutex& mu,
+                              const std::source_location& loc) {
+  record_acquire(mu, loc);
+}
+
+void LockGraph::try_lock_result(sim::Mutex& mu, bool acquired,
+                                const std::source_location& loc) {
+  if (acquired) record_acquire(mu, loc);
+}
+
+void LockGraph::unlocked(sim::Mutex& mu, const std::source_location&) {
+  record_release(mu);
+}
+
+void LockGraph::cv_wait_begin(sim::CondVar&, sim::Mutex& mu,
+                              const std::source_location&) {
+  // The wait releases the mutex for its duration; anything acquired by
+  // other code on this thread meanwhile must not appear ordered under it.
+  record_release(mu);
+}
+
+void LockGraph::cv_wait_done(sim::CondVar&, sim::Mutex& mu,
+                             const std::source_location& loc) {
+  // Re-acquisition after the wait is an ordering event like any other
+  // acquire (waiting on a condvar while holding a second lock orders that
+  // lock before this one).
+  record_acquire(mu, loc);
+}
+
+std::vector<LockGraph::Edge> LockGraph::edges() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, data] : edges_) {
+    out.push_back({node_names_[static_cast<std::size_t>(key.first)],
+                   node_names_[static_cast<std::size_t>(key.second)],
+                   data.from_site, data.to_site, data.count});
+  }
+  return out;
+}
+
+std::vector<LockGraph::Cycle> LockGraph::cycles() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const int n = static_cast<int>(node_names_.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [key, data] : edges_)
+    adj[static_cast<std::size_t>(key.first)].push_back(key.second);
+
+  // Iterative Tarjan SCC.
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<int> scc_of(static_cast<std::size_t>(n), -1);
+  int next_index = 0;
+  int scc_count = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.child < adj[v].size()) {
+        const int w = adj[v][f.child++];
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          index[wi] = low[wi] = next_index++;
+          stack.push_back(w);
+          on_stack[wi] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[wi]) {
+          low[v] = std::min(low[v], index[wi]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          for (;;) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            scc_of[static_cast<std::size_t>(w)] = scc_count;
+            if (w == f.v) break;
+          }
+          ++scc_count;
+        }
+        const int finished = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const auto p = static_cast<std::size_t>(frames.back().v);
+          low[p] = std::min(low[p], low[static_cast<std::size_t>(finished)]);
+        }
+      }
+    }
+  }
+
+  // A cycle = an SCC with more than one member, or a node with a self-edge.
+  std::map<int, Cycle> by_scc;
+  std::vector<std::size_t> scc_size(static_cast<std::size_t>(scc_count), 0);
+  for (int v = 0; v < n; ++v)
+    ++scc_size[static_cast<std::size_t>(scc_of[static_cast<std::size_t>(v)])];
+  for (int v = 0; v < n; ++v) {
+    const int s = scc_of[static_cast<std::size_t>(v)];
+    const bool self_edge = edges_.count({v, v}) != 0;
+    if (scc_size[static_cast<std::size_t>(s)] > 1 || self_edge)
+      by_scc[s].nodes.push_back(node_names_[static_cast<std::size_t>(v)]);
+  }
+  for (const auto& [key, data] : edges_) {
+    if (scc_of[static_cast<std::size_t>(key.first)] !=
+        scc_of[static_cast<std::size_t>(key.second)])
+      continue;
+    const int s = scc_of[static_cast<std::size_t>(key.first)];
+    const auto it = by_scc.find(s);
+    if (it == by_scc.end()) continue;
+    it->second.edges.push_back(
+        {node_names_[static_cast<std::size_t>(key.first)],
+         node_names_[static_cast<std::size_t>(key.second)], data.from_site,
+         data.to_site, data.count});
+  }
+  std::vector<Cycle> out;
+  out.reserve(by_scc.size());
+  for (auto& [key, cycle] : by_scc) out.push_back(std::move(cycle));
+  return out;
+}
+
+std::uint64_t LockGraph::self_deadlocks() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return self_deadlocks_;
+}
+
+std::string LockGraph::report() const {
+  const std::vector<Cycle> found = cycles();
+  std::uint64_t selfs = 0;
+  std::vector<std::string> self_sites;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    selfs = self_deadlocks_;
+    self_sites = self_deadlock_sites_;
+  }
+  if (found.empty() && selfs == 0) return "";
+  std::ostringstream out;
+  out << "[lockcheck] " << found.size() << " lock-order cycle(s), " << selfs
+      << " self-deadlock(s)\n";
+  int i = 0;
+  for (const Cycle& cycle : found) {
+    out << "  cycle " << ++i << ":";
+    for (const std::string& node : cycle.nodes) out << " " << node;
+    out << "\n";
+    for (const Edge& edge : cycle.edges)
+      out << "    " << edge.from << " (held, acquired at " << edge.from_site
+          << ") -> " << edge.to << " (acquired at " << edge.to_site << ") x"
+          << edge.count << "\n";
+  }
+  for (const std::string& s : self_sites)
+    out << "  self-deadlock: re-lock attempt at " << s << "\n";
+  return out.str();
+}
+
+bool LockGraph::dump_json(const std::string& path) const {
+  const std::vector<Edge> all = edges();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"self_deadlocks\":" << self_deadlocks() << ",\"edges\":[";
+  bool first = true;
+  for (const Edge& e : all) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"from\":\"" << json_escape(e.from) << "\",\"to\":\""
+        << json_escape(e.to) << "\",\"from_site\":\""
+        << json_escape(e.from_site) << "\",\"to_site\":\""
+        << json_escape(e.to_site) << "\",\"count\":" << e.count << "}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+LockGraph* LockGraph::install_from_env() {
+  const char* flag = std::getenv("CRICKET_LOCKCHECK");
+  if (flag == nullptr || flag[0] != '1') return nullptr;
+  auto* graph = new LockGraph();  // leaked: observed ops outlive main()
+  graph->install();
+  return graph;
+}
+
+int LockGraph::finalize(std::ostream& err) const {
+  if (const char* dir = std::getenv("CRICKET_LOCKCHECK_DIR")) {
+    // PIDs recycle over a long suite run; probe for a free name so a reused
+    // pid never overwrites an earlier process's edges. No cross-process
+    // race: two live processes cannot share a pid.
+    const std::string base = std::string(dir) + "/lockgraph-" +
+                             std::to_string(::getpid());
+    std::string path = base + ".json";
+    for (int n = 1; std::ifstream(path).good(); ++n)
+      path = base + "-" + std::to_string(n) + ".json";
+    if (!dump_json(path))
+      err << "[lockcheck] failed to write " << path << "\n";
+  }
+  const std::string text = report();
+  if (text.empty()) return 0;
+  err << text;
+  return static_cast<int>(cycles().size()) + (self_deadlocks() > 0 ? 1 : 0);
+}
+
+}  // namespace cricket::mcheck

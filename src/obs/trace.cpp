@@ -96,6 +96,7 @@ class ThreadRing {
   void record(Layer layer, const char* name, std::int64_t start_ns,
               std::int64_t dur_ns, std::uint64_t arg, std::uint32_t xid,
               bool inst) noexcept {
+    sim::sync_point(this);  // mcheck: writer step, dependent on this ring
     const std::uint64_t n = head_.load(std::memory_order_relaxed);
     Slot& s = slots_[n & mask_];
     // Fence-free seqlock writer: the acq_rel RMW marks the slot odd and its
@@ -103,6 +104,7 @@ class ThreadRing {
     // them above the even transition. (GCC's TSan cannot instrument
     // atomic_thread_fence, so the fence formulation is off the table.)
     const std::uint32_t seq = s.seq.fetch_add(1, std::memory_order_acq_rel);
+    sim::sync_point(this);  // mcheck: mid-write window (slot marked odd)
     s.start_ns.store(start_ns, std::memory_order_relaxed);
     s.dur_ns.store(dur_ns, std::memory_order_relaxed);
     s.arg.store(arg, std::memory_order_relaxed);
@@ -126,6 +128,7 @@ class ThreadRing {
       for (int attempt = 0; attempt < 3; ++attempt) {
         const std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
         if (s1 & 1u) continue;
+        sim::sync_point(this);  // mcheck: reader inside the seqlock window
         // Acquire data loads pin the seq recheck below every one of them —
         // the reader-side half of the fence-free seqlock.
         TraceEvent ev;

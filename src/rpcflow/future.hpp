@@ -45,7 +45,8 @@ class ReplyPromise {
  public:
   ReplyPromise() : state_(std::make_shared<detail::ReplyState>()) {}
 
-  void set_value(std::vector<std::uint8_t> value) const {
+  void set_value(std::vector<std::uint8_t> value) const
+      CRICKET_EXCLUDES(state_->mu) {
     {
       sim::MutexLock lock(state_->mu);
       state_->value = std::move(value);
@@ -54,7 +55,8 @@ class ReplyPromise {
     state_->cv.notify_all();
   }
 
-  void set_error(std::exception_ptr error) const {
+  void set_error(std::exception_ptr error) const
+      CRICKET_EXCLUDES(state_->mu) {
     {
       sim::MutexLock lock(state_->mu);
       state_->error = std::move(error);
@@ -81,19 +83,19 @@ class ReplyFuture {
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
 
   /// Non-blocking readiness poll.
-  [[nodiscard]] bool ready() const {
+  [[nodiscard]] bool ready() const CRICKET_EXCLUDES(state_->mu) {
     sim::MutexLock lock(state_->mu);
     return state_->ready;
   }
 
-  void wait() const {
+  void wait() const CRICKET_EXCLUDES(state_->mu) {
     run_on_block_hook();
     sim::MutexLock lock(state_->mu);
     while (!state_->ready) state_->cv.wait(state_->mu);
   }
 
   /// Blocks until completion; rethrows the call's error if it failed.
-  [[nodiscard]] std::vector<std::uint8_t> get() {
+  [[nodiscard]] std::vector<std::uint8_t> get() CRICKET_EXCLUDES(state_->mu) {
     run_on_block_hook();
     sim::MutexLock lock(state_->mu);
     while (!state_->ready) state_->cv.wait(state_->mu);
@@ -104,7 +106,7 @@ class ReplyFuture {
  private:
   /// If we are about to block and the state carries an on_block hook, run
   /// it outside the lock (it may call back into the channel/batcher).
-  void run_on_block_hook() const {
+  void run_on_block_hook() const CRICKET_EXCLUDES(state_->mu) {
     if (!state_->on_block) return;
     {
       sim::MutexLock lock(state_->mu);

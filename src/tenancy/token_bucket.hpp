@@ -5,6 +5,13 @@
 // admission time. All arithmetic is integer (128-bit intermediate), so a
 // replayed virtual-time schedule always reproduces the same admit/reject
 // sequence — the property the scheduler-determinism tests pin down.
+//
+// Synchronization contract: externally synchronized. The bucket carries no
+// lock of its own; every instance lives inside SessionManager::Tenant, in a
+// map annotated CRICKET_GUARDED_BY(mu_), and is only touched with that lock
+// held. Callers embedding a TokenBucket elsewhere must provide their own
+// mutex (tests/mcheck_test.cpp ModelTenancy does exactly that, and the
+// interleaving explorer verifies the guarded usage admits exactly once).
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,258 @@
+// Wrapper semantics of sim/annotations.hpp: the Mutex/MutexLock/CondVar
+// drop-ins must behave exactly like the std types they wrap — with and
+// without a SyncObserver installed — because every concurrency guarantee in
+// the codebase (and every mcheck verdict) rests on that equivalence.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/annotations.hpp"
+
+namespace cricket {
+namespace {
+
+/// Records every hook invocation in order; takes nothing over. Hooks fire
+/// from whatever thread runs the wrapped operation, so the log carries its
+/// own guard — a plain std::mutex, not sim::Mutex, which would recurse
+/// straight back into this observer.
+struct TapObserver final : sim::SyncObserver {
+  std::mutex events_mu;
+  std::vector<std::string> events;
+
+  void add(const char* event) {
+    std::lock_guard<std::mutex> lk(events_mu);
+    events.emplace_back(event);
+  }
+  std::vector<std::string> snapshot() {
+    std::lock_guard<std::mutex> lk(events_mu);
+    return events;
+  }
+
+  void lock_pending(sim::Mutex&, const std::source_location&) override {
+    add("pending");
+  }
+  void lock_acquired(sim::Mutex&, const std::source_location&) override {
+    add("acquired");
+  }
+  void unlocked(sim::Mutex&, const std::source_location&) override {
+    add("unlocked");
+  }
+  void try_lock_result(sim::Mutex&, bool ok,
+                       const std::source_location&) override {
+    add(ok ? "try_ok" : "try_fail");
+  }
+  void cv_wait_begin(sim::CondVar&, sim::Mutex&,
+                     const std::source_location&) override {
+    add("wait_begin");
+  }
+  void cv_wait_done(sim::CondVar&, sim::Mutex&,
+                    const std::source_location&) override {
+    add("wait_done");
+  }
+  void cv_notify(sim::CondVar&, bool all,
+                 const std::source_location&) override {
+    add(all ? "notify_all" : "notify_one");
+  }
+  void sync_point(const void*, const std::source_location&) override {
+    add("sync");
+  }
+};
+
+TEST(Annotations, MutexLockEscapeHatchUnlocksAndRelocks) {
+  sim::Mutex mu;
+  {
+    sim::MutexLock lock(mu);
+    lock.unlock();
+    // While unlocked, another owner can take and release the mutex.
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+    lock.lock();
+    EXPECT_FALSE(mu.try_lock()) << "relock must actually hold the mutex";
+  }
+  // Destructor released it despite the unlock/relock dance.
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Annotations, MutexLockDtorSkipsReleaseAfterManualUnlock) {
+  sim::Mutex mu;
+  {
+    sim::MutexLock lock(mu);
+    lock.unlock();
+  }  // dtor must not double-unlock (UB on std::mutex)
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Annotations, WaitForTimesOutWithoutNotify) {
+  sim::Mutex mu;
+  sim::CondVar cv;
+  sim::MutexLock lock(mu);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::cv_status status =
+      cv.wait_for(mu, std::chrono::milliseconds(5));
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(4));
+  // The mutex is held again after the timeout path.
+  EXPECT_FALSE(mu.try_lock());
+}
+
+TEST(Annotations, WaitForReturnsNoTimeoutWhenNotified) {
+  sim::Mutex mu;
+  sim::CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    sim::MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  std::cv_status last = std::cv_status::no_timeout;
+  {
+    sim::MutexLock lock(mu);
+    while (!ready)
+      last = cv.wait_for(mu, std::chrono::seconds(10));
+  }
+  signaller.join();
+  EXPECT_EQ(last, std::cv_status::no_timeout);
+}
+
+TEST(Annotations, ObserverSeesTheCanonicalEventSequence) {
+  TapObserver tap;
+  sim::SyncObserver* const ambient = sim::set_sync_observer(&tap);
+  if (ambient != nullptr) {
+    // CRICKET_LOCKCHECK=1 keeps the lock graph on the seam; this test needs
+    // exclusive ownership to compare exact event sequences.
+    sim::set_sync_observer(ambient);
+    GTEST_SKIP() << "sync-observer seam occupied (CRICKET_LOCKCHECK?)";
+  }
+  sim::Mutex mu;
+  sim::CondVar cv;
+  {
+    sim::MutexLock lock(mu);
+    (void)cv.wait_for(mu, std::chrono::microseconds(10));
+    cv.notify_all();
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+  sim::sync_point(&mu);
+  ASSERT_EQ(sim::set_sync_observer(nullptr), &tap);
+  const std::vector<std::string> expected{
+      "pending", "acquired",            // MutexLock ctor
+      "wait_begin", "wait_done",        // timed wait (not taken over)
+      "notify_all",                     // under the lock
+      "unlocked",                       // MutexLock dtor
+      "try_ok", "unlocked",             // try_lock probe + its unlock
+      "sync",                           // free-standing sync_point
+  };
+  EXPECT_EQ(tap.snapshot(), expected);
+}
+
+TEST(Annotations, ObserverOnOffParity) {
+  // The wrapper must produce identical externally visible behavior with a
+  // pure-tap observer installed and with none.
+  const auto run = [] {
+    sim::Mutex mu;
+    sim::CondVar cv;
+    int shared = 0;
+    bool done = false;
+    std::thread worker([&] {
+      sim::MutexLock lock(mu);
+      shared += 41;
+      done = true;
+      cv.notify_one();
+    });
+    int seen = 0;
+    {
+      sim::MutexLock lock(mu);
+      while (!done) cv.wait(mu);
+      shared += 1;
+      seen = shared;
+    }
+    worker.join();
+    return seen;
+  };
+  EXPECT_EQ(run(), 42);
+  TapObserver tap;
+  sim::SyncObserver* const ambient = sim::set_sync_observer(&tap);
+  EXPECT_EQ(run(), 42);
+  sim::set_sync_observer(ambient);
+  EXPECT_FALSE(tap.snapshot().empty());
+}
+
+TEST(Annotations, BirthSitesIdentifyLockClasses) {
+  // Two instances born on one line share a class; a different line differs.
+  sim::Mutex first, second;  // both constructed here: one lock class
+  sim::Mutex other;
+  EXPECT_EQ(first.birth().line(), second.birth().line());
+  EXPECT_NE(first.birth().line(), other.birth().line());
+  EXPECT_STREQ(first.birth().file_name(), other.birth().file_name());
+}
+
+TEST(Annotations, ModelOnlyTakeoverLeavesNativeMutexFree) {
+  // The explorer's mode: lock/unlock/try_lock all owned by the observer's
+  // model, native mutex never touched. The notification hooks must still
+  // fire in the usual order around the taken-over operations.
+  struct ModelOwner final : sim::SyncObserver {
+    std::vector<std::string> events;  // single-threaded test: no guard
+    bool lock_acquire(sim::Mutex&, const std::source_location&) override {
+      events.emplace_back("model_lock");
+      return true;
+    }
+    bool unlock_release(sim::Mutex&, const std::source_location&) override {
+      events.emplace_back("model_unlock");
+      return true;
+    }
+    int try_lock_pending(sim::Mutex&, const std::source_location&) override {
+      return kSucceed;
+    }
+    void lock_acquired(sim::Mutex&, const std::source_location&) override {
+      events.emplace_back("acquired");
+    }
+    void unlocked(sim::Mutex&, const std::source_location&) override {
+      events.emplace_back("unlocked");
+    }
+    void try_lock_result(sim::Mutex&, bool ok,
+                         const std::source_location&) override {
+      events.emplace_back(ok ? "try_ok" : "try_fail");
+    }
+  } owner;
+  sim::Mutex mu;
+  sim::SyncObserver* const ambient = sim::set_sync_observer(&owner);
+  mu.lock();
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+  sim::set_sync_observer(ambient);
+  const std::vector<std::string> expected{
+      "model_lock", "acquired", "model_unlock", "unlocked",
+      "try_ok",     "model_unlock", "unlocked",
+  };
+  EXPECT_EQ(owner.events, expected);
+  // Every operation stayed in the model: the native mutex is still free.
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Annotations, TryLockRefusalByObserverNeverTouchesNativeMutex) {
+  struct Refuser final : sim::SyncObserver {
+    int try_lock_pending(sim::Mutex&, const std::source_location&) override {
+      return kRefuse;
+    }
+  } refuser;
+  sim::Mutex mu;
+  sim::SyncObserver* const ambient = sim::set_sync_observer(&refuser);
+  EXPECT_FALSE(mu.try_lock());
+  sim::set_sync_observer(ambient);
+  // Refusal left the native mutex untouched: it is still free.
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace cricket

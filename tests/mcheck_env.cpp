@@ -1,0 +1,41 @@
+// Linked into every test executable (see cricket_add_test): when
+// CRICKET_LOCKCHECK=1 is set, installs a process-lifetime LockGraph before
+// main() and finalizes it at exit — dumping the held-before edge set to
+// $CRICKET_LOCKCHECK_DIR/lockgraph-<pid>.json for the suite-wide merge
+// (tools/lock_graph.py) and failing the process with exit code 86 if this
+// process alone already exhibits a lock-order cycle or a self-deadlock.
+//
+// A plain TU with a static initializer (not a library): a static library
+// member with no referenced symbols would be dropped by the linker and the
+// observer would silently never install.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mcheck/lock_graph.hpp"
+
+namespace {
+
+struct EnvLockcheck {
+  cricket::mcheck::LockGraph* graph;
+  EnvLockcheck() : graph(cricket::mcheck::LockGraph::install_from_env()) {
+    if (graph != nullptr) std::atexit(&EnvLockcheck::finalize);
+  }
+  static void finalize();
+};
+
+EnvLockcheck g_env_lockcheck;
+
+void EnvLockcheck::finalize() {
+  cricket::mcheck::LockGraph* graph = g_env_lockcheck.graph;
+  if (graph == nullptr) return;
+  // Stop observing before reporting: gtest/stdlib teardown after this
+  // handler may still lock, and the report must not mutate mid-dump.
+  graph->uninstall();
+  if (graph->finalize(std::cerr) > 0) {
+    std::cerr << "[lockcheck] failing process: lock-order hazard detected\n";
+    std::_Exit(86);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Intentionally broken concurrency fixtures — the mcheck negative tests.
+//
+// Each mutant is a minimal model body exhibiting one classic bug the
+// checker must flag (mcheck_test.cpp asserts that it does), paired with the
+// corrected variant the checker must pass. They double as documentation of
+// what a model body looks like: everything fresh on the body's stack, all
+// threads via mcheck::spawn, join before returning.
+//
+// These run only under mcheck::explore with its own observer installed, so
+// their inverted lock order never pollutes the suite-wide lock graph that
+// CRICKET_LOCKCHECK=1 accumulates.
+#pragma once
+
+#include "mcheck/explorer.hpp"
+#include "sim/annotations.hpp"
+
+namespace cricket::mcheck_test {
+
+/// BUG: classic lock-order inversion (AB vs BA). Some interleavings
+/// complete; the one where each thread holds its first lock deadlocks.
+inline void lock_order_inverted_body() {
+  sim::Mutex a;
+  sim::Mutex b;
+  mcheck::spawn([&] {
+    sim::MutexLock la(a);
+    sim::MutexLock lb(b);
+  });
+  mcheck::spawn([&] {
+    sim::MutexLock lb(b);
+    sim::MutexLock la(a);
+  });
+  mcheck::join_children();
+}
+
+/// Fix: both threads take the locks in one global order. No schedule can
+/// deadlock; the explorer must exhaust the space cleanly.
+inline void lock_order_fixed_body() {
+  sim::Mutex a;
+  sim::Mutex b;
+  for (int i = 0; i < 2; ++i) {
+    mcheck::spawn([&] {
+      sim::MutexLock la(a);
+      sim::MutexLock lb(b);
+    });
+  }
+  mcheck::join_children();
+}
+
+/// BUG: lost wakeup. The waiter decides to sleep from a *stale* predicate
+/// read — it drops the mutex between checking `ready` and calling wait, and
+/// never re-checks. If the signaller runs inside that window, its
+/// notify_one finds no registered waiter and is lost; the waiter then
+/// sleeps forever on a condition that is already true.
+inline void lost_wakeup_body() {
+  sim::Mutex mu;
+  sim::CondVar cv;
+  bool ready = false;
+  mcheck::spawn([&] {  // waiter
+    bool need_wait = false;
+    {
+      sim::MutexLock lock(mu);
+      need_wait = !ready;
+    }
+    if (need_wait) {
+      sim::MutexLock lock(mu);
+      cv.wait(mu);  // BUG: no predicate re-check under this lock
+    }
+  });
+  mcheck::spawn([&] {  // signaller
+    sim::MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  mcheck::join_children();
+}
+
+/// Fix: the canonical while-loop wait — predicate checked and re-checked
+/// under the same critical section the wait releases atomically.
+inline void lost_wakeup_fixed_body() {
+  sim::Mutex mu;
+  sim::CondVar cv;
+  bool ready = false;
+  mcheck::spawn([&] {
+    sim::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+  });
+  mcheck::spawn([&] {
+    sim::MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  mcheck::join_children();
+}
+
+}  // namespace cricket::mcheck_test

@@ -22,10 +22,21 @@
 #                    (`ctest -L tenancy`) against the TSan build
 #  12. bench-json    committed BENCH_tenants.json parses and still honours
 #                    its fairness/throughput gates (validate_bench_json.py)
+#  13. lock-graph    full ctest with CRICKET_LOCKCHECK=1: every test process
+#                    dumps its held-before lock-order edges, then
+#                    tools/lock_graph.py merges them suite-wide and fails on
+#                    any cycle or self-deadlock (cross-binary inversions are
+#                    invisible to any single process)
+#  14. mcheck        deterministic interleaving model checker suites
+#                    (`ctest -L mcheck`) against the TSan build — the
+#                    explorer's own handshake machinery runs raced, so it is
+#                    checked where races are fatal
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
-# table is always printed. Exit code: 0 iff no stage failed.
+# table is always printed, and a machine-readable per-stage summary is
+# written to build-check-logs/check_summary.json (schema enforced by
+# tools/validate_check_json.py). Exit code: 0 iff no stage failed.
 #
 # Usage: tools/check.sh [--keep-going] [--jobs N]
 set -u
@@ -241,6 +252,40 @@ if should_continue; then
   fi
 fi
 
+# ------------------------------------------------------------- 13: lock-graph
+# Whole-suite lock-order analysis: CRICKET_LOCKCHECK=1 puts a LockGraph
+# observer on the sim/annotations.hpp seam in every test process (a process
+# that alone exhibits a cycle exits 86 and fails its test), each process
+# dumps its edges, and tools/lock_graph.py merges them — an A-then-B in one
+# binary plus B-then-A in another is a deadlock no single process can see.
+if should_continue; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    record lock-graph "SKIP (python3 not installed)"
+  elif [[ ! -d build ]]; then
+    record lock-graph "SKIP (build missing — run plain stage first)"
+  else
+    run_stage lock-graph bash -c '
+      dumps=$(mktemp -d) &&
+      trap "rm -rf $dumps" EXIT &&
+      CRICKET_LOCKCHECK=1 CRICKET_LOCKCHECK_DIR="$dumps" \
+        ctest --test-dir build --output-on-failure -j "$0" &&
+      python3 tools/lock_graph.py "$dumps"' "$JOBS"
+  fi
+fi
+
+# ----------------------------------------------------------------- 14: mcheck
+# The model-checker suites (lock-graph units, explorer self-checks against
+# the intentionally broken mutants, and the five production-core models)
+# under ThreadSanitizer — the label selects them on the TSan tree.
+if should_continue; then
+  if [[ -d build-tsan ]]; then
+    run_stage mcheck ctest --test-dir build-tsan --output-on-failure \
+      -j "$JOBS" -L mcheck
+  else
+    record mcheck "SKIP (build-tsan missing — run tsan stage first)"
+  fi
+fi
+
 # ------------------------------------------------------------------ summary
 echo
 echo "---------------- check.sh summary ----------------"
@@ -248,4 +293,33 @@ for i in "${!STAGES[@]}"; do
   printf '  %-12s %s\n' "${STAGES[$i]}" "${RESULTS[$i]}"
 done
 echo "--------------------------------------------------"
+
+# Machine-readable mirror of the table above, for CI and tooling. Stage
+# names and results are shell-controlled ([a-z-]+ / PASS|FAIL|SKIP (...)),
+# so plain string interpolation is JSON-safe here.
+SUMMARY="$ROOT/build-check-logs/check_summary.json"
+mkdir -p "$ROOT/build-check-logs"
+{
+  echo '{'
+  echo '  "check": "check.sh",'
+  echo "  \"failed\": $([[ $FAILED -eq 0 ]] && echo false || echo true),"
+  echo '  "stages": ['
+  for i in "${!STAGES[@]}"; do
+    comma=$([[ $i -lt $((${#STAGES[@]} - 1)) ]] && echo , || echo '')
+    printf '    {"name": "%s", "result": "%s"}%s\n' \
+      "${STAGES[$i]}" "${RESULTS[$i]}" "$comma"
+  done
+  echo '  ]'
+  echo '}'
+} > "$SUMMARY"
+if command -v python3 >/dev/null 2>&1; then
+  if python3 tools/validate_check_json.py "$SUMMARY"; then
+    echo "summary: $SUMMARY (validated)"
+  else
+    echo "summary: $SUMMARY FAILED validation" >&2
+    FAILED=1
+  fi
+else
+  echo "summary: $SUMMARY (python3 missing, not validated)"
+fi
 exit $FAILED

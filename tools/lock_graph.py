@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Merges per-process lock-order dumps into one suite-wide graph and fails
+on cycles.
+
+Every test process run with CRICKET_LOCKCHECK=1 and CRICKET_LOCKCHECK_DIR
+set writes a lockgraph-<pid>.json on exit (src/mcheck/lock_graph.cpp): the
+held-before edges it observed between lock *classes* (Mutex construction
+sites, "file.cpp:line"). A single process only sees the orderings its own
+tests exercise; an inversion split across two binaries — A-then-B in one,
+B-then-A in another — is exactly as deadlock-prone in a combined deployment
+and only visible after this merge.
+
+Stdlib-only; used by tools/check.sh stage 13 (lock-graph) and by hand:
+
+    CRICKET_LOCKCHECK=1 CRICKET_LOCKCHECK_DIR=/tmp/lockgraph ctest
+    python3 tools/lock_graph.py /tmp/lockgraph
+
+Prints the merged edge census, then any strongly connected component with
+more than one node (or a self-edge) as a cycle, with the acquisition sites
+that witnessed each edge. Exit code 0 iff the merged graph is acyclic and
+no process reported a self-deadlock.
+"""
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"lock_graph: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(directory):
+    """Returns (edges, self_deadlocks): edges maps (from, to) -> merged
+    {count, from_site, to_site, files}."""
+    edges = {}
+    self_deadlocks = 0
+    names = sorted(n for n in os.listdir(directory)
+                   if n.startswith("lockgraph-") and n.endswith(".json"))
+    if not names:
+        fail(f"no lockgraph-*.json dumps in {directory}")
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as f:
+                dump = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"unreadable dump {path}: {e}")
+        if not isinstance(dump, dict) or "edges" not in dump:
+            fail(f"{path}: missing 'edges'")
+        self_deadlocks += int(dump.get("self_deadlocks", 0))
+        for e in dump["edges"]:
+            key = (e["from"], e["to"])
+            merged = edges.setdefault(key, {
+                "count": 0,
+                "from_site": e["from_site"],
+                "to_site": e["to_site"],
+                "files": set(),
+            })
+            merged["count"] += int(e["count"])
+            merged["files"].add(name)
+    return edges, self_deadlocks, len(names)
+
+
+def tarjan_sccs(nodes, adj):
+    """Iterative Tarjan; returns scc id per node."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    scc_of = {}
+    counter = [0]
+    sccs = [0]
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(adj.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, children = work[-1]
+            advanced = False
+            for w in children:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adj.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            if low[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc_of[w] = sccs[0]
+                    if w == v:
+                        break
+                sccs[0] += 1
+            work.pop()
+            if work:
+                p = work[-1][0]
+                low[p] = min(low[p], low[v])
+    return scc_of
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: lock_graph.py <dump-directory>")
+    edges, self_deadlocks, dumps = load(sys.argv[1])
+
+    nodes = sorted({n for key in edges for n in key})
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, []).append(b)
+    scc_of = tarjan_sccs(nodes, adj)
+
+    scc_size = {}
+    for n in nodes:
+        scc_size[scc_of[n]] = scc_size.get(scc_of[n], 0) + 1
+    cycles = {}
+    for (a, b), data in sorted(edges.items()):
+        in_cycle = a == b or (scc_of[a] == scc_of[b]
+                              and scc_size[scc_of[a]] > 1)
+        if in_cycle:
+            key = f"self:{a}" if a == b else str(scc_of[a])
+            cycles.setdefault(key, []).append(((a, b), data))
+
+    print(f"lock_graph: merged {dumps} dump(s): {len(nodes)} lock classes, "
+          f"{len(edges)} held-before edges, {self_deadlocks} self-deadlock(s)")
+    for a, b in sorted(edges):
+        data = edges[(a, b)]
+        print(f"  {a} -> {b} x{data['count']} "
+              f"(first: {data['from_site']} then {data['to_site']}; "
+              f"{len(data['files'])} process(es))")
+
+    failed = self_deadlocks > 0
+    if self_deadlocks:
+        print(f"lock_graph: FAIL: {self_deadlocks} self-deadlock(s) reported "
+              "by test processes", file=sys.stderr)
+    for _, members in sorted(cycles.items(), key=lambda kv: str(kv[0])):
+        failed = True
+        print("lock_graph: FAIL: lock-order cycle:", file=sys.stderr)
+        for (a, b), data in members:
+            print(f"    {a} (held, acquired at {data['from_site']}) -> "
+                  f"{b} (acquired at {data['to_site']}) x{data['count']} "
+                  f"[{', '.join(sorted(data['files']))}]", file=sys.stderr)
+    if failed:
+        sys.exit(1)
+    print("lock_graph: OK: merged graph is acyclic")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable check.sh summary (check_summary.json).
+
+Stdlib-only; run by tools/check.sh itself after writing the summary, and by
+hand:
+
+    python3 tools/validate_check_json.py build-check-logs/check_summary.json
+
+Checks, in order:
+  1. schema       — top level {"check": "check.sh", "failed": bool,
+                    "stages": [...]}; every stage is {"name", "result"}.
+  2. stage names  — lowercase [a-z0-9-]+, unique, and the run starts with
+                    the "plain" stage (everything downstream builds on it).
+  3. results      — each is PASS, FAIL, or SKIP (reason); the top-level
+                    "failed" flag agrees with the presence of a FAIL.
+
+Exit code 0 iff every check passes.
+"""
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+RESULT_RE = re.compile(r"^(PASS|FAIL|SKIP( \(.*\))?)$")
+
+
+def fail(msg):
+    print(f"validate_check_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_check_json.py <check_summary.json>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"unreadable summary: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("check") != "check.sh":
+        fail(f'"check" is {doc.get("check")!r}, expected "check.sh"')
+    if not isinstance(doc.get("failed"), bool):
+        fail('"failed" missing or not a bool')
+    stages = doc.get("stages")
+    if not isinstance(stages, list) or not stages:
+        fail('"stages" missing, not a list, or empty')
+
+    names = []
+    any_fail = False
+    for i, stage in enumerate(stages):
+        if not isinstance(stage, dict):
+            fail(f"stage[{i}] is not an object")
+        name = stage.get("name")
+        result = stage.get("result")
+        if not isinstance(name, str) or not NAME_RE.match(name):
+            fail(f"stage[{i}] name {name!r} is not a lowercase slug")
+        if not isinstance(result, str) or not RESULT_RE.match(result):
+            fail(f"stage {name}: result {result!r} is not "
+                 "PASS/FAIL/SKIP (reason)")
+        names.append(name)
+        any_fail = any_fail or result == "FAIL"
+
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        fail(f"duplicate stage names: {', '.join(dupes)}")
+    if names[0] != "plain":
+        fail(f'first stage is "{names[0]}", expected "plain"')
+    if doc["failed"] != any_fail:
+        fail(f'"failed" is {doc["failed"]} but stages '
+             f'{"do" if any_fail else "do not"} contain a FAIL')
+
+    print(f"validate_check_json: OK ({len(stages)} stages, "
+          f"failed={doc['failed']})")
+
+
+if __name__ == "__main__":
+    main()
