@@ -1,0 +1,530 @@
+// Rolling-restart live-migration bench (DESIGN.md §13).
+//
+// A two-server fleet (paper-testbed nodes "A" and "B") serves sustained
+// multi-tenant traffic over faulted client links (2% record drop each way,
+// absorbed by per-call retry against the servers' duplicate-request
+// caches). The bench then performs a full rolling restart:
+//
+//   1. every tenant is live-migrated A -> B (drain / snapshot / transfer /
+//      flip), one at a time, while its client keeps issuing kernel
+//      launches and readback verifies;
+//   2. once no connection references A, A is "restarted" — its node,
+//      session manager, and server are replaced by fresh instances, as a
+//      binary upgrade would;
+//   3. every tenant is migrated back B -> A', and B is restarted the same
+//      way. The fleet has now been fully upgraded with zero downtime.
+//
+// Measured client-side with the real steady clock: for each migration, the
+// longest gap between consecutive successful calls of the migrating
+// tenant's client that overlaps the migration window — the blackout. The
+// committed JSON (BENCH_migrate.json) reports the p50/p99/max over all
+// (migration x client) samples against a fixed budget.
+//
+// Gates (exit 1 on failure):
+//   * every migration commits (both directions, every tenant)
+//   * zero failed calls across all traffic (retry + DRC absorb everything)
+//   * exactly-once: kernel executions across every server generation ==
+//     successful launches (no duplicate, no lost execution), with the
+//     migrated DRC suppressing cross-flip re-execution
+//   * device memory readback matches the written pattern after both hops
+//   * every blackout sample within the budget
+//
+// Flags: --json=PATH (default BENCH_migrate.json)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cricket/client.hpp"
+#include "cricket/server.hpp"
+#include "cudart/local_api.hpp"
+#include "fatbin/cubin.hpp"
+#include "faultnet/fault_spec.hpp"
+#include "faultnet/faulty_transport.hpp"
+#include "migrate/coordinator.hpp"
+#include "migrate/redirect.hpp"
+#include "migrate/service.hpp"
+#include "obs/metrics.hpp"
+#include "rpc/transport.hpp"
+#include "sim/rng.hpp"
+#include "tenancy/session_manager.hpp"
+
+namespace {
+
+using namespace cricket;
+using namespace std::chrono_literals;
+
+constexpr int kTenants = 4;          // one per paper-testbed device
+constexpr std::uint64_t kBufBytes = 16 * 1024;
+constexpr double kDropRate = 0.02;   // per-record, each direction
+constexpr double kBlackoutBudgetMs = 5000.0;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The marker kernel every tenant launches; the registered handler counts
+// executions, which grounds the exactly-once gate.
+fatbin::CubinImage mark_image() {
+  fatbin::CubinImage img;
+  img.sm_arch = 75;
+  fatbin::KernelDescriptor k;
+  k.name = "mig_mark";
+  k.params = {{.size = 4, .align = 4, .is_pointer = false}};
+  img.kernels.push_back(k);
+  img.code = fatbin::make_pseudo_isa(64, 3);
+  return img;
+}
+
+rpc::RetryPolicy traffic_retry() {
+  rpc::RetryPolicy retry;
+  retry.enabled = true;
+  retry.max_attempts = 64;
+  retry.attempt_timeout = 100ms;
+  retry.deadline = std::chrono::seconds(30);
+  retry.assume_at_most_once = true;  // both servers run the DRC
+  return retry;
+}
+
+/// One fleet member. restart() retires the current node/manager/server
+/// instead of destroying them: traffic clients keep a reference to the
+/// clock of the node they dialed first, and keeping retired generations
+/// alive until the end of the run models a rolling upgrade (the old
+/// process lingers until its last connection is gone) without lifetime
+/// hazards.
+struct Instance {
+  explicit Instance(std::string label_) : label(std::move(label_)) { boot(); }
+
+  ~Instance() { join_threads(); }
+
+  void boot() {
+    node = cuda::GpuNode::make_paper_testbed();
+    node->registry().register_kernel(
+        "mig_mark", [n = &execs](gpusim::LaunchContext& ctx) {
+          (void)ctx.param<std::uint32_t>(0);
+          n->fetch_add(1);
+          ctx.charge_flops(1.0);
+        });
+    tenants = std::make_unique<tenancy::SessionManager>(
+        node->clock(),
+        tenancy::SessionManagerOptions{
+            .device_count = static_cast<std::uint32_t>(node->device_count()),
+            .default_tenant = ""});
+    core::ServerOptions options;
+    options.tenants = tenants.get();
+    options.at_most_once = true;  // required by the retrying clients
+    server = std::make_unique<core::CricketServer>(*node, options);
+  }
+
+  /// Preconditions: every tenant has been migrated off this instance and
+  /// every client has completed a call on its new server (so no transport
+  /// still points here and the serve threads have all unwound).
+  void restart() {
+    join_threads();
+    retired.push_back({std::move(node), std::move(tenants),
+                       std::move(server)});
+    boot();
+    ++generation;
+  }
+
+  void join_threads() {
+    std::vector<std::thread> pending;
+    {
+      const std::lock_guard<std::mutex> lock(threads_mu);
+      pending.swap(threads);
+    }
+    for (auto& t : pending)
+      if (t.joinable()) t.join();
+  }
+
+  /// Connection factory: a fresh faulted pipe served by the *current*
+  /// server generation.
+  migrate::RedirectingConnector::Factory factory() {
+    return [this]() -> std::unique_ptr<rpc::Transport> {
+      auto [client_end, server_end] = rpc::make_pipe_pair();
+      std::unique_ptr<rpc::Transport> c = std::move(client_end);
+      std::unique_ptr<rpc::Transport> s = std::move(server_end);
+      faultnet::FaultSpec drop;
+      drop.drop = kDropRate;
+      const std::uint64_t n = link_seq.fetch_add(1);
+      c = std::make_unique<faultnet::FaultyTransport>(
+          std::move(c), drop.with_seed(0xB16B00 + 2 * n + 1));
+      s = std::make_unique<faultnet::FaultyTransport>(
+          std::move(s), drop.with_seed(0xB16B00 + 2 * n + 2));
+      {
+        const std::lock_guard<std::mutex> lock(threads_mu);
+        threads.push_back(server->serve_async(std::move(s)));
+      }
+      return c;
+    };
+  }
+
+  struct Generation {
+    std::unique_ptr<cuda::GpuNode> node;
+    std::unique_ptr<tenancy::SessionManager> tenants;
+    std::unique_ptr<core::CricketServer> server;
+  };
+
+  std::string label;
+  std::unique_ptr<cuda::GpuNode> node;
+  std::unique_ptr<tenancy::SessionManager> tenants;
+  std::unique_ptr<core::CricketServer> server;
+  std::atomic<std::uint64_t> execs{0};  // across all generations
+  int generation = 1;
+  std::vector<Generation> retired;
+  std::atomic<std::uint64_t> link_seq{0};
+  std::mutex threads_mu;
+  std::vector<std::thread> threads;
+};
+
+/// One tenant's guest: a single connection (one server session — the
+/// duplicate-request cache is per connection, so the session's DRC bundle
+/// follows its own retried calls through both migrations) issuing marker
+/// launches with periodic readback verification.
+struct Worker {
+  std::string tenant;
+  migrate::RedirectingConnector* redirect = nullptr;
+  sim::SimClock* clock = nullptr;
+  std::uint32_t seed = 0;
+
+  std::atomic<std::uint64_t> ok_calls{0};  // polled by the restart gate
+  std::uint64_t calls = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t launches = 0;         // successful launches only
+  bool integrity_ok = true;
+  std::vector<std::int64_t> successes;  // steady ns of each successful call
+  std::thread thread;
+
+  void run(const std::atomic<bool>& stop) {
+    core::ClientConfig config;
+    config.tenant = tenant;
+    config.retry = traffic_retry();
+    config.reconnect = redirect->factory();
+    core::RemoteCudaApi api(redirect->dial(), *clock, std::move(config));
+
+    std::vector<std::uint8_t> pattern(kBufBytes);
+    sim::Xoshiro256ss rng(seed);
+    rng.fill_bytes(pattern);
+
+    const auto ok = [&](cuda::Error err) {
+      ++calls;
+      if (err == cuda::Error::kSuccess) {
+        ok_calls.fetch_add(1);
+        successes.push_back(now_ns());
+        return true;
+      }
+      ++failures;
+      return false;
+    };
+
+    cuda::DevPtr ptr = 0;
+    cuda::ModuleId mod = 0;
+    cuda::FuncId fn = 0;
+    if (!ok(api.malloc(ptr, kBufBytes)) || !ok(api.memcpy_h2d(ptr, pattern)) ||
+        !ok(api.module_load(mod, fatbin::cubin_serialize(mark_image()))) ||
+        !ok(api.module_get_function(fn, mod, "mig_mark"))) {
+      integrity_ok = false;
+      return;
+    }
+
+    std::vector<std::uint8_t> readback(kBufBytes);
+    std::uint32_t tag = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::uint8_t params[4];
+      std::memcpy(params, &tag, 4);
+      ++tag;
+      if (ok(api.launch_kernel(fn, {1, 1, 1}, {1, 1, 1}, 0, 0, params)))
+        ++launches;
+      if (tag % 64 == 0) {
+        if (ok(api.memcpy_d2h(readback, ptr)) && readback != pattern)
+          integrity_ok = false;
+      }
+      std::this_thread::sleep_for(300us);
+    }
+    if (ok(api.memcpy_d2h(readback, ptr)) && readback != pattern)
+      integrity_ok = false;
+  }
+};
+
+struct MigrationRecord {
+  std::string tenant;
+  std::string from;
+  std::string to;
+  migrate::MigrationReport report;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  double blackout_ms = 0;  // filled in after the workers are joined
+};
+
+/// Runs one tenant's migration over a clean control link, importing onto
+/// `pin` (one device per tenant keeps restored address spaces disjoint).
+MigrationRecord run_migration(Instance& source, Instance& target,
+                              migrate::RedirectingConnector& redirect,
+                              const std::string& tenant, std::uint32_t pin) {
+  MigrationRecord rec;
+  rec.tenant = tenant;
+  rec.from = source.label;
+  rec.to = target.label;
+
+  auto [client_end, server_end] = rpc::make_pipe_pair();
+  migrate::MigrationTargetOptions target_options;
+  target_options.pin_device = pin;
+  migrate::MigrationTarget mig_target(*target.server, target_options);
+  std::thread serve = mig_target.serve_async(std::move(server_end));
+  rpc::ClientOptions client_options;
+  client_options.retry = traffic_retry();
+  auto client = migrate::make_migrate_client(std::move(client_end),
+                                             client_options);
+  migrate::MigrationCoordinator coordinator(*source.server, *client,
+                                            &redirect, target.factory(), {});
+  rec.start_ns = now_ns();
+  rec.report = coordinator.migrate(tenant);
+  rec.end_ns = now_ns();
+  client.reset();  // closes the control link; the serve thread unwinds
+  serve.join();
+  return rec;
+}
+
+/// Blocks until every worker completes one more successful call (post-flip
+/// progress implies it reconnected, so its old transport is gone and the
+/// drained server's serve threads can be joined before the restart).
+bool wait_progress(std::vector<std::unique_ptr<Worker>>& workers) {
+  std::vector<std::uint64_t> snap;
+  snap.reserve(workers.size());
+  for (const auto& w : workers) snap.push_back(w->ok_calls.load());
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  for (;;) {
+    bool all = true;
+    for (std::size_t i = 0; i < workers.size(); ++i)
+      all = all && workers[i]->ok_calls.load() > snap[i];
+    if (all) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+/// Largest gap between consecutive successful calls that overlaps
+/// [start, end], in milliseconds. The pair straddling the window's edge
+/// counts: a blackout that begins before the drain or ends after the flip
+/// still belongs to this migration.
+double blackout_ms(const std::vector<std::int64_t>& successes,
+                   std::int64_t start, std::int64_t end) {
+  double worst = 0;
+  for (std::size_t i = 1; i < successes.size(); ++i) {
+    const std::int64_t a = successes[i - 1];
+    const std::int64_t b = successes[i];
+    if (a > end || b < start) continue;
+    worst = std::max(worst, static_cast<double>(b - a) / 1e6);
+  }
+  return worst;
+}
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void write_json(const std::string& path,
+                const std::vector<std::unique_ptr<Worker>>& workers,
+                const std::vector<MigrationRecord>& migrations,
+                std::uint64_t executions, std::uint64_t total_calls,
+                std::uint64_t total_failures, std::uint64_t total_launches,
+                bool integrity, double p50, double p99, double worst,
+                bool gates_ok) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  auto& registry = obs::Registry::global();
+  std::fprintf(f, "{\n  \"bench\": \"migrate\",\n");
+  std::fprintf(f,
+               "  \"fleet\": {\"servers\": 2, \"tenants\": %d, "
+               "\"threads_per_tenant\": 1, \"drop_rate\": %.2f},\n",
+               kTenants, kDropRate);
+  std::fprintf(
+      f,
+      "  \"traffic\": {\"calls\": %llu, \"failed_calls\": %llu, "
+      "\"launches\": %llu, \"executions\": %llu, "
+      "\"duplicate_executions\": %lld, \"drc_hits\": %llu, "
+      "\"reconnects\": %llu, \"migrating_redirects\": %llu, "
+      "\"data_integrity_ok\": %s},\n",
+      static_cast<unsigned long long>(total_calls),
+      static_cast<unsigned long long>(total_failures),
+      static_cast<unsigned long long>(total_launches),
+      static_cast<unsigned long long>(executions),
+      static_cast<long long>(executions) -
+          static_cast<long long>(total_launches),
+      static_cast<unsigned long long>(
+          registry.counter("cricket_drc_hits_total", {}).value()),
+      static_cast<unsigned long long>(
+          registry.counter("cricket_rpc_reconnects_total", {}).value()),
+      static_cast<unsigned long long>(
+          registry.counter("cricket_rpc_migrating_redirects_total", {})
+              .value()),
+      integrity ? "true" : "false");
+  std::fprintf(f, "  \"migrations\": [\n");
+  for (std::size_t i = 0; i < migrations.size(); ++i) {
+    const MigrationRecord& m = migrations[i];
+    std::fprintf(
+        f,
+        "    {\"tenant\": \"%s\", \"from\": \"%s\", \"to\": \"%s\", "
+        "\"committed\": %s, \"sessions\": %llu, \"image_bytes\": %llu, "
+        "\"chunks\": %llu, \"duration_ms\": %.2f, \"blackout_ms\": %.2f}%s\n",
+        m.tenant.c_str(), m.from.c_str(), m.to.c_str(),
+        m.report.committed ? "true" : "false",
+        static_cast<unsigned long long>(m.report.sessions),
+        static_cast<unsigned long long>(m.report.image_bytes),
+        static_cast<unsigned long long>(m.report.chunks),
+        static_cast<double>(m.end_ns - m.start_ns) / 1e6, m.blackout_ms,
+        i + 1 < migrations.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"blackout_ms\": {\"budget\": %.1f, \"p50\": %.2f, "
+               "\"p99\": %.2f, \"max\": %.2f},\n",
+               kBlackoutBudgetMs, p50, p99, worst);
+  std::fprintf(f, "  \"gates_ok\": %s\n}\n", gates_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nJSON summary written to %s (%zu workers)\n", path.c_str(),
+              workers.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::arg_value(argc, argv, "json", "BENCH_migrate.json");
+
+  std::printf("rolling restart: 2-server fleet, %d tenants, %.0f%% record "
+              "drop on every client link\n",
+              kTenants, kDropRate * 100);
+
+  Instance a("A");
+  Instance b("B");
+
+  std::vector<std::unique_ptr<migrate::RedirectingConnector>> redirects;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::string> tenant_names;
+  for (int i = 0; i < kTenants; ++i) {
+    tenant_names.push_back("tenant-" + std::to_string(i));
+    tenancy::TenantSpec spec;
+    spec.name = tenant_names.back();
+    (void)a.tenants->register_tenant(spec);
+    redirects.push_back(
+        std::make_unique<migrate::RedirectingConnector>(a.factory()));
+    auto worker = std::make_unique<Worker>();
+    worker->tenant = tenant_names.back();
+    worker->redirect = redirects.back().get();
+    worker->clock = &a.node->clock();
+    worker->seed = static_cast<std::uint32_t>(1000 + i);
+    workers.push_back(std::move(worker));
+  }
+
+  std::atomic<bool> stop{false};
+  for (auto& w : workers)
+    w->thread = std::thread([&stop, worker = w.get()] { worker->run(stop); });
+
+  std::this_thread::sleep_for(300ms);  // steady-state traffic first
+
+  std::vector<MigrationRecord> migrations;
+  const auto roll = [&](Instance& from, Instance& to) {
+    for (int i = 0; i < kTenants; ++i) {
+      migrations.push_back(run_migration(from, to, *redirects[i],
+                                         tenant_names[i],
+                                         static_cast<std::uint32_t>(i)));
+      const auto& rec = migrations.back();
+      std::printf("  %s %s->%s: %s (%llu sessions, %llu bytes, %.1f ms)\n",
+                  rec.tenant.c_str(), rec.from.c_str(), rec.to.c_str(),
+                  rec.report.committed ? "committed" : rec.report.error.c_str(),
+                  static_cast<unsigned long long>(rec.report.sessions),
+                  static_cast<unsigned long long>(rec.report.image_bytes),
+                  static_cast<double>(rec.end_ns - rec.start_ns) / 1e6);
+      std::this_thread::sleep_for(30ms);
+    }
+  };
+
+  std::printf("phase 1: drain A (migrate every tenant A->B)\n");
+  roll(a, b);
+  bool progressed = wait_progress(workers);
+  std::printf("phase 2: restart A (generation %d -> %d)\n", a.generation,
+              a.generation + 1);
+  a.restart();
+  std::printf("phase 3: drain B (migrate every tenant B->A')\n");
+  roll(b, a);
+  progressed = wait_progress(workers) && progressed;
+  std::printf("phase 4: restart B (generation %d -> %d)\n", b.generation,
+              b.generation + 1);
+  b.restart();
+
+  std::this_thread::sleep_for(300ms);  // steady-state tail on the new fleet
+  stop.store(true);
+  for (auto& w : workers)
+    if (w->thread.joinable()) w->thread.join();
+
+  // Blackout per (migration x its tenant's worker), computed now that the
+  // success timelines are safely joined.
+  std::vector<double> samples;
+  for (auto& m : migrations) {
+    for (const auto& w : workers) {
+      if (w->tenant != m.tenant) continue;
+      m.blackout_ms = blackout_ms(w->successes, m.start_ns, m.end_ns);
+      samples.push_back(m.blackout_ms);
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  const double p50 = quantile(samples, 0.50);
+  const double p99 = quantile(samples, 0.99);
+  const double worst = samples.empty() ? 0 : samples.back();
+
+  std::uint64_t total_calls = 0, total_failures = 0, total_launches = 0;
+  bool integrity = true;
+  for (const auto& w : workers) {
+    total_calls += w->calls;
+    total_failures += w->failures;
+    total_launches += w->launches;
+    integrity = integrity && w->integrity_ok;
+  }
+  const std::uint64_t executions = a.execs.load() + b.execs.load();
+
+  bool committed = true;
+  for (const auto& m : migrations) committed = committed && m.report.committed;
+  std::uint64_t flips = 0;
+  for (const auto& r : redirects) flips += r->flips();
+
+  const bool gates_ok = committed && progressed && total_failures == 0 &&
+                        integrity && executions == total_launches &&
+                        flips == migrations.size() &&
+                        (samples.empty() || worst <= kBlackoutBudgetMs);
+
+  std::printf("\ntraffic: %llu calls, %llu failed, %llu launches, "
+              "%llu executions (delta %lld)\n",
+              static_cast<unsigned long long>(total_calls),
+              static_cast<unsigned long long>(total_failures),
+              static_cast<unsigned long long>(total_launches),
+              static_cast<unsigned long long>(executions),
+              static_cast<long long>(executions) -
+                  static_cast<long long>(total_launches));
+  std::printf("blackout over %zu samples: p50 %.1f ms, p99 %.1f ms, "
+              "max %.1f ms (budget %.0f ms)\n",
+              samples.size(), p50, p99, worst, kBlackoutBudgetMs);
+  std::printf("gates (all migrations committed, zero failed calls, "
+              "exactly-once, integrity, blackout budget): %s\n",
+              gates_ok ? "OK" : "FAILED");
+
+  write_json(json_path, workers, migrations, executions, total_calls,
+             total_failures, total_launches, integrity, p50, p99, worst,
+             gates_ok);
+  return gates_ok ? 0 : 1;
+}

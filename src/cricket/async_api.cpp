@@ -15,15 +15,17 @@ namespace {
 
 Error from_wire(std::int32_t err) { return static_cast<Error>(err); }
 
-rpcflow::ChannelOptions channel_options(const env::PipelineConfig& pipeline) {
+rpcflow::ChannelOptions channel_options(const AsyncClientConfig& config) {
   rpcflow::ChannelOptions opts;
   // pipeline.enabled=false degrades to a stop-and-wait window of one call:
   // the same wire behaviour as the synchronous client.
-  opts.max_outstanding = pipeline.enabled ? pipeline.depth : 1;
-  opts.batch.enabled = pipeline.enabled && pipeline.batching;
+  opts.max_outstanding = config.pipeline.enabled ? config.pipeline.depth : 1;
+  opts.batch.enabled = config.pipeline.enabled && config.pipeline.batching;
   // Reply pre-flight: reject replies larger than the procedure's proven
   // result bound before they are decoded.
   opts.bounds = proto::bounds::kProcBounds;
+  opts.retry = config.retry;
+  opts.reconnect = config.reconnect;
   return opts;
 }
 
@@ -36,7 +38,7 @@ AsyncRemoteCudaApi::AsyncRemoteCudaApi(std::unique_ptr<rpc::Transport> transport
       config_(std::move(config)),
       channel_(std::make_unique<rpcflow::AsyncRpcChannel>(
           std::move(transport), proto::CRICKET_PROG, proto::CRICKETVERS_VERS,
-          channel_options(config_.pipeline))) {
+          channel_options(config_))) {
   if (!config_.tenant.empty()) {
     rpc::AuthSysParms cred;
     cred.machinename = config_.tenant;
@@ -61,6 +63,8 @@ void AsyncRemoteCudaApi::reap_ready() {
     } catch (const rpc::RpcError& e) {
       const auto err = e.kind() == rpc::RpcError::Kind::kQuotaExceeded
                            ? Error::kQuotaExceeded
+                       : e.kind() == rpc::RpcError::Kind::kMigrating
+                           ? Error::kMigrating
                            : Error::kRpcFailure;
       if (sticky_ == Error::kSuccess) sticky_ = err;
     } catch (...) {
@@ -114,6 +118,9 @@ Error AsyncRemoteCudaApi::call_blocking(std::uint32_t proc, Fn&& consume,
     // call only, never sticky.
     if (e.kind() == rpc::RpcError::Kind::kQuotaExceeded)
       return Error::kQuotaExceeded;
+    // Migration redirect that outlived the channel's re-send budget: the
+    // call never executed; per-call error, never sticky.
+    if (e.kind() == rpc::RpcError::Kind::kMigrating) return Error::kMigrating;
     return Error::kRpcFailure;
   } catch (const rpc::TransportError&) {
     sticky_ = Error::kRpcFailure;
@@ -140,6 +147,8 @@ Error AsyncRemoteCudaApi::drain() {
     } catch (const rpc::RpcError& e) {
       absorb(e.kind() == rpc::RpcError::Kind::kQuotaExceeded
                  ? Error::kQuotaExceeded
+             : e.kind() == rpc::RpcError::Kind::kMigrating
+                 ? Error::kMigrating
                  : Error::kRpcFailure);
     } catch (...) {
       absorb(Error::kRpcFailure);

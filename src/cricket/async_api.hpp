@@ -33,6 +33,13 @@ struct AsyncClientConfig {
   /// Tenant identity presented to a multi-tenant server (AUTH_SYS
   /// machinename); empty = anonymous.
   std::string tenant{};
+  /// Per-call deadlines + channel resubmission; same semantics as the
+  /// synchronous ClientConfig::retry.
+  rpc::RetryPolicy retry{};
+  /// Fresh transport after a connection-level failure or a migration
+  /// redirect (point it at a migrate::RedirectingConnector to follow a
+  /// live-migrated tenant to its new server).
+  std::function<std::unique_ptr<rpc::Transport>()> reconnect{};
 };
 
 struct AsyncClientStats {

@@ -21,12 +21,24 @@ class CheckpointError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Serializes a snapshot to the on-disk checkpoint format (magic "CKPT",
-/// version, XDR-encoded body).
+/// A structurally plausible checkpoint whose version is newer than this
+/// build understands. Distinct from the generic decode failure so a rolling
+/// upgrade can tell "old binary handed a new-format blob" (migrate the
+/// server first) apart from corruption.
+class CheckpointVersionError : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// Serializes a snapshot to the on-disk checkpoint format: magic "CKPT",
+/// version word, XDR-encoded body, and (since version 2) a trailing FNV-64
+/// checksum of the body.
 [[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
     const gpusim::DeviceSnapshot& snap);
 
-/// Parses a checkpoint; throws CheckpointError on malformed input.
+/// Parses a checkpoint; accepts version 1 (no checksum) and version 2.
+/// Throws CheckpointVersionError for future versions, CheckpointError for
+/// anything malformed (bad magic, checksum mismatch, truncated body).
 [[nodiscard]] gpusim::DeviceSnapshot decode_checkpoint(
     std::span<const std::uint8_t> bytes);
 

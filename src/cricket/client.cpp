@@ -57,6 +57,10 @@ Error RemoteCudaApi::forward(const char* name, Fn&& fn) {
     // they never go sticky — the tenant backs off and retries.
     if (e.kind() == rpc::RpcError::Kind::kQuotaExceeded)
       return Error::kQuotaExceeded;
+    // A surfaced migration redirect means the retry budget ran out while
+    // the tenant moved servers. The call never executed and the next call
+    // reconnects through the flipped redirect, so this is not sticky.
+    if (e.kind() == rpc::RpcError::Kind::kMigrating) return Error::kMigrating;
     if (e.kind() == rpc::RpcError::Kind::kDeadlineExceeded)
       sticky_error_ = Error::kRpcFailure;
     return Error::kRpcFailure;

@@ -26,7 +26,8 @@ constexpr std::uint64_t kLargeTransferBytes = 256 * 1024;
 /// dispatching into the node's LocalCudaApi, tracks every resource the
 /// client creates so a vanished unikernel cannot leak device memory, and
 /// routes kernel launches through the shared scheduler.
-class CricketSession final : public proto::CRICKETVERSService {
+class CricketSession final : public proto::CRICKETVERSService,
+                             public detail::SessionPeer {
  public:
   CricketSession(CricketServer& server, std::uint64_t id, TransferLanes lanes)
       : server_(&server),
@@ -60,6 +61,56 @@ class CricketSession final : public proto::CRICKETVERSService {
                                             spec ? spec->weight : 1,
                                             spec ? spec->priority : 0);
     (void)api_.set_device(static_cast<int>(tenants_->shard_device(tenant)));
+    // Migration adoption: when a bundle migrated from another server is
+    // staged for this tenant, this session takes over its resources. The
+    // device state itself was already restore_merge'd at commit time; here
+    // the session claims handle ownership (so cleanup-on-disconnect and
+    // quota release keep working) and seeds the connection's DRC with the
+    // source's completed replies. Admission runs this on the reader thread
+    // before any dispatch, so the DRC import strictly precedes every lookup
+    // on this connection — a re-sent completed xid can never re-execute.
+    if (spec) {
+      if (auto adopted = server_->take_adoption(spec->name)) {
+        for (const auto& [ptr, bytes] : adopted->allocations)
+          allocations_.emplace(ptr, bytes);
+        modules_.insert(adopted->modules.begin(), adopted->modules.end());
+        streams_.insert(adopted->streams.begin(), adopted->streams.end());
+        events_.insert(adopted->events.begin(), adopted->events.end());
+        if (registry_ != nullptr && !adopted->drc.empty())
+          registry_->import_drc(adopted->drc);
+      }
+    }
+  }
+
+  /// Wires the connection's dispatch registry in so adoption can import DRC
+  /// entries and migration export can read them. Set by serve() before the
+  /// transport loop starts.
+  void set_registry(rpc::ServiceRegistry* registry) noexcept {
+    registry_ = registry;
+  }
+
+  /// detail::SessionPeer — one session's contribution to a tenant
+  /// migration. Only called once the tenant is drained and frozen (no
+  /// handler is running and none can be admitted), so reading the resource
+  /// tables from the coordinator's thread is race-free.
+  std::optional<SessionExport> export_if(tenancy::TenantId tenant) override {
+    if (!bound() || tenant_ != tenant) return std::nullopt;
+    SessionExport exp;
+    exp.session_id = id_;
+    gpusim::DeviceStateFilter filter;
+    for (const auto& [ptr, bytes] : allocations_) {
+      filter.allocations.push_back(ptr);
+      exp.allocations.emplace_back(ptr, bytes);
+    }
+    filter.modules.assign(modules_.begin(), modules_.end());
+    filter.streams.assign(streams_.begin(), streams_.end());
+    filter.events.assign(events_.begin(), events_.end());
+    exp.modules = filter.modules;
+    exp.streams = filter.streams;
+    exp.events = filter.events;
+    exp.state = api_.current().snapshot_subset(filter);
+    if (registry_ != nullptr) exp.drc = registry_->export_drc();
+    return exp;
   }
 
   // ---------------------------- device mgmt ------------------------------
@@ -452,6 +503,7 @@ class CricketSession final : public proto::CRICKETVERSService {
   std::uint64_t id_;
   TransferLanes lanes_;
   cuda::LocalCudaApi api_;
+  rpc::ServiceRegistry* registry_ = nullptr;
   tenancy::SessionManager* tenants_;
   tenancy::TenantId tenant_ = tenancy::kInvalidTenant;
   std::map<cuda::DevPtr, std::uint64_t> allocations_;  // ptr -> bytes
@@ -554,6 +606,14 @@ class TenantAdmission final : public rpc::AdmissionController {
                                                tenancy::RejectReason reason) {
     rpc::ReplyMsg reply;
     reply.xid = xid;
+    // A migration freeze gets its own accept status (void body): answered
+    // before decode, the call never executed, so the client may always
+    // re-send the same xid — through the reconnect factory, which the
+    // committed migration has redirected to the target server.
+    if (reason == tenancy::RejectReason::kMigrating) {
+      reply.accept_stat = rpc::AcceptStat::kMigrating;
+      return reply;
+    }
     reply.accept_stat = rpc::AcceptStat::kQuotaExceeded;
     reply.quota_reason = to_quota_reason(reason);
     return reply;
@@ -571,6 +631,7 @@ class TenantAdmission final : public rpc::AdmissionController {
       case tenancy::RejectReason::kSessionLimit:
         return rpc::QuotaReason::kSessionLimit;
       case tenancy::RejectReason::kUnknownTenant:
+      case tenancy::RejectReason::kMigrating:  // own accept status, not quota
         break;
     }
     return rpc::QuotaReason::kUnspecified;
@@ -605,6 +666,15 @@ void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   CricketSession session(*this, id, std::move(lanes));
   rpc::ServiceRegistry registry;
   session.register_into(registry);
+  session.set_registry(&registry);
+  // Track the live session so a MigrationCoordinator can snapshot it; the
+  // guard unregisters before session/registry leave scope.
+  register_session(id, &session);
+  struct SessionGuard {
+    CricketServer* server;
+    std::uint64_t id;
+    ~SessionGuard() { server->unregister_session(id); }
+  } guard{this, id};
   // Decode pre-flight from the rpclgen-proven bounds tables: records whose
   // length can not belong to the addressed procedure are answered
   // GARBAGE_ARGS before any allocation or argument decode.
@@ -633,6 +703,49 @@ std::thread CricketServer::serve_async(
       [this, t = std::move(transport), l = std::move(lanes)]() mutable {
         serve(*t, std::move(l));
       });
+}
+
+std::vector<SessionExport> CricketServer::export_tenant_sessions(
+    tenancy::TenantId tenant) {
+  // Hold migrate_mu_ across the exports: a session of some *other* tenant
+  // may disconnect concurrently, and its serve() frame unregisters under
+  // this lock before the object dies — so the peer pointers stay valid for
+  // exactly as long as we hold it. export_if's inner locks (device state,
+  // DRC) only ever nest under migrate_mu_, never the other way around.
+  sim::MutexLock lock(migrate_mu_);
+  std::vector<SessionExport> out;
+  for (const auto& [id, peer] : sessions_)
+    if (auto exp = peer->export_if(tenant)) out.push_back(std::move(*exp));
+  return out;
+}
+
+void CricketServer::stage_adoption(const std::string& tenant_name,
+                                   std::vector<SessionExport> bundles) {
+  sim::MutexLock lock(migrate_mu_);
+  auto& queue = adoptions_[tenant_name];
+  for (auto& bundle : bundles) queue.push_back(std::move(bundle));
+}
+
+std::optional<SessionExport> CricketServer::take_adoption(
+    const std::string& tenant_name) {
+  sim::MutexLock lock(migrate_mu_);
+  const auto it = adoptions_.find(tenant_name);
+  if (it == adoptions_.end() || it->second.empty()) return std::nullopt;
+  SessionExport bundle = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) adoptions_.erase(it);
+  return bundle;
+}
+
+void CricketServer::register_session(std::uint64_t id,
+                                     detail::SessionPeer* peer) {
+  sim::MutexLock lock(migrate_mu_);
+  sessions_.emplace(id, peer);
+}
+
+void CricketServer::unregister_session(std::uint64_t id) {
+  sim::MutexLock lock(migrate_mu_);
+  sessions_.erase(id);
 }
 
 }  // namespace cricket::core

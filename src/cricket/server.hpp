@@ -9,9 +9,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cricket/scheduler.hpp"
 #include "cricket/transfer.hpp"
@@ -21,6 +25,37 @@
 #include "tenancy/session_manager.hpp"
 
 namespace cricket::core {
+
+/// Everything one session contributes to a live migration: its slice of
+/// device state (allocations with contents, modules + resolved functions,
+/// stream/event timelines, captured by Device::snapshot_subset), the
+/// resource-ownership tables the server tracks for cleanup-on-disconnect,
+/// and the connection's duplicate-request-cache entries so completed xids
+/// are never re-executed after the client re-sends them to the target.
+struct SessionExport {
+  std::uint64_t session_id = 0;
+  gpusim::DeviceSnapshot state;
+  /// ptr -> bytes charged against the tenant's memory quota.
+  std::vector<std::pair<cuda::DevPtr, std::uint64_t>> allocations;
+  std::vector<cuda::ModuleId> modules;
+  std::vector<cuda::StreamId> streams;
+  std::vector<cuda::EventId> events;
+  std::vector<rpc::DrcExportEntry> drc;
+};
+
+namespace detail {
+/// Seam between CricketServer's live-session table and the per-connection
+/// session objects (which live on serve()'s stack, in an anonymous
+/// namespace). export_if returns the session's migratable slice when it is
+/// bound to `tenant`, nullopt otherwise. Only called after the tenant is
+/// drained and frozen, so the session's resource tables are quiescent.
+class SessionPeer {
+ public:
+  virtual ~SessionPeer() = default;
+  [[nodiscard]] virtual std::optional<SessionExport> export_if(
+      tenancy::TenantId tenant) = 0;
+};
+}  // namespace detail
 
 struct ServerOptions {
   SchedulerPolicy scheduler = SchedulerPolicy::kFifo;
@@ -83,12 +118,40 @@ class CricketServer {
 
   void count_rpc() noexcept { stats_.rpcs.fetch_add(1); }
 
+  // ------------------------- live migration support ------------------------
+
+  /// Snapshots the migratable state of every live session bound to `tenant`.
+  /// The caller (MigrationCoordinator) must have drained and frozen the
+  /// tenant first: admission rejects its calls pre-decode, so the sessions
+  /// are quiescent and reading their resource tables is race-free.
+  [[nodiscard]] std::vector<SessionExport> export_tenant_sessions(
+      tenancy::TenantId tenant);
+
+  /// Target side: parks restored session bundles for `tenant_name` until its
+  /// clients reconnect. Each new connection that authenticates as the tenant
+  /// adopts one bundle FIFO at bind time — taking over handle ownership for
+  /// cleanup-on-disconnect and importing the bundle's DRC entries into the
+  /// connection's duplicate-request cache before any call dispatches.
+  void stage_adoption(const std::string& tenant_name,
+                      std::vector<SessionExport> bundles);
+  [[nodiscard]] std::optional<SessionExport> take_adoption(
+      const std::string& tenant_name);
+
+  /// Live-session table maintenance (called by serve()).
+  void register_session(std::uint64_t id, detail::SessionPeer* peer);
+  void unregister_session(std::uint64_t id);
+
  private:
   cuda::GpuNode* node_;
   ServerOptions options_;
   KernelScheduler scheduler_;
   ServerStats stats_;
   std::atomic<std::uint64_t> next_session_{1};
+  sim::Mutex migrate_mu_;
+  std::map<std::uint64_t, detail::SessionPeer*> sessions_
+      CRICKET_GUARDED_BY(migrate_mu_);
+  std::map<std::string, std::deque<SessionExport>> adoptions_
+      CRICKET_GUARDED_BY(migrate_mu_);
 };
 
 }  // namespace cricket::core

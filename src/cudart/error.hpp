@@ -27,6 +27,13 @@ enum class Error : std::int32_t {
   kInvalidDevice = 101,
   kFileNotFound = 301,
   kInvalidKernelImage = 200,
+  /// Cricket extension: the server is live-migrating this tenant
+  /// (AcceptStat::kMigrating on the wire). The call was refused before
+  /// execution, so it is always safe to re-issue; the retry layers normally
+  /// absorb this by reconnecting through the migration redirect, and it
+  /// only surfaces when the retry budget runs out mid-migration. Never
+  /// sticky — the next call rides a fresh connection to the new server.
+  kMigrating = 997,
   /// Cricket extension: the call was rejected at server admission because
   /// the tenant is over quota (AcceptStat::kQuotaExceeded on the wire).
   /// Unlike kRpcFailure the connection is healthy; retry after backoff.

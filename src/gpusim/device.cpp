@@ -1,6 +1,7 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "obs/trace.hpp"
 
@@ -339,6 +340,113 @@ void Device::restore(const DeviceSnapshot& snap) {
   for (const auto& [id, finish] : snap.streams) streams_[id] = finish;
   for (const auto& [id, ts] : snap.events) events_[id] = ts;
   next_id_ = snap.next_id;
+}
+
+DeviceSnapshot Device::snapshot_subset(const DeviceStateFilter& filter) const {
+  sim::MutexLock lock(mu_);
+  DeviceSnapshot snap;
+  snap.next_id = next_id_;
+
+  // The allocation set: everything listed, plus each listed module's
+  // globals (live allocations the session does not track individually).
+  std::set<DevPtr> want(filter.allocations.begin(), filter.allocations.end());
+  for (const ModuleId id : filter.modules) {
+    const auto it = modules_.find(id);
+    if (it == modules_.end())
+      throw DeviceError("snapshot filter references unknown module");
+    for (const auto& [name, addr] : it->second.globals) want.insert(addr);
+  }
+  for (const auto& [addr, size] : memory_.live()) {
+    if (want.erase(addr) == 0) continue;
+    DeviceSnapshot::AllocationRecord rec;
+    rec.addr = addr;
+    rec.size = size;
+    const auto span = memory_.resolve(addr, size);
+    rec.bytes.assign(span.begin(), span.end());
+    snap.allocations.push_back(std::move(rec));
+  }
+  if (!want.empty())
+    throw DeviceError("snapshot filter references unknown allocation");
+
+  for (const ModuleId id : filter.modules) {
+    const Module& mod = modules_.at(id);  // presence checked above
+    DeviceSnapshot::ModuleRecord rec;
+    rec.id = id;
+    rec.image = fatbin::cubin_serialize(mod.image);
+    for (const auto& [name, addr] : mod.globals)
+      rec.globals.emplace_back(name, addr);
+    snap.modules.push_back(std::move(rec));
+  }
+  const std::set<ModuleId> mods(filter.modules.begin(), filter.modules.end());
+  for (const auto& [id, fn] : functions_) {
+    if (mods.find(fn.module) == mods.end()) continue;
+    snap.functions.push_back(
+        DeviceSnapshot::FunctionRecord{id, fn.module, fn.desc->name});
+  }
+  snap.streams.emplace_back(kDefaultStream, streams_.at(kDefaultStream));
+  for (const StreamId id : filter.streams) {
+    const auto it = streams_.find(id);
+    if (it == streams_.end())
+      throw DeviceError("snapshot filter references unknown stream");
+    if (id != kDefaultStream) snap.streams.emplace_back(id, it->second);
+  }
+  for (const EventId id : filter.events) {
+    const auto it = events_.find(id);
+    if (it == events_.end())
+      throw DeviceError("snapshot filter references unknown event");
+    snap.events.emplace_back(id, it->second);
+  }
+  return snap;
+}
+
+void Device::restore_merge(const DeviceSnapshot& snap) {
+  sim::MutexLock lock(mu_);
+  // Validate handle-id and address-range disjointness before mutating
+  // anything, so a colliding merge rejects atomically.
+  for (const auto& rec : snap.modules)
+    if (modules_.find(rec.id) != modules_.end())
+      throw DeviceError("merge collision: module id already in use");
+  for (const auto& rec : snap.functions)
+    if (functions_.find(rec.id) != functions_.end())
+      throw DeviceError("merge collision: function id already in use");
+  for (const auto& [id, finish] : snap.streams)
+    if (id != kDefaultStream && streams_.find(id) != streams_.end())
+      throw DeviceError("merge collision: stream id already in use");
+  for (const auto& [id, ts] : snap.events)
+    if (events_.find(id) != events_.end())
+      throw DeviceError("merge collision: event id already in use");
+  const auto live = memory_.live();
+  for (const auto& rec : snap.allocations)
+    for (const auto& [addr, size] : live)
+      if (rec.addr < addr + size && addr < rec.addr + rec.size)
+        throw DeviceError("merge collision: allocation address overlap");
+
+  for (const auto& rec : snap.allocations) {
+    memory_.allocate_at(rec.addr, rec.size);
+    const auto span = memory_.resolve(rec.addr, rec.size);
+    std::copy(rec.bytes.begin(), rec.bytes.end(), span.begin());
+  }
+  for (const auto& rec : snap.modules) {
+    Module mod;
+    mod.image = fatbin::cubin_parse(rec.image);
+    for (const auto& [name, addr] : rec.globals)
+      mod.globals.emplace(name, addr);
+    modules_.emplace(rec.id, std::move(mod));
+  }
+  for (const auto& rec : snap.functions) {
+    const auto it = modules_.find(rec.module);
+    if (it == modules_.end())
+      throw DeviceError("snapshot function references missing module");
+    const auto* desc = it->second.image.find_kernel(rec.kernel_name);
+    if (!desc) throw DeviceError("snapshot function kernel not in module");
+    functions_.emplace(rec.id, Function{rec.module, desc});
+  }
+  for (const auto& [id, finish] : snap.streams) {
+    auto& slot = streams_[id];  // default exists; collisions rejected above
+    slot = std::max(slot, finish);
+  }
+  for (const auto& [id, ts] : snap.events) events_[id] = ts;
+  next_id_ = std::max(next_id_, snap.next_id);
 }
 
 // ----------------------------- streams & events ----------------------------

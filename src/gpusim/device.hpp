@@ -107,6 +107,18 @@ struct DeviceSnapshot {
   std::vector<std::pair<EventId, std::int64_t>> events;
 };
 
+/// Selects the slice of device state one migrating session owns (the
+/// Cricket server tracks these per session). Module globals do not appear
+/// here — they are live allocations owned by the module, and
+/// Device::snapshot_subset includes the globals of every listed module
+/// automatically.
+struct DeviceStateFilter {
+  std::vector<DevPtr> allocations;  // base addresses from Device::malloc
+  std::vector<ModuleId> modules;
+  std::vector<StreamId> streams;  // non-default; stream 0 always included
+  std::vector<EventId> events;
+};
+
 class Device {
  public:
   /// `clock`, `registry` and `pool` are owned by the caller and must outlive
@@ -223,6 +235,23 @@ class Device {
   /// allocations, modules, or non-default streams); handles and device
   /// pointers held by clients stay valid afterwards.
   void restore(const struct DeviceSnapshot& snap) CRICKET_EXCLUDES(mu_);
+
+  /// Captures only the state selected by `filter` (one session's slice, for
+  /// live migration): the listed allocations plus the globals of every
+  /// listed module, the listed modules with the functions resolved from
+  /// them, the listed streams (plus the default stream's timeline), and the
+  /// listed events. Throws DeviceError when the filter names state the
+  /// device does not hold.
+  [[nodiscard]] struct DeviceSnapshot snapshot_subset(
+      const DeviceStateFilter& filter) const CRICKET_EXCLUDES(mu_);
+
+  /// Merges a (typically subset) snapshot into a live device without the
+  /// pristine requirement: used on a migration target, where the tenant
+  /// lands on a reserved device so nothing can collide. Address-range and
+  /// handle-id collisions are validated up front and throw DeviceError
+  /// before any state is mutated; the default stream's finish time merges
+  /// via max, and the handle counter advances to cover the imported ids.
+  void restore_merge(const struct DeviceSnapshot& snap) CRICKET_EXCLUDES(mu_);
 
  private:
   struct Module {

@@ -1,0 +1,178 @@
+#include "migrate/coordinator.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "migrate/service.hpp"
+#include "migrate/state.hpp"
+#include "migrate_proto.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cricket::migrate {
+namespace {
+
+void count_result(const char* result) {
+  obs::Registry::global()
+      .counter("cricket_migrations_total", {{"result", result}},
+               "Tenant migrations driven by this coordinator, by outcome")
+      .inc();
+}
+
+}  // namespace
+
+MigrationCoordinator::MigrationCoordinator(
+    core::CricketServer& source, rpc::RpcClient& target,
+    RedirectingConnector* redirect, RedirectingConnector::Factory target_factory,
+    MigrationOptions options)
+    : source_(&source),
+      target_(&target),
+      redirect_(redirect),
+      target_factory_(std::move(target_factory)),
+      options_(options) {}
+
+MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
+  MigrationReport report;
+  tenancy::SessionManager* tenants = source_->tenants();
+  if (tenants == nullptr) {
+    report.error = "source server runs without multi-tenancy";
+    count_result("aborted");
+    return report;
+  }
+  const auto tenant = tenants->find(tenant_name);
+  if (!tenant) {
+    report.error = "unknown tenant: " + tenant_name;
+    count_result("aborted");
+    return report;
+  }
+
+  const auto abort_with = [&](MigrationPhase phase, std::string error) {
+    // Roll back: unfreeze the tenant so the source keeps serving it as if
+    // the migration never started. (No target state to undo — the commit
+    // point was not reached, and the target discards uncommitted tickets.)
+    tenants->end_drain(*tenant);
+    report.phase = phase;
+    report.error = std::move(error);
+    count_result("aborted");
+    return report;
+  };
+
+  obs::Span total_span(obs::Layer::kApp, "migrate.total");
+
+  // ------------------------------- drain ---------------------------------
+  {
+    obs::Span span(obs::Layer::kApp, "migrate.drain");
+    tenants->begin_drain(*tenant);
+    if (!tenants->wait_quiesced(*tenant, options_.drain_timeout))
+      return abort_with(MigrationPhase::kDrain,
+                        "drain timed out with calls still in flight");
+  }
+
+  // ------------------------------ snapshot -------------------------------
+  std::vector<std::uint8_t> blob;
+  {
+    obs::Span span(obs::Layer::kApp, "migrate.snapshot");
+    try {
+      MigrationImage image;
+      const auto exported = tenants->export_tenant(*tenant);
+      if (!exported)
+        return abort_with(MigrationPhase::kSnapshot,
+                          "tenant vanished during export");
+      image.tenant = *exported;
+      image.sessions = source_->export_tenant_sessions(*tenant);
+      report.sessions = image.sessions.size();
+      blob = encode_image(image);
+    } catch (const std::exception& e) {
+      return abort_with(MigrationPhase::kSnapshot, e.what());
+    }
+  }
+  report.image_bytes = blob.size();
+
+  // ------------------------------ transfer -------------------------------
+  std::uint64_t ticket = 0;
+  {
+    obs::Span span(obs::Layer::kApp, "migrate.transfer");
+    proto::MIGRATEVERSClient stub(*target_);
+    const std::size_t chunk_bytes = std::clamp<std::size_t>(
+        options_.chunk_bytes, 1,
+        static_cast<std::size_t>(proto::MIG_MAX_CHUNK));
+    try {
+      proto::mig_begin_args begin;
+      begin.tenant = tenant_name;
+      begin.total_bytes = blob.size();
+      const auto opened = stub.mig_begin(begin);
+      if (opened.err != kMigOk)
+        return abort_with(MigrationPhase::kTransfer,
+                          "target refused transfer (code " +
+                              std::to_string(opened.err) + ")");
+      ticket = opened.ticket;
+      for (std::size_t offset = 0; offset < blob.size();
+           offset += chunk_bytes) {
+        proto::mig_chunk_args chunk;
+        chunk.ticket = ticket;
+        chunk.offset = offset;
+        const std::size_t len = std::min(chunk_bytes, blob.size() - offset);
+        chunk.data.assign(blob.begin() + static_cast<std::ptrdiff_t>(offset),
+                          blob.begin() +
+                              static_cast<std::ptrdiff_t>(offset + len));
+        const std::int32_t err = stub.mig_chunk(chunk);
+        if (err != kMigOk)
+          return abort_with(MigrationPhase::kTransfer,
+                            "target refused chunk (code " +
+                                std::to_string(err) + ")");
+        ++report.chunks;
+      }
+      proto::mig_commit_args commit;
+      commit.ticket = ticket;
+      commit.checksum = fnv64(blob);
+      const std::int32_t err = stub.mig_commit(commit);
+      if (err != kMigOk)
+        return abort_with(MigrationPhase::kTransfer,
+                          "target refused commit (code " +
+                              std::to_string(err) + ")");
+    } catch (const std::exception& e) {
+      // The control channel died somewhere between begin and commit. The
+      // commit may or may not have landed; mig_abort disambiguates — it
+      // discards an uncommitted ticket but answers kMigCommitted for a
+      // committed one, in which case the tenant lives on the target and the
+      // only correct continuation is to flip.
+      bool committed_remotely = false;
+      if (ticket != 0) {
+        try {
+          committed_remotely = stub.mig_abort(ticket) == kMigCommitted;
+        } catch (const std::exception&) {
+          // Unreachable target: assume not committed. The tenant resumes on
+          // the source; a committed-but-orphaned image on the target stays
+          // invisible until its tenant name is registered, and operators
+          // retry the migration once the network heals.
+        }
+      }
+      if (!committed_remotely)
+        return abort_with(MigrationPhase::kTransfer, e.what());
+    }
+  }
+
+  // -------------------------------- flip ---------------------------------
+  {
+    obs::Span span(obs::Layer::kApp, "migrate.flip");
+    if (redirect_ != nullptr && target_factory_)
+      redirect_->set_target(target_factory_);
+    // The tenant stays frozen on the source on purpose: every later call is
+    // answered with the retryable kMigrating reply, and the client's
+    // reconnect (now redirected) re-submits it to the target exactly once.
+  }
+  report.phase = MigrationPhase::kFlip;
+  report.committed = true;
+  count_result("committed");
+  return report;
+}
+
+std::unique_ptr<rpc::RpcClient> make_migrate_client(
+    std::unique_ptr<rpc::Transport> transport, rpc::ClientOptions options) {
+  return std::make_unique<rpc::RpcClient>(std::move(transport),
+                                          proto::MIGRATE_PROG,
+                                          proto::MIGRATEVERS_VERS, options);
+}
+
+}  // namespace cricket::migrate

@@ -1,0 +1,101 @@
+// MigrationCoordinator: drives one tenant's live migration from the source.
+//
+// Phases (DESIGN.md §13):
+//   drain     freeze admission (typed, always-retryable kMigrating reply)
+//             and wait until every already-admitted call completes.
+//   snapshot  export the quiesced tenant: quota/token-bucket/accounting
+//             state, every session's device slice, resource-ownership
+//             tables, and duplicate-request-cache entries.
+//   transfer  stream the encoded image to the target in bounded chunks and
+//             commit it under an end-to-end checksum.
+//   flip      atomically redirect the client-visible connection factory to
+//             the target. The tenant stays frozen on the source, so every
+//             subsequent call is answered kMigrating, and the client's
+//             reconnect + xid re-submission lands on the target — where the
+//             migrated DRC suppresses re-execution of completed calls.
+//
+// Any failure before the image is committed aborts: the target discards
+// the partial transfer and end_drain unfreezes the tenant on the source,
+// which keeps serving as if nothing happened. After the commit point the
+// coordinator never rolls back — a lost commit reply is resolved by the
+// idempotent re-commit, or by mig_abort answering "already committed".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cricket/server.hpp"
+#include "migrate/redirect.hpp"
+#include "rpc/client.hpp"
+
+namespace cricket::migrate {
+
+enum class MigrationPhase : std::uint32_t {
+  kNone = 0,
+  kDrain,
+  kSnapshot,
+  kTransfer,
+  kFlip,
+};
+
+[[nodiscard]] constexpr const char* migration_phase_name(
+    MigrationPhase phase) noexcept {
+  switch (phase) {
+    case MigrationPhase::kNone: return "none";
+    case MigrationPhase::kDrain: return "drain";
+    case MigrationPhase::kSnapshot: return "snapshot";
+    case MigrationPhase::kTransfer: return "transfer";
+    case MigrationPhase::kFlip: return "flip";
+  }
+  return "unknown";
+}
+
+struct MigrationOptions {
+  /// Real-time budget for in-flight calls to complete after the freeze.
+  std::chrono::nanoseconds drain_timeout = std::chrono::seconds(5);
+  /// Transfer chunk size; clamped to the protocol bound (256 KiB).
+  std::size_t chunk_bytes = 256 * 1024;
+};
+
+struct MigrationReport {
+  bool committed = false;
+  /// On failure, the phase that failed; on success, kFlip.
+  MigrationPhase phase = MigrationPhase::kNone;
+  std::string error;
+  std::uint64_t sessions = 0;
+  std::uint64_t image_bytes = 0;
+  std::uint64_t chunks = 0;
+};
+
+class MigrationCoordinator {
+ public:
+  /// `target` is an RPC client bound to the MIGRATE program on the target
+  /// server (see migrate_client()). `redirect`/`target_factory`: the
+  /// connector the tenant's clients reconnect through and the factory it is
+  /// flipped to at commit; pass nullptr to manage redirection externally.
+  MigrationCoordinator(core::CricketServer& source, rpc::RpcClient& target,
+                       RedirectingConnector* redirect,
+                       RedirectingConnector::Factory target_factory,
+                       MigrationOptions options = {});
+
+  /// Migrates one tenant. Blocking; safe to call for different tenants in
+  /// sequence. Never throws — failures come back in the report.
+  [[nodiscard]] MigrationReport migrate(const std::string& tenant_name);
+
+ private:
+  core::CricketServer* source_;
+  rpc::RpcClient* target_;
+  RedirectingConnector* redirect_;
+  RedirectingConnector::Factory target_factory_;
+  MigrationOptions options_;
+};
+
+/// Convenience: an RPC client speaking the MIGRATE program over `transport`
+/// (enable retry in `options` freely — every MIGRATE procedure is
+/// idempotent, by DRC on the control connection or by construction).
+[[nodiscard]] std::unique_ptr<rpc::RpcClient> make_migrate_client(
+    std::unique_ptr<rpc::Transport> transport, rpc::ClientOptions options = {});
+
+}  // namespace cricket::migrate

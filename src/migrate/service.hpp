@@ -1,0 +1,117 @@
+// MigrationTarget: the receiving end of a tenant live-migration.
+//
+// Accepts the chunked state image over the MIGRATE program (migrate.x),
+// reassembling it with every length pinned against a declared-and-bounded
+// total before any byte is buffered, and commits it atomically: the
+// tenant's quota/accounting state is imported into the target's
+// SessionManager, the tenant is pinned to a reserved device, every
+// session's device-state slice is merged onto it, and the session bundles
+// (handle ownership + duplicate-request-cache entries) are staged for
+// adoption by the reconnecting clients. Nothing is visible to admission
+// until mig_commit succeeds, and committing the same ticket twice is a
+// no-op success — the transfer itself is exactly-once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cricket/server.hpp"
+#include "rpc/transport.hpp"
+#include "sim/annotations.hpp"
+
+namespace cricket::migrate {
+
+/// Wire error codes for the int-returning MIGRATE procedures (0 = success).
+enum MigErr : std::int32_t {
+  kMigOk = 0,
+  /// Unknown or already-consumed ticket.
+  kMigBadTicket = 1,
+  /// Declared image size exceeds the target's budget (checked in mig_begin,
+  /// before any allocation).
+  kMigTooLarge = 2,
+  /// Chunk offset is neither the append position nor an already-received
+  /// duplicate, or commit arrived before all bytes did.
+  kMigOutOfOrder = 3,
+  /// Chunk would run past the declared total.
+  kMigOverrun = 4,
+  /// FNV-64 over the reassembled image does not match mig_commit's claim.
+  kMigChecksum = 5,
+  /// Image decoded but is structurally invalid.
+  kMigBadImage = 6,
+  /// Image (or its nested checkpoint) is from a newer build: upgrade this
+  /// server before migrating onto it.
+  kMigVersion = 7,
+  /// mig_abort on a committed ticket: the tenant already lives here.
+  kMigCommitted = 8,
+  /// This server runs without a SessionManager; it cannot host tenants.
+  kMigNoTenants = 9,
+  /// restore_merge refused (handle or address collision on the device).
+  kMigDevice = 10,
+};
+
+struct MigrationTargetOptions {
+  /// Device the migrated tenant is pinned to. ~0u = the node's last device
+  /// — by convention the reserved spare, kept pristine so restored
+  /// addresses and handle ids can never collide with residents.
+  std::uint32_t pin_device = ~0u;
+  /// Ceiling on a declared image size; mig_begin refuses anything larger
+  /// before allocating a byte.
+  std::uint64_t max_image_bytes = 256ull << 20;
+};
+
+class MigrationTarget {
+ public:
+  explicit MigrationTarget(core::CricketServer& server,
+                           MigrationTargetOptions options = {});
+  ~MigrationTarget();
+
+  MigrationTarget(const MigrationTarget&) = delete;
+  MigrationTarget& operator=(const MigrationTarget&) = delete;
+
+  /// Serves one migration-control connection until end-of-stream. Runs with
+  /// the duplicate-request cache enabled, so a coordinator retrying a
+  /// timed-out call on the same connection gets the original reply.
+  void serve(rpc::Transport& transport);
+  [[nodiscard]] std::thread serve_async(
+      std::unique_ptr<rpc::Transport> transport);
+
+  struct BeginResult {
+    std::int32_t err = kMigOk;
+    std::uint64_t ticket = 0;
+  };
+
+  /// Procedure bodies (also the unit-test surface).
+  BeginResult begin(const std::string& tenant, std::uint64_t total_bytes)
+      CRICKET_EXCLUDES(mu_);
+  std::int32_t chunk(std::uint64_t ticket, std::uint64_t offset,
+                     const std::vector<std::uint8_t>& data)
+      CRICKET_EXCLUDES(mu_);
+  std::int32_t commit(std::uint64_t ticket, std::uint64_t checksum)
+      CRICKET_EXCLUDES(mu_);
+  std::int32_t abort(std::uint64_t ticket) CRICKET_EXCLUDES(mu_);
+
+  [[nodiscard]] std::uint64_t committed_count() const CRICKET_EXCLUDES(mu_);
+
+ private:
+  struct PendingTransfer {
+    std::string tenant;
+    std::uint64_t total = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::int32_t import_locked(PendingTransfer& pending) CRICKET_REQUIRES(mu_);
+
+  core::CricketServer* server_;
+  MigrationTargetOptions options_;
+  mutable sim::Mutex mu_;
+  std::map<std::uint64_t, PendingTransfer> pending_ CRICKET_GUARDED_BY(mu_);
+  std::set<std::uint64_t> committed_ CRICKET_GUARDED_BY(mu_);
+  std::uint64_t next_ticket_ CRICKET_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace cricket::migrate

@@ -1,0 +1,204 @@
+#include "migrate/state.hpp"
+
+#include <cstring>
+
+#include "cricket/checkpoint.hpp"
+#include "xdr/xdr.hpp"
+
+namespace cricket::migrate {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'M', 'I', 'G', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8;    // magic + version word
+constexpr std::size_t kChecksumBytes = 8;  // trailing FNV-64
+
+// Hostile-length ceilings, all checked before the corresponding allocation.
+constexpr std::uint32_t kMaxSessions = 1024;
+constexpr std::uint32_t kMaxTableEntries = 1 << 16;
+constexpr std::uint32_t kMaxCheckpointBytes = 1u << 30;
+constexpr std::uint32_t kMaxDrcReplyBytes = 1u << 20;
+
+void encode_tenant(xdr::Encoder& enc, const tenancy::TenantExport& t) {
+  enc.put_string(t.spec.name);
+  enc.put_u32(t.spec.weight);
+  enc.put_u32(t.spec.priority);
+  enc.put_u64(t.spec.quota.device_mem_bytes);
+  enc.put_u32(t.spec.quota.max_outstanding_calls);
+  enc.put_u64(t.spec.quota.bytes_per_sec);
+  enc.put_u64(t.spec.quota.burst_bytes);
+  enc.put_u32(t.spec.quota.max_sessions);
+  enc.put_u64(t.bucket_tokens);
+  enc.put_u64(t.mem_used_bytes);
+  enc.put_u64(t.mem_peak_bytes);
+  enc.put_u64(t.calls_admitted);
+  enc.put_u64(t.calls_rejected);
+  enc.put_u64(t.device_ns);
+  enc.put_u64(t.sessions_opened);
+  enc.put_u64(t.sessions_closed);
+}
+
+tenancy::TenantExport decode_tenant(xdr::Decoder& dec) {
+  tenancy::TenantExport t;
+  t.spec.name = dec.get_string(256);
+  if (t.spec.name.empty())
+    throw MigrationError("migration image names no tenant");
+  t.spec.weight = dec.get_u32();
+  t.spec.priority = dec.get_u32();
+  t.spec.quota.device_mem_bytes = dec.get_u64();
+  t.spec.quota.max_outstanding_calls = dec.get_u32();
+  t.spec.quota.bytes_per_sec = dec.get_u64();
+  t.spec.quota.burst_bytes = dec.get_u64();
+  t.spec.quota.max_sessions = dec.get_u32();
+  t.bucket_tokens = dec.get_u64();
+  t.mem_used_bytes = dec.get_u64();
+  t.mem_peak_bytes = dec.get_u64();
+  t.calls_admitted = dec.get_u64();
+  t.calls_rejected = dec.get_u64();
+  t.device_ns = dec.get_u64();
+  t.sessions_opened = dec.get_u64();
+  t.sessions_closed = dec.get_u64();
+  return t;
+}
+
+template <typename T>
+void encode_handles(xdr::Encoder& enc, const std::vector<T>& ids) {
+  enc.put_u32(static_cast<std::uint32_t>(ids.size()));
+  for (const auto id : ids) enc.put_u64(static_cast<std::uint64_t>(id));
+}
+
+template <typename T>
+std::vector<T> decode_handles(xdr::Decoder& dec) {
+  const std::uint32_t n = dec.get_u32();
+  if (n > kMaxTableEntries)
+    throw MigrationError("migration image handle table too large");
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(static_cast<T>(dec.get_u64()));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv64(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> encode_image(const MigrationImage& image) {
+  xdr::Encoder enc;
+  enc.put_opaque_fixed(kMagic);
+  enc.put_u32(kVersion);
+  encode_tenant(enc, image.tenant);
+  enc.put_u32(static_cast<std::uint32_t>(image.sessions.size()));
+  for (const auto& s : image.sessions) {
+    enc.put_u64(s.session_id);
+    // The device-state slice rides as a nested version-2 checkpoint blob:
+    // same codec, same checksum, same version gate as on-disk checkpoints.
+    enc.put_opaque(core::encode_checkpoint(s.state));
+    enc.put_u32(static_cast<std::uint32_t>(s.allocations.size()));
+    for (const auto& [ptr, bytes] : s.allocations) {
+      enc.put_u64(ptr);
+      enc.put_u64(bytes);
+    }
+    encode_handles(enc, s.modules);
+    encode_handles(enc, s.streams);
+    encode_handles(enc, s.events);
+    enc.put_u32(static_cast<std::uint32_t>(s.drc.size()));
+    for (const auto& e : s.drc) {
+      enc.put_u64(e.client);
+      enc.put_u32(e.xid);
+      enc.put_opaque(e.reply);
+    }
+  }
+  const std::uint64_t checksum =
+      fnv64(std::span<const std::uint8_t>(enc.bytes()).subspan(kHeaderBytes));
+  enc.put_u64(checksum);
+  return enc.take();
+}
+
+MigrationImage decode_image(std::span<const std::uint8_t> bytes) {
+  try {
+    std::uint32_t version = 0;
+    {
+      xdr::Decoder hdr(bytes);
+      std::uint8_t magic[4];
+      hdr.get_opaque_fixed(magic);
+      if (std::memcmp(magic, kMagic, 4) != 0)
+        throw MigrationError("bad migration image magic");
+      version = hdr.get_u32();
+    }
+    if (version > kVersion)
+      throw MigrationVersionError(
+          "migration image version " + std::to_string(version) +
+          " is newer than this build understands (max " +
+          std::to_string(kVersion) + ")");
+    if (version == 0)
+      throw MigrationError("unsupported migration image version");
+
+    std::span<const std::uint8_t> body = bytes.subspan(kHeaderBytes);
+    if (body.size() < kChecksumBytes)
+      throw MigrationError("migration image truncated before checksum");
+    body = body.first(body.size() - kChecksumBytes);
+    const std::span<const std::uint8_t> tail =
+        bytes.subspan(bytes.size() - kChecksumBytes);
+    std::uint64_t want = 0;
+    for (const std::uint8_t byte : tail) want = (want << 8) | byte;
+    if (fnv64(body) != want)
+      throw MigrationError("migration image checksum mismatch");
+
+    xdr::Decoder dec(body);
+    MigrationImage image;
+    image.tenant = decode_tenant(dec);
+    const std::uint32_t ns = dec.get_u32();
+    if (ns > kMaxSessions)
+      throw MigrationError("migration image session count too large");
+    image.sessions.reserve(ns);
+    for (std::uint32_t i = 0; i < ns; ++i) {
+      core::SessionExport s;
+      s.session_id = dec.get_u64();
+      s.state = core::decode_checkpoint(dec.get_opaque(kMaxCheckpointBytes));
+      const std::uint32_t na = dec.get_u32();
+      if (na > kMaxTableEntries)
+        throw MigrationError("migration image allocation table too large");
+      s.allocations.reserve(na);
+      for (std::uint32_t a = 0; a < na; ++a) {
+        const std::uint64_t ptr = dec.get_u64();
+        s.allocations.emplace_back(ptr, dec.get_u64());
+      }
+      s.modules = decode_handles<cuda::ModuleId>(dec);
+      s.streams = decode_handles<cuda::StreamId>(dec);
+      s.events = decode_handles<cuda::EventId>(dec);
+      const std::uint32_t nd = dec.get_u32();
+      if (nd > kMaxTableEntries)
+        throw MigrationError("migration image DRC table too large");
+      s.drc.reserve(nd);
+      for (std::uint32_t d = 0; d < nd; ++d) {
+        rpc::DrcExportEntry entry;
+        entry.client = dec.get_u64();
+        entry.xid = dec.get_u32();
+        entry.reply = dec.get_opaque(kMaxDrcReplyBytes);
+        s.drc.push_back(std::move(entry));
+      }
+      image.sessions.push_back(std::move(s));
+    }
+    dec.expect_exhausted();
+    return image;
+  } catch (const core::CheckpointVersionError& e) {
+    // The nested device blob outruns this build: same upgrade-ordering
+    // problem as a future image version, so surface it the same way.
+    throw MigrationVersionError(e.what());
+  } catch (const core::CheckpointError& e) {
+    throw MigrationError(std::string("bad nested checkpoint: ") + e.what());
+  } catch (const xdr::XdrError& e) {
+    throw MigrationError(std::string("malformed migration image: ") +
+                         e.what());
+  }
+}
+
+}  // namespace cricket::migrate

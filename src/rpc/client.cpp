@@ -77,6 +77,9 @@ std::vector<std::uint8_t> RpcClient::interpret_reply(const ReplyMsg& reply) {
       throw RpcError(RpcError::Kind::kQuotaExceeded,
                      std::string("tenant quota exceeded: ") +
                          quota_reason_name(reply.quota_reason));
+    case AcceptStat::kMigrating:
+      throw RpcError(RpcError::Kind::kMigrating,
+                     "tenant is being migrated; retry via reconnect");
   }
   throw RpcError(RpcError::Kind::kBadReply, "invalid accept_stat");
 }
@@ -153,6 +156,13 @@ std::vector<std::uint8_t> RpcClient::call_raw_retrying(const CallMsg& call) {
   static obs::Counter& deadline_total = obs::Registry::global().counter(
       "cricket_rpc_deadline_exceeded_total", {},
       "RPC calls failed after exhausting their deadline/attempt budget");
+  static obs::Counter& stale_total = obs::Registry::global().counter(
+      "cricket_rpc_stale_replies_total", {},
+      "Replies for an older xid dropped while awaiting a retried call");
+  static obs::Counter& migrating_total = obs::Registry::global().counter(
+      "cricket_rpc_migrating_redirects_total", {},
+      "kMigrating rejections absorbed by the retry layer (call re-sent "
+      "through the reconnect factory)");
 
   const RetryPolicy& policy = options_.retry;
   const bool retryable =
@@ -185,6 +195,7 @@ std::vector<std::uint8_t> RpcClient::call_raw_retrying(const CallMsg& call) {
 
   for (std::uint32_t attempt = 1;; ++attempt) {
     bool sent = false;
+    bool migrating = false;
     try {
       obs::Span span(obs::Layer::kChanSend, nullptr, record.size());
       writer_.write_record(record);
@@ -220,13 +231,28 @@ std::vector<std::uint8_t> RpcClient::call_raw_retrying(const CallMsg& call) {
         }
         if (reply.xid == call.xid) {
           (void)transport_->set_recv_timeout(std::chrono::nanoseconds::zero());
-          return interpret_reply(reply);
+          try {
+            return interpret_reply(reply);
+          } catch (const RpcError& e) {
+            if (e.kind() != RpcError::Kind::kMigrating) throw;
+            // The tenant is frozen for live migration; the call never
+            // executed, so re-sending the same xid is safe regardless of
+            // idempotency. Reconnect through the factory so the re-send
+            // follows the migration's redirect once it flips, then fall to
+            // the backoff/retry decision below.
+            ++stats_.migrating_redirects;
+            migrating_total.inc();
+            migrating = true;
+            (void)try_reconnect();
+            break;
+          }
         }
         // A slow answer to an attempt we already gave up on (or to an
         // earlier call whose retry was answered from the server's duplicate
         // cache). Drain it and keep waiting for ours.
         if (static_cast<std::int32_t>(reply.xid - call.xid) < 0) {
           ++stats_.stale_replies;
+          stale_total.inc();
           continue;
         }
         throw RpcError(RpcError::Kind::kBadReply,
@@ -253,7 +279,10 @@ std::vector<std::uint8_t> RpcClient::call_raw_retrying(const CallMsg& call) {
     }
 
     (void)transport_->set_recv_timeout(std::chrono::nanoseconds::zero());
-    if (!retryable) throw give_up("non-idempotent procedure, not retrying");
+    // A migrating rejection is retryable even for non-idempotent procedures:
+    // admission refused the call before decode, so it has no side effects.
+    if (!retryable && !migrating)
+      throw give_up("non-idempotent procedure, not retrying");
     if (attempt >= policy.max_attempts) throw give_up("attempts exhausted");
 
     const auto pause = backoff_for(policy, call.xid, attempt);

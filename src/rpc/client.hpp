@@ -38,6 +38,11 @@ class RpcError : public std::runtime_error {
     /// is over quota (see AcceptStat::kQuotaExceeded). Retryable after
     /// backoff — the connection is still healthy.
     kQuotaExceeded,
+    /// Cricket extension: the tenant is frozen for live migration (see
+    /// AcceptStat::kMigrating). The call did not execute; with retry
+    /// enabled the client re-sends the same xid through its reconnect
+    /// factory so the retry follows the migration's redirect.
+    kMigrating,
   };
 
   RpcError(Kind kind, std::string what)
@@ -96,6 +101,10 @@ struct ClientStats {
   /// Replies for an older xid, skipped while retrying (the original answer
   /// to a call we already re-sent).
   std::uint64_t stale_replies = 0;
+  /// kMigrating rejections absorbed by the retry layer: the call was
+  /// re-sent (through the reconnect factory, following the migration's
+  /// redirect) instead of failing.
+  std::uint64_t migrating_redirects = 0;
 };
 
 /// Synchronous RPC client bound to one (program, version) on one transport.

@@ -23,7 +23,11 @@ class RecordWriter {
  public:
   explicit RecordWriter(Transport& transport,
                         std::uint32_t max_fragment = kDefaultMaxFragment)
-      : transport_(&transport), max_fragment_(max_fragment) {}
+      : transport_(&transport),
+        // 0 can only be a misconfiguration; honouring it literally would
+        // emit empty non-last fragments forever.
+        max_fragment_(max_fragment == 0 ? kDefaultMaxFragment : max_fragment) {
+  }
 
   void write_record(std::span<const std::uint8_t> record);
 

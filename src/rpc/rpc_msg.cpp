@@ -93,7 +93,7 @@ std::vector<std::uint8_t> encode_reply(const ReplyMsg& reply) {
         enc.put_u32(static_cast<std::uint32_t>(reply.quota_reason));
         break;
       default:
-        break;  // void
+        break;  // void (includes kMigrating)
     }
   } else {
     enc.put_enum(reply.reject_stat);
@@ -194,6 +194,7 @@ ReplyMsg decode_reply(std::span<const std::uint8_t> record) {
       case AcceptStat::kProcUnavail:
       case AcceptStat::kGarbageArgs:
       case AcceptStat::kSystemErr:
+      case AcceptStat::kMigrating:
         dec.expect_exhausted();
         break;
       case AcceptStat::kQuotaExceeded: {

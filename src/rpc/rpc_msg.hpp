@@ -28,6 +28,15 @@ enum class AcceptStat : std::int32_t {
   /// Admission control answers with this status *before* argument decode,
   /// so the connection survives and the client can retry after backoff.
   kQuotaExceeded = 6,
+  /// Cricket extension: the tenant's sessions are frozen because they are
+  /// being live-migrated to another server. Like kQuotaExceeded this is
+  /// answered at admission before argument decode — the call has NOT
+  /// executed, so it is always safe to re-send (same xid) regardless of
+  /// idempotency. Clients should back off and retry through their reconnect
+  /// factory: once the migration's redirect flips, the retry lands on the
+  /// target server, where the migrated duplicate-request cache preserves
+  /// at-most-once for calls that did execute before the freeze.
+  kMigrating = 7,
 };
 
 /// Reason word carried by a kQuotaExceeded reply.

@@ -75,10 +75,9 @@ void ServiceRegistry::DrcState::evict_locked() {
   }
 }
 
-namespace {
 /// FNV-1a over the credential (flavor + body): stable client identity for
 /// the duplicate-request cache without parsing any particular auth scheme.
-std::uint64_t drc_client_id(const OpaqueAuth& cred) {
+std::uint64_t drc_client_id(const OpaqueAuth& cred) noexcept {
   std::uint64_t h = 0xCBF29CE484222325ull;
   const auto mix = [&h](std::uint8_t byte) {
     h ^= byte;
@@ -89,7 +88,41 @@ std::uint64_t drc_client_id(const OpaqueAuth& cred) {
   for (const std::uint8_t byte : cred.body) mix(byte);
   return h;
 }
-}  // namespace
+
+std::vector<DrcExportEntry> ServiceRegistry::export_drc(
+    std::optional<std::uint64_t> client) const {
+  std::vector<DrcExportEntry> out;
+  if (!drc_) return out;
+  sim::MutexLock lock(drc_->mu);
+  for (const auto& [key, entry] : drc_->cache) {
+    if (client.has_value() && key.client != *client) continue;
+    out.push_back(DrcExportEntry{key.client, key.xid,
+                                 encode_reply(entry.reply)});
+  }
+  return out;
+}
+
+void ServiceRegistry::import_drc(const std::vector<DrcExportEntry>& entries) {
+  if (!drc_)
+    throw std::logic_error(
+        "import_drc: duplicate-request cache not enabled on this registry");
+  DrcState& drc = *drc_;
+  sim::MutexLock lock(drc.mu);
+  for (const auto& e : entries) {
+    ReplyMsg reply = decode_reply(e.reply);
+    if (reply.xid != e.xid)
+      throw RpcFormatError("imported DRC entry xid does not match its reply");
+    const DrcKey key{e.client, e.xid};
+    const std::size_t bytes = reply.results.size() + 64;  // + header estimate
+    if (drc.cache.emplace(key, DrcEntry{std::move(reply), bytes}).second) {
+      drc.fifo.push_back(key);
+      drc.bytes += bytes;
+      ++drc.stats.insertions;
+      drc.evict_locked();
+    }
+  }
+  drc.cv.notify_all();
+}
 
 ReplyMsg ServiceRegistry::dispatch(const CallMsg& call) const {
   // Only handled procedures go through the cache: error classifications and

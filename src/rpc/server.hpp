@@ -56,6 +56,20 @@ struct DrcStats {
   std::uint64_t evictions = 0;
 };
 
+/// One duplicate-request-cache entry in portable form. Live migration ships
+/// these to the target server so a retry of a call that already executed on
+/// the source is answered from cache there instead of re-executing.
+struct DrcExportEntry {
+  std::uint64_t client = 0;  // drc_client_id of the caller's credential
+  std::uint32_t xid = 0;
+  std::vector<std::uint8_t> reply;  // encode_reply() bytes of the cached reply
+};
+
+/// The duplicate-request cache's client identity: FNV-1a over the credential
+/// (flavor + body). Exposed so migration can export one tenant's entries by
+/// hashing the credentials of its sessions.
+[[nodiscard]] std::uint64_t drc_client_id(const OpaqueAuth& cred) noexcept;
+
 /// Pre-decode admission control seam (multi-tenant servers). The controller
 /// sees every structurally valid record after the wire-size pre-flight and
 /// before any argument decode or dispatch work; returning a reply
@@ -144,6 +158,20 @@ class ServiceRegistry {
     return drc_ != nullptr;
   }
   [[nodiscard]] DrcStats drc_stats() const;
+
+  /// Snapshots cached replies for migration, optionally restricted to one
+  /// client identity (drc_client_id of a credential). Empty when the cache
+  /// is disabled. In-flight executions are not exported — callers quiesce
+  /// (drain outstanding calls) before snapshotting.
+  [[nodiscard]] std::vector<DrcExportEntry> export_drc(
+      std::optional<std::uint64_t> client = std::nullopt) const;
+
+  /// Seeds the cache with migrated entries. Each reply is re-decoded (a
+  /// hostile blob throws RpcFormatError/XdrError and nothing is inserted
+  /// past it); entries already present are kept, not overwritten. Throws
+  /// std::logic_error when the cache is disabled — silently dropping the
+  /// entries would forfeit at-most-once for the migrated tenant.
+  void import_drc(const std::vector<DrcExportEntry>& entries);
 
   /// Installs a pre-decode admission controller (non-owning; must outlive
   /// serving). Like register_proc, must be set before dispatch starts —

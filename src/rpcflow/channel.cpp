@@ -63,6 +63,10 @@ std::exception_ptr reply_error(const rpc::ReplyMsg& reply) {
           RpcError::Kind::kQuotaExceeded,
           std::string("tenant quota exceeded: ") +
               rpc::quota_reason_name(reply.quota_reason)));
+    case rpc::AcceptStat::kMigrating:
+      return std::make_exception_ptr(
+          RpcError(RpcError::Kind::kMigrating,
+                   "tenant is being migrated; retry via reconnect"));
   }
   return std::make_exception_ptr(
       RpcError(RpcError::Kind::kBadReply, "invalid accept_stat"));
@@ -333,6 +337,17 @@ void AsyncRpcChannel::fail_all_locked(const std::exception_ptr& error) {
 }
 
 void AsyncRpcChannel::reader_loop() {
+  static obs::Counter& reconnects_total = obs::Registry::global().counter(
+      "cricket_rpc_reconnects_total", {},
+      "Client transport reconnects after connection failure");
+  static obs::Counter& stale_total = obs::Registry::global().counter(
+      "cricket_rpc_stale_replies_total", {},
+      "Replies for an older xid dropped while awaiting a retried call");
+  static obs::Counter& migrating_total = obs::Registry::global().counter(
+      "cricket_rpc_migrating_redirects_total", {},
+      "kMigrating rejections absorbed by the retry layer (call re-sent "
+      "through the reconnect factory)");
+
   rpc::BufferedRecordReader reader(*transport_);
   std::vector<std::uint8_t> record;
   for (;;) {
@@ -365,6 +380,7 @@ void AsyncRpcChannel::reader_loop() {
             transport_ = std::move(fresh);
             batcher_->rebind(*transport_);
             ++stats_.reconnects;
+            reconnects_total.inc();
             const auto now = std::chrono::steady_clock::now();
             for (auto& [xid, call] : pending_) {
               if (call.record.empty()) continue;
@@ -437,6 +453,56 @@ void AsyncRpcChannel::reader_loop() {
       continue;
     }
 
+    // A migrating freeze is answered at admission, before the call executes,
+    // so instead of completing the future we keep the call pending and kick
+    // the transport: the resulting read failure sends this loop through its
+    // reconnect path, which resubmits every pending record (same xids)
+    // through the factory — following the migration's redirect once it
+    // flips. The backoff below self-throttles the reconnect storm while the
+    // migration is still in its transfer phase.
+    if (reply.stat == rpc::ReplyStat::kAccepted &&
+        reply.accept_stat == rpc::AcceptStat::kMigrating) {
+      std::uint32_t attempt = 1;
+      {
+        sim::MutexLock lock(mu_);
+        stats_.bytes_received += record.size();
+        const auto it = pending_.find(reply.xid);
+        if (it == pending_.end()) {
+          ++stats_.unmatched;
+          stale_total.inc();
+          continue;
+        }
+        auto& call = it->second;
+        if (options_.reconnect && !call.record.empty() &&
+            call.attempts < options_.retry.max_attempts &&
+            std::chrono::steady_clock::now() < call.hard_deadline) {
+          ++call.attempts;
+          attempt = call.attempts;
+          ++stats_.migrating_redirects;
+        } else {
+          // Out of budget (or no reconnect factory to follow the redirect
+          // with): surface the freeze to the caller.
+          ReplyPromise promise = call.promise;
+          pending_.erase(it);
+          ++stats_.replies;
+          ++stats_.failed;
+          lock.unlock();
+          promise.set_error(reply_error(reply));
+          slots_cv_.notify_all();
+          continue;
+        }
+      }
+      migrating_total.inc();
+      std::this_thread::sleep_for(
+          backoff_for(options_.retry, reply.xid, attempt - 1));
+      sim::MutexLock lock(mu_);
+      try {
+        transport_->shutdown();
+      } catch (...) {  // already dead is fine; the read below notices
+      }
+      continue;
+    }
+
     ReplyPromise promise;
     bool matched = false;
     {
@@ -450,6 +516,7 @@ void AsyncRpcChannel::reader_loop() {
         ++stats_.replies;
       } else {
         ++stats_.unmatched;
+        stale_total.inc();
       }
     }
     if (matched) {

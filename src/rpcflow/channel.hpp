@@ -73,6 +73,9 @@ struct ChannelStats {
   std::uint64_t retries = 0;           // records re-sent after a timeout
   std::uint64_t deadline_exceeded = 0;  // futures failed by the retry layer
   std::uint64_t reconnects = 0;
+  /// kMigrating replies absorbed by re-arming the call and kicking the
+  /// transport so the reconnect path resubmits it (migration redirect).
+  std::uint64_t migrating_redirects = 0;
 };
 
 /// Asynchronous RPC client bound to one (program, version) on one transport.

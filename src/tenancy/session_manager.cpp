@@ -81,9 +81,19 @@ std::optional<TenantId> SessionManager::authenticate(
   return std::nullopt;
 }
 
-std::uint32_t SessionManager::shard_device(TenantId tenant) const noexcept {
+std::uint32_t SessionManager::shard_device(TenantId tenant) const {
+  sim::MutexLock lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  if (t != nullptr && t->pinned_device != ~0u)
+    return t->pinned_device % options_.device_count;
   return static_cast<std::uint32_t>(shard_hash(tenant) %
                                     options_.device_count);
+}
+
+void SessionManager::pin_shard(TenantId tenant, std::uint32_t device) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t != nullptr) t->pinned_device = device;
 }
 
 SessionManager::Tenant* SessionManager::find_locked(TenantId tenant) {
@@ -112,6 +122,10 @@ Admission SessionManager::open_session(TenantId tenant, std::uint64_t) {
     count_rejection_locked(nullptr, RejectReason::kUnknownTenant);
     return Admission::reject(RejectReason::kUnknownTenant);
   }
+  if (t->draining) {
+    count_rejection_locked(t, RejectReason::kMigrating);
+    return Admission::reject(RejectReason::kMigrating);
+  }
   if (t->stats.open_sessions >= t->spec.quota.max_sessions) {
     count_rejection_locked(t, RejectReason::kSessionLimit);
     return Admission::reject(RejectReason::kSessionLimit);
@@ -137,6 +151,10 @@ Admission SessionManager::admit_call(TenantId tenant,
     count_rejection_locked(nullptr, RejectReason::kUnknownTenant);
     return Admission::reject(RejectReason::kUnknownTenant);
   }
+  if (t->draining) {
+    count_rejection_locked(t, RejectReason::kMigrating);
+    return Admission::reject(RejectReason::kMigrating);
+  }
   if (t->stats.outstanding_calls >= t->spec.quota.max_outstanding_calls) {
     count_rejection_locked(t, RejectReason::kOutstandingCalls);
     return Admission::reject(RejectReason::kOutstandingCalls);
@@ -153,8 +171,76 @@ Admission SessionManager::admit_call(TenantId tenant,
 void SessionManager::complete_call(TenantId tenant) {
   sim::MutexLock lock(mu_);
   Tenant* t = find_locked(tenant);
-  if (t != nullptr && t->stats.outstanding_calls > 0)
+  if (t != nullptr && t->stats.outstanding_calls > 0) {
     --t->stats.outstanding_calls;
+    if (t->draining) quiesce_cv_.notify_all();
+  }
+}
+
+void SessionManager::begin_drain(TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t != nullptr) t->draining = true;
+}
+
+void SessionManager::end_drain(TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t != nullptr) t->draining = false;
+}
+
+bool SessionManager::draining(TenantId tenant) const {
+  sim::MutexLock lock(mu_);
+  const Tenant* t = find_locked(tenant);
+  return t != nullptr && t->draining;
+}
+
+bool SessionManager::wait_quiesced(TenantId tenant,
+                                   std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  sim::MutexLock lock(mu_);
+  for (;;) {
+    const Tenant* t = find_locked(tenant);
+    if (t == nullptr) return false;
+    if (t->stats.outstanding_calls == 0) return true;
+    if (quiesce_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      const Tenant* again = find_locked(tenant);
+      return again != nullptr && again->stats.outstanding_calls == 0;
+    }
+  }
+}
+
+std::optional<TenantExport> SessionManager::export_tenant(TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return std::nullopt;
+  TenantExport exp;
+  exp.spec = t->spec;
+  exp.bucket_tokens = t->bucket.tokens(clock_->now());
+  exp.mem_used_bytes = t->stats.mem_used_bytes;
+  exp.mem_peak_bytes = t->stats.mem_peak_bytes;
+  exp.calls_admitted = t->stats.calls_admitted;
+  exp.calls_rejected = t->stats.calls_rejected;
+  exp.device_ns = t->stats.device_ns;
+  exp.sessions_opened = t->stats.sessions_opened;
+  exp.sessions_closed = t->stats.sessions_closed;
+  return exp;
+}
+
+TenantId SessionManager::import_tenant(const TenantExport& exp) {
+  const TenantId id = register_tenant(exp.spec);
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(id);
+  if (t == nullptr) return id;  // unreachable: register_tenant just made it
+  t->bucket.set_tokens(exp.bucket_tokens, clock_->now());
+  t->stats.mem_used_bytes = exp.mem_used_bytes;
+  t->stats.mem_peak_bytes = std::max(exp.mem_peak_bytes, exp.mem_used_bytes);
+  t->stats.calls_admitted = exp.calls_admitted;
+  t->stats.calls_rejected = exp.calls_rejected;
+  t->stats.device_ns = exp.device_ns;
+  t->stats.sessions_opened = exp.sessions_opened;
+  t->stats.sessions_closed = exp.sessions_closed;
+  return id;
 }
 
 bool SessionManager::try_charge_memory(TenantId tenant, std::uint64_t bytes) {

@@ -15,6 +15,7 @@
 // kernels stay device-local and per-device accounting stays meaningful.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -36,6 +37,25 @@ struct Admission {
 
   static Admission ok() { return {true, RejectReason::kUnknownTenant}; }
   static Admission reject(RejectReason r) { return {false, r}; }
+};
+
+/// Portable dynamic state of one tenant, for live migration: the quota spec
+/// plus the accounting that must survive the move. Outstanding calls are
+/// deliberately absent — a migration quiesces (drains) the tenant before
+/// exporting, so there is nothing in flight to carry. Live open_sessions are
+/// also absent: sessions re-open on the target as clients reconnect.
+struct TenantExport {
+  TenantSpec spec;
+  /// Token-bucket level at export time (anti-gaming: a migration must not
+  /// hand the tenant a freshly refilled bucket).
+  std::uint64_t bucket_tokens = ~0ull;
+  std::uint64_t mem_used_bytes = 0;
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint64_t calls_admitted = 0;
+  std::uint64_t calls_rejected = 0;
+  std::uint64_t device_ns = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
 };
 
 struct SessionManagerOptions {
@@ -66,8 +86,17 @@ class SessionManager {
   [[nodiscard]] std::optional<TenantId> authenticate(
       const rpc::OpaqueAuth& cred) const CRICKET_EXCLUDES(mu_);
 
-  /// Consistent tenant → device shard (FNV-1a of the id mod device_count).
-  [[nodiscard]] std::uint32_t shard_device(TenantId tenant) const noexcept;
+  /// Tenant → device shard: a migration pin when one is set (see
+  /// pin_shard), otherwise the consistent hash (FNV-1a of the id mod
+  /// device_count).
+  [[nodiscard]] std::uint32_t shard_device(TenantId tenant) const
+      CRICKET_EXCLUDES(mu_);
+
+  /// Pins a tenant to a specific device, overriding the consistent hash.
+  /// Migration uses this on the target: the moved tenant lands on a
+  /// reserved pristine device so restored allocation addresses and handle
+  /// ids can never collide with residents.
+  void pin_shard(TenantId tenant, std::uint32_t device) CRICKET_EXCLUDES(mu_);
 
   /// Session lifecycle. open_session enforces quota.max_sessions.
   [[nodiscard]] Admission open_session(TenantId tenant, std::uint64_t session)
@@ -81,6 +110,29 @@ class SessionManager {
   [[nodiscard]] Admission admit_call(TenantId tenant, std::uint64_t wire_bytes)
       CRICKET_EXCLUDES(mu_);
   void complete_call(TenantId tenant) CRICKET_EXCLUDES(mu_);
+
+  /// Migration freeze. While a tenant is draining, admit_call and
+  /// open_session refuse everything with RejectReason::kMigrating (the
+  /// typed, always-retryable reply) and no new work enters; wait_quiesced
+  /// then blocks until the calls admitted before the freeze have all been
+  /// balanced by complete_call. end_drain lifts the freeze (abort path —
+  /// a committed migration instead flips the redirect while still frozen).
+  void begin_drain(TenantId tenant) CRICKET_EXCLUDES(mu_);
+  void end_drain(TenantId tenant) CRICKET_EXCLUDES(mu_);
+  [[nodiscard]] bool draining(TenantId tenant) const CRICKET_EXCLUDES(mu_);
+  /// True when outstanding calls hit zero before the timeout.
+  [[nodiscard]] bool wait_quiesced(TenantId tenant,
+                                   std::chrono::nanoseconds timeout)
+      CRICKET_EXCLUDES(mu_);
+
+  /// Snapshots a tenant's migratable state (see TenantExport). Refills the
+  /// token bucket to "now" first, hence non-const. nullopt for unknown ids.
+  [[nodiscard]] std::optional<TenantExport> export_tenant(TenantId tenant)
+      CRICKET_EXCLUDES(mu_);
+  /// Registers (or re-configures) the tenant from an export and seeds its
+  /// bucket level and accounting. Returns the local tenant id (ids are
+  /// per-manager; only the name is stable across servers).
+  TenantId import_tenant(const TenantExport& exp) CRICKET_EXCLUDES(mu_);
 
   /// Device-memory accounting: charge at cudaMalloc, release at cudaFree /
   /// session teardown. try_charge refuses (and charges nothing) past quota.
@@ -120,6 +172,10 @@ class SessionManager {
     TenantSpec spec;
     TokenBucket bucket{0, 1};  // reconfigured at registration
     TenantStats stats;
+    /// Migration freeze flag (see begin_drain).
+    bool draining = false;
+    /// Migration shard pin; ~0u = unpinned (use the consistent hash).
+    std::uint32_t pinned_device = ~0u;
     /// Cached instrument references (stable for the registry's lifetime).
     obs::Counter* device_ns_total = nullptr;
     obs::Histogram* launch_latency = nullptr;
@@ -133,6 +189,9 @@ class SessionManager {
   sim::SimClock* clock_;
   SessionManagerOptions options_;
   mutable sim::Mutex mu_;
+  /// Signalled by complete_call whenever a draining tenant's outstanding
+  /// count drops; wait_quiesced sleeps on it.
+  mutable sim::CondVar quiesce_cv_;
   std::map<TenantId, Tenant> tenants_ CRICKET_GUARDED_BY(mu_);
   std::map<std::string, TenantId> by_name_ CRICKET_GUARDED_BY(mu_);
   TenantId next_id_ CRICKET_GUARDED_BY(mu_) = 1;

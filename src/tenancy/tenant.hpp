@@ -28,8 +28,11 @@ enum class RejectReason : std::uint32_t {
   kOutstandingCalls = 2,
   kDeviceMemory = 3,
   kSessionLimit = 4,
+  /// The tenant is frozen while its sessions live-migrate to another
+  /// server; maps to the retryable AcceptStat::kMigrating reply.
+  kMigrating = 5,
 };
-inline constexpr std::uint32_t kRejectReasonCount = 5;
+inline constexpr std::uint32_t kRejectReasonCount = 6;
 
 [[nodiscard]] constexpr const char* reject_reason_name(
     RejectReason reason) noexcept {
@@ -39,6 +42,7 @@ inline constexpr std::uint32_t kRejectReasonCount = 5;
     case RejectReason::kOutstandingCalls: return "outstanding_calls";
     case RejectReason::kDeviceMemory: return "device_memory";
     case RejectReason::kSessionLimit: return "session_limit";
+    case RejectReason::kMigrating: return "migrating";
   }
   return "unknown";
 }

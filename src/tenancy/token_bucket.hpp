@@ -46,6 +46,23 @@ class TokenBucket {
     return tokens_;
   }
 
+  /// Migration support: the current token level, refilled to `now` first so
+  /// the exported value is what the tenant would actually have. Paired with
+  /// set_tokens on the target so moving a tenant neither refills nor drains
+  /// its bucket.
+  [[nodiscard]] std::uint64_t tokens(sim::Nanos now) {
+    refill(now);
+    return tokens_;
+  }
+
+  /// Seeds the level (clamped to burst) and anchors refill at `now` — the
+  /// source and target run separate virtual clocks, so importing the source
+  /// refill timestamp would stall or inflate the refill stream.
+  void set_tokens(std::uint64_t tokens, sim::Nanos now) noexcept {
+    tokens_ = std::min(tokens, burst_);
+    last_refill_ = now;
+  }
+
  private:
   void refill(sim::Nanos now) {
     if (now <= last_refill_) return;

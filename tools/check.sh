@@ -20,8 +20,10 @@
 #                    retry/reconnect/DRC state is touched from many threads
 #  11. tenancy       multi-tenant admission + two-level fair share
 #                    (`ctest -L tenancy`) against the TSan build
-#  12. bench-json    committed BENCH_tenants.json parses and still honours
-#                    its fairness/throughput gates (validate_bench_json.py)
+#  12. bench-json    every committed BENCH_*.json parses and still honours
+#                    its gates — tenants fairness/throughput, migrate
+#                    zero-failure/exactly-once/blackout-budget
+#                    (validate_bench_json.py dispatches on "bench")
 #  13. lock-graph    full ctest with CRICKET_LOCKCHECK=1: every test process
 #                    dumps its held-before lock-order edges, then
 #                    tools/lock_graph.py merges them suite-wide and fails on
@@ -31,6 +33,11 @@
 #                    (`ctest -L mcheck`) against the TSan build — the
 #                    explorer's own handshake machinery runs raced, so it is
 #                    checked where races are fatal
+#  15. migrate       live-migration suites (`ctest -L migrate`) against the
+#                    TSan build — drain/transfer/flip run coordinator,
+#                    serve, retry, and traffic threads concurrently, so the
+#                    exactly-once machinery is exercised where races are
+#                    fatal
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -239,16 +246,22 @@ if should_continue; then
 fi
 
 # ------------------------------------------------------------ 12: bench-json
-# The committed perf trajectory must stay parseable and keep honouring its
-# fairness/throughput gates (tools/validate_bench_json.py, stdlib-only).
+# Every committed perf trajectory must stay parseable and keep honouring
+# its gates (tools/validate_bench_json.py, stdlib-only, dispatching on the
+# "bench" discriminator: tenants fairness/throughput, migrate rolling
+# restart).
 if should_continue; then
   if ! command -v python3 >/dev/null 2>&1; then
     record bench-json "SKIP (python3 not installed)"
-  elif [[ ! -f BENCH_tenants.json ]]; then
-    record bench-json "SKIP (BENCH_tenants.json missing — run bench_tenants first)"
+  elif ! compgen -G "BENCH_*.json" >/dev/null; then
+    record bench-json "SKIP (no BENCH_*.json committed — run the benches first)"
   else
-    run_stage bench-json python3 tools/validate_bench_json.py \
-      BENCH_tenants.json
+    run_stage bench-json bash -c '
+      rc=0
+      for doc in BENCH_*.json; do
+        python3 tools/validate_bench_json.py "$doc" || rc=1
+      done
+      exit $rc'
   fi
 fi
 
@@ -283,6 +296,20 @@ if should_continue; then
       -j "$JOBS" -L mcheck
   else
     record mcheck "SKIP (build-tsan missing — run tsan stage first)"
+  fi
+fi
+
+# ---------------------------------------------------------------- 15: migrate
+# Live-migration suites under ThreadSanitizer: the drain barrier, chunked
+# transfer, redirect flip, and DRC hand-off all run with coordinator,
+# serve, and client retry threads racing — the label selects them on the
+# TSan tree.
+if should_continue; then
+  if [[ -d build-tsan ]]; then
+    run_stage migrate ctest --test-dir build-tsan --output-on-failure \
+      -j "$JOBS" -L migrate
+  else
+    record migrate "SKIP (build-tsan missing — run tsan stage first)"
   fi
 fi
 

@@ -15,6 +15,16 @@
 // a failing iteration is reproducible with --seed/--iters; wired into
 // tools/check.sh stage 9 (fuzz-smoke) against the ASan+UBSan build.
 //
+// A second corpus stage covers the persistence/migration surface: v2
+// checkpoint blobs, MIGR migration images (which nest checkpoints), and the
+// MIGRATE transfer messages, decoded through the same server dispatch path a
+// live migration target runs. The clean outcomes there additionally include
+// CheckpointError / MigrationError (whose Version subclasses are counted
+// separately — a mutated version word is routine, not a bug). Hostile chunk
+// lengths are pinned deterministically in main(): a 2 GiB declared opaque
+// count must die in the xdr count guard before any allocation, and an
+// over-bound chunk record must die in the bounds pre-flight before decode.
+//
 // Usage: fuzz_decode [--iters N] [--seed S]
 #include <algorithm>
 #include <cstdint>
@@ -26,8 +36,13 @@
 #include <string>
 #include <vector>
 
+#include "cricket/checkpoint.hpp"
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
+#include "gpusim/device.hpp"
+#include "migrate/state.hpp"
+#include "migrate_bounds.hpp"
+#include "migrate_proto.hpp"
 #include "rpc/record.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "rpc/server.hpp"
@@ -48,6 +63,8 @@ struct Stats {
   std::uint64_t preflight_rejects = 0;
   std::uint64_t dispatches = 0;
   std::uint64_t record_errors = 0;
+  std::uint64_t blob_errors = 0;     // CheckpointError / MigrationError
+  std::uint64_t version_errors = 0;  // their future-version subclasses
 };
 
 Stats g_stats;
@@ -82,6 +99,27 @@ void expect_clean_stream(Fn&& fn) {
     ++g_stats.parsed;
   } catch (const cricket::rpc::TransportError&) {
     ++g_stats.record_errors;
+  }
+}
+
+/// Persistence-blob decoder invocation. The checkpoint and migration-image
+/// codecs wrap every malformed-input failure (including XdrError from the
+/// body decode) in their own typed errors, so only those — plus success —
+/// are clean. The Version subclasses are counted apart: a mutation landing
+/// on the version word is the rolling-upgrade path working as designed.
+template <typename Fn>
+void expect_clean_blob(Fn&& fn) {
+  try {
+    fn();
+    ++g_stats.parsed;
+  } catch (const cricket::core::CheckpointVersionError&) {
+    ++g_stats.version_errors;
+  } catch (const cricket::migrate::MigrationVersionError&) {
+    ++g_stats.version_errors;
+  } catch (const cricket::core::CheckpointError&) {
+    ++g_stats.blob_errors;
+  } catch (const cricket::migrate::MigrationError&) {
+    ++g_stats.blob_errors;
   }
 }
 
@@ -199,6 +237,103 @@ std::vector<std::vector<std::uint8_t>> build_corpus() {
   return corpus;
 }
 
+// ----------------- checkpoint / migration seed corpus -------------------
+
+cricket::gpusim::DeviceSnapshot sample_snapshot() {
+  cricket::gpusim::DeviceSnapshot snap;
+  snap.next_id = 9;
+  snap.allocations.push_back({0x1000, 32, std::vector<std::uint8_t>(32, 0xCD)});
+  // The codec treats the module image as opaque re-serialized cubin bytes;
+  // structure-aware cubin fuzzing lives with the fatbin tests.
+  snap.modules.push_back(
+      {5, std::vector<std::uint8_t>(48, 0xE1), {{"g_state", 0x2000}}});
+  snap.functions.push_back({6, 5, "mark"});
+  snap.streams = {{1, 100}, {2, 250}};
+  snap.events = {{3, 120}, {4, 240}};
+  return snap;
+}
+
+cricket::migrate::MigrationImage sample_image() {
+  cricket::migrate::MigrationImage image;
+  image.tenant.spec.name = "alice";
+  image.tenant.spec.weight = 3;
+  image.tenant.spec.quota.device_mem_bytes = 1ull << 30;
+  image.tenant.bucket_tokens = 55;
+  image.tenant.calls_admitted = 99;
+  cricket::core::SessionExport s;
+  s.session_id = 7;
+  s.state = sample_snapshot();
+  s.allocations = {{0x1000, 32}};
+  s.modules = {static_cast<cricket::cuda::ModuleId>(5)};
+  s.streams = {static_cast<cricket::cuda::StreamId>(1),
+               static_cast<cricket::cuda::StreamId>(2)};
+  s.events = {static_cast<cricket::cuda::EventId>(3)};
+  cricket::rpc::DrcExportEntry drc;
+  drc.client = 0xABCDEF;
+  drc.xid = 9;
+  drc.reply = {1, 2, 3, 4, 5};
+  s.drc.push_back(std::move(drc));
+  image.sessions.push_back(std::move(s));
+  return image;
+}
+
+std::vector<std::vector<std::uint8_t>> build_blob_corpus() {
+  namespace mproto = cricket::migrate::proto;
+  using namespace cricket::rpc;
+  std::vector<std::vector<std::uint8_t>> corpus;
+
+  // A realistic v2 checkpoint and a migration image nesting one: mutations
+  // land on the magic, the version word, both checksums, the handle-table
+  // counts, and the nested-blob length field.
+  corpus.push_back(cricket::core::encode_checkpoint(sample_snapshot()));
+  const auto image_blob = cricket::migrate::encode_image(sample_image());
+  corpus.push_back(image_blob);
+
+  // The MIGRATE transfer messages, bare and as full call records through
+  // the same dispatch path a migration target serves.
+  CallMsg call;
+  call.xid = 0x4D494752;  // "MIGR"
+  call.prog = mproto::MIGRATE_PROG;
+  call.vers = mproto::MIGRATEVERS_VERS;
+  call.proc = mproto::MIG_BEGIN_PROC;
+  {
+    mproto::mig_begin_args begin;
+    begin.tenant = "alice";
+    begin.total_bytes = image_blob.size();
+    cricket::xdr::Encoder enc;
+    xdr_encode(enc, begin);
+    call.args = enc.take();
+    corpus.push_back(call.args);
+  }
+  corpus.push_back(encode_call(call));
+  {
+    mproto::mig_chunk_args chunk;
+    chunk.ticket = 1;
+    chunk.offset = 0;
+    chunk.data.assign(image_blob.begin(),
+                      image_blob.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              std::min<std::size_t>(image_blob.size(), 96)));
+    cricket::xdr::Encoder enc;
+    xdr_encode(enc, chunk);
+    call.proc = mproto::MIG_CHUNK_PROC;
+    call.args = enc.take();
+    corpus.push_back(call.args);
+  }
+  corpus.push_back(encode_call(call));
+  {
+    mproto::mig_commit_args commit;
+    commit.ticket = 1;
+    commit.checksum = cricket::migrate::fnv64(image_blob);
+    cricket::xdr::Encoder enc;
+    xdr_encode(enc, commit);
+    call.proc = mproto::MIG_COMMIT_PROC;
+    call.args = enc.take();
+    corpus.push_back(encode_call(call));
+  }
+  return corpus;
+}
+
 // ------------------------------ mutators --------------------------------
 
 void mutate(Xoshiro256ss& rng, std::vector<std::uint8_t>& buf) {
@@ -257,6 +392,72 @@ cricket::rpc::ServiceRegistry build_registry() {
         return proto::int_result{};
       });
   return registry;
+}
+
+/// MIGRATE dispatch surface with the real generated decoders and bounds but
+/// no buffering behind it: the fuzz target is the decode path, not the
+/// transfer state machine (tests/migrate_test.cpp hammers that one).
+class NullMigrateService final
+    : public cricket::migrate::proto::MIGRATEVERSService {
+ public:
+  cricket::migrate::proto::mig_begin_result mig_begin(
+      cricket::migrate::proto::mig_begin_args) override {
+    return {};
+  }
+  std::int32_t mig_chunk(cricket::migrate::proto::mig_chunk_args) override {
+    return 0;
+  }
+  std::int32_t mig_commit(cricket::migrate::proto::mig_commit_args) override {
+    return 0;
+  }
+  std::int32_t mig_abort(std::uint64_t) override { return 0; }
+};
+
+cricket::rpc::ServiceRegistry build_migrate_registry(
+    NullMigrateService& service) {
+  cricket::rpc::ServiceRegistry registry;
+  registry.set_bounds(cricket::migrate::proto::bounds::kProcBounds);
+  service.register_into(registry);
+  return registry;
+}
+
+void consume_blob(const cricket::rpc::ServiceRegistry& registry,
+                  std::span<const std::uint8_t> buf) {
+  namespace mproto = cricket::migrate::proto;
+  using namespace cricket::rpc;
+
+  expect_clean_blob([&] { (void)cricket::core::decode_checkpoint(buf); });
+  expect_clean_blob([&] { (void)cricket::migrate::decode_image(buf); });
+
+  // Typed decoders over the generated migration messages.
+  expect_clean([&] {
+    cricket::xdr::Decoder dec(buf);
+    mproto::mig_begin_args v;
+    xdr_decode(dec, v);
+  });
+  expect_clean([&] {
+    cricket::xdr::Decoder dec(buf);
+    mproto::mig_chunk_args v;
+    xdr_decode(dec, v);
+  });
+  expect_clean([&] {
+    cricket::xdr::Decoder dec(buf);
+    mproto::mig_commit_args v;
+    xdr_decode(dec, v);
+  });
+
+  // Migration-target receive path: bounds pre-flight, then decode+dispatch,
+  // exactly as MigrationTarget::serve runs it.
+  expect_clean([&] {
+    if (auto rejected = registry.preflight(buf)) {
+      ++g_stats.preflight_rejects;
+      (void)encode_reply(*rejected);
+      return;
+    }
+    const CallMsg call = decode_call(buf);
+    ++g_stats.dispatches;
+    (void)encode_reply(registry.dispatch(call));
+  });
 }
 
 void consume(const cricket::rpc::ServiceRegistry& registry,
@@ -368,17 +569,105 @@ int main(int argc, char** argv) {
     }
   }
 
+  NullMigrateService mig_service;
+  const auto mig_registry = build_migrate_registry(mig_service);
+
+  {
+    // Pin the hostile chunk-length guards deterministically, before fuzzing.
+    //
+    // (a) A mig_chunk call whose opaque count word claims 2 GiB - 1 on a
+    // 20-byte argument body. The record itself is within the proven
+    // [20, 262164] interval, so pre-flight admits it; the xdr array-count
+    // guard must then reject it from the count word alone — before the
+    // vector allocation — surfacing as the typed GarbageArgsError reply.
+    namespace mproto = cricket::migrate::proto;
+    cricket::rpc::CallMsg call;
+    call.xid = 1;
+    call.prog = mproto::MIGRATE_PROG;
+    call.vers = mproto::MIGRATEVERS_VERS;
+    call.proc = mproto::MIG_CHUNK_PROC;
+    {
+      cricket::xdr::Encoder enc;
+      enc.put_u64(1);           // ticket
+      enc.put_u64(0);           // offset
+      enc.put_u32(0x7FFFFFFF);  // data<> count with no data behind it
+      call.args = enc.take();
+    }
+    {
+      const auto record = cricket::rpc::encode_call(call);
+      if (mig_registry.preflight(record)) {
+        std::fprintf(stderr,
+                     "fuzz_decode: in-bounds mig_chunk record rejected by "
+                     "pre-flight\n");
+        return 1;
+      }
+      const auto reply = mig_registry.dispatch(cricket::rpc::decode_call(record));
+      if (reply.accept_stat != cricket::rpc::AcceptStat::kGarbageArgs) {
+        std::fprintf(stderr,
+                     "fuzz_decode: hostile 2 GiB chunk count was NOT "
+                     "rejected by the xdr count guard\n");
+        return 1;
+      }
+    }
+    // (b) A chunk record carrying more than MIG_MAX_CHUNK actual bytes.
+    // Its wire size exceeds the proven maximum, so the bounds pre-flight
+    // must refuse it before any argument decoding happens at all.
+    {
+      cricket::xdr::Encoder enc;
+      enc.put_u64(1);
+      enc.put_u64(0);
+      enc.put_opaque(std::vector<std::uint8_t>(
+          static_cast<std::size_t>(mproto::MIG_MAX_CHUNK) + 4, 0x42));
+      call.args = enc.take();
+      if (!mig_registry.preflight(cricket::rpc::encode_call(call))) {
+        std::fprintf(stderr,
+                     "fuzz_decode: over-bound mig_chunk record was NOT "
+                     "rejected by the bounds pre-flight\n");
+        return 1;
+      }
+    }
+    // (c) A future-versioned migration image must surface as the distinct
+    // version error (upgrade-ordering signal), never generic corruption.
+    {
+      auto blob = cricket::migrate::encode_image(sample_image());
+      blob[7] = 0x7F;
+      bool versioned = false;
+      try {
+        (void)cricket::migrate::decode_image(blob);
+      } catch (const cricket::migrate::MigrationVersionError&) {
+        versioned = true;
+      } catch (const cricket::migrate::MigrationError&) {
+      }
+      if (!versioned) {
+        std::fprintf(stderr,
+                     "fuzz_decode: future-versioned migration image did NOT "
+                     "raise MigrationVersionError\n");
+        return 1;
+      }
+    }
+  }
+
   const auto corpus = build_corpus();
   const auto registry = build_registry();
+  const auto blob_corpus = build_blob_corpus();
   Xoshiro256ss rng(seed);
 
   std::uint64_t it = 0;
+  const std::uint64_t total = 2 * iters;
   try {
-    for (; it < iters; ++it) {
-      std::vector<std::uint8_t> buf = corpus[rng.next() % corpus.size()];
+    for (; it < total; ++it) {
+      // Stage 1: the RPC decode surface. Stage 2: checkpoint blobs,
+      // migration images, and MIGRATE transfer messages.
+      const bool blob_stage = it >= iters;
+      const auto& pool = blob_stage ? blob_corpus : corpus;
+      std::vector<std::uint8_t> buf = pool[rng.next() % pool.size()];
       const std::uint64_t rounds = 1 + rng.next() % 3;
       for (std::uint64_t m = 0; m < rounds; ++m) mutate(rng, buf);
-      consume(registry, buf);
+      if (blob_stage) {
+        consume_blob(mig_registry, buf);
+      } else {
+        consume(registry, buf);
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr,
@@ -386,20 +675,22 @@ int main(int argc, char** argv) {
                  "(reproduce: fuzz_decode --seed 0x%llx --iters %llu)\n",
                  e.what(), static_cast<unsigned long long>(it),
                  static_cast<unsigned long long>(seed),
-                 static_cast<unsigned long long>(it + 1));
+                 static_cast<unsigned long long>(iters));
     return 1;
   }
 
   std::printf(
       "fuzz_decode: %llu iterations clean (parsed %llu, xdr errors %llu, "
       "format errors %llu, preflight rejects %llu, dispatches %llu, "
-      "record errors %llu)\n",
-      static_cast<unsigned long long>(iters),
+      "record errors %llu, blob errors %llu, version errors %llu)\n",
+      static_cast<unsigned long long>(total),
       static_cast<unsigned long long>(g_stats.parsed),
       static_cast<unsigned long long>(g_stats.xdr_errors),
       static_cast<unsigned long long>(g_stats.format_errors),
       static_cast<unsigned long long>(g_stats.preflight_rejects),
       static_cast<unsigned long long>(g_stats.dispatches),
-      static_cast<unsigned long long>(g_stats.record_errors));
+      static_cast<unsigned long long>(g_stats.record_errors),
+      static_cast<unsigned long long>(g_stats.blob_errors),
+      static_cast<unsigned long long>(g_stats.version_errors));
   return 0;
 }

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Validates the committed bench_tenants JSON trajectory (BENCH_tenants.json).
+"""Validates a committed bench JSON trajectory (BENCH_*.json).
 
 Stdlib-only; used by tools/check.sh stage 12 (bench-json) and by hand:
 
     build/bench/bench_tenants --json=BENCH_tenants.json
+    build/bench/bench_migrate --json=BENCH_migrate.json
     python3 tools/validate_bench_json.py BENCH_tenants.json
+    python3 tools/validate_bench_json.py BENCH_migrate.json
 
-Checks, in order:
+Dispatches on the top-level "bench" discriminator.
+
+For "tenants":
   1. schema     — top level {"bench": "tenants", "window_ms", "admission",
                   "sweep", "gates_ok"}; every sweep point carries the
                   fairness/throughput keys for both policies.
@@ -17,6 +21,18 @@ Checks, in order:
                   16-tenant point honours the ISSUE thresholds: non-hog
                   device time within 10% of fair share and fair-share
                   aggregate throughput >= 0.85x the FIFO baseline.
+
+For "migrate" (the rolling-restart fleet bench, DESIGN.md §13):
+  1. schema     — {"bench": "migrate", "fleet", "traffic", "migrations",
+                  "blackout_ms", "gates_ok"} with the per-migration and
+                  traffic keys below.
+  2. coverage   — every tenant migrated in BOTH directions (a full rolling
+                  restart), every migration committed, and the redirect
+                  flip was actually exercised (reconnects and migrating
+                  redirects observed).
+  3. gates      — zero failed calls, exactly-once (executions == launches,
+                  zero duplicates), data integrity held, and every blackout
+                  sample (p50 <= p99 <= max) within the committed budget.
 
 Exit code 0 iff every check passes.
 """
@@ -90,6 +106,77 @@ def check_gates(doc):
         fail("16-tenant hog saw no admission rejections")
 
 
+MIGRATION_KEYS = ("tenant", "from", "to", "committed", "sessions",
+                  "image_bytes", "chunks", "duration_ms", "blackout_ms")
+TRAFFIC_KEYS = ("calls", "failed_calls", "launches", "executions",
+                "duplicate_executions", "drc_hits", "reconnects",
+                "migrating_redirects", "data_integrity_ok")
+
+
+def check_migrate_schema(doc):
+    for key in ("fleet", "traffic", "migrations", "blackout_ms", "gates_ok"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    for key in TRAFFIC_KEYS:
+        if key not in doc["traffic"]:
+            fail(f"traffic missing key {key!r}")
+    if not isinstance(doc["migrations"], list) or not doc["migrations"]:
+        fail("migrations is empty")
+    for i, mig in enumerate(doc["migrations"]):
+        for key in MIGRATION_KEYS:
+            if key not in mig:
+                fail(f"migrations[{i}] missing key {key!r}")
+    for key in ("budget", "p50", "p99", "max"):
+        if key not in doc["blackout_ms"]:
+            fail(f"blackout_ms missing key {key!r}")
+
+
+def check_migrate_coverage(doc):
+    tenants = doc["fleet"].get("tenants", 0)
+    if tenants <= 0:
+        fail("fleet.tenants is not positive")
+    directions = {}
+    for mig in doc["migrations"]:
+        if not mig["committed"]:
+            fail(f'migration of {mig["tenant"]} '
+                 f'{mig["from"]}->{mig["to"]} did not commit')
+        directions.setdefault(mig["tenant"], set()).add(
+            (mig["from"], mig["to"]))
+    if len(directions) != tenants:
+        fail(f"{len(directions)} tenants migrated, fleet has {tenants}")
+    for tenant, dirs in directions.items():
+        if len(dirs) < 2:
+            fail(f"tenant {tenant} migrated in only one direction — "
+                 "not a full rolling restart")
+    if doc["traffic"]["reconnects"] <= 0:
+        fail("no client reconnects recorded — the flip was never exercised")
+    if doc["traffic"]["migrating_redirects"] <= 0:
+        fail("no kMigrating redirects recorded — the typed admission "
+             "freeze was never observed by a client")
+
+
+def check_migrate_gates(doc):
+    traffic = doc["traffic"]
+    if not doc["gates_ok"]:
+        fail("the bench's own gates_ok verdict is false")
+    if traffic["failed_calls"] != 0:
+        fail(f'{traffic["failed_calls"]} calls failed under migration')
+    if traffic["duplicate_executions"] != 0:
+        fail(f'{traffic["duplicate_executions"]} duplicate kernel '
+             "executions — exactly-once violated")
+    if traffic["executions"] != traffic["launches"]:
+        fail(f'{traffic["executions"]} executions for '
+             f'{traffic["launches"]} launches')
+    if not traffic["data_integrity_ok"]:
+        fail("device memory readback diverged from the written pattern")
+    blackout = doc["blackout_ms"]
+    if not (0 <= blackout["p50"] <= blackout["p99"] <= blackout["max"]):
+        fail("blackout quantiles are not monotone")
+    if blackout["max"] > blackout["budget"]:
+        fail(f'blackout max {blackout["max"]:.1f} ms exceeds the '
+             f'{blackout["budget"]:.0f} ms budget')
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_tenants.json"
     try:
@@ -97,12 +184,27 @@ def main():
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         fail(f"cannot parse {path}: {err}")
-    check_schema(doc)
-    check_admission(doc["admission"])
-    check_gates(doc)
-    points = ", ".join(str(p["tenants"]) for p in doc["sweep"])
-    print(f"validate_bench_json: OK ({path}: sweep points {points}, "
-          f"admission rejected={doc['admission']['rejected']})")
+    bench = doc.get("bench")
+    if bench == "tenants":
+        check_schema(doc)
+        check_admission(doc["admission"])
+        check_gates(doc)
+        points = ", ".join(str(p["tenants"]) for p in doc["sweep"])
+        print(f"validate_bench_json: OK ({path}: sweep points {points}, "
+              f"admission rejected={doc['admission']['rejected']})")
+    elif bench == "migrate":
+        check_migrate_schema(doc)
+        check_migrate_coverage(doc)
+        check_migrate_gates(doc)
+        blackout = doc["blackout_ms"]
+        print(f"validate_bench_json: OK ({path}: "
+              f"{len(doc['migrations'])} migrations, "
+              f"{doc['traffic']['calls']} calls 0 failed, blackout "
+              f"p99 {blackout['p99']:.1f} ms <= "
+              f"{blackout['budget']:.0f} ms)")
+    else:
+        fail(f'unknown bench discriminator {bench!r} '
+             '(expected "tenants" or "migrate")')
 
 
 if __name__ == "__main__":
