@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cricket/client.hpp"
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +43,8 @@ AsyncRemoteCudaApi::AsyncRemoteCudaApi(std::unique_ptr<rpc::Transport> transport
   if (!config_.tenant.empty()) {
     rpc::AuthSysParms cred;
     cred.machinename = config_.tenant;
+    cred.stamp =
+        config_.auth_stamp != 0 ? config_.auth_stamp : next_auth_stamp();
     channel_->set_credential(cred.to_opaque());
   }
 }

@@ -33,6 +33,10 @@ struct AsyncClientConfig {
   /// Tenant identity presented to a multi-tenant server (AUTH_SYS
   /// machinename); empty = anonymous.
   std::string tenant{};
+  /// AUTH_SYS stamp distinguishing this client from other clients of the
+  /// same tenant (the duplicate-request cache and migration adoption key on
+  /// the credential hash). 0 = auto-assign a process-unique value.
+  std::uint32_t auth_stamp = 0;
   /// Per-call deadlines + channel resubmission; same semantics as the
   /// synchronous ClientConfig::retry.
   rpc::RetryPolicy retry{};

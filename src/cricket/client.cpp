@@ -1,5 +1,6 @@
 #include "cricket/client.hpp"
 
+#include <atomic>
 #include <thread>
 
 #include "cricket_proto.hpp"
@@ -16,6 +17,13 @@ Error from_wire(std::int32_t err) { return static_cast<Error>(err); }
 
 }  // namespace
 
+std::uint32_t next_auth_stamp() noexcept {
+  // Starts past 0 so an auto-assigned stamp never collides with the "assign
+  // one for me" sentinel in ClientConfig::auth_stamp.
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1);
+}
+
 RemoteCudaApi::RemoteCudaApi(std::unique_ptr<rpc::Transport> transport,
                              sim::SimClock& clock, ClientConfig config,
                              TransferLanes lanes)
@@ -29,6 +37,8 @@ RemoteCudaApi::RemoteCudaApi(std::unique_ptr<rpc::Transport> transport,
   if (!config_.tenant.empty()) {
     rpc::AuthSysParms cred;
     cred.machinename = config_.tenant;
+    cred.stamp =
+        config_.auth_stamp != 0 ? config_.auth_stamp : next_auth_stamp();
     rpc_.set_credential(cred.to_opaque());
   }
 }

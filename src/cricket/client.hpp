@@ -8,6 +8,7 @@
 // exactly like the paper's Rust applications (§3.5).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "cricket/transfer.hpp"
@@ -46,7 +47,16 @@ struct ClientConfig {
   /// every call carries an AUTH_SYS credential with this machinename, and
   /// the server binds the session to the tenant registered under it.
   std::string tenant{};
+  /// AUTH_SYS stamp distinguishing this client from other clients of the
+  /// same tenant. The duplicate-request cache and migration adoption both
+  /// key on the credential hash, so two live clients must never share one.
+  /// 0 (default) auto-assigns a process-unique value; set it explicitly
+  /// only when a restarted client must keep its previous identity.
+  std::uint32_t auth_stamp = 0;
 };
+
+/// Process-unique AUTH_SYS stamp source backing the auto-assignment above.
+[[nodiscard]] std::uint32_t next_auth_stamp() noexcept;
 
 struct RemoteStats {
   std::uint64_t api_calls = 0;  // forwarded CUDA API calls (paper §4.1)

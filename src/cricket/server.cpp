@@ -54,23 +54,31 @@ class CricketSession final : public proto::CRICKETVERSService,
   /// the connection's first call, before any dispatch runs, so the plain
   /// member writes are ordered before every handler: the session joins the
   /// tenant's fair-share group and pins itself to the tenant's device shard.
-  void bind_tenant(tenancy::TenantId tenant) {
+  /// `client_id` is the drc_client_id of the connection's credential — the
+  /// identity migration adoption and the duplicate-request cache key on.
+  void bind_tenant(tenancy::TenantId tenant, std::uint64_t client_id) {
     tenant_ = tenant;
+    client_id_ = client_id;
     const auto spec = tenants_->spec(tenant);
     server_->scheduler().session_set_tenant(id_, tenant,
                                             spec ? spec->weight : 1,
                                             spec ? spec->priority : 0);
     (void)api_.set_device(static_cast<int>(tenants_->shard_device(tenant)));
     // Migration adoption: when a bundle migrated from another server is
-    // staged for this tenant, this session takes over its resources. The
-    // device state itself was already restore_merge'd at commit time; here
-    // the session claims handle ownership (so cleanup-on-disconnect and
-    // quota release keep working) and seeds the connection's DRC with the
-    // source's completed replies. Admission runs this on the reader thread
-    // before any dispatch, so the DRC import strictly precedes every lookup
-    // on this connection — a re-sent completed xid can never re-execute.
+    // staged for this client identity, this session takes over its
+    // resources. The device state itself was already restore_merge'd at
+    // commit time; here the session claims handle ownership (so
+    // cleanup-on-disconnect and quota release keep working) and seeds the
+    // connection's DRC with the source's completed replies. Bundles are
+    // keyed by (tenant, client id), never handed out FIFO across a
+    // multi-session tenant: a reconnecting client can only adopt the
+    // session exported under its own credential, so the imported DRC
+    // entries (keyed client id + xid) always match its re-sent xids.
+    // Admission runs this on the reader thread before any dispatch, so the
+    // DRC import strictly precedes every lookup on this connection — a
+    // re-sent completed xid can never re-execute.
     if (spec) {
-      if (auto adopted = server_->take_adoption(spec->name)) {
+      if (auto adopted = server_->take_adoption(spec->name, client_id)) {
         for (const auto& [ptr, bytes] : adopted->allocations)
           allocations_.emplace(ptr, bytes);
         modules_.insert(adopted->modules.begin(), adopted->modules.end());
@@ -97,6 +105,7 @@ class CricketSession final : public proto::CRICKETVERSService,
     if (!bound() || tenant_ != tenant) return std::nullopt;
     SessionExport exp;
     exp.session_id = id_;
+    exp.client_id = client_id_;
     gpusim::DeviceStateFilter filter;
     for (const auto& [ptr, bytes] : allocations_) {
       filter.allocations.push_back(ptr);
@@ -109,7 +118,9 @@ class CricketSession final : public proto::CRICKETVERSService,
     exp.streams = filter.streams;
     exp.events = filter.events;
     exp.state = api_.current().snapshot_subset(filter);
-    if (registry_ != nullptr) exp.drc = registry_->export_drc();
+    // Only this client's entries: the bundle is adopted by the connection
+    // presenting the same credential, where nothing else could ever match.
+    if (registry_ != nullptr) exp.drc = registry_->export_drc(client_id_);
     return exp;
   }
 
@@ -506,6 +517,7 @@ class CricketSession final : public proto::CRICKETVERSService,
   rpc::ServiceRegistry* registry_ = nullptr;
   tenancy::SessionManager* tenants_;
   tenancy::TenantId tenant_ = tenancy::kInvalidTenant;
+  std::uint64_t client_id_ = 0;  // drc_client_id of the bound credential
   std::map<cuda::DevPtr, std::uint64_t> allocations_;  // ptr -> bytes
   std::set<cuda::ModuleId> modules_;
   std::set<cuda::StreamId> streams_;
@@ -548,8 +560,11 @@ class TenantAdmission final : public rpc::AdmissionController {
     }
     if (tenant_ == tenancy::kInvalidTenant) {
       std::optional<tenancy::TenantId> tenant;
+      std::uint64_t client_id = 0;
       try {
-        tenant = tenants_->authenticate(rpc::peek_call_credential(record));
+        const rpc::OpaqueAuth cred = rpc::peek_call_credential(record);
+        client_id = rpc::drc_client_id(cred);
+        tenant = tenants_->authenticate(cred);
       } catch (const std::exception&) {
         tenant = std::nullopt;
       }
@@ -561,7 +576,7 @@ class TenantAdmission final : public rpc::AdmissionController {
       const auto opened = tenants_->open_session(*tenant, id_);
       if (!opened.admitted) return rejected(header.xid, opened.reason);
       tenant_ = *tenant;
-      session_->bind_tenant(tenant_);
+      session_->bind_tenant(tenant_, client_id);
     }
     // A cudaMalloc from a tenant already at its memory quota cannot
     // succeed: refuse before its arguments are decoded.
@@ -722,14 +737,16 @@ std::vector<SessionExport> CricketServer::export_tenant_sessions(
 void CricketServer::stage_adoption(const std::string& tenant_name,
                                    std::vector<SessionExport> bundles) {
   sim::MutexLock lock(migrate_mu_);
-  auto& queue = adoptions_[tenant_name];
-  for (auto& bundle : bundles) queue.push_back(std::move(bundle));
+  for (auto& bundle : bundles) {
+    auto& queue = adoptions_[{tenant_name, bundle.client_id}];
+    queue.push_back(std::move(bundle));
+  }
 }
 
 std::optional<SessionExport> CricketServer::take_adoption(
-    const std::string& tenant_name) {
+    const std::string& tenant_name, std::uint64_t client_id) {
   sim::MutexLock lock(migrate_mu_);
-  const auto it = adoptions_.find(tenant_name);
+  const auto it = adoptions_.find({tenant_name, client_id});
   if (it == adoptions_.end() || it->second.empty()) return std::nullopt;
   SessionExport bundle = std::move(it->second.front());
   it->second.pop_front();

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cricket/scheduler.hpp"
@@ -34,6 +35,11 @@ namespace cricket::core {
 /// are never re-executed after the client re-sends them to the target.
 struct SessionExport {
   std::uint64_t session_id = 0;
+  /// drc_client_id of the credential this session authenticated with,
+  /// captured at bind time. Adoption on the target is keyed by it: only the
+  /// connection presenting the same credential may take over this bundle,
+  /// so the DRC entries (keyed client id + xid) land where they can match.
+  std::uint64_t client_id = 0;
   gpusim::DeviceSnapshot state;
   /// ptr -> bytes charged against the tenant's memory quota.
   std::vector<std::pair<cuda::DevPtr, std::uint64_t>> allocations;
@@ -127,15 +133,19 @@ class CricketServer {
   [[nodiscard]] std::vector<SessionExport> export_tenant_sessions(
       tenancy::TenantId tenant);
 
-  /// Target side: parks restored session bundles for `tenant_name` until its
-  /// clients reconnect. Each new connection that authenticates as the tenant
-  /// adopts one bundle FIFO at bind time — taking over handle ownership for
+  /// Target side: parks restored session bundles until their clients
+  /// reconnect. Bundles are keyed by (tenant, client identity): a new
+  /// connection adopts only a bundle exported under the very credential it
+  /// authenticates with — taking over handle ownership for
   /// cleanup-on-disconnect and importing the bundle's DRC entries into the
-  /// connection's duplicate-request cache before any call dispatches.
+  /// connection's duplicate-request cache before any call dispatches. (Two
+  /// sessions of one multi-session tenant therefore can never swap bundles;
+  /// clients sharing one credential fall back to FIFO among themselves,
+  /// which is safe because their DRC entries share the client id anyway.)
   void stage_adoption(const std::string& tenant_name,
                       std::vector<SessionExport> bundles);
   [[nodiscard]] std::optional<SessionExport> take_adoption(
-      const std::string& tenant_name);
+      const std::string& tenant_name, std::uint64_t client_id);
 
   /// Live-session table maintenance (called by serve()).
   void register_session(std::uint64_t id, detail::SessionPeer* peer);
@@ -150,8 +160,8 @@ class CricketServer {
   sim::Mutex migrate_mu_;
   std::map<std::uint64_t, detail::SessionPeer*> sessions_
       CRICKET_GUARDED_BY(migrate_mu_);
-  std::map<std::string, std::deque<SessionExport>> adoptions_
-      CRICKET_GUARDED_BY(migrate_mu_);
+  std::map<std::pair<std::string, std::uint64_t>, std::deque<SessionExport>>
+      adoptions_ CRICKET_GUARDED_BY(migrate_mu_);
 };
 
 }  // namespace cricket::core

@@ -400,53 +400,109 @@ DeviceSnapshot Device::snapshot_subset(const DeviceStateFilter& filter) const {
 }
 
 void Device::restore_merge(const DeviceSnapshot& snap) {
-  sim::MutexLock lock(mu_);
-  // Validate handle-id and address-range disjointness before mutating
-  // anything, so a colliding merge rejects atomically.
-  for (const auto& rec : snap.modules)
-    if (modules_.find(rec.id) != modules_.end())
-      throw DeviceError("merge collision: module id already in use");
-  for (const auto& rec : snap.functions)
-    if (functions_.find(rec.id) != functions_.end())
-      throw DeviceError("merge collision: function id already in use");
-  for (const auto& [id, finish] : snap.streams)
-    if (id != kDefaultStream && streams_.find(id) != streams_.end())
-      throw DeviceError("merge collision: stream id already in use");
-  for (const auto& [id, ts] : snap.events)
-    if (events_.find(id) != events_.end())
-      throw DeviceError("merge collision: event id already in use");
-  const auto live = memory_.live();
-  for (const auto& rec : snap.allocations)
-    for (const auto& [addr, size] : live)
-      if (rec.addr < addr + size && addr < rec.addr + rec.size)
-        throw DeviceError("merge collision: allocation address overlap");
+  const DeviceSnapshot* one[] = {&snap};
+  restore_merge(std::span<const DeviceSnapshot* const>(one));
+}
 
-  for (const auto& rec : snap.allocations) {
-    memory_.allocate_at(rec.addr, rec.size);
-    const auto span = memory_.resolve(rec.addr, rec.size);
-    std::copy(rec.bytes.begin(), rec.bytes.end(), span.begin());
+void Device::restore_merge(std::span<const DeviceSnapshot* const> snaps) {
+  sim::MutexLock lock(mu_);
+  // ---- validate: every check runs before any mutation, so a refused
+  // image (from any of its snapshots) leaves the device untouched. ----
+
+  // Handle-id disjointness, against the live tables and across snapshots.
+  std::set<ModuleId> new_modules;
+  std::set<FuncId> new_functions;
+  std::set<StreamId> new_streams;
+  std::set<EventId> new_events;
+  for (const DeviceSnapshot* snap : snaps) {
+    for (const auto& rec : snap->modules)
+      if (modules_.find(rec.id) != modules_.end() ||
+          !new_modules.insert(rec.id).second)
+        throw DeviceError("merge collision: module id already in use");
+    for (const auto& rec : snap->functions)
+      if (functions_.find(rec.id) != functions_.end() ||
+          !new_functions.insert(rec.id).second)
+        throw DeviceError("merge collision: function id already in use");
+    for (const auto& [id, finish] : snap->streams)
+      if (id != kDefaultStream && (streams_.find(id) != streams_.end() ||
+                                   !new_streams.insert(id).second))
+        throw DeviceError("merge collision: stream id already in use");
+    for (const auto& [id, ts] : snap->events)
+      if (events_.find(id) != events_.end() || !new_events.insert(id).second)
+        throw DeviceError("merge collision: event id already in use");
   }
-  for (const auto& rec : snap.modules) {
-    Module mod;
-    mod.image = fatbin::cubin_parse(rec.image);
-    for (const auto& [name, addr] : rec.globals)
-      mod.globals.emplace(name, addr);
-    modules_.emplace(rec.id, std::move(mod));
+
+  // Allocations: each record must be placeable in free memory right now,
+  // and the records must be pairwise disjoint once padded to allocator
+  // granularity. Together that guarantees the sequential allocate_at calls
+  // below all succeed: disjoint ranges inside one free hole stay
+  // individually placeable as earlier placements split it.
+  std::vector<std::pair<DevPtr, std::uint64_t>> placed;  // (addr, padded len)
+  for (const DeviceSnapshot* snap : snaps)
+    for (const auto& rec : snap->allocations) {
+      if (rec.bytes.size() != rec.size)
+        throw DeviceError("merge allocation contents do not match its size");
+      if (!memory_.can_allocate_at(rec.addr, rec.size))
+        throw DeviceError("merge collision: allocation address overlap");
+      placed.emplace_back(rec.addr,
+                          (rec.size + MemoryManager::kGranularity - 1) /
+                              MemoryManager::kGranularity *
+                              MemoryManager::kGranularity);
+    }
+  std::sort(placed.begin(), placed.end());
+  for (std::size_t i = 0; i + 1 < placed.size(); ++i)
+    if (placed[i].first + placed[i].second > placed[i + 1].first)
+      throw DeviceError("merge collision: allocation address overlap");
+
+  // Modules: parse every image up front (a malformed one must refuse the
+  // merge before any record lands); the parses are reused below.
+  std::map<ModuleId, Module> parsed;
+  for (const DeviceSnapshot* snap : snaps)
+    for (const auto& rec : snap->modules) {
+      Module mod;
+      mod.image = fatbin::cubin_parse(rec.image);
+      for (const auto& [name, addr] : rec.globals)
+        mod.globals.emplace(name, addr);
+      parsed.emplace(rec.id, std::move(mod));
+    }
+
+  // Function records must resolve against a live or incoming module.
+  for (const DeviceSnapshot* snap : snaps)
+    for (const auto& rec : snap->functions) {
+      const fatbin::CubinImage* image = nullptr;
+      if (const auto pit = parsed.find(rec.module); pit != parsed.end())
+        image = &pit->second.image;
+      else if (const auto mit = modules_.find(rec.module);
+               mit != modules_.end())
+        image = &mit->second.image;
+      if (image == nullptr)
+        throw DeviceError("snapshot function references missing module");
+      if (image->find_kernel(rec.kernel_name) == nullptr)
+        throw DeviceError("snapshot function kernel not in module");
+    }
+
+  // ---- mutate: everything below was proven to succeed above. ----
+  for (const DeviceSnapshot* snap : snaps)
+    for (const auto& rec : snap->allocations) {
+      memory_.allocate_at(rec.addr, rec.size);
+      const auto span = memory_.resolve(rec.addr, rec.size);
+      std::copy(rec.bytes.begin(), rec.bytes.end(), span.begin());
+    }
+  for (auto& [id, mod] : parsed) modules_.emplace(id, std::move(mod));
+  for (const DeviceSnapshot* snap : snaps) {
+    for (const auto& rec : snap->functions) {
+      const auto it = modules_.find(rec.module);
+      functions_.emplace(
+          rec.id,
+          Function{rec.module, it->second.image.find_kernel(rec.kernel_name)});
+    }
+    for (const auto& [id, finish] : snap->streams) {
+      auto& slot = streams_[id];  // default exists; collisions rejected above
+      slot = std::max(slot, finish);
+    }
+    for (const auto& [id, ts] : snap->events) events_[id] = ts;
+    next_id_ = std::max(next_id_, snap->next_id);
   }
-  for (const auto& rec : snap.functions) {
-    const auto it = modules_.find(rec.module);
-    if (it == modules_.end())
-      throw DeviceError("snapshot function references missing module");
-    const auto* desc = it->second.image.find_kernel(rec.kernel_name);
-    if (!desc) throw DeviceError("snapshot function kernel not in module");
-    functions_.emplace(rec.id, Function{rec.module, desc});
-  }
-  for (const auto& [id, finish] : snap.streams) {
-    auto& slot = streams_[id];  // default exists; collisions rejected above
-    slot = std::max(slot, finish);
-  }
-  for (const auto& [id, ts] : snap.events) events_[id] = ts;
-  next_id_ = std::max(next_id_, snap.next_id);
 }
 
 // ----------------------------- streams & events ----------------------------

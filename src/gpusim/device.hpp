@@ -247,11 +247,20 @@ class Device {
 
   /// Merges a (typically subset) snapshot into a live device without the
   /// pristine requirement: used on a migration target, where the tenant
-  /// lands on a reserved device so nothing can collide. Address-range and
-  /// handle-id collisions are validated up front and throw DeviceError
-  /// before any state is mutated; the default stream's finish time merges
-  /// via max, and the handle counter advances to cover the imported ids.
+  /// lands on a reserved device so nothing can collide. Atomic: the whole
+  /// image is validated first — handle-id and address-range collisions
+  /// (against live state AND between the records themselves), placement
+  /// feasibility, parseable module images, resolvable function records —
+  /// and any refusal throws DeviceError before a single record lands. The
+  /// default stream's finish time merges via max, and the handle counter
+  /// advances to cover the imported ids.
   void restore_merge(const struct DeviceSnapshot& snap) CRICKET_EXCLUDES(mu_);
+
+  /// Multi-snapshot form: merges every snapshot or none — one migration
+  /// image's sessions land all-or-nothing, so a refused import can never
+  /// leave earlier sessions' state orphaned on the device.
+  void restore_merge(std::span<const struct DeviceSnapshot* const> snaps)
+      CRICKET_EXCLUDES(mu_);
 
  private:
   struct Module {

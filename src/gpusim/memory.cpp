@@ -56,6 +56,18 @@ void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
   in_use_ += padded;
 }
 
+bool MemoryManager::can_allocate_at(DevPtr ptr, std::uint64_t size) const
+    noexcept {
+  if (size == 0) return false;
+  const std::uint64_t padded =
+      (size + kGranularity - 1) / kGranularity * kGranularity;
+  sim::MutexLock lock(mu_);
+  auto it = free_.upper_bound(ptr);
+  if (it == free_.begin()) return false;
+  --it;
+  return ptr >= it->first && ptr + padded <= it->first + it->second;
+}
+
 void MemoryManager::free(DevPtr ptr) {
   sim::MutexLock lock(mu_);
   const auto it = allocs_.find(ptr);

@@ -47,6 +47,12 @@ class MemoryManager {
   /// is not entirely inside one free hole.
   void allocate_at(DevPtr ptr, std::uint64_t size) CRICKET_EXCLUDES(mu_);
 
+  /// Whether allocate_at(ptr, size) would succeed right now — the same
+  /// checks, mutation-free. Lets restore_merge validate a whole batch of
+  /// placements before committing to any of them.
+  [[nodiscard]] bool can_allocate_at(DevPtr ptr, std::uint64_t size) const
+      noexcept CRICKET_EXCLUDES(mu_);
+
   /// Frees an allocation; `ptr` must be the exact value returned by
   /// allocate. Double-free or a bogus pointer throws MemoryError.
   void free(DevPtr ptr) CRICKET_EXCLUDES(mu_);

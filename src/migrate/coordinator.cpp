@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "migrate/service.hpp"
@@ -18,6 +19,28 @@ void count_result(const char* result) {
       .counter("cricket_migrations_total", {{"result", result}},
                "Tenant migrations driven by this coordinator, by outcome")
       .inc();
+}
+
+enum class TicketState { kCommitted, kDiscarded, kUnknown };
+
+/// Asks the target what became of a ticket whose commit outcome is in
+/// doubt. mig_abort is the oracle: it discards an uncommitted ticket (any
+/// non-kMigCommitted reply means the tenant did NOT move) and answers
+/// kMigCommitted for a committed one. Only an unreachable target — after
+/// every attempt — leaves the question open.
+TicketState resolve_ticket(proto::MIGRATEVERSClient& stub,
+                           std::uint64_t ticket, std::uint32_t attempts,
+                           std::chrono::nanoseconds backoff) {
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    if (i != 0 && backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    try {
+      return stub.mig_abort(ticket) == kMigCommitted ? TicketState::kCommitted
+                                                     : TicketState::kDiscarded;
+    } catch (const std::exception&) {
+      // Target unreachable; back off and ask again.
+    }
+  }
+  return TicketState::kUnknown;
 }
 
 }  // namespace
@@ -57,8 +80,50 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
     count_result("aborted");
     return report;
   };
+  const auto flip_and_report = [&] {
+    obs::Span span(obs::Layer::kApp, "migrate.flip");
+    if (redirect_ != nullptr && target_factory_)
+      redirect_->set_target(target_factory_);
+    // The tenant stays frozen on the source on purpose: every later call is
+    // answered with the retryable kMigrating reply, and the client's
+    // reconnect (now redirected) re-submits it to the target exactly once.
+    report.phase = MigrationPhase::kFlip;
+    report.committed = true;
+    count_result("committed");
+    return report;
+  };
+  const auto ambiguous_with = [&](std::uint64_t ticket, std::string error) {
+    // The commit may have landed: the target could already own the tenant's
+    // registration and merged device state, so unfreezing the source would
+    // serve the tenant in two places at once. Keep it frozen — clients get
+    // the retryable kMigrating reply — and remember the ticket so the next
+    // migrate() call resumes by resolving it.
+    unresolved_[tenant_name] = ticket;
+    report.ambiguous = true;
+    report.phase = MigrationPhase::kTransfer;
+    report.error = std::move(error);
+    count_result("ambiguous");
+    return report;
+  };
 
   obs::Span total_span(obs::Layer::kApp, "migrate.total");
+
+  // A previous attempt ended with the commit outcome unknown; settle that
+  // before anything else. Committed → the tenant already lives on the
+  // target and the flip is the only remaining step. Discarded → the target
+  // dropped everything, so the migration below restarts cleanly (the tenant
+  // is still frozen from that attempt; begin_drain is idempotent).
+  if (const auto it = unresolved_.find(tenant_name); it != unresolved_.end()) {
+    proto::MIGRATEVERSClient stub(*target_);
+    const TicketState state =
+        resolve_ticket(stub, it->second, options_.resolve_attempts,
+                       options_.resolve_backoff);
+    if (state == TicketState::kUnknown)
+      return ambiguous_with(it->second,
+                            "commit outcome still unknown: target unreachable");
+    unresolved_.erase(it);
+    if (state == TicketState::kCommitted) return flip_and_report();
+  }
 
   // ------------------------------- drain ---------------------------------
   {
@@ -97,14 +162,27 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
     const std::size_t chunk_bytes = std::clamp<std::size_t>(
         options_.chunk_bytes, 1,
         static_cast<std::size_t>(proto::MIG_MAX_CHUNK));
+    // An error-code refusal mid-transfer leaves the ticket (and its buffered
+    // bytes) open on the target; reap it so the slot frees immediately
+    // instead of counting against max_pending_transfers forever.
+    const auto abort_transfer = [&](std::string error) {
+      if (ticket != 0) {
+        try {
+          (void)stub.mig_abort(ticket);
+        } catch (const std::exception&) {
+          // Best effort: the target reaps unclaimed tickets on its own
+          // schedule if this never arrives.
+        }
+      }
+      return abort_with(MigrationPhase::kTransfer, std::move(error));
+    };
     try {
       proto::mig_begin_args begin;
       begin.tenant = tenant_name;
       begin.total_bytes = blob.size();
       const auto opened = stub.mig_begin(begin);
       if (opened.err != kMigOk)
-        return abort_with(MigrationPhase::kTransfer,
-                          "target refused transfer (code " +
+        return abort_transfer("target refused transfer (code " +
                               std::to_string(opened.err) + ")");
       ticket = opened.ticket;
       for (std::size_t offset = 0; offset < blob.size();
@@ -118,8 +196,7 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
                               static_cast<std::ptrdiff_t>(offset + len));
         const std::int32_t err = stub.mig_chunk(chunk);
         if (err != kMigOk)
-          return abort_with(MigrationPhase::kTransfer,
-                            "target refused chunk (code " +
+          return abort_transfer("target refused chunk (code " +
                                 std::to_string(err) + ")");
         ++report.chunks;
       }
@@ -128,44 +205,32 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
       commit.checksum = fnv64(blob);
       const std::int32_t err = stub.mig_commit(commit);
       if (err != kMigOk)
-        return abort_with(MigrationPhase::kTransfer,
-                          "target refused commit (code " +
+        return abort_transfer("target refused commit (code " +
                               std::to_string(err) + ")");
     } catch (const std::exception& e) {
       // The control channel died somewhere between begin and commit. The
       // commit may or may not have landed; mig_abort disambiguates — it
       // discards an uncommitted ticket but answers kMigCommitted for a
       // committed one, in which case the tenant lives on the target and the
-      // only correct continuation is to flip.
-      bool committed_remotely = false;
-      if (ticket != 0) {
-        try {
-          committed_remotely = stub.mig_abort(ticket) == kMigCommitted;
-        } catch (const std::exception&) {
-          // Unreachable target: assume not committed. The tenant resumes on
-          // the source; a committed-but-orphaned image on the target stays
-          // invisible until its tenant name is registered, and operators
-          // retry the migration once the network heals.
-        }
-      }
-      if (!committed_remotely)
+      // only correct continuation is to flip. Keep asking until the target
+      // answers: guessing "not committed" while the commit actually landed
+      // would unfreeze the tenant on the source with its state already
+      // registered on the target — a split brain.
+      TicketState state = TicketState::kDiscarded;
+      if (ticket != 0)
+        state = resolve_ticket(stub, ticket, options_.resolve_attempts,
+                               options_.resolve_backoff);
+      if (state == TicketState::kUnknown)
+        return ambiguous_with(
+            ticket, std::string(e.what()) + "; commit outcome unknown");
+      if (state == TicketState::kDiscarded)
         return abort_with(MigrationPhase::kTransfer, e.what());
+      // kCommitted: fall through to the flip.
     }
   }
 
   // -------------------------------- flip ---------------------------------
-  {
-    obs::Span span(obs::Layer::kApp, "migrate.flip");
-    if (redirect_ != nullptr && target_factory_)
-      redirect_->set_target(target_factory_);
-    // The tenant stays frozen on the source on purpose: every later call is
-    // answered with the retryable kMigrating reply, and the client's
-    // reconnect (now redirected) re-submits it to the target exactly once.
-  }
-  report.phase = MigrationPhase::kFlip;
-  report.committed = true;
-  count_result("committed");
-  return report;
+  return flip_and_report();
 }
 
 std::unique_ptr<rpc::RpcClient> make_migrate_client(

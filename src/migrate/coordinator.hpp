@@ -19,10 +19,20 @@
 // which keeps serving as if nothing happened. After the commit point the
 // coordinator never rolls back — a lost commit reply is resolved by the
 // idempotent re-commit, or by mig_abort answering "already committed".
+//
+// When the control channel dies around the commit and mig_abort cannot be
+// reached either, the commit outcome is genuinely unknown: the tenant may
+// already be registered (with its device state merged) on the target.
+// Unfreezing the source then would serve the tenant in two places at once,
+// so the coordinator reports `ambiguous`, leaves the tenant frozen (clients
+// keep getting the retryable kMigrating reply), and remembers the ticket;
+// the next migrate() call for the tenant resumes by re-asking mig_abort
+// until it gets a definitive answer.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -57,10 +67,20 @@ struct MigrationOptions {
   std::chrono::nanoseconds drain_timeout = std::chrono::seconds(5);
   /// Transfer chunk size; clamped to the protocol bound (256 KiB).
   std::size_t chunk_bytes = 256 * 1024;
+  /// How many times to re-ask mig_abort when the commit outcome is unknown
+  /// before giving up and reporting `ambiguous`.
+  std::uint32_t resolve_attempts = 8;
+  /// Pause between those attempts.
+  std::chrono::nanoseconds resolve_backoff = std::chrono::milliseconds(50);
 };
 
 struct MigrationReport {
   bool committed = false;
+  /// The commit outcome could not be determined (target unreachable after a
+  /// possibly-landed mig_commit). The tenant stays frozen on the source —
+  /// neither side serves it — and a later migrate() call for the same
+  /// tenant resumes by resolving the remembered ticket.
+  bool ambiguous = false;
   /// On failure, the phase that failed; on success, kFlip.
   MigrationPhase phase = MigrationPhase::kNone;
   std::string error;
@@ -81,7 +101,10 @@ class MigrationCoordinator {
                        MigrationOptions options = {});
 
   /// Migrates one tenant. Blocking; safe to call for different tenants in
-  /// sequence. Never throws — failures come back in the report.
+  /// sequence. Never throws — failures come back in the report. If an
+  /// earlier attempt for this tenant ended `ambiguous`, this call first
+  /// resolves that outcome: a commit that did land is completed with the
+  /// flip; one that did not is discarded and the migration restarts.
   [[nodiscard]] MigrationReport migrate(const std::string& tenant_name);
 
  private:
@@ -90,6 +113,9 @@ class MigrationCoordinator {
   RedirectingConnector* redirect_;
   RedirectingConnector::Factory target_factory_;
   MigrationOptions options_;
+  /// Tickets whose commit outcome is unknown, by tenant name. The tenant
+  /// stays frozen on the source until its entry is resolved.
+  std::map<std::string, std::uint64_t> unresolved_;
 };
 
 /// Convenience: an RPC client speaking the MIGRATE program over `transport`

@@ -75,6 +75,8 @@ MigrationTarget::BeginResult MigrationTarget::begin(
   if (total_bytes == 0 || total_bytes > options_.max_image_bytes)
     return {kMigTooLarge, 0};
   sim::MutexLock lock(mu_);
+  if (pending_.size() >= options_.max_pending_transfers)
+    return {kMigBusy, 0};
   const std::uint64_t ticket = next_ticket_++;
   PendingTransfer& pending = pending_[ticket];
   pending.tenant = tenant;
@@ -135,6 +137,11 @@ std::uint64_t MigrationTarget::committed_count() const {
   return static_cast<std::uint64_t>(committed_.size());
 }
 
+std::uint64_t MigrationTarget::pending_count() const {
+  sim::MutexLock lock(mu_);
+  return static_cast<std::uint64_t>(pending_.size());
+}
+
 std::int32_t MigrationTarget::import_locked(PendingTransfer& pending) {
   tenancy::SessionManager* tenants = server_->tenants();
   if (tenants == nullptr) return kMigNoTenants;
@@ -155,13 +162,15 @@ std::int32_t MigrationTarget::import_locked(PendingTransfer& pending) {
   const std::uint32_t pin =
       (options_.pin_device == ~0u ? device_count - 1 : options_.pin_device) %
       device_count;
-  // Merge every session's device slice first: restore_merge validates
-  // collisions up front and throws before mutating, so a refused image
-  // leaves the device untouched and nothing else has been imported yet.
+  // Merge every session's device slice in one atomic validate-then-mutate
+  // step: restore_merge proves the whole batch placeable before touching
+  // the device, so a refused image — even one whose last session is the
+  // problem — leaves the device untouched and nothing else imported.
+  std::vector<const gpusim::DeviceSnapshot*> slices;
+  slices.reserve(image.sessions.size());
+  for (const auto& session : image.sessions) slices.push_back(&session.state);
   try {
-    for (const auto& session : image.sessions)
-      server_->node().device(static_cast<int>(pin)).restore_merge(
-          session.state);
+    server_->node().device(static_cast<int>(pin)).restore_merge(slices);
   } catch (const std::exception&) {
     return kMigDevice;
   }

@@ -52,6 +52,8 @@ enum MigErr : std::int32_t {
   kMigNoTenants = 9,
   /// restore_merge refused (handle or address collision on the device).
   kMigDevice = 10,
+  /// Too many transfers already in flight; retry after one finishes.
+  kMigBusy = 11,
 };
 
 struct MigrationTargetOptions {
@@ -62,6 +64,12 @@ struct MigrationTargetOptions {
   /// Ceiling on a declared image size; mig_begin refuses anything larger
   /// before allocating a byte.
   std::uint64_t max_image_bytes = 256ull << 20;
+  /// Ceiling on simultaneously open tickets. Abandoned transfers (a
+  /// coordinator that died mid-stream and never sent mig_abort) hold their
+  /// buffers until aborted, so an unbounded count would let repeated
+  /// mig_begin calls pin max_image_bytes each; past this many, mig_begin
+  /// answers kMigBusy until a slot frees up.
+  std::size_t max_pending_transfers = 4;
 };
 
 class MigrationTarget {
@@ -96,6 +104,8 @@ class MigrationTarget {
   std::int32_t abort(std::uint64_t ticket) CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] std::uint64_t committed_count() const CRICKET_EXCLUDES(mu_);
+  /// Open (begun, not yet committed or aborted) transfer tickets.
+  [[nodiscard]] std::uint64_t pending_count() const CRICKET_EXCLUDES(mu_);
 
  private:
   struct PendingTransfer {

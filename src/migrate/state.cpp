@@ -98,6 +98,7 @@ std::vector<std::uint8_t> encode_image(const MigrationImage& image) {
   enc.put_u32(static_cast<std::uint32_t>(image.sessions.size()));
   for (const auto& s : image.sessions) {
     enc.put_u64(s.session_id);
+    enc.put_u64(s.client_id);
     // The device-state slice rides as a nested version-2 checkpoint blob:
     // same codec, same checksum, same version gate as on-disk checkpoints.
     enc.put_opaque(core::encode_checkpoint(s.state));
@@ -162,6 +163,7 @@ MigrationImage decode_image(std::span<const std::uint8_t> bytes) {
     for (std::uint32_t i = 0; i < ns; ++i) {
       core::SessionExport s;
       s.session_id = dec.get_u64();
+      s.client_id = dec.get_u64();
       s.state = core::decode_checkpoint(dec.get_opaque(kMaxCheckpointBytes));
       const std::uint32_t na = dec.get_u32();
       if (na > kMaxTableEntries)

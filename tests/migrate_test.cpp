@@ -168,6 +168,7 @@ MigrationImage sample_image() {
 
   SessionExport s;
   s.session_id = 42;
+  s.client_id = 0xC11E17;
   s.state.next_id = 10;
   s.state.allocations.push_back({0x1000, 4, {1, 2, 3, 4}});
   s.state.modules.push_back({2, {9, 9, 9}, {{"g_bias", 0x500}}});
@@ -208,6 +209,7 @@ TEST(MigrationImageCodec, RoundTripIsLossless) {
   const auto& s = out.sessions[0];
   const auto& in = img.sessions[0];
   EXPECT_EQ(s.session_id, 42u);
+  EXPECT_EQ(s.client_id, 0xC11E17u);
   EXPECT_EQ(s.state.next_id, in.state.next_id);
   ASSERT_EQ(s.state.allocations.size(), 1u);
   EXPECT_EQ(s.state.allocations[0].addr, 0x1000u);
@@ -277,6 +279,102 @@ TEST(MigrationImageCodec, MutatedImagesThrowCleanly) {
   }
 }
 
+// ------------------------- atomic device merge ------------------------------
+
+TEST(DeviceRestoreMerge, RefusalLeavesDeviceUntouched) {
+  // Donor device builds a realistic snapshot: an allocation, a module, and
+  // a function handle into it.
+  std::atomic<std::uint64_t> donor_execs{0};
+  auto donor_node = cuda::GpuNode::make_a100();
+  register_mark(donor_node->registry(), &donor_execs);
+  auto& donor = donor_node->device(0);
+  const auto ptr = donor.malloc(512);
+  donor.memset(ptr, 0x5A, 512);
+  const auto mod = donor.load_module(fatbin::cubin_serialize(mark_image()));
+  const auto fn = donor.get_function(mod, "mig_mark");
+  const auto snap = donor.snapshot();
+
+  std::atomic<std::uint64_t> execs{0};
+  auto host_node = cuda::GpuNode::make_a100();
+  register_mark(host_node->registry(), &execs);
+  auto& host = host_node->device(0);
+  const auto bytes_before = host.memory().bytes_in_use();
+  const auto count_before = host.memory().allocation_count();
+
+  // The poisoned record sits at the END of the validation order (function
+  // resolution), after the allocations and modules it rides with have all
+  // passed their checks — exactly where a validate-as-you-mutate merge
+  // would leave half the snapshot behind.
+  auto bad = snap;
+  ASSERT_FALSE(bad.functions.empty());
+  bad.functions[0].kernel_name = "no_such_kernel";
+  EXPECT_THROW(host.restore_merge(bad), gpusim::DeviceError);
+  EXPECT_EQ(host.memory().bytes_in_use(), bytes_before);
+  EXPECT_EQ(host.memory().allocation_count(), count_before);
+
+  // Nothing (module included) landed: the intact snapshot still merges
+  // collision-free, and the merged function handle is live.
+  host.restore_merge(snap);
+  EXPECT_EQ(host.memory().allocation_count(), count_before + 1);
+  (void)host.launch(fn, {1, 1, 1}, {1, 1, 1}, 0, 0, mark_params(1));
+  host.device_synchronize();
+  EXPECT_EQ(execs.load(), 1u);
+}
+
+TEST(DeviceRestoreMerge, MultiSnapshotMergeIsAllOrNothing) {
+  auto donor_node = cuda::GpuNode::make_a100();
+  auto& donor = donor_node->device(0);
+  (void)donor.malloc(512);
+  const auto good = donor.snapshot();
+
+  auto host_node = cuda::GpuNode::make_a100();
+  auto& host = host_node->device(0);
+
+  // Second snapshot collides with the first (same addresses, same ids):
+  // the batch must refuse wholesale, leaving no trace of the first.
+  const gpusim::DeviceSnapshot* both[] = {&good, &good};
+  EXPECT_THROW(
+      host.restore_merge(std::span<const gpusim::DeviceSnapshot* const>(both)),
+      gpusim::DeviceError);
+  EXPECT_EQ(host.memory().allocation_count(), 0u);
+
+  // The same snapshot alone is fine — the refusal above really was the
+  // cross-snapshot check, not a bad image.
+  const gpusim::DeviceSnapshot* one[] = {&good};
+  host.restore_merge(std::span<const gpusim::DeviceSnapshot* const>(one));
+  EXPECT_EQ(host.memory().allocation_count(), 1u);
+}
+
+// --------------------------- adoption staging -------------------------------
+
+TEST(AdoptionStaging, BundlesAreKeyedByClientIdentity) {
+  auto node = cuda::GpuNode::make_a100();
+  CricketServer server(*node);
+  SessionExport a;
+  a.session_id = 1;
+  a.client_id = 111;
+  SessionExport b;
+  b.session_id = 2;
+  b.client_id = 222;
+  std::vector<SessionExport> bundles;
+  bundles.push_back(std::move(a));
+  bundles.push_back(std::move(b));
+  server.stage_adoption("alice", std::move(bundles));
+
+  // Neither a wrong tenant nor a wrong client identity can claim a bundle.
+  EXPECT_FALSE(server.take_adoption("bob", 111).has_value());
+  EXPECT_FALSE(server.take_adoption("alice", 999).has_value());
+  // Reconnect order is the clients', not the staging order: the
+  // second-staged client arriving first still gets its own bundle.
+  const auto for_b = server.take_adoption("alice", 222);
+  ASSERT_TRUE(for_b.has_value());
+  EXPECT_EQ(for_b->session_id, 2u);
+  const auto for_a = server.take_adoption("alice", 111);
+  ASSERT_TRUE(for_a.has_value());
+  EXPECT_EQ(for_a->session_id, 1u);
+  EXPECT_FALSE(server.take_adoption("alice", 111).has_value());
+}
+
 // ------------------------- transfer protocol ------------------------------
 
 TEST(MigrationTargetProtocol, BoundsAndOrderingEnforcedBeforeBuffering) {
@@ -317,6 +415,25 @@ TEST(MigrationTargetProtocol, BoundsAndOrderingEnforcedBeforeBuffering) {
   EXPECT_EQ(target.abort(12345), kMigOk);
   EXPECT_EQ(target.abort(opened.ticket), kMigOk);
   EXPECT_EQ(target.chunk(opened.ticket, 0, half), kMigBadTicket);
+}
+
+TEST(MigrationTargetProtocol, ConcurrentTransfersAreBounded) {
+  auto node = cuda::GpuNode::make_a100();
+  CricketServer server(*node);
+  MigrationTarget target(
+      server, {.max_image_bytes = 1024, .max_pending_transfers = 2});
+
+  const auto t1 = target.begin("alice", 8);
+  ASSERT_EQ(t1.err, kMigOk);
+  ASSERT_EQ(target.begin("bob", 8).err, kMigOk);
+  EXPECT_EQ(target.pending_count(), 2u);
+  // A third open ticket would let abandoned transfers pin unbounded buffer
+  // space; it is refused before anything is allocated.
+  EXPECT_EQ(target.begin("carol", 8).err, kMigBusy);
+  // Aborting one frees its slot.
+  EXPECT_EQ(target.abort(t1.ticket), kMigOk);
+  EXPECT_EQ(target.pending_count(), 1u);
+  EXPECT_EQ(target.begin("carol", 8).err, kMigOk);
 }
 
 struct TargetImportFixture : ::testing::Test {
@@ -387,6 +504,38 @@ TEST_F(TargetImportFixture, BadAndFutureImagesRefusedAtCommit) {
   std::vector<std::uint8_t> junk(64, 0xAA);
   EXPECT_EQ(upload(junk), kMigBadImage);
   EXPECT_EQ(target->committed_count(), 0u);
+  EXPECT_FALSE(tenants.find("alice").has_value());
+}
+
+TEST_F(TargetImportFixture, CollidingSessionRefusesWholeImageAtomically) {
+  // Discover the pinned device's heap base with a scratch allocation.
+  auto& dev = node->device(node->device_count() - 1);
+  const auto base = dev.malloc(4);
+  dev.free(base);
+
+  auto img = sample_image();
+  img.sessions.clear();
+  core::SessionExport s1;
+  s1.session_id = 1;
+  s1.client_id = 11;
+  s1.state.next_id = 1;
+  s1.state.allocations.push_back({base, 4, {1, 2, 3, 4}});
+  core::SessionExport s2;
+  s2.session_id = 2;
+  s2.client_id = 22;
+  s2.state.next_id = 1;
+  // Overlaps s1's allocation once padded to allocator granularity — a
+  // collision only visible ACROSS the image's sessions, and only after s1
+  // passed validation. The whole image must refuse with s1 rolled off (or
+  // rather: never applied to) the device.
+  s2.state.allocations.push_back({base + 128, 4, {5, 6, 7, 8}});
+  img.sessions.push_back(std::move(s1));
+  img.sessions.push_back(std::move(s2));
+
+  EXPECT_EQ(upload(encode_image(img)), kMigDevice);
+  EXPECT_EQ(dev.memory().allocation_count(), 0u);
+  EXPECT_EQ(target->committed_count(), 0u);
+  // The tenant was not registered either: commit is all-or-nothing.
   EXPECT_FALSE(tenants.find("alice").has_value());
 }
 
@@ -686,6 +835,150 @@ TEST_F(MigrateFixture, RetryAcrossFlipIsAnsweredFromMigratedDrc) {
             Error::kSuccess);
   ASSERT_EQ(api.device_synchronize(), Error::kSuccess);
   EXPECT_EQ(target_execs.load(), 1u);
+}
+
+TEST_F(MigrateFixture, MultiSessionTenantAdoptionIsPerClient) {
+  // Two clients of the same tenant. Client A's launch reply is swallowed
+  // just before the migration, so its retry crosses the flip; client B
+  // reconnects to the target FIRST. Adoption is keyed by client identity,
+  // so B cannot be handed A's bundle — A's retry must still be answered
+  // from A's migrated DRC entries, and each client must find its own
+  // allocations on the target.
+  source_s2c = faultnet::FaultSpec::parse("partition_after=3,partition_len=1");
+  add_source("alice");
+  auto& a = connect("alice", deep_retry(4s));
+  auto& b = connect("alice");
+
+  // B: two calls only — its link never reaches the partition window.
+  cuda::DevPtr b_buf = 0;
+  ASSERT_EQ(b.malloc(b_buf, 128), Error::kSuccess);
+  const std::vector<std::uint8_t> b_data(128, 0xB0);
+  ASSERT_EQ(b.memcpy_h2d(b_buf, b_data), Error::kSuccess);
+
+  // A: replies 1-3 land; reply 4 (the launch) is swallowed.
+  cuda::DevPtr a_buf = 0;
+  ASSERT_EQ(a.malloc(a_buf, 128), Error::kSuccess);
+  cuda::ModuleId mod = 0;
+  ASSERT_EQ(a.module_load(mod, fatbin::cubin_serialize(mark_image())),
+            Error::kSuccess);
+  cuda::FuncId fn = 0;
+  ASSERT_EQ(a.module_get_function(fn, mod, "mig_mark"), Error::kSuccess);
+  Error launch_err = Error::kRpcFailure;
+  std::thread caller([&] {
+    launch_err =
+        a.launch_kernel(fn, {1, 1, 1}, {1, 1, 1}, 0, 0, mark_params(7));
+  });
+  while (source_execs.load() == 0) std::this_thread::sleep_for(1ms);
+  const auto report = do_migrate();
+  ASSERT_TRUE(report.committed) << report.error;
+  EXPECT_EQ(report.sessions, 2u);
+
+  // B lands on the target first — while A is still waiting out its attempt
+  // timeout. FIFO adoption by tenant name alone would hand B the bundle
+  // staged for A here.
+  std::vector<std::uint8_t> b_out(128);
+  ASSERT_EQ(b.memcpy_d2h(b_out, b_buf), Error::kSuccess);
+  EXPECT_EQ(b_out, b_data);
+
+  caller.join();
+  ASSERT_EQ(launch_err, Error::kSuccess);
+  // Exactly-once: A's retry was satisfied from A's own migrated DRC.
+  EXPECT_EQ(source_execs.load(), 1u);
+  EXPECT_EQ(target_execs.load(), 0u);
+
+  // A's session is fully adopted too: its allocation and handles are live.
+  const std::vector<std::uint8_t> a_data(128, 0xA0);
+  ASSERT_EQ(a.memcpy_h2d(a_buf, a_data), Error::kSuccess);
+  std::vector<std::uint8_t> a_out(128);
+  ASSERT_EQ(a.memcpy_d2h(a_out, a_buf), Error::kSuccess);
+  EXPECT_EQ(a_out, a_data);
+  ASSERT_EQ(a.launch_kernel(fn, {1, 1, 1}, {1, 1, 1}, 0, 0, mark_params(8)),
+            Error::kSuccess);
+  ASSERT_EQ(a.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(target_execs.load(), 1u);
+}
+
+TEST_F(MigrateFixture, UnknownCommitOutcomeKeepsTenantFrozenUntilResolved) {
+  add_source("alice");
+  auto& api = connect("alice", std::nullopt);  // raw client: observes freeze
+  int n = 0;
+  ASSERT_EQ(api.get_device_count(n), Error::kSuccess);
+
+  // Control link where only replies fault: begin (1) and chunk (2) answer
+  // normally, then the partition swallows the commit reply and the next
+  // five. Every REQUEST lands — the commit really does execute on the
+  // target; only the coordinator's knowledge of it is lost.
+  auto [client_end, server_end] = rpc::make_pipe_pair();
+  std::unique_ptr<rpc::Transport> s =
+      std::make_unique<faultnet::FaultyTransport>(
+          std::move(server_end),
+          faultnet::FaultSpec::parse("partition_after=2,partition_len=6"));
+  mig_target = std::make_unique<MigrationTarget>(*target_server);
+  mig_thread = mig_target->serve_async(std::move(s));
+  rpc::ClientOptions co;
+  co.retry.enabled = true;
+  co.retry.max_attempts = 1;  // surface the lost reply as an exception
+  co.retry.attempt_timeout = 250ms;
+  mig_client = make_migrate_client(std::move(client_end), co);
+  MigrationOptions options;
+  options.resolve_attempts = 3;
+  options.resolve_backoff = 1ms;
+  MigrationCoordinator coordinator(*source_server, *mig_client, redirect.get(),
+                                   target_factory(), options);
+
+  // First attempt: commit reply lost, and all three mig_abort probes lost
+  // too. The outcome is genuinely unknown — the coordinator must neither
+  // flip nor unfreeze.
+  const auto first = coordinator.migrate("alice");
+  EXPECT_FALSE(first.committed);
+  EXPECT_TRUE(first.ambiguous);
+  EXPECT_EQ(first.phase, MigrationPhase::kTransfer);
+  EXPECT_EQ(redirect->flips(), 0u);
+  // The commit DID land: the tenant is registered on the target...
+  EXPECT_TRUE(target_tenants.find("alice").has_value());
+  // ...so resuming service on the source would be a split brain. The tenant
+  // stays frozen instead.
+  EXPECT_EQ(api.get_device_count(n), Error::kMigrating);
+
+  // Once replies get through again, the same coordinator resolves the
+  // remembered ticket — committed — and completes with the flip alone:
+  // nothing is re-transferred, nothing re-imported.
+  const auto second = coordinator.migrate("alice");
+  ASSERT_TRUE(second.committed) << second.error;
+  EXPECT_FALSE(second.ambiguous);
+  EXPECT_EQ(redirect->flips(), 1u);
+  EXPECT_EQ(mig_target->committed_count(), 1u);
+}
+
+TEST_F(MigrateFixture, RefusedCommitReapsThePendingTransfer) {
+  add_source("alice");
+  auto& api = connect("alice");
+  int n = 0;
+  ASSERT_EQ(api.get_device_count(n), Error::kSuccess);
+
+  // A target with no SessionManager refuses the commit with an error CODE,
+  // not an exception. The coordinator must still reap its ticket — else the
+  // buffered image stays pinned against max_pending_transfers forever.
+  auto bare_node = cuda::GpuNode::make_a100();
+  CricketServer bare(*bare_node);
+  MigrationTarget target(bare);
+  auto [client_end, server_end] = rpc::make_pipe_pair();
+  auto serve = target.serve_async(std::move(server_end));
+  {
+    rpc::ClientOptions co;
+    co.retry = deep_retry();
+    auto client = make_migrate_client(std::move(client_end), co);
+    MigrationCoordinator coordinator(*source_server, *client, nullptr, {});
+    const auto report = coordinator.migrate("alice");
+    EXPECT_FALSE(report.committed);
+    EXPECT_FALSE(report.ambiguous);
+    EXPECT_EQ(report.phase, MigrationPhase::kTransfer);
+    EXPECT_EQ(target.pending_count(), 0u);
+    EXPECT_EQ(target.committed_count(), 0u);
+    // The abort also unfroze alice on the source.
+    EXPECT_EQ(api.get_device_count(n), Error::kSuccess);
+  }
+  serve.join();
 }
 
 TEST_F(MigrateFixture, PipelinedChannelSurvivesMigration) {

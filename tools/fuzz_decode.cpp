@@ -262,6 +262,7 @@ cricket::migrate::MigrationImage sample_image() {
   image.tenant.calls_admitted = 99;
   cricket::core::SessionExport s;
   s.session_id = 7;
+  s.client_id = 0xFEED;
   s.state = sample_snapshot();
   s.allocations = {{0x1000, 32}};
   s.modules = {static_cast<cricket::cuda::ModuleId>(5)};
