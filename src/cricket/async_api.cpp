@@ -406,8 +406,12 @@ Error AsyncRemoteCudaApi::launch_kernel(cuda::FuncId func, cuda::Dim3 grid,
                                         std::span<const std::uint8_t> params) {
   clock_->advance(config_.flavor.launch_extra_ns);
   return enqueue(proto::RPC_LAUNCH_KERNEL_PROC, func,
-                 proto::rpc_dim3{grid.x, grid.y, grid.z},
-                 proto::rpc_dim3{block.x, block.y, block.z}, shared_bytes,
+                 proto::rpc_dim3{xdr::Untrusted<std::uint32_t>(grid.x),
+                                xdr::Untrusted<std::uint32_t>(grid.y),
+                                xdr::Untrusted<std::uint32_t>(grid.z)},
+                 proto::rpc_dim3{xdr::Untrusted<std::uint32_t>(block.x),
+                                xdr::Untrusted<std::uint32_t>(block.y),
+                                xdr::Untrusted<std::uint32_t>(block.z)}, shared_bytes,
                  stream,
                  std::vector<std::uint8_t>(params.begin(), params.end()));
 }

@@ -17,6 +17,25 @@ using cuda::Error;
 
 std::int32_t to_wire(Error e) { return static_cast<std::int32_t>(e); }
 
+/// Taint exit for opaque wire handles (device pointers, stream/event/module
+/// ids). No a-priori bound exists for a handle: the gpusim resource tables
+/// are the authority and refuse unknown values in-band
+/// (kInvalidDevicePointer / kInvalidResourceHandle), so forwarding the raw
+/// value is safe by construction. Counted by tools/taint_audit.py.
+std::uint64_t handle(xdr::Untrusted<proto::ptr_t> h) noexcept {
+  return h.trust_unchecked(
+      "opaque handle: gpusim table lookup refuses unknown values in-band");
+}
+
+/// Taint exit for culibs integer dimensions. Sign and extent are checked
+/// in-band (negative dims return kInvalidValue; operand spans are resolved
+/// with overflow-safe bounds checks), and the wire contract pins those
+/// error codes — validating here would turn them into kGarbageArgs.
+int dim(xdr::Untrusted<std::int32_t> d) noexcept {
+  return d.trust_unchecked(
+      "culibs dim: sign/extent refused in-band against resolved spans");
+}
+
 /// Copies at or above this size contend for real device/PCIe time and are
 /// arbitrated by the scheduler like kernel launches; smaller control-plane
 /// copies pass straight through.
@@ -132,9 +151,11 @@ class CricketSession final : public proto::CRICKETVERSService,
     return {to_wire(err), n};
   }
 
-  std::int32_t rpc_set_device(std::int32_t device) override {
+  std::int32_t rpc_set_device(xdr::Untrusted<std::int32_t> device) override {
     count();
-    return to_wire(api_.set_device(device));
+    return to_wire(api_.set_device(device.trust_unchecked(
+        "device ordinal: set_device refuses out-of-range in-band with "
+        "kInvalidDevice")));
   }
 
   proto::int_result rpc_get_device() override {
@@ -145,10 +166,13 @@ class CricketSession final : public proto::CRICKETVERSService,
   }
 
   proto::dev_props_result rpc_get_device_properties(
-      std::int32_t device) override {
+      xdr::Untrusted<std::int32_t> device) override {
     count();
     cuda::DeviceInfo info;
-    const Error err = api_.get_device_properties(info, device);
+    const Error err = api_.get_device_properties(
+        info, device.trust_unchecked(
+                  "device ordinal: get_device_properties refuses "
+                  "out-of-range in-band with kInvalidDevice"));
     proto::dev_props_result res;
     res.err = to_wire(err);
     if (err == Error::kSuccess) {
@@ -162,25 +186,36 @@ class CricketSession final : public proto::CRICKETVERSService,
   }
 
   // ------------------------------- memory --------------------------------
-  proto::u64_result rpc_malloc(std::uint64_t size) override {
+  proto::u64_result rpc_malloc(xdr::Untrusted<std::uint64_t> size) override {
     count();
-    // Quota check before touching the device: a refusal charges nothing
-    // (try_charge_memory is all-or-nothing) and surfaces as the typed
-    // cricketErrorQuotaExceeded result, not an allocator failure.
-    if (bound() && !tenants_->try_charge_memory(tenant_, size))
-      return {to_wire(Error::kQuotaExceeded), 0};
+    std::uint64_t bytes = 0;  // plain only after a refusal-checked exit
+    if (bound()) {
+      // Quota check before touching the device: a refusal charges nothing
+      // (try_charge_memory is all-or-nothing, and the taint overload
+      // refuses sizes that would saturate the quota arithmetic) and
+      // surfaces as the typed cricketErrorQuotaExceeded result, not an
+      // allocator failure.
+      if (!tenants_->try_charge_memory(tenant_, size, bytes))
+        return {to_wire(Error::kQuotaExceeded), 0};
+    } else if (!size.try_validate(api_.current().memory().capacity(),
+                                  bytes)) {
+      // Larger than the whole device: the same in-band refusal the
+      // allocator would produce, without constructing the request.
+      return {to_wire(Error::kMemoryAllocation), 0};
+    }
     cuda::DevPtr ptr = 0;
     const Error err = api_.malloc(ptr, size);
     if (err == Error::kSuccess) {
-      allocations_.emplace(ptr, size);
+      allocations_.emplace(ptr, bytes);
     } else if (bound()) {
-      tenants_->release_memory(tenant_, size);
+      tenants_->release_memory(tenant_, bytes);
     }
     return {to_wire(err), ptr};
   }
 
-  std::int32_t rpc_free(proto::ptr_t ptr) override {
+  std::int32_t rpc_free(xdr::Untrusted<proto::ptr_t> wire_ptr) override {
     count();
+    const cuda::DevPtr ptr = handle(wire_ptr);
     const Error err = api_.free(ptr);
     if (err == Error::kSuccess) {
       const auto it = allocations_.find(ptr);
@@ -192,87 +227,114 @@ class CricketSession final : public proto::CRICKETVERSService,
     return to_wire(err);
   }
 
-  std::int32_t rpc_memset(proto::ptr_t ptr, std::int32_t value,
-                          std::uint64_t size) override {
+  std::int32_t rpc_memset(xdr::Untrusted<proto::ptr_t> ptr,
+                          std::int32_t value,
+                          xdr::Untrusted<std::uint64_t> size) override {
     count();
-    return to_wire(api_.memset(ptr, value, size));
+    return to_wire(api_.memset(handle(ptr), value, size));
   }
 
-  std::int32_t rpc_memcpy_h2d(proto::ptr_t dst,
+  std::int32_t rpc_memcpy_h2d(xdr::Untrusted<proto::ptr_t> dst,
                               std::vector<std::uint8_t> data) override {
     count();
     admit_transfer(data.size());
-    const Error err = api_.memcpy_h2d(dst, data);
+    const Error err = api_.memcpy_h2d(handle(dst), data);
     if (err == Error::kSuccess) charge_transfer(data.size());
     return to_wire(err);
   }
 
-  proto::data_result rpc_memcpy_d2h(proto::ptr_t src,
-                                    std::uint64_t len) override {
+  proto::data_result rpc_memcpy_d2h(
+      xdr::Untrusted<proto::ptr_t> src,
+      xdr::Untrusted<std::uint64_t> len) override {
     count();
-    admit_transfer(len);
+    // The reply buffer is allocated from this wire length before the device
+    // checks it against the source span, so it must clear the payload bound
+    // first; a hostile length dies here as kGarbageArgs instead of driving
+    // a multi-gigabyte resize.
+    const std::uint64_t n =
+        proto::taint::validate_length(len, "rpc_memcpy_d2h.len");
+    admit_transfer(n);
     proto::data_result res;
-    res.data.resize(len);
-    res.err = to_wire(api_.memcpy_d2h(res.data, src));
+    res.data.resize(n);
+    res.err = to_wire(api_.memcpy_d2h(res.data, handle(src)));
     if (res.err != 0) res.data.clear();
-    if (res.err == 0) charge_transfer(len);
+    if (res.err == 0) charge_transfer(n);
     return res;
   }
 
-  std::int32_t rpc_memcpy_d2d(proto::ptr_t dst, proto::ptr_t src,
-                              std::uint64_t len) override {
+  std::int32_t rpc_memcpy_d2d(xdr::Untrusted<proto::ptr_t> dst,
+                              xdr::Untrusted<proto::ptr_t> src,
+                              xdr::Untrusted<std::uint64_t> len) override {
     count();
-    admit_transfer(len);
-    const Error err = api_.memcpy_d2d(dst, src, len);
-    if (err == Error::kSuccess) charge_transfer(len);
+    // Device-local copies never cross the wire, so the payload bound does
+    // not apply; anything beyond the device capacity gets the same in-band
+    // refusal resolve() would produce.
+    std::uint64_t bytes = 0;
+    if (!len.try_validate(api_.current().memory().capacity(), bytes))
+      return to_wire(Error::kInvalidDevicePointer);
+    admit_transfer(bytes);
+    const Error err = api_.memcpy_d2d(handle(dst), handle(src), len);
+    if (err == Error::kSuccess) charge_transfer(bytes);
     return to_wire(err);
   }
 
-  std::int32_t rpc_memcpy_h2d_async(proto::ptr_t dst,
-                                    std::vector<std::uint8_t> data,
-                                    proto::ptr_t stream) override {
+  std::int32_t rpc_memcpy_h2d_async(
+      xdr::Untrusted<proto::ptr_t> dst, std::vector<std::uint8_t> data,
+      xdr::Untrusted<proto::ptr_t> stream) override {
     count();
     admit_transfer(data.size());
-    const Error err = api_.memcpy_h2d_async(dst, data, stream);
+    const Error err = api_.memcpy_h2d_async(handle(dst), data,
+                                            handle(stream));
     if (err == Error::kSuccess) charge_transfer(data.size());
     return to_wire(err);
   }
 
-  proto::data_result rpc_memcpy_d2h_async(proto::ptr_t src, std::uint64_t len,
-                                          proto::ptr_t stream) override {
+  proto::data_result rpc_memcpy_d2h_async(
+      xdr::Untrusted<proto::ptr_t> src, xdr::Untrusted<std::uint64_t> len,
+      xdr::Untrusted<proto::ptr_t> stream) override {
     count();
-    admit_transfer(len);
+    const std::uint64_t n =
+        proto::taint::validate_length(len, "rpc_memcpy_d2h_async.len");
+    admit_transfer(n);
     proto::data_result res;
-    res.data.resize(len);
-    res.err = to_wire(api_.memcpy_d2h_async(res.data, src, stream));
+    res.data.resize(n);
+    res.err = to_wire(api_.memcpy_d2h_async(res.data, handle(src),
+                                            handle(stream)));
     if (res.err != 0) res.data.clear();
-    if (res.err == 0) charge_transfer(len);
+    if (res.err == 0) charge_transfer(n);
     return res;
   }
 
-  std::int32_t rpc_transfer_begin_h2d(proto::ptr_t dst, std::uint64_t len,
-                                      std::uint32_t lane_count) override {
+  std::int32_t rpc_transfer_begin_h2d(
+      xdr::Untrusted<proto::ptr_t> dst, xdr::Untrusted<std::uint64_t> len,
+      xdr::Untrusted<std::uint32_t> lane_count) override {
     count();
-    if (lane_count != lanes_.count() || lane_count == 0)
+    // The lane count is only ever compared, so it stays tainted.
+    if (lane_count != lanes_.count() || lane_count == 0u)
       return to_wire(Error::kInvalidValue);
-    std::vector<std::uint8_t> buf(len);
+    const std::uint64_t n =
+        proto::taint::validate_length(len, "rpc_transfer_begin_h2d.len");
+    std::vector<std::uint8_t> buf(n);
     gather_striped(lanes_, buf);
-    admit_transfer(len);
-    const Error err = api_.memcpy_h2d(dst, buf);
-    if (err == Error::kSuccess) charge_transfer(len);
+    admit_transfer(n);
+    const Error err = api_.memcpy_h2d(handle(dst), buf);
+    if (err == Error::kSuccess) charge_transfer(n);
     return to_wire(err);
   }
 
-  std::int32_t rpc_transfer_begin_d2h(proto::ptr_t src, std::uint64_t len,
-                                      std::uint32_t lane_count) override {
+  std::int32_t rpc_transfer_begin_d2h(
+      xdr::Untrusted<proto::ptr_t> src, xdr::Untrusted<std::uint64_t> len,
+      xdr::Untrusted<std::uint32_t> lane_count) override {
     count();
-    if (lane_count != lanes_.count() || lane_count == 0)
+    if (lane_count != lanes_.count() || lane_count == 0u)
       return to_wire(Error::kInvalidValue);
-    admit_transfer(len);
-    std::vector<std::uint8_t> buf(len);
-    const Error err = api_.memcpy_d2h(buf, src);
+    const std::uint64_t n =
+        proto::taint::validate_length(len, "rpc_transfer_begin_d2h.len");
+    admit_transfer(n);
+    std::vector<std::uint8_t> buf(n);
+    const Error err = api_.memcpy_d2h(buf, handle(src));
     if (err != Error::kSuccess) return to_wire(err);
-    charge_transfer(len);
+    charge_transfer(n);
     scatter_striped(lanes_, buf);
     return to_wire(Error::kSuccess);
   }
@@ -286,16 +348,19 @@ class CricketSession final : public proto::CRICKETVERSService,
     return {to_wire(err), s};
   }
 
-  std::int32_t rpc_stream_destroy(proto::ptr_t stream) override {
+  std::int32_t rpc_stream_destroy(
+      xdr::Untrusted<proto::ptr_t> wire_stream) override {
     count();
+    const cuda::StreamId stream = handle(wire_stream);
     const Error err = api_.stream_destroy(stream);
     if (err == Error::kSuccess) streams_.erase(stream);
     return to_wire(err);
   }
 
-  std::int32_t rpc_stream_synchronize(proto::ptr_t stream) override {
+  std::int32_t rpc_stream_synchronize(
+      xdr::Untrusted<proto::ptr_t> stream) override {
     count();
-    return to_wire(api_.stream_synchronize(stream));
+    return to_wire(api_.stream_synchronize(handle(stream)));
   }
 
   std::int32_t rpc_device_synchronize() override {
@@ -311,36 +376,41 @@ class CricketSession final : public proto::CRICKETVERSService,
     return {to_wire(err), e};
   }
 
-  std::int32_t rpc_event_destroy(proto::ptr_t event) override {
+  std::int32_t rpc_event_destroy(
+      xdr::Untrusted<proto::ptr_t> wire_event) override {
     count();
+    const cuda::EventId event = handle(wire_event);
     const Error err = api_.event_destroy(event);
     if (err == Error::kSuccess) events_.erase(event);
     return to_wire(err);
   }
 
-  std::int32_t rpc_event_record(proto::ptr_t event,
-                                proto::ptr_t stream) override {
+  std::int32_t rpc_event_record(xdr::Untrusted<proto::ptr_t> event,
+                                xdr::Untrusted<proto::ptr_t> stream) override {
     count();
-    return to_wire(api_.event_record(event, stream));
+    return to_wire(api_.event_record(handle(event), handle(stream)));
   }
 
-  std::int32_t rpc_event_synchronize(proto::ptr_t event) override {
+  std::int32_t rpc_event_synchronize(
+      xdr::Untrusted<proto::ptr_t> event) override {
     count();
-    return to_wire(api_.event_synchronize(event));
+    return to_wire(api_.event_synchronize(handle(event)));
   }
 
-  proto::float_result rpc_event_elapsed(proto::ptr_t start,
-                                        proto::ptr_t stop) override {
+  proto::float_result rpc_event_elapsed(
+      xdr::Untrusted<proto::ptr_t> start,
+      xdr::Untrusted<proto::ptr_t> stop) override {
     count();
     float ms = 0;
-    const Error err = api_.event_elapsed_ms(ms, start, stop);
+    const Error err = api_.event_elapsed_ms(ms, handle(start), handle(stop));
     return {to_wire(err), ms};
   }
 
-  std::int32_t rpc_stream_wait_event(proto::ptr_t stream,
-                                     proto::ptr_t event) override {
+  std::int32_t rpc_stream_wait_event(
+      xdr::Untrusted<proto::ptr_t> stream,
+      xdr::Untrusted<proto::ptr_t> event) override {
     count();
-    return to_wire(api_.stream_wait_event(stream, event));
+    return to_wire(api_.stream_wait_event(handle(stream), handle(event)));
   }
 
   // --------------------------- modules & launch --------------------------
@@ -352,39 +422,54 @@ class CricketSession final : public proto::CRICKETVERSService,
     return {to_wire(err), mod};
   }
 
-  std::int32_t rpc_module_unload(proto::ptr_t module) override {
+  std::int32_t rpc_module_unload(
+      xdr::Untrusted<proto::ptr_t> wire_module) override {
     count();
+    const cuda::ModuleId module = handle(wire_module);
     const Error err = api_.module_unload(module);
     if (err == Error::kSuccess) modules_.erase(module);
     return to_wire(err);
   }
 
-  proto::u64_result rpc_module_get_function(proto::ptr_t module,
-                                            std::string name) override {
+  proto::u64_result rpc_module_get_function(
+      xdr::Untrusted<proto::ptr_t> module, std::string name) override {
     count();
     cuda::FuncId fn = 0;
-    const Error err = api_.module_get_function(fn, module, name);
+    const Error err = api_.module_get_function(fn, handle(module), name);
     return {to_wire(err), fn};
   }
 
-  proto::u64_result rpc_module_get_global(proto::ptr_t module,
-                                          std::string name) override {
+  proto::u64_result rpc_module_get_global(
+      xdr::Untrusted<proto::ptr_t> module, std::string name) override {
     count();
     cuda::DevPtr ptr = 0;
-    const Error err = api_.module_get_global(ptr, module, name);
+    const Error err = api_.module_get_global(ptr, handle(module), name);
     return {to_wire(err), ptr};
   }
 
-  std::int32_t rpc_launch_kernel(proto::ptr_t func, proto::rpc_dim3 grid,
-                                 proto::rpc_dim3 block, std::uint32_t shared,
-                                 proto::ptr_t stream,
+  std::int32_t rpc_launch_kernel(xdr::Untrusted<proto::ptr_t> func,
+                                 proto::rpc_dim3 grid, proto::rpc_dim3 block,
+                                 xdr::Untrusted<std::uint32_t> shared,
+                                 xdr::Untrusted<proto::ptr_t> stream,
                                  std::vector<std::uint8_t> params) override {
     count();
+    // Geometry and shared-memory bounds come straight off the wire; the
+    // gpusim validators convert a taint refusal into the same LaunchError
+    // the device itself raises, so hostile geometry is kLaunchFailure, not
+    // a crash or a garbled reply.
+    cuda::Dim3 g, b;
+    std::uint32_t shared_bytes = 0;
+    try {
+      g = gpusim::validated_dim3(grid.x, grid.y, grid.z, "grid");
+      b = gpusim::validated_dim3(block.x, block.y, block.z, "block");
+      shared_bytes = gpusim::validated_shared_bytes(shared);
+    } catch (const gpusim::LaunchError&) {
+      return to_wire(Error::kLaunchFailure);
+    }
     const sim::Nanos wait = server_->scheduler().admit(id_);
     sim::Nanos exec_ns = 0;
     const Error err = api_.launch_kernel_timed(
-        func, {grid.x, grid.y, grid.z}, {block.x, block.y, block.z}, shared,
-        stream, params, exec_ns);
+        handle(func), g, b, shared_bytes, handle(stream), params, exec_ns);
     if (err == Error::kSuccess) {
       server_->scheduler().record_usage(id_, exec_ns);
       if (bound()) {
@@ -396,63 +481,83 @@ class CricketSession final : public proto::CRICKETVERSService,
   }
 
   // ------------------------------- culibs --------------------------------
-  std::int32_t rpc_blas_sgemm(std::int32_t m, std::int32_t n, std::int32_t k,
-                              float alpha, proto::ptr_t a, std::int32_t lda,
-                              proto::ptr_t b, std::int32_t ldb, float beta,
-                              proto::ptr_t c, std::int32_t ldc) override {
+  std::int32_t rpc_blas_sgemm(
+      xdr::Untrusted<std::int32_t> m, xdr::Untrusted<std::int32_t> n,
+      xdr::Untrusted<std::int32_t> k, float alpha,
+      xdr::Untrusted<proto::ptr_t> a, xdr::Untrusted<std::int32_t> lda,
+      xdr::Untrusted<proto::ptr_t> b, xdr::Untrusted<std::int32_t> ldb,
+      float beta, xdr::Untrusted<proto::ptr_t> c,
+      xdr::Untrusted<std::int32_t> ldc) override {
     count();
-    return to_wire(api_.blas_sgemm(m, n, k, alpha, a, lda, b, ldb, beta, c,
-                                   ldc));
+    return to_wire(api_.blas_sgemm(dim(m), dim(n), dim(k), alpha, handle(a),
+                                   dim(lda), handle(b), dim(ldb), beta,
+                                   handle(c), dim(ldc)));
   }
 
-  std::int32_t rpc_solver_sgetrf(std::int32_t n, proto::ptr_t a,
-                                 std::int32_t lda, proto::ptr_t ipiv,
-                                 proto::ptr_t info) override {
+  std::int32_t rpc_solver_sgetrf(xdr::Untrusted<std::int32_t> n,
+                                 xdr::Untrusted<proto::ptr_t> a,
+                                 xdr::Untrusted<std::int32_t> lda,
+                                 xdr::Untrusted<proto::ptr_t> ipiv,
+                                 xdr::Untrusted<proto::ptr_t> info) override {
     count();
-    return to_wire(api_.solver_sgetrf(n, a, lda, ipiv, info));
+    return to_wire(api_.solver_sgetrf(dim(n), handle(a), dim(lda),
+                                      handle(ipiv), handle(info)));
   }
 
-  std::int32_t rpc_solver_sgetrs(std::int32_t n, std::int32_t nrhs,
-                                 proto::ptr_t a, std::int32_t lda,
-                                 proto::ptr_t ipiv, proto::ptr_t b,
-                                 std::int32_t ldb, proto::ptr_t info) override {
+  std::int32_t rpc_solver_sgetrs(
+      xdr::Untrusted<std::int32_t> n, xdr::Untrusted<std::int32_t> nrhs,
+      xdr::Untrusted<proto::ptr_t> a, xdr::Untrusted<std::int32_t> lda,
+      xdr::Untrusted<proto::ptr_t> ipiv, xdr::Untrusted<proto::ptr_t> b,
+      xdr::Untrusted<std::int32_t> ldb,
+      xdr::Untrusted<proto::ptr_t> info) override {
     count();
-    return to_wire(api_.solver_sgetrs(n, nrhs, a, lda, ipiv, b, ldb, info));
+    return to_wire(api_.solver_sgetrs(dim(n), dim(nrhs), handle(a), dim(lda),
+                                      handle(ipiv), handle(b), dim(ldb),
+                                      handle(info)));
   }
 
-  std::int32_t rpc_blas_sgemv(std::int32_t m, std::int32_t n, float alpha,
-                              proto::ptr_t a, std::int32_t lda,
-                              proto::ptr_t x, float beta,
-                              proto::ptr_t y) override {
+  std::int32_t rpc_blas_sgemv(xdr::Untrusted<std::int32_t> m,
+                              xdr::Untrusted<std::int32_t> n, float alpha,
+                              xdr::Untrusted<proto::ptr_t> a,
+                              xdr::Untrusted<std::int32_t> lda,
+                              xdr::Untrusted<proto::ptr_t> x, float beta,
+                              xdr::Untrusted<proto::ptr_t> y) override {
     count();
-    return to_wire(api_.blas_sgemv(m, n, alpha, a, lda, x, beta, y));
+    return to_wire(api_.blas_sgemv(dim(m), dim(n), alpha, handle(a),
+                                   dim(lda), handle(x), beta, handle(y)));
   }
 
-  std::int32_t rpc_blas_saxpy(std::int32_t n, float alpha, proto::ptr_t x,
-                              proto::ptr_t y) override {
+  std::int32_t rpc_blas_saxpy(xdr::Untrusted<std::int32_t> n, float alpha,
+                              xdr::Untrusted<proto::ptr_t> x,
+                              xdr::Untrusted<proto::ptr_t> y) override {
     count();
-    return to_wire(api_.blas_saxpy(n, alpha, x, y));
+    return to_wire(api_.blas_saxpy(dim(n), alpha, handle(x), handle(y)));
   }
 
-  std::int32_t rpc_blas_snrm2(std::int32_t n, proto::ptr_t x,
-                              proto::ptr_t result) override {
+  std::int32_t rpc_blas_snrm2(xdr::Untrusted<std::int32_t> n,
+                              xdr::Untrusted<proto::ptr_t> x,
+                              xdr::Untrusted<proto::ptr_t> result) override {
     count();
-    return to_wire(api_.blas_snrm2(n, x, result));
+    return to_wire(api_.blas_snrm2(dim(n), handle(x), handle(result)));
   }
 
-  std::int32_t rpc_solver_spotrf(std::int32_t n, proto::ptr_t a,
-                                 std::int32_t lda,
-                                 proto::ptr_t info) override {
+  std::int32_t rpc_solver_spotrf(xdr::Untrusted<std::int32_t> n,
+                                 xdr::Untrusted<proto::ptr_t> a,
+                                 xdr::Untrusted<std::int32_t> lda,
+                                 xdr::Untrusted<proto::ptr_t> info) override {
     count();
-    return to_wire(api_.solver_spotrf(n, a, lda, info));
+    return to_wire(api_.solver_spotrf(dim(n), handle(a), dim(lda),
+                                      handle(info)));
   }
 
-  std::int32_t rpc_solver_spotrs(std::int32_t n, std::int32_t nrhs,
-                                 proto::ptr_t a, std::int32_t lda,
-                                 proto::ptr_t b, std::int32_t ldb,
-                                 proto::ptr_t info) override {
+  std::int32_t rpc_solver_spotrs(
+      xdr::Untrusted<std::int32_t> n, xdr::Untrusted<std::int32_t> nrhs,
+      xdr::Untrusted<proto::ptr_t> a, xdr::Untrusted<std::int32_t> lda,
+      xdr::Untrusted<proto::ptr_t> b, xdr::Untrusted<std::int32_t> ldb,
+      xdr::Untrusted<proto::ptr_t> info) override {
     count();
-    return to_wire(api_.solver_spotrs(n, nrhs, a, lda, b, ldb, info));
+    return to_wire(api_.solver_spotrs(dim(n), dim(nrhs), handle(a), dim(lda),
+                                      handle(b), dim(ldb), handle(info)));
   }
 
   // -------------------------- checkpoint/restart -------------------------

@@ -106,6 +106,21 @@ Error LocalCudaApi::memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src) {
   return guarded([&] { current().memcpy_d2h(dst, src); });
 }
 
+Error LocalCudaApi::malloc(DevPtr& ptr, xdr::Untrusted<std::uint64_t> size) {
+  if (size == 0u) return Error::kInvalidValue;
+  return guarded([&] { ptr = current().malloc_validated(size); });
+}
+
+Error LocalCudaApi::memset(DevPtr ptr, int value,
+                           xdr::Untrusted<std::uint64_t> size) {
+  return guarded([&] { current().memset_validated(ptr, value, size); });
+}
+
+Error LocalCudaApi::memcpy_d2d(DevPtr dst, DevPtr src,
+                               xdr::Untrusted<std::uint64_t> size) {
+  return guarded([&] { current().memcpy_d2d_validated(dst, src, size); });
+}
+
 Error LocalCudaApi::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t size) {
   return guarded([&] { current().memcpy_d2d(dst, src, size); });
 }

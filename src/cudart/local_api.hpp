@@ -98,6 +98,15 @@ class LocalCudaApi final : public CudaApi {
                             std::span<const std::uint8_t> params,
                             sim::Nanos& exec_ns);
 
+  // Wiretaint overloads (LocalCudaApi only, not part of the CudaApi
+  // surface): wire-derived sizes stay in the taint domain down to the
+  // gpusim *_validated seams, which refuse implausible values with the
+  // same in-band error codes the plain paths use.
+  Error malloc(DevPtr& ptr, xdr::Untrusted<std::uint64_t> size);
+  Error memset(DevPtr ptr, int value, xdr::Untrusted<std::uint64_t> size);
+  Error memcpy_d2d(DevPtr dst, DevPtr src,
+                   xdr::Untrusted<std::uint64_t> size);
+
   Error blas_sgemm(int m, int n, int k, float alpha, DevPtr a, int lda,
                    DevPtr b, int ldb, float beta, DevPtr c, int ldc) override;
   Error blas_sgemv(int m, int n, float alpha, DevPtr a, int lda, DevPtr x,

@@ -50,6 +50,13 @@ DevPtr Device::malloc(std::uint64_t size) {
   return memory_.allocate(size);
 }
 
+DevPtr Device::malloc_validated(xdr::Untrusted<std::uint64_t> size) {
+  std::uint64_t plain = 0;
+  if (!size.try_validate(memory_.capacity(), plain))
+    throw OutOfMemory("device out of memory");
+  return malloc(plain);
+}
+
 void Device::free(DevPtr ptr) {
   clock_->advance(props_.alloc_latency_ns);
   memory_.free(ptr);
@@ -59,6 +66,14 @@ void Device::memset(DevPtr ptr, int value, std::uint64_t len) {
   memory_.memset(ptr, value, len);
   clock_->advance(static_cast<sim::Nanos>(
       static_cast<double>(len) / (props_.mem_bandwidth_gbps * 1e9) * 1e9));
+}
+
+void Device::memset_validated(DevPtr ptr, int value,
+                              xdr::Untrusted<std::uint64_t> len) {
+  std::uint64_t plain = 0;
+  if (!len.try_validate(memory_.capacity(), plain))
+    throw MemoryError("wire-declared length exceeds device capacity");
+  memset(ptr, value, plain);
 }
 
 sim::Nanos Device::copy_time(std::uint64_t bytes) const noexcept {
@@ -103,6 +118,14 @@ void Device::memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len) {
   clock_->advance(d2d_ns);
   counters_.bytes_d2d.inc(len);
   counters_.busy_ns.inc(static_cast<std::uint64_t>(d2d_ns));
+}
+
+void Device::memcpy_d2d_validated(DevPtr dst, DevPtr src,
+                                  xdr::Untrusted<std::uint64_t> len) {
+  std::uint64_t plain = 0;
+  if (!len.try_validate(memory_.capacity(), plain))
+    throw MemoryError("wire-declared length exceeds device capacity");
+  memcpy_d2d(dst, src, plain);
 }
 
 void Device::memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,
@@ -231,7 +254,7 @@ sim::Nanos Device::launch(FuncId fn, Dim3 grid, Dim3 block,
     throw LaunchError("launch geometry must be non-zero");
   if (block.count() > desc->max_threads_per_block)
     throw LaunchError("block exceeds kernel's max threads per block");
-  if (shared_bytes > 164 * 1024)  // A100 max dynamic shared memory
+  if (shared_bytes > kMaxSharedBytes)  // A100 max dynamic shared memory
     throw LaunchError("dynamic shared memory request too large");
   if (params.size() != desc->param_buffer_size())
     throw LaunchError("parameter buffer size mismatch for '" + desc->name +
@@ -442,7 +465,13 @@ void Device::restore_merge(std::span<const DeviceSnapshot* const> snaps) {
     for (const auto& rec : snap->allocations) {
       if (rec.bytes.size() != rec.size)
         throw DeviceError("merge allocation contents do not match its size");
-      if (!memory_.can_allocate_at(rec.addr, rec.size))
+      // Snapshot records are wire-derived (migration images arrive off the
+      // network), so the placement scalars go through the taint domain:
+      // an address or size the device address space cannot even hold is
+      // refused here, before any padding arithmetic could wrap.
+      const xdr::Untrusted<DevPtr> rec_addr(rec.addr);
+      const xdr::Untrusted<std::uint64_t> rec_size(rec.size);
+      if (!memory_.can_allocate_at_validated(rec_addr, rec_size))
         throw DeviceError("merge collision: allocation address overlap");
       placed.emplace_back(rec.addr,
                           (rec.size + MemoryManager::kGranularity - 1) /
@@ -450,9 +479,14 @@ void Device::restore_merge(std::span<const DeviceSnapshot* const> snaps) {
                               MemoryManager::kGranularity);
     }
   std::sort(placed.begin(), placed.end());
-  for (std::size_t i = 0; i + 1 < placed.size(); ++i)
-    if (placed[i].first + placed[i].second > placed[i + 1].first)
+  for (std::size_t i = 0; i + 1 < placed.size(); ++i) {
+    // Saturating end computation: a record placed near the top of the
+    // address space must overlap-check correctly instead of wrapping.
+    const auto end =
+        xdr::Untrusted<DevPtr>(placed[i].first) + placed[i].second;
+    if (end > placed[i + 1].first)
       throw DeviceError("merge collision: allocation address overlap");
+  }
 
   // Modules: parse every image up front (a malformed one must refuse the
   // merge before any record lands); the parses are reused below.

@@ -131,14 +131,26 @@ class Device {
 
   // ------------------------------- memory --------------------------------
   [[nodiscard]] DevPtr malloc(std::uint64_t size);
+  /// Wiretaint seam: malloc with a wire-derived size. A size larger than
+  /// the device itself is refused as OutOfMemory (the allocator's own
+  /// in-band error) without leaving the taint domain.
+  [[nodiscard]] DevPtr malloc_validated(xdr::Untrusted<std::uint64_t> size);
   void free(DevPtr ptr);
   void memset(DevPtr ptr, int value, std::uint64_t len);
+  /// Wiretaint seam: memset with a wire-derived length (MemoryError when
+  /// no allocation could ever satisfy it).
+  void memset_validated(DevPtr ptr, int value,
+                        xdr::Untrusted<std::uint64_t> len);
   /// Synchronous copies: wait for the device, move bytes, charge PCIe time.
   void memcpy_h2d(DevPtr dst, std::span<const std::uint8_t> src)
       CRICKET_EXCLUDES(mu_);
   void memcpy_d2h(std::span<std::uint8_t> dst, DevPtr src)
       CRICKET_EXCLUDES(mu_);
   void memcpy_d2d(DevPtr dst, DevPtr src, std::uint64_t len)
+      CRICKET_EXCLUDES(mu_);
+  /// Wiretaint seam: device-to-device copy with a wire-derived length.
+  void memcpy_d2d_validated(DevPtr dst, DevPtr src,
+                            xdr::Untrusted<std::uint64_t> len)
       CRICKET_EXCLUDES(mu_);
   /// Async copies: charged to the stream timeline instead of blocking.
   void memcpy_h2d_async(DevPtr dst, std::span<const std::uint8_t> src,

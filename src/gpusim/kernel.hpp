@@ -38,6 +38,40 @@ struct Dim3 {
   bool operator==(const Dim3&) const = default;
 };
 
+/// CUDA's per-dimension launch-geometry ceiling (grid.x on every supported
+/// arch); anything above it can only be a hostile or corrupt wire value.
+inline constexpr std::uint32_t kMaxLaunchDim = 0x7FFFFFFFu;
+/// A100 maximum dynamic shared memory per block.
+inline constexpr std::uint32_t kMaxSharedBytes = 164 * 1024;
+
+/// Wiretaint seam for launch geometry: wire-derived dimensions leave the
+/// taint domain only through a range proof. Failures surface as
+/// LaunchError so callers keep the kLaunchFailure error-code contract a
+/// zero-dimension launch has always had.
+inline Dim3 validated_dim3(xdr::Untrusted<std::uint32_t> x,
+                           xdr::Untrusted<std::uint32_t> y,
+                           xdr::Untrusted<std::uint32_t> z,
+                           const char* what = "launch geometry") {
+  try {
+    return Dim3{x.validate_range(1, kMaxLaunchDim, what),
+                y.validate_range(1, kMaxLaunchDim, what),
+                z.validate_range(1, kMaxLaunchDim, what)};
+  } catch (const xdr::TaintError& e) {
+    throw LaunchError(e.what());
+  }
+}
+
+/// Wiretaint seam for the dynamic shared-memory request (same LaunchError
+/// contract as validated_dim3).
+inline std::uint32_t validated_shared_bytes(
+    xdr::Untrusted<std::uint32_t> shared_bytes) {
+  try {
+    return shared_bytes.validate(kMaxSharedBytes, "dynamic shared memory");
+  } catch (const xdr::TaintError& e) {
+    throw LaunchError(e.what());
+  }
+}
+
 /// Everything a simulated kernel sees while "executing".
 class LaunchContext {
  public:

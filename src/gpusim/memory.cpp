@@ -11,6 +11,9 @@ MemoryManager::MemoryManager(std::uint64_t capacity, DevPtr base)
 
 DevPtr MemoryManager::allocate(std::uint64_t size) {
   if (size == 0) throw MemoryError("zero-byte device allocation");
+  // Checked before the round-up: a size near UINT64_MAX would wrap the
+  // granularity arithmetic to a tiny padded size and corrupt accounting.
+  if (size > capacity_) throw OutOfMemory("device out of memory");
   const std::uint64_t padded =
       (size + kGranularity - 1) / kGranularity * kGranularity;
   sim::MutexLock lock(mu_);
@@ -33,6 +36,7 @@ DevPtr MemoryManager::allocate(std::uint64_t size) {
 
 void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
   if (size == 0) throw MemoryError("zero-byte device allocation");
+  if (size > capacity_) throw OutOfMemory("device out of memory");
   const std::uint64_t padded =
       (size + kGranularity - 1) / kGranularity * kGranularity;
   sim::MutexLock lock(mu_);
@@ -42,7 +46,11 @@ void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
   --it;
   const DevPtr hole_start = it->first;
   const std::uint64_t hole_len = it->second;
-  if (ptr < hole_start || ptr + padded > hole_start + hole_len)
+  // Overflow-safe form of `ptr + padded > hole_start + hole_len`: a
+  // restore image placing an allocation near the top of the address space
+  // must not wrap the end computation past the check.
+  if (ptr < hole_start || ptr - hole_start > hole_len ||
+      padded > hole_len - (ptr - hole_start))
     throw MemoryError("address range not entirely free");
   free_.erase(it);
   if (ptr > hole_start) free_.emplace(hole_start, ptr - hole_start);
@@ -58,14 +66,27 @@ void MemoryManager::allocate_at(DevPtr ptr, std::uint64_t size) {
 
 bool MemoryManager::can_allocate_at(DevPtr ptr, std::uint64_t size) const
     noexcept {
-  if (size == 0) return false;
+  if (size == 0 || size > capacity_) return false;
   const std::uint64_t padded =
       (size + kGranularity - 1) / kGranularity * kGranularity;
   sim::MutexLock lock(mu_);
   auto it = free_.upper_bound(ptr);
   if (it == free_.begin()) return false;
   --it;
-  return ptr >= it->first && ptr + padded <= it->first + it->second;
+  return ptr >= it->first && ptr - it->first <= it->second &&
+         padded <= it->second - (ptr - it->first);
+}
+
+bool MemoryManager::can_allocate_at_validated(
+    xdr::Untrusted<DevPtr> ptr, xdr::Untrusted<std::uint64_t> size) const
+    noexcept {
+  // Wire-derived placement: both scalars leave the taint domain only after
+  // proving they describe a range the device address space can even hold.
+  DevPtr p = 0;
+  std::uint64_t s = 0;
+  if (!ptr.try_validate(base_ + capacity_ - 1, p)) return false;
+  if (!size.try_validate(capacity_, s)) return false;
+  return can_allocate_at(p, s);
 }
 
 void MemoryManager::free(DevPtr ptr) {
@@ -104,9 +125,20 @@ std::span<std::uint8_t> MemoryManager::resolve(DevPtr ptr, std::uint64_t len) {
     throw MemoryError("device pointer outside any allocation");
   --it;
   const std::uint64_t off = ptr - it->first;
-  if (off + len > it->second.size)
+  // Overflow-safe form of `off + len > size`: a hostile length near
+  // UINT64_MAX must not wrap the sum below the bound and hand out a span
+  // far beyond the backing storage.
+  if (off > it->second.size || len > it->second.size - off)
     throw MemoryError("device access beyond allocation bounds");
   return {it->second.storage.data() + off, len};
+}
+
+std::span<std::uint8_t> MemoryManager::resolve_validated(
+    DevPtr ptr, xdr::Untrusted<std::uint64_t> len) {
+  std::uint64_t l = 0;
+  if (!len.try_validate(capacity_, l))
+    throw MemoryError("wire-declared length exceeds device capacity");
+  return resolve(ptr, l);
 }
 
 std::span<const std::uint8_t> MemoryManager::resolve(DevPtr ptr,
@@ -116,6 +148,12 @@ std::span<const std::uint8_t> MemoryManager::resolve(DevPtr ptr,
 
 void MemoryManager::memset(DevPtr ptr, int value, std::uint64_t len) {
   const auto span = resolve(ptr, len);
+  std::memset(span.data(), value, span.size());
+}
+
+void MemoryManager::memset_validated(DevPtr ptr, int value,
+                                     xdr::Untrusted<std::uint64_t> len) {
+  const auto span = resolve_validated(ptr, len);
   std::memset(span.data(), value, span.size());
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/annotations.hpp"
+#include "xdr/taint.hpp"
 
 namespace cricket::gpusim {
 
@@ -53,6 +54,14 @@ class MemoryManager {
   [[nodiscard]] bool can_allocate_at(DevPtr ptr, std::uint64_t size) const
       noexcept CRICKET_EXCLUDES(mu_);
 
+  /// Wiretaint seam: can_allocate_at for wire-derived placement records
+  /// (checkpoint restore, migration images). The scalars leave the taint
+  /// domain only after proving they fit the device address space; anything
+  /// implausible is simply "no".
+  [[nodiscard]] bool can_allocate_at_validated(
+      xdr::Untrusted<DevPtr> ptr, xdr::Untrusted<std::uint64_t> size) const
+      noexcept CRICKET_EXCLUDES(mu_);
+
   /// Frees an allocation; `ptr` must be the exact value returned by
   /// allocate. Double-free or a bogus pointer throws MemoryError.
   void free(DevPtr ptr) CRICKET_EXCLUDES(mu_);
@@ -65,7 +74,19 @@ class MemoryManager {
                                                       std::uint64_t len) const
       CRICKET_EXCLUDES(mu_);
 
+  /// Wiretaint seam: resolve with a wire-derived length. A length no
+  /// allocation could ever satisfy (> capacity) is refused as MemoryError
+  /// before resolve() runs, so the caller keeps its in-band error code.
+  [[nodiscard]] std::span<std::uint8_t> resolve_validated(
+      DevPtr ptr, xdr::Untrusted<std::uint64_t> len) CRICKET_EXCLUDES(mu_);
+
   void memset(DevPtr ptr, int value, std::uint64_t len) CRICKET_EXCLUDES(mu_);
+
+  /// Wiretaint seam: memset with a wire-derived length (see
+  /// resolve_validated for the refusal contract).
+  void memset_validated(DevPtr ptr, int value,
+                        xdr::Untrusted<std::uint64_t> len)
+      CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] std::uint64_t bytes_in_use() const noexcept
       CRICKET_EXCLUDES(mu_);

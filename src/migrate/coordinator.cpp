@@ -179,7 +179,7 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
     try {
       proto::mig_begin_args begin;
       begin.tenant = tenant_name;
-      begin.total_bytes = blob.size();
+      begin.total_bytes = xdr::Untrusted<std::uint64_t>(blob.size());
       const auto opened = stub.mig_begin(begin);
       if (opened.err != kMigOk)
         return abort_transfer("target refused transfer (code " +
@@ -188,8 +188,8 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
       for (std::size_t offset = 0; offset < blob.size();
            offset += chunk_bytes) {
         proto::mig_chunk_args chunk;
-        chunk.ticket = ticket;
-        chunk.offset = offset;
+        chunk.ticket = xdr::Untrusted<std::uint64_t>(ticket);
+        chunk.offset = xdr::Untrusted<std::uint64_t>(offset);
         const std::size_t len = std::min(chunk_bytes, blob.size() - offset);
         chunk.data.assign(blob.begin() + static_cast<std::ptrdiff_t>(offset),
                           blob.begin() +
@@ -201,7 +201,7 @@ MigrationReport MigrationCoordinator::migrate(const std::string& tenant_name) {
         ++report.chunks;
       }
       proto::mig_commit_args commit;
-      commit.ticket = ticket;
+      commit.ticket = xdr::Untrusted<std::uint64_t>(ticket);
       commit.checksum = fnv64(blob);
       const std::int32_t err = stub.mig_commit(commit);
       if (err != kMigOk)

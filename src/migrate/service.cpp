@@ -11,6 +11,16 @@
 namespace cricket::migrate {
 namespace {
 
+/// Taint exit for transfer tickets: the pending/committed tables are the
+/// authority — an unknown ticket answers kMigBadTicket (or is a no-op for
+/// abort) in-band, so the raw value travels no further than a map lookup.
+/// Counted by tools/taint_audit.py.
+std::uint64_t ticket_value(xdr::Untrusted<std::uint64_t> ticket) noexcept {
+  return ticket.trust_unchecked(
+      "transfer ticket: pending/committed table lookup refuses unknown "
+      "values in-band");
+}
+
 /// Adapter between the generated MIGRATE skeleton and MigrationTarget, so
 /// the public header stays free of generated types.
 class MigrationService final : public proto::MIGRATEVERSService {
@@ -30,7 +40,7 @@ class MigrationService final : public proto::MIGRATEVERSService {
     return target_->commit(args.ticket, args.checksum);
   }
 
-  std::int32_t mig_abort(std::uint64_t ticket) override {
+  std::int32_t mig_abort(xdr::Untrusted<std::uint64_t> ticket) override {
     return target_->abort(ticket);
   }
 
@@ -68,11 +78,14 @@ std::thread MigrationTarget::serve_async(
 }
 
 MigrationTarget::BeginResult MigrationTarget::begin(
-    const std::string& tenant, std::uint64_t total_bytes) {
+    const std::string& tenant, xdr::Untrusted<std::uint64_t> total_bytes) {
   // Both checks precede any buffering: a hostile declared length never
-  // causes the allocation it describes.
+  // causes the allocation it describes, and the taint exit is the
+  // max_image_bytes validation itself.
   if (tenant.empty()) return {kMigBadImage, 0};
-  if (total_bytes == 0 || total_bytes > options_.max_image_bytes)
+  std::uint64_t total = 0;
+  if (!total_bytes.try_validate(options_.max_image_bytes, total) ||
+      total == 0)
     return {kMigTooLarge, 0};
   sim::MutexLock lock(mu_);
   if (pending_.size() >= options_.max_pending_transfers)
@@ -80,20 +93,24 @@ MigrationTarget::BeginResult MigrationTarget::begin(
   const std::uint64_t ticket = next_ticket_++;
   PendingTransfer& pending = pending_[ticket];
   pending.tenant = tenant;
-  pending.total = total_bytes;
+  pending.total = total;
   return {kMigOk, ticket};
 }
 
-std::int32_t MigrationTarget::chunk(std::uint64_t ticket, std::uint64_t offset,
+std::int32_t MigrationTarget::chunk(xdr::Untrusted<std::uint64_t> ticket,
+                                    xdr::Untrusted<std::uint64_t> offset,
                                     const std::vector<std::uint8_t>& data) {
   sim::MutexLock lock(mu_);
-  const auto it = pending_.find(ticket);
+  const auto it = pending_.find(ticket_value(ticket));
   if (it == pending_.end()) return kMigBadTicket;
   PendingTransfer& pending = it->second;
   const std::uint64_t received = pending.bytes.size();
   // A retransmitted chunk whose range already landed (reply lost, retry
   // over a reconnected control channel) is acknowledged without appending;
-  // the commit-time checksum catches any content divergence.
+  // the commit-time checksum catches any content divergence. The offset
+  // never leaves the taint domain: `offset + data.size()` saturates rather
+  // than wraps, so an offset near UINT64_MAX cannot masquerade as an
+  // already-received range and is refused before any byte lands.
   if (offset < received) {
     return offset + data.size() <= received ? kMigOk : kMigOutOfOrder;
   }
@@ -103,9 +120,10 @@ std::int32_t MigrationTarget::chunk(std::uint64_t ticket, std::uint64_t offset,
   return kMigOk;
 }
 
-std::int32_t MigrationTarget::commit(std::uint64_t ticket,
+std::int32_t MigrationTarget::commit(xdr::Untrusted<std::uint64_t> wire_ticket,
                                      std::uint64_t checksum) {
   sim::MutexLock lock(mu_);
+  const std::uint64_t ticket = ticket_value(wire_ticket);
   // Idempotent: the coordinator whose commit reply was lost re-sends it and
   // must learn "the tenant lives here now", not an error.
   if (committed_.count(ticket) != 0) return kMigOk;
@@ -125,8 +143,9 @@ std::int32_t MigrationTarget::commit(std::uint64_t ticket,
   return kMigOk;
 }
 
-std::int32_t MigrationTarget::abort(std::uint64_t ticket) {
+std::int32_t MigrationTarget::abort(xdr::Untrusted<std::uint64_t> wire_ticket) {
   sim::MutexLock lock(mu_);
+  const std::uint64_t ticket = ticket_value(wire_ticket);
   if (committed_.count(ticket) != 0) return kMigCommitted;
   pending_.erase(ticket);  // unknown tickets are a no-op: aborts may retry
   return kMigOk;

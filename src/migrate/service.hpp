@@ -23,6 +23,7 @@
 #include "cricket/server.hpp"
 #include "rpc/transport.hpp"
 #include "sim/annotations.hpp"
+#include "xdr/taint.hpp"
 
 namespace cricket::migrate {
 
@@ -93,15 +94,22 @@ class MigrationTarget {
     std::uint64_t ticket = 0;
   };
 
-  /// Procedure bodies (also the unit-test surface).
-  BeginResult begin(const std::string& tenant, std::uint64_t total_bytes)
+  /// Procedure bodies (also the unit-test surface). Wire-derived scalars
+  /// arrive tainted: tickets exit through an audited in-band table lookup,
+  /// total_bytes through the max_image_bytes validation, and chunk offsets
+  /// never leave the taint domain at all — they are only compared and
+  /// saturating-added against what has actually been received.
+  BeginResult begin(const std::string& tenant,
+                    xdr::Untrusted<std::uint64_t> total_bytes)
       CRICKET_EXCLUDES(mu_);
-  std::int32_t chunk(std::uint64_t ticket, std::uint64_t offset,
+  std::int32_t chunk(xdr::Untrusted<std::uint64_t> ticket,
+                     xdr::Untrusted<std::uint64_t> offset,
                      const std::vector<std::uint8_t>& data)
       CRICKET_EXCLUDES(mu_);
-  std::int32_t commit(std::uint64_t ticket, std::uint64_t checksum)
+  std::int32_t commit(xdr::Untrusted<std::uint64_t> ticket,
+                      std::uint64_t checksum) CRICKET_EXCLUDES(mu_);
+  std::int32_t abort(xdr::Untrusted<std::uint64_t> ticket)
       CRICKET_EXCLUDES(mu_);
-  std::int32_t abort(std::uint64_t ticket) CRICKET_EXCLUDES(mu_);
 
   [[nodiscard]] std::uint64_t committed_count() const CRICKET_EXCLUDES(mu_);
   /// Open (begun, not yet committed or aborted) transfer tickets.

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "obs/trace.hpp"
+#include "xdr/taint.hpp"
 
 namespace cricket::rpc {
 
@@ -187,6 +188,11 @@ ReplyMsg ServiceRegistry::execute(const CallMsg& call) const {
       reply.results = it->second(call.args);
       reply.accept_stat = AcceptStat::kSuccess;
     } catch (const GarbageArgsError&) {
+      reply.accept_stat = AcceptStat::kGarbageArgs;
+    } catch (const xdr::TaintError&) {
+      // A wire-derived scalar failed validate() inside the handler: the
+      // arguments decoded but were hostile, which is the same class of
+      // reply as a malformed body — not a server fault.
       reply.accept_stat = AcceptStat::kGarbageArgs;
     } catch (const std::exception&) {
       reply.accept_stat = AcceptStat::kSystemErr;

@@ -54,6 +54,7 @@ struct TypeRef {
   Decoration decoration = Decoration::kNone;
   std::optional<std::uint32_t> bound;  // array bound if given
   SourceLoc loc;                       // where the base type is named
+  bool tainted = false;                // `tainted` attribute (wiretaint)
 
   [[nodiscard]] bool is_void() const noexcept {
     return std::holds_alternative<Builtin>(base) &&

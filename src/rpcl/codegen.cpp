@@ -1,7 +1,9 @@
 #include "rpcl/codegen.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "rpcl/bounds.hpp"
 #include "rpcl/lexer.hpp"
 
 namespace cricket::rpcl {
@@ -49,10 +51,40 @@ std::string cpp_type(const TypeRef& t) {
 
 bool is_void(const TypeRef& t) { return t.is_void(); }
 
-void emit_struct(std::ostringstream& out, const StructDef& s) {
+/// Whether a type carries the wiretaint mark, directly or through a chain
+/// of tainted typedefs ("typedef tainted unsigned hyper ptr_t;" taints
+/// every undecorated use of ptr_t).
+bool carries_taint(const SpecFile& spec, const TypeRef& t, int depth = 0) {
+  if (t.tainted) return true;
+  if (depth > 8 || !std::holds_alternative<std::string>(t.base)) return false;
+  const TypedefDef* td = spec.find_typedef(std::get<std::string>(t.base));
+  return td != nullptr && carries_taint(spec, td->type, depth + 1);
+}
+
+/// Whether codegen wraps this type in Untrusted<T> on the decode side.
+/// Only undecorated scalars wrap (sema RPCL016 enforces the shape).
+bool wraps_untrusted(const SpecFile& spec, const TypeRef& t, bool taint_mode) {
+  return taint_mode && t.decoration == TypeRef::Decoration::kNone &&
+         carries_taint(spec, t);
+}
+
+/// C++ type on the server/decode side: tainted scalars become Untrusted<T>
+/// so the compiler enumerates every unchecked use. The client stub always
+/// uses cpp_type() — the encode side holds trusted values and the wire
+/// format is identical either way.
+std::string server_cpp_type(const SpecFile& spec, const TypeRef& t,
+                            bool taint_mode) {
+  if (wraps_untrusted(spec, t, taint_mode))
+    return "::cricket::xdr::Untrusted<" + cpp_type(t) + ">";
+  return cpp_type(t);
+}
+
+void emit_struct(std::ostringstream& out, const StructDef& s,
+                 const SpecFile& spec, bool taint_mode) {
   out << "struct " << s.name << " {\n";
   for (const auto& f : s.fields)
-    out << "  " << cpp_type(f.type) << " " << f.name << "{};\n";
+    out << "  " << server_cpp_type(spec, f.type, taint_mode) << " " << f.name
+        << "{};\n";
   out << "\n  bool operator==(const " << s.name << "&) const = default;\n";
   out << "};\n\n";
 
@@ -155,7 +187,8 @@ std::string upper(std::string s) {
   return s;
 }
 
-void emit_program(std::ostringstream& out, const ProgramDef& prog) {
+void emit_program(std::ostringstream& out, const ProgramDef& prog,
+                  const SpecFile& spec, bool taint_mode) {
   out << "inline constexpr std::uint32_t " << upper(prog.name)
       << "_PROG = " << prog.number << "u;\n\n";
   for (const auto& ver : prog.versions) {
@@ -206,7 +239,7 @@ void emit_program(std::ostringstream& out, const ProgramDef& prog) {
       out << "  virtual " << res << " " << proc.name << "(";
       for (std::size_t i = 0; i < proc.args.size(); ++i) {
         if (i) out << ", ";
-        out << cpp_type(proc.args[i]) << " a" << i;
+        out << server_cpp_type(spec, proc.args[i], taint_mode) << " a" << i;
       }
       out << ") = 0;\n";
     }
@@ -217,13 +250,14 @@ void emit_program(std::ostringstream& out, const ProgramDef& prog) {
       const std::string res =
           is_void(proc.result) ? "void" : cpp_type(proc.result);
       out << "    registry.register_typed<" << res;
-      for (const auto& arg : proc.args) out << ", " << cpp_type(arg);
+      for (const auto& arg : proc.args)
+        out << ", " << server_cpp_type(spec, arg, taint_mode);
       out << ">(\n        " << upper(prog.name) << "_PROG, "
           << upper(ver.name) << "_VERS, " << upper(proc.name) << "_PROC,\n";
       out << "        [this](";
       for (std::size_t i = 0; i < proc.args.size(); ++i) {
         if (i) out << ", ";
-        out << cpp_type(proc.args[i]) << " a" << i;
+        out << server_cpp_type(spec, proc.args[i], taint_mode) << " a" << i;
       }
       out << ") { return this->" << proc.name << "(";
       for (std::size_t i = 0; i < proc.args.size(); ++i) {
@@ -236,6 +270,59 @@ void emit_program(std::ostringstream& out, const ProgramDef& prog) {
   }
 }
 
+/// Emits `namespace taint` with default validators whose bounds come from
+/// the wire-size interval analysis (the PR 4 bounds tables): no conforming
+/// message can describe more bytes than the largest legal payload, so any
+/// wire length above it is hostile by construction.
+void emit_taint_namespace(std::ostringstream& out, const SpecFile& spec) {
+  const BoundsResult bounds = compute_bounds(spec);
+  std::uint64_t max_args = 0;
+  bool any_bounded = false;
+  for (const auto& p : bounds.procs) {
+    if (!p.args.bounded) continue;
+    any_bounded = true;
+    max_args = std::max(max_args, p.args.max);
+  }
+  const std::uint64_t arg_bytes =
+      any_bounded ? max_args : UINT64_MAX;
+  const std::uint64_t payload =
+      bounds.max_payload != 0 ? bounds.max_payload : arg_bytes;
+
+  out << "namespace taint {\n\n";
+  out << "// Derived from the rpclgen wire-size bounds tables for this "
+         "spec.\n";
+  out << "inline constexpr std::uint64_t kMaxArgWireBytes = " << arg_bytes
+      << "ull;\n";
+  out << "inline constexpr std::uint64_t kMaxPayloadBytes = " << payload
+      << "ull;\n\n";
+  out << "/// Default validator for wire-declared byte lengths and counts:\n"
+         "/// a value larger than the biggest legal payload is hostile\n"
+         "/// regardless of which field it arrived in. Handlers with a\n"
+         "/// tighter semantic bound should validate against that instead.\n"
+         "template <typename T>\n"
+         "[[nodiscard]] inline T validate_length(::cricket::xdr::Untrusted<T> "
+         "v,\n"
+         "                                       const char* what) {\n"
+         "  constexpr std::uint64_t kTypeMax =\n"
+         "      static_cast<std::uint64_t>(std::numeric_limits<T>::max());\n"
+         "  return v.validate(\n"
+         "      static_cast<T>(kMaxPayloadBytes < kTypeMax ? kMaxPayloadBytes\n"
+         "                                                 : kTypeMax),\n"
+         "      what);\n"
+         "}\n\n";
+  for (const auto& s : spec.structs) {
+    for (const auto& f : s.fields) {
+      if (!wraps_untrusted(spec, f.type, /*taint_mode=*/true)) continue;
+      out << "[[nodiscard]] inline " << cpp_type(f.type) << " validate_"
+          << s.name << "_" << f.name << "(const " << s.name << "& v) {\n"
+          << "  return validate_length<" << cpp_type(f.type) << ">(v."
+          << f.name << ", \"" << s.name << "." << f.name << "\");\n"
+          << "}\n\n";
+    }
+  }
+  out << "}  // namespace taint\n\n";
+}
+
 }  // namespace
 
 std::string generate_header(const SpecFile& spec,
@@ -246,10 +333,13 @@ std::string generate_header(const SpecFile& spec,
   out << "// Equivalent to the output of rpcgen (server) and RPC-Lib's\n";
   out << "// procedural macros (client) for the same specification.\n";
   out << "#pragma once\n\n";
-  out << "#include <array>\n#include <cstdint>\n#include <optional>\n"
+  out << "#include <array>\n#include <cstdint>\n";
+  if (options.taint) out << "#include <limits>\n";
+  out << "#include <optional>\n"
          "#include <string>\n#include <utility>\n#include <vector>\n\n";
-  out << "#include \"rpc/client.hpp\"\n#include \"rpc/server.hpp\"\n"
-         "#include \"xdr/xdr.hpp\"\n\n";
+  out << "#include \"rpc/client.hpp\"\n#include \"rpc/server.hpp\"\n";
+  if (options.taint) out << "#include \"xdr/taint.hpp\"\n";
+  out << "#include \"xdr/xdr.hpp\"\n\n";
   out << "namespace " << options.ns << " {\n\n";
 
   for (const auto& c : spec.consts)
@@ -261,9 +351,11 @@ std::string generate_header(const SpecFile& spec,
   for (const auto& t : spec.typedefs)
     out << "using " << t.name << " = " << cpp_type(t.type) << ";\n";
   if (!spec.typedefs.empty()) out << "\n";
-  for (const auto& s : spec.structs) emit_struct(out, s);
+  for (const auto& s : spec.structs) emit_struct(out, s, spec, options.taint);
   for (const auto& u : spec.unions) emit_union(out, u, spec);
-  for (const auto& p : spec.programs) emit_program(out, p);
+  if (options.taint) emit_taint_namespace(out, spec);
+  for (const auto& p : spec.programs)
+    emit_program(out, p, spec, options.taint);
 
   out << "}  // namespace " << options.ns << "\n";
   return out.str();

@@ -20,6 +20,13 @@ struct CodegenOptions {
   std::string ns = "cricket::proto";
   /// Name recorded in the header's provenance comment.
   std::string source_name = "<spec>";
+  /// Wiretaint mode (--emit-taint): scalars marked `tainted` in the spec —
+  /// directly or via a tainted typedef — are emitted as
+  /// ::cricket::xdr::Untrusted<T> in generated arg structs and in the
+  /// server skeleton (the decode side of the trust boundary), while the
+  /// client stub keeps plain types. Also emits a `taint` namespace with
+  /// default validators derived from the wire-size bounds tables.
+  bool taint = false;
 };
 
 /// Generates the full header text. Throws ParseError on constructs the

@@ -101,12 +101,17 @@ class Parser {
     spec_.enums.push_back(std::move(def));
   }
 
-  /// Parses "type-specifier" plus optional leading '*'.
+  /// Parses "type-specifier" plus optional leading '*' and the wiretaint
+  /// `tainted` attribute ("tainted unsigned hyper size;").
   TypeRef parse_type() {
     TypeRef t;
     if (at(TokKind::kStar)) {
       advance();
       t.decoration = TypeRef::Decoration::kOptional;
+    }
+    if (at_ident("tainted")) {
+      advance();
+      t.tainted = true;
     }
     t.loc = here();
     std::string name = expect_ident();

@@ -1,7 +1,8 @@
 // rpclgen: RPCL -> C++ code generator, spec linter, and bounds-table
 // emitter CLI.
 //
-// Generate:     rpclgen <spec.x> <out.hpp> [--namespace ns] [lint flags]
+// Generate:     rpclgen <spec.x> <out.hpp> [--namespace ns] [--emit-taint]
+//               [lint flags]
 // Lint only:    rpclgen --lint <spec.x> [lint flags]
 // Bounds table: rpclgen --emit-bounds <spec.x> [out.hpp] [--namespace ns]
 //               [--proc-budget N] [lint flags]
@@ -36,7 +37,7 @@ constexpr int kExitBounds = 3;  // RPCL011-015 bounds-analysis failure
 constexpr int kExitIo = 4;      // cannot read spec / write output
 
 void print_usage(std::ostream& os) {
-  os << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns]"
+  os << "usage: rpclgen <spec.x> <out.hpp> [--namespace ns] [--emit-taint]"
         " [--Werror] [--max-bound N]\n"
         "       rpclgen --lint <spec.x> [--Werror] [--max-bound N]\n"
         "       rpclgen --emit-bounds <spec.x> [out.hpp] [--namespace ns]\n"
@@ -66,6 +67,11 @@ int help() {
       "  --namespace ns         namespace for generated code (default\n"
       "                         cricket::proto; bounds tables land in\n"
       "                         ns::bounds)\n"
+      "  --emit-taint           wiretaint mode (generate only): scalars\n"
+      "                         marked `tainted` in the spec are emitted as\n"
+      "                         xdr::Untrusted<T> in arg structs and the\n"
+      "                         server skeleton, plus a ns::taint namespace\n"
+      "                         of bounds-derived default validators\n"
       "  --Werror               treat lint and bounds warnings as errors\n"
       "  --max-bound N          per-field wire-size budget for RPCL007\n"
       "  --proc-budget N        per-procedure wire-size budget for RPCL015\n"
@@ -154,6 +160,8 @@ int main(int argc, char** argv) {
       lint_only = true;
     } else if (arg == "--emit-bounds") {
       bounds_mode = true;
+    } else if (arg == "--emit-taint") {
+      codegen_options.taint = true;
     } else if (arg == "--Werror") {
       sema_options.warnings_as_errors = true;
       bounds_options.warnings_as_errors = true;
@@ -189,6 +197,10 @@ int main(int argc, char** argv) {
 
   if (lint_only && bounds_mode) {
     std::cerr << "rpclgen: --lint and --emit-bounds are mutually exclusive\n";
+    return usage();
+  }
+  if (codegen_options.taint && (lint_only || bounds_mode)) {
+    std::cerr << "rpclgen: --emit-taint applies to header generation only\n";
     return usage();
   }
   if (lint_only) {

@@ -103,9 +103,52 @@ class Analyzer {
     for (const auto& t : spec_.typedefs) declare_type(t.name, t.loc);
   }
 
+  /// Whether a `tainted` annotation is meaningful where the type appears.
+  /// Results flow server->client (trusted side) and union discriminants
+  /// drive decode itself, so taint is rejected there.
+  enum class TaintCtx { kAllowed, kForbidden };
+
+  /// Resolves through typedefs to decide whether `tainted` names an
+  /// undecorated integer scalar — the only shape Untrusted<T> can wrap.
+  [[nodiscard]] bool resolves_to_integer_scalar(const TypeRef& t,
+                                                int depth = 0) const {
+    if (t.decoration != TypeRef::Decoration::kNone) return false;
+    if (std::holds_alternative<Builtin>(t.base)) {
+      switch (std::get<Builtin>(t.base)) {
+        case Builtin::kInt:
+        case Builtin::kUInt:
+        case Builtin::kHyper:
+        case Builtin::kUHyper:
+          return true;
+        default:
+          return false;
+      }
+    }
+    if (depth > 8) return false;  // typedef cycles are caught elsewhere
+    const auto& name = std::get<std::string>(t.base);
+    for (const auto& td : spec_.typedefs)
+      if (td.name == name) return resolves_to_integer_scalar(td.type, depth + 1);
+    return false;
+  }
+
   /// One TypeRef in context: undefined references (RPCL008), unbounded
-  /// variable-length payloads (RPCL006), and over-budget bounds (RPCL007).
-  void visit_type(const TypeRef& t, const std::string& where) {
+  /// variable-length payloads (RPCL006), over-budget bounds (RPCL007), and
+  /// misplaced or non-scalar `tainted` annotations (RPCL016).
+  void visit_type(const TypeRef& t, const std::string& where,
+                  TaintCtx taint_ctx = TaintCtx::kAllowed) {
+    if (t.tainted) {
+      if (taint_ctx == TaintCtx::kForbidden) {
+        emit(Severity::kError, "RPCL016",
+             "'tainted' is not allowed on " + where +
+                 "; only wire-decoded argument-side scalars carry taint",
+             t.loc);
+      } else if (!resolves_to_integer_scalar(t)) {
+        emit(Severity::kError, "RPCL016",
+             "'tainted' in " + where +
+                 " requires an undecorated integer scalar type",
+             t.loc);
+      }
+    }
     if (std::holds_alternative<std::string>(t.base)) {
       const auto& name = std::get<std::string>(t.base);
       if (!types_.contains(name)) {
@@ -148,7 +191,8 @@ class Analyzer {
       for (const auto& f : s.fields)
         visit_type(f.type, "struct " + s.name + "." + f.name);
     for (const auto& u : spec_.unions) {
-      visit_type(u.discriminant_type, "union " + u.name + " discriminant");
+      visit_type(u.discriminant_type, "union " + u.name + " discriminant",
+                 TaintCtx::kForbidden);
       for (const auto& arm : u.arms)
         if (arm.field)
           visit_type(arm.field->type,
@@ -159,7 +203,8 @@ class Analyzer {
     for (const auto& p : spec_.programs)
       for (const auto& v : p.versions)
         for (const auto& proc : v.procs) {
-          visit_type(proc.result, "result of " + proc.name);
+          visit_type(proc.result, "result of " + proc.name,
+                     TaintCtx::kForbidden);
           for (std::size_t i = 0; i < proc.args.size(); ++i)
             visit_type(proc.args[i], "argument " + std::to_string(i + 1) +
                                          " of " + proc.name);

@@ -17,6 +17,8 @@
 //   RPCL008  error    reference to an undefined type
 //   RPCL009  warning  declared type is never referenced
 //   RPCL010  warning  procedure numbers not in increasing order
+//   RPCL016  error    'tainted' on a non-scalar type, a procedure result,
+//                     or a union discriminant (wiretaint, --emit-taint)
 //
 // RPCL006 is a warning (not an error) because unbounded payloads are legal
 // XDR and common in quick prototypes; production specs opt into strictness

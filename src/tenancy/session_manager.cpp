@@ -247,13 +247,41 @@ bool SessionManager::try_charge_memory(TenantId tenant, std::uint64_t bytes) {
   sim::MutexLock lock(mu_);
   Tenant* t = find_locked(tenant);
   if (t == nullptr) return false;
-  if (t->stats.mem_used_bytes + bytes > t->spec.quota.device_mem_bytes) {
+  // Saturating form of `used + bytes > quota`: a request near UINT64_MAX
+  // must not wrap the sum below quota and mint unlimited memory.
+  const auto would_use =
+      xdr::Untrusted<std::uint64_t>(t->stats.mem_used_bytes) + bytes;
+  if (would_use > t->spec.quota.device_mem_bytes) {
     count_rejection_locked(t, RejectReason::kDeviceMemory);
     return false;
   }
   t->stats.mem_used_bytes += bytes;
   t->stats.mem_peak_bytes =
       std::max(t->stats.mem_peak_bytes, t->stats.mem_used_bytes);
+  return true;
+}
+
+bool SessionManager::try_charge_memory(TenantId tenant,
+                                       xdr::Untrusted<std::uint64_t> bytes,
+                                       std::uint64_t& charged) {
+  // The admitted count is provably <= the tenant's quota, so unwrapping
+  // through that bound is the validation.
+  sim::MutexLock lock(mu_);
+  Tenant* t = find_locked(tenant);
+  if (t == nullptr) return false;
+  const std::uint64_t quota = t->spec.quota.device_mem_bytes;
+  std::uint64_t plain = 0;
+  // `used > quota` can happen transiently when a re-configure shrank the
+  // quota under live allocations; refuse new charges outright then.
+  if (t->stats.mem_used_bytes > quota || !bytes.try_validate(quota, plain) ||
+      plain > quota - t->stats.mem_used_bytes) {
+    count_rejection_locked(t, RejectReason::kDeviceMemory);
+    return false;
+  }
+  t->stats.mem_used_bytes += plain;
+  t->stats.mem_peak_bytes =
+      std::max(t->stats.mem_peak_bytes, t->stats.mem_used_bytes);
+  charged = plain;
   return true;
 }
 

@@ -26,6 +26,7 @@
 #include "sim/annotations.hpp"
 #include "sim/sim_clock.hpp"
 #include "tenancy/tenant.hpp"
+#include "xdr/taint.hpp"
 #include "tenancy/token_bucket.hpp"
 
 namespace cricket::tenancy {
@@ -137,6 +138,13 @@ class SessionManager {
   /// Device-memory accounting: charge at cudaMalloc, release at cudaFree /
   /// session teardown. try_charge refuses (and charges nothing) past quota.
   [[nodiscard]] bool try_charge_memory(TenantId tenant, std::uint64_t bytes)
+      CRICKET_EXCLUDES(mu_);
+  /// Wiretaint seam: charge a wire-derived byte count. The value leaves
+  /// the taint domain only after the (saturating) quota check admits it;
+  /// on success `charged` holds the validated plain count for bookkeeping.
+  [[nodiscard]] bool try_charge_memory(TenantId tenant,
+                                       xdr::Untrusted<std::uint64_t> bytes,
+                                       std::uint64_t& charged)
       CRICKET_EXCLUDES(mu_);
   void release_memory(TenantId tenant, std::uint64_t bytes)
       CRICKET_EXCLUDES(mu_);

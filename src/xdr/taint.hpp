@@ -1,0 +1,289 @@
+// wiretaint: type-level taint tracking for wire-decoded scalars.
+//
+// Every integer that crosses the RPC trust boundary is indistinguishable
+// from a trusted one the moment decode returns — unless the type system
+// remembers where it came from. Untrusted<T> is that memory: a
+// non-convertible wrapper whose arithmetic saturates instead of wrapping
+// and whose ONLY exits back to plain T are
+//
+//   validate(max)            0 <= v <= max, else throws TaintError
+//   validate_range(lo, hi)   lo <= v <= hi, else throws TaintError
+//   validate_index(extent)   0 <= v < extent, else throws TaintError
+//   trust_unchecked(reason)  unconditional, greppable escape hatch
+//
+// TaintError derives from XdrError, so the RPC dispatch layer maps it to
+// kGarbageArgs — a hostile scalar produces a typed in-band error, never a
+// crash. trust_unchecked sites are enforced by tools/taint_audit.py: each
+// must appear in tools/taint_allowlist.json with a justification string
+// that the call site's reason text contains (mirrors the mcheck
+// "no-escapes" discipline).
+//
+// Comparisons against plain integers are allowed and do NOT un-taint: a
+// bool tells you which side of a bound the value is on without ever
+// producing the raw scalar. Arithmetic between Untrusted and plain values
+// stays Untrusted (taint propagates); + - * saturate at the type's range
+// and / refuses division by zero with TaintError, so bound checks written
+// in the taint domain cannot be defeated by overflow.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "xdr/xdr.hpp"
+
+namespace cricket::xdr {
+
+/// Thrown when a wire-derived scalar fails validation (or is divided by
+/// zero inside the taint domain). Derives from XdrError so the server
+/// dispatch path reports kGarbageArgs, the same class of reply a malformed
+/// argument body gets.
+class TaintError : public XdrError {
+ public:
+  using XdrError::XdrError;
+};
+
+namespace detail {
+template <typename U>
+inline constexpr bool kTaintable =
+    std::is_integral_v<U> && !std::is_same_v<U, bool>;
+}  // namespace detail
+
+/// A scalar that arrived off the wire and has not been validated yet.
+/// Non-convertible: there is no operator T and no accessor returning T
+/// other than the four documented exits, so "removing a validate call"
+/// on a swept path is a compile error, not a runtime surprise.
+template <typename T>
+class Untrusted {
+  static_assert(detail::kTaintable<T>,
+                "Untrusted<T> wraps integer scalars only");
+
+ public:
+  constexpr Untrusted() = default;
+  /// Explicit on purpose: wrapping a trusted value is a visible act, and
+  /// nothing implicitly becomes Untrusted by accident.
+  explicit constexpr Untrusted(T v) noexcept : v_(v) {}
+
+  // ---- Validating exits (the lattice's only downward edges) ----
+
+  /// Proves 0 <= v <= max_inclusive, else throws TaintError.
+  [[nodiscard]] constexpr T validate(T max_inclusive,
+                                     const char* what = "wire scalar") const {
+    if (negative() || std::cmp_greater(v_, max_inclusive)) {
+      throw TaintError(std::string(what) + ": value " + std::to_string(v_) +
+                       " exceeds bound " + std::to_string(max_inclusive));
+    }
+    return v_;
+  }
+
+  /// Proves lo <= v <= hi, else throws TaintError.
+  [[nodiscard]] constexpr T validate_range(
+      T lo, T hi, const char* what = "wire scalar") const {
+    if (v_ < lo || v_ > hi) {
+      throw TaintError(std::string(what) + ": value " + std::to_string(v_) +
+                       " outside [" + std::to_string(lo) + ", " +
+                       std::to_string(hi) + "]");
+    }
+    return v_;
+  }
+
+  /// Proves 0 <= v < extent (a valid index into `extent` elements),
+  /// else throws TaintError.
+  [[nodiscard]] constexpr T validate_index(
+      T extent, const char* what = "wire index") const {
+    if (negative() || std::cmp_greater_equal(v_, extent)) {
+      throw TaintError(std::string(what) + ": index " + std::to_string(v_) +
+                       " out of range for extent " + std::to_string(extent));
+    }
+    return v_;
+  }
+
+  /// Non-throwing sugar over validate() for in-band refusal paths (quota
+  /// rejections, allocator errors) where the caller wants a status code
+  /// instead of a kGarbageArgs reply. Not a new lattice exit: the bound
+  /// check is identical to validate().
+  [[nodiscard]] constexpr bool try_validate(T max_inclusive,
+                                            T& out) const noexcept {
+    if (negative() || std::cmp_greater(v_, max_inclusive)) return false;
+    out = v_;
+    return true;
+  }
+
+  /// The escape hatch. Unconditionally returns the raw value; the reason
+  /// string is what tools/taint_audit.py matches against the allowlist.
+  /// Use only where a downstream layer refuses bad values in-band (e.g. a
+  /// table lookup that rejects unknown handles).
+  [[nodiscard]] constexpr T trust_unchecked(
+      const char* /*reason*/) const noexcept {
+    return v_;
+  }
+
+  // ---- Taint-propagating arithmetic (saturating, never wrapping) ----
+
+  friend constexpr Untrusted operator+(Untrusted a, Untrusted b) noexcept {
+    return Untrusted(sat_add(a.v_, b.v_));
+  }
+  friend constexpr Untrusted operator+(Untrusted a, T b) noexcept {
+    return Untrusted(sat_add(a.v_, b));
+  }
+  friend constexpr Untrusted operator+(T a, Untrusted b) noexcept {
+    return Untrusted(sat_add(a, b.v_));
+  }
+  friend constexpr Untrusted operator-(Untrusted a, Untrusted b) noexcept {
+    return Untrusted(sat_sub(a.v_, b.v_));
+  }
+  friend constexpr Untrusted operator-(Untrusted a, T b) noexcept {
+    return Untrusted(sat_sub(a.v_, b));
+  }
+  friend constexpr Untrusted operator-(T a, Untrusted b) noexcept {
+    return Untrusted(sat_sub(a, b.v_));
+  }
+  friend constexpr Untrusted operator*(Untrusted a, Untrusted b) noexcept {
+    return Untrusted(sat_mul(a.v_, b.v_));
+  }
+  friend constexpr Untrusted operator*(Untrusted a, T b) noexcept {
+    return Untrusted(sat_mul(a.v_, b));
+  }
+  friend constexpr Untrusted operator*(T a, Untrusted b) noexcept {
+    return Untrusted(sat_mul(a, b.v_));
+  }
+
+  /// Division inside the taint domain: a hostile zero divisor is a typed
+  /// error, not UB. Signed min / -1 saturates like the other operators.
+  friend constexpr Untrusted operator/(Untrusted a, Untrusted b) {
+    return Untrusted(checked_div(a.v_, b.v_));
+  }
+  friend constexpr Untrusted operator/(Untrusted a, T b) {
+    return Untrusted(checked_div(a.v_, b));
+  }
+  friend constexpr Untrusted operator/(T a, Untrusted b) {
+    return Untrusted(checked_div(a, b.v_));
+  }
+
+  // ---- Comparisons: allowed, sign-safe, and never un-taint ----
+
+  friend constexpr bool operator==(const Untrusted&,
+                                   const Untrusted&) = default;
+  friend constexpr bool operator<(Untrusted a, Untrusted b) noexcept {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator<=(Untrusted a, Untrusted b) noexcept {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(Untrusted a, Untrusted b) noexcept {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator>=(Untrusted a, Untrusted b) noexcept {
+    return a.v_ >= b.v_;
+  }
+
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator==(const Untrusted& a, U b) noexcept {
+    return std::cmp_equal(a.v_, b);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator<(const Untrusted& a, U b) noexcept {
+    return std::cmp_less(a.v_, b);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator<(U a, const Untrusted& b) noexcept {
+    return std::cmp_less(a, b.v_);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator<=(const Untrusted& a, U b) noexcept {
+    return std::cmp_less_equal(a.v_, b);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator<=(U a, const Untrusted& b) noexcept {
+    return std::cmp_less_equal(a, b.v_);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator>(const Untrusted& a, U b) noexcept {
+    return std::cmp_greater(a.v_, b);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator>(U a, const Untrusted& b) noexcept {
+    return std::cmp_greater(a, b.v_);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator>=(const Untrusted& a, U b) noexcept {
+    return std::cmp_greater_equal(a.v_, b);
+  }
+  template <typename U>
+    requires detail::kTaintable<U>
+  friend constexpr bool operator>=(U a, const Untrusted& b) noexcept {
+    return std::cmp_greater_equal(a, b.v_);
+  }
+
+  // ---- Wire codec: taint starts at decode, encode passes through ----
+
+  friend void xdr_encode(Encoder& enc, const Untrusted& v) {
+    xdr_encode(enc, v.v_);
+  }
+  friend void xdr_decode(Decoder& dec, Untrusted& v) { xdr_decode(dec, v.v_); }
+
+ private:
+  [[nodiscard]] constexpr bool negative() const noexcept {
+    if constexpr (std::is_signed_v<T>) return v_ < 0;
+    return false;
+  }
+
+  static constexpr T sat_add(T a, T b) noexcept {
+    T r{};
+    if (!__builtin_add_overflow(a, b, &r)) return r;
+    if constexpr (std::is_signed_v<T>) {
+      return b > 0 ? std::numeric_limits<T>::max()
+                   : std::numeric_limits<T>::min();
+    }
+    return std::numeric_limits<T>::max();
+  }
+  static constexpr T sat_sub(T a, T b) noexcept {
+    T r{};
+    if (!__builtin_sub_overflow(a, b, &r)) return r;
+    if constexpr (std::is_signed_v<T>) {
+      return b < 0 ? std::numeric_limits<T>::max()
+                   : std::numeric_limits<T>::min();
+    }
+    return std::numeric_limits<T>::min();  // unsigned underflow clamps to 0
+  }
+  static constexpr T sat_mul(T a, T b) noexcept {
+    T r{};
+    if (!__builtin_mul_overflow(a, b, &r)) return r;
+    if constexpr (std::is_signed_v<T>) {
+      return (a < 0) != (b < 0) ? std::numeric_limits<T>::min()
+                                : std::numeric_limits<T>::max();
+    }
+    return std::numeric_limits<T>::max();
+  }
+  static constexpr T checked_div(T a, T b) {
+    if (b == 0) throw TaintError("tainted division by zero");
+    if constexpr (std::is_signed_v<T>) {
+      if (a == std::numeric_limits<T>::min() && b == T{-1}) {
+        return std::numeric_limits<T>::max();
+      }
+    }
+    return a / b;
+  }
+
+  T v_{};
+};
+
+/// Free-function form of Untrusted::try_validate, for call sites that read
+/// better with the bound up front.
+template <typename T>
+[[nodiscard]] constexpr bool try_validate(const Untrusted<T>& v,
+                                          T max_inclusive, T& out) noexcept {
+  return v.try_validate(max_inclusive, out);
+}
+
+}  // namespace cricket::xdr

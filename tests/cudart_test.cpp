@@ -12,6 +12,7 @@
 #include "cudart/raii.hpp"
 #include "fatbin/cubin.hpp"
 #include "sim/rng.hpp"
+#include "xdr/taint.hpp"
 
 namespace cricket::cuda {
 namespace {
@@ -123,6 +124,42 @@ TEST_F(LocalApiFixture, MemcpyRoundTripAndMemset) {
   ASSERT_EQ(api.memcpy_d2h(out, p), Error::kSuccess);
   for (auto b : out) EXPECT_EQ(b, 0);
   (void)api.free(p);
+}
+
+// ------------------------------- wiretaint ---------------------------------
+// The Untrusted overloads route through the validated gpusim seams: hostile
+// wire-derived sizes come back as in-band CUDA errors, never UB, and
+// in-bound ones behave exactly like the trusted entry points.
+
+TEST_F(LocalApiFixture, UntrustedOverloadsRefuseHostileSizesInBand) {
+  DevPtr p = 0;
+  EXPECT_EQ(api.malloc(p, xdr::Untrusted<std::uint64_t>(~0ull)),
+            Error::kMemoryAllocation);
+  EXPECT_EQ(api.malloc(p, xdr::Untrusted<std::uint64_t>(0)),
+            Error::kInvalidValue);
+  ASSERT_EQ(api.malloc(p, xdr::Untrusted<std::uint64_t>(256)),
+            Error::kSuccess);
+
+  EXPECT_EQ(api.memset(p, 0xFF, xdr::Untrusted<std::uint64_t>(~0ull - 8)),
+            Error::kInvalidDevicePointer);
+  EXPECT_EQ(api.memset(p, 0x7F, xdr::Untrusted<std::uint64_t>(256)),
+            Error::kSuccess);
+  std::vector<std::uint8_t> host(256);
+  ASSERT_EQ(api.memcpy_d2h(host, p), Error::kSuccess);
+  for (auto byte : host) EXPECT_EQ(byte, 0x7F);
+
+  DevPtr q = 0;
+  ASSERT_EQ(api.malloc(q, xdr::Untrusted<std::uint64_t>(256)),
+            Error::kSuccess);
+  EXPECT_EQ(api.memcpy_d2d(q, p, xdr::Untrusted<std::uint64_t>(~0ull - 16)),
+            Error::kInvalidDevicePointer);
+  ASSERT_EQ(api.memcpy_d2d(q, p, xdr::Untrusted<std::uint64_t>(256)),
+            Error::kSuccess);
+  ASSERT_EQ(api.memcpy_d2h(host, q), Error::kSuccess);
+  for (auto byte : host) EXPECT_EQ(byte, 0x7F);
+
+  EXPECT_EQ(api.free(p), Error::kSuccess);
+  EXPECT_EQ(api.free(q), Error::kSuccess);
 }
 
 TEST_F(LocalApiFixture, DevicesHaveIsolatedMemory) {

@@ -12,6 +12,7 @@
 #include "gpusim/memory.hpp"
 #include "gpusim/thread_pool.hpp"
 #include "sim/sim_clock.hpp"
+#include "xdr/taint.hpp"
 
 namespace cricket::gpusim {
 namespace {
@@ -166,6 +167,53 @@ TEST(MemoryManager, MemsetWritesPattern) {
   const DevPtr p = mm.allocate(64);
   mm.memset(p, 0x7F, 64);
   for (auto byte : mm.resolve(p, 64)) EXPECT_EQ(byte, 0x7F);
+  mm.free(p);
+}
+
+// ------------------------------- wiretaint ---------------------------------
+// Overflow regressions: pointer/length math near UINT64_MAX must refuse —
+// never wrap into an apparently-valid range — and must leave the arena
+// untouched.
+
+TEST(MemoryManager, ResolveRefusesLengthThatWouldWrapPastU64) {
+  MemoryManager mm(1 << 20);
+  const DevPtr p = mm.allocate(64);
+  // (p + 32) + (~0ull - 16) wraps past zero; a naive `off + len <= end`
+  // comparison would see the range as inside the allocation.
+  EXPECT_THROW((void)mm.resolve(p + 32, ~0ull - 16), MemoryError);
+  EXPECT_THROW(mm.memset(p + 32, 0xFF, ~0ull - 16), MemoryError);
+  for (auto byte : mm.resolve(p, 64)) EXPECT_EQ(byte, 0);  // untouched
+  mm.free(p);
+}
+
+TEST(MemoryManager, AllocateRefusesSizeWhoseRoundingWraps) {
+  MemoryManager mm(1 << 20);
+  // Rounding ~0ull - 3 up to the 256-byte granularity would wrap to a tiny
+  // padded size that "fits".
+  EXPECT_THROW((void)mm.allocate(~0ull - 3), OutOfMemory);
+  EXPECT_EQ(mm.bytes_in_use(), 0u);
+  EXPECT_EQ(mm.allocation_count(), 0u);
+}
+
+TEST(MemoryManager, ValidatedSeamsRefuseHostileWireLengths) {
+  MemoryManager mm(1 << 20);
+  const DevPtr p = mm.allocate(64);
+  EXPECT_THROW(
+      (void)mm.resolve_validated(p, xdr::Untrusted<std::uint64_t>(~0ull)),
+      MemoryError);
+  EXPECT_THROW(
+      mm.memset_validated(p, 0xFF, xdr::Untrusted<std::uint64_t>(~0ull - 8)),
+      MemoryError);
+  // Refusal is pre-mutation: the allocation still reads as fresh zeroes.
+  for (auto byte : mm.resolve(p, 64)) EXPECT_EQ(byte, 0);
+  // In-bound wire lengths behave exactly like the trusted entry points.
+  mm.memset_validated(p, 0x7F, xdr::Untrusted<std::uint64_t>(64));
+  for (auto byte : mm.resolve_validated(p, xdr::Untrusted<std::uint64_t>(64)))
+    EXPECT_EQ(byte, 0x7F);
+  // A placement record whose end wraps the address space is simply "no".
+  EXPECT_FALSE(
+      mm.can_allocate_at_validated(xdr::Untrusted<DevPtr>(~0ull - 64),
+                                   xdr::Untrusted<std::uint64_t>(4096)));
   mm.free(p);
 }
 
@@ -424,6 +472,25 @@ TEST_F(DeviceFixture, UnloadModuleFreesGlobals) {
   EXPECT_EQ(device.memory().allocation_count(), before + 1);  // g_counter
   device.unload_module(mod);
   EXPECT_EQ(device.memory().allocation_count(), before);
+}
+
+TEST_F(DeviceFixture, RestoreMergeRefusesWrappingPlacementUntouched) {
+  const DevPtr live = device.malloc(4096);
+  const std::uint64_t used = device.memory().bytes_in_use();
+
+  // A migration-image allocation record whose addr + size wraps past
+  // UINT64_MAX: the validated placement check refuses it outright, and the
+  // all-or-nothing contract means the device keeps exactly its prior state.
+  DeviceSnapshot hostile;
+  DeviceSnapshot::AllocationRecord rec;
+  rec.addr = ~0ull - 64;
+  rec.size = 4096;
+  rec.bytes.assign(rec.size, 0xAB);
+  hostile.allocations.push_back(rec);
+  EXPECT_THROW(device.restore_merge(hostile), DeviceError);
+  EXPECT_EQ(device.memory().bytes_in_use(), used);
+  EXPECT_EQ(device.memory().allocation_count(), 1u);
+  device.free(live);
 }
 
 TEST_F(DeviceFixture, BiggerKernelsTakeLongerVirtualTime) {

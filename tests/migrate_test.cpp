@@ -38,6 +38,13 @@ namespace {
 using namespace std::chrono_literals;
 using core::CricketServer;
 using core::RemoteCudaApi;
+
+/// MigrationTarget's wire scalars arrive tainted; tests that drive the
+/// procedure bodies directly wrap plain values the same way the decoder
+/// does.
+xdr::Untrusted<std::uint64_t> U(std::uint64_t v) {
+  return xdr::Untrusted<std::uint64_t>(v);
+}
 using core::SessionExport;
 using cuda::Error;
 
@@ -383,38 +390,60 @@ TEST(MigrationTargetProtocol, BoundsAndOrderingEnforcedBeforeBuffering) {
   MigrationTarget target(server, {.max_image_bytes = 1024});
 
   // Hostile declared sizes die in mig_begin, before any allocation.
-  EXPECT_EQ(target.begin("", 10).err, kMigBadImage);
-  EXPECT_EQ(target.begin("alice", 0).err, kMigTooLarge);
-  EXPECT_EQ(target.begin("alice", 1025).err, kMigTooLarge);
-  EXPECT_EQ(target.begin("alice", ~0ull).err, kMigTooLarge);
+  EXPECT_EQ(target.begin("", U(10)).err, kMigBadImage);
+  EXPECT_EQ(target.begin("alice", U(0)).err, kMigTooLarge);
+  EXPECT_EQ(target.begin("alice", U(1025)).err, kMigTooLarge);
+  EXPECT_EQ(target.begin("alice", U(~0ull)).err, kMigTooLarge);
 
-  const auto opened = target.begin("alice", 8);
+  const auto opened = target.begin("alice", U(8));
   ASSERT_EQ(opened.err, kMigOk);
   const std::vector<std::uint8_t> half = {1, 2, 3, 4};
 
-  EXPECT_EQ(target.chunk(opened.ticket + 99, 0, half), kMigBadTicket);
-  EXPECT_EQ(target.chunk(opened.ticket, 4, half), kMigOutOfOrder);  // gap
-  ASSERT_EQ(target.chunk(opened.ticket, 0, half), kMigOk);
+  EXPECT_EQ(target.chunk(U(opened.ticket + 99), U(0), half), kMigBadTicket);
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(4), half), kMigOutOfOrder);  // gap
+  ASSERT_EQ(target.chunk(U(opened.ticket), U(0), half), kMigOk);
   // Retransmission of an already-received range is acknowledged, not
   // re-appended; a half-overlapping one is refused.
-  EXPECT_EQ(target.chunk(opened.ticket, 0, half), kMigOk);
-  EXPECT_EQ(target.chunk(opened.ticket, 2, half), kMigOutOfOrder);
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(0), half), kMigOk);
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(2), half), kMigOutOfOrder);
   // Running past the declared total is refused.
-  EXPECT_EQ(target.chunk(opened.ticket, 4, {1, 2, 3, 4, 5}), kMigOverrun);
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(4), {1, 2, 3, 4, 5}), kMigOverrun);
   // Committing before all bytes arrived is refused.
-  EXPECT_EQ(target.commit(opened.ticket, 0), kMigOutOfOrder);
-  ASSERT_EQ(target.chunk(opened.ticket, 4, half), kMigOk);
+  EXPECT_EQ(target.commit(U(opened.ticket), 0), kMigOutOfOrder);
+  ASSERT_EQ(target.chunk(U(opened.ticket), U(4), half), kMigOk);
 
   std::vector<std::uint8_t> all = {1, 2, 3, 4, 1, 2, 3, 4};
-  EXPECT_EQ(target.commit(opened.ticket, fnv64(all) ^ 1), kMigChecksum);
+  EXPECT_EQ(target.commit(U(opened.ticket), fnv64(all) ^ 1), kMigChecksum);
   // Checksum fine, but this server has no SessionManager to import into.
-  EXPECT_EQ(target.commit(opened.ticket, fnv64(all)), kMigNoTenants);
+  EXPECT_EQ(target.commit(U(opened.ticket), fnv64(all)), kMigNoTenants);
   EXPECT_EQ(target.committed_count(), 0u);
 
   // Aborting unknown tickets is a retry-safe no-op.
-  EXPECT_EQ(target.abort(12345), kMigOk);
-  EXPECT_EQ(target.abort(opened.ticket), kMigOk);
-  EXPECT_EQ(target.chunk(opened.ticket, 0, half), kMigBadTicket);
+  EXPECT_EQ(target.abort(U(12345)), kMigOk);
+  EXPECT_EQ(target.abort(U(opened.ticket)), kMigOk);
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(0), half), kMigBadTicket);
+}
+
+TEST(MigrationTargetProtocol, ChunkOffsetNearU64MaxSaturatesAndIsRefused) {
+  auto node = cuda::GpuNode::make_a100();
+  CricketServer server(*node);
+  MigrationTarget target(server, {.max_image_bytes = 1024});
+  const auto opened = target.begin("alice", U(64));
+  ASSERT_EQ(opened.err, kMigOk);
+  const std::vector<std::uint8_t> chunk(16, 0x11);
+  ASSERT_EQ(target.chunk(U(opened.ticket), U(0), chunk), kMigOk);
+
+  // An offset near UINT64_MAX is neither the append position nor inside an
+  // already-received range, so it is refused — and because the offset never
+  // leaves the taint domain, the duplicate-range comparison
+  // `offset + data.size() <= received` saturates rather than wrapping to a
+  // small value that could masquerade as an acknowledged retransmission.
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(~0ull - 8), chunk),
+            kMigOutOfOrder);
+
+  // The transfer is undamaged and resumable at the true append position.
+  EXPECT_EQ(target.chunk(U(opened.ticket), U(16), chunk), kMigOk);
+  EXPECT_EQ(target.abort(U(opened.ticket)), kMigOk);
 }
 
 TEST(MigrationTargetProtocol, ConcurrentTransfersAreBounded) {
@@ -423,17 +452,17 @@ TEST(MigrationTargetProtocol, ConcurrentTransfersAreBounded) {
   MigrationTarget target(
       server, {.max_image_bytes = 1024, .max_pending_transfers = 2});
 
-  const auto t1 = target.begin("alice", 8);
+  const auto t1 = target.begin("alice", U(8));
   ASSERT_EQ(t1.err, kMigOk);
-  ASSERT_EQ(target.begin("bob", 8).err, kMigOk);
+  ASSERT_EQ(target.begin("bob", U(8)).err, kMigOk);
   EXPECT_EQ(target.pending_count(), 2u);
   // A third open ticket would let abandoned transfers pin unbounded buffer
   // space; it is refused before anything is allocated.
-  EXPECT_EQ(target.begin("carol", 8).err, kMigBusy);
+  EXPECT_EQ(target.begin("carol", U(8)).err, kMigBusy);
   // Aborting one frees its slot.
-  EXPECT_EQ(target.abort(t1.ticket), kMigOk);
+  EXPECT_EQ(target.abort(U(t1.ticket)), kMigOk);
   EXPECT_EQ(target.pending_count(), 1u);
-  EXPECT_EQ(target.begin("carol", 8).err, kMigOk);
+  EXPECT_EQ(target.begin("carol", U(8)).err, kMigOk);
 }
 
 struct TargetImportFixture : ::testing::Test {
@@ -451,12 +480,12 @@ struct TargetImportFixture : ::testing::Test {
 
   std::int32_t upload(const std::vector<std::uint8_t>& blob,
                       std::uint64_t* ticket_out = nullptr) {
-    const auto opened = target->begin("alice", blob.size());
+    const auto opened = target->begin("alice", U(blob.size()));
     if (opened.err != kMigOk) return opened.err;
     if (ticket_out != nullptr) *ticket_out = opened.ticket;
-    const auto err = target->chunk(opened.ticket, 0, blob);
+    const auto err = target->chunk(U(opened.ticket), U(0), blob);
     if (err != kMigOk) return err;
-    return target->commit(opened.ticket, fnv64(blob));
+    return target->commit(U(opened.ticket), fnv64(blob));
   }
 
   std::unique_ptr<cuda::GpuNode> node;
@@ -482,10 +511,10 @@ TEST_F(TargetImportFixture, CommitImportsPinsAndIsIdempotent) {
             static_cast<std::uint32_t>(node->device_count()) - 1);
 
   // Lost-reply re-commit: success again, nothing imported twice.
-  EXPECT_EQ(target->commit(ticket, 0), kMigOk);
+  EXPECT_EQ(target->commit(U(ticket), 0), kMigOk);
   EXPECT_EQ(target->committed_count(), 1u);
   // Abort after commit tells the coordinator the tenant lives here.
-  EXPECT_EQ(target->abort(ticket), kMigCommitted);
+  EXPECT_EQ(target->abort(U(ticket)), kMigCommitted);
 }
 
 TEST_F(TargetImportFixture, BadAndFutureImagesRefusedAtCommit) {

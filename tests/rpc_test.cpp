@@ -13,6 +13,7 @@
 #include "rpc/server.hpp"
 #include "rpc/transport.hpp"
 #include "sim/rng.hpp"
+#include "xdr/taint.hpp"
 
 namespace cricket::rpc {
 namespace {
@@ -23,6 +24,7 @@ constexpr std::uint32_t kProcAdd = 1;
 constexpr std::uint32_t kProcEcho = 2;
 constexpr std::uint32_t kProcFail = 3;
 constexpr std::uint32_t kProcConcatN = 4;
+constexpr std::uint32_t kProcValidate = 5;
 
 ServiceRegistry make_test_registry() {
   ServiceRegistry reg;
@@ -41,6 +43,12 @@ ServiceRegistry make_test_registry() {
         std::string out;
         for (std::uint32_t i = 0; i < n; ++i) out += s;
         return out;
+      });
+  // wiretaint: the handler validates its tainted scalar; the dispatch layer
+  // turns the TaintError into a kGarbageArgs reply.
+  reg.register_typed<std::uint64_t, xdr::Untrusted<std::uint64_t>>(
+      kProg, kVers, kProcValidate, [](xdr::Untrusted<std::uint64_t> n) {
+        return n.validate(1000, "test scalar");
       });
   return reg;
 }
@@ -117,6 +125,23 @@ TEST_F(RpcPipeTest, TruncatedArgsAreGarbageArgs) {
   enc.put_u32(1);
   try {
     (void)client_->call_raw(kProcAdd, enc.bytes());
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcError::Kind::kGarbageArgs);
+  }
+}
+
+TEST_F(RpcPipeTest, TaintValidationFailureIsGarbageArgs) {
+  // In-bound value validates and the plain result comes back.
+  EXPECT_EQ(client_->call<std::uint64_t>(kProcValidate,
+                                         xdr::Untrusted<std::uint64_t>(1000)),
+            1000u);
+  // Out-of-bound value dies in validate(): a typed kGarbageArgs reply, the
+  // same class a malformed argument body gets — never a crash or
+  // kSystemErr.
+  try {
+    (void)client_->call<std::uint64_t>(kProcValidate,
+                                       xdr::Untrusted<std::uint64_t>(1001));
     FAIL() << "expected RpcError";
   } catch (const RpcError& e) {
     EXPECT_EQ(e.kind(), RpcError::Kind::kGarbageArgs);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -306,6 +308,20 @@ program P { version V {
   void a(void) = 5;
   void b(void) = 3;
 } = 1; } = 9;
+)"},
+    // wiretaint: 'tainted' only fits wire-decoded argument-side integer
+    // scalars. Everything else is RPCL016.
+    {"RPCL016", Severity::kError, 2, R"(
+struct s { tainted float x; };
+)"},
+    {"RPCL016", Severity::kError, 2, R"(
+struct s { tainted opaque d<8>; };
+)"},
+    {"RPCL016", Severity::kError, 2, R"(
+program P { version V { tainted int f(void) = 1; } = 1; } = 9;
+)"},
+    {"RPCL016", Severity::kError, 2, R"(
+union u switch (tainted int d) { case 0: void; default: void; };
 )"},
 };
 
@@ -663,6 +679,167 @@ TEST(Bounds, NoBudgetMeansNoAsserts) {
   EXPECT_EQ(header.find("static_assert("), std::string::npos);
   EXPECT_EQ(header.find("kProcBudget"), std::string::npos);
 }
+
+
+// --------------------------------- wiretaint --------------------------------
+
+TEST(Parser, TaintedAttributeIsCapturedOnFieldsArgsAndTypedefs) {
+  const SpecFile spec = parse_spec(R"(
+typedef tainted unsigned hyper handle_t;
+struct req { tainted unsigned hyper len; unsigned hyper untainted; };
+program P { version V {
+  int f(tainted unsigned int, handle_t) = 1;
+} = 1; } = 9;
+)");
+  EXPECT_TRUE(spec.typedefs.at(0).type.tainted);
+  EXPECT_TRUE(spec.structs.at(0).fields.at(0).type.tainted);
+  EXPECT_FALSE(spec.structs.at(0).fields.at(1).type.tainted);
+  const auto& proc = spec.programs.at(0).versions.at(0).procs.at(0);
+  EXPECT_TRUE(proc.args.at(0).tainted);
+  // The second arg is a typedef reference: the *use* is untainted, the
+  // taint lives on the typedef and is resolved at codegen time.
+  EXPECT_FALSE(proc.args.at(1).tainted);
+  EXPECT_FALSE(proc.result.tainted);
+}
+
+TEST(Sema, TaintedThroughTypedefChainToIntegerScalarIsClean) {
+  const SpecFile spec = parse_spec_unchecked(R"(
+typedef unsigned hyper bytes_t;
+typedef bytes_t len_t;
+struct req { tainted len_t n; };
+program P { version V { int f(req) = 1; } = 1; } = 9;
+)");
+  const SemaResult result = analyze(spec);
+  for (const auto& d : result.diagnostics)
+    EXPECT_NE(d.rule, "RPCL016") << format_diagnostic(d, "spec");
+}
+
+const char* const kTaintSpec = R"(
+typedef tainted unsigned hyper handle_t;
+struct req {
+  tainted unsigned hyper len;
+  tainted int dim;
+  unsigned hyper plain;
+  opaque data<64>;
+};
+program P { version V {
+  int f(req) = 1;
+  int g(tainted unsigned hyper, handle_t, string<16>) = 2;
+} = 1; } = 0x21000001;
+)";
+
+TEST(Codegen, TaintModeWrapsDecodedScalarsServerSideOnly) {
+  const SpecFile spec = parse_spec(kTaintSpec);
+  const std::string header =
+      generate_header(spec, {.ns = "t", .taint = true});
+  // Struct fields: annotated scalars wrap, everything else stays plain.
+  EXPECT_NE(header.find(
+                "::cricket::xdr::Untrusted<std::uint64_t> len{};"),
+            std::string::npos);
+  EXPECT_NE(header.find("::cricket::xdr::Untrusted<std::int32_t> dim{};"),
+            std::string::npos);
+  EXPECT_NE(header.find("std::uint64_t plain{};"), std::string::npos);
+  // Skeleton virtuals take Untrusted for tainted scalar args, including
+  // taint applied through the typedef.
+  EXPECT_NE(header.find("virtual std::int32_t g("
+                        "::cricket::xdr::Untrusted<std::uint64_t> a0, "
+                        "::cricket::xdr::Untrusted<handle_t> a1, "
+                        "std::string a2) = 0;"),
+            std::string::npos);
+  // The client stub is the trusted side: it must stay plain. Slice off the
+  // client-stub class and assert no Untrusted appears inside it.
+  const auto stub_pos = header.find("class VClient");
+  ASSERT_NE(stub_pos, std::string::npos);
+  const auto stub_end = header.find("\n};", stub_pos);
+  const std::string stub = header.substr(stub_pos, stub_end - stub_pos);
+  EXPECT_EQ(stub.find("Untrusted"), std::string::npos) << stub;
+  // The taint namespace publishes the bounds-derived ceilings and a
+  // per-field validator for every wrapped struct field.
+  EXPECT_NE(header.find("namespace taint {"), std::string::npos);
+  EXPECT_NE(header.find("kMaxPayloadBytes"), std::string::npos);
+  EXPECT_NE(header.find("validate_req_len"), std::string::npos);
+  EXPECT_NE(header.find("validate_req_dim"), std::string::npos);
+  EXPECT_EQ(header.find("validate_req_plain"), std::string::npos);
+}
+
+TEST(Codegen, WithoutTaintModeAnnotationsAreInert) {
+  const SpecFile spec = parse_spec(kTaintSpec);
+  const std::string header = generate_header(spec, {.ns = "t"});
+  EXPECT_EQ(header.find("Untrusted"), std::string::npos);
+  EXPECT_EQ(header.find("namespace taint"), std::string::npos);
+}
+
+std::string read_spec(const char* path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream source;
+  source << in.rdbuf();
+  return source.str();
+}
+
+TEST(Codegen, GoldenTaintHeaderForCommittedCricketSpec) {
+  const SpecFile spec = parse_spec(read_spec(CRICKET_SPEC_X));
+  const std::string header = generate_header(
+      spec, {.ns = "cricket::core::proto", .taint = true});
+  // The load-bearing wrappings the server sweep relies on.
+  EXPECT_NE(header.find("virtual u64_result rpc_malloc("
+                        "::cricket::xdr::Untrusted<std::uint64_t> a0) = 0;"),
+            std::string::npos);
+  EXPECT_NE(header.find("::cricket::xdr::Untrusted<std::uint32_t> x{};"),
+            std::string::npos);  // rpc_dim3
+  // ptr_t taints at use sites through the tainted typedef; the alias
+  // itself stays a plain alias.
+  EXPECT_NE(header.find("using ptr_t = std::uint64_t;"), std::string::npos);
+  EXPECT_NE(header.find("::cricket::xdr::Untrusted<ptr_t>"),
+            std::string::npos);
+  EXPECT_NE(header.find("kMaxPayloadBytes = 1073741824ull;"),
+            std::string::npos);
+  const auto stub_pos = header.find("class CRICKETVERSClient");
+  ASSERT_NE(stub_pos, std::string::npos);
+  const auto stub_end = header.find("\n};", stub_pos);
+  EXPECT_EQ(header.substr(stub_pos, stub_end - stub_pos).find("Untrusted"),
+            std::string::npos);
+}
+
+TEST(Codegen, GoldenTaintHeaderForCommittedMigrateSpec) {
+  const SpecFile spec = parse_spec(read_spec(MIGRATE_SPEC_X));
+  const std::string header = generate_header(
+      spec, {.ns = "cricket::migrate::proto", .taint = true});
+  EXPECT_NE(header.find(
+                "::cricket::xdr::Untrusted<std::uint64_t> offset{};"),
+            std::string::npos);
+  EXPECT_NE(header.find(
+                "::cricket::xdr::Untrusted<std::uint64_t> ticket{};"),
+            std::string::npos);
+  // The checksum is only ever compared against a recomputed value; it is
+  // deliberately not tainted.
+  EXPECT_NE(header.find("std::uint64_t checksum{};"), std::string::npos);
+  EXPECT_NE(header.find("kMaxPayloadBytes = 262164ull;"), std::string::npos);
+  const auto stub_pos = header.find("class MIGRATEVERSClient");
+  ASSERT_NE(stub_pos, std::string::npos);
+  const auto stub_end = header.find("\n};", stub_pos);
+  EXPECT_EQ(header.substr(stub_pos, stub_end - stub_pos).find("Untrusted"),
+            std::string::npos);
+}
+
+#ifdef RPCLGEN_BIN
+int run_rpclgen(const std::string& args) {
+  const int rc =
+      std::system((std::string(RPCLGEN_BIN) + " " + args + " >/dev/null 2>&1")
+                      .c_str());
+  return WEXITSTATUS(rc);
+}
+
+TEST(Cli, EmitTaintArgParsingIsStrict) {
+  // --emit-taint is a header-generation flag; combining it with the other
+  // modes (or misspelling it) is a usage error, exit code 2.
+  EXPECT_EQ(run_rpclgen("--emit-taint --lint " CRICKET_SPEC_X), 2);
+  EXPECT_EQ(run_rpclgen("--emit-bounds --emit-taint " CRICKET_SPEC_X), 2);
+  EXPECT_EQ(run_rpclgen("--emit-tain " CRICKET_SPEC_X " /dev/null"), 2);
+  EXPECT_EQ(run_rpclgen("--emit-taint " CRICKET_SPEC_X " /dev/null"), 0);
+  EXPECT_EQ(run_rpclgen("--help"), 0);
+}
+#endif  // RPCLGEN_BIN
 
 }  // namespace
 }  // namespace cricket::rpcl

@@ -7,7 +7,10 @@
 #include <vector>
 #include <cmath>
 
+#include <type_traits>
+
 #include "sim/rng.hpp"
+#include "xdr/taint.hpp"
 #include "xdr/xdr.hpp"
 
 namespace cricket::xdr {
@@ -345,6 +348,126 @@ TEST_P(XdrFuzzRoundTrip, MixedScalarSequence) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XdrFuzzRoundTrip,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------- wiretaint: Untrusted<T> -------------------------
+
+using U64 = Untrusted<std::uint64_t>;
+using I32 = Untrusted<std::int32_t>;
+
+// The whole point of the wrapper: a tainted scalar cannot silently become a
+// plain one. Detected at compile time, asserted here so a future implicit
+// conversion operator cannot sneak in.
+static_assert(!std::is_convertible_v<U64, std::uint64_t>);
+static_assert(!std::is_convertible_v<I32, std::int32_t>);
+static_assert(!std::is_convertible_v<std::uint64_t, U64>,
+              "wrapping must be an explicit, visible act");
+static_assert(!std::is_assignable_v<std::uint64_t&, U64>);
+
+TEST(UntrustedTaint, ValidateAcceptsInBoundAndThrowsBeyond) {
+  EXPECT_EQ(U64(41).validate(41), 41u);
+  EXPECT_EQ(U64(0).validate(41), 0u);
+  EXPECT_THROW((void)U64(42).validate(41), TaintError);
+  // Signed: negative values never validate against an upper bound.
+  EXPECT_THROW((void)I32(-1).validate(100), TaintError);
+  // And a TaintError is an XdrError, so dispatch maps it to kGarbageArgs.
+  EXPECT_THROW((void)U64(42).validate(41), XdrError);
+}
+
+TEST(UntrustedTaint, ValidateRangeIsInclusiveBothEnds) {
+  EXPECT_EQ(I32(5).validate_range(5, 9), 5);
+  EXPECT_EQ(I32(9).validate_range(5, 9), 9);
+  EXPECT_THROW((void)I32(4).validate_range(5, 9), TaintError);
+  EXPECT_THROW((void)I32(10).validate_range(5, 9), TaintError);
+}
+
+TEST(UntrustedTaint, ValidateIndexIsExclusiveOfExtent) {
+  EXPECT_EQ(U64(9).validate_index(10), 9u);
+  EXPECT_THROW((void)U64(10).validate_index(10), TaintError);
+  EXPECT_THROW((void)I32(-1).validate_index(10), TaintError);
+}
+
+TEST(UntrustedTaint, TryValidateNeverThrowsAndOnlyWritesOnSuccess) {
+  std::uint64_t out = 77;
+  EXPECT_FALSE(U64(42).try_validate(41, out));
+  EXPECT_EQ(out, 77u);  // refused: out untouched
+  EXPECT_TRUE(U64(41).try_validate(41, out));
+  EXPECT_EQ(out, 41u);
+  // Free-function spelling, bound up front.
+  EXPECT_TRUE(try_validate(U64(3), std::uint64_t{8}, out));
+  EXPECT_EQ(out, 3u);
+}
+
+TEST(UntrustedTaint, TrustUncheckedPassesRawValueThrough) {
+  EXPECT_EQ(U64(~0ull).trust_unchecked("test: raw passthrough"), ~0ull);
+  EXPECT_EQ(I32(-7).trust_unchecked("test: raw passthrough"), -7);
+}
+
+TEST(UntrustedTaint, ArithmeticPropagatesTaint) {
+  // The result of mixing tainted and plain operands is tainted: the only
+  // way to observe it is another exit.
+  const U64 sum = U64(40) + 2u;
+  static_assert(std::is_same_v<decltype(sum), const U64>);
+  EXPECT_EQ(sum.validate(100), 42u);
+  EXPECT_EQ((2u + U64(40)).validate(100), 42u);
+  EXPECT_EQ((U64(40) + U64(2)).validate(100), 42u);
+  EXPECT_EQ((U64(44) - 2u).validate(100), 42u);
+  EXPECT_EQ((U64(21) * 2u).validate(100), 42u);
+  EXPECT_EQ((U64(84) / 2u).validate(100), 42u);
+}
+
+TEST(UntrustedTaint, AdditionSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // The classic offset+len wrap: saturates to max, so any bound check
+  // downstream still refuses it.
+  EXPECT_EQ((U64(kMax - 3) + 8u).trust_unchecked("test"), kMax);
+  EXPECT_FALSE((U64(kMax - 3) + 8u) <= kMax - 1);
+  constexpr std::int32_t kIMax = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int32_t kIMin = std::numeric_limits<std::int32_t>::min();
+  EXPECT_EQ((I32(kIMax) + 1).trust_unchecked("test"), kIMax);
+  EXPECT_EQ((I32(kIMin) + (-1)).trust_unchecked("test"), kIMin);
+}
+
+TEST(UntrustedTaint, SubtractionAndMultiplicationSaturate) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ((U64(3) - 8u).trust_unchecked("test"), 0u);  // clamps, no wrap
+  EXPECT_EQ((U64(1ull << 60) * 1024u).trust_unchecked("test"), kMax);
+  constexpr std::int32_t kIMax = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int32_t kIMin = std::numeric_limits<std::int32_t>::min();
+  EXPECT_EQ((I32(kIMin) - 1).trust_unchecked("test"), kIMin);
+  EXPECT_EQ((I32(kIMax) * 2).trust_unchecked("test"), kIMax);
+  EXPECT_EQ((I32(kIMin) * 2).trust_unchecked("test"), kIMin);
+}
+
+TEST(UntrustedTaint, DivisionRefusesHostileDivisors) {
+  EXPECT_THROW((void)(U64(42) / U64(0)), TaintError);
+  EXPECT_THROW((void)(std::uint64_t{42} / U64(0)), TaintError);
+  constexpr std::int32_t kIMin = std::numeric_limits<std::int32_t>::min();
+  // INT_MIN / -1 is UB on plain ints; here it saturates.
+  EXPECT_EQ((I32(kIMin) / -1).trust_unchecked("test"),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(UntrustedTaint, ComparisonsAreSignSafeAndDoNotUntaint) {
+  // -1 reinterpreted as unsigned must NOT pass a size check.
+  EXPECT_FALSE(I32(-1) > 0);
+  EXPECT_TRUE(I32(-1) < 0u);  // cmp_less: true even against unsigned
+  EXPECT_TRUE(U64(~0ull) > 0);
+  EXPECT_TRUE(U64(5) == 5u);
+  EXPECT_TRUE(U64(5) != 6u);
+  EXPECT_TRUE(U64(5) <= 5u);
+  EXPECT_TRUE(5u >= U64(5));
+  EXPECT_TRUE(U64(4) < U64(5));
+}
+
+TEST(UntrustedTaint, DecodeTaintsAndEncodeRoundTrips) {
+  Encoder enc;
+  xdr_encode(enc, U64(0xDEADBEEFCAFEF00Dull));
+  Decoder dec(enc.bytes());
+  U64 v;
+  xdr_decode(dec, v);
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(v.validate(~0ull), 0xDEADBEEFCAFEF00Dull);
+}
 
 }  // namespace
 }  // namespace cricket::xdr

@@ -38,6 +38,13 @@
 #                    serve, retry, and traffic threads concurrently, so the
 #                    exactly-once machinery is exercised where races are
 #                    fatal
+#  16. taint-audit   wiretaint discipline: the taint suites (`ctest -L
+#                    taint`), rpclgen --emit-taint strict CLI behaviour, and
+#                    tools/taint_audit.py — every trust_unchecked() escape
+#                    must carry a justification and match
+#                    tools/taint_allowlist.json exactly (the no-escapes
+#                    discipline, applied to the taint lattice); its JSON
+#                    report is merged into check_summary.json as "taint"
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -157,7 +164,7 @@ if should_continue; then
       rc=0
       tmp=$(mktemp -d) || exit 1
       trap "rm -rf $tmp" EXIT
-      for spec in src/cricket/specs/*.x; do
+      for spec in src/*/specs/*.x; do
         echo "linting $spec"
         build/src/rpcl/rpclgen --lint --Werror "$spec" || rc=1
         echo "bounds-checking $spec"
@@ -313,6 +320,44 @@ if should_continue; then
   fi
 fi
 
+# ------------------------------------------------------------- 16: taint-audit
+# Wiretaint gate, three parts: (a) the taint-labelled suites (Untrusted<T>
+# unit tests) on the plain tree; (b) rpclgen --emit-taint strict CLI
+# behaviour on the committed specs (unknown flag and mode conflicts exit 2,
+# a clean generation exits 0); (c) tools/taint_audit.py — every
+# trust_unchecked() escape in src/ and tools/ must carry its justification
+# and match tools/taint_allowlist.json exactly.
+if should_continue; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    record taint-audit "SKIP (python3 not installed)"
+  elif [[ ! -d build || ! -x build/src/rpcl/rpclgen ]]; then
+    record taint-audit "SKIP (build/src/rpcl/rpclgen missing — run plain stage first)"
+  else
+    run_stage taint-audit bash -c '
+      set -e
+      ctest --test-dir build --output-on-failure -j "$0" -L taint
+      tmp=$(mktemp -d)
+      trap "rm -rf $tmp" EXIT
+      for spec in src/*/specs/*.x; do
+        echo "taint-generating $spec"
+        build/src/rpcl/rpclgen --emit-taint "$spec" \
+          "$tmp/$(basename "$spec" .x)_taint.hpp"
+        grep -q "namespace taint" "$tmp/$(basename "$spec" .x)_taint.hpp"
+      done
+      # Strict CLI: unknown flags and mode conflicts are usage errors.
+      rc=0
+      build/src/rpcl/rpclgen --emit-tain src/cricket/specs/cricket.x \
+        "$tmp/x.hpp" 2>/dev/null || rc=$?
+      [[ $rc -eq 2 ]] || { echo "unknown flag exited $rc, want 2"; exit 1; }
+      rc=0
+      build/src/rpcl/rpclgen --lint --emit-taint \
+        src/cricket/specs/cricket.x 2>/dev/null || rc=$?
+      [[ $rc -eq 2 ]] || { echo "--lint --emit-taint exited $rc, want 2"; exit 1; }
+      python3 tools/taint_audit.py \
+        --report build-check-logs/taint_audit.json' "$JOBS"
+  fi
+fi
+
 # ------------------------------------------------------------------ summary
 echo
 echo "---------------- check.sh summary ----------------"
@@ -336,7 +381,15 @@ mkdir -p "$ROOT/build-check-logs"
     printf '    {"name": "%s", "result": "%s"}%s\n' \
       "${STAGES[$i]}" "${RESULTS[$i]}" "$comma"
   done
-  echo '  ]'
+  # The taint-audit stage leaves its per-subsystem report behind; merge it
+  # so one document carries both the stage table and the escape census.
+  if [[ -f "$ROOT/build-check-logs/taint_audit.json" ]]; then
+    echo '  ],'
+    printf '  "taint": %s\n' \
+      "$(tr -d '\n' < "$ROOT/build-check-logs/taint_audit.json" | tr -s ' ')"
+  else
+    echo '  ]'
+  fi
   echo '}'
 } > "$SUMMARY"
 if command -v python3 >/dev/null 2>&1; then

@@ -25,6 +25,18 @@
 // count must die in the xdr count guard before any allocation, and an
 // over-bound chunk record must die in the bounds pre-flight before decode.
 //
+// A third corpus stage is field-targeted at the wiretaint domain: each
+// entry is a well-formed MIGRATE argument body plus the wire offsets of the
+// scalars the generated headers wrap in xdr::Untrusted<> (declared totals,
+// chunk offsets, transfer tickets). The mutator overwrites only those
+// bytes, so every mutation survives decode and lands in the taint domain,
+// where it must exit through a validator as a typed in-band refusal —
+// never UB, never an escaped TaintError. Three hostile values are pinned
+// deterministically in main(): a UINT64_MAX d2h length (TaintError at the
+// validator, kGarbageArgs through dispatch), a mig_chunk offset near
+// UINT64_MAX (refused without appending, transfer stays resumable), and
+// zero / UINT32_MAX launch dimensions (LaunchError from the geometry seam).
+//
 // Usage: fuzz_decode [--iters N] [--seed S]
 #include <algorithm>
 #include <cstdint>
@@ -37,9 +49,13 @@
 #include <vector>
 
 #include "cricket/checkpoint.hpp"
+#include "cricket/server.hpp"
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
+#include "cudart/local_api.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+#include "migrate/service.hpp"
 #include "migrate/state.hpp"
 #include "migrate_bounds.hpp"
 #include "migrate_proto.hpp"
@@ -48,6 +64,7 @@
 #include "rpc/server.hpp"
 #include "rpc/transport.hpp"
 #include "sim/rng.hpp"
+#include "xdr/taint.hpp"
 #include "xdr/xdr.hpp"
 
 namespace {
@@ -65,6 +82,7 @@ struct Stats {
   std::uint64_t record_errors = 0;
   std::uint64_t blob_errors = 0;     // CheckpointError / MigrationError
   std::uint64_t version_errors = 0;  // their future-version subclasses
+  std::uint64_t taint_probes = 0;    // field-targeted taint-stage dispatches
 };
 
 Stats g_stats;
@@ -300,7 +318,8 @@ std::vector<std::vector<std::uint8_t>> build_blob_corpus() {
   {
     mproto::mig_begin_args begin;
     begin.tenant = "alice";
-    begin.total_bytes = image_blob.size();
+    begin.total_bytes =
+        cricket::xdr::Untrusted<std::uint64_t>(image_blob.size());
     cricket::xdr::Encoder enc;
     xdr_encode(enc, begin);
     call.args = enc.take();
@@ -309,8 +328,8 @@ std::vector<std::vector<std::uint8_t>> build_blob_corpus() {
   corpus.push_back(encode_call(call));
   {
     mproto::mig_chunk_args chunk;
-    chunk.ticket = 1;
-    chunk.offset = 0;
+    chunk.ticket = cricket::xdr::Untrusted<std::uint64_t>(1);
+    chunk.offset = cricket::xdr::Untrusted<std::uint64_t>(0);
     chunk.data.assign(image_blob.begin(),
                       image_blob.begin() +
                           static_cast<std::ptrdiff_t>(
@@ -324,7 +343,7 @@ std::vector<std::vector<std::uint8_t>> build_blob_corpus() {
   corpus.push_back(encode_call(call));
   {
     mproto::mig_commit_args commit;
-    commit.ticket = 1;
+    commit.ticket = cricket::xdr::Untrusted<std::uint64_t>(1);
     commit.checksum = cricket::migrate::fnv64(image_blob);
     cricket::xdr::Encoder enc;
     xdr_encode(enc, commit);
@@ -380,6 +399,129 @@ void mutate(Xoshiro256ss& rng, std::vector<std::uint8_t>& buf) {
   }
 }
 
+// ---------------------- wiretaint field-targeted stage ------------------
+
+/// One taint-stage corpus entry: a well-formed argument body plus the wire
+/// offsets of the u64 scalars the generated header wraps in
+/// xdr::Untrusted<> for this procedure.
+struct TaintEntry {
+  std::uint32_t proc = 0;
+  std::vector<std::uint8_t> args;
+  std::vector<std::size_t> field_offsets;
+};
+
+std::vector<TaintEntry> build_taint_corpus(std::uint64_t live_ticket) {
+  namespace mproto = cricket::migrate::proto;
+  std::vector<TaintEntry> corpus;
+  {
+    mproto::mig_begin_args begin;
+    begin.tenant = "alice";
+    begin.total_bytes = cricket::xdr::Untrusted<std::uint64_t>(64);
+    cricket::xdr::Encoder enc;
+    xdr_encode(enc, begin);
+    // "alice" encodes as a u32 count plus 5 bytes padded to 8: total_bytes
+    // starts at offset 12.
+    corpus.push_back({mproto::MIG_BEGIN_PROC, enc.take(), {12}});
+  }
+  {
+    mproto::mig_chunk_args chunk;
+    chunk.ticket = cricket::xdr::Untrusted<std::uint64_t>(live_ticket);
+    chunk.offset = cricket::xdr::Untrusted<std::uint64_t>(0);
+    chunk.data.assign(16, 0x42);
+    cricket::xdr::Encoder enc;
+    xdr_encode(enc, chunk);
+    corpus.push_back({mproto::MIG_CHUNK_PROC, enc.take(), {0, 8}});
+  }
+  {
+    mproto::mig_commit_args commit;
+    commit.ticket = cricket::xdr::Untrusted<std::uint64_t>(live_ticket);
+    commit.checksum = 0x1234;
+    cricket::xdr::Encoder enc;
+    xdr_encode(enc, commit);
+    corpus.push_back({mproto::MIG_COMMIT_PROC, enc.take(), {0}});
+  }
+  return corpus;
+}
+
+/// Overwrites exactly one tainted scalar field with a boundary or random
+/// value (big-endian, as on the wire) and returns the value written.
+std::uint64_t mutate_taint_field(Xoshiro256ss& rng, TaintEntry& entry) {
+  static constexpr std::uint64_t kBoundary[] = {
+      0ull,           1ull,           0x7FFFFFFFull,
+      0x80000000ull,  0xFFFFFFFFull,  1ull << 32,
+      1ull << 63,     ~0ull - 8,      ~0ull - 1,
+      ~0ull};
+  const std::uint64_t v = rng.next() % 3 == 0
+                              ? rng.next()
+                              : kBoundary[rng.next() %
+                                          (sizeof(kBoundary) /
+                                           sizeof(kBoundary[0]))];
+  const std::size_t at =
+      entry.field_offsets[rng.next() % entry.field_offsets.size()];
+  for (std::size_t i = 0; i < 8; ++i)
+    entry.args[at + i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+  return v;
+}
+
+/// The hostile value, standalone, against the cricket-side taint exits: the
+/// generated default length validator (TaintError is the only failure) and
+/// the launch-geometry seam (LaunchError likewise).
+void probe_scalar_seams(std::uint64_t raw) {
+  try {
+    (void)cricket::proto::taint::validate_length(
+        cricket::xdr::Untrusted<std::uint64_t>(raw), "taint-stage");
+  } catch (const cricket::xdr::TaintError&) {
+  }
+  try {
+    (void)cricket::gpusim::validated_dim3(
+        cricket::xdr::Untrusted<std::uint32_t>(
+            static_cast<std::uint32_t>(raw)),
+        cricket::xdr::Untrusted<std::uint32_t>(1),
+        cricket::xdr::Untrusted<std::uint32_t>(1), "taint-stage");
+  } catch (const cricket::gpusim::LaunchError&) {
+  }
+}
+
+/// Decodes the mutated argument body with the generated (taint-wrapping)
+/// decoder and drives the real MigrationTarget procedure. The only
+/// acceptable outcome is a result code inside the MigErr enum: an escaped
+/// TaintError, any other exception, or an out-of-enum code fails the run.
+void consume_taint(cricket::migrate::MigrationTarget& target,
+                   const TaintEntry& entry) {
+  namespace mproto = cricket::migrate::proto;
+  cricket::xdr::Decoder dec(entry.args);
+  std::int32_t err = cricket::migrate::kMigOk;
+  switch (entry.proc) {
+    case mproto::MIG_BEGIN_PROC: {
+      mproto::mig_begin_args v;
+      xdr_decode(dec, v);
+      const auto res = target.begin(v.tenant, v.total_bytes);
+      err = res.err;
+      // Keep the pending table from pinning every slot across iterations.
+      if (res.err == cricket::migrate::kMigOk)
+        (void)target.abort(
+            cricket::xdr::Untrusted<std::uint64_t>(res.ticket));
+      break;
+    }
+    case mproto::MIG_CHUNK_PROC: {
+      mproto::mig_chunk_args v;
+      xdr_decode(dec, v);
+      err = target.chunk(v.ticket, v.offset, v.data);
+      break;
+    }
+    case mproto::MIG_COMMIT_PROC: {
+      mproto::mig_commit_args v;
+      xdr_decode(dec, v);
+      err = target.commit(v.ticket, v.checksum);
+      break;
+    }
+  }
+  if (err < cricket::migrate::kMigOk || err > cricket::migrate::kMigBusy)
+    throw std::runtime_error(
+        "taint stage: refusal code outside the MigErr enum");
+  ++g_stats.taint_probes;
+}
+
 // ------------------------------ consumers -------------------------------
 
 cricket::rpc::ServiceRegistry build_registry() {
@@ -411,7 +553,9 @@ class NullMigrateService final
   std::int32_t mig_commit(cricket::migrate::proto::mig_commit_args) override {
     return 0;
   }
-  std::int32_t mig_abort(std::uint64_t) override { return 0; }
+  std::int32_t mig_abort(cricket::xdr::Untrusted<std::uint64_t>) override {
+    return 0;
+  }
 };
 
 cricket::rpc::ServiceRegistry build_migrate_registry(
@@ -648,17 +792,121 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Stage-3 consumer: a real MigrationTarget (no SessionManager behind it,
+  // so nothing a fuzzed commit does can escape the transfer state machine).
+  auto node = cricket::cuda::GpuNode::make_a100();
+  cricket::core::CricketServer server(*node);
+  cricket::migrate::MigrationTarget target(server,
+                                           {.max_image_bytes = 1024});
+  const auto live =
+      target.begin("alice", cricket::xdr::Untrusted<std::uint64_t>(1024));
+  if (live.err != cricket::migrate::kMigOk) {
+    std::fprintf(stderr, "fuzz_decode: could not open the live ticket\n");
+    return 1;
+  }
+
+  {
+    // Pin the wiretaint exits deterministically before fuzzing.
+    //
+    // (a) A d2h length of UINT64_MAX dies in the generated default length
+    // validator as the typed TaintError — and through a registry dispatch
+    // the same hostile value surfaces as the kGarbageArgs reply, the escape
+    // path a handler cannot opt out of.
+    bool tainted = false;
+    try {
+      (void)cricket::proto::taint::validate_length(
+          cricket::xdr::Untrusted<std::uint64_t>(~0ull), "pin.d2h.len");
+    } catch (const cricket::xdr::TaintError&) {
+      tainted = true;
+    }
+    if (!tainted) {
+      std::fprintf(stderr,
+                   "fuzz_decode: UINT64_MAX d2h length did NOT raise "
+                   "TaintError in the default length validator\n");
+      return 1;
+    }
+    cricket::rpc::ServiceRegistry reg;
+    reg.register_typed<cricket::proto::u64_result,
+                       cricket::xdr::Untrusted<std::uint64_t>>(
+        cricket::proto::CRICKET_PROG, cricket::proto::CRICKETVERS_VERS,
+        cricket::proto::RPC_MEMCPY_D2H_PROC,
+        [](cricket::xdr::Untrusted<std::uint64_t> len) {
+          return cricket::proto::u64_result{
+              0, cricket::proto::taint::validate_length(len, "pin.d2h.len")};
+        });
+    cricket::rpc::CallMsg hostile_len;
+    hostile_len.xid = 2;
+    hostile_len.prog = cricket::proto::CRICKET_PROG;
+    hostile_len.vers = cricket::proto::CRICKETVERS_VERS;
+    hostile_len.proc = cricket::proto::RPC_MEMCPY_D2H_PROC;
+    {
+      cricket::xdr::Encoder enc;
+      enc.put_u64(~0ull);
+      hostile_len.args = enc.take();
+    }
+    if (reg.dispatch(hostile_len).accept_stat !=
+        cricket::rpc::AcceptStat::kGarbageArgs) {
+      std::fprintf(stderr,
+                   "fuzz_decode: UINT64_MAX d2h length did NOT surface as "
+                   "kGarbageArgs through dispatch\n");
+      return 1;
+    }
+    // (b) A mig_chunk offset near UINT64_MAX: refused as out-of-order
+    // (saturating taint arithmetic keeps it from masquerading as an
+    // acknowledged retransmission), nothing appended, transfer resumable.
+    const std::vector<std::uint8_t> sixteen(16, 0x11);
+    if (target.chunk(cricket::xdr::Untrusted<std::uint64_t>(live.ticket),
+                     cricket::xdr::Untrusted<std::uint64_t>(~0ull - 8),
+                     sixteen) != cricket::migrate::kMigOutOfOrder ||
+        target.chunk(cricket::xdr::Untrusted<std::uint64_t>(live.ticket),
+                     cricket::xdr::Untrusted<std::uint64_t>(0),
+                     sixteen) != cricket::migrate::kMigOk) {
+      std::fprintf(stderr,
+                   "fuzz_decode: near-UINT64_MAX chunk offset was NOT "
+                   "refused cleanly\n");
+      return 1;
+    }
+    // (c) Zero and UINT32_MAX launch dimensions both die in the geometry
+    // seam as LaunchError — never a crash, never a wrapped extent.
+    for (const std::uint32_t dim : {0u, 0xFFFFFFFFu}) {
+      bool refused = false;
+      try {
+        (void)cricket::gpusim::validated_dim3(
+            cricket::xdr::Untrusted<std::uint32_t>(dim),
+            cricket::xdr::Untrusted<std::uint32_t>(1),
+            cricket::xdr::Untrusted<std::uint32_t>(1), "pin.launch");
+      } catch (const cricket::gpusim::LaunchError&) {
+        refused = true;
+      }
+      if (!refused) {
+        std::fprintf(stderr,
+                     "fuzz_decode: hostile launch dim %u was NOT refused "
+                     "by the geometry seam\n", dim);
+        return 1;
+      }
+    }
+  }
+
   const auto corpus = build_corpus();
   const auto registry = build_registry();
   const auto blob_corpus = build_blob_corpus();
+  const auto taint_corpus = build_taint_corpus(live.ticket);
   Xoshiro256ss rng(seed);
 
   std::uint64_t it = 0;
-  const std::uint64_t total = 2 * iters;
+  const std::uint64_t total = 3 * iters;
   try {
     for (; it < total; ++it) {
       // Stage 1: the RPC decode surface. Stage 2: checkpoint blobs,
-      // migration images, and MIGRATE transfer messages.
+      // migration images, and MIGRATE transfer messages. Stage 3:
+      // field-targeted mutation of the Untrusted<>-wrapped scalars.
+      if (it >= 2 * iters) {
+        TaintEntry entry = taint_corpus[rng.next() % taint_corpus.size()];
+        const std::uint64_t raw = mutate_taint_field(rng, entry);
+        consume_taint(target, entry);
+        probe_scalar_seams(raw);
+        continue;
+      }
       const bool blob_stage = it >= iters;
       const auto& pool = blob_stage ? blob_corpus : corpus;
       std::vector<std::uint8_t> buf = pool[rng.next() % pool.size()];
@@ -683,7 +931,8 @@ int main(int argc, char** argv) {
   std::printf(
       "fuzz_decode: %llu iterations clean (parsed %llu, xdr errors %llu, "
       "format errors %llu, preflight rejects %llu, dispatches %llu, "
-      "record errors %llu, blob errors %llu, version errors %llu)\n",
+      "record errors %llu, blob errors %llu, version errors %llu, "
+      "taint probes %llu)\n",
       static_cast<unsigned long long>(total),
       static_cast<unsigned long long>(g_stats.parsed),
       static_cast<unsigned long long>(g_stats.xdr_errors),
@@ -692,6 +941,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(g_stats.dispatches),
       static_cast<unsigned long long>(g_stats.record_errors),
       static_cast<unsigned long long>(g_stats.blob_errors),
-      static_cast<unsigned long long>(g_stats.version_errors));
+      static_cast<unsigned long long>(g_stats.version_errors),
+      static_cast<unsigned long long>(g_stats.taint_probes));
   return 0;
 }

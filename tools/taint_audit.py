@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Audits every trust_unchecked() wiretaint escape in the production tree.
+
+The wiretaint discipline (src/xdr/taint.hpp, DESIGN.md §14) gives a
+wire-derived scalar exactly four exits from the taint domain: validate(),
+validate_range(), validate_index(), and trust_unchecked(reason). The first
+three carry their proof with them; trust_unchecked() is the audited escape
+hatch for values whose bound genuinely lives elsewhere (opaque handles
+refused by a table lookup, dimensions whose error code is pinned by the
+wire contract). This tool is the audit:
+
+  1. Every trust_unchecked() call site under src/ and tools/ must carry a
+     non-trivial justification string literal at the call.
+  2. Every site must match an entry in tools/taint_allowlist.json — same
+     file, and the site's justification must contain the entry's
+     "contains" text — with the per-entry site count exactly as declared,
+     so a new escape cannot ride in on an old entry.
+  3. Every allowlist entry must still match a live site (no stale
+     entries accumulating as the code moves).
+
+The defining header (src/xdr/taint.hpp) is exempt; tests are out of scope —
+they exercise the escape hatch itself. Mirrors the no-escapes stage's
+discipline for CRICKET_NO_THREAD_SAFETY_ANALYSIS.
+
+Usage:
+    python3 tools/taint_audit.py [--report OUT.json]
+
+Writes a per-subsystem JSON report (merged into check_summary.json by
+tools/check.sh stage 16). Exit code 0 iff the audit passes.
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+SCAN_ROOTS = ("src", "tools")
+EXEMPT = {os.path.join("src", "xdr", "taint.hpp")}
+ALLOWLIST = os.path.join("tools", "taint_allowlist.json")
+MIN_JUSTIFICATION = 20
+
+# A trust_unchecked call followed by one-or-more concatenated string
+# literal fragments (the justification may wrap across source lines).
+CALL_RE = re.compile(
+    r"trust_unchecked\(\s*((?:\"(?:[^\"\\]|\\.)*\"\s*)+)\)", re.S)
+BARE_RE = re.compile(r"trust_unchecked\(")
+FRAG_RE = re.compile(r"\"((?:[^\"\\]|\\.)*)\"")
+
+
+def fail(msg):
+    print(f"taint_audit: {msg}", file=sys.stderr)
+    return 1
+
+
+def scan_sites(root):
+    """Yields (relpath, line, justification-or-None) per call site."""
+    for scan_root in SCAN_ROOTS:
+        for dirpath, _, filenames in os.walk(os.path.join(root, scan_root)):
+            for name in sorted(filenames):
+                if not name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if rel in EXEMPT:
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+                justified_at = set()
+                for m in CALL_RE.finditer(text):
+                    line = text.count("\n", 0, m.start()) + 1
+                    reason = "".join(FRAG_RE.findall(m.group(1)))
+                    justified_at.add(m.start())
+                    yield rel, line, reason
+                for m in BARE_RE.finditer(text):
+                    # A call CALL_RE did not cover carries no literal
+                    # justification (a variable, a computed string, nothing).
+                    if m.start() not in justified_at:
+                        line = text.count("\n", 0, m.start()) + 1
+                        yield rel, line, None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--report", help="write a JSON report here")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        with open(os.path.join(root, ALLOWLIST), encoding="utf-8") as f:
+            allowlist = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"unreadable allowlist {ALLOWLIST}: {e}")
+    entries = allowlist.get("entries")
+    if not isinstance(entries, list):
+        return fail(f'{ALLOWLIST}: "entries" missing or not a list')
+    for i, e in enumerate(entries):
+        for key, kind in (("file", str), ("contains", str), ("count", int),
+                          ("why", str)):
+            if not isinstance(e.get(key), kind):
+                return fail(f"allowlist entry[{i}] missing {key!r} "
+                            f"({kind.__name__})")
+
+    sites = sorted(set(scan_sites(root)))
+    rc = 0
+    matched = [0] * len(entries)
+    subsystems = {}
+    for rel, line, reason in sites:
+        parts = rel.replace(os.sep, "/").split("/")
+        subsystem = "/".join(parts[:2]) if parts[0] == "src" else parts[0]
+        subsystems[subsystem] = subsystems.get(subsystem, 0) + 1
+        if reason is None:
+            rc = fail(f"{rel}:{line}: trust_unchecked without a string "
+                      "literal justification at the call site")
+            continue
+        if len(reason.strip()) < MIN_JUSTIFICATION:
+            rc = fail(f"{rel}:{line}: justification {reason!r} is too "
+                      f"short (< {MIN_JUSTIFICATION} chars)")
+            continue
+        hits = [i for i, e in enumerate(entries)
+                if e["file"] == rel.replace(os.sep, "/")
+                and e["contains"] in reason]
+        if not hits:
+            rc = fail(f"{rel}:{line}: escape not in {ALLOWLIST} "
+                      f"(justification: {reason!r})")
+            continue
+        for i in hits:
+            matched[i] += 1
+
+    for i, e in enumerate(entries):
+        if matched[i] == 0:
+            rc = fail(f"stale allowlist entry[{i}] ({e['file']}: "
+                      f"{e['contains']!r}) matches no live call site")
+        elif matched[i] != e["count"]:
+            rc = fail(f"allowlist entry[{i}] ({e['file']}: "
+                      f"{e['contains']!r}) declares count {e['count']} "
+                      f"but matched {matched[i]} site(s)")
+
+    report = {
+        "total_sites": len(sites),
+        "allowlisted": sum(1 for _, _, r in sites if r is not None),
+        "entries": len(entries),
+        "subsystems": dict(sorted(subsystems.items())),
+        "clean": rc == 0,
+    }
+    if args.report:
+        os.makedirs(os.path.dirname(args.report) or ".", exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    status = "OK" if rc == 0 else "FAILED"
+    print(f"taint_audit: {status} ({report['total_sites']} escapes across "
+          f"{len(report['subsystems'])} subsystems, "
+          f"{report['entries']} allowlist entries)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

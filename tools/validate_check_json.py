@@ -13,6 +13,11 @@ Checks, in order:
                     the "plain" stage (everything downstream builds on it).
   3. results      — each is PASS, FAIL, or SKIP (reason); the top-level
                     "failed" flag agrees with the presence of a FAIL.
+  4. taint        — optional; when the taint-audit stage ran, its merged
+                    report must be an object with integer "total_sites",
+                    "allowlisted", "entries", per-subsystem integer counts
+                    summing to "total_sites", and a bool "clean" that
+                    agrees with the taint-audit stage result.
 
 Exit code 0 iff every check passes.
 """
@@ -71,6 +76,32 @@ def main():
     if doc["failed"] != any_fail:
         fail(f'"failed" is {doc["failed"]} but stages '
              f'{"do" if any_fail else "do not"} contain a FAIL')
+
+    taint = doc.get("taint")
+    if taint is not None:
+        if not isinstance(taint, dict):
+            fail('"taint" is not an object')
+        for key in ("total_sites", "allowlisted", "entries"):
+            if not isinstance(taint.get(key), int) or taint[key] < 0:
+                fail(f'taint.{key} missing or not a non-negative int')
+        if not isinstance(taint.get("clean"), bool):
+            fail('taint.clean missing or not a bool')
+        subsystems = taint.get("subsystems")
+        if not isinstance(subsystems, dict):
+            fail('taint.subsystems missing or not an object')
+        for name, count in subsystems.items():
+            if not NAME_RE.match(name.replace("/", "-")):
+                fail(f"taint subsystem {name!r} is not a path slug")
+            if not isinstance(count, int) or count < 1:
+                fail(f"taint subsystem {name!r} count {count!r} invalid")
+        if sum(subsystems.values()) != taint["total_sites"]:
+            fail("taint subsystem counts do not sum to total_sites")
+        by_name = dict(zip(names, (s["result"] for s in stages)))
+        audit_result = by_name.get("taint-audit")
+        if audit_result in ("PASS", "FAIL") and \
+                taint["clean"] != (audit_result == "PASS"):
+            fail(f'taint.clean is {taint["clean"]} but the taint-audit '
+                 f"stage result is {audit_result}")
 
     print(f"validate_check_json: OK ({len(stages)} stages, "
           f"failed={doc['failed']})")
