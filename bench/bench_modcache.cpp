@@ -1,0 +1,321 @@
+// Content-addressed module cache bench (DESIGN.md §15).
+//
+// A 16-tenant fleet shares 4 distinct fatbins (the fleet-scale shape from
+// ROADMAP item 5: most tenants launch the same kernels). Every client
+// connects with the two-phase hash-first load path enabled; the server runs
+// the content-addressed module cache. Wire traffic is counted by a
+// byte-counting transport decorator around each client connection, so the
+// numbers are actual bytes on the wire, not estimates:
+//
+//   cold    — the first tenant loads all 4 fatbins: every probe misses and
+//             the full (compressed) container crosses the wire.
+//   repeat  — the remaining 15 tenants load the same 4 fatbins: every
+//             probe hits, so only the 8-byte hash and the small result
+//             frame cross the wire per load.
+//
+// Latency is virtual nanoseconds from the node's SimClock (the simulation
+// substitution, DESIGN.md §2); wire bytes are exact.
+//
+// Gates (exit 1 on failure):
+//   * every load succeeds and returns the canonical module id
+//   * repeat loads move >= 10x fewer wire bytes per load than cold loads
+//   * the server cache saw exactly 4 inserts (one per distinct image) and
+//     zero evictions; every repeat load hit
+//   * tenant memory accounting: each tenant is charged each image once,
+//     and disconnecting releases every charge
+//
+// Flags: --json=PATH (default BENCH_modcache.json)
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cricket/client.hpp"
+#include "cricket/server.hpp"
+#include "cudart/local_api.hpp"
+#include "fatbin/cubin.hpp"
+#include "fatbin/fatbin.hpp"
+#include "modcache/module_cache.hpp"
+#include "rpc/transport.hpp"
+#include "tenancy/session_manager.hpp"
+
+namespace {
+
+using namespace cricket;
+
+constexpr int kTenants = 16;
+constexpr int kImages = 4;
+
+/// Counts every byte crossing the wrapped transport, both directions.
+class CountingTransport final : public rpc::Transport {
+ public:
+  CountingTransport(std::unique_ptr<rpc::Transport> inner,
+                    std::atomic<std::uint64_t>* sent,
+                    std::atomic<std::uint64_t>* received)
+      : inner_(std::move(inner)), sent_(sent), received_(received) {}
+
+  void send(std::span<const std::uint8_t> data) override {
+    inner_->send(data);
+    sent_->fetch_add(data.size(), std::memory_order_relaxed);
+  }
+  std::size_t recv(std::span<std::uint8_t> out) override {
+    const std::size_t n = inner_->recv(out);
+    received_->fetch_add(n, std::memory_order_relaxed);
+    return n;
+  }
+  bool set_recv_timeout(std::chrono::nanoseconds timeout) override {
+    return inner_->set_recv_timeout(timeout);
+  }
+  void shutdown() override { inner_->shutdown(); }
+
+ private:
+  std::unique_ptr<rpc::Transport> inner_;
+  std::atomic<std::uint64_t>* sent_;
+  std::atomic<std::uint64_t>* received_;
+};
+
+/// One of the 4 distinct shared modules, shipped as a compressed fatbin —
+/// the realistic upload shape (paper §3.3) and the one the cache's wire
+/// savings are measured against.
+std::vector<std::uint8_t> shared_fatbin(int variant) {
+  fatbin::CubinImage img;
+  img.sm_arch = 75;
+  fatbin::KernelDescriptor k;
+  k.name = "fleet_kernel_" + std::to_string(variant);
+  k.params = {{.size = 8, .align = 8, .is_pointer = true},
+              {.size = 4, .align = 4, .is_pointer = false}};
+  img.kernels.push_back(k);
+  // ~256 KB of pseudo-ISA per module: large enough that the upload
+  // dominates cold wire traffic, as a real fatbin's would.
+  img.code = fatbin::make_pseudo_isa(64 * 1024, variant + 17);
+  fatbin::Fatbin fb;
+  fb.add_raw(75, fatbin::cubin_serialize(img), /*compress=*/true);
+  return fb.serialize();
+}
+
+struct PhaseResult {
+  std::uint64_t loads = 0;
+  std::uint64_t wire_bytes = 0;  // both directions, across the phase
+  double mean_load_ns = 0;       // virtual time per module_load
+  std::uint64_t cache_hits = 0;  // client-observed probe hits
+  std::uint64_t bytes_saved = 0; // image bytes that never crossed the wire
+};
+
+struct Fleet {
+  Fleet()
+      : node(cuda::GpuNode::make_a100()),
+        tenants(node->clock(),
+                {.device_count =
+                     static_cast<std::uint32_t>(node->device_count()),
+                 .default_tenant = ""}) {
+    for (int t = 0; t < kTenants; ++t) {
+      tenancy::TenantSpec spec;
+      spec.name = "tenant-" + std::to_string(t);
+      spec.quota.device_mem_bytes = 64ull << 20;
+      (void)tenants.register_tenant(spec);
+    }
+    core::ServerOptions options;
+    options.tenants = &tenants;
+    options.module_cache = true;
+    server = std::make_unique<core::CricketServer>(*node, options);
+  }
+
+  ~Fleet() { join(); }
+
+  std::unique_ptr<core::RemoteCudaApi> connect(int tenant) {
+    auto [client_end, server_end] = rpc::make_pipe_pair();
+    threads.push_back(server->serve_async(std::move(server_end)));
+    auto counted = std::make_unique<CountingTransport>(
+        std::move(client_end), &wire_sent, &wire_received);
+    core::ClientConfig config;
+    config.tenant = "tenant-" + std::to_string(tenant);
+    config.module_cache = true;
+    return std::make_unique<core::RemoteCudaApi>(
+        std::move(counted), node->clock(), std::move(config));
+  }
+
+  void join() {
+    for (auto& t : threads)
+      if (t.joinable()) t.join();
+    threads.clear();
+  }
+
+  std::uint64_t wire_total() const {
+    return wire_sent.load() + wire_received.load();
+  }
+
+  std::unique_ptr<cuda::GpuNode> node;
+  tenancy::SessionManager tenants;
+  std::unique_ptr<core::CricketServer> server;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> wire_sent{0};
+  std::atomic<std::uint64_t> wire_received{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::arg_value(argc, argv, "json", "BENCH_modcache.json");
+
+  Fleet fleet;
+  std::vector<std::vector<std::uint8_t>> images;
+  std::uint64_t image_bytes_total = 0;
+  for (int i = 0; i < kImages; ++i) {
+    images.push_back(shared_fatbin(i));
+    image_bytes_total += images.back().size();
+  }
+
+  bool gates_ok = true;
+  auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "bench_modcache: GATE FAILED: %s\n", what);
+      gates_ok = false;
+    }
+  };
+
+  // ---- cold: tenant 0 uploads all 4 images (every probe misses) ----
+  PhaseResult cold;
+  std::vector<cuda::ModuleId> canonical(kImages, 0);
+  {
+    auto api = fleet.connect(0);
+    const std::uint64_t wire0 = fleet.wire_total();
+    const auto t0 = fleet.node->clock().now();
+    for (int i = 0; i < kImages; ++i) {
+      gate(api->module_load(canonical[i], images[i]) == cuda::Error::kSuccess,
+           "cold module_load failed");
+    }
+    cold.loads = kImages;
+    cold.mean_load_ns =
+        static_cast<double>(fleet.node->clock().now() - t0) / kImages;
+    cold.wire_bytes = fleet.wire_total() - wire0;
+    cold.cache_hits = api->stats().module_cache_hits;
+    cold.bytes_saved = api->stats().module_bytes_saved;
+    gate(cold.cache_hits == 0, "cold loads unexpectedly hit the cache");
+  }
+  fleet.join();  // tenant 0 disconnected; its references released
+
+  // ---- repeat: tenants 1..15 load the same 4 images (probes hit) ----
+  PhaseResult repeat;
+  {
+    double total_ns = 0;
+    for (int t = 1; t < kTenants; ++t) {
+      auto api = fleet.connect(t);
+      const std::uint64_t wire0 = fleet.wire_total();
+      const auto t0 = fleet.node->clock().now();
+      for (int i = 0; i < kImages; ++i) {
+        cuda::ModuleId mod = 0;
+        gate(api->module_load(mod, images[i]) == cuda::Error::kSuccess,
+             "repeat module_load failed");
+        gate(mod == canonical[i],
+             "repeat load did not return the canonical module id");
+        cuda::FuncId fn = 0;
+        gate(api->module_get_function(
+                 fn, mod, "fleet_kernel_" + std::to_string(i)) ==
+                 cuda::Error::kSuccess,
+             "cached module does not resolve its kernel");
+      }
+      total_ns += static_cast<double>(fleet.node->clock().now() - t0);
+      repeat.loads += kImages;
+      repeat.wire_bytes += fleet.wire_total() - wire0;
+      repeat.cache_hits += api->stats().module_cache_hits;
+      repeat.bytes_saved += api->stats().module_bytes_saved;
+      const auto tenant_id =
+          fleet.tenants.find("tenant-" + std::to_string(t));
+      gate(tenant_id.has_value() &&
+               fleet.tenants.stats(*tenant_id).mem_used_bytes ==
+                   image_bytes_total,
+           "tenant charged != once per distinct image");
+    }
+    repeat.mean_load_ns = total_ns / static_cast<double>(repeat.loads);
+  }
+  fleet.join();
+
+  // ---- gates over the phase totals ----
+  const double cold_per_load =
+      static_cast<double>(cold.wire_bytes) / static_cast<double>(cold.loads);
+  const double repeat_per_load = static_cast<double>(repeat.wire_bytes) /
+                                 static_cast<double>(repeat.loads);
+  const double wire_reduction = cold_per_load / repeat_per_load;
+  gate(wire_reduction >= 10.0, "repeat loads moved < 10x fewer wire bytes");
+  gate(repeat.cache_hits == repeat.loads, "a repeat probe missed");
+
+  const auto stats = fleet.server->module_cache()->stats();
+  gate(stats.inserts == kImages, "cache inserts != distinct images");
+  gate(stats.evictions == 0, "unexpected eviction under the default budget");
+  for (int t = 0; t < kTenants; ++t) {
+    const auto id = fleet.tenants.find("tenant-" + std::to_string(t));
+    gate(id.has_value() && fleet.tenants.stats(*id).mem_used_bytes == 0,
+         "disconnect did not release a tenant's module charges");
+  }
+
+  std::printf(
+      "bench_modcache: %d tenants, %d distinct fatbins (%.0f KB total)\n"
+      "  cold:   %llu loads, %llu wire bytes (%.0f/load), %.0f virtual "
+      "ns/load\n"
+      "  repeat: %llu loads, %llu wire bytes (%.0f/load), %.0f virtual "
+      "ns/load\n"
+      "  wire reduction: %.1fx   cache: %llu hits %llu misses %llu inserts\n",
+      kTenants, kImages, static_cast<double>(image_bytes_total) / 1024.0,
+      static_cast<unsigned long long>(cold.loads),
+      static_cast<unsigned long long>(cold.wire_bytes), cold_per_load,
+      cold.mean_load_ns, static_cast<unsigned long long>(repeat.loads),
+      static_cast<unsigned long long>(repeat.wire_bytes), repeat_per_load,
+      repeat.mean_load_ns, wire_reduction,
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.inserts));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_modcache: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"bench\": \"modcache\",\n"
+        "  \"fleet\": {\"tenants\": %d, \"images\": %d, "
+        "\"image_bytes_total\": %llu},\n"
+        "  \"cold\": {\"loads\": %llu, \"wire_bytes\": %llu, "
+        "\"wire_bytes_per_load\": %.1f, \"mean_load_ns\": %.1f, "
+        "\"cache_hits\": %llu},\n"
+        "  \"repeat\": {\"loads\": %llu, \"wire_bytes\": %llu, "
+        "\"wire_bytes_per_load\": %.1f, \"mean_load_ns\": %.1f, "
+        "\"cache_hits\": %llu, \"bytes_saved\": %llu},\n"
+        "  \"wire_reduction\": %.2f,\n"
+        "  \"server_cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"inserts\": %llu, \"evictions\": %llu, \"resident_bytes\": %llu, "
+        "\"resident_entries\": %llu},\n"
+        "  \"gates_ok\": %s\n"
+        "}\n",
+        kTenants, kImages,
+        static_cast<unsigned long long>(image_bytes_total),
+        static_cast<unsigned long long>(cold.loads),
+        static_cast<unsigned long long>(cold.wire_bytes), cold_per_load,
+        cold.mean_load_ns, static_cast<unsigned long long>(cold.cache_hits),
+        static_cast<unsigned long long>(repeat.loads),
+        static_cast<unsigned long long>(repeat.wire_bytes), repeat_per_load,
+        repeat.mean_load_ns,
+        static_cast<unsigned long long>(repeat.cache_hits),
+        static_cast<unsigned long long>(repeat.bytes_saved), wire_reduction,
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.inserts),
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.resident_bytes),
+        static_cast<unsigned long long>(stats.resident_entries),
+        gates_ok ? "true" : "false");
+    out << buf;
+  }
+
+  return gates_ok ? 0 : 1;
+}

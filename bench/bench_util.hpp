@@ -42,13 +42,18 @@ class Rig {
       obs::bind_clock(&node_->clock());
       bound_clock_ = true;
     }
+    // with_module_cache presets switch on both halves of the negotiation:
+    // the server-side content-addressed cache and the client's hash-first
+    // load path.
+    if (environment_.module_cache) server_options.module_cache = true;
     server_ = std::make_unique<core::CricketServer>(*node_, server_options);
     auto conn = env::connect(environment_, node_->clock());
     server_thread_ = server_->serve_async(std::move(conn.server));
+    core::ClientConfig client_config{.flavor = environment_.flavor,
+                                     .profile = environment_.profile};
+    client_config.module_cache = environment_.module_cache;
     api_ = std::make_unique<core::RemoteCudaApi>(
-        std::move(conn.guest), node_->clock(),
-        core::ClientConfig{.flavor = environment_.flavor,
-                           .profile = environment_.profile});
+        std::move(conn.guest), node_->clock(), std::move(client_config));
   }
 
   ~Rig() {

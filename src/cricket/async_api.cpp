@@ -5,6 +5,7 @@
 #include "cricket/client.hpp"
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
+#include "modcache/module_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -362,6 +363,25 @@ Error AsyncRemoteCudaApi::event_elapsed_ms(float& ms, cuda::EventId start,
 
 Error AsyncRemoteCudaApi::module_load(cuda::ModuleId& module,
                                       std::span<const std::uint8_t> image) {
+  if (config_.module_cache) {
+    // Two-phase negotiation, same as the synchronous client: probe by
+    // content hash, fall back to the full upload only on kCacheMiss. The
+    // probe is blocking anyway (the module id is needed), so pipelining
+    // loses nothing.
+    bool miss = false;
+    const Error err = call_blocking<proto::u64_result>(
+        proto::RPC_MODULE_LOAD_CACHED_PROC,
+        [&](const proto::u64_result& res) {
+          if (from_wire(res.err) == Error::kCacheMiss) {
+            miss = true;
+            return Error::kSuccess;  // negotiation answer, not a failure
+          }
+          module = res.value;
+          return from_wire(res.err);
+        },
+        modcache::hash_image(image));
+    if (!miss) return err;
+  }
   return call_blocking<proto::u64_result>(
       proto::RPC_MODULE_LOAD_PROC,
       [&](const proto::u64_result& res) {

@@ -44,6 +44,10 @@ struct AsyncClientConfig {
   /// redirect (point it at a migrate::RedirectingConnector to follow a
   /// live-migrated tenant to its new server).
   std::function<std::unique_ptr<rpc::Transport>()> reconnect{};
+  /// Two-phase module-load negotiation against the server's
+  /// content-addressed cache; same semantics as ClientConfig::module_cache
+  /// (a miss transparently falls back to the full upload).
+  bool module_cache = false;
 };
 
 struct AsyncClientStats {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "cricket_proto.hpp"
+#include "modcache/module_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -299,6 +300,22 @@ Error RemoteCudaApi::event_elapsed_ms(float& ms, cuda::EventId start,
 Error RemoteCudaApi::module_load(cuda::ModuleId& module,
                                  std::span<const std::uint8_t> image) {
   return forward("cuda.module_load", [&] {
+    if (config_.module_cache) {
+      // Two-phase negotiation: probe the server's content-addressed cache
+      // with the image hash; only a miss pays for the upload (which then
+      // populates the cache). kCacheMiss is the negotiation answer, never
+      // an application-visible error.
+      const auto probe =
+          stub_->rpc_module_load_cached(modcache::hash_image(image));
+      if (from_wire(probe.err) != Error::kCacheMiss) {
+        if (from_wire(probe.err) == Error::kSuccess) {
+          module = probe.value;
+          ++stats_.module_cache_hits;
+          stats_.module_bytes_saved += image.size();
+        }
+        return from_wire(probe.err);
+      }
+    }
     const auto res = stub_->rpc_module_load(
         std::vector<std::uint8_t>(image.begin(), image.end()));
     module = res.value;

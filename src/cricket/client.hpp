@@ -53,6 +53,12 @@ struct ClientConfig {
   /// 0 (default) auto-assigns a process-unique value; set it explicitly
   /// only when a restarted client must keep its previous identity.
   std::uint32_t auth_stamp = 0;
+  /// Two-phase module-load negotiation against the server's
+  /// content-addressed cache (env::with_module_cache): module_load first
+  /// sends the FNV-64 image hash; only a cache miss pays for the full
+  /// upload. Transparent — a server without the cache always answers
+  /// kCacheMiss and the client falls back, so it is safe to leave on.
+  bool module_cache = false;
 };
 
 /// Process-unique AUTH_SYS stamp source backing the auto-assignment above.
@@ -62,6 +68,10 @@ struct RemoteStats {
   std::uint64_t api_calls = 0;  // forwarded CUDA API calls (paper §4.1)
   std::uint64_t bytes_to_device = 0;
   std::uint64_t bytes_from_device = 0;
+  /// Module loads answered by the server's content-addressed cache, and
+  /// the image bytes that therefore never crossed the wire.
+  std::uint64_t module_cache_hits = 0;
+  std::uint64_t module_bytes_saved = 0;
 };
 
 class RemoteCudaApi final : public cuda::CudaApi {

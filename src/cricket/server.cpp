@@ -7,6 +7,7 @@
 #include "cricket/checkpoint.hpp"
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
+#include "fatbin/fatbin.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/server.hpp"
 
@@ -14,6 +15,11 @@ namespace cricket::core {
 namespace {
 
 using cuda::Error;
+
+// fatbin/gpusim cannot include the generated spec constants, so the ingest
+// cap they enforce is pinned here against the wire bound the spec promises.
+static_assert(fatbin::kMaxModuleBytes == proto::taint::kMaxPayloadBytes,
+              "fatbin ingest cap must match CRICKET_MAX_PAYLOAD");
 
 std::int32_t to_wire(Error e) { return static_cast<std::int32_t>(e); }
 
@@ -53,6 +59,7 @@ class CricketSession final : public proto::CRICKETVERSService,
         id_(id),
         lanes_(std::move(lanes)),
         api_(server.node()),
+        cache_(server.module_cache()),
         tenants_(server.tenants()) {
     server_->scheduler().session_open(id_);
   }
@@ -61,7 +68,16 @@ class CricketSession final : public proto::CRICKETVERSService,
     // Release whatever the client leaked, in dependency-safe order.
     for (const auto e : events_) (void)api_.event_destroy(e);
     for (const auto s : streams_) (void)api_.stream_destroy(s);
-    for (const auto m : modules_) (void)api_.module_unload(m);
+    for (const auto m : modules_) {
+      (void)api_.module_unload(m);
+      release_module_charge(m);
+    }
+    // Cache-managed modules: drop this session's references; the device
+    // modules stay resident (warm) until LRU eviction.
+    if (cache_ != nullptr)
+      for (const auto& [mod, ref] : cached_modules_)
+        for (std::uint32_t i = 0; i < ref.count; ++i)
+          cache_->release(ref.hash, ref.device, tenant_);
     for (const auto& [ptr, size] : allocations_) {
       (void)api_.free(ptr);
       if (bound()) tenants_->release_memory(tenant_, size);
@@ -103,6 +119,26 @@ class CricketSession final : public proto::CRICKETVERSService,
         modules_.insert(adopted->modules.begin(), adopted->modules.end());
         streams_.insert(adopted->streams.begin(), adopted->streams.end());
         events_.insert(adopted->events.begin(), adopted->events.end());
+        // Cache-referenced modules re-join the target's cache (seeded from
+        // the migration image at import commit) without re-charging: the
+        // imported tenant accounting already includes the source's charge.
+        const auto device =
+            static_cast<std::uint32_t>(tenants_->shard_device(tenant));
+        for (const auto& cm : adopted->cached_modules) {
+          if (cache_ != nullptr) {
+            if (const auto mod = cache_->adopt(cm.hash, device, tenant_)) {
+              CachedRef& ref = cached_modules_[*mod];
+              ref.hash = cm.hash;
+              ref.device = device;
+              ref.size = cm.bytes;
+              ++ref.count;
+              continue;
+            }
+          }
+          // No cache on this server (or the entry is gone): the session
+          // owns the restored module outright, like any uncached handle.
+          modules_.insert(cm.id);
+        }
         if (registry_ != nullptr && !adopted->drc.empty())
           registry_->import_drc(adopted->drc);
       }
@@ -120,7 +156,9 @@ class CricketSession final : public proto::CRICKETVERSService,
   /// migration. Only called once the tenant is drained and frozen (no
   /// handler is running and none can be admitted), so reading the resource
   /// tables from the coordinator's thread is race-free.
-  std::optional<SessionExport> export_if(tenancy::TenantId tenant) override {
+  std::optional<SessionExport> export_if(
+      tenancy::TenantId tenant,
+      std::set<cuda::ModuleId>& claimed_modules) override {
     if (!bound() || tenant_ != tenant) return std::nullopt;
     SessionExport exp;
     exp.session_id = id_;
@@ -136,6 +174,15 @@ class CricketSession final : public proto::CRICKETVERSService,
     exp.modules = filter.modules;
     exp.streams = filter.streams;
     exp.events = filter.events;
+    // Cache-shared modules: every referencing session records the (id,
+    // hash, size) triple — that is what lets a warm target skip the
+    // transfer — but only the first session in the batch carries the
+    // device record, because restore_merge refuses the same module id in
+    // two snapshots.
+    for (const auto& [mod, ref] : cached_modules_) {
+      exp.cached_modules.push_back({mod, ref.hash, ref.size});
+      if (claimed_modules.insert(mod).second) filter.modules.push_back(mod);
+    }
     exp.state = api_.current().snapshot_subset(filter);
     // Only this client's entries: the bundle is adopted by the connection
     // presenting the same credential, where nothing else could ever match.
@@ -416,18 +463,106 @@ class CricketSession final : public proto::CRICKETVERSService,
   // --------------------------- modules & launch --------------------------
   proto::u64_result rpc_module_load(std::vector<std::uint8_t> image) override {
     count();
+    if (cache_ != nullptr) {
+      // Full upload with the cache on: load, then register under the
+      // content hash. insert() dedupes a concurrent identical upload (the
+      // redundant device module is dropped, the canonical id returned) and
+      // charges the tenant per unique image.
+      const std::uint64_t hash = modcache::hash_image(image);
+      const std::uint32_t device = current_device();
+      cuda::ModuleId mod = 0;
+      const Error err = api_.module_load(mod, image);
+      if (err != Error::kSuccess) return {to_wire(err), 0};
+      const auto res = cache_->insert(hash, image, device, mod, tenant_);
+      if (res.outcome == modcache::ModuleCache::Outcome::kQuotaExceeded) {
+        (void)api_.module_unload(mod);
+        if (bound())
+          tenants_->count_rejection(tenant_,
+                                    tenancy::RejectReason::kDeviceMemory);
+        return {to_wire(Error::kQuotaExceeded), 0};
+      }
+      note_cached_module(res.module, hash, device, res.size);
+      return {to_wire(Error::kSuccess), res.module};
+    }
+    // Historical uncached path, now quota-metered: a bound tenant pays for
+    // every image it keeps resident, per load (pre-charge like rpc_malloc:
+    // a refused charge never reaches the device).
+    if (bound() && !tenants_->try_charge_memory(tenant_, image.size())) {
+      tenants_->count_rejection(tenant_, tenancy::RejectReason::kDeviceMemory);
+      return {to_wire(Error::kQuotaExceeded), 0};
+    }
     cuda::ModuleId mod = 0;
     const Error err = api_.module_load(mod, image);
-    if (err == Error::kSuccess) modules_.insert(mod);
+    if (err == Error::kSuccess) {
+      modules_.insert(mod);
+      if (bound()) module_charges_.emplace(mod, image.size());
+    } else if (bound()) {
+      tenants_->release_memory(tenant_, image.size());
+    }
     return {to_wire(err), mod};
+  }
+
+  proto::u64_result rpc_module_load_cached(
+      xdr::Untrusted<std::uint64_t> wire_hash) override {
+    count();
+    // Taint exit: a content hash has no a-priori bound — the cache table is
+    // the authority and answers unknown hashes in-band with kCacheMiss, so
+    // the raw value travels no further than a map lookup (the client then
+    // falls back to the full upload). Counted by tools/taint_audit.py.
+    const std::uint64_t hash = wire_hash.trust_unchecked(
+        "content hash: modcache table lookup answers unknown values in-band "
+        "with kCacheMiss");
+    if (cache_ == nullptr) return {to_wire(Error::kCacheMiss), 0};
+    const std::uint32_t device = current_device();
+    const auto res = cache_->acquire(hash, device, tenant_);
+    switch (res.outcome) {
+      case modcache::ModuleCache::Outcome::kHit:
+        note_cached_module(res.module, hash, device, res.size);
+        return {to_wire(Error::kSuccess), res.module};
+      case modcache::ModuleCache::Outcome::kQuotaExceeded:
+        if (bound())
+          tenants_->count_rejection(tenant_,
+                                    tenancy::RejectReason::kDeviceMemory);
+        return {to_wire(Error::kQuotaExceeded), 0};
+      case modcache::ModuleCache::Outcome::kNeedInstance: {
+        // Image resident from another device's upload: instantiate locally
+        // from the cached bytes — still zero wire transfer.
+        const auto bytes = cache_->image_bytes(hash);
+        if (!bytes) return {to_wire(Error::kCacheMiss), 0};
+        cuda::ModuleId mod = 0;
+        const Error err = api_.module_load(mod, *bytes);
+        if (err != Error::kSuccess) return {to_wire(err), 0};
+        const auto ins = cache_->insert(hash, *bytes, device, mod, tenant_);
+        if (ins.outcome == modcache::ModuleCache::Outcome::kQuotaExceeded) {
+          (void)api_.module_unload(mod);
+          return {to_wire(Error::kQuotaExceeded), 0};
+        }
+        note_cached_module(ins.module, hash, device, ins.size);
+        return {to_wire(Error::kSuccess), ins.module};
+      }
+      case modcache::ModuleCache::Outcome::kMiss:
+        break;
+    }
+    return {to_wire(Error::kCacheMiss), 0};
   }
 
   std::int32_t rpc_module_unload(
       xdr::Untrusted<proto::ptr_t> wire_module) override {
     count();
     const cuda::ModuleId module = handle(wire_module);
+    const auto cached = cached_modules_.find(module);
+    if (cached != cached_modules_.end()) {
+      // Cache-managed: drop this session's reference. The device module
+      // stays loaded (warm) until LRU eviction, so unload always succeeds.
+      cache_->release(cached->second.hash, cached->second.device, tenant_);
+      if (--cached->second.count == 0) cached_modules_.erase(cached);
+      return to_wire(Error::kSuccess);
+    }
     const Error err = api_.module_unload(module);
-    if (err == Error::kSuccess) modules_.erase(module);
+    if (err == Error::kSuccess) {
+      modules_.erase(module);
+      release_module_charge(module);
+    }
     return to_wire(err);
   }
 
@@ -600,6 +735,31 @@ class CricketSession final : public proto::CRICKETVERSService,
     return tenants_ != nullptr && tenant_ != tenancy::kInvalidTenant;
   }
 
+  [[nodiscard]] std::uint32_t current_device() {
+    int d = 0;
+    (void)api_.get_device(d);
+    return static_cast<std::uint32_t>(d);
+  }
+
+  /// Records one cache reference held by this session. A session may load
+  /// the same image repeatedly and gets the same module id back, so the
+  /// bookkeeping counts references per id.
+  void note_cached_module(cuda::ModuleId module, std::uint64_t hash,
+                          std::uint32_t device, std::uint64_t size) {
+    CachedRef& ref = cached_modules_[module];
+    ref.hash = hash;
+    ref.device = device;
+    ref.size = size;
+    ++ref.count;
+  }
+
+  void release_module_charge(cuda::ModuleId module) {
+    const auto it = module_charges_.find(module);
+    if (it == module_charges_.end()) return;
+    if (bound()) tenants_->release_memory(tenant_, it->second);
+    module_charges_.erase(it);
+  }
+
   /// Large copies are arbitrated like kernel launches: fair-share admission
   /// before the bytes move, then the modelled transfer time is charged to
   /// the session and attributed to its tenant. Small control-plane copies
@@ -619,6 +779,7 @@ class CricketSession final : public proto::CRICKETVERSService,
   std::uint64_t id_;
   TransferLanes lanes_;
   cuda::LocalCudaApi api_;
+  modcache::ModuleCache* cache_;  // null = cache disabled
   rpc::ServiceRegistry* registry_ = nullptr;
   tenancy::SessionManager* tenants_;
   tenancy::TenantId tenant_ = tenancy::kInvalidTenant;
@@ -627,6 +788,17 @@ class CricketSession final : public proto::CRICKETVERSService,
   std::set<cuda::ModuleId> modules_;
   std::set<cuda::StreamId> streams_;
   std::set<cuda::EventId> events_;
+  /// Cache-managed module references held by this session (see modcache):
+  /// unload and teardown release these through the cache, never the device.
+  struct CachedRef {
+    std::uint64_t hash = 0;
+    std::uint32_t device = 0;
+    std::uint64_t size = 0;
+    std::uint32_t count = 0;
+  };
+  std::map<cuda::ModuleId, CachedRef> cached_modules_;
+  /// Uncached loads charged against the tenant quota: module id -> bytes.
+  std::map<cuda::ModuleId, std::uint64_t> module_charges_;
 };
 
 /// Pre-decode admission for one connection. The first structurally valid
@@ -775,7 +947,22 @@ CricketServer::CricketServer(cuda::GpuNode& node, ServerOptions options)
     : node_(&node),
       options_(std::move(options)),
       scheduler_(options_.scheduler, node.clock(),
-                 options_.scheduler_options) {}
+                 options_.scheduler_options) {
+  if (options_.module_cache) {
+    // Eviction/teardown unloads instances on the device that holds them —
+    // never through a session's LocalCudaApi, whose current-device state
+    // belongs to that session. A module already gone (device reset in a
+    // test) is a no-op.
+    module_cache_ = std::make_unique<modcache::ModuleCache>(
+        options_.module_cache_options, options_.tenants,
+        [node_ptr = node_](std::uint32_t device, std::uint64_t module) {
+          try {
+            node_ptr->device(static_cast<int>(device)).unload_module(module);
+          } catch (const std::exception&) {
+          }
+        });
+  }
+}
 
 void CricketServer::serve(rpc::Transport& transport, TransferLanes lanes) {
   const std::uint64_t id = next_session_.fetch_add(1);
@@ -834,8 +1021,10 @@ std::vector<SessionExport> CricketServer::export_tenant_sessions(
   // DRC) only ever nest under migrate_mu_, never the other way around.
   sim::MutexLock lock(migrate_mu_);
   std::vector<SessionExport> out;
+  std::set<cuda::ModuleId> claimed_modules;
   for (const auto& [id, peer] : sessions_)
-    if (auto exp = peer->export_if(tenant)) out.push_back(std::move(*exp));
+    if (auto exp = peer->export_if(tenant, claimed_modules))
+      out.push_back(std::move(*exp));
   return out;
 }
 

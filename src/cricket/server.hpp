@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,6 +22,7 @@
 #include "cricket/scheduler.hpp"
 #include "cricket/transfer.hpp"
 #include "cudart/local_api.hpp"
+#include "modcache/module_cache.hpp"
 #include "rpc/server.hpp"
 #include "rpc/transport.hpp"
 #include "tenancy/session_manager.hpp"
@@ -47,6 +49,18 @@ struct SessionExport {
   std::vector<cuda::StreamId> streams;
   std::vector<cuda::EventId> events;
   std::vector<rpc::DrcExportEntry> drc;
+  /// Modules this session references through the content-addressed cache:
+  /// (device module id, FNV-64 image hash, image size). The hash is what
+  /// lets a warm migration target re-reference its own cache instead of
+  /// receiving the image again; exactly one exporting session also carries
+  /// the module's device record in `state` (restore_merge refuses
+  /// cross-snapshot handle collisions).
+  struct CachedModule {
+    cuda::ModuleId id = 0;
+    std::uint64_t hash = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<CachedModule> cached_modules;
 };
 
 namespace detail {
@@ -58,8 +72,11 @@ namespace detail {
 class SessionPeer {
  public:
   virtual ~SessionPeer() = default;
+  /// `claimed_modules` accumulates cache-shared module ids already carried
+  /// by an earlier session's snapshot in this export batch, so a module two
+  /// sessions share lands in exactly one device-state slice.
   [[nodiscard]] virtual std::optional<SessionExport> export_if(
-      tenancy::TenantId tenant) = 0;
+      tenancy::TenantId tenant, std::set<cuda::ModuleId>& claimed_modules) = 0;
 };
 }  // namespace detail
 
@@ -90,6 +107,12 @@ struct ServerOptions {
   /// group fair-share accounting by tenant. Null = historical single-tenant
   /// behaviour.
   tenancy::SessionManager* tenants = nullptr;
+  /// Content-addressed module cache (ROADMAP item 5): when enabled the
+  /// server deduplicates rpc_module_load images by FNV-64 content hash and
+  /// answers rpc_module_load_cached probes without the upload. Off by
+  /// default — the historical per-load behaviour is unchanged.
+  bool module_cache = false;
+  modcache::ModuleCacheOptions module_cache_options{};
 };
 
 struct ServerStats {
@@ -116,6 +139,10 @@ class CricketServer {
   [[nodiscard]] KernelScheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] tenancy::SessionManager* tenants() noexcept {
     return options_.tenants;
+  }
+  /// Null unless ServerOptions::module_cache is set.
+  [[nodiscard]] modcache::ModuleCache* module_cache() noexcept {
+    return module_cache_.get();
   }
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ServerOptions& options() const noexcept {
@@ -154,6 +181,7 @@ class CricketServer {
  private:
   cuda::GpuNode* node_;
   ServerOptions options_;
+  std::unique_ptr<modcache::ModuleCache> module_cache_;
   KernelScheduler scheduler_;
   ServerStats stats_;
   std::atomic<std::uint64_t> next_session_{1};

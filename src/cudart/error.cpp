@@ -15,6 +15,7 @@ const char* error_name(Error e) noexcept {
     case Error::kInvalidDevice: return "cudaErrorInvalidDevice";
     case Error::kFileNotFound: return "cudaErrorFileNotFound";
     case Error::kInvalidKernelImage: return "cudaErrorInvalidKernelImage";
+    case Error::kCacheMiss: return "cricketErrorCacheMiss";
     case Error::kMigrating: return "cricketErrorMigrating";
     case Error::kQuotaExceeded: return "cricketErrorQuotaExceeded";
     case Error::kRpcFailure: return "cricketErrorRpcFailure";
@@ -35,6 +36,7 @@ const char* error_string(Error e) noexcept {
     case Error::kInvalidDevice: return "invalid device ordinal";
     case Error::kFileNotFound: return "file not found";
     case Error::kInvalidKernelImage: return "device kernel image is invalid";
+    case Error::kCacheMiss: return "module image not in server cache";
     case Error::kMigrating: return "tenant is live-migrating; retry";
     case Error::kQuotaExceeded: return "tenant quota exceeded";
     case Error::kRpcFailure: return "RPC transport failure";

@@ -27,6 +27,11 @@ enum class Error : std::int32_t {
   kInvalidDevice = 101,
   kFileNotFound = 301,
   kInvalidKernelImage = 200,
+  /// Cricket extension: rpc_module_load_cached named a content hash the
+  /// server's module cache does not hold. Purely a negotiation outcome —
+  /// the client falls back to the full rpc_module_load upload (which
+  /// populates the cache), so this code never surfaces to applications.
+  kCacheMiss = 996,
   /// Cricket extension: the server is live-migrating this tenant
   /// (AcceptStat::kMigrating on the wire). The call was refused before
   /// execution, so it is always safe to re-issue; the retry layers normally

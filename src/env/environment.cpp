@@ -167,6 +167,11 @@ Environment with_faults(Environment environment, std::string spec) {
   return environment;
 }
 
+Environment with_module_cache(Environment environment) {
+  environment.module_cache = true;
+  return environment;
+}
+
 std::vector<Environment> all_environments() {
   return {make_environment(EnvKind::kNativeC),
           make_environment(EnvKind::kNativeRust),

@@ -80,6 +80,11 @@ struct Environment {
   /// per-direction seeds derived from the spec seed, so guest->server and
   /// server->guest draw independent but reproducible fault streams.
   std::string faults{};
+  /// Two-phase module-load negotiation against the server's
+  /// content-addressed module cache (modcache): clients probe by FNV-64
+  /// image hash before uploading. Off by default: Table-1 presets measure
+  /// the historical upload path.
+  bool module_cache = false;
 };
 
 /// Returns a copy of `environment` with rpcflow pipelining switched on.
@@ -96,6 +101,11 @@ struct Environment {
 /// eagerly: throws std::invalid_argument on a malformed spec).
 [[nodiscard]] Environment with_faults(Environment environment,
                                       std::string spec);
+
+/// Returns a copy of `environment` with module-cache negotiation switched
+/// on. Harness code (bench_util's Rig) reacts by enabling the server-side
+/// cache and the clients' hash-first load path.
+[[nodiscard]] Environment with_module_cache(Environment environment);
 
 [[nodiscard]] Environment make_environment(EnvKind kind);
 

@@ -1,5 +1,6 @@
 #include "fatbin/fatbin.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace cricket::fatbin {
@@ -62,11 +63,14 @@ const FatbinEntry* Fatbin::select(std::uint32_t sm_arch) const noexcept {
   return best;
 }
 
-CubinImage Fatbin::load(std::uint32_t sm_arch) const {
+CubinImage Fatbin::load(std::uint32_t sm_arch, std::uint64_t max_bytes) const {
   const FatbinEntry* e = select(sm_arch);
   if (!e) throw CubinError("no compatible cubin image in fatbin");
+  if (e->uncompressed_len > max_bytes)
+    throw CubinError("cubin image exceeds module byte cap");
   if (e->compressed) {
-    const auto raw = lz_decompress(e->payload, e->uncompressed_len);
+    const auto raw = lz_decompress(
+        e->payload, static_cast<std::size_t>(e->uncompressed_len));
     if (raw.size() != e->uncompressed_len)
       throw CubinError("decompressed size mismatch");
     return cubin_parse(raw);
@@ -110,6 +114,16 @@ Fatbin Fatbin::parse(std::span<const std::uint8_t> bytes) {
     e.compressed = (flags & kFlagCompressed) != 0;
     e.uncompressed_len = get_u64(bytes, pos);
     const std::uint32_t plen = get_u32(bytes, pos);
+    // The declared uncompressed_len is wire-controlled and later becomes a
+    // decompression output bound; refuse forgeries here so it can never
+    // authorize an allocation the payload could not produce.
+    if (e.compressed) {
+      if (e.uncompressed_len > kMaxModuleBytes ||
+          e.uncompressed_len > std::uint64_t{plen} * kMaxExpansion)
+        throw CubinError("fatbin uncompressed_len implausible");
+    } else if (e.uncompressed_len != plen) {
+      throw CubinError("fatbin uncompressed_len mismatch");
+    }
     if (pos + plen > bytes.size()) throw CubinError("truncated fatbin entry");
     e.payload.assign(bytes.data() + pos, bytes.data() + pos + plen);
     pos += plen;
@@ -120,11 +134,19 @@ Fatbin Fatbin::parse(std::span<const std::uint8_t> bytes) {
 }
 
 CubinImage extract_metadata(std::span<const std::uint8_t> bytes,
-                            std::uint32_t sm_arch) {
-  if (Fatbin::probe(bytes)) return Fatbin::parse(bytes).load(sm_arch);
+                            std::uint32_t sm_arch, std::uint64_t max_bytes) {
+  if (bytes.size() > max_bytes)
+    throw CubinError("module image exceeds byte cap");
+  if (Fatbin::probe(bytes))
+    return Fatbin::parse(bytes).load(sm_arch, max_bytes);
   if (cubin_probe(bytes)) return cubin_parse(bytes);
-  // Maybe a bare compressed cubin (Cricket's decompression path).
-  const auto raw = lz_decompress(bytes);
+  // Maybe a bare compressed cubin (Cricket's decompression path). A bare
+  // stream declares no output length, so bound it by both the cap and the
+  // densest valid encoding — a ratio bomb allocates at most
+  // bytes.size() * kMaxExpansion before it is refused.
+  const auto limit = std::min<std::uint64_t>(
+      max_bytes, std::uint64_t{bytes.size()} * kMaxExpansion);
+  const auto raw = lz_decompress(bytes, static_cast<std::size_t>(limit));
   if (cubin_probe(raw)) return cubin_parse(raw);
   throw CubinError("not a cubin or fatbin");
 }

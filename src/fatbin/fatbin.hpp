@@ -23,6 +23,12 @@
 
 namespace cricket::fatbin {
 
+/// Global ingest cap for module images, compressed or not. Mirrors the RPC
+/// payload bound (CRICKET_MAX_PAYLOAD, 1 GiB): this library cannot include
+/// the generated proto header, so src/cricket statically asserts the two
+/// constants stay equal.
+constexpr std::uint64_t kMaxModuleBytes = std::uint64_t{1} << 30;
+
 struct FatbinEntry {
   std::uint32_t sm_arch = 0;
   bool compressed = false;
@@ -48,10 +54,20 @@ class Fatbin {
   /// does not). Returns nullptr when no entry is compatible.
   [[nodiscard]] const FatbinEntry* select(std::uint32_t sm_arch) const noexcept;
 
-  /// Decompresses (if needed) and parses the selected entry.
-  [[nodiscard]] CubinImage load(std::uint32_t sm_arch) const;
+  /// Decompresses (if needed) and parses the selected entry. `max_bytes`
+  /// bounds the decompressed image; entries declaring more are refused
+  /// before any allocation.
+  [[nodiscard]] CubinImage load(std::uint32_t sm_arch,
+                                std::uint64_t max_bytes = kMaxModuleBytes)
+      const;
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  /// Parses the container and validates every entry's declared
+  /// uncompressed_len: compressed entries may not declare more than
+  /// `payload.size() * kMaxExpansion` (a valid token stream cannot expand
+  /// further) nor more than kMaxModuleBytes; uncompressed entries must
+  /// declare exactly their payload size. A forged length therefore never
+  /// authorizes an allocation.
   [[nodiscard]] static Fatbin parse(std::span<const std::uint8_t> bytes);
   [[nodiscard]] static bool probe(std::span<const std::uint8_t> bytes) noexcept;
 
@@ -63,7 +79,12 @@ class Fatbin {
 /// fatbin, compressed or not — the exact server-side entry point Cricket
 /// needs when a client uploads a module (paper §3.3: "Cricket extracts
 /// metadata from the cubin... even for compressed kernels").
-[[nodiscard]] CubinImage extract_metadata(std::span<const std::uint8_t> bytes,
-                                          std::uint32_t sm_arch);
+///
+/// `max_bytes` caps the peak decompressed allocation a hostile stream can
+/// force (bare LZ streams are additionally bounded by
+/// `bytes.size() * kMaxExpansion`, the densest valid encoding).
+[[nodiscard]] CubinImage extract_metadata(
+    std::span<const std::uint8_t> bytes, std::uint32_t sm_arch,
+    std::uint64_t max_bytes = kMaxModuleBytes);
 
 }  // namespace cricket::fatbin

@@ -31,6 +31,13 @@ constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = 0x7F + kMinMatch;
 constexpr std::size_t kWindow = 65535;
 
+/// Worst-case expansion of a well-formed token stream: the densest token is
+/// a 3-byte match emitting kMaxMatch bytes, so no valid stream decompresses
+/// to more than ceil(kMaxMatch / 3) = 44x its encoded size. Declared output
+/// lengths above `input_size * kMaxExpansion` are forgeries and can be
+/// refused before any allocation.
+constexpr std::size_t kMaxExpansion = (kMaxMatch + 2) / 3;
+
 /// Compresses `input`; always succeeds (worst case ~1/128 expansion).
 [[nodiscard]] std::vector<std::uint8_t> lz_compress(
     std::span<const std::uint8_t> input);

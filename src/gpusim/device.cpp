@@ -156,7 +156,11 @@ void Device::memcpy_d2h_async(std::span<std::uint8_t> dst, DevPtr src,
 
 ModuleId Device::load_module(std::span<const std::uint8_t> image) {
   Module mod;
-  mod.image = fatbin::extract_metadata(image, props_.sm_arch);
+  // Explicit ingest cap: `image` arrives straight from rpc_module_load, so
+  // the decompressor must never allocate past what the wire contract allows
+  // (kMaxModuleBytes mirrors CRICKET_MAX_PAYLOAD; src/cricket asserts it).
+  mod.image = fatbin::extract_metadata(image, props_.sm_arch,
+                                       fatbin::kMaxModuleBytes);
 
   // Allocate and initialize module globals in device memory.
   for (const auto& g : mod.image.globals) {

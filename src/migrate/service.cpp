@@ -195,6 +195,14 @@ std::int32_t MigrationTarget::import_locked(PendingTransfer& pending) {
   }
   const tenancy::TenantId tenant = tenants->import_tenant(image.tenant);
   tenants->pin_shard(tenant, pin);
+  // Seed the module cache with the content-cached modules restore_merge just
+  // placed, so adopted sessions re-reference them instead of re-owning, and
+  // future rpc_module_load_cached probes for the same hashes hit warm.
+  if (auto* cache = server_->module_cache()) {
+    for (const auto& session : image.sessions)
+      for (const auto& cm : session.cached_modules)
+        cache->seed(cm.hash, cm.bytes, pin, cm.id);
+  }
   server_->stage_adoption(image.tenant.spec.name, std::move(image.sessions));
   return kMigOk;
 }

@@ -110,6 +110,15 @@ std::vector<std::uint8_t> encode_image(const MigrationImage& image) {
     encode_handles(enc, s.modules);
     encode_handles(enc, s.streams);
     encode_handles(enc, s.events);
+    // Content-cached modules as (id, hash, size) triples: the hash is what
+    // lets a warm target re-reference its own module cache instead of
+    // receiving the image bytes again.
+    enc.put_u32(static_cast<std::uint32_t>(s.cached_modules.size()));
+    for (const auto& cm : s.cached_modules) {
+      enc.put_u64(cm.id);
+      enc.put_u64(cm.hash);
+      enc.put_u64(cm.bytes);
+    }
     enc.put_u32(static_cast<std::uint32_t>(s.drc.size()));
     for (const auto& e : s.drc) {
       enc.put_u64(e.client);
@@ -176,6 +185,17 @@ MigrationImage decode_image(std::span<const std::uint8_t> bytes) {
       s.modules = decode_handles<cuda::ModuleId>(dec);
       s.streams = decode_handles<cuda::StreamId>(dec);
       s.events = decode_handles<cuda::EventId>(dec);
+      const std::uint32_t nc = dec.get_u32();
+      if (nc > kMaxTableEntries)
+        throw MigrationError("migration image cached-module table too large");
+      s.cached_modules.reserve(nc);
+      for (std::uint32_t c = 0; c < nc; ++c) {
+        core::SessionExport::CachedModule cm;
+        cm.id = dec.get_u64();
+        cm.hash = dec.get_u64();
+        cm.bytes = dec.get_u64();
+        s.cached_modules.push_back(cm);
+      }
       const std::uint32_t nd = dec.get_u32();
       if (nd > kMaxTableEntries)
         throw MigrationError("migration image DRC table too large");

@@ -1,0 +1,239 @@
+#include "modcache/module_cache.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace cricket::modcache {
+namespace {
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_hits_total", {},
+      "Module loads answered from the content-addressed cache (no upload)");
+  return c;
+}
+
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_misses_total", {},
+      "rpc_module_load_cached probes that fell back to the full upload");
+  return c;
+}
+
+obs::Counter& inserts_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_inserts_total", {},
+      "Module images registered in the content-addressed cache");
+  return c;
+}
+
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_evictions_total", {},
+      "Idle cache entries evicted by the LRU byte budget");
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t hash_image(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;  // FNV 64 prime
+  }
+  return h;
+}
+
+ModuleCache::ModuleCache(ModuleCacheOptions options,
+                         tenancy::SessionManager* tenants, Unloader unload)
+    : options_(options), tenants_(tenants), unload_(std::move(unload)) {}
+
+ModuleCache::~ModuleCache() {
+  sim::MutexLock lock(mu_);
+  // Sessions are gone by the time the server tears the cache down; every
+  // remaining instance is cache-owned and must leave the device.
+  for (auto& [hash, entry] : entries_)
+    for (auto& [device, inst] : entry.instances)
+      if (unload_) unload_(device, inst.module);
+}
+
+ModuleCache::Result ModuleCache::acquire(std::uint64_t hash,
+                                         std::uint32_t device,
+                                         tenancy::TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    misses_counter().inc();
+    return {Outcome::kMiss, 0, 0};
+  }
+  Entry& entry = it->second;
+  const auto inst = entry.instances.find(device);
+  if (inst == entry.instances.end()) {
+    if (entry.bytes.empty()) {
+      // Migration-seeded entry on another device: the bytes never reached
+      // this server, so only the full upload can instantiate it here.
+      ++stats_.misses;
+      misses_counter().inc();
+      return {Outcome::kMiss, 0, 0};
+    }
+    // A wire-level hit: the caller loads from image_bytes() locally and
+    // insert()s the instance — references are taken there.
+    entry.last_use = ++use_seq_;
+    ++stats_.hits;
+    hits_counter().inc();
+    return {Outcome::kNeedInstance, 0};
+  }
+  if (!ref_tenant_locked(entry, tenant, /*charged_elsewhere=*/false))
+    return {Outcome::kQuotaExceeded, 0, 0};
+  ++inst->second.refs;
+  entry.last_use = ++use_seq_;
+  ++stats_.hits;
+  hits_counter().inc();
+  return {Outcome::kHit, inst->second.module, entry.size};
+}
+
+ModuleCache::Result ModuleCache::insert(std::uint64_t hash,
+                                        std::span<const std::uint8_t> image,
+                                        std::uint32_t device,
+                                        std::uint64_t module,
+                                        tenancy::TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  const bool fresh = entries_.find(hash) == entries_.end();
+  Entry& entry = entries_[hash];
+  if (fresh) entry.size = image.size();
+
+  const auto inst = entry.instances.find(device);
+  if (inst != entry.instances.end() && inst->second.module != module) {
+    // Lost a concurrent-load race: the earlier instance is canonical; the
+    // caller's redundant module leaves the device and its reference lands
+    // on the winner.
+    if (!ref_tenant_locked(entry, tenant, /*charged_elsewhere=*/false))
+      return {Outcome::kQuotaExceeded, 0, 0};
+    if (unload_) unload_(device, module);
+    ++inst->second.refs;
+    entry.last_use = ++use_seq_;
+    return {Outcome::kHit, inst->second.module, entry.size};
+  }
+
+  if (!ref_tenant_locked(entry, tenant, /*charged_elsewhere=*/false)) {
+    if (fresh) entries_.erase(hash);
+    return {Outcome::kQuotaExceeded, 0, 0};
+  }
+  if (entry.bytes.empty() && !image.empty()) {
+    // First sighting of the bytes (fresh insert, or a migration-seeded
+    // entry being re-uploaded): they become resident and LRU-accountable.
+    entry.bytes.assign(image.begin(), image.end());
+    entry.size = image.size();
+    resident_bytes_ += entry.bytes.size();
+  }
+  Instance& instance = entry.instances[device];
+  instance.module = module;
+  ++instance.refs;
+  entry.last_use = ++use_seq_;
+  ++stats_.inserts;
+  inserts_counter().inc();
+  evict_idle_locked();
+  return {Outcome::kHit, module, entry.size};
+}
+
+void ModuleCache::release(std::uint64_t hash, std::uint32_t device,
+                          tenancy::TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  const auto inst = entry.instances.find(device);
+  if (inst != entry.instances.end() && inst->second.refs > 0)
+    --inst->second.refs;
+  const auto refs = entry.tenant_refs.find(tenant);
+  if (refs != entry.tenant_refs.end() && --refs->second == 0) {
+    entry.tenant_refs.erase(refs);
+    if (tenants_ != nullptr && tenant != tenancy::kInvalidTenant)
+      tenants_->release_memory(tenant, entry.size);
+  }
+  evict_idle_locked();
+}
+
+void ModuleCache::seed(std::uint64_t hash, std::uint64_t size,
+                       std::uint32_t device, std::uint64_t module) {
+  sim::MutexLock lock(mu_);
+  Entry& entry = entries_[hash];
+  if (entry.size == 0) entry.size = size;
+  Instance& instance = entry.instances[device];
+  if (instance.module == 0) instance.module = module;
+  entry.last_use = ++use_seq_;
+}
+
+std::optional<std::uint64_t> ModuleCache::adopt(std::uint64_t hash,
+                                                std::uint32_t device,
+                                                tenancy::TenantId tenant) {
+  sim::MutexLock lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return std::nullopt;
+  Entry& entry = it->second;
+  const auto inst = entry.instances.find(device);
+  if (inst == entry.instances.end()) return std::nullopt;
+  if (!ref_tenant_locked(entry, tenant, /*charged_elsewhere=*/true))
+    return std::nullopt;
+  ++inst->second.refs;
+  entry.last_use = ++use_seq_;
+  return inst->second.module;
+}
+
+std::optional<std::vector<std::uint8_t>> ModuleCache::image_bytes(
+    std::uint64_t hash) const {
+  sim::MutexLock lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end() || it->second.bytes.empty()) return std::nullopt;
+  return it->second.bytes;
+}
+
+ModuleCacheStats ModuleCache::stats() const {
+  sim::MutexLock lock(mu_);
+  ModuleCacheStats out = stats_;
+  out.resident_bytes = resident_bytes_;
+  out.resident_entries = entries_.size();
+  return out;
+}
+
+bool ModuleCache::ref_tenant_locked(Entry& entry, tenancy::TenantId tenant,
+                                    bool charged_elsewhere) {
+  const auto it = entry.tenant_refs.find(tenant);
+  const bool first = it == entry.tenant_refs.end();
+  if (first && !charged_elsewhere && tenants_ != nullptr &&
+      tenant != tenancy::kInvalidTenant &&
+      !tenants_->try_charge_memory(tenant, entry.size))
+    return false;
+  ++entry.tenant_refs[tenant];
+  return true;
+}
+
+bool ModuleCache::idle(const Entry& entry) noexcept {
+  for (const auto& [device, inst] : entry.instances)
+    if (inst.refs != 0) return false;
+  return true;
+}
+
+void ModuleCache::evict_idle_locked() {
+  while (resident_bytes_ > options_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.bytes.empty() || !idle(it->second)) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // everything resident is live
+    for (const auto& [device, inst] : victim->second.instances)
+      if (unload_) unload_(device, inst.module);
+    resident_bytes_ -= victim->second.bytes.size();
+    entries_.erase(victim);
+    ++stats_.evictions;
+    evictions_counter().inc();
+  }
+}
+
+}  // namespace cricket::modcache

@@ -1,0 +1,176 @@
+// ModuleCache: server-side content-addressed cache of module images.
+//
+// At fleet scale most tenants launch the same kernels, yet the paper's
+// Cricket server receives the full multi-MB fatbin on every cuModuleLoad
+// (ROADMAP item 5). The cache keys images by FNV-64 over their raw bytes:
+// clients first try rpc_module_load_cached(hash) — a hit answers a ModuleId
+// without the upload, a miss answers cuda::Error::kCacheMiss and the client
+// falls back to the full rpc_module_load, which populates the cache.
+//
+// Lifetime model (DESIGN.md §15):
+//   - One Entry per content hash; one Instance per (entry, device) holding
+//     the gpusim ModuleId and a reference count of sessions using it.
+//   - Sessions acquire references; rpc_module_unload and session teardown
+//     release them. The device module is NOT unloaded when references hit
+//     zero — the entry stays warm for the next tenant.
+//   - Quota: each (tenant, image) pair is charged the image size through
+//     tenancy::try_charge_memory exactly once, on the tenant's first live
+//     reference, and released on its last — per unique image, not per load.
+//   - Eviction is LRU over entries with zero live references, bounded by a
+//     byte budget; evicting unloads the device instances via the injected
+//     unloader. Referenced entries never count as evictable, so the budget
+//     can be temporarily exceeded while everything resident is live.
+//   - Migration: seed() registers an instance restored from a snapshot
+//     (image bytes unknown — hash and size travel in the migration image);
+//     adopt() re-references it for an adopted session without re-charging,
+//     because the imported tenant accounting already includes the charge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/annotations.hpp"
+#include "tenancy/session_manager.hpp"
+
+namespace cricket::modcache {
+
+/// FNV-1a 64 over the raw image bytes — the cache key. Client and server
+/// compute it independently, so the function is owned here (identical to
+/// migrate::fnv64, but modcache must not depend on migrate).
+[[nodiscard]] std::uint64_t hash_image(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+struct ModuleCacheOptions {
+  /// LRU byte budget for resident image bytes. Entries with live
+  /// references are never evicted and may exceed the budget.
+  std::uint64_t max_bytes = std::uint64_t{256} << 20;
+};
+
+/// Point-in-time accounting snapshot (mirrors the cricket_modcache_* obs
+/// counters, plus residency, for tests and benches).
+struct ModuleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t resident_entries = 0;
+};
+
+class ModuleCache {
+ public:
+  /// Physically unloads one device instance; called at eviction and
+  /// destruction. Must not throw (unload of an already-gone module is a
+  /// no-op at this layer).
+  using Unloader =
+      std::function<void(std::uint32_t device, std::uint64_t module)>;
+
+  enum class Outcome : std::uint8_t {
+    kHit,            ///< reference taken, `module` valid
+    kMiss,           ///< unknown hash
+    kNeedInstance,   ///< entry known with bytes, but not loaded on `device`
+                     ///< — caller loads from image_bytes() and insert()s
+    kQuotaExceeded,  ///< tenant cannot cover the image size
+  };
+
+  struct Result {
+    Outcome outcome = Outcome::kMiss;
+    std::uint64_t module = 0;
+    /// Image size of the entry (valid on kHit) — what the tenant was
+    /// charged and what migration export records.
+    std::uint64_t size = 0;
+  };
+
+  /// `tenants` may be null (no quota accounting, e.g. tenancy disabled).
+  ModuleCache(ModuleCacheOptions options, tenancy::SessionManager* tenants,
+              Unloader unload);
+  ~ModuleCache();
+
+  ModuleCache(const ModuleCache&) = delete;
+  ModuleCache& operator=(const ModuleCache&) = delete;
+
+  /// Takes a reference to `hash` on `device` for `tenant` (kInvalidTenant
+  /// for unbound sessions: no charging). First tenant reference charges the
+  /// image size; a refused charge takes no reference.
+  [[nodiscard]] Result acquire(std::uint64_t hash, std::uint32_t device,
+                               tenancy::TenantId tenant)
+      CRICKET_EXCLUDES(mu_);
+
+  /// Registers a freshly loaded device module under its content hash and
+  /// takes the caller's reference, possibly evicting idle entries to make
+  /// room. If another session raced the same load, the earlier instance
+  /// wins: the caller's redundant `module` is unloaded and the canonical id
+  /// returned. Outcome::kQuotaExceeded means nothing was inserted or
+  /// referenced — the caller unloads its module and surfaces the error.
+  [[nodiscard]] Result insert(std::uint64_t hash,
+                              std::span<const std::uint8_t> image,
+                              std::uint32_t device, std::uint64_t module,
+                              tenancy::TenantId tenant) CRICKET_EXCLUDES(mu_);
+
+  /// Drops one (tenant, hash, device) reference. The last tenant reference
+  /// releases the quota charge; the device module stays loaded (warm) until
+  /// eviction. Unknown references are ignored.
+  void release(std::uint64_t hash, std::uint32_t device,
+               tenancy::TenantId tenant) CRICKET_EXCLUDES(mu_);
+
+  /// Migration import: registers an instance restored by restore_merge with
+  /// zero references. The image bytes are not known on the target (only
+  /// hash and size travel), so cross-device kNeedInstance promotion is
+  /// unavailable until some client re-uploads the image.
+  void seed(std::uint64_t hash, std::uint64_t size, std::uint32_t device,
+            std::uint64_t module) CRICKET_EXCLUDES(mu_);
+
+  /// Migration adoption: re-references a seeded instance for an adopted
+  /// session WITHOUT charging — the imported tenant accounting already
+  /// includes the source's charge (release still releases it). Returns the
+  /// instance id, or nullopt when (hash, device) is not cached — the caller
+  /// falls back to plain per-session ownership.
+  [[nodiscard]] std::optional<std::uint64_t> adopt(std::uint64_t hash,
+                                                   std::uint32_t device,
+                                                   tenancy::TenantId tenant)
+      CRICKET_EXCLUDES(mu_);
+
+  /// The cached image bytes for `hash` (copy), if resident with bytes.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> image_bytes(
+      std::uint64_t hash) const CRICKET_EXCLUDES(mu_);
+
+  [[nodiscard]] ModuleCacheStats stats() const CRICKET_EXCLUDES(mu_);
+
+ private:
+  struct Instance {
+    std::uint64_t module = 0;
+    std::uint32_t refs = 0;
+  };
+  struct Entry {
+    std::uint64_t size = 0;
+    std::vector<std::uint8_t> bytes;  // empty for migration-seeded entries
+    std::map<std::uint32_t, Instance> instances;
+    std::map<tenancy::TenantId, std::uint32_t> tenant_refs;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Bumps the (tenant, hash) refcount, charging on 0 -> 1 unless
+  /// `charged_elsewhere` (migration adoption). False means the charge was
+  /// refused and no reference was taken.
+  [[nodiscard]] bool ref_tenant_locked(Entry& entry, tenancy::TenantId tenant,
+                                       bool charged_elsewhere)
+      CRICKET_REQUIRES(mu_);
+  void evict_idle_locked() CRICKET_REQUIRES(mu_);
+  [[nodiscard]] static bool idle(const Entry& entry) noexcept;
+
+  const ModuleCacheOptions options_;
+  tenancy::SessionManager* const tenants_;
+  const Unloader unload_;
+
+  mutable sim::Mutex mu_;
+  std::map<std::uint64_t, Entry> entries_ CRICKET_GUARDED_BY(mu_);
+  std::uint64_t use_seq_ CRICKET_GUARDED_BY(mu_) = 0;
+  std::uint64_t resident_bytes_ CRICKET_GUARDED_BY(mu_) = 0;
+  ModuleCacheStats stats_ CRICKET_GUARDED_BY(mu_);
+};
+
+}  // namespace cricket::modcache

@@ -45,6 +45,11 @@
 #                    tools/taint_allowlist.json exactly (the no-escapes
 #                    discipline, applied to the taint lattice); its JSON
 #                    report is merged into check_summary.json as "taint"
+#  17. modcache      content-addressed module cache suites (`ctest -L
+#                    modcache`) against the TSan build — cache hit/insert/
+#                    release races between concurrent client sessions, the
+#                    two-phase load fallback under drop faults, and the LZ/
+#                    fatbin hostile-stream corpus
 #
 # Stages whose toolchain is unavailable (no clang, no clang-tidy) report
 # SKIP and do not fail the gate. The first FAIL stops the run; a summary
@@ -355,6 +360,21 @@ if should_continue; then
       [[ $rc -eq 2 ]] || { echo "--lint --emit-taint exited $rc, want 2"; exit 1; }
       python3 tools/taint_audit.py \
         --report build-check-logs/taint_audit.json' "$JOBS"
+  fi
+fi
+
+# ---------------------------------------------------------------- 17: modcache
+# Content-addressed module cache suites under ThreadSanitizer: concurrent
+# sessions race acquire/insert/release against eviction and teardown, and
+# the two-phase load negotiation (including drop-fault fallback) runs
+# client, serve, and retry threads concurrently — the label selects them on
+# the TSan tree.
+if should_continue; then
+  if [[ -d build-tsan ]]; then
+    run_stage modcache ctest --test-dir build-tsan --output-on-failure \
+      -j "$JOBS" -L modcache
+  else
+    record modcache "SKIP (build-tsan missing — run tsan stage first)"
   fi
 fi
 

@@ -37,6 +37,17 @@
 // UINT64_MAX (refused without appending, transfer stays resumable), and
 // zero / UINT32_MAX launch dimensions (LaunchError from the geometry seam).
 //
+// A fourth corpus stage covers the module-ingest surface: cubin images,
+// fatbin containers (compressed and raw entries), and bare LZ streams,
+// driven through fatbin::extract_metadata under a small decompression cap —
+// the exact server entry point for an uploaded module. Clean outcomes there
+// are CubinError and LzError; anything else (notably an allocation sized by
+// a forged uncompressed_len) fails the run. Two hostile streams are pinned
+// deterministically in main(): a ratio bomb (max-length matches at distance
+// 1, ~44x per stream byte) must die at the output cap before the implied
+// allocation, and a fatbin whose uncompressed_len field is forged beyond
+// payload * kMaxExpansion must be refused at parse, before decompression.
+//
 // Usage: fuzz_decode [--iters N] [--seed S]
 #include <algorithm>
 #include <cstdint>
@@ -53,6 +64,9 @@
 #include "cricket_bounds.hpp"
 #include "cricket_proto.hpp"
 #include "cudart/local_api.hpp"
+#include "fatbin/cubin.hpp"
+#include "fatbin/fatbin.hpp"
+#include "fatbin/lz.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/kernel.hpp"
 #include "migrate/service.hpp"
@@ -83,6 +97,7 @@ struct Stats {
   std::uint64_t blob_errors = 0;     // CheckpointError / MigrationError
   std::uint64_t version_errors = 0;  // their future-version subclasses
   std::uint64_t taint_probes = 0;    // field-targeted taint-stage dispatches
+  std::uint64_t module_errors = 0;   // CubinError / LzError
 };
 
 Stats g_stats;
@@ -138,6 +153,21 @@ void expect_clean_blob(Fn&& fn) {
     ++g_stats.blob_errors;
   } catch (const cricket::migrate::MigrationError&) {
     ++g_stats.blob_errors;
+  }
+}
+
+/// Module-ingest invocation (fatbin/cubin/LZ). The codecs type every
+/// malformed-input failure as CubinError or LzError; only those — plus a
+/// successful extraction — are clean.
+template <typename Fn>
+void expect_clean_module(Fn&& fn) {
+  try {
+    fn();
+    ++g_stats.parsed;
+  } catch (const cricket::fatbin::CubinError&) {
+    ++g_stats.module_errors;
+  } catch (const cricket::fatbin::LzError&) {
+    ++g_stats.module_errors;
   }
 }
 
@@ -352,6 +382,73 @@ std::vector<std::vector<std::uint8_t>> build_blob_corpus() {
     corpus.push_back(encode_call(call));
   }
   return corpus;
+}
+
+// ---------------------- module-ingest seed corpus -----------------------
+
+/// Bounds every fuzzed decompression: hostile counts must be refused, not
+/// allocated, and the corpus images all fit comfortably inside it.
+constexpr std::uint64_t kFuzzModuleCap = std::uint64_t{1} << 20;
+
+cricket::fatbin::CubinImage sample_cubin() {
+  cricket::fatbin::CubinImage img;
+  img.sm_arch = 75;
+  cricket::fatbin::KernelDescriptor k;
+  k.name = "fuzz_mark";
+  k.params = {{.size = 8, .align = 8, .is_pointer = true},
+              {.size = 4, .align = 4, .is_pointer = false}};
+  img.kernels.push_back(k);
+  img.globals.push_back({"g_fuzz", 64, {}});
+  img.code = cricket::fatbin::make_pseudo_isa(512, 11);
+  return img;
+}
+
+/// A ratio bomb: one literal, then max-length matches at distance 1 — the
+/// densest valid encoding (~44x per stream byte). `tokens` match tokens
+/// imply tokens * 131 output bytes from a 2 + 3 * tokens byte stream.
+std::vector<std::uint8_t> ratio_bomb(std::size_t tokens) {
+  std::vector<std::uint8_t> bomb = {0x00, 0x5A};
+  for (std::size_t i = 0; i < tokens; ++i) {
+    bomb.push_back(0xFF);
+    bomb.push_back(0x01);
+    bomb.push_back(0x00);
+  }
+  return bomb;
+}
+
+std::vector<std::vector<std::uint8_t>> build_module_corpus() {
+  namespace fatbin = cricket::fatbin;
+  std::vector<std::vector<std::uint8_t>> corpus;
+  const auto cubin = cubin_serialize(sample_cubin());
+  // Bare cubin: mutations land on its magic, section counts, name lengths.
+  corpus.push_back(cubin);
+  // Fatbin container with a compressed and a raw entry: mutations land on
+  // the container header, flags, uncompressed_len, payload_len, and the LZ
+  // token stream itself.
+  {
+    fatbin::Fatbin fb;
+    fb.add_raw(75, cubin, /*compress=*/true);
+    fb.add_raw(61, cubin, /*compress=*/false);
+    corpus.push_back(fb.serialize());
+  }
+  // Bare LZ stream (the no-container upload path).
+  corpus.push_back(fatbin::lz_compress(cubin));
+  // The ratio bomb itself as a seed: every mutation of it must still die
+  // in either the expansion guard or the cubin probe.
+  corpus.push_back(ratio_bomb(64));
+  return corpus;
+}
+
+/// The exact server ingest path for an uploaded module image, under the
+/// fuzz cap so no mutation can buy a large throwaway allocation.
+void consume_module(std::span<const std::uint8_t> buf) {
+  expect_clean_module([&] {
+    (void)cricket::fatbin::extract_metadata(buf, 75, kFuzzModuleCap);
+  });
+  expect_clean_module([&] {
+    const auto fb = cricket::fatbin::Fatbin::parse(buf);
+    (void)fb.load(75, kFuzzModuleCap);
+  });
 }
 
 // ------------------------------ mutators --------------------------------
@@ -887,19 +984,86 @@ int main(int argc, char** argv) {
     }
   }
 
+  {
+    // Pin the module-ingest guards deterministically before fuzzing.
+    //
+    // (a) The ratio bomb must die at the output cap: a ~3 KB stream
+    // implying ~131 KB of output is refused with peak allocation bounded
+    // by the cap (4 KiB here), not by what the stream implies.
+    const auto bomb = ratio_bomb(1000);
+    bool capped = false;
+    try {
+      (void)cricket::fatbin::lz_decompress(bomb, 4096);
+    } catch (const cricket::fatbin::LzError&) {
+      capped = true;
+    }
+    if (!capped) {
+      std::fprintf(stderr,
+                   "fuzz_decode: LZ ratio bomb was NOT stopped at the "
+                   "output cap\n");
+      return 1;
+    }
+    try {
+      (void)cricket::fatbin::extract_metadata(bomb, 75, 4096);
+      capped = false;
+    } catch (const cricket::fatbin::LzError&) {
+    } catch (const cricket::fatbin::CubinError&) {
+    }
+    if (!capped) {
+      std::fprintf(stderr,
+                   "fuzz_decode: ratio bomb was NOT refused through "
+                   "extract_metadata\n");
+      return 1;
+    }
+    // (b) A fatbin whose uncompressed_len is forged beyond what any valid
+    // token stream could produce (payload * kMaxExpansion) must be refused
+    // at parse time — the declared length never authorizes an allocation.
+    cricket::fatbin::Fatbin fb;
+    fb.add_raw(75, cubin_serialize(sample_cubin()), /*compress=*/true);
+    auto forged = fb.serialize();
+    const std::uint64_t implausible =
+        fb.entries()[0].payload.size() * cricket::fatbin::kMaxExpansion + 1;
+    // uncompressed_len sits after the 12-byte container header and the
+    // entry's sm_arch + flags words, little-endian.
+    for (std::size_t i = 0; i < 8; ++i)
+      forged[20 + i] = static_cast<std::uint8_t>(implausible >> (8 * i));
+    bool refused = false;
+    try {
+      (void)cricket::fatbin::Fatbin::parse(forged);
+    } catch (const cricket::fatbin::CubinError&) {
+      refused = true;
+    }
+    if (!refused) {
+      std::fprintf(stderr,
+                   "fuzz_decode: forged fatbin uncompressed_len was NOT "
+                   "refused at parse\n");
+      return 1;
+    }
+  }
+
   const auto corpus = build_corpus();
   const auto registry = build_registry();
   const auto blob_corpus = build_blob_corpus();
   const auto taint_corpus = build_taint_corpus(live.ticket);
+  const auto module_corpus = build_module_corpus();
   Xoshiro256ss rng(seed);
 
   std::uint64_t it = 0;
-  const std::uint64_t total = 3 * iters;
+  const std::uint64_t total = 4 * iters;
   try {
     for (; it < total; ++it) {
       // Stage 1: the RPC decode surface. Stage 2: checkpoint blobs,
       // migration images, and MIGRATE transfer messages. Stage 3:
       // field-targeted mutation of the Untrusted<>-wrapped scalars.
+      // Stage 4: the module-ingest surface (cubin/fatbin/LZ).
+      if (it >= 3 * iters) {
+        std::vector<std::uint8_t> buf =
+            module_corpus[rng.next() % module_corpus.size()];
+        const std::uint64_t rounds = 1 + rng.next() % 3;
+        for (std::uint64_t m = 0; m < rounds; ++m) mutate(rng, buf);
+        consume_module(buf);
+        continue;
+      }
       if (it >= 2 * iters) {
         TaintEntry entry = taint_corpus[rng.next() % taint_corpus.size()];
         const std::uint64_t raw = mutate_taint_field(rng, entry);
@@ -932,7 +1096,7 @@ int main(int argc, char** argv) {
       "fuzz_decode: %llu iterations clean (parsed %llu, xdr errors %llu, "
       "format errors %llu, preflight rejects %llu, dispatches %llu, "
       "record errors %llu, blob errors %llu, version errors %llu, "
-      "taint probes %llu)\n",
+      "taint probes %llu, module errors %llu)\n",
       static_cast<unsigned long long>(total),
       static_cast<unsigned long long>(g_stats.parsed),
       static_cast<unsigned long long>(g_stats.xdr_errors),
@@ -942,6 +1106,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(g_stats.record_errors),
       static_cast<unsigned long long>(g_stats.blob_errors),
       static_cast<unsigned long long>(g_stats.version_errors),
-      static_cast<unsigned long long>(g_stats.taint_probes));
+      static_cast<unsigned long long>(g_stats.taint_probes),
+      static_cast<unsigned long long>(g_stats.module_errors));
   return 0;
 }

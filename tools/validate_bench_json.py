@@ -22,6 +22,17 @@ For "tenants":
                   device time within 10% of fair share and fair-share
                   aggregate throughput >= 0.85x the FIFO baseline.
 
+For "modcache" (the content-addressed module cache bench, DESIGN.md §15):
+  1. schema     — {"bench": "modcache", "fleet", "cold", "repeat",
+                  "wire_reduction", "server_cache", "gates_ok"} with the
+                  per-phase keys below.
+  2. coverage   — the cold phase missed on every load, the repeat phase hit
+                  on every load, and the server saw exactly one insert per
+                  distinct image with zero evictions.
+  3. gates      — repeat loads moved >= 10x fewer wire bytes per load than
+                  cold loads (the ISSUE threshold), bytes_saved is
+                  positive, and the bench's own verdict is true.
+
 For "migrate" (the rolling-restart fleet bench, DESIGN.md §13):
   1. schema     — {"bench": "migrate", "fleet", "traffic", "migrations",
                   "blackout_ms", "gates_ok"} with the per-migration and
@@ -177,6 +188,64 @@ def check_migrate_gates(doc):
              f'{blackout["budget"]:.0f} ms budget')
 
 
+MODCACHE_PHASE_KEYS = ("loads", "wire_bytes", "wire_bytes_per_load",
+                       "mean_load_ns", "cache_hits")
+MODCACHE_SERVER_KEYS = ("hits", "misses", "inserts", "evictions",
+                        "resident_bytes", "resident_entries")
+
+
+def check_modcache_schema(doc):
+    for key in ("fleet", "cold", "repeat", "wire_reduction", "server_cache",
+                "gates_ok"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    for key in ("tenants", "images", "image_bytes_total"):
+        if key not in doc["fleet"]:
+            fail(f"fleet missing key {key!r}")
+    for phase in ("cold", "repeat"):
+        for key in MODCACHE_PHASE_KEYS:
+            if key not in doc[phase]:
+                fail(f"{phase} missing key {key!r}")
+    if "bytes_saved" not in doc["repeat"]:
+        fail("repeat missing key 'bytes_saved'")
+    for key in MODCACHE_SERVER_KEYS:
+        if key not in doc["server_cache"]:
+            fail(f"server_cache missing key {key!r}")
+
+
+def check_modcache_coverage(doc):
+    cold, repeat = doc["cold"], doc["repeat"]
+    cache = doc["server_cache"]
+    if cold["loads"] <= 0 or repeat["loads"] <= 0:
+        fail("a phase recorded no loads")
+    if cold["cache_hits"] != 0:
+        fail(f'{cold["cache_hits"]} cold loads hit the cache — the cold '
+             "phase did not start cold")
+    if repeat["cache_hits"] != repeat["loads"]:
+        fail(f'{repeat["cache_hits"]} hits for {repeat["loads"]} repeat '
+             "loads — a repeat probe missed")
+    if cache["inserts"] != doc["fleet"]["images"]:
+        fail(f'{cache["inserts"]} cache inserts for '
+             f'{doc["fleet"]["images"]} distinct images')
+    if cache["evictions"] != 0:
+        fail(f'{cache["evictions"]} evictions under the default budget')
+
+
+def check_modcache_gates(doc):
+    if not doc["gates_ok"]:
+        fail("the bench's own gates_ok verdict is false")
+    if doc["wire_reduction"] < 10.0:
+        fail(f'wire reduction {doc["wire_reduction"]:.2f}x below the 10x '
+             "threshold")
+    per_load_ratio = (doc["cold"]["wire_bytes_per_load"] /
+                      max(doc["repeat"]["wire_bytes_per_load"], 1e-9))
+    if per_load_ratio < 10.0:
+        fail(f"recomputed per-load ratio {per_load_ratio:.2f}x below 10x "
+             "(wire_reduction field inconsistent with the phase bytes)")
+    if doc["repeat"]["bytes_saved"] <= 0:
+        fail("repeat phase saved no image bytes")
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_tenants.json"
     try:
@@ -192,6 +261,15 @@ def main():
         points = ", ".join(str(p["tenants"]) for p in doc["sweep"])
         print(f"validate_bench_json: OK ({path}: sweep points {points}, "
               f"admission rejected={doc['admission']['rejected']})")
+    elif bench == "modcache":
+        check_modcache_schema(doc)
+        check_modcache_coverage(doc)
+        check_modcache_gates(doc)
+        print(f"validate_bench_json: OK ({path}: "
+              f"{doc['fleet']['tenants']} tenants sharing "
+              f"{doc['fleet']['images']} images, wire reduction "
+              f"{doc['wire_reduction']:.1f}x >= 10x, "
+              f"{doc['repeat']['bytes_saved']} image bytes saved)")
     elif bench == "migrate":
         check_migrate_schema(doc)
         check_migrate_coverage(doc)
@@ -204,7 +282,7 @@ def main():
               f"{blackout['budget']:.0f} ms)")
     else:
         fail(f'unknown bench discriminator {bench!r} '
-             '(expected "tenants" or "migrate")')
+             '(expected "tenants", "modcache", or "migrate")')
 
 
 if __name__ == "__main__":
