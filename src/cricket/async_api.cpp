@@ -365,9 +365,10 @@ Error AsyncRemoteCudaApi::module_load(cuda::ModuleId& module,
                                       std::span<const std::uint8_t> image) {
   if (config_.module_cache) {
     // Two-phase negotiation, same as the synchronous client: probe by
-    // content hash, fall back to the full upload only on kCacheMiss. The
-    // probe is blocking anyway (the module id is needed), so pipelining
-    // loses nothing.
+    // content hash plus proof of possession, fall back to the full upload
+    // only on kCacheMiss. The probe is blocking anyway (the module id is
+    // needed), so pipelining loses nothing.
+    const auto proof = modcache::possession_proof(config_.tenant, image);
     bool miss = false;
     const Error err = call_blocking<proto::u64_result>(
         proto::RPC_MODULE_LOAD_CACHED_PROC,
@@ -379,7 +380,8 @@ Error AsyncRemoteCudaApi::module_load(cuda::ModuleId& module,
           module = res.value;
           return from_wire(res.err);
         },
-        modcache::hash_image(image));
+        modcache::hash_image(image),
+        std::vector<std::uint8_t>(proof.begin(), proof.end()));
     if (!miss) return err;
   }
   return call_blocking<proto::u64_result>(

@@ -302,11 +302,14 @@ Error RemoteCudaApi::module_load(cuda::ModuleId& module,
   return forward("cuda.module_load", [&] {
     if (config_.module_cache) {
       // Two-phase negotiation: probe the server's content-addressed cache
-      // with the image hash; only a miss pays for the upload (which then
-      // populates the cache). kCacheMiss is the negotiation answer, never
-      // an application-visible error.
-      const auto probe =
-          stub_->rpc_module_load_cached(modcache::hash_image(image));
+      // with the image hash plus a proof of possession (computable only
+      // from the bytes, bound to this tenant); only a miss pays for the
+      // upload (which then populates the cache). kCacheMiss is the
+      // negotiation answer, never an application-visible error.
+      const auto proof = modcache::possession_proof(config_.tenant, image);
+      const auto probe = stub_->rpc_module_load_cached(
+          modcache::hash_image(image),
+          std::vector<std::uint8_t>(proof.begin(), proof.end()));
       if (from_wire(probe.err) != Error::kCacheMiss) {
         if (from_wire(probe.err) == Error::kSuccess) {
           module = probe.value;

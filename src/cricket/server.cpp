@@ -135,9 +135,14 @@ class CricketSession final : public proto::CRICKETVERSService,
               continue;
             }
           }
-          // No cache on this server (or the entry is gone): the session
-          // owns the restored module outright, like any uncached handle.
-          modules_.insert(cm.id);
+          // The cache entry is gone (evicted between import and reconnect):
+          // only the session whose snapshot carried the device record may
+          // own the restored handle outright — giving it to every
+          // co-referencing session would have the first teardown unload a
+          // module the others still hold, and later unloads double-fire on
+          // a dead handle. (A target without a cache refuses such imports
+          // up front — see MigrationTarget::import_locked.)
+          if (cm.owner) modules_.insert(cm.id);
         }
         if (registry_ != nullptr && !adopted->drc.empty())
           registry_->import_drc(adopted->drc);
@@ -175,13 +180,24 @@ class CricketSession final : public proto::CRICKETVERSService,
     exp.streams = filter.streams;
     exp.events = filter.events;
     // Cache-shared modules: every referencing session records the (id,
-    // hash, size) triple — that is what lets a warm target skip the
+    // hash, size) record — that is what lets a warm target skip the
     // transfer — but only the first session in the batch carries the
-    // device record, because restore_merge refuses the same module id in
-    // two snapshots.
+    // device record (and the `owner` flag), because restore_merge refuses
+    // the same module id in two snapshots. The tenant's possession proof
+    // rides along so the target's seeded entry can keep answering this
+    // tenant's probes without ever seeing the bytes.
+    const std::string name = tenant_name();
     for (const auto& [mod, ref] : cached_modules_) {
-      exp.cached_modules.push_back({mod, ref.hash, ref.size});
-      if (claimed_modules.insert(mod).second) filter.modules.push_back(mod);
+      SessionExport::CachedModule cm;
+      cm.id = mod;
+      cm.hash = ref.hash;
+      cm.bytes = ref.size;
+      cm.owner = claimed_modules.insert(mod).second;
+      if (cache_ != nullptr)
+        if (const auto proof = cache_->proof_for(ref.hash, name))
+          cm.proof = *proof;
+      exp.cached_modules.push_back(cm);
+      if (cm.owner) filter.modules.push_back(mod);
     }
     exp.state = api_.current().snapshot_subset(filter);
     // Only this client's entries: the bundle is adopted by the connection
@@ -470,6 +486,19 @@ class CricketSession final : public proto::CRICKETVERSService,
       // charges the tenant per unique image.
       const std::uint64_t hash = modcache::hash_image(image);
       const std::uint32_t device = current_device();
+      // Pre-flight the quota BEFORE any device work, mirroring the legacy
+      // path's pre-charge ordering: a quota-exhausted tenant must not be
+      // able to force full load/unload churn on the server. Skipped when
+      // the tenant already pays for this image (re-load is charge-free);
+      // insert() below performs the durable charge.
+      if (bound() && !cache_->tenant_holds(hash, tenant_)) {
+        if (!tenants_->try_charge_memory(tenant_, image.size())) {
+          tenants_->count_rejection(tenant_,
+                                    tenancy::RejectReason::kDeviceMemory);
+          return {to_wire(Error::kQuotaExceeded), 0};
+        }
+        tenants_->release_memory(tenant_, image.size());
+      }
       cuda::ModuleId mod = 0;
       const Error err = api_.module_load(mod, image);
       if (err != Error::kSuccess) return {to_wire(err), 0};
@@ -480,6 +509,22 @@ class CricketSession final : public proto::CRICKETVERSService,
           tenants_->count_rejection(tenant_,
                                     tenancy::RejectReason::kDeviceMemory);
         return {to_wire(Error::kQuotaExceeded), 0};
+      }
+      if (res.outcome == modcache::ModuleCache::Outcome::kCollision) {
+        // The uploaded bytes contradict the resident entry for this hash
+        // (truncated-hash collision or a poisoning attempt): the cache
+        // refused them, so the freshly loaded module stays session-owned
+        // like an uncached load — correct execution for this tenant, no
+        // substitution for anyone else.
+        if (bound() && !tenants_->try_charge_memory(tenant_, image.size())) {
+          (void)api_.module_unload(mod);
+          tenants_->count_rejection(tenant_,
+                                    tenancy::RejectReason::kDeviceMemory);
+          return {to_wire(Error::kQuotaExceeded), 0};
+        }
+        modules_.insert(mod);
+        if (bound()) module_charges_.emplace(mod, image.size());
+        return {to_wire(Error::kSuccess), mod};
       }
       note_cached_module(res.module, hash, device, res.size);
       return {to_wire(Error::kSuccess), res.module};
@@ -503,18 +548,22 @@ class CricketSession final : public proto::CRICKETVERSService,
   }
 
   proto::u64_result rpc_module_load_cached(
-      xdr::Untrusted<std::uint64_t> wire_hash) override {
+      xdr::Untrusted<std::uint64_t> wire_hash,
+      std::vector<std::uint8_t> proof) override {
     count();
     // Taint exit: a content hash has no a-priori bound — the cache table is
     // the authority and answers unknown hashes in-band with kCacheMiss, so
     // the raw value travels no further than a map lookup (the client then
-    // falls back to the full upload). Counted by tools/taint_audit.py.
+    // falls back to the full upload). Possession is proven separately: the
+    // cache verifies `proof` against the entry's bytes before any hand-out.
+    // Counted by tools/taint_audit.py.
     const std::uint64_t hash = wire_hash.trust_unchecked(
         "content hash: modcache table lookup answers unknown values in-band "
         "with kCacheMiss");
     if (cache_ == nullptr) return {to_wire(Error::kCacheMiss), 0};
     const std::uint32_t device = current_device();
-    const auto res = cache_->acquire(hash, device, tenant_);
+    const std::string name = tenant_name();
+    const auto res = cache_->acquire(hash, device, tenant_, name, proof);
     switch (res.outcome) {
       case modcache::ModuleCache::Outcome::kHit:
         note_cached_module(res.module, hash, device, res.size);
@@ -525,10 +574,20 @@ class CricketSession final : public proto::CRICKETVERSService,
                                     tenancy::RejectReason::kDeviceMemory);
         return {to_wire(Error::kQuotaExceeded), 0};
       case modcache::ModuleCache::Outcome::kNeedInstance: {
-        // Image resident from another device's upload: instantiate locally
-        // from the cached bytes — still zero wire transfer.
+        // Image resident from another device's upload (possession already
+        // proven above): instantiate locally from the cached bytes — still
+        // zero wire transfer.
         const auto bytes = cache_->image_bytes(hash);
         if (!bytes) return {to_wire(Error::kCacheMiss), 0};
+        // Same pre-flight-before-device-work ordering as rpc_module_load.
+        if (bound() && !cache_->tenant_holds(hash, tenant_)) {
+          if (!tenants_->try_charge_memory(tenant_, bytes->size())) {
+            tenants_->count_rejection(tenant_,
+                                      tenancy::RejectReason::kDeviceMemory);
+            return {to_wire(Error::kQuotaExceeded), 0};
+          }
+          tenants_->release_memory(tenant_, bytes->size());
+        }
         cuda::ModuleId mod = 0;
         const Error err = api_.module_load(mod, *bytes);
         if (err != Error::kSuccess) return {to_wire(err), 0};
@@ -537,10 +596,17 @@ class CricketSession final : public proto::CRICKETVERSService,
           (void)api_.module_unload(mod);
           return {to_wire(Error::kQuotaExceeded), 0};
         }
+        if (ins.outcome == modcache::ModuleCache::Outcome::kCollision) {
+          // Unreachable with bytes read from the cache itself; answer the
+          // conservative miss so the client falls back to the upload path.
+          (void)api_.module_unload(mod);
+          return {to_wire(Error::kCacheMiss), 0};
+        }
         note_cached_module(ins.module, hash, device, ins.size);
         return {to_wire(Error::kSuccess), ins.module};
       }
-      case modcache::ModuleCache::Outcome::kMiss:
+      case modcache::ModuleCache::Outcome::kCollision:  // not an acquire
+      case modcache::ModuleCache::Outcome::kMiss:       // outcome
         break;
     }
     return {to_wire(Error::kCacheMiss), 0};
@@ -733,6 +799,16 @@ class CricketSession final : public proto::CRICKETVERSService,
 
   [[nodiscard]] bool bound() const noexcept {
     return tenants_ != nullptr && tenant_ != tenancy::kInvalidTenant;
+  }
+
+  /// The bound tenant's registered name ("" for unbound sessions) — the
+  /// identity the module cache verifies possession proofs under. Clients
+  /// compute their proofs with ClientConfig::tenant, which is the same
+  /// string this session authenticated with.
+  [[nodiscard]] std::string tenant_name() const {
+    if (!bound()) return {};
+    const auto spec = tenants_->spec(tenant_);
+    return spec ? spec->name : std::string{};
   }
 
   [[nodiscard]] std::uint32_t current_device() {

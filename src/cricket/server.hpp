@@ -50,15 +50,23 @@ struct SessionExport {
   std::vector<cuda::EventId> events;
   std::vector<rpc::DrcExportEntry> drc;
   /// Modules this session references through the content-addressed cache:
-  /// (device module id, FNV-64 image hash, image size). The hash is what
-  /// lets a warm migration target re-reference its own cache instead of
-  /// receiving the image again; exactly one exporting session also carries
-  /// the module's device record in `state` (restore_merge refuses
-  /// cross-snapshot handle collisions).
+  /// (device module id, truncated-SHA-256 image hash, image size). The
+  /// hash is what lets a warm migration target re-reference its own cache
+  /// instead of receiving the image again; exactly one exporting session
+  /// also carries the module's device record in `state` (restore_merge
+  /// refuses cross-snapshot handle collisions) and is flagged `owner` —
+  /// the only session that may fall back to plain per-session ownership
+  /// of the restored handle, so a shared module can never be unloaded out
+  /// from under its co-referencing sessions. `proof` is the exporting
+  /// tenant's possession proof (modcache::possession_proof over the image
+  /// bytes the target never sees), letting the seeded entry keep answering
+  /// that tenant's probes.
   struct CachedModule {
     cuda::ModuleId id = 0;
     std::uint64_t hash = 0;
     std::uint64_t bytes = 0;
+    bool owner = false;
+    modcache::Digest proof{};
   };
   std::vector<CachedModule> cached_modules;
 };
@@ -108,9 +116,10 @@ struct ServerOptions {
   /// behaviour.
   tenancy::SessionManager* tenants = nullptr;
   /// Content-addressed module cache (ROADMAP item 5): when enabled the
-  /// server deduplicates rpc_module_load images by FNV-64 content hash and
-  /// answers rpc_module_load_cached probes without the upload. Off by
-  /// default — the historical per-load behaviour is unchanged.
+  /// server deduplicates rpc_module_load images by truncated-SHA-256
+  /// content hash and answers rpc_module_load_cached probes (which must
+  /// carry a proof of possession) without the upload. Off by default — the
+  /// historical per-load behaviour is unchanged.
   bool module_cache = false;
   modcache::ModuleCacheOptions module_cache_options{};
 };

@@ -176,6 +176,14 @@ std::int32_t MigrationTarget::import_locked(PendingTransfer& pending) {
   // The ticket is bound to the tenant it was opened for; an image that
   // names someone else is hostile or corrupt.
   if (image.tenant.spec.name != pending.tenant) return kMigBadImage;
+  // Cache-shared modules need a module cache on this side: without one the
+  // only fallback would be plain per-session ownership of a module several
+  // sessions share, and the first teardown would unload it under the rest.
+  // Refuse before restore_merge so nothing is placed on the device.
+  if (server_->module_cache() == nullptr) {
+    for (const auto& session : image.sessions)
+      if (!session.cached_modules.empty()) return kMigNoModCache;
+  }
 
   const std::uint32_t device_count = tenants->device_count();
   const std::uint32_t pin =
@@ -201,7 +209,8 @@ std::int32_t MigrationTarget::import_locked(PendingTransfer& pending) {
   if (auto* cache = server_->module_cache()) {
     for (const auto& session : image.sessions)
       for (const auto& cm : session.cached_modules)
-        cache->seed(cm.hash, cm.bytes, pin, cm.id);
+        cache->seed(cm.hash, cm.bytes, pin, cm.id,
+                    image.tenant.spec.name, cm.proof);
   }
   server_->stage_adoption(image.tenant.spec.name, std::move(image.sessions));
   return kMigOk;

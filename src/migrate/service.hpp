@@ -55,6 +55,11 @@ enum MigErr : std::int32_t {
   kMigDevice = 10,
   /// Too many transfers already in flight; retry after one finishes.
   kMigBusy = 11,
+  /// The image carries cache-shared modules but this server runs without a
+  /// module cache: adopting them as plain per-session modules would let one
+  /// session's teardown unload a module other sessions still use, so the
+  /// import is refused up front.
+  kMigNoModCache = 12,
 };
 
 struct MigrationTargetOptions {

@@ -110,14 +110,18 @@ std::vector<std::uint8_t> encode_image(const MigrationImage& image) {
     encode_handles(enc, s.modules);
     encode_handles(enc, s.streams);
     encode_handles(enc, s.events);
-    // Content-cached modules as (id, hash, size) triples: the hash is what
-    // lets a warm target re-reference its own module cache instead of
-    // receiving the image bytes again.
+    // Content-cached modules: the hash is what lets a warm target
+    // re-reference its own module cache instead of receiving the image
+    // bytes again, `owner` marks the one session whose snapshot carries the
+    // device record, and `proof` is the exporting tenant's possession proof
+    // so a seeded (byte-less) target entry can keep verifying its probes.
     enc.put_u32(static_cast<std::uint32_t>(s.cached_modules.size()));
     for (const auto& cm : s.cached_modules) {
       enc.put_u64(cm.id);
       enc.put_u64(cm.hash);
       enc.put_u64(cm.bytes);
+      enc.put_u32(cm.owner ? 1 : 0);
+      enc.put_opaque_fixed(cm.proof);
     }
     enc.put_u32(static_cast<std::uint32_t>(s.drc.size()));
     for (const auto& e : s.drc) {
@@ -194,6 +198,8 @@ MigrationImage decode_image(std::span<const std::uint8_t> bytes) {
         cm.id = dec.get_u64();
         cm.hash = dec.get_u64();
         cm.bytes = dec.get_u64();
+        cm.owner = dec.get_u32() != 0;
+        dec.get_opaque_fixed(cm.proof);
         s.cached_modules.push_back(cm);
       }
       const std::uint32_t nd = dec.get_u32();

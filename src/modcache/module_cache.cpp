@@ -1,5 +1,6 @@
 #include "modcache/module_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -35,15 +36,58 @@ obs::Counter& evictions_counter() {
   return c;
 }
 
+obs::Counter& promotions_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_promotions_total", {},
+      "Probes answered kNeedInstance: bytes resident, device instance "
+      "created locally (no upload, but no reference taken yet)");
+  return c;
+}
+
+obs::Counter& collisions_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_collisions_total", {},
+      "Uploads whose bytes contradicted the resident entry for their hash "
+      "(collision or poisoning attempt); nothing was cached");
+  return c;
+}
+
+obs::Counter& proof_rejects_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "cricket_modcache_proof_rejects_total", {},
+      "Cache probes whose proof of possession failed verification");
+  return c;
+}
+
+/// Domain tag separating possession proofs from any other SHA-256 use of
+/// the same bytes (the cache key in particular).
+constexpr char kProofDomain[] = "cricket-modcache-pop-v1";
+
+constexpr Digest kZeroDigest{};
+
 }  // namespace
 
 std::uint64_t hash_image(std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001B3ull;  // FNV 64 prime
-  }
+  const Digest digest = sha256(bytes);
+  std::uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | digest[static_cast<size_t>(i)];
   return h;
+}
+
+Digest possession_proof(std::string_view tenant_name,
+                        std::span<const std::uint8_t> image) noexcept {
+  Sha256 ctx;
+  ctx.update({reinterpret_cast<const std::uint8_t*>(kProofDomain),
+              sizeof kProofDomain});  // includes the NUL separator
+  std::uint8_t len_le[8];
+  const std::uint64_t n = tenant_name.size();
+  for (int i = 0; i < 8; ++i)
+    len_le[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  ctx.update({len_le, 8});
+  ctx.update({reinterpret_cast<const std::uint8_t*>(tenant_name.data()),
+              tenant_name.size()});
+  ctx.update(image);
+  return ctx.finish();
 }
 
 ModuleCache::ModuleCache(ModuleCacheOptions options,
@@ -61,7 +105,9 @@ ModuleCache::~ModuleCache() {
 
 ModuleCache::Result ModuleCache::acquire(std::uint64_t hash,
                                          std::uint32_t device,
-                                         tenancy::TenantId tenant) {
+                                         tenancy::TenantId tenant,
+                                         std::string_view tenant_name,
+                                         std::span<const std::uint8_t> proof) {
   sim::MutexLock lock(mu_);
   const auto it = entries_.find(hash);
   if (it == entries_.end()) {
@@ -70,6 +116,16 @@ ModuleCache::Result ModuleCache::acquire(std::uint64_t hash,
     return {Outcome::kMiss, 0, 0};
   }
   Entry& entry = it->second;
+  if (!verify_proof_locked(entry, tenant_name, proof)) {
+    // Rejected proofs answer exactly like unknown hashes: the cache must
+    // not be an oracle for what other tenants have loaded, and knowing a
+    // 64-bit key must never be worth a module reference.
+    ++stats_.proof_rejects;
+    proof_rejects_counter().inc();
+    ++stats_.misses;
+    misses_counter().inc();
+    return {Outcome::kMiss, 0, 0};
+  }
   const auto inst = entry.instances.find(device);
   if (inst == entry.instances.end()) {
     if (entry.bytes.empty()) {
@@ -80,10 +136,10 @@ ModuleCache::Result ModuleCache::acquire(std::uint64_t hash,
       return {Outcome::kMiss, 0, 0};
     }
     // A wire-level hit: the caller loads from image_bytes() locally and
-    // insert()s the instance — references are taken there.
+    // insert()s the instance — references (and the hit) are counted there.
     entry.last_use = ++use_seq_;
-    ++stats_.hits;
-    hits_counter().inc();
+    ++stats_.promotions;
+    promotions_counter().inc();
     return {Outcome::kNeedInstance, 0};
   }
   if (!ref_tenant_locked(entry, tenant, /*charged_elsewhere=*/false))
@@ -105,16 +161,45 @@ ModuleCache::Result ModuleCache::insert(std::uint64_t hash,
   Entry& entry = entries_[hash];
   if (fresh) entry.size = image.size();
 
+  // Content verification precedes every other effect: once bytes (or a
+  // migration-imported proof) are canonical for a key, an upload that
+  // contradicts them is refused outright — a truncated-hash collision may
+  // deny sharing, but it can never substitute modules across tenants.
+  if (!entry.bytes.empty()) {
+    if (entry.bytes.size() != image.size() ||
+        !std::equal(entry.bytes.begin(), entry.bytes.end(), image.begin())) {
+      ++stats_.collisions;
+      collisions_counter().inc();
+      return {Outcome::kCollision, 0, 0};
+    }
+  } else if (!entry.proofs.empty() && !image.empty()) {
+    // Seeded entry, bytes not yet resident: the upload must reproduce the
+    // proof the source fleet computed from the real bytes.
+    const auto& [name, expected] = *entry.proofs.begin();
+    if (!digest_equal(possession_proof(name, image), expected)) {
+      ++stats_.collisions;
+      collisions_counter().inc();
+      return {Outcome::kCollision, 0, 0};
+    }
+  }
+
   const auto inst = entry.instances.find(device);
   if (inst != entry.instances.end() && inst->second.module != module) {
     // Lost a concurrent-load race: the earlier instance is canonical; the
     // caller's redundant module leaves the device and its reference lands
-    // on the winner.
+    // on the winner. (Verified above, so a seeded entry re-uploaded here
+    // also makes its bytes resident.)
     if (!ref_tenant_locked(entry, tenant, /*charged_elsewhere=*/false))
       return {Outcome::kQuotaExceeded, 0, 0};
+    if (entry.bytes.empty() && !image.empty()) {
+      entry.bytes.assign(image.begin(), image.end());
+      entry.size = image.size();
+      resident_bytes_ += entry.bytes.size();
+    }
     if (unload_) unload_(device, module);
     ++inst->second.refs;
     entry.last_use = ++use_seq_;
+    evict_idle_locked();
     return {Outcome::kHit, inst->second.module, entry.size};
   }
 
@@ -158,12 +243,17 @@ void ModuleCache::release(std::uint64_t hash, std::uint32_t device,
 }
 
 void ModuleCache::seed(std::uint64_t hash, std::uint64_t size,
-                       std::uint32_t device, std::uint64_t module) {
+                       std::uint32_t device, std::uint64_t module,
+                       std::string_view tenant_name, const Digest& proof) {
   sim::MutexLock lock(mu_);
   Entry& entry = entries_[hash];
   if (entry.size == 0) entry.size = size;
   Instance& instance = entry.instances[device];
   if (instance.module == 0) instance.module = module;
+  // Never let an import overwrite a proof derivable from resident bytes or
+  // an earlier import: first writer wins, like the bytes themselves.
+  if (!digest_equal(proof, kZeroDigest) && entry.bytes.empty())
+    entry.proofs.emplace(std::string(tenant_name), proof);
   entry.last_use = ++use_seq_;
 }
 
@@ -181,6 +271,28 @@ std::optional<std::uint64_t> ModuleCache::adopt(std::uint64_t hash,
   ++inst->second.refs;
   entry.last_use = ++use_seq_;
   return inst->second.module;
+}
+
+std::optional<Digest> ModuleCache::proof_for(std::uint64_t hash,
+                                             std::string_view tenant_name) {
+  sim::MutexLock lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return std::nullopt;
+  Entry& entry = it->second;
+  const auto cached = entry.proofs.find(tenant_name);
+  if (cached != entry.proofs.end()) return cached->second;
+  if (entry.bytes.empty()) return std::nullopt;
+  const Digest proof = possession_proof(tenant_name, entry.bytes);
+  entry.proofs.emplace(std::string(tenant_name), proof);
+  return proof;
+}
+
+bool ModuleCache::tenant_holds(std::uint64_t hash,
+                               tenancy::TenantId tenant) const {
+  sim::MutexLock lock(mu_);
+  const auto it = entries_.find(hash);
+  return it != entries_.end() &&
+         it->second.tenant_refs.find(tenant) != it->second.tenant_refs.end();
 }
 
 std::optional<std::vector<std::uint8_t>> ModuleCache::image_bytes(
@@ -209,6 +321,21 @@ bool ModuleCache::ref_tenant_locked(Entry& entry, tenancy::TenantId tenant,
     return false;
   ++entry.tenant_refs[tenant];
   return true;
+}
+
+bool ModuleCache::verify_proof_locked(Entry& entry,
+                                      std::string_view tenant_name,
+                                      std::span<const std::uint8_t> proof) {
+  if (proof.size() != std::tuple_size_v<Digest>) return false;
+  Digest presented;
+  std::copy(proof.begin(), proof.end(), presented.begin());
+  const auto cached = entry.proofs.find(tenant_name);
+  if (cached != entry.proofs.end())
+    return digest_equal(presented, cached->second);
+  if (entry.bytes.empty()) return false;  // nothing to verify against
+  const Digest expected = possession_proof(tenant_name, entry.bytes);
+  entry.proofs.emplace(std::string(tenant_name), expected);
+  return digest_equal(presented, expected);
 }
 
 bool ModuleCache::idle(const Entry& entry) noexcept {

@@ -2,10 +2,29 @@
 //
 // At fleet scale most tenants launch the same kernels, yet the paper's
 // Cricket server receives the full multi-MB fatbin on every cuModuleLoad
-// (ROADMAP item 5). The cache keys images by FNV-64 over their raw bytes:
-// clients first try rpc_module_load_cached(hash) — a hit answers a ModuleId
-// without the upload, a miss answers cuda::Error::kCacheMiss and the client
-// falls back to the full rpc_module_load, which populates the cache.
+// (ROADMAP item 5). The cache keys images by the first 64 bits of
+// SHA-256 over their raw bytes: clients first try
+// rpc_module_load_cached(hash, proof) — a hit answers a ModuleId without
+// the upload, a miss answers cuda::Error::kCacheMiss and the client falls
+// back to the full rpc_module_load, which populates the cache.
+//
+// Trust model (the cache spans tenants, so every hand-out is a boundary
+// crossing):
+//   - The key is derived from SHA-256, so crafting a second image that
+//     collides with a known one is a 2^64 brute-force over a cryptographic
+//     hash, not the algebra exercise it would be for FNV et al.
+//   - Knowing a hash proves nothing: acquire() additionally demands a
+//     proof of possession — SHA-256 over (domain tag, tenant name, image)
+//     — verified against the resident bytes (or, for migration-seeded
+//     entries, against the proof the source fleet computed from the real
+//     bytes). A probe without a valid proof is answered exactly like a
+//     miss, so the cache is not an oracle for which images other tenants
+//     have loaded, and a bare hash can never re-instantiate another
+//     tenant's private image.
+//   - insert() byte-verifies the upload against the resident entry bytes;
+//     a mismatch (a real collision, or a poisoning attempt) is answered
+//     with Outcome::kCollision and nothing is substituted or adopted —
+//     the caller keeps its freshly loaded module privately.
 //
 // Lifetime model (DESIGN.md §15):
 //   - One Entry per content hash; one Instance per (entry, device) holding
@@ -21,9 +40,10 @@
 //     unloader. Referenced entries never count as evictable, so the budget
 //     can be temporarily exceeded while everything resident is live.
 //   - Migration: seed() registers an instance restored from a snapshot
-//     (image bytes unknown — hash and size travel in the migration image);
-//     adopt() re-references it for an adopted session without re-charging,
-//     because the imported tenant accounting already includes the charge.
+//     (image bytes unknown — hash, size, and the exporting tenant's
+//     possession proof travel in the migration image); adopt()
+//     re-references it for an adopted session without re-charging, because
+//     the imported tenant accounting already includes the charge.
 #pragma once
 
 #include <cstdint>
@@ -31,18 +51,28 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "modcache/sha256.hpp"
 #include "sim/annotations.hpp"
 #include "tenancy/session_manager.hpp"
 
 namespace cricket::modcache {
 
-/// FNV-1a 64 over the raw image bytes — the cache key. Client and server
-/// compute it independently, so the function is owned here (identical to
-/// migrate::fnv64, but modcache must not depend on migrate).
+/// First 64 bits (big-endian) of SHA-256 over the raw image bytes — the
+/// wire-sized cache key. Client and server compute it independently, so
+/// the function is owned here.
 [[nodiscard]] std::uint64_t hash_image(
     std::span<const std::uint8_t> bytes) noexcept;
+
+/// Proof of possession a probe must present: SHA-256 over a domain tag,
+/// the probing tenant's name (length-prefixed), and the full image bytes.
+/// Only a holder of the bytes can compute it; binding the tenant name in
+/// makes one tenant's observed proof worthless from any other identity.
+[[nodiscard]] Digest possession_proof(
+    std::string_view tenant_name, std::span<const std::uint8_t> image) noexcept;
 
 struct ModuleCacheOptions {
   /// LRU byte budget for resident image bytes. Entries with live
@@ -53,10 +83,23 @@ struct ModuleCacheOptions {
 /// Point-in-time accounting snapshot (mirrors the cricket_modcache_* obs
 /// counters, plus residency, for tests and benches).
 struct ModuleCacheStats {
+  /// Probes answered with an immediate reference (no upload, no load).
   std::uint64_t hits = 0;
+  /// Probes that fell back to the full upload (unknown hash, byte-less
+  /// entry, or a rejected proof — indistinguishable on the wire).
   std::uint64_t misses = 0;
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
+  /// Probes answered kNeedInstance: the bytes were resident but the device
+  /// instance had to be created first. Counted separately from hits so the
+  /// hit counter only ever reflects references actually taken.
+  std::uint64_t promotions = 0;
+  /// Uploads whose bytes disagreed with the resident entry for their hash
+  /// (collision or poisoning attempt) — nothing was cached or substituted.
+  std::uint64_t collisions = 0;
+  /// Probes presenting a proof that failed verification (also counted as
+  /// misses: the wire answer is the same kCacheMiss).
+  std::uint64_t proof_rejects = 0;
   std::uint64_t resident_bytes = 0;
   std::uint64_t resident_entries = 0;
 };
@@ -71,10 +114,12 @@ class ModuleCache {
 
   enum class Outcome : std::uint8_t {
     kHit,            ///< reference taken, `module` valid
-    kMiss,           ///< unknown hash
+    kMiss,           ///< unknown hash, unverifiable entry, or bad proof
     kNeedInstance,   ///< entry known with bytes, but not loaded on `device`
                      ///< — caller loads from image_bytes() and insert()s
     kQuotaExceeded,  ///< tenant cannot cover the image size
+    kCollision,      ///< uploaded bytes contradict the resident entry —
+                     ///< nothing cached; the caller keeps its module private
   };
 
   struct Result {
@@ -94,18 +139,30 @@ class ModuleCache {
   ModuleCache& operator=(const ModuleCache&) = delete;
 
   /// Takes a reference to `hash` on `device` for `tenant` (kInvalidTenant
-  /// for unbound sessions: no charging). First tenant reference charges the
-  /// image size; a refused charge takes no reference.
+  /// for unbound sessions: no charging). `proof` must be a 32-byte
+  /// possession_proof computed under `tenant_name`; anything else — wrong
+  /// size, wrong bytes, or an entry with nothing to verify against — is
+  /// answered kMiss, indistinguishable from an unknown hash. First tenant
+  /// reference charges the image size; a refused charge takes no reference.
   [[nodiscard]] Result acquire(std::uint64_t hash, std::uint32_t device,
-                               tenancy::TenantId tenant)
+                               tenancy::TenantId tenant,
+                               std::string_view tenant_name,
+                               std::span<const std::uint8_t> proof)
       CRICKET_EXCLUDES(mu_);
 
   /// Registers a freshly loaded device module under its content hash and
   /// takes the caller's reference, possibly evicting idle entries to make
-  /// room. If another session raced the same load, the earlier instance
-  /// wins: the caller's redundant `module` is unloaded and the canonical id
-  /// returned. Outcome::kQuotaExceeded means nothing was inserted or
-  /// referenced — the caller unloads its module and surfaces the error.
+  /// room. The hash MUST be computed by the caller from `image` itself
+  /// (never taken from the wire). If the entry already holds bytes that
+  /// differ from `image` — or a migration-seeded proof the upload cannot
+  /// reproduce — the upload is refused with Outcome::kCollision and nothing
+  /// changes: the canonical bytes for a key are immutable once resident,
+  /// so cache poisoning can never substitute one tenant's module for
+  /// another's. If another session raced the same load, the earlier
+  /// instance wins: the caller's redundant `module` is unloaded and the
+  /// canonical id returned. Outcome::kQuotaExceeded means nothing was
+  /// inserted or referenced — the caller unloads its module and surfaces
+  /// the error.
   [[nodiscard]] Result insert(std::uint64_t hash,
                               std::span<const std::uint8_t> image,
                               std::uint32_t device, std::uint64_t module,
@@ -119,10 +176,14 @@ class ModuleCache {
 
   /// Migration import: registers an instance restored by restore_merge with
   /// zero references. The image bytes are not known on the target (only
-  /// hash and size travel), so cross-device kNeedInstance promotion is
-  /// unavailable until some client re-uploads the image.
+  /// hash, size, and the source-computed possession proof travel), so
+  /// cross-device kNeedInstance promotion is unavailable until some client
+  /// re-uploads the image; probes by the migrated tenant verify against the
+  /// imported proof. A zero `proof` stores nothing — the entry then answers
+  /// every probe kMiss until a full upload makes it verifiable.
   void seed(std::uint64_t hash, std::uint64_t size, std::uint32_t device,
-            std::uint64_t module) CRICKET_EXCLUDES(mu_);
+            std::uint64_t module, std::string_view tenant_name,
+            const Digest& proof) CRICKET_EXCLUDES(mu_);
 
   /// Migration adoption: re-references a seeded instance for an adopted
   /// session WITHOUT charging — the imported tenant accounting already
@@ -132,6 +193,22 @@ class ModuleCache {
   [[nodiscard]] std::optional<std::uint64_t> adopt(std::uint64_t hash,
                                                    std::uint32_t device,
                                                    tenancy::TenantId tenant)
+      CRICKET_EXCLUDES(mu_);
+
+  /// The possession proof for (`hash`, `tenant_name`): computed (and
+  /// memoized) from the resident bytes, or the imported proof for a
+  /// migration-seeded entry. nullopt when the entry is unknown or has
+  /// nothing to derive a proof from. Migration export records this so a
+  /// warm target can keep answering the migrated tenant's probes.
+  [[nodiscard]] std::optional<Digest> proof_for(std::uint64_t hash,
+                                                std::string_view tenant_name)
+      CRICKET_EXCLUDES(mu_);
+
+  /// Whether `tenant` currently holds at least one reference to `hash`
+  /// (i.e. is already charged for it) — lets the server skip the quota
+  /// pre-flight for re-loads of an image the tenant already pays for.
+  [[nodiscard]] bool tenant_holds(std::uint64_t hash,
+                                  tenancy::TenantId tenant) const
       CRICKET_EXCLUDES(mu_);
 
   /// The cached image bytes for `hash` (copy), if resident with bytes.
@@ -150,6 +227,9 @@ class ModuleCache {
     std::vector<std::uint8_t> bytes;  // empty for migration-seeded entries
     std::map<std::uint32_t, Instance> instances;
     std::map<tenancy::TenantId, std::uint32_t> tenant_refs;
+    /// Possession proofs by tenant name: memoized from resident bytes, or
+    /// imported by seed() for byte-less entries.
+    std::map<std::string, Digest, std::less<>> proofs;
     std::uint64_t last_use = 0;
   };
 
@@ -158,6 +238,14 @@ class ModuleCache {
   /// refused and no reference was taken.
   [[nodiscard]] bool ref_tenant_locked(Entry& entry, tenancy::TenantId tenant,
                                        bool charged_elsewhere)
+      CRICKET_REQUIRES(mu_);
+  /// True when `proof` matches the entry's content for `tenant_name` —
+  /// computed from resident bytes (then memoized) or checked against an
+  /// imported proof. Byte-less entries with no imported proof for this
+  /// tenant verify nothing and always fail.
+  [[nodiscard]] bool verify_proof_locked(Entry& entry,
+                                         std::string_view tenant_name,
+                                         std::span<const std::uint8_t> proof)
       CRICKET_REQUIRES(mu_);
   void evict_idle_locked() CRICKET_REQUIRES(mu_);
   [[nodiscard]] static bool idle(const Entry& entry) noexcept;

@@ -1,0 +1,45 @@
+// Streaming SHA-256 (FIPS 180-4) — the collision-resistant primitive under
+// the module cache's content addressing. The cache key and the probe's
+// proof-of-possession are both derived from it: a cache that hands device
+// modules across tenant boundaries cannot key on a trivially collidable
+// hash (FNV et al.), because a hostile tenant could pre-poison the table
+// with a crafted image and have other tenants silently execute it.
+//
+// Self-contained (no external crypto dependency, per the no-new-deps build
+// constraint); correctness is pinned by the FIPS test vectors in
+// tests/modcache_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cricket::modcache {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256: update() any number of times, then finish() once.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> bytes) noexcept;
+  /// Finalizes and returns the digest. The context must not be reused.
+  [[nodiscard]] Digest finish() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Timing-independent digest comparison: the loop touches every byte no
+/// matter where the first difference sits.
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b) noexcept;
+
+}  // namespace cricket::modcache

@@ -176,17 +176,64 @@ TEST(LzHardening, ModuleByteCapPlumbsThroughLoadAndExtract) {
   EXPECT_NO_THROW((void)fb.load(75, image.size()));
 }
 
-// ------------------------------ hash_image ---------------------------------
+// --------------------------- SHA-256 / hash_image --------------------------
 
-TEST(HashImage, Fnv1a64KnownVectorsAndDispersion) {
-  // FNV-1a 64 offset basis for the empty input, per the reference spec.
-  EXPECT_EQ(hash_image({}), 0xCBF29CE484222325ull);
-  const std::vector<std::uint8_t> a = {'a'};
-  EXPECT_EQ(hash_image(a), 0xAF63DC4C8601EC8Cull);
+std::vector<std::uint8_t> ascii(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s),
+          reinterpret_cast<const std::uint8_t*>(s) + std::strlen(s)};
+}
+
+std::string hex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+TEST(Sha256Impl, FipsKnownVectors) {
+  EXPECT_EQ(hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex(sha256(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex(sha256(ascii(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // One million 'a's, fed in uneven chunks to cross block boundaries.
+  const std::vector<std::uint8_t> as(1'000'000, std::uint8_t{'a'});
+  Sha256 ctx;
+  std::size_t off = 0;
+  for (const std::size_t chunk : {1u, 63u, 64u, 65u, 1000u}) {
+    ctx.update(std::span<const std::uint8_t>(as).subspan(off, chunk));
+    off += chunk;
+  }
+  ctx.update(std::span<const std::uint8_t>(as).subspan(off));
+  EXPECT_EQ(hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HashImage, TruncatedSha256KnownVectorsAndDispersion) {
+  // First 64 bits (big-endian) of the SHA-256 vectors above.
+  EXPECT_EQ(hash_image({}), 0xE3B0C44298FC1C14ull);
+  EXPECT_EQ(hash_image(ascii("abc")), 0xBA7816BF8F01CFEAull);
   const auto img0 = test_image(0);
   const auto img1 = test_image(1);
   EXPECT_EQ(hash_image(img0), hash_image(img0));  // deterministic
   EXPECT_NE(hash_image(img0), hash_image(img1));  // variants diverge
+}
+
+TEST(PossessionProof, BindsTenantAndImage) {
+  const auto image = test_image(0);
+  const Digest alice = possession_proof("alice", image);
+  // Deterministic for (name, bytes); different from either ingredient alone.
+  EXPECT_TRUE(digest_equal(alice, possession_proof("alice", image)));
+  EXPECT_FALSE(digest_equal(alice, possession_proof("bob", image)));
+  EXPECT_FALSE(digest_equal(alice, possession_proof("alice", test_image(1))));
+  // Domain-separated from the plain content digest.
+  EXPECT_FALSE(digest_equal(alice, sha256(image)));
 }
 
 // --------------------------- ModuleCache unit ------------------------------
@@ -209,6 +256,17 @@ struct ModuleCacheUnit : ::testing::Test {
                        });
   }
 
+  /// A well-formed probe: hash and possession proof both derived from the
+  /// image, the way a client holding the bytes computes them.
+  static ModuleCache::Result probe(ModuleCache& cache,
+                                   std::span<const std::uint8_t> image,
+                                   std::uint32_t device,
+                                   tenancy::TenantId tenant,
+                                   std::string_view name) {
+    const Digest proof = possession_proof(name, image);
+    return cache.acquire(hash_image(image), device, tenant, name, proof);
+  }
+
   sim::SimClock clock;
   tenancy::SessionManager tenants;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> unloads;
@@ -220,7 +278,7 @@ TEST_F(ModuleCacheUnit, MissInsertHitLifecycle) {
   const std::vector<std::uint8_t> image(64, 0x11);
   const std::uint64_t hash = hash_image(image);
 
-  auto res = cache.acquire(hash, 0, alice);
+  auto res = probe(cache, image, 0, alice, "alice");
   EXPECT_EQ(res.outcome, ModuleCache::Outcome::kMiss);
 
   res = cache.insert(hash, image, 0, /*module=*/41, alice);
@@ -229,7 +287,7 @@ TEST_F(ModuleCacheUnit, MissInsertHitLifecycle) {
   EXPECT_EQ(tenants.stats(alice).mem_used_bytes, image.size());
 
   // Second reference by the same tenant: same module, no second charge.
-  res = cache.acquire(hash, 0, alice);
+  res = probe(cache, image, 0, alice, "alice");
   ASSERT_EQ(res.outcome, ModuleCache::Outcome::kHit);
   EXPECT_EQ(res.module, 41u);
   EXPECT_EQ(res.size, image.size());
@@ -242,7 +300,7 @@ TEST_F(ModuleCacheUnit, MissInsertHitLifecycle) {
   EXPECT_EQ(tenants.stats(alice).mem_used_bytes, 0u);
   EXPECT_TRUE(unloads.empty());
   EXPECT_EQ(cache.stats().resident_entries, 1u);
-  EXPECT_EQ(cache.acquire(hash, 0, alice).outcome,
+  EXPECT_EQ(probe(cache, image, 0, alice, "alice").outcome,
             ModuleCache::Outcome::kHit);
 }
 
@@ -256,7 +314,7 @@ TEST_F(ModuleCacheUnit, PerTenantChargesAndQuotaRefusal) {
             ModuleCache::Outcome::kHit);
 
   // A refused charge takes no reference and leaves accounting untouched.
-  EXPECT_EQ(cache.acquire(hash, 0, bob).outcome,
+  EXPECT_EQ(probe(cache, image, 0, bob, "bob").outcome,
             ModuleCache::Outcome::kQuotaExceeded);
   EXPECT_EQ(tenants.stats(bob).mem_used_bytes, 0u);
   // Alice's standing is unaffected by Bob's refusal.
@@ -273,15 +331,20 @@ TEST_F(ModuleCacheUnit, CrossDevicePromotionNeedsInstance) {
 
   // Known hash, bytes resident, but no instance on device 1: the caller is
   // told to instantiate locally from the cached bytes (zero wire traffic).
-  EXPECT_EQ(cache.acquire(hash, 1, alice).outcome,
+  // That answer is a promotion, not a hit — the hit counter only moves when
+  // a reference is actually taken.
+  EXPECT_EQ(probe(cache, image, 1, alice, "alice").outcome,
             ModuleCache::Outcome::kNeedInstance);
+  EXPECT_EQ(cache.stats().promotions, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
   const auto bytes = cache.image_bytes(hash);
   ASSERT_TRUE(bytes.has_value());
   EXPECT_EQ(*bytes, image);
   EXPECT_EQ(cache.insert(hash, *bytes, 1, 8, alice).outcome,
             ModuleCache::Outcome::kHit);
-  EXPECT_EQ(cache.acquire(hash, 1, alice).module, 8u);
-  EXPECT_EQ(cache.acquire(hash, 0, alice).module, 7u);
+  EXPECT_EQ(probe(cache, image, 1, alice, "alice").module, 8u);
+  EXPECT_EQ(probe(cache, image, 0, alice, "alice").module, 7u);
+  EXPECT_EQ(cache.stats().hits, 2u);
 }
 
 TEST_F(ModuleCacheUnit, ConcurrentLoadRaceKeepsTheCanonicalInstance) {
@@ -320,9 +383,9 @@ TEST_F(ModuleCacheUnit, LruEvictionIsIdleOnlyAndBudgetBounded) {
   EXPECT_LE(stats.resident_bytes, 250u);
   ASSERT_EQ(unloads.size(), 1u);
   EXPECT_EQ(unloads[0], (std::pair<std::uint32_t, std::uint64_t>{0, 1}));
-  EXPECT_EQ(cache.acquire(hash_image(a), 0, alice).outcome,
+  EXPECT_EQ(probe(cache, a, 0, alice, "alice").outcome,
             ModuleCache::Outcome::kMiss);
-  EXPECT_EQ(cache.acquire(hash_image(b), 0, alice).module, 2u);
+  EXPECT_EQ(probe(cache, b, 0, alice, "alice").module, 2u);
 }
 
 TEST_F(ModuleCacheUnit, AllLiveEntriesMayExceedTheBudget) {
@@ -341,9 +404,12 @@ TEST_F(ModuleCacheUnit, AllLiveEntriesMayExceedTheBudget) {
 TEST_F(ModuleCacheUnit, SeedAndAdoptSkipChargingUntilRelease) {
   const auto alice = add("alice", 1 << 20);
   auto cache = make(1 << 20);
-  const std::uint64_t hash = 0xFEEDu;
-
-  cache.seed(hash, /*size=*/512, /*device=*/1, /*module=*/99);
+  // Seeding mirrors a migration import: the bytes stay on the source fleet,
+  // only hash, size, and alice's source-computed possession proof travel.
+  const auto image = test_image(10);
+  const std::uint64_t hash = hash_image(image);
+  cache.seed(hash, image.size(), /*device=*/1, /*module=*/99, "alice",
+             possession_proof("alice", image));
   // Adoption re-references without charging: the imported tenant
   // accounting already carries the source's charge.
   const auto adopted = cache.adopt(hash, 1, alice);
@@ -356,11 +422,118 @@ TEST_F(ModuleCacheUnit, SeedAndAdoptSkipChargingUntilRelease) {
 
   // A seeded entry's bytes never reached this server: probes on other
   // devices miss (only a full re-upload can instantiate it there), while
-  // the seeded device hits.
+  // the seeded device answers alice's probe via the imported proof.
   EXPECT_FALSE(cache.image_bytes(hash).has_value());
-  EXPECT_EQ(cache.acquire(hash, 0, alice).outcome,
+  EXPECT_EQ(probe(cache, image, 0, alice, "alice").outcome,
             ModuleCache::Outcome::kMiss);
-  EXPECT_EQ(cache.acquire(hash, 1, alice).module, 99u);
+  EXPECT_EQ(probe(cache, image, 1, alice, "alice").module, 99u);
+}
+
+TEST_F(ModuleCacheUnit, ProofRejectionIsIndistinguishableFromMiss) {
+  const auto alice = add("alice", 1 << 20);
+  const auto bob = add("bob", 1 << 20);
+  auto cache = make(1 << 20);
+  const auto image = test_image(11);
+  const std::uint64_t hash = hash_image(image);
+  ASSERT_EQ(cache.insert(hash, image, 0, 7, alice).outcome,
+            ModuleCache::Outcome::kHit);
+
+  // A bare hash is worth nothing: no proof, a garbage proof, a wrong-size
+  // proof, and a replayed proof computed under someone else's name must all
+  // answer exactly like an unknown hash — no reference, no oracle.
+  const Digest alices = possession_proof("alice", image);
+  const struct {
+    const char* name;
+    std::vector<std::uint8_t> proof;
+  } bad[] = {
+      {"empty", {}},
+      {"wrong size", std::vector<std::uint8_t>(16, 0xAA)},
+      {"garbage", std::vector<std::uint8_t>(32, 0xAA)},
+      {"replayed under another tenant",
+       {alices.begin(), alices.end()}},
+  };
+  for (const auto& attempt : bad) {
+    const auto res = cache.acquire(hash, 0, bob, "bob", attempt.proof);
+    EXPECT_EQ(res.outcome, ModuleCache::Outcome::kMiss) << attempt.name;
+    EXPECT_EQ(res.module, 0u) << attempt.name;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.proof_rejects, 4u);
+  EXPECT_EQ(stats.misses, 4u);  // wire answers are ordinary misses
+  EXPECT_EQ(tenants.stats(bob).mem_used_bytes, 0u);
+
+  // Bob holding the real bytes proves possession under his own name.
+  EXPECT_EQ(probe(cache, image, 0, bob, "bob").module, 7u);
+}
+
+TEST_F(ModuleCacheUnit, CollisionNeverSubstitutesResidentBytes) {
+  const auto alice = add("alice", 1 << 20);
+  const auto mallory = add("mallory", 1 << 20);
+  auto cache = make(1 << 20);
+  const auto image = test_image(12);
+  const auto forged = test_image(13);
+  const std::uint64_t hash = hash_image(image);
+  ASSERT_EQ(cache.insert(hash, image, 0, 7, alice).outcome,
+            ModuleCache::Outcome::kHit);
+
+  // Mallory claims the same key for different bytes (a real truncated-hash
+  // collision, or a poisoning attempt): refused outright, nothing cached,
+  // nothing unloaded — mallory keeps the module private, session-owned.
+  const auto res = cache.insert(hash, forged, 0, 666, mallory);
+  EXPECT_EQ(res.outcome, ModuleCache::Outcome::kCollision);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  EXPECT_TRUE(unloads.empty());
+  EXPECT_EQ(tenants.stats(mallory).mem_used_bytes, 0u);
+  ASSERT_TRUE(cache.image_bytes(hash).has_value());
+  EXPECT_EQ(*cache.image_bytes(hash), image);  // canonical bytes untouched
+  EXPECT_EQ(probe(cache, image, 0, alice, "alice").module, 7u);
+}
+
+TEST_F(ModuleCacheUnit, SeededEntryRefusesAnUnprovableReupload) {
+  const auto alice = add("alice", 1 << 20);
+  const auto mallory = add("mallory", 1 << 20);
+  auto cache = make(1 << 20);
+  const auto image = test_image(14);
+  const auto forged = test_image(15);
+  const std::uint64_t hash = hash_image(image);
+  cache.seed(hash, image.size(), /*device=*/0, /*module=*/99, "alice",
+             possession_proof("alice", image));
+
+  // A byte-less seeded entry still has an authority to check uploads
+  // against: the imported proof. Bytes that cannot reproduce it are
+  // refused, so the import can never be used to launder forged bytes in.
+  EXPECT_EQ(cache.insert(hash, forged, 1, 666, mallory).outcome,
+            ModuleCache::Outcome::kCollision);
+  EXPECT_FALSE(cache.image_bytes(hash).has_value());
+
+  // The genuine bytes reproduce the proof and become resident.
+  EXPECT_EQ(cache.insert(hash, image, 1, 42, alice).outcome,
+            ModuleCache::Outcome::kHit);
+  ASSERT_TRUE(cache.image_bytes(hash).has_value());
+  EXPECT_EQ(*cache.image_bytes(hash), image);
+}
+
+TEST_F(ModuleCacheUnit, ProofForServesExportsFromBytesOrImports) {
+  const auto alice = add("alice", 1 << 20);
+  auto cache = make(1 << 20);
+  const auto image = test_image(16);
+  const std::uint64_t hash = hash_image(image);
+
+  EXPECT_FALSE(cache.proof_for(hash, "alice").has_value());  // unknown
+  ASSERT_EQ(cache.insert(hash, image, 0, 7, alice).outcome,
+            ModuleCache::Outcome::kHit);
+  // Byte-resident entries derive any tenant's proof on demand (migration
+  // export uses this to ship the proof alongside the hash).
+  const auto derived = cache.proof_for(hash, "alice");
+  ASSERT_TRUE(derived.has_value());
+  EXPECT_TRUE(digest_equal(*derived, possession_proof("alice", image)));
+
+  // Byte-less seeded entries can only serve the proofs they imported.
+  auto warm = make(1 << 20);
+  warm.seed(hash, image.size(), 0, 7, "alice",
+            possession_proof("alice", image));
+  EXPECT_TRUE(warm.proof_for(hash, "alice").has_value());
+  EXPECT_FALSE(warm.proof_for(hash, "bob").has_value());
 }
 
 // ------------------------ end-to-end negotiation ---------------------------
@@ -661,8 +834,12 @@ TEST(ModcacheMigration, CachedModulesSurviveTheImageCodec) {
   core::SessionExport s;
   s.session_id = 4;
   s.client_id = 0xC0FFEE;
-  s.cached_modules = {{/*id=*/7, /*hash=*/0xDEADBEEFCAFEull, /*bytes=*/4096},
-                      {/*id=*/9, /*hash=*/0x1234ull, /*bytes=*/128}};
+  const Digest proof = possession_proof("alice", test_image(0));
+  s.cached_modules = {
+      {/*id=*/7, /*hash=*/0xDEADBEEFCAFEull, /*bytes=*/4096, /*owner=*/true,
+       proof},
+      {/*id=*/9, /*hash=*/0x1234ull, /*bytes=*/128, /*owner=*/false,
+       Digest{}}};
   img.sessions.push_back(std::move(s));
 
   const auto out = migrate::decode_image(migrate::encode_image(img));
@@ -671,9 +848,14 @@ TEST(ModcacheMigration, CachedModulesSurviveTheImageCodec) {
   EXPECT_EQ(out.sessions[0].cached_modules[0].id, 7u);
   EXPECT_EQ(out.sessions[0].cached_modules[0].hash, 0xDEADBEEFCAFEull);
   EXPECT_EQ(out.sessions[0].cached_modules[0].bytes, 4096u);
+  EXPECT_TRUE(out.sessions[0].cached_modules[0].owner);
+  EXPECT_TRUE(digest_equal(out.sessions[0].cached_modules[0].proof, proof));
   EXPECT_EQ(out.sessions[0].cached_modules[1].id, 9u);
   EXPECT_EQ(out.sessions[0].cached_modules[1].hash, 0x1234ull);
   EXPECT_EQ(out.sessions[0].cached_modules[1].bytes, 128u);
+  EXPECT_FALSE(out.sessions[0].cached_modules[1].owner);
+  EXPECT_TRUE(
+      digest_equal(out.sessions[0].cached_modules[1].proof, Digest{}));
 }
 
 xdr::Untrusted<std::uint64_t> U(std::uint64_t v) {
@@ -767,6 +949,40 @@ TEST(ModcacheMigration, WarmTargetSeedsCacheAndAdoptionRereferences) {
   dst_thread.join();
   api.reset();
   src_thread.join();
+}
+
+TEST(ModcacheMigration, CachelessTargetRefusesCacheSharedModules) {
+  // A target without a module cache has no safe home for cache-shared
+  // modules: adopting them as plain per-session handles would let the first
+  // session teardown unload a module its siblings still use. The import is
+  // refused whole, before anything touches the device.
+  migrate::MigrationImage img;
+  img.tenant.spec.name = "alice";
+  core::SessionExport s;
+  s.session_id = 1;
+  s.client_id = 0xC0FFEE;
+  s.cached_modules = {{/*id=*/7, /*hash=*/0xFEEDull, /*bytes=*/128,
+                       /*owner=*/true, Digest{}}};
+  img.sessions.push_back(std::move(s));
+
+  auto node = cuda::GpuNode::make_paper_testbed();
+  tenancy::SessionManager tenants(
+      node->clock(),
+      {.device_count = static_cast<std::uint32_t>(node->device_count()),
+       .default_tenant = ""});
+  core::ServerOptions options;
+  options.tenants = &tenants;  // tenancy on, module cache OFF
+  CricketServer target(*node, options);
+  ASSERT_EQ(target.module_cache(), nullptr);
+
+  migrate::MigrationTarget mt(target);
+  const auto blob = migrate::encode_image(img);
+  const auto opened = mt.begin("alice", U(blob.size()));
+  ASSERT_EQ(opened.err, migrate::kMigOk);
+  ASSERT_EQ(mt.chunk(U(opened.ticket), U(0), blob), migrate::kMigOk);
+  EXPECT_EQ(mt.commit(U(opened.ticket), migrate::fnv64(blob)),
+            migrate::kMigNoModCache);
+  EXPECT_EQ(mt.committed_count(), 0u);
 }
 
 }  // namespace
